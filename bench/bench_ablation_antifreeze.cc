@@ -1,0 +1,103 @@
+// Ablation: Antifreeze's bounding-range budget K — false-positive rate of
+// the compressed dependents table versus build time, K in {1, 5, 20, 100}
+// (the paper fixes K=20 per the original system).
+//
+// The workload stresses the weakness of bounding-range compression:
+// popular cells whose dependents are scattered across the sheet (report
+// cells referenced from many places), so no small set of rectangles
+// covers them exactly.
+
+#include <cstdio>
+#include <random>
+
+#include "baselines/antifreeze.h"
+#include "bench_util.h"
+#include "common/range_set.h"
+#include "graph/nocomp_graph.h"
+
+namespace taco::bench {
+namespace {
+
+struct Workload {
+  std::vector<Dependency> deps;
+  std::vector<Cell> queries;
+};
+
+Workload ScatteredWorkload(uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int32_t> col(1, 120);
+  std::uniform_int_distribution<int32_t> row(1, 4000);
+  Workload w;
+  // 20 popular input cells, each referenced by 60 formulas scattered over
+  // the sheet; plus background formulas referencing random cells.
+  for (int i = 0; i < 20; ++i) {
+    Cell popular{150 + i, 1};
+    w.queries.push_back(popular);
+    for (int k = 0; k < 60; ++k) {
+      Dependency d;
+      d.prec = Range(popular);
+      d.dep = Cell{col(rng), row(rng)};
+      w.deps.push_back(d);
+    }
+  }
+  for (int i = 0; i < 2000; ++i) {
+    Dependency d;
+    d.prec = Range(Cell{col(rng), row(rng)});
+    d.dep = Cell{col(rng), row(rng)};
+    if (d.prec.head == d.dep) continue;  // no self-loops
+    w.deps.push_back(d);
+  }
+  return w;
+}
+
+void Run() {
+  Workload w = ScatteredWorkload(2023);
+
+  NoCompGraph exact;
+  for (const Dependency& d : w.deps) (void)exact.AddDependency(d);
+
+  TablePrinter table({"K", "Build", "Table entries", "False-positive rate",
+                      "Exact queries"});
+  for (int k : {1, 5, 20, 100}) {
+    AntifreezeGraph anti(k);
+    for (const Dependency& d : w.deps) (void)anti.AddDependency(d);
+    TimerMs t;
+    (void)anti.BuildLookupTable();
+    double build_ms = t.ElapsedMs();
+
+    double fp_cells = 0, exact_cells = 0;
+    int exact_queries = 0;
+    for (const Cell& query : w.queries) {
+      auto approx = anti.FindDependents(Range(query));
+      auto truth = exact.FindDependents(Range(query));
+      uint64_t approx_count = CoveredCellCount(approx);
+      uint64_t truth_count = CoveredCellCount(truth);
+      fp_cells += static_cast<double>(approx_count - truth_count);
+      exact_cells += static_cast<double>(truth_count);
+      if (approx_count == truth_count) ++exact_queries;
+    }
+    char fp[32], eq[32];
+    std::snprintf(fp, sizeof(fp), "%.0f%%",
+                  exact_cells == 0 ? 0.0 : 100.0 * fp_cells / exact_cells);
+    std::snprintf(eq, sizeof(eq), "%d/%zu", exact_queries,
+                  w.queries.size());
+    table.AddRow({std::to_string(k), FormatMs(build_ms),
+                  std::to_string(anti.lookup_table_size()), fp, eq});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace taco::bench
+
+int main() {
+  using namespace taco::bench;
+  PrintHeader("Ablation: Antifreeze bounding-range budget K",
+              "Sec. VI-D (K=20 in the paper; false positives are inherent)");
+  Run();
+  std::printf(
+      "\nExpectation: small K inflates false positives on scattered\n"
+      "dependent sets; large K approaches exactness at higher table cost.\n"
+      "TACO needs no such trade-off (it is lossless at every size).\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation: the vertex overlap index — R-tree (NoComp) versus Calc-style
+// containers at several container geometries, under identical uncompressed
+// graphs and queries.
+
+#include <cstdio>
+
+#include "baselines/calcgraph.h"
+#include "bench_util.h"
+#include "graph/nocomp_graph.h"
+
+namespace taco::bench {
+namespace {
+
+void Run(const CorpusProfile& profile) {
+  auto sheets = LoadCorpus(profile);
+
+  struct Config {
+    std::string name;
+    int cols, rows;  // container geometry; 0 = R-tree
+  };
+  std::vector<Config> configs = {{"R-tree (NoComp)", 0, 0},
+                                 {"containers 16x1024", 16, 1024},
+                                 {"containers 4x256", 4, 256},
+                                 {"containers 64x8192", 64, 8192}};
+
+  TablePrinter table({profile.name, "Build (sum)", "Find p50", "Find max"});
+  for (const Config& config : configs) {
+    double build_ms = 0;
+    std::vector<double> find_ms;
+    for (const CorpusSheet& cs : sheets) {
+      std::vector<Dependency> deps = CollectDependencies(cs.sheet);
+      std::unique_ptr<DependencyGraph> graph;
+      if (config.cols == 0) {
+        graph = std::make_unique<NoCompGraph>();
+      } else {
+        graph = std::make_unique<CalcGraph>(config.cols, config.rows);
+      }
+      TimerMs tb;
+      for (const Dependency& d : deps) (void)graph->AddDependency(d);
+      build_ms += tb.ElapsedMs();
+      TimerMs tq;
+      (void)graph->FindDependents(Range(cs.max_dependents_cell));
+      find_ms.push_back(tq.ElapsedMs());
+    }
+    table.AddRow({config.name, FormatMs(build_ms),
+                  FormatMs(Percentile(find_ms, 50)),
+                  FormatMs(Percentile(find_ms, 100))});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace taco::bench
+
+int main() {
+  using namespace taco::bench;
+  PrintHeader("Ablation: vertex overlap index (R-tree vs containers)",
+              "Sec. VI-E NoComp vs NoComp-Calc design difference");
+  Run(BenchEnron());
+  std::printf(
+      "\nExpectation: the R-tree dominates on sheets with large or skewed\n"
+      "ranges; container performance is geometry-sensitive.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Fig. 1: probability distributions of the per-sheet maximum dependent
+// count and longest dependency path, for the Enron-like and Github-like
+// corpora. Buckets follow the paper: (0,100], (100,1K], (1K,10K], (10K,∞).
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace taco::bench {
+namespace {
+
+constexpr uint64_t kBucketEdges[] = {100, 1000, 10000};
+
+int BucketOf(uint64_t v) {
+  for (int i = 0; i < 3; ++i) {
+    if (v <= kBucketEdges[i]) return i;
+  }
+  return 3;
+}
+
+void Report(const CorpusProfile& profile,
+            const double paper_max_dep[4], const double paper_path[4]) {
+  // Fig. 1 only needs the per-sheet statistics; the full-size profiles
+  // (not the bench-scaled ones) carry the heavy tail.
+  auto sheets = LoadCorpus(profile);
+  double max_dep[4] = {0, 0, 0, 0};
+  double path[4] = {0, 0, 0, 0};
+  for (const CorpusSheet& s : sheets) {
+    max_dep[BucketOf(s.expected_max_dependents)] += 1;
+    path[BucketOf(s.expected_longest_path)] += 1;
+  }
+  double n = static_cast<double>(sheets.size());
+
+  TablePrinter table({profile.name, "(0,100]", "(100,1K]", "(1K,10K]",
+                      "(10K,inf)"});
+  auto row = [&](const std::string& name, const double measured[4],
+                 const double paper[4]) {
+    char cells[4][48];
+    for (int i = 0; i < 4; ++i) {
+      std::snprintf(cells[i], sizeof(cells[i]), "%.2f (paper ~%.2f)",
+                    measured[i] / n, paper[i]);
+    }
+    table.AddRow({name, cells[0], cells[1], cells[2], cells[3]});
+  };
+  row("Maximum Dependents", max_dep, paper_max_dep);
+  row("Longest Path", path, paper_path);
+  table.Print();
+}
+
+}  // namespace
+}  // namespace taco::bench
+
+int main() {
+  using namespace taco::bench;
+  PrintHeader("Per-sheet maximum dependents / longest path distributions",
+              "Fig. 1 (Sec. I)");
+  // Paper reference shares read off Fig. 1 (approximate).
+  const double enron_dep[4] = {0.42, 0.33, 0.20, 0.05};
+  const double enron_path[4] = {0.74, 0.22, 0.03, 0.01};
+  const double github_dep[4] = {0.35, 0.32, 0.24, 0.09};
+  const double github_path[4] = {0.63, 0.25, 0.09, 0.03};
+  Report(taco::CorpusProfile::Enron(), enron_dep, enron_path);
+  std::printf("\n");
+  Report(taco::CorpusProfile::Github(), github_dep, github_path);
+  std::printf(
+      "\nShape check: most sheets sit in the small buckets while a tail\n"
+      "reaches beyond 10K dependents / 10K-edge paths, motivating\n"
+      "compressed traversal (the paper reports up to 300K dependents and\n"
+      "200K-edge paths).\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Fig. 10: time to find dependents, TACO vs NoComp, starting from (a) the
+// cell with the maximum number of dependents and (b) the head of the
+// longest dependency path, per sheet, both corpora. Prints the CDF
+// percentiles of the per-sheet query times plus the observed maximum
+// speedup, and the Sec. IV-D edge-access statistic.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "graph/nocomp_graph.h"
+#include "taco/taco_graph.h"
+
+namespace taco::bench {
+namespace {
+
+struct Series {
+  std::vector<double> taco_max_dep, nocomp_max_dep;
+  std::vector<double> taco_path, nocomp_path;
+  std::vector<double> taco_edge_accesses;
+  double max_speedup = 0;
+};
+
+Series Run(const CorpusProfile& profile) {
+  Series out;
+  auto sheets = LoadCorpus(profile);
+  for (const CorpusSheet& cs : sheets) {
+    std::vector<Dependency> deps = CollectDependencies(cs.sheet);
+    TacoGraph taco;
+    NoCompGraph nocomp;
+    for (const Dependency& d : deps) {
+      (void)taco.AddDependency(d);
+      (void)nocomp.AddDependency(d);
+    }
+    auto run_case = [&](const Cell& start, std::vector<double>* taco_ms,
+                        std::vector<double>* nocomp_ms) {
+      TimerMs t1;
+      auto r1 = taco.FindDependents(Range(start));
+      double taco_time = t1.ElapsedMs();
+      taco_ms->push_back(taco_time);
+      out.taco_edge_accesses.push_back(
+          static_cast<double>(taco.last_query_counters().edge_accesses));
+
+      TimerMs t2;
+      auto r2 = nocomp.FindDependents(Range(start));
+      double nocomp_time = t2.ElapsedMs();
+      nocomp_ms->push_back(nocomp_time);
+      if (taco_time > 0) {
+        out.max_speedup = std::max(out.max_speedup, nocomp_time / taco_time);
+      }
+      (void)r1;
+      (void)r2;
+    };
+    run_case(cs.max_dependents_cell, &out.taco_max_dep, &out.nocomp_max_dep);
+    run_case(cs.longest_path_cell, &out.taco_path, &out.nocomp_path);
+  }
+  return out;
+}
+
+void Report(const std::string& corpus, const Series& s) {
+  TablePrinter table({corpus + " find-dependents", "p50", "p75", "p90",
+                      "p95", "p99", "max"});
+  PrintCdfRow(&table, "TACO   (Maximum Dependents)", s.taco_max_dep);
+  PrintCdfRow(&table, "NoComp (Maximum Dependents)", s.nocomp_max_dep);
+  PrintCdfRow(&table, "TACO   (Longest Path)", s.taco_path);
+  PrintCdfRow(&table, "NoComp (Longest Path)", s.nocomp_path);
+  table.Print();
+  std::printf("max speedup TACO over NoComp: %.0fx\n", s.max_speedup);
+  // Sec. IV-D: the average number of edge accesses per BFS stays small.
+  std::printf("mean compressed-edge accesses per query: %.1f (p98 %.1f)\n",
+              Mean(s.taco_edge_accesses),
+              Percentile(s.taco_edge_accesses, 98));
+}
+
+}  // namespace
+}  // namespace taco::bench
+
+int main() {
+  using namespace taco::bench;
+  PrintHeader("Time to find dependents: TACO vs NoComp",
+              "Fig. 10 (Sec. VI-C) + Sec. IV-D edge-access stats");
+  Series enron = Run(BenchEnron());
+  Report("Enron", enron);
+  std::printf("\n");
+  Series github = Run(BenchGithub());
+  Report("Github", github);
+  std::printf(
+      "\nPaper reference: TACO max 78 ms (Enron) / 167 ms (Github);\n"
+      "NoComp max 1.73 s / 48.9 s; speedup up to 34,972x.\n"
+      "Shape check: TACO stays orders of magnitude below NoComp at the\n"
+      "tail, and edge accesses per query remain small.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Fig. 12: time to modify the formula graph. Following the paper, the
+// modification clears the contents of a column of 1K cells starting at
+// the cell with the most dependents.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "graph/nocomp_graph.h"
+#include "taco/taco_graph.h"
+
+namespace taco::bench {
+namespace {
+
+void Run(const CorpusProfile& profile) {
+  auto sheets = LoadCorpus(profile);
+  std::vector<double> taco_ms, nocomp_ms;
+  for (const CorpusSheet& cs : sheets) {
+    std::vector<Dependency> deps = CollectDependencies(cs.sheet);
+    const Cell start = cs.max_dependents_cell;
+    Range cleared(start.col, start.row, start.col,
+                  std::min(start.row + 999, kMaxRow));
+    {
+      TacoGraph g;
+      for (const Dependency& d : deps) (void)g.AddDependency(d);
+      TimerMs t;
+      (void)g.RemoveFormulaCells(cleared);
+      taco_ms.push_back(t.ElapsedMs());
+    }
+    {
+      NoCompGraph g;
+      for (const Dependency& d : deps) (void)g.AddDependency(d);
+      TimerMs t;
+      (void)g.RemoveFormulaCells(cleared);
+      nocomp_ms.push_back(t.ElapsedMs());
+    }
+  }
+  TablePrinter table({profile.name + " modify", "p50", "p75", "p90", "p95",
+                      "p99", "max"});
+  PrintCdfRow(&table, "TACO", taco_ms);
+  PrintCdfRow(&table, "NoComp", nocomp_ms);
+  table.Print();
+}
+
+}  // namespace
+}  // namespace taco::bench
+
+int main() {
+  using namespace taco::bench;
+  PrintHeader("Time to modify formula graphs (clear a 1K-cell column)",
+              "Fig. 12 (Sec. VI-C)");
+  Run(BenchEnron());
+  std::printf("\n");
+  Run(BenchGithub());
+  std::printf(
+      "\nPaper reference: easy cases (~90%%) favor NoComp slightly (<10 ms\n"
+      "both); at the 99th percentile TACO wins (33 ms vs 41 ms, Github).\n"
+      "Shape check: both systems stay in the millisecond range, with TACO\n"
+      "no worse at the tail.\n");
+  return 0;
+}

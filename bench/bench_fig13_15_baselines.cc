@@ -1,0 +1,165 @@
+// Figs. 13-15: per-sheet latency for building, finding dependents, and
+// modifying the graph — TACO vs NoComp vs CellGraph (the RedisGraph
+// stand-in) vs Antifreeze — on the top sheets by TACO build time, renamed
+// max1..maxN like the paper. Budget-exceeded runs print as DNF.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "baselines/antifreeze.h"
+#include "baselines/cellgraph.h"
+#include "bench_util.h"
+#include "graph/nocomp_graph.h"
+#include "taco/taco_graph.h"
+
+namespace taco::bench {
+namespace {
+
+struct SheetCase {
+  std::string name;
+  std::vector<Dependency> deps;
+  Cell query_cell;
+  Range modify_range;
+};
+
+struct SystemResult {
+  double build_ms = -1;   // negative = DNF
+  double find_ms = -1;
+  double modify_ms = -1;
+};
+
+// Runs one system over one sheet: timed build (DNF budget), timed query,
+// timed 1K-column clear.
+SystemResult RunSystem(DependencyGraph* graph, const SheetCase& sheet,
+                       double budget_ms) {
+  SystemResult r;
+  r.build_ms = TimedBuild(graph, sheet.deps, budget_ms);
+  if (r.build_ms < 0) return r;
+
+  // Antifreeze defers table building to the first query; budget it too.
+  if (auto* anti = dynamic_cast<AntifreezeGraph*>(graph)) {
+    anti->set_build_budget_ms(budget_ms);
+    TimerMs t;
+    bool ok = anti->BuildLookupTable();
+    r.build_ms += t.ElapsedMs();
+    if (!ok) {
+      r.build_ms = -1;
+      return r;
+    }
+  }
+  if (auto* cg = dynamic_cast<CellGraph*>(graph)) {
+    cg->set_query_budget_ms(budget_ms);
+  }
+
+  TimerMs tq;
+  (void)graph->FindDependents(Range(sheet.query_cell));
+  r.find_ms = tq.ElapsedMs();
+  if (auto* cg = dynamic_cast<CellGraph*>(graph)) {
+    if (cg->query_timed_out()) r.find_ms = -1;
+  }
+
+  TimerMs tm;
+  (void)graph->RemoveFormulaCells(sheet.modify_range);
+  r.modify_ms = tm.ElapsedMs();
+  if (auto* anti = dynamic_cast<AntifreezeGraph*>(graph)) {
+    // Antifreeze rebuilds its table after a modification; that rebuild is
+    // the maintenance cost the paper charges it.
+    TimerMs tr;
+    bool ok = anti->BuildLookupTable();
+    r.modify_ms += tr.ElapsedMs();
+    if (!ok) r.modify_ms = -1;
+  }
+  return r;
+}
+
+void Run(const CorpusProfile& profile, int top_n) {
+  auto sheets = LoadCorpus(profile);
+
+  // Rank sheets by TACO build time, as in the paper.
+  std::vector<std::pair<double, SheetCase>> ranked;
+  for (const CorpusSheet& cs : sheets) {
+    SheetCase sc;
+    sc.deps = CollectDependencies(cs.sheet);
+    sc.query_cell = cs.max_dependents_cell;
+    sc.modify_range =
+        Range(cs.max_dependents_cell.col, cs.max_dependents_cell.row,
+              cs.max_dependents_cell.col,
+              std::min(cs.max_dependents_cell.row + 999, kMaxRow));
+    TacoGraph probe;
+    TimerMs t;
+    for (const Dependency& d : sc.deps) (void)probe.AddDependency(d);
+    ranked.push_back({t.ElapsedMs(), std::move(sc)});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  ranked.resize(std::min<size_t>(ranked.size(), top_n));
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    ranked[i].second.name = "max" + std::to_string(i + 1);
+  }
+
+  const double budget = DnfBudgetMs();
+  TablePrinter build({profile.name + " build", "TACO", "NoComp",
+                      "CellGraph(Redis)", "Antifreeze"});
+  TablePrinter find({profile.name + " find-dependents", "TACO", "NoComp",
+                     "CellGraph(Redis)", "Antifreeze"});
+  TablePrinter modify({profile.name + " modify", "TACO", "NoComp",
+                       "CellGraph(Redis)", "Antifreeze"});
+
+  for (auto& [build_time, sheet] : ranked) {
+    SystemResult rs[4];
+    {
+      TacoGraph g;
+      rs[0] = RunSystem(&g, sheet, budget);
+    }
+    {
+      NoCompGraph g;
+      rs[1] = RunSystem(&g, sheet, budget);
+    }
+    {
+      CellGraph g;
+      rs[2] = RunSystem(&g, sheet, budget);
+    }
+    {
+      AntifreezeGraph g;
+      rs[3] = RunSystem(&g, sheet, budget);
+    }
+    auto row = [&](auto member) {
+      std::vector<std::string> cells{sheet.name};
+      for (int i = 0; i < 4; ++i) {
+        double v = rs[i].*member;
+        cells.push_back(FormatMs(v, v < 0));
+      }
+      return cells;
+    };
+    build.AddRow(row(&SystemResult::build_ms));
+    find.AddRow(row(&SystemResult::find_ms));
+    modify.AddRow(row(&SystemResult::modify_ms));
+  }
+  build.Print();
+  std::printf("\n");
+  find.Print();
+  std::printf("\n");
+  modify.Print();
+}
+
+}  // namespace
+}  // namespace taco::bench
+
+int main() {
+  using namespace taco::bench;
+  PrintHeader(
+      "Latency vs Antifreeze and a cell-granularity graph store",
+      "Figs. 13-15 (Sec. VI-D); DNF budget per op: TACO_BENCH_BUDGET_MS");
+  int top_n = EnvInt("TACO_BENCH_TOPN", 5);
+  Run(BenchEnron(), top_n);
+  std::printf("\n");
+  Run(BenchGithub(), top_n);
+  std::printf(
+      "\nPaper reference: Antifreeze finished building for only 4 of 20\n"
+      "sheets; RedisGraph DNF'd many builds/queries; TACO's speedup over\n"
+      "RedisGraph on finding dependents reached 19,555x. Where Antifreeze\n"
+      "finishes, its query time matches TACO but build/modify are far\n"
+      "slower.\n");
+  return 0;
+}

@@ -1,0 +1,162 @@
+// Google-benchmark microbenchmarks for the core operations: dependency
+// insertion (compression on/off), dependent/precedent queries, graph
+// maintenance, R-tree primitives, and formula parsing.
+
+#include <benchmark/benchmark.h>
+
+#include "corpus/generator.h"
+#include "formula/parser.h"
+#include "graph/nocomp_graph.h"
+#include "rtree/rtree.h"
+#include "taco/taco_graph.h"
+
+namespace taco {
+namespace {
+
+// A mid-size corpus sheet shared across benchmarks (generated once).
+const CorpusSheet& SharedSheet() {
+  static const CorpusSheet* sheet = [] {
+    CorpusProfile p = CorpusProfile::Enron();
+    p.num_sheets = 1;
+    p.min_formulas_per_sheet = 8000;
+    p.max_formulas_per_sheet = 8000;
+    p.max_region_len = 2000;
+    auto* out = new CorpusSheet(CorpusGenerator(p).GenerateSheet(0));
+    return out;
+  }();
+  return *sheet;
+}
+
+const std::vector<Dependency>& SharedDeps() {
+  static const std::vector<Dependency>* deps =
+      new std::vector<Dependency>(CollectDependencies(SharedSheet().sheet));
+  return *deps;
+}
+
+void BM_TacoBuild(benchmark::State& state) {
+  const auto& deps = SharedDeps();
+  for (auto _ : state) {
+    TacoGraph graph;
+    for (const Dependency& d : deps) (void)graph.AddDependency(d);
+    benchmark::DoNotOptimize(graph.NumEdges());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(deps.size()));
+}
+BENCHMARK(BM_TacoBuild)->Unit(benchmark::kMillisecond);
+
+void BM_NoCompBuild(benchmark::State& state) {
+  const auto& deps = SharedDeps();
+  for (auto _ : state) {
+    NoCompGraph graph;
+    for (const Dependency& d : deps) (void)graph.AddDependency(d);
+    benchmark::DoNotOptimize(graph.NumEdges());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(deps.size()));
+}
+BENCHMARK(BM_NoCompBuild)->Unit(benchmark::kMillisecond);
+
+void BM_TacoFindDependents(benchmark::State& state) {
+  static TacoGraph* graph = [] {
+    auto* g = new TacoGraph();
+    for (const Dependency& d : SharedDeps()) (void)g->AddDependency(d);
+    return g;
+  }();
+  const Cell query = SharedSheet().max_dependents_cell;
+  for (auto _ : state) {
+    auto result = graph->FindDependents(Range(query));
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_TacoFindDependents)->Unit(benchmark::kMicrosecond);
+
+void BM_NoCompFindDependents(benchmark::State& state) {
+  static NoCompGraph* graph = [] {
+    auto* g = new NoCompGraph();
+    for (const Dependency& d : SharedDeps()) (void)g->AddDependency(d);
+    return g;
+  }();
+  const Cell query = SharedSheet().max_dependents_cell;
+  for (auto _ : state) {
+    auto result = graph->FindDependents(Range(query));
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_NoCompFindDependents)->Unit(benchmark::kMicrosecond);
+
+void BM_TacoFindPrecedents(benchmark::State& state) {
+  static TacoGraph* graph = [] {
+    auto* g = new TacoGraph();
+    for (const Dependency& d : SharedDeps()) (void)g->AddDependency(d);
+    return g;
+  }();
+  const Cell query = SharedSheet().max_dependents_cell;
+  for (auto _ : state) {
+    auto result = graph->FindPrecedents(Range(query));
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_TacoFindPrecedents)->Unit(benchmark::kMicrosecond);
+
+void BM_TacoModify(benchmark::State& state) {
+  const auto& deps = SharedDeps();
+  const Cell anchor = SharedSheet().max_dependents_cell;
+  Range cleared(anchor.col, anchor.row, anchor.col, anchor.row + 200);
+  for (auto _ : state) {
+    state.PauseTiming();
+    TacoGraph graph;
+    for (const Dependency& d : deps) (void)graph.AddDependency(d);
+    state.ResumeTiming();
+    (void)graph.RemoveFormulaCells(cleared);
+  }
+}
+BENCHMARK(BM_TacoModify)->Unit(benchmark::kMillisecond);
+
+void BM_RTreeInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    RTree tree;
+    for (int i = 0; i < 1000; ++i) {
+      tree.Insert(Range(i % 50 + 1, i + 1, i % 50 + 2, i + 3),
+                  static_cast<uint64_t>(i));
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_RTreeInsert)->Unit(benchmark::kMicrosecond);
+
+void BM_RTreeSearch(benchmark::State& state) {
+  static RTree* tree = [] {
+    auto* t = new RTree();
+    for (int i = 0; i < 10000; ++i) {
+      t->Insert(Range(i % 100 + 1, i / 10 + 1, i % 100 + 2, i / 10 + 4),
+                static_cast<uint64_t>(i));
+    }
+    return t;
+  }();
+  std::vector<RTree::EntryId> out;
+  int i = 0;
+  for (auto _ : state) {
+    out.clear();
+    tree->SearchOverlap(Range(i % 100 + 1, i % 900 + 1, i % 100 + 3,
+                              i % 900 + 10),
+                        &out);
+    benchmark::DoNotOptimize(out);
+    ++i;
+  }
+}
+BENCHMARK(BM_RTreeSearch)->Unit(benchmark::kMicrosecond);
+
+void BM_ParseFormula(benchmark::State& state) {
+  for (auto _ : state) {
+    auto ast = ParseFormula("IF(A3=A2,SUM($B$1:B4)+M3*2,VLOOKUP(A3,D1:E9,2))");
+    benchmark::DoNotOptimize(ast);
+  }
+}
+BENCHMARK(BM_ParseFormula)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace taco
+
+BENCHMARK_MAIN();

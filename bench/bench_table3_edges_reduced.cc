@@ -1,0 +1,49 @@
+// Table III: per-sheet number of edges reduced by compression
+// (|E'| - |E|): max / 75th percentile / median / mean, both variants and
+// corpora. Higher is better.
+
+#include <cstdio>
+
+#include "compression_survey.h"
+
+namespace taco::bench {
+namespace {
+
+void Report(const CorpusSurvey& survey) {
+  std::vector<uint64_t> inrow, full;
+  for (const SheetSurvey& s : survey.sheets) {
+    inrow.push_back(s.nocomp_edges - s.inrow_edges);
+    full.push_back(s.nocomp_edges - s.full_edges);
+  }
+  TablePrinter table(
+      {survey.corpus, "Max", "75th per.", "Median", "Mean"});
+  auto row = [&](const std::string& name, std::vector<uint64_t> xs) {
+    std::vector<double> d(xs.begin(), xs.end());
+    table.AddRow({name, std::to_string(PercentileU64(xs, 100)),
+                  std::to_string(PercentileU64(xs, 75)),
+                  std::to_string(PercentileU64(xs, 50)),
+                  std::to_string(static_cast<uint64_t>(Mean(d)))});
+  };
+  row("TACO-InRow", inrow);
+  row("TACO-Full", full);
+  table.Print();
+}
+
+}  // namespace
+}  // namespace taco::bench
+
+int main() {
+  using namespace taco::bench;
+  PrintHeader("Number of edges reduced by TACO (higher is better)",
+              "Table III (Sec. VI-B)");
+  Report(RunCompressionSurvey(BenchEnron()));
+  std::printf("\n");
+  Report(RunCompressionSurvey(BenchGithub()));
+  std::printf(
+      "\nPaper reference (full-size corpora):\n"
+      "  Enron : InRow max 142K mean 19K; Full max 700K mean 38K\n"
+      "  Github: InRow max 1.69M mean 45K; Full max 3.14M mean 79K\n"
+      "Shape check: TACO-Full reduces more edges than TACO-InRow at every\n"
+      "statistic, and Github reductions exceed Enron's.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Table IV: per-sheet fraction of edges remaining after compression
+// (|E| / |E'|): min / 25th percentile / median / mean. Lower is better.
+
+#include <cstdio>
+
+#include "compression_survey.h"
+
+namespace taco::bench {
+namespace {
+
+void Report(const CorpusSurvey& survey) {
+  std::vector<double> inrow, full;
+  for (const SheetSurvey& s : survey.sheets) {
+    if (s.nocomp_edges == 0) continue;
+    inrow.push_back(100.0 * static_cast<double>(s.inrow_edges) /
+                    static_cast<double>(s.nocomp_edges));
+    full.push_back(100.0 * static_cast<double>(s.full_edges) /
+                   static_cast<double>(s.nocomp_edges));
+  }
+  TablePrinter table({survey.corpus, "Min", "25th per.", "Median", "Mean"});
+  auto pct = [](double v) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.2f%%", v);
+    return std::string(buffer);
+  };
+  auto row = [&](const std::string& name, const std::vector<double>& xs) {
+    table.AddRow({name, pct(Percentile(xs, 0)), pct(Percentile(xs, 25)),
+                  pct(Percentile(xs, 50)), pct(Mean(xs))});
+  };
+  row("TACO-InRow", inrow);
+  row("TACO-Full", full);
+  table.Print();
+}
+
+}  // namespace
+}  // namespace taco::bench
+
+int main() {
+  using namespace taco::bench;
+  PrintHeader("Remaining edges after compression (lower is better)",
+              "Table IV (Sec. VI-B)");
+  Report(RunCompressionSurvey(BenchEnron()));
+  std::printf("\n");
+  Report(RunCompressionSurvey(BenchGithub()));
+  std::printf(
+      "\nPaper reference (full-size corpora):\n"
+      "  Enron : InRow median 39.8%% mean 42.3%%; Full median 1.9%% mean 7.4%%\n"
+      "  Github: InRow median 17.5%% mean 36.5%%; Full median 0.2%% mean 3.4%%\n"
+      "Shape check: TACO-Full keeps only a few percent of the edges;\n"
+      "Github compresses further than Enron (cleaner autofill regions).\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Table V: number of edges reduced by each pattern — corpus total and
+// per-sheet maximum. Also reports the Sec. V RR-GapOne comparison
+// (generated gap regions, extended pattern set).
+
+#include <cstdio>
+
+#include "compression_survey.h"
+
+namespace taco::bench {
+namespace {
+
+void Report(const CorpusSurvey& enron, const CorpusSurvey& github) {
+  const PatternType kOrder[] = {PatternType::kRR, PatternType::kRF,
+                                PatternType::kFR, PatternType::kFF,
+                                PatternType::kRRChain};
+  TablePrinter table({"Pattern", "Enron Total", "Enron Max", "Github Total",
+                      "Github Max"});
+  auto totals = [&](const CorpusSurvey& survey, PatternType type,
+                    uint64_t* total, uint64_t* max) {
+    *total = 0;
+    *max = 0;
+    for (const SheetSurvey& s : survey.sheets) {
+      auto it = s.pattern_stats.find(type);
+      if (it == s.pattern_stats.end()) continue;
+      *total += it->second.reduced();
+      *max = std::max(*max, it->second.reduced());
+    }
+  };
+  for (PatternType type : kOrder) {
+    uint64_t et, em, gt, gm;
+    totals(enron, type, &et, &em);
+    totals(github, type, &gt, &gm);
+    table.AddRow({std::string(PatternTypeToString(type)), std::to_string(et),
+                  std::to_string(em), std::to_string(gt),
+                  std::to_string(gm)});
+  }
+  table.Print();
+}
+
+void GapOneComparison() {
+  std::printf("\nSec. V extension: RR vs RR-GapOne prevalence\n");
+  CorpusProfile p = BenchEnron();
+  p.name = "Enron+gaps";
+  p.num_sheets = std::max(2, p.num_sheets / 2);
+  p.gap_region_probability = 0.15;  // some gapped derived regions
+  TacoOptions extended;
+  extended.patterns = ExtendedPatternSet();
+  CorpusSurvey survey = RunCompressionSurvey(p, extended);
+
+  uint64_t rr = 0, gap = 0;
+  for (const SheetSurvey& s : survey.sheets) {
+    auto it = s.pattern_stats.find(PatternType::kRR);
+    if (it != s.pattern_stats.end()) rr += it->second.reduced();
+    it = s.pattern_stats.find(PatternType::kRRGapOne);
+    if (it != s.pattern_stats.end()) gap += it->second.reduced();
+  }
+  std::printf("  edges reduced: RR %llu vs RR-GapOne %llu (paper: 17.4M vs\n"
+              "  195K on Enron, 141.9M vs 275K on Github — GapOne marginal)\n",
+              static_cast<unsigned long long>(rr),
+              static_cast<unsigned long long>(gap));
+}
+
+}  // namespace
+}  // namespace taco::bench
+
+int main() {
+  using namespace taco::bench;
+  PrintHeader("Edges reduced by each pattern (higher is better)",
+              "Table V (Sec. VI-B) + Sec. V RR-GapOne stats");
+  CorpusSurvey enron = RunCompressionSurvey(BenchEnron());
+  CorpusSurvey github = RunCompressionSurvey(BenchGithub());
+  Report(enron, github);
+  std::printf(
+      "\nPaper reference (full-size corpora):\n"
+      "  RR 17.4M/141.9M, FF 3.84M/24.8M, RR-Chain 566K/5.87M,\n"
+      "  FR 151K/179K, RF 1.9K/13.4K (Enron/Github totals)\n"
+      "Shape check: RR >> FF >> RR-Chain >> FR >> RF in both corpora.\n");
+  GapOneComparison();
+  return 0;
+}

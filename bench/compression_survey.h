@@ -1,0 +1,106 @@
+// Shared computation for Tables II-V: per-sheet graph sizes under NoComp,
+// TACO-InRow, and TACO-Full, plus per-pattern reduction stats.
+
+#ifndef TACO_BENCH_COMPRESSION_SURVEY_H_
+#define TACO_BENCH_COMPRESSION_SURVEY_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "bench_util.h"
+#include "graph/nocomp_graph.h"
+#include "taco/taco_graph.h"
+
+namespace taco::bench {
+
+struct SheetSurvey {
+  uint64_t nocomp_vertices = 0;
+  uint64_t nocomp_edges = 0;
+  uint64_t inrow_vertices = 0;
+  uint64_t inrow_edges = 0;
+  uint64_t full_vertices = 0;
+  uint64_t full_edges = 0;
+  std::unordered_map<PatternType, PatternStat> pattern_stats;
+};
+
+struct CorpusSurvey {
+  std::string corpus;
+  std::vector<SheetSurvey> sheets;
+
+  uint64_t TotalNoCompVertices() const;
+  uint64_t TotalNoCompEdges() const;
+  uint64_t TotalInRowVertices() const;
+  uint64_t TotalInRowEdges() const;
+  uint64_t TotalFullVertices() const;
+  uint64_t TotalFullEdges() const;
+};
+
+/// Builds all three graphs for every sheet of `profile` and collects the
+/// size statistics (used by the Table II/III/IV/V benches).
+inline CorpusSurvey RunCompressionSurvey(const CorpusProfile& profile,
+                                         const TacoOptions& full_options =
+                                             TacoOptions::Full()) {
+  CorpusSurvey survey;
+  survey.corpus = profile.name;
+  auto sheets = LoadCorpus(profile);
+  for (const CorpusSheet& cs : sheets) {
+    std::vector<Dependency> deps = CollectDependencies(cs.sheet);
+    SheetSurvey s;
+    {
+      NoCompGraph g;
+      for (const Dependency& d : deps) (void)g.AddDependency(d);
+      s.nocomp_vertices = g.NumVertices();
+      s.nocomp_edges = g.NumEdges();
+    }
+    {
+      TacoGraph g{TacoOptions::InRow()};
+      for (const Dependency& d : deps) (void)g.AddDependency(d);
+      s.inrow_vertices = g.NumVertices();
+      s.inrow_edges = g.NumEdges();
+    }
+    {
+      TacoGraph g{full_options};
+      for (const Dependency& d : deps) (void)g.AddDependency(d);
+      s.full_vertices = g.NumVertices();
+      s.full_edges = g.NumEdges();
+      s.pattern_stats = g.PatternStats();
+    }
+    survey.sheets.push_back(std::move(s));
+  }
+  return survey;
+}
+
+inline uint64_t CorpusSurvey::TotalNoCompVertices() const {
+  uint64_t t = 0;
+  for (const auto& s : sheets) t += s.nocomp_vertices;
+  return t;
+}
+inline uint64_t CorpusSurvey::TotalNoCompEdges() const {
+  uint64_t t = 0;
+  for (const auto& s : sheets) t += s.nocomp_edges;
+  return t;
+}
+inline uint64_t CorpusSurvey::TotalInRowVertices() const {
+  uint64_t t = 0;
+  for (const auto& s : sheets) t += s.inrow_vertices;
+  return t;
+}
+inline uint64_t CorpusSurvey::TotalInRowEdges() const {
+  uint64_t t = 0;
+  for (const auto& s : sheets) t += s.inrow_edges;
+  return t;
+}
+inline uint64_t CorpusSurvey::TotalFullVertices() const {
+  uint64_t t = 0;
+  for (const auto& s : sheets) t += s.full_vertices;
+  return t;
+}
+inline uint64_t CorpusSurvey::TotalFullEdges() const {
+  uint64_t t = 0;
+  for (const auto& s : sheets) t += s.full_edges;
+  return t;
+}
+
+}  // namespace taco::bench
+
+#endif  // TACO_BENCH_COMPRESSION_SURVEY_H_

@@ -1,0 +1,85 @@
+// Recalculation: a live spreadsheet engine on top of the formula graph —
+// the paper's motivating application (Sec. I). An update's latency is
+// dominated by identifying the dirty set; swapping the graph from NoComp
+// to TACO shrinks exactly that step.
+//
+//   $ ./recalculation
+
+#include <cstdio>
+
+#include "eval/recalc.h"
+#include "graph/nocomp_graph.h"
+#include "taco/taco_graph.h"
+
+using namespace taco;
+
+namespace {
+
+// A year-to-date ledger: amounts in B, running totals in C (a chain), a
+// commission rate in F1 applied in column D.
+Sheet LedgerSheet(int rows) {
+  Sheet sheet;
+  for (int row = 1; row <= rows; ++row) {
+    (void)sheet.SetNumber(Cell{2, row}, (row * 37) % 250);  // B: amounts
+  }
+  (void)sheet.SetNumber(Cell{6, 1}, 0.15);  // F1: commission rate
+  (void)sheet.SetFormula(Cell{3, 1}, "B1");
+  (void)sheet.SetFormula(Cell{3, 2}, "C1+B2");  // running total chain
+  (void)Autofill(&sheet, Cell{3, 2}, Range(3, 2, 3, rows));
+  (void)sheet.SetFormula(Cell{4, 1}, "C1*$F$1");  // commission column
+  (void)Autofill(&sheet, Cell{4, 1}, Range(4, 1, 4, rows));
+  return sheet;
+}
+
+void Demo(const char* label, Sheet sheet, DependencyGraph* graph) {
+  (void)BuildGraphFromSheet(sheet, graph);
+  RecalcEngine engine(&sheet, graph);
+
+  std::printf("--- %s (%zu graph edges) ---\n", label, graph->NumEdges());
+  std::printf("C10000 initial: %s\n",
+              engine.GetValue(Cell{3, 10000}).ToString().c_str());
+
+  // Update B5: the running total chain and every commission below row 5
+  // must recalculate.
+  auto result = engine.SetNumber(Cell{2, 5}, 1000);
+  if (!result.ok()) {
+    std::printf("update failed: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf(
+      "update B5: %llu dirty cells found in %.3f ms, %llu recalculated\n",
+      static_cast<unsigned long long>(result->dirty_cells),
+      result->find_dependents_ms,
+      static_cast<unsigned long long>(result->recalculated));
+  std::printf("C10000 after: %s\n",
+              engine.GetValue(Cell{3, 10000}).ToString().c_str());
+
+  // Change the commission rate: only column D is dirty.
+  result = engine.SetNumber(Cell{6, 1}, 0.2);
+  std::printf(
+      "update F1: %llu dirty cells found in %.3f ms\n",
+      static_cast<unsigned long long>(result->dirty_cells),
+      result->find_dependents_ms);
+  std::printf("D123 (commission): %s\n",
+              engine.GetValue(Cell{4, 123}).ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  const int kRows = 10000;
+  {
+    TacoGraph graph;
+    Demo("TACO-backed engine", LedgerSheet(kRows), &graph);
+  }
+  std::printf("\n");
+  {
+    NoCompGraph graph;
+    Demo("NoComp-backed engine", LedgerSheet(kRows), &graph);
+  }
+  std::printf(
+      "\nThe engines compute identical values; the dirty-set time (the\n"
+      "part on the critical path for returning control to the user) is\n"
+      "where TACO wins.\n");
+  return 0;
+}

@@ -1,0 +1,264 @@
+// taco_shell: an interactive mini-spreadsheet REPL over the full stack —
+// sheet model, formula parser, TACO-compressed formula graph, evaluator,
+// and recalculation engine. A fifth runnable example, and a handy way to
+// poke at compression behavior by hand.
+//
+//   $ ./taco_shell
+//   > set B1 = =SUM(A1:A3)
+//   > set A1 = 5
+//   > get B1
+//   > deps A1
+//   > precs B1
+//   > fill B1 B1:B100
+//   > stats
+//   > save /tmp/demo.tsheet
+//
+// Reads commands from stdin; also accepts a script file as argv[1].
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "eval/recalc.h"
+#include "sheet/textio.h"
+#include "taco/taco_graph.h"
+
+using namespace taco;
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  set <cell> = <value|=formula>   write a cell (and recalculate)\n"
+      "  get <cell>                      evaluate and print a cell\n"
+      "  show <cell>                     print the stored content\n"
+      "  deps <cell|range>               transitive dependents\n"
+      "  precs <cell|range>              transitive precedents\n"
+      "  clear <range>                   clear cells\n"
+      "  fill <src> <range>              autofill from a source cell\n"
+      "  stats                           graph compression statistics\n"
+      "  edges                           list compressed edges\n"
+      "  save <path> | load <path>       .tsheet round trip\n"
+      "  help | quit\n");
+}
+
+struct Shell {
+  Sheet sheet;
+  TacoGraph graph;
+  RecalcEngine engine{&sheet, &graph};
+
+  // Rebuilds graph and engine after bulk operations (fill/load).
+  void Rebuild() {
+    graph = TacoGraph();
+    (void)BuildGraphFromSheet(sheet, &graph);
+    engine = RecalcEngine(&sheet, &graph);
+  }
+
+  void PrintRanges(const std::vector<Range>& ranges) {
+    if (ranges.empty()) {
+      std::printf("(none)\n");
+      return;
+    }
+    uint64_t cells = 0;
+    for (const Range& r : ranges) {
+      std::printf("%s ", r.ToString().c_str());
+      cells += r.Area();
+    }
+    std::printf(" [%llu cells in %zu ranges]\n",
+                static_cast<unsigned long long>(cells), ranges.size());
+  }
+
+  bool Execute(const std::string& line) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty() || cmd[0] == '#') return true;
+    if (cmd == "quit" || cmd == "exit") return false;
+    if (cmd == "help") {
+      PrintHelp();
+      return true;
+    }
+
+    auto parse_cell = [&](const std::string& text) -> std::optional<Cell> {
+      auto cell = ParseCellA1(text);
+      if (!cell.ok()) {
+        std::printf("bad cell '%s': %s\n", text.c_str(),
+                    cell.status().ToString().c_str());
+        return std::nullopt;
+      }
+      return *cell;
+    };
+    auto parse_range = [&](const std::string& text) -> std::optional<Range> {
+      auto ref = ParseA1(text);
+      if (!ref.ok()) {
+        std::printf("bad range '%s': %s\n", text.c_str(),
+                    ref.status().ToString().c_str());
+        return std::nullopt;
+      }
+      return ref->range;
+    };
+
+    if (cmd == "set") {
+      std::string cell_text, eq;
+      in >> cell_text >> eq;
+      std::string rest;
+      std::getline(in, rest);
+      while (!rest.empty() && rest.front() == ' ') rest.erase(rest.begin());
+      auto cell = parse_cell(cell_text);
+      if (!cell || eq != "=") {
+        if (eq != "=") std::printf("usage: set <cell> = <value>\n");
+        return true;
+      }
+      Result<RecalcResult> result = [&]() -> Result<RecalcResult> {
+        if (!rest.empty() && rest[0] == '=') {
+          return engine.SetFormula(*cell, rest.substr(1));
+        }
+        char* end = nullptr;
+        double number = std::strtod(rest.c_str(), &end);
+        if (end == rest.c_str() + rest.size() && !rest.empty()) {
+          return engine.SetNumber(*cell, number);
+        }
+        return engine.SetText(*cell, rest);
+      }();
+      if (!result.ok()) {
+        std::printf("error: %s\n", result.status().ToString().c_str());
+      } else {
+        std::printf("%s = %s  (%llu dirty, dirty-set in %.3f ms)\n",
+                    cell->ToString().c_str(),
+                    engine.GetValue(*cell).ToString().c_str(),
+                    static_cast<unsigned long long>(result->dirty_cells),
+                    result->find_dependents_ms);
+      }
+      return true;
+    }
+    if (cmd == "get") {
+      std::string text;
+      in >> text;
+      if (auto cell = parse_cell(text)) {
+        std::printf("%s = %s\n", cell->ToString().c_str(),
+                    engine.GetValue(*cell).ToString().c_str());
+      }
+      return true;
+    }
+    if (cmd == "show") {
+      std::string text;
+      in >> text;
+      if (auto cell = parse_cell(text)) {
+        const CellContent* content = sheet.Get(*cell);
+        std::printf("%s: %s\n", cell->ToString().c_str(),
+                    content ? content->ToString().c_str() : "(blank)");
+      }
+      return true;
+    }
+    if (cmd == "deps" || cmd == "precs") {
+      std::string text;
+      in >> text;
+      if (auto range = parse_range(text)) {
+        PrintRanges(cmd == "deps" ? graph.FindDependents(*range)
+                                  : graph.FindPrecedents(*range));
+      }
+      return true;
+    }
+    if (cmd == "clear") {
+      std::string text;
+      in >> text;
+      if (auto range = parse_range(text)) {
+        Status s = engine.ClearRange(*range).status();
+        std::printf("%s\n", s.ok() ? "ok" : s.ToString().c_str());
+      }
+      return true;
+    }
+    if (cmd == "fill") {
+      std::string src_text, range_text;
+      in >> src_text >> range_text;
+      auto src = parse_cell(src_text);
+      auto range = parse_range(range_text);
+      if (src && range) {
+        Status s = Autofill(&sheet, *src, *range);
+        if (!s.ok()) {
+          std::printf("autofill failed: %s\n", s.ToString().c_str());
+        } else {
+          Rebuild();
+          std::printf("filled %s; graph now %zu edges for %llu deps\n",
+                      range->ToString().c_str(), graph.NumEdges(),
+                      static_cast<unsigned long long>(
+                          graph.NumRawDependencies()));
+        }
+      }
+      return true;
+    }
+    if (cmd == "stats") {
+      std::printf("cells %zu, formulas %zu, compressed edges %zu, raw deps "
+                  "%llu, vertices %zu\n",
+                  sheet.cell_count(), sheet.formula_cell_count(),
+                  graph.NumEdges(),
+                  static_cast<unsigned long long>(graph.NumRawDependencies()),
+                  graph.NumVertices());
+      for (const auto& [type, stat] : graph.PatternStats()) {
+        std::printf("  %-9s edges=%llu deps=%llu reduced=%llu\n",
+                    std::string(PatternTypeToString(type)).c_str(),
+                    static_cast<unsigned long long>(stat.edges),
+                    static_cast<unsigned long long>(stat.dependencies),
+                    static_cast<unsigned long long>(stat.reduced()));
+      }
+      return true;
+    }
+    if (cmd == "edges") {
+      graph.ForEachEdge([](const CompressedEdge& edge) {
+        std::printf("  %s\n", edge.ToString().c_str());
+      });
+      return true;
+    }
+    if (cmd == "save" || cmd == "load") {
+      std::string path;
+      in >> path;
+      if (cmd == "save") {
+        Status s = SaveSheetFile(sheet, path);
+        std::printf("%s\n", s.ok() ? "saved" : s.ToString().c_str());
+      } else {
+        auto loaded = LoadSheetFile(path);
+        if (!loaded.ok()) {
+          std::printf("%s\n", loaded.status().ToString().c_str());
+        } else {
+          sheet = std::move(*loaded);
+          Rebuild();
+          std::printf("loaded %zu cells, %zu compressed edges\n",
+                      sheet.cell_count(), graph.NumEdges());
+        }
+      }
+      return true;
+    }
+    std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
+    return true;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Shell shell;
+  std::istream* input = &std::cin;
+  std::ifstream script;
+  bool interactive = argc <= 1;
+  if (!interactive) {
+    script.open(argv[1]);
+    if (!script) {
+      std::printf("cannot open script '%s'\n", argv[1]);
+      return 1;
+    }
+    input = &script;
+  }
+  if (interactive) {
+    std::printf("taco_shell — type 'help' for commands\n");
+  }
+  std::string line;
+  while ((interactive && std::printf("> ") && std::fflush(stdout) == 0,
+          std::getline(*input, line))) {
+    if (!interactive) std::printf("> %s\n", line.c_str());
+    if (!shell.Execute(line)) break;
+  }
+  return 0;
+}

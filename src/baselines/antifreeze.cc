@@ -1,0 +1,115 @@
+#include "baselines/antifreeze.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/range_set.h"
+
+#include "baselines/deadline.h"
+
+namespace taco {
+
+Status AntifreezeGraph::AddDependency(const Dependency& dep) {
+  TACO_RETURN_IF_ERROR(base_.AddDependency(dep));
+  dependencies_.push_back(dep);
+  table_stale_ = true;
+  return Status::OK();
+}
+
+Status AntifreezeGraph::RemoveFormulaCells(const Range& cells) {
+  TACO_RETURN_IF_ERROR(base_.RemoveFormulaCells(cells));
+  dependencies_.erase(
+      std::remove_if(dependencies_.begin(), dependencies_.end(),
+                     [&cells](const Dependency& dep) {
+                       return cells.Contains(dep.dep);
+                     }),
+      dependencies_.end());
+  // Antifreeze rebuilds the whole table on any modification.
+  table_stale_ = true;
+  return Status::OK();
+}
+
+std::vector<Range> AntifreezeGraph::CompressDependents(
+    std::vector<Cell> cells) const {
+  std::vector<Range> out;
+  if (cells.empty()) return out;
+  std::sort(cells.begin(), cells.end());
+  // Chunk the column-major-sorted cells into K consecutive groups and
+  // bound each group: linear-time and mirrors the "few bounding ranges
+  // per cell" table layout of the original system.
+  size_t k = static_cast<size_t>(max_bounding_ranges_);
+  size_t n = cells.size();
+  size_t groups = std::min(k, n);
+  size_t per_group = (n + groups - 1) / groups;
+  for (size_t begin = 0; begin < n; begin += per_group) {
+    size_t end = std::min(begin + per_group, n);
+    Range box(cells[begin]);
+    for (size_t i = begin + 1; i < end; ++i) {
+      box = box.BoundingUnion(Range(cells[i]));
+    }
+    out.push_back(box);
+  }
+  return out;
+}
+
+bool AntifreezeGraph::BuildLookupTable() {
+  table_.clear();
+  build_timed_out_ = false;
+  Deadline deadline(build_budget_ms_);
+
+  // Key cells: every cell of every precedent range, plus every formula
+  // cell (any of them can be the target of an update). This per-cell
+  // expansion is exactly why Antifreeze builds are expensive on sheets
+  // with large ranges.
+  std::unordered_set<Cell> keys;
+  for (const Dependency& dep : dependencies_) {
+    for (const Cell& c : EnumerateCells(dep.prec)) {
+      keys.insert(c);
+      if (deadline.Expired()) {
+        build_timed_out_ = true;
+        table_stale_ = true;
+        return false;
+      }
+    }
+    keys.insert(dep.dep);
+  }
+
+  for (const Cell& key : keys) {
+    std::vector<Range> dependents = base_.FindDependents(Range(key));
+    std::vector<Cell> cells;
+    for (const Range& r : dependents) {
+      for (const Cell& c : EnumerateCells(r)) cells.push_back(c);
+    }
+    if (!cells.empty()) {
+      table_.emplace(key, CompressDependents(std::move(cells)));
+    }
+    if (deadline.Expired()) {
+      build_timed_out_ = true;
+      table_stale_ = true;
+      return false;
+    }
+  }
+  table_stale_ = false;
+  return true;
+}
+
+std::vector<Range> AntifreezeGraph::FindDependents(const Range& input) {
+  if (table_stale_ && !BuildLookupTable()) {
+    return {};
+  }
+  // Union of the table entries of the input cells. Entries are bounding
+  // ranges, so the result may over-approximate.
+  std::vector<Range> result;
+  for (const Cell& c : EnumerateCells(input)) {
+    auto it = table_.find(c);
+    if (it == table_.end()) continue;
+    result.insert(result.end(), it->second.begin(), it->second.end());
+  }
+  return DisjointifyRanges(result);
+}
+
+std::vector<Range> AntifreezeGraph::FindPrecedents(const Range& input) {
+  return base_.FindPrecedents(input);
+}
+
+}  // namespace taco

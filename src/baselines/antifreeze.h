@@ -1,0 +1,82 @@
+// Antifreeze-style compressed dependents table (the comparison system of
+// Sec. VI-D, from Bendre et al., SIGMOD'19 [7]).
+//
+// Antifreeze takes the opposite approach to TACO: it precomputes the full
+// transitive dependents of every cell and compresses each dependent set
+// into at most K bounding ranges stored in a per-cell look-up table.
+// Queries are then a single table hit, but:
+//   * the bounding ranges over-approximate, so results can contain false
+//     positives (cells that do not actually depend on the input), and
+//   * any formula change invalidates the table, which is rebuilt from
+//     scratch — the build/maintenance costs the paper measures in
+//     Figs. 13-15 (Antifreeze finished building for only 4 of 20 sheets).
+//
+// The table rebuild honors an optional time budget so benches can apply
+// the paper's 300 s DNF cutoff.
+
+#ifndef TACO_BASELINES_ANTIFREEZE_H_
+#define TACO_BASELINES_ANTIFREEZE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/dependency_graph.h"
+#include "graph/nocomp_graph.h"
+
+namespace taco {
+
+/// Antifreeze baseline. Implements DependencyGraph; FindDependents may
+/// return a superset of the true dependents (bounding-range compression).
+class AntifreezeGraph : public DependencyGraph {
+ public:
+  /// `max_bounding_ranges` is K; the paper (and its original) use 20.
+  explicit AntifreezeGraph(int max_bounding_ranges = 20)
+      : max_bounding_ranges_(max_bounding_ranges) {}
+
+  Status AddDependency(const Dependency& dep) override;
+
+  /// Looks up the precomputed dependents. Triggers a (re)build when the
+  /// table is stale. Returns an empty result if the build deadline
+  /// expired (check build_timed_out()).
+  std::vector<Range> FindDependents(const Range& input) override;
+
+  /// Precedents are not precomputed by Antifreeze; answered via the
+  /// underlying uncompressed graph.
+  std::vector<Range> FindPrecedents(const Range& input) override;
+
+  Status RemoveFormulaCells(const Range& cells) override;
+
+  size_t NumVertices() const override { return base_.NumVertices(); }
+  size_t NumEdges() const override { return base_.NumEdges(); }
+  std::string Name() const override { return "Antifreeze"; }
+
+  /// Wall-clock budget for one table rebuild; 0 = unlimited.
+  void set_build_budget_ms(double ms) { build_budget_ms_ = ms; }
+
+  /// True when the last rebuild hit the budget (the DNF condition).
+  bool build_timed_out() const { return build_timed_out_; }
+
+  /// Forces the table rebuild now (normally lazy). Returns false on
+  /// deadline expiry.
+  bool BuildLookupTable();
+
+  size_t lookup_table_size() const { return table_.size(); }
+
+ private:
+  /// Greedy compression of a dependent cell set into <= K ranges:
+  /// column-major sort, then chunked bounding boxes.
+  std::vector<Range> CompressDependents(std::vector<Cell> cells) const;
+
+  int max_bounding_ranges_;
+  NoCompGraph base_;  ///< The uncompressed graph Antifreeze builds on.
+  std::vector<Dependency> dependencies_;  ///< For rebuilds.
+  std::unordered_map<Cell, std::vector<Range>> table_;
+  bool table_stale_ = true;
+  double build_budget_ms_ = 0;
+  bool build_timed_out_ = false;
+};
+
+}  // namespace taco
+
+#endif  // TACO_BASELINES_ANTIFREEZE_H_

@@ -1,0 +1,162 @@
+#include "baselines/calcgraph.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "baselines/deadline.h"
+#include "common/range_set.h"
+
+namespace taco {
+
+CalcGraph::VertexId CalcGraph::InternVertex(const Range& range) {
+  auto it = vertex_by_range_.find(range);
+  if (it != vertex_by_range_.end()) return it->second;
+  VertexId id = static_cast<VertexId>(vertices_.size());
+  vertices_.push_back(Vertex{range, {}, {}, true});
+  vertex_by_range_.emplace(range, id);
+  ForEachContainer(range, [&](ContainerKey key) {
+    containers_[key].push_back(id);
+  });
+  ++live_vertices_;
+  return id;
+}
+
+void CalcGraph::RemoveVertexIfOrphan(VertexId id) {
+  Vertex& vertex = vertices_[id];
+  if (!vertex.alive || !vertex.out_edges.empty() || !vertex.in_edges.empty()) {
+    return;
+  }
+  vertex.alive = false;
+  --live_vertices_;
+  vertex_by_range_.erase(vertex.range);
+  ForEachContainer(vertex.range, [&](ContainerKey key) {
+    auto it = containers_.find(key);
+    if (it == containers_.end()) return;
+    auto& list = it->second;
+    list.erase(std::remove(list.begin(), list.end(), id), list.end());
+    if (list.empty()) containers_.erase(it);
+  });
+}
+
+void CalcGraph::RemoveEdge(EdgeId id) {
+  Edge& edge = edges_[id];
+  if (!edge.alive) return;
+  edge.alive = false;
+  --live_edges_;
+  auto unlink = [id](std::vector<EdgeId>* list) {
+    list->erase(std::remove(list->begin(), list->end(), id), list->end());
+  };
+  unlink(&vertices_[edge.prec].out_edges);
+  unlink(&vertices_[edge.dep].in_edges);
+  RemoveVertexIfOrphan(edge.prec);
+  RemoveVertexIfOrphan(edge.dep);
+}
+
+Status CalcGraph::AddDependency(const Dependency& dep) {
+  if (!dep.prec.IsValid() || !dep.dep.IsValid()) {
+    return Status::InvalidArgument("invalid dependency " +
+                                   dep.prec.ToString() + " -> " +
+                                   dep.dep.ToString());
+  }
+  VertexId prec = InternVertex(dep.prec);
+  VertexId dep_v = InternVertex(Range(dep.dep));
+  EdgeId edge = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{prec, dep_v, true});
+  vertices_[prec].out_edges.push_back(edge);
+  vertices_[dep_v].in_edges.push_back(edge);
+  ++live_edges_;
+  return Status::OK();
+}
+
+std::vector<Range> CalcGraph::FindDependents(const Range& input) {
+  counters_ = QueryCounters{};
+  query_timed_out_ = false;
+  Deadline deadline(query_budget_ms_);
+
+  std::vector<Range> result;
+  std::unordered_set<Cell> visited;
+  std::deque<Range> queue{input};
+
+  while (!queue.empty()) {
+    Range current = queue.front();
+    queue.pop_front();
+    bool expired = false;
+    ForEachOverlappingVertex(current, [&](VertexId id) {
+      const Vertex& vertex = vertices_[id];
+      ++counters_.vertex_visits;
+      for (EdgeId edge_id : vertex.out_edges) {
+        ++counters_.edge_accesses;
+        const Cell dep_cell = vertices_[edges_[edge_id].dep].range.head;
+        if (visited.insert(dep_cell).second) {
+          result.push_back(Range(dep_cell));
+          queue.push_back(Range(dep_cell));
+          ++counters_.result_ranges;
+        }
+        if (deadline.Expired()) expired = true;
+      }
+    });
+    if (expired) {
+      query_timed_out_ = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+std::vector<Range> CalcGraph::FindPrecedents(const Range& input) {
+  counters_ = QueryCounters{};
+  query_timed_out_ = false;
+  Deadline deadline(query_budget_ms_);
+
+  std::vector<Range> result;
+  std::unordered_set<VertexId> visited;
+  std::deque<Range> queue{input};
+
+  while (!queue.empty()) {
+    Range current = queue.front();
+    queue.pop_front();
+    bool expired = false;
+    ForEachOverlappingVertex(current, [&](VertexId id) {
+      const Vertex& vertex = vertices_[id];
+      ++counters_.vertex_visits;
+      for (EdgeId edge_id : vertex.in_edges) {
+        ++counters_.edge_accesses;
+        VertexId prec = edges_[edge_id].prec;
+        if (visited.insert(prec).second) {
+          const Range& prec_range = vertices_[prec].range;
+          result.push_back(prec_range);
+          queue.push_back(prec_range);
+          ++counters_.result_ranges;
+        }
+        if (deadline.Expired()) expired = true;
+      }
+    });
+    if (expired) {
+      query_timed_out_ = true;
+      return result;
+    }
+  }
+  return DisjointifyRanges(result);
+}
+
+Status CalcGraph::RemoveFormulaCells(const Range& cells) {
+  if (!cells.IsValid()) {
+    return Status::InvalidArgument("invalid range " + cells.ToString());
+  }
+  std::vector<VertexId> targets;
+  ForEachOverlappingVertex(cells, [&](VertexId id) {
+    const Vertex& vertex = vertices_[id];
+    if (cells.Contains(vertex.range) && !vertex.in_edges.empty()) {
+      targets.push_back(id);
+    }
+  });
+  for (VertexId vid : targets) {
+    std::vector<EdgeId> in_edges = vertices_[vid].in_edges;  // copy: mutated
+    for (EdgeId edge_id : in_edges) {
+      RemoveEdge(edge_id);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace taco

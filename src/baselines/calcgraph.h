@@ -1,0 +1,114 @@
+// CalcGraph: the NoComp-Calc baseline of Sec. VI-E.
+//
+// Reimplements the OpenOffice/LibreOffice Calc formula-dependency design
+// [6]: instead of an R-tree, the sheet space is pre-partitioned into
+// fixed-size rectangular containers; every vertex (range) is registered
+// in each container it overlaps, and an overlap lookup scans the vertex
+// lists of the containers covering the probe range. Large ranges register
+// in many containers and popular containers accumulate long lists, which
+// is why this design trails the R-tree on big sheets (Fig. 16).
+
+#ifndef TACO_BASELINES_CALCGRAPH_H_
+#define TACO_BASELINES_CALCGRAPH_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/dependency_graph.h"
+
+namespace taco {
+
+/// Uncompressed formula graph with container-partitioned overlap lookup.
+class CalcGraph : public DependencyGraph {
+ public:
+  /// Container geometry: the sheet splits into blocks of
+  /// `container_cols` x `container_rows` cells.
+  explicit CalcGraph(int32_t container_cols = 16,
+                     int32_t container_rows = 1024)
+      : container_cols_(container_cols), container_rows_(container_rows) {}
+
+  Status AddDependency(const Dependency& dep) override;
+  std::vector<Range> FindDependents(const Range& input) override;
+  std::vector<Range> FindPrecedents(const Range& input) override;
+  Status RemoveFormulaCells(const Range& cells) override;
+
+  size_t NumVertices() const override { return live_vertices_; }
+  size_t NumEdges() const override { return live_edges_; }
+  std::string Name() const override { return "NoComp-Calc"; }
+
+  /// Wall-clock budget per query; 0 = unlimited (paper cutoff: 300 s).
+  void set_query_budget_ms(double ms) { query_budget_ms_ = ms; }
+  bool query_timed_out() const { return query_timed_out_; }
+
+ private:
+  using VertexId = uint32_t;
+  using EdgeId = uint32_t;
+  /// Container coordinate, packed (block_col << 32 | block_row).
+  using ContainerKey = uint64_t;
+
+  struct Vertex {
+    Range range;
+    std::vector<EdgeId> out_edges;
+    std::vector<EdgeId> in_edges;
+    bool alive = true;
+  };
+  struct Edge {
+    VertexId prec = 0;
+    VertexId dep = 0;
+    bool alive = true;
+  };
+
+  ContainerKey KeyFor(int32_t block_col, int32_t block_row) const {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(block_col)) << 32) |
+           static_cast<uint32_t>(block_row);
+  }
+
+  /// Calls `fn(container_key)` for every container overlapping `r`.
+  template <typename Fn>
+  void ForEachContainer(const Range& r, Fn&& fn) const {
+    int32_t c0 = (r.head.col - 1) / container_cols_;
+    int32_t c1 = (r.tail.col - 1) / container_cols_;
+    int32_t r0 = (r.head.row - 1) / container_rows_;
+    int32_t r1 = (r.tail.row - 1) / container_rows_;
+    for (int32_t bc = c0; bc <= c1; ++bc) {
+      for (int32_t br = r0; br <= r1; ++br) {
+        fn(KeyFor(bc, br));
+      }
+    }
+  }
+
+  /// Calls `fn(vertex_id)` once per distinct vertex overlapping `probe`.
+  template <typename Fn>
+  void ForEachOverlappingVertex(const Range& probe, Fn&& fn) const {
+    std::unordered_set<VertexId> seen;
+    ForEachContainer(probe, [&](ContainerKey key) {
+      auto it = containers_.find(key);
+      if (it == containers_.end()) return;
+      for (VertexId id : it->second) {
+        if (!vertices_[id].range.Overlaps(probe)) continue;
+        if (seen.insert(id).second) fn(id);
+      }
+    });
+  }
+
+  VertexId InternVertex(const Range& range);
+  void RemoveVertexIfOrphan(VertexId id);
+  void RemoveEdge(EdgeId id);
+
+  int32_t container_cols_;
+  int32_t container_rows_;
+  std::vector<Vertex> vertices_;
+  std::vector<Edge> edges_;
+  std::unordered_map<Range, VertexId> vertex_by_range_;
+  std::unordered_map<ContainerKey, std::vector<VertexId>> containers_;
+  size_t live_vertices_ = 0;
+  size_t live_edges_ = 0;
+  double query_budget_ms_ = 0;
+  bool query_timed_out_ = false;
+};
+
+}  // namespace taco
+
+#endif  // TACO_BASELINES_CALCGRAPH_H_

@@ -1,0 +1,140 @@
+#include "baselines/cellgraph.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "baselines/deadline.h"
+#include "common/range_set.h"
+
+namespace taco {
+
+Status CellGraph::AddDependency(const Dependency& dep) {
+  if (!dep.prec.IsValid() || !dep.dep.IsValid()) {
+    return Status::InvalidArgument("invalid dependency " +
+                                   dep.prec.ToString() + " -> " +
+                                   dep.dep.ToString());
+  }
+  // Bulk-load decomposition: one cell-to-cell edge per precedent cell.
+  for (const Cell& prec_cell : EnumerateCells(dep.prec)) {
+    adjacency_[prec_cell].out.push_back(dep.dep);
+    adjacency_[dep.dep].in.push_back(prec_cell);
+    ++num_edges_;
+  }
+  return Status::OK();
+}
+
+std::vector<Range> CellGraph::FindDependents(const Range& input) {
+  counters_ = QueryCounters{};
+  query_timed_out_ = false;
+  Deadline deadline(query_budget_ms_);
+
+  std::vector<Range> result;
+  std::unordered_set<Cell> visited;
+  std::deque<Cell> queue;
+
+  // Without a spatial index, seeding a range query requires probing every
+  // cell of the input (graph databases match start nodes by property).
+  for (const Cell& c : EnumerateCells(input)) {
+    if (adjacency_.contains(c)) queue.push_back(c);
+    if (deadline.Expired()) {
+      query_timed_out_ = true;
+      return result;
+    }
+  }
+
+  while (!queue.empty()) {
+    Cell current = queue.front();
+    queue.pop_front();
+    auto it = adjacency_.find(current);
+    if (it == adjacency_.end()) continue;
+    ++counters_.vertex_visits;
+    for (const Cell& dep : it->second.out) {
+      ++counters_.edge_accesses;
+      if (visited.insert(dep).second) {
+        result.push_back(Range(dep));
+        queue.push_back(dep);
+        ++counters_.result_ranges;
+      }
+      if (deadline.Expired()) {
+        query_timed_out_ = true;
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<Range> CellGraph::FindPrecedents(const Range& input) {
+  counters_ = QueryCounters{};
+  query_timed_out_ = false;
+  Deadline deadline(query_budget_ms_);
+
+  std::vector<Range> result;
+  std::unordered_set<Cell> visited;
+  std::deque<Cell> queue;
+  for (const Cell& c : EnumerateCells(input)) {
+    if (adjacency_.contains(c)) queue.push_back(c);
+    if (deadline.Expired()) {
+      query_timed_out_ = true;
+      return result;
+    }
+  }
+
+  while (!queue.empty()) {
+    Cell current = queue.front();
+    queue.pop_front();
+    auto it = adjacency_.find(current);
+    if (it == adjacency_.end()) continue;
+    ++counters_.vertex_visits;
+    for (const Cell& prec : it->second.in) {
+      ++counters_.edge_accesses;
+      if (visited.insert(prec).second) {
+        result.push_back(Range(prec));
+        queue.push_back(prec);
+        ++counters_.result_ranges;
+      }
+      if (deadline.Expired()) {
+        query_timed_out_ = true;
+        return result;
+      }
+    }
+  }
+  return DisjointifyRanges(result);
+}
+
+Status CellGraph::RemoveFormulaCells(const Range& cells) {
+  if (!cells.IsValid()) {
+    return Status::InvalidArgument("invalid range " + cells.ToString());
+  }
+  // Collect formula cells in range (cells with incoming edges).
+  std::vector<Cell> targets;
+  for (const auto& [cell, entry] : adjacency_) {
+    if (cells.Contains(cell) && !entry.in.empty()) targets.push_back(cell);
+  }
+  for (const Cell& target : targets) {
+    CellEntry& entry = adjacency_[target];
+    std::vector<Cell> in_cells = std::move(entry.in);
+    entry.in.clear();
+    num_edges_ -= in_cells.size();
+    for (const Cell& prec : in_cells) {
+      auto it = adjacency_.find(prec);
+      if (it == adjacency_.end()) continue;
+      auto& out = it->second.out;
+      // Remove one occurrence per removed edge.
+      auto pos = std::find(out.begin(), out.end(), target);
+      if (pos != out.end()) out.erase(pos);
+      if (it->second.out.empty() && it->second.in.empty()) {
+        adjacency_.erase(it);
+      }
+    }
+    auto self = adjacency_.find(target);
+    if (self != adjacency_.end() && self->second.out.empty() &&
+        self->second.in.empty()) {
+      adjacency_.erase(self);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace taco

@@ -1,0 +1,60 @@
+// CellGraph: the RedisGraph-style baseline of Sec. VI-D.
+//
+// Graph databases have no notion of range vertices or spatial overlap, so
+// the paper decomposes every range edge into cell-to-cell edges before
+// bulk-loading ("an edge A1:A2 -> B1 is decomposed into A1 -> B1 and
+// A2 -> B1"). This baseline reproduces that representation: a hash-map
+// adjacency over single cells. Construction cost and memory explode with
+// range sizes — a SUM over 10k rows becomes 10k edges — which is exactly
+// the failure mode the paper measures (RedisGraph DNFs most of Fig. 13).
+//
+// Queries honor an optional deadline, mirroring the paper's 60 s cutoff
+// for RedisGraph dependent searches.
+
+#ifndef TACO_BASELINES_CELLGRAPH_H_
+#define TACO_BASELINES_CELLGRAPH_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/dependency_graph.h"
+
+namespace taco {
+
+/// Cell-granularity adjacency-list graph (no range vertices, no R-tree).
+class CellGraph : public DependencyGraph {
+ public:
+  CellGraph() = default;
+
+  Status AddDependency(const Dependency& dep) override;
+  std::vector<Range> FindDependents(const Range& input) override;
+  std::vector<Range> FindPrecedents(const Range& input) override;
+  Status RemoveFormulaCells(const Range& cells) override;
+
+  /// Vertices/edges of the decomposed cell-level graph (these are the
+  /// sizes a graph database would store).
+  size_t NumVertices() const override { return adjacency_.size(); }
+  size_t NumEdges() const override { return num_edges_; }
+  std::string Name() const override { return "CellGraph"; }
+
+  /// Wall-clock budget per query; 0 = unlimited.
+  void set_query_budget_ms(double ms) { query_budget_ms_ = ms; }
+  /// True when the last query hit the budget (the DNF condition).
+  bool query_timed_out() const { return query_timed_out_; }
+
+ private:
+  struct CellEntry {
+    std::vector<Cell> out;  ///< Cells that depend on this cell.
+    std::vector<Cell> in;   ///< Cells this cell depends on.
+  };
+
+  std::unordered_map<Cell, CellEntry> adjacency_;
+  size_t num_edges_ = 0;
+  double query_budget_ms_ = 0;
+  bool query_timed_out_ = false;
+};
+
+}  // namespace taco
+
+#endif  // TACO_BASELINES_CELLGRAPH_H_

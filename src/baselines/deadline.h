@@ -1,0 +1,51 @@
+// Cooperative deadline checking for the expensive comparison baselines.
+//
+// The paper marks baseline runs as DNF ("did not finish") when they exceed
+// a cutoff (300 s for builds, 60 s for RedisGraph queries, Sec. VI-D/E).
+// The baselines here are intentionally faithful to their originals' cost
+// profiles, so the benches need the same escape hatch: a deadline that the
+// long loops poll. A deadline of zero disables checking.
+
+#ifndef TACO_BASELINES_DEADLINE_H_
+#define TACO_BASELINES_DEADLINE_H_
+
+#include <chrono>
+
+namespace taco {
+
+/// Polls wall-clock time against a budget. Checking is amortized: the
+/// clock is read once every kCheckInterval calls.
+class Deadline {
+ public:
+  /// No deadline (never expires).
+  Deadline() = default;
+
+  /// Expires `budget_ms` from now; a budget of 0 never expires.
+  explicit Deadline(double budget_ms) : budget_ms_(budget_ms) {
+    start_ = std::chrono::steady_clock::now();
+  }
+
+  /// True once the budget is exhausted. Cheap enough for inner loops.
+  bool Expired() {
+    if (budget_ms_ <= 0) return false;
+    if (expired_) return true;
+    if (++calls_ % kCheckInterval != 0) return false;
+    double elapsed = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start_)
+                         .count();
+    expired_ = elapsed > budget_ms_;
+    return expired_;
+  }
+
+ private:
+  static constexpr uint32_t kCheckInterval = 256;
+
+  double budget_ms_ = 0;
+  std::chrono::steady_clock::time_point start_;
+  uint32_t calls_ = 0;
+  bool expired_ = false;
+};
+
+}  // namespace taco
+
+#endif  // TACO_BASELINES_DEADLINE_H_

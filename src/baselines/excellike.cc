@@ -1,0 +1,159 @@
+#include "baselines/excellike.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "baselines/deadline.h"
+#include "common/range_set.h"
+
+namespace taco {
+
+ExcelLikeGraph::ShapeKey ExcelLikeGraph::KeyOf(
+    const std::vector<RelRef>& shape) {
+  ShapeKey key;
+  key.reserve(shape.size());
+  for (const RelRef& ref : shape) {
+    key.push_back({{ref.head.dcol, ref.head.drow},
+                   {ref.tail.dcol, ref.tail.drow}});
+  }
+  return key;
+}
+
+void ExcelLikeGraph::RemoveCellFromRecord(const Cell& cell) {
+  auto it = shape_of_cell_.find(cell);
+  if (it == shape_of_cell_.end()) return;
+  ShapeKey key = KeyOf(it->second);
+  auto rec_it = record_by_shape_.find(key);
+  if (rec_it != record_by_shape_.end()) {
+    Record& record = records_[rec_it->second];
+    auto pos = std::find(record.cells.begin(), record.cells.end(), cell);
+    if (pos != record.cells.end()) {
+      record.cells.erase(pos);
+      raw_dependencies_ -= record.shape.size();
+    }
+    // Empty records stay as tombstones; Excel compacts lazily. They hold
+    // no cells, so traversal skips them at no correctness cost.
+  }
+}
+
+void ExcelLikeGraph::FileCellUnderRecord(const Cell& cell,
+                                         const std::vector<RelRef>& shape) {
+  ShapeKey key = KeyOf(shape);
+  auto [it, inserted] = record_by_shape_.try_emplace(key, records_.size());
+  if (inserted) {
+    records_.push_back(Record{shape, {}});
+  }
+  records_[it->second].cells.push_back(cell);
+  raw_dependencies_ += shape.size();
+}
+
+Status ExcelLikeGraph::AddDependency(const Dependency& dep) {
+  if (!dep.prec.IsValid() || !dep.dep.IsValid()) {
+    return Status::InvalidArgument("invalid dependency " +
+                                   dep.prec.ToString() + " -> " +
+                                   dep.dep.ToString());
+  }
+  // Accumulate the reference into the cell's shape and refile the cell:
+  // dependencies of one formula arrive one by one, and the final record
+  // is the full shape (matching shared-formula granularity).
+  RemoveCellFromRecord(dep.dep);
+  std::vector<RelRef>& shape = shape_of_cell_[dep.dep];
+  shape.push_back(RelRef{dep.prec.head - dep.dep, dep.prec.tail - dep.dep});
+  FileCellUnderRecord(dep.dep, shape);
+  return Status::OK();
+}
+
+std::vector<Range> ExcelLikeGraph::FindDependents(const Range& input) {
+  counters_ = QueryCounters{};
+  query_timed_out_ = false;
+  Deadline deadline(query_budget_ms_);
+
+  std::vector<Range> result;
+  std::unordered_set<Cell> visited;
+  std::deque<Range> queue{input};
+
+  while (!queue.empty()) {
+    Range current = queue.front();
+    queue.pop_front();
+    // Decompression scan: every record, every member cell, every
+    // reference — there is no index from ranges to referencing formulas.
+    for (const Record& record : records_) {
+      for (const Cell& cell : record.cells) {
+        ++counters_.vertex_visits;
+        bool depends = false;
+        for (const RelRef& ref : record.shape) {
+          ++counters_.edge_accesses;
+          if (Resolve(ref, cell).Overlaps(current)) {
+            depends = true;
+            break;
+          }
+        }
+        if (depends && visited.insert(cell).second) {
+          result.push_back(Range(cell));
+          queue.push_back(Range(cell));
+          ++counters_.result_ranges;
+        }
+        if (deadline.Expired()) {
+          query_timed_out_ = true;
+          return result;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<Range> ExcelLikeGraph::FindPrecedents(const Range& input) {
+  counters_ = QueryCounters{};
+  query_timed_out_ = false;
+  Deadline deadline(query_budget_ms_);
+
+  std::vector<Range> result;
+  std::vector<Range> visited_ranges;
+  std::deque<Range> queue{input};
+
+  while (!queue.empty()) {
+    Range current = queue.front();
+    queue.pop_front();
+    // Resolve the references of formula cells inside `current`.
+    for (const auto& [cell, shape] : shape_of_cell_) {
+      if (!current.Contains(cell)) continue;
+      ++counters_.vertex_visits;
+      for (const RelRef& ref : shape) {
+        ++counters_.edge_accesses;
+        Range window = Resolve(ref, cell);
+        bool seen = std::find(visited_ranges.begin(), visited_ranges.end(),
+                              window) != visited_ranges.end();
+        if (!seen) {
+          visited_ranges.push_back(window);
+          result.push_back(window);
+          queue.push_back(window);
+          ++counters_.result_ranges;
+        }
+        if (deadline.Expired()) {
+          query_timed_out_ = true;
+          return DisjointifyRanges(result);
+        }
+      }
+    }
+  }
+  return DisjointifyRanges(result);
+}
+
+Status ExcelLikeGraph::RemoveFormulaCells(const Range& cells) {
+  if (!cells.IsValid()) {
+    return Status::InvalidArgument("invalid range " + cells.ToString());
+  }
+  std::vector<Cell> targets;
+  for (const auto& [cell, shape] : shape_of_cell_) {
+    if (cells.Contains(cell)) targets.push_back(cell);
+  }
+  for (const Cell& cell : targets) {
+    RemoveCellFromRecord(cell);
+    shape_of_cell_.erase(cell);
+  }
+  return Status::OK();
+}
+
+}  // namespace taco

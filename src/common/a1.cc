@@ -1,0 +1,149 @@
+#include "common/a1.h"
+
+#include <cctype>
+
+namespace taco {
+namespace {
+
+// Parses "[$]LETTERS[$]NUMBER" starting at *pos, advancing *pos past the
+// consumed text. Returns the cell and its flags.
+struct CornerParse {
+  Cell cell;
+  AbsFlags flags;
+};
+
+Result<CornerParse> ParseCorner(std::string_view text, size_t* pos) {
+  CornerParse out;
+  size_t i = *pos;
+  if (i < text.size() && text[i] == '$') {
+    out.flags.abs_col = true;
+    ++i;
+  }
+  size_t letters_begin = i;
+  while (i < text.size() && std::isalpha(static_cast<unsigned char>(text[i]))) {
+    ++i;
+  }
+  if (i == letters_begin) {
+    return Status::ParseError("expected column letters in '" +
+                              std::string(text) + "'");
+  }
+  auto col = LettersToColumn(text.substr(letters_begin, i - letters_begin));
+  if (!col.ok()) return col.status();
+
+  if (i < text.size() && text[i] == '$') {
+    out.flags.abs_row = true;
+    ++i;
+  }
+  size_t digits_begin = i;
+  int64_t row = 0;
+  while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]))) {
+    row = row * 10 + (text[i] - '0');
+    if (row > kMaxRow) {
+      return Status::ParseError("row out of range in '" + std::string(text) +
+                                "'");
+    }
+    ++i;
+  }
+  if (i == digits_begin || row < 1) {
+    return Status::ParseError("expected row number in '" + std::string(text) +
+                              "'");
+  }
+  out.cell = Cell{*col, static_cast<int32_t>(row)};
+  *pos = i;
+  return out;
+}
+
+}  // namespace
+
+std::string ColumnToLetters(int32_t col) {
+  std::string out;
+  while (col > 0) {
+    int32_t rem = (col - 1) % 26;
+    out.insert(out.begin(), static_cast<char>('A' + rem));
+    col = (col - 1) / 26;
+  }
+  return out;
+}
+
+Result<int32_t> LettersToColumn(std::string_view letters) {
+  if (letters.empty()) {
+    return Status::ParseError("empty column letters");
+  }
+  int64_t col = 0;
+  for (char ch : letters) {
+    if (!std::isalpha(static_cast<unsigned char>(ch))) {
+      return Status::ParseError("invalid column letter '" +
+                                std::string(1, ch) + "'");
+    }
+    col = col * 26 + (std::toupper(static_cast<unsigned char>(ch)) - 'A' + 1);
+    if (col > kMaxCol) {
+      return Status::ParseError("column out of range: '" +
+                                std::string(letters) + "'");
+    }
+  }
+  return static_cast<int32_t>(col);
+}
+
+Result<Cell> ParseCellA1(std::string_view text) {
+  size_t pos = 0;
+  auto corner = ParseCorner(text, &pos);
+  if (!corner.ok()) return corner.status();
+  if (pos != text.size()) {
+    return Status::ParseError("trailing characters in cell reference '" +
+                              std::string(text) + "'");
+  }
+  return corner->cell;
+}
+
+Result<A1Reference> ParseA1(std::string_view text) {
+  size_t pos = 0;
+  auto head = ParseCorner(text, &pos);
+  if (!head.ok()) return head.status();
+
+  A1Reference ref;
+  if (pos == text.size()) {
+    ref.range = Range(head->cell);
+    ref.head_flags = head->flags;
+    ref.tail_flags = head->flags;
+    ref.is_single_cell = true;
+    return ref;
+  }
+  if (text[pos] != ':') {
+    return Status::ParseError("expected ':' in range reference '" +
+                              std::string(text) + "'");
+  }
+  ++pos;
+  auto tail = ParseCorner(text, &pos);
+  if (!tail.ok()) return tail.status();
+  if (pos != text.size()) {
+    return Status::ParseError("trailing characters in range reference '" +
+                              std::string(text) + "'");
+  }
+  // Normalize reversed corners so the stored rectangle is always valid.
+  ref.range = Range(CellMin(head->cell, tail->cell),
+                    CellMax(head->cell, tail->cell));
+  ref.head_flags = head->flags;
+  ref.tail_flags = tail->flags;
+  ref.is_single_cell = false;
+  return ref;
+}
+
+std::string CellToA1(const Cell& cell, AbsFlags flags) {
+  std::string out;
+  if (flags.abs_col) out += '$';
+  out += ColumnToLetters(cell.col);
+  if (flags.abs_row) out += '$';
+  out += std::to_string(cell.row);
+  return out;
+}
+
+std::string RangeToA1(const Range& range, AbsFlags head_flags,
+                      AbsFlags tail_flags) {
+  if (range.IsSingleCell() && head_flags == tail_flags) {
+    return CellToA1(range.head, head_flags);
+  }
+  return CellToA1(range.head, head_flags) + ":" +
+         CellToA1(range.tail, tail_flags);
+}
+
+}  // namespace taco

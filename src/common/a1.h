@@ -1,0 +1,67 @@
+// A1 spreadsheet notation: parsing and printing.
+//
+// Cells are written as column letters followed by a row number ("B7"),
+// ranges as "head:tail" ("A1:B3"). Either coordinate of either corner may
+// carry a '$' absolute marker ("$B$1:B4"); the markers do not change the
+// referenced rectangle but record whether autofill would keep the
+// coordinate fixed. TACO's compression heuristics use them as cues for
+// choosing between the RR/RF/FR/FF patterns (Sec. IV-A).
+
+#ifndef TACO_COMMON_A1_H_
+#define TACO_COMMON_A1_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/cell.h"
+#include "common/range.h"
+#include "common/status.h"
+
+namespace taco {
+
+/// Absolute-marker flags for one corner of a reference.
+struct AbsFlags {
+  bool abs_col = false;  ///< '$' before the column letters.
+  bool abs_row = false;  ///< '$' before the row number.
+
+  friend bool operator==(const AbsFlags&, const AbsFlags&) = default;
+};
+
+/// A parsed A1 reference: the rectangle plus its corner '$' flags.
+struct A1Reference {
+  Range range;
+  AbsFlags head_flags;
+  AbsFlags tail_flags;
+  bool is_single_cell = false;  ///< Written without ':' (e.g. "B7").
+
+  friend bool operator==(const A1Reference&, const A1Reference&) = default;
+};
+
+/// Converts a 1-based column index to letters (1 -> "A", 28 -> "AB").
+/// Requires 1 <= col <= kMaxCol.
+std::string ColumnToLetters(int32_t col);
+
+/// Converts column letters to a 1-based index ("A" -> 1, case-insensitive).
+/// Fails on empty input, non-letters, or overflow past kMaxCol.
+Result<int32_t> LettersToColumn(std::string_view letters);
+
+/// Parses a single cell like "B7" or "$B$7". The whole string must be
+/// consumed.
+Result<Cell> ParseCellA1(std::string_view text);
+
+/// Parses a cell or range reference with optional '$' markers, e.g.
+/// "B7", "$A$1:C9", "A1:$B2". Normalizes a reversed corner order
+/// ("B3:A1") into a valid rectangle; flags follow their textual corner.
+Result<A1Reference> ParseA1(std::string_view text);
+
+/// Prints a cell in A1 notation; `flags` adds '$' markers.
+std::string CellToA1(const Cell& cell, AbsFlags flags = {});
+
+/// Prints a range in A1 notation; single-cell ranges print without ':'.
+std::string RangeToA1(const Range& range, AbsFlags head_flags = {},
+                      AbsFlags tail_flags = {});
+
+}  // namespace taco
+
+#endif  // TACO_COMMON_A1_H_

@@ -1,0 +1,16 @@
+#include "common/cell.h"
+
+#include "common/a1.h"
+
+namespace taco {
+
+std::string Offset::ToString() const {
+  return "(" + std::to_string(dcol) + "," + std::to_string(drow) + ")";
+}
+
+std::string Cell::ToString() const {
+  if (IsValid()) return CellToA1(*this);
+  return "(" + std::to_string(col) + "," + std::to_string(row) + ")";
+}
+
+}  // namespace taco

@@ -1,0 +1,105 @@
+// Cell coordinates and cell offsets.
+//
+// Following the paper, a cell position is a pair (col, row) of 1-based
+// integer indices; column "A" is 1 and row "1" is 1. An Offset is the
+// componentwise difference of two cells and is the representation of the
+// relative positions (hRel / tRel) in compressed-edge metadata.
+
+#ifndef TACO_COMMON_CELL_H_
+#define TACO_COMMON_CELL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace taco {
+
+/// Largest supported column index (xlsx limit, column "XFD").
+inline constexpr int32_t kMaxCol = 16384;
+/// Largest supported row index (xlsx limit).
+inline constexpr int32_t kMaxRow = 1048576;
+
+/// A relative displacement between two cells: (dcol, drow).
+struct Offset {
+  int32_t dcol = 0;
+  int32_t drow = 0;
+
+  friend bool operator==(const Offset&, const Offset&) = default;
+
+  Offset operator-() const { return Offset{-dcol, -drow}; }
+
+  /// Renders as "(dcol,drow)" for logs and test failure messages.
+  std::string ToString() const;
+};
+
+/// A 1-based (column, row) cell position.
+struct Cell {
+  int32_t col = 1;
+  int32_t row = 1;
+
+  friend bool operator==(const Cell&, const Cell&) = default;
+
+  /// True iff the position lies inside the supported sheet bounds.
+  bool IsValid() const {
+    return col >= 1 && col <= kMaxCol && row >= 1 && row <= kMaxRow;
+  }
+
+  /// Componentwise translation.
+  Cell operator+(const Offset& o) const {
+    return Cell{col + o.dcol, row + o.drow};
+  }
+  Cell operator-(const Offset& o) const {
+    return Cell{col - o.dcol, row - o.drow};
+  }
+
+  /// The displacement from `other` to this cell.
+  Offset operator-(const Cell& other) const {
+    return Offset{col - other.col, row - other.row};
+  }
+
+  /// Renders in A1 notation (e.g. "B7") when valid, "(col,row)" otherwise.
+  std::string ToString() const;
+};
+
+/// Total order for use in ordered containers: column-major, then row.
+inline bool operator<(const Cell& a, const Cell& b) {
+  if (a.col != b.col) return a.col < b.col;
+  return a.row < b.row;
+}
+
+/// Componentwise dominance: a is at-or-before b in both dimensions. This is
+/// the partial order used by the pattern window algebra (head <= tail).
+inline bool DominatedBy(const Cell& a, const Cell& b) {
+  return a.col <= b.col && a.row <= b.row;
+}
+
+/// Componentwise min / max, used to normalize and merge rectangles.
+inline Cell CellMin(const Cell& a, const Cell& b) {
+  return Cell{a.col < b.col ? a.col : b.col, a.row < b.row ? a.row : b.row};
+}
+inline Cell CellMax(const Cell& a, const Cell& b) {
+  return Cell{a.col > b.col ? a.col : b.col, a.row > b.row ? a.row : b.row};
+}
+
+}  // namespace taco
+
+namespace std {
+template <>
+struct hash<taco::Cell> {
+  size_t operator()(const taco::Cell& c) const noexcept {
+    // Columns fit in 15 bits and rows in 21; pack into one word.
+    return std::hash<uint64_t>()((static_cast<uint64_t>(c.col) << 32) |
+                                 static_cast<uint32_t>(c.row));
+  }
+};
+template <>
+struct hash<taco::Offset> {
+  size_t operator()(const taco::Offset& o) const noexcept {
+    return std::hash<uint64_t>()(
+        (static_cast<uint64_t>(static_cast<uint32_t>(o.dcol)) << 32) |
+        static_cast<uint32_t>(o.drow));
+  }
+};
+}  // namespace std
+
+#endif  // TACO_COMMON_CELL_H_

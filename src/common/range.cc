@@ -1,0 +1,67 @@
+#include "common/range.h"
+
+#include "common/a1.h"
+
+namespace taco {
+
+std::string Range::ToString() const {
+  if (IsSingleCell()) return head.ToString();
+  return head.ToString() + ":" + tail.ToString();
+}
+
+bool operator<(const Range& a, const Range& b) {
+  if (!(a.head == b.head)) return a.head < b.head;
+  return a.tail < b.tail;
+}
+
+void SubtractRange(const Range& a, const Range& b, std::vector<Range>* out) {
+  std::optional<Range> overlap = a.Intersect(b);
+  if (!overlap) {
+    out->push_back(a);
+    return;
+  }
+  const Range& o = *overlap;
+  // Slice off full-width strips above and below the overlap, then the
+  // left/right slivers beside it. The four pieces are pairwise disjoint and
+  // together with `o` tile `a` exactly.
+  if (a.head.row < o.head.row) {
+    out->push_back(Range(a.head.col, a.head.row, a.tail.col, o.head.row - 1));
+  }
+  if (o.tail.row < a.tail.row) {
+    out->push_back(Range(a.head.col, o.tail.row + 1, a.tail.col, a.tail.row));
+  }
+  if (a.head.col < o.head.col) {
+    out->push_back(Range(a.head.col, o.head.row, o.head.col - 1, o.tail.row));
+  }
+  if (o.tail.col < a.tail.col) {
+    out->push_back(Range(o.tail.col + 1, o.head.row, a.tail.col, o.tail.row));
+  }
+}
+
+std::vector<Range> SubtractRanges(const Range& a,
+                                  std::span<const Range> subtrahends) {
+  std::vector<Range> remaining{a};
+  std::vector<Range> next;
+  for (const Range& b : subtrahends) {
+    if (remaining.empty()) break;
+    next.clear();
+    for (const Range& piece : remaining) {
+      SubtractRange(piece, b, &next);
+    }
+    remaining.swap(next);
+  }
+  return remaining;
+}
+
+std::vector<Cell> EnumerateCells(const Range& r) {
+  std::vector<Cell> cells;
+  cells.reserve(static_cast<size_t>(r.Area()));
+  for (int32_t col = r.head.col; col <= r.tail.col; ++col) {
+    for (int32_t row = r.head.row; row <= r.tail.row; ++row) {
+      cells.push_back(Cell{col, row});
+    }
+  }
+  return cells;
+}
+
+}  // namespace taco

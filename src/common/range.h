@@ -1,0 +1,145 @@
+// Rectangular cell ranges and their algebra.
+//
+// A Range is the inclusive rectangle [head, tail] identified by its top-left
+// (head) and bottom-right (tail) cells, exactly as in the paper (Sec. II-A).
+// The operations here back every higher layer: the minimal bounding union
+// (the paper's ⊕ operator), intersection and containment (findDep/findPrec),
+// exact rectangle subtraction (removeDep and the BFS visited-set
+// difference), and axis adjacency (candidate-edge discovery).
+
+#ifndef TACO_COMMON_RANGE_H_
+#define TACO_COMMON_RANGE_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/cell.h"
+
+namespace taco {
+
+/// Axis along which dependencies are laid out / compressed.
+enum class Axis : uint8_t {
+  kColumn = 0,  ///< Dependents stacked vertically (a column of formulas).
+  kRow = 1,     ///< Dependents laid out horizontally (a row of formulas).
+};
+
+/// Returns the other axis.
+inline Axis OtherAxis(Axis a) {
+  return a == Axis::kColumn ? Axis::kRow : Axis::kColumn;
+}
+
+/// An inclusive rectangle of cells.
+struct Range {
+  Cell head;  ///< Top-left corner.
+  Cell tail;  ///< Bottom-right corner.
+
+  Range() = default;
+  Range(Cell h, Cell t) : head(h), tail(t) {}
+  /// The single-cell range {c}.
+  explicit Range(Cell c) : head(c), tail(c) {}
+  /// Convenience constructor from raw coordinates.
+  Range(int32_t col1, int32_t row1, int32_t col2, int32_t row2)
+      : head{col1, row1}, tail{col2, row2} {}
+
+  friend bool operator==(const Range&, const Range&) = default;
+
+  /// True iff head and tail are ordered and inside the sheet bounds.
+  bool IsValid() const {
+    return head.IsValid() && tail.IsValid() && DominatedBy(head, tail);
+  }
+
+  int32_t width() const { return tail.col - head.col + 1; }
+  int32_t height() const { return tail.row - head.row + 1; }
+
+  /// Number of cells covered. Valid ranges only.
+  uint64_t Area() const {
+    return static_cast<uint64_t>(width()) * static_cast<uint64_t>(height());
+  }
+
+  bool IsSingleCell() const { return head == tail; }
+
+  /// True when the range is one cell wide or tall, i.e. a line of cells.
+  /// Compressed-edge dependents are always lines (DESIGN.md §3.1).
+  bool IsLine() const { return width() == 1 || height() == 1; }
+
+  bool Contains(const Cell& c) const {
+    return DominatedBy(head, c) && DominatedBy(c, tail);
+  }
+  bool Contains(const Range& r) const {
+    return DominatedBy(head, r.head) && DominatedBy(r.tail, tail);
+  }
+  bool Overlaps(const Range& r) const {
+    return head.col <= r.tail.col && r.head.col <= tail.col &&
+           head.row <= r.tail.row && r.head.row <= tail.row;
+  }
+
+  /// The overlap rectangle, or nullopt when disjoint.
+  std::optional<Range> Intersect(const Range& r) const {
+    Range out(CellMax(head, r.head), CellMin(tail, r.tail));
+    if (!DominatedBy(out.head, out.tail)) return std::nullopt;
+    return out;
+  }
+
+  /// The minimal bounding range of this and `r` — the paper's ⊕ operator.
+  Range BoundingUnion(const Range& r) const {
+    return Range(CellMin(head, r.head), CellMax(tail, r.tail));
+  }
+
+  /// Translates the whole rectangle.
+  Range Shifted(const Offset& o) const {
+    return Range(head + o, tail + o);
+  }
+
+  /// True iff this and `r` are disjoint but share an edge along `axis`
+  /// with identical extent on the other axis — the precondition for
+  /// merging two dependent ranges into a longer line of formula cells.
+  bool TouchesOnAxis(const Range& r, Axis axis) const {
+    if (axis == Axis::kColumn) {
+      // Vertically stacked: same columns, rows abut.
+      return head.col == r.head.col && tail.col == r.tail.col &&
+             (r.head.row == tail.row + 1 || head.row == r.tail.row + 1);
+    }
+    return head.row == r.head.row && tail.row == r.tail.row &&
+           (r.head.col == tail.col + 1 || head.col == r.tail.col + 1);
+  }
+
+  /// Renders in A1 notation (e.g. "A1:B3", or "B2" for a single cell).
+  std::string ToString() const;
+};
+
+/// Total order (column-major on head, then tail) for ordered containers
+/// and deterministic iteration in tests.
+bool operator<(const Range& a, const Range& b);
+
+/// Subtracts rectangle `b` from rectangle `a`, appending to `out` up to
+/// four disjoint rectangles that exactly cover a \ b. Appends `a` itself
+/// when they do not overlap.
+void SubtractRange(const Range& a, const Range& b, std::vector<Range>* out);
+
+/// Subtracts every rectangle in `subtrahends` from `a`, returning disjoint
+/// rectangles that exactly cover the remainder. The result is empty when
+/// `a` is fully covered.
+std::vector<Range> SubtractRanges(const Range& a,
+                                  std::span<const Range> subtrahends);
+
+/// Enumerates every cell of `r` in column-major order. Intended for tests
+/// and brute-force oracles; production code never materializes ranges.
+std::vector<Cell> EnumerateCells(const Range& r);
+
+}  // namespace taco
+
+namespace std {
+template <>
+struct hash<taco::Range> {
+  size_t operator()(const taco::Range& r) const noexcept {
+    size_t h1 = std::hash<taco::Cell>()(r.head);
+    size_t h2 = std::hash<taco::Cell>()(r.tail);
+    return h1 ^ (h2 + 0x9e3779b97f4a7c15ULL + (h1 << 6) + (h1 >> 2));
+  }
+};
+}  // namespace std
+
+#endif  // TACO_COMMON_RANGE_H_

@@ -1,0 +1,57 @@
+#include "common/range_set.h"
+
+#include <algorithm>
+
+namespace taco {
+
+std::vector<Range> DisjointifyRanges(std::span<const Range> ranges) {
+  std::vector<Range> out;
+  for (const Range& r : ranges) {
+    // Keep only the parts of r not already covered.
+    std::vector<Range> pieces{r};
+    std::vector<Range> next;
+    for (const Range& existing : out) {
+      if (pieces.empty()) break;
+      next.clear();
+      for (const Range& piece : pieces) {
+        SubtractRange(piece, existing, &next);
+      }
+      pieces.swap(next);
+    }
+    out.insert(out.end(), pieces.begin(), pieces.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+uint64_t CoveredCellCount(std::span<const Range> ranges) {
+  uint64_t total = 0;
+  for (const Range& r : DisjointifyRanges(ranges)) {
+    total += r.Area();
+  }
+  return total;
+}
+
+bool SameCellSet(std::span<const Range> a, std::span<const Range> b) {
+  std::vector<Range> da = DisjointifyRanges(a);
+  std::vector<Range> db = DisjointifyRanges(b);
+  // Equal cell counts plus mutual coverage implies set equality; coverage
+  // is checked by subtracting one set from the other.
+  uint64_t count_a = 0, count_b = 0;
+  for (const Range& r : da) count_a += r.Area();
+  for (const Range& r : db) count_b += r.Area();
+  if (count_a != count_b) return false;
+  for (const Range& r : da) {
+    if (!SubtractRanges(r, db).empty()) return false;
+  }
+  return true;
+}
+
+bool CoversCell(std::span<const Range> ranges, const Cell& cell) {
+  for (const Range& r : ranges) {
+    if (r.Contains(cell)) return true;
+  }
+  return false;
+}
+
+}  // namespace taco

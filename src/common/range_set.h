@@ -1,0 +1,29 @@
+// Helpers for treating a list of rectangles as a cell set.
+
+#ifndef TACO_COMMON_RANGE_SET_H_
+#define TACO_COMMON_RANGE_SET_H_
+
+#include <span>
+#include <vector>
+
+#include "common/range.h"
+
+namespace taco {
+
+/// Rewrites `ranges` as disjoint rectangles covering the same cell set
+/// (later duplicates of covered area are trimmed away). Output order is
+/// deterministic (sorted).
+std::vector<Range> DisjointifyRanges(std::span<const Range> ranges);
+
+/// Total number of cells covered by `ranges`, counting overlaps once.
+uint64_t CoveredCellCount(std::span<const Range> ranges);
+
+/// True iff the two lists cover exactly the same set of cells.
+bool SameCellSet(std::span<const Range> a, std::span<const Range> b);
+
+/// True iff `cell` is covered by any range in `ranges` (linear scan).
+bool CoversCell(std::span<const Range> ranges, const Cell& cell);
+
+}  // namespace taco
+
+#endif  // TACO_COMMON_RANGE_SET_H_

@@ -1,0 +1,184 @@
+// Status / Result<T> error handling for the TACO library.
+//
+// Library code reports recoverable errors through Status (or Result<T> when
+// a value is produced) instead of exceptions, following the conventions of
+// C++ database engines. A Status is cheap to copy in the OK case (no
+// allocation) and carries a code plus a human-readable message otherwise.
+
+#ifndef TACO_COMMON_STATUS_H_
+#define TACO_COMMON_STATUS_H_
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace taco {
+
+/// Machine-readable classification of an error.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< Caller passed something malformed.
+  kNotFound = 2,          ///< Lookup target does not exist.
+  kAlreadyExists = 3,     ///< Insert target already present.
+  kOutOfRange = 4,        ///< Coordinate outside the sheet bounds.
+  kParseError = 5,        ///< Formula / file text could not be parsed.
+  kEvalError = 6,         ///< Formula evaluation failed (e.g. #DIV/0!).
+  kInternal = 7,          ///< Invariant violation inside the library.
+  kIoError = 8,           ///< Filesystem-level failure.
+  kUnsupported = 9,       ///< Feature intentionally not implemented.
+};
+
+/// Returns a stable, human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Outcome of an operation that produces no value.
+///
+/// The OK state is represented by a null payload pointer, so returning
+/// Status::OK() never allocates.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message. `code` must not
+  /// be StatusCode::kOk; use OK() for success.
+  Status(StatusCode code, std::string message) {
+    assert(code != StatusCode::kOk);
+    payload_ = std::make_shared<Payload>(Payload{code, std::move(message)});
+  }
+
+  /// Returns the singleton-like OK status.
+  static Status OK() { return Status(); }
+
+  /// Factory helpers, one per error code.
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status EvalError(std::string msg) {
+    return Status(StatusCode::kEvalError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return payload_ == nullptr; }
+
+  /// The status code; kOk iff ok().
+  StatusCode code() const {
+    return payload_ ? payload_->code : StatusCode::kOk;
+  }
+
+  /// The error message; empty for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return payload_ ? payload_->message : kEmpty;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct Payload {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const Payload> payload_;
+};
+
+/// Outcome of an operation that produces a T on success.
+///
+/// Result is either a value or a non-OK Status. Accessing the value of a
+/// failed Result is a programming error (checked by assert).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. `status` must not be OK.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok());
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The status: OK if a value is present, the error otherwise.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Returns the contained value. Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// Returns the contained value or `fallback` when in the error state.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Evaluates an expression returning Status and propagates failure to the
+/// caller. For use inside functions that themselves return Status.
+#define TACO_RETURN_IF_ERROR(expr)              \
+  do {                                          \
+    ::taco::Status _taco_status = (expr);       \
+    if (!_taco_status.ok()) return _taco_status; \
+  } while (false)
+
+/// Evaluates an expression returning Result<T>, propagating failure and
+/// otherwise binding the value to `lhs`.
+#define TACO_ASSIGN_OR_RETURN(lhs, expr)            \
+  auto _taco_result_##__LINE__ = (expr);            \
+  if (!_taco_result_##__LINE__.ok())                \
+    return _taco_result_##__LINE__.status();        \
+  lhs = std::move(_taco_result_##__LINE__).value()
+
+}  // namespace taco
+
+#endif  // TACO_COMMON_STATUS_H_

@@ -1,0 +1,421 @@
+#include "corpus/generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/a1.h"
+
+namespace taco {
+namespace {
+
+// Everything one region contributes: size, dependency count, and the
+// ground-truth anchors described in generator.h.
+struct RegionResult {
+  uint64_t formulas = 0;
+  uint64_t dependencies = 0;
+  Cell anchor{1, 1};
+  uint64_t anchor_count = 0;
+  Cell path_head{1, 1};
+  uint64_t path_len = 0;
+};
+
+// Mutable state while filling one sheet.
+struct SheetBuilder {
+  Sheet* sheet;
+  std::mt19937* rng;
+  const CorpusProfile* profile;
+  int32_t next_col = 1;
+
+  // Reserves `n` columns plus a 1-column gap between regions.
+  int32_t AllocColumns(int32_t n) {
+    int32_t col = next_col;
+    next_col += n + 1;
+    return col;
+  }
+
+  int RandomInt(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(*rng);
+  }
+  double RandomDouble() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(*rng);
+  }
+  int LogUniform(int lo, int hi) {
+    double a = std::log(static_cast<double>(lo));
+    double b = std::log(static_cast<double>(hi));
+    double x = std::uniform_real_distribution<double>(a, b)(*rng);
+    return std::max(lo, std::min(hi, static_cast<int>(std::exp(x))));
+  }
+
+  void MaybeFillData(int32_t col, int32_t rows) {
+    if (!profile->fill_values) return;
+    for (int32_t row = 1; row <= rows; ++row) {
+      (void)sheet->SetNumber(Cell{col, row}, (col * 31 + row) % 97 + 1);
+    }
+  }
+
+  // Punches holes into the formula column `col`, rows [first_row, last_row]:
+  // replaces formulas with literal values. Returns sorted hole rows.
+  std::vector<int32_t> PunchHoles(int32_t col, int32_t first_row,
+                                  int32_t last_row) {
+    std::vector<int32_t> holes;
+    if (RandomDouble() >= profile->hole_probability) return holes;
+    int count = RandomInt(1, 3);
+    for (int i = 0; i < count; ++i) {
+      int32_t row = RandomInt(first_row, last_row);
+      if (std::find(holes.begin(), holes.end(), row) == holes.end()) {
+        holes.push_back(row);
+        (void)sheet->SetNumber(Cell{col, row}, 0);
+      }
+    }
+    std::sort(holes.begin(), holes.end());
+    return holes;
+  }
+};
+
+int32_t CountInPrefix(const std::vector<int32_t>& holes, int32_t upto) {
+  return static_cast<int32_t>(
+      std::upper_bound(holes.begin(), holes.end(), upto) - holes.begin());
+}
+
+// Longest run of rows in [first, last] containing no hole; returns
+// {start, length} (length 0 when everything is a hole).
+std::pair<int32_t, int32_t> LongestClearRun(const std::vector<int32_t>& holes,
+                                            int32_t first, int32_t last) {
+  int32_t best_start = first, best_len = 0;
+  int32_t run_start = first;
+  for (int32_t hole : holes) {
+    int32_t len = hole - run_start;
+    if (len > best_len) {
+      best_len = len;
+      best_start = run_start;
+    }
+    run_start = hole + 1;
+  }
+  int32_t len = last - run_start + 1;
+  if (len > best_len) {
+    best_len = len;
+    best_start = run_start;
+  }
+  return {best_start, std::max<int32_t>(best_len, 0)};
+}
+
+// --- Region generators -----------------------------------------------------
+
+// Moving-window SUM over a data column: the RR workhorse (Fig. 4a).
+RegionResult SlidingRegion(SheetBuilder& b, int32_t len) {
+  int32_t window = b.RandomInt(2, 8);
+  len = std::min<int32_t>(len, kMaxRow - window - 1);
+  int32_t dc = b.AllocColumns(2);
+  int32_t fc = dc + 1;
+  b.MaybeFillData(dc, len + window - 1);
+
+  std::string seed = "SUM(" + CellToA1(Cell{dc, 1}) + ":" +
+                     CellToA1(Cell{dc, window}) + ")";
+  (void)b.sheet->SetFormula(Cell{fc, 1}, seed);
+  (void)Autofill(b.sheet, Cell{fc, 1}, Range(fc, 1, fc, len));
+  auto holes = b.PunchHoles(fc, 1, len);
+
+  RegionResult r;
+  r.formulas = static_cast<uint64_t>(len - holes.size());
+  r.dependencies = r.formulas;  // one range reference per formula
+  int32_t effective = std::min(window, len);
+  r.anchor = Cell{dc, effective};
+  r.anchor_count =
+      static_cast<uint64_t>(effective - CountInPrefix(holes, effective));
+  r.path_head = r.anchor;
+  r.path_len = r.anchor_count > 0 ? 1 : 0;
+  return r;
+}
+
+// Same-row derived column (the TACO-InRow shape). Optionally written at
+// stride 2 (every other row), producing the RR-GapOne layout.
+RegionResult DerivedRegion(SheetBuilder& b, int32_t len, bool gapped) {
+  int32_t dc = b.AllocColumns(2);
+  int32_t fc = dc + 1;
+  int32_t stride = gapped ? 2 : 1;
+  int32_t last_row = 1 + (len - 1) * stride;
+  last_row = std::min<int32_t>(last_row, kMaxRow);
+  b.MaybeFillData(dc, last_row);
+
+  std::string seed = CellToA1(Cell{dc, 1}) + "*2+1";
+  (void)b.sheet->SetFormula(Cell{fc, 1}, seed);
+  if (gapped) {
+    // Autofill cannot produce gaps; shift row by row like a user
+    // copy-pasting into alternating rows.
+    for (int32_t row = 1 + stride; row <= last_row; row += stride) {
+      (void)Autofill(b.sheet, Cell{fc, 1}, Range(fc, row, fc, row));
+    }
+  } else {
+    (void)Autofill(b.sheet, Cell{fc, 1}, Range(fc, 1, fc, last_row));
+  }
+  auto holes = gapped ? std::vector<int32_t>{} : b.PunchHoles(fc, 1, last_row);
+
+  RegionResult r;
+  r.formulas = static_cast<uint64_t>(
+      (gapped ? len : last_row) - static_cast<int32_t>(holes.size()));
+  r.dependencies = r.formulas;
+  r.anchor = Cell{dc, 1};
+  r.anchor_count = 1;
+  r.path_head = r.anchor;
+  r.path_len = 1;
+  return r;
+}
+
+// The Fig. 2 ladder: IF(A_r=A_{r-1}, N_{r-1}+M_r, M_r) — four references
+// per formula, one of them a chain.
+RegionResult Fig2Region(SheetBuilder& b, int32_t len) {
+  len = std::min<int32_t>(len, kMaxRow - 2);
+  int32_t ac = b.AllocColumns(3);
+  int32_t mc = ac + 1;
+  int32_t fc = ac + 2;
+  b.MaybeFillData(ac, len);
+  b.MaybeFillData(mc, len);
+
+  (void)b.sheet->SetFormula(Cell{fc, 1}, CellToA1(Cell{mc, 1}));
+  std::string seed = "IF(" + CellToA1(Cell{ac, 2}) + "=" +
+                     CellToA1(Cell{ac, 1}) + "," + CellToA1(Cell{fc, 1}) +
+                     "+" + CellToA1(Cell{mc, 2}) + "," + CellToA1(Cell{mc, 2}) +
+                     ")";
+  (void)b.sheet->SetFormula(Cell{fc, 2}, seed);
+  (void)Autofill(b.sheet, Cell{fc, 2}, Range(fc, 2, fc, len));
+  auto holes = b.PunchHoles(fc, 2, len);
+
+  RegionResult r;
+  r.formulas = static_cast<uint64_t>(len - holes.size());
+  r.dependencies = 1 + 4 * (r.formulas - 1);
+  auto [start, run] = LongestClearRun(holes, 2, len);
+  r.anchor = Cell{mc, start};
+  r.anchor_count = static_cast<uint64_t>(run);       // N_start..N_(start+run-1)
+  r.path_head = r.anchor;
+  r.path_len = static_cast<uint64_t>(run);           // M -> N -> ... chain
+  return r;
+}
+
+// Fixed references: either a scalar rate cell or a VLOOKUP table, both FF.
+RegionResult FixedRegion(SheetBuilder& b, int32_t len) {
+  bool vlookup = b.RandomDouble() < 0.4;
+  RegionResult r;
+  if (!vlookup) {
+    int32_t rc = b.AllocColumns(3);  // rate col, data col, formula col
+    int32_t dc = rc + 1;
+    int32_t fc = rc + 2;
+    (void)b.sheet->SetNumber(Cell{rc, 1}, 1.23);
+    b.MaybeFillData(dc, len);
+    std::string seed = CellToA1(Cell{dc, 1}) + "*" +
+                       CellToA1(Cell{rc, 1}, AbsFlags{true, true});
+    (void)b.sheet->SetFormula(Cell{fc, 1}, seed);
+    (void)Autofill(b.sheet, Cell{fc, 1}, Range(fc, 1, fc, len));
+    auto holes = b.PunchHoles(fc, 1, len);
+    r.formulas = static_cast<uint64_t>(len - holes.size());
+    r.dependencies = 2 * r.formulas;
+    r.anchor = Cell{rc, 1};
+    r.anchor_count = r.formulas;
+  } else {
+    int32_t tc = b.AllocColumns(4);  // 2 table cols, key col, formula col
+    int32_t kc = tc + 2;
+    int32_t fc = tc + 3;
+    int32_t table_rows = std::min<int32_t>(100, std::max<int32_t>(4, len / 4));
+    for (int32_t row = 1; row <= table_rows; ++row) {
+      (void)b.sheet->SetNumber(Cell{tc, row}, row);
+      (void)b.sheet->SetNumber(Cell{tc + 1, row}, row * 10);
+    }
+    b.MaybeFillData(kc, len);
+    std::string table = CellToA1(Cell{tc, 1}, AbsFlags{true, true}) + ":" +
+                        CellToA1(Cell{tc + 1, table_rows},
+                                 AbsFlags{true, true});
+    std::string seed =
+        "VLOOKUP(" + CellToA1(Cell{kc, 1}) + "," + table + ",2)";
+    (void)b.sheet->SetFormula(Cell{fc, 1}, seed);
+    (void)Autofill(b.sheet, Cell{fc, 1}, Range(fc, 1, fc, len));
+    auto holes = b.PunchHoles(fc, 1, len);
+    r.formulas = static_cast<uint64_t>(len - holes.size());
+    r.dependencies = 2 * r.formulas;
+    r.anchor = Cell{tc, 1};
+    r.anchor_count = r.formulas;
+  }
+  r.path_head = r.anchor;
+  r.path_len = r.anchor_count > 0 ? 1 : 0;
+  return r;
+}
+
+// Running accumulator chain: X_r = X_{r-1} + data_r (RR-Chain + RR).
+RegionResult ChainRegion(SheetBuilder& b, int32_t len) {
+  len = std::min<int32_t>(len, kMaxRow - 1);
+  int32_t dc = b.AllocColumns(2);
+  int32_t fc = dc + 1;
+  b.MaybeFillData(dc, len);
+  (void)b.sheet->SetNumber(Cell{fc, 1}, 0);
+  std::string seed = CellToA1(Cell{fc, 1}) + "+" + CellToA1(Cell{dc, 2});
+  (void)b.sheet->SetFormula(Cell{fc, 2}, seed);
+  (void)Autofill(b.sheet, Cell{fc, 2}, Range(fc, 2, fc, len));
+  auto holes = b.PunchHoles(fc, 2, len);
+
+  RegionResult r;
+  r.formulas = static_cast<uint64_t>(len - 1 - holes.size());
+  r.dependencies = 2 * r.formulas;
+  auto [start, run] = LongestClearRun(holes, 2, len);
+  r.anchor = Cell{fc, start - 1};  // the cell feeding the clear run
+  r.anchor_count = static_cast<uint64_t>(run);
+  r.path_head = r.anchor;
+  r.path_len = static_cast<uint64_t>(run);
+  return r;
+}
+
+// Year-to-date style cumulative SUM($X$1:X_r): the FR pattern.
+RegionResult CumulativeRegion(SheetBuilder& b, int32_t len) {
+  int32_t dc = b.AllocColumns(2);
+  int32_t fc = dc + 1;
+  b.MaybeFillData(dc, len);
+  std::string seed = "SUM(" + CellToA1(Cell{dc, 1}, AbsFlags{true, true}) +
+                     ":" + CellToA1(Cell{dc, 1}) + ")";
+  (void)b.sheet->SetFormula(Cell{fc, 1}, seed);
+  (void)Autofill(b.sheet, Cell{fc, 1}, Range(fc, 1, fc, len));
+  auto holes = b.PunchHoles(fc, 1, len);
+
+  RegionResult r;
+  r.formulas = static_cast<uint64_t>(len - holes.size());
+  r.dependencies = r.formulas;
+  r.anchor = Cell{dc, 1};  // row 1 of data feeds every formula
+  r.anchor_count = r.formulas;
+  r.path_head = r.anchor;
+  r.path_len = r.formulas > 0 ? 1 : 0;
+  return r;
+}
+
+// Remaining-total SUM(X_r:$X$len): the RF pattern.
+RegionResult ShrinkingRegion(SheetBuilder& b, int32_t len) {
+  int32_t dc = b.AllocColumns(2);
+  int32_t fc = dc + 1;
+  b.MaybeFillData(dc, len);
+  std::string seed = "SUM(" + CellToA1(Cell{dc, 1}) + ":" +
+                     CellToA1(Cell{dc, len}, AbsFlags{true, true}) + ")";
+  (void)b.sheet->SetFormula(Cell{fc, 1}, seed);
+  (void)Autofill(b.sheet, Cell{fc, 1}, Range(fc, 1, fc, len));
+  auto holes = b.PunchHoles(fc, 1, len);
+
+  RegionResult r;
+  r.formulas = static_cast<uint64_t>(len - holes.size());
+  r.dependencies = r.formulas;
+  r.anchor = Cell{dc, len};  // the last data row feeds every formula
+  r.anchor_count = r.formulas;
+  r.path_head = r.anchor;
+  r.path_len = r.formulas > 0 ? 1 : 0;
+  return r;
+}
+
+// Hand-written outliers: scattered one-off formulas over a private data
+// column. Nothing here compresses (the Single edges of Table IV).
+RegionResult NoiseRegion(SheetBuilder& b, int32_t len) {
+  len = std::min<int32_t>(len, 60);
+  int32_t dc = b.AllocColumns(2);
+  int32_t fc = dc + 1;
+  b.MaybeFillData(dc, 4 * len);
+
+  RegionResult r;
+  int32_t row = 1;
+  for (int32_t i = 0; i < len; ++i) {
+    // Non-adjacent rows and varying reference shapes defeat compression.
+    row += b.RandomInt(2, 5);
+    if (row > kMaxRow) break;
+    int nrefs = b.RandomInt(1, 3);
+    std::string text;
+    for (int k = 0; k < nrefs; ++k) {
+      if (k > 0) text += "+";
+      text += CellToA1(Cell{dc, b.RandomInt(1, 4 * len)});
+    }
+    (void)b.sheet->SetFormula(Cell{fc, row}, text);
+    r.formulas += 1;
+    r.dependencies += static_cast<uint64_t>(nrefs);
+  }
+  r.anchor = Cell{dc, 1};
+  r.anchor_count = r.formulas > 0 ? 1 : 0;
+  r.path_head = r.anchor;
+  r.path_len = r.anchor_count;
+  return r;
+}
+
+}  // namespace
+
+CorpusSheet CorpusGenerator::GenerateSheet(int index) const {
+  std::mt19937 rng(profile_.seed * 1000003u + static_cast<uint32_t>(index));
+  CorpusSheet out;
+  out.sheet.set_name(profile_.name + "_" + std::to_string(index));
+
+  SheetBuilder b{&out.sheet, &rng, &profile_};
+  int target =
+      b.LogUniform(profile_.min_formulas_per_sheet,
+                   profile_.max_formulas_per_sheet);
+
+  RegionMix mix = profile_.mix;
+  // Flat sheets carry only low-fan-out regions (derived columns, small
+  // sliding windows, noise); they model the many real sheets whose
+  // maximum dependent count stays under ~100 (Fig. 1's first bucket).
+  if (b.RandomDouble() < profile_.flat_sheet_probability) {
+    mix.fig2 = 0;
+    mix.fixed = 0;
+    mix.chain = 0;
+    mix.cumulative = 0;
+    mix.shrinking = 0;
+  }
+  std::discrete_distribution<int> pick_region(
+      {mix.sliding, mix.derived, mix.fig2, mix.fixed, mix.chain,
+       mix.cumulative, mix.shrinking, mix.noise});
+
+  // Sheets have a characteristic scale: a per-sheet cap on region length
+  // drawn log-uniformly. This spreads the per-sheet maxima across the
+  // magnitude buckets of Fig. 1 instead of letting every sheet's max be
+  // dominated by the global tail.
+  int sheet_max_len =
+      b.LogUniform(std::min(2 * profile_.min_region_len,
+                            profile_.max_region_len),
+                   profile_.max_region_len);
+
+  uint64_t placed = 0;
+  while (placed < static_cast<uint64_t>(target) &&
+         b.next_col + 6 < kMaxCol) {
+    int len = b.LogUniform(profile_.min_region_len, sheet_max_len);
+    len = std::min<int>(len, target - static_cast<int>(placed) +
+                                 profile_.min_region_len);
+    len = std::max(len, 4);
+
+    RegionResult r;
+    switch (pick_region(rng)) {
+      case 0: r = SlidingRegion(b, len); break;
+      case 1: {
+        bool gapped = b.RandomDouble() < profile_.gap_region_probability;
+        r = DerivedRegion(b, len, gapped);
+        break;
+      }
+      case 2: r = Fig2Region(b, len); break;
+      case 3: r = FixedRegion(b, len); break;
+      case 4: r = ChainRegion(b, len); break;
+      case 5: r = CumulativeRegion(b, len); break;
+      case 6: r = ShrinkingRegion(b, len); break;
+      default: r = NoiseRegion(b, len); break;
+    }
+
+    placed += r.formulas;
+    out.expected_dependencies += r.dependencies;
+    if (r.anchor_count > out.expected_max_dependents) {
+      out.expected_max_dependents = r.anchor_count;
+      out.max_dependents_cell = r.anchor;
+    }
+    if (r.path_len > out.expected_longest_path) {
+      out.expected_longest_path = r.path_len;
+      out.longest_path_cell = r.path_head;
+    }
+  }
+  return out;
+}
+
+std::vector<CorpusSheet> CorpusGenerator::GenerateAll() const {
+  std::vector<CorpusSheet> out;
+  out.reserve(static_cast<size_t>(profile_.num_sheets));
+  for (int i = 0; i < profile_.num_sheets; ++i) {
+    out.push_back(GenerateSheet(i));
+  }
+  return out;
+}
+
+}  // namespace taco

@@ -1,0 +1,122 @@
+// Corpus profiles: the synthetic stand-ins for the Enron and Github
+// datasets (DESIGN.md §4).
+//
+// The real corpora are collections of large spreadsheets whose formula
+// regions were produced by autofill, copy-paste, and programmatic
+// generation. The profiles below parameterize a generator that produces
+// sheets through the same mechanisms, calibrated to the paper's reported
+// statistics:
+//   * pattern mix dominated by RR >> FF >> RR-Chain >> FR >> RF (Table V),
+//   * compressed-edge fractions of a few percent, Enron noisier than
+//     Github (Table IV),
+//   * per-sheet max-dependent counts and chain lengths spanning the
+//     bucket histogram of Fig. 1 (Github heavier-tailed than Enron),
+//   * Github sheets several times larger than Enron sheets (Table II).
+// Counts and sizes default to laptop-bench scale; the ratios, not the
+// absolute totals, are the reproduction target.
+
+#ifndef TACO_CORPUS_PROFILE_H_
+#define TACO_CORPUS_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace taco {
+
+/// Weights for choosing the next formula region while filling a sheet.
+/// Values are relative (normalized internally); each maps to a region
+/// generator and, through it, to the compression pattern it exercises.
+struct RegionMix {
+  double sliding = 0.30;     ///< moving-window SUMs -> RR
+  double derived = 0.25;     ///< same-row derived columns -> RR (InRow)
+  double fig2 = 0.15;        ///< 4-reference IF ladders (Fig. 2) -> RR + chain
+  double fixed = 0.18;       ///< rate lookups / VLOOKUP tables -> FF
+  double chain = 0.06;       ///< running accumulators -> RR-Chain
+  double cumulative = 0.04;  ///< year-to-date style SUM($X$1:Xr) -> FR
+  double shrinking = 0.01;   ///< remaining-total SUM(Xr:$X$n) -> RF
+  double noise = 0.01;       ///< hand-written outliers -> Single
+};
+
+/// One synthetic corpus.
+struct CorpusProfile {
+  std::string name;
+  uint32_t seed = 1;
+  int num_sheets = 30;
+
+  /// Per-sheet formula count, log-uniform in [min, max].
+  int min_formulas_per_sheet = 2000;
+  int max_formulas_per_sheet = 40000;
+
+  /// Region length (formula rows), log-uniform in [min, max]. The tail of
+  /// this distribution produces the Fig. 1 heavy hitters.
+  int min_region_len = 40;
+  int max_region_len = 20000;
+
+  RegionMix mix;
+
+  /// Probability that a region is punctured by a hole (a formula replaced
+  /// by a value), fragmenting its compressed edge.
+  double hole_probability = 0.15;
+
+  /// Probability that a sheet is "flat": only derived/sliding/noise
+  /// regions, so no cell accumulates a large dependent set and no chain
+  /// forms. Real corpora are full of such sheets — they populate the
+  /// (0,100] buckets of Fig. 1.
+  double flat_sheet_probability = 0.45;
+
+  /// Probability that a derived region is written at stride 2 (every
+  /// other row), the RR-GapOne shape of Sec. V.
+  double gap_region_probability = 0.0;
+
+  /// Fill data columns with literal values (needed for evaluation demos;
+  /// off for graph-only benches to save memory).
+  bool fill_values = false;
+
+  /// The Enron-like corpus: smaller sheets, noisier authorship.
+  static CorpusProfile Enron() {
+    CorpusProfile p;
+    p.name = "Enron";
+    p.seed = 20230210;
+    p.num_sheets = 30;
+    p.min_formulas_per_sheet = 2000;
+    p.max_formulas_per_sheet = 30000;
+    p.min_region_len = 40;
+    p.max_region_len = 15000;
+    p.mix.noise = 0.03;
+    p.hole_probability = 0.20;
+    p.flat_sheet_probability = 0.45;
+    return p;
+  }
+
+  /// The Github-like corpus: larger, cleaner, heavier-tailed sheets
+  /// (xlsx files, often programmatically generated).
+  static CorpusProfile Github() {
+    CorpusProfile p;
+    p.name = "Github";
+    p.seed = 20230211;
+    p.num_sheets = 40;
+    p.min_formulas_per_sheet = 4000;
+    p.max_formulas_per_sheet = 80000;
+    p.min_region_len = 60;
+    p.max_region_len = 60000;
+    p.mix.noise = 0.005;
+    p.hole_probability = 0.08;
+    p.flat_sheet_probability = 0.35;
+    return p;
+  }
+
+  /// Tiny variant of any profile for unit tests.
+  CorpusProfile Tiny() const {
+    CorpusProfile p = *this;
+    p.num_sheets = 4;
+    p.min_formulas_per_sheet = 100;
+    p.max_formulas_per_sheet = 400;
+    p.min_region_len = 10;
+    p.max_region_len = 80;
+    return p;
+  }
+};
+
+}  // namespace taco
+
+#endif  // TACO_CORPUS_PROFILE_H_

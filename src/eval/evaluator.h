@@ -1,0 +1,62 @@
+// Recursive formula evaluator with memoization and cycle detection.
+//
+// Supported functions: SUM, AVERAGE (alias AVG), MIN, MAX, COUNT, COUNTA,
+// IF, AND, OR, NOT, ABS, ROUND, VLOOKUP, CONCAT/CONCATENATE; all binary
+// operators of the formula language. Range arguments aggregate over
+// non-blank cells like real spreadsheets.
+
+#ifndef TACO_EVAL_EVALUATOR_H_
+#define TACO_EVAL_EVALUATOR_H_
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "eval/value.h"
+#include "formula/ast.h"
+#include "sheet/sheet.h"
+
+namespace taco {
+
+/// Evaluates cells of a Sheet. Results are cached per cell; Invalidate()
+/// drops cache entries when cells change (the recalc engine drives this).
+class Evaluator {
+ public:
+  explicit Evaluator(const Sheet* sheet) : sheet_(sheet) {}
+
+  /// The value of `cell`: literals convert directly, formulas evaluate
+  /// recursively. Unknown functions yield #NAME?, cycles #CYCLE!.
+  Value EvaluateCell(const Cell& cell);
+
+  /// Evaluates an expression as if located at some cell (references are
+  /// absolute positions, so no origin is needed).
+  Value EvaluateExpr(const Expr& expr);
+
+  /// Drops the cached values of `cells` (after an update).
+  void Invalidate(const Range& cells);
+  void InvalidateAll() { cache_.clear(); }
+
+  size_t cache_size() const { return cache_.size(); }
+
+  /// One flattened function argument. Spreadsheet aggregates treat values
+  /// that came out of a range differently from direct scalar arguments
+  /// (text/logicals in ranges are skipped; direct ones coerce), so the
+  /// provenance rides along.
+  struct ArgValue {
+    Value value;
+    bool from_range = false;
+  };
+
+ private:
+  Value EvaluateCall(const CallExpr& call);
+  Value EvaluateBinary(const BinaryExpr& expr);
+  Value EvaluateUnary(const UnaryExpr& expr);
+  void CollectArgValues(const Expr& arg, std::vector<ArgValue>* out);
+
+  const Sheet* sheet_;
+  std::unordered_map<Cell, Value> cache_;
+  std::unordered_set<Cell> in_progress_;
+};
+
+}  // namespace taco
+
+#endif  // TACO_EVAL_EVALUATOR_H_

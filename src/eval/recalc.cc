@@ -1,0 +1,94 @@
+#include "eval/recalc.h"
+
+#include <chrono>
+#include <unordered_set>
+
+#include "formula/references.h"
+
+namespace taco {
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+RecalcEngine::RecalcEngine(Sheet* sheet, DependencyGraph* graph)
+    : sheet_(sheet), graph_(graph), evaluator_(sheet) {}
+
+RecalcResult RecalcEngine::Recalculate(const Range& changed) {
+  RecalcResult result;
+  auto start = std::chrono::steady_clock::now();
+  result.dirty = graph_->FindDependents(changed);
+  result.find_dependents_ms = MsSince(start);
+
+  evaluator_.Invalidate(changed);
+  for (const Range& range : result.dirty) {
+    result.dirty_cells += range.Area();
+    evaluator_.Invalidate(range);
+  }
+  // Re-evaluate eagerly; the recursive evaluator resolves ordering and the
+  // shared cache makes each formula compute once.
+  for (const Range& range : result.dirty) {
+    for (const Cell& cell : EnumerateCells(range)) {
+      if (sheet_->IsFormulaCell(cell)) {
+        evaluator_.EvaluateCell(cell);
+        ++result.recalculated;
+      }
+    }
+  }
+  return result;
+}
+
+Result<RecalcResult> RecalcEngine::SetNumber(const Cell& cell, double value) {
+  // Replacing a formula cell also drops its outgoing dependencies.
+  if (sheet_->IsFormulaCell(cell)) {
+    TACO_RETURN_IF_ERROR(graph_->RemoveFormulaCells(Range(cell)));
+  }
+  TACO_RETURN_IF_ERROR(sheet_->SetNumber(cell, value));
+  return Recalculate(Range(cell));
+}
+
+Result<RecalcResult> RecalcEngine::SetText(const Cell& cell,
+                                           std::string value) {
+  if (sheet_->IsFormulaCell(cell)) {
+    TACO_RETURN_IF_ERROR(graph_->RemoveFormulaCells(Range(cell)));
+  }
+  TACO_RETURN_IF_ERROR(sheet_->SetText(cell, std::move(value)));
+  return Recalculate(Range(cell));
+}
+
+Result<RecalcResult> RecalcEngine::SetFormula(const Cell& cell,
+                                              std::string_view text) {
+  if (sheet_->IsFormulaCell(cell)) {
+    TACO_RETURN_IF_ERROR(graph_->RemoveFormulaCells(Range(cell)));
+  }
+  TACO_RETURN_IF_ERROR(sheet_->SetFormula(cell, text));
+
+  // Register the new formula's dependencies (an update is modeled as
+  // clear + insert, Sec. IV-C).
+  const CellContent* content = sheet_->Get(cell);
+  std::vector<A1Reference> refs = ExtractReferences(*content->formula().ast);
+  std::unordered_set<Range> seen;
+  for (const A1Reference& ref : refs) {
+    if (!seen.insert(ref.range).second) continue;
+    Dependency dep;
+    dep.prec = ref.range;
+    dep.dep = cell;
+    dep.head_flags = ref.head_flags;
+    dep.tail_flags = ref.tail_flags;
+    TACO_RETURN_IF_ERROR(graph_->AddDependency(dep));
+  }
+  return Recalculate(Range(cell));
+}
+
+Result<RecalcResult> RecalcEngine::ClearRange(const Range& range) {
+  TACO_RETURN_IF_ERROR(graph_->RemoveFormulaCells(range));
+  TACO_RETURN_IF_ERROR(sheet_->ClearRange(range));
+  return Recalculate(range);
+}
+
+}  // namespace taco

@@ -1,0 +1,63 @@
+// The recalculation engine: the application layer that makes formula-graph
+// queries latency-critical (Sec. I of the paper).
+//
+// On every update the engine asks the formula graph for the transitive
+// dependents of the changed cell — exactly the step DataSpread performs
+// before returning control to the user — then re-evaluates those formulas.
+// The dirty-set identification time and size are reported per update so
+// benchmarks and examples can attribute latency to the graph query.
+
+#ifndef TACO_EVAL_RECALC_H_
+#define TACO_EVAL_RECALC_H_
+
+#include <memory>
+
+#include "eval/evaluator.h"
+#include "graph/dependency_graph.h"
+#include "sheet/sheet.h"
+
+namespace taco {
+
+/// Outcome of one update.
+struct RecalcResult {
+  std::vector<Range> dirty;        ///< Ranges of formulas needing recalc.
+  uint64_t dirty_cells = 0;        ///< Total dirty formula cells.
+  uint64_t recalculated = 0;       ///< Formulas actually re-evaluated.
+  double find_dependents_ms = 0;   ///< Time spent in FindDependents.
+};
+
+/// Couples a Sheet, a DependencyGraph, and an Evaluator into a live
+/// spreadsheet engine. The graph implementation is pluggable — pass a
+/// TacoGraph for compressed operation or a NoCompGraph as the baseline.
+class RecalcEngine {
+ public:
+  /// `sheet` and `graph` must outlive the engine. The graph must already
+  /// reflect the sheet's dependencies (BuildGraphFromSheet).
+  RecalcEngine(Sheet* sheet, DependencyGraph* graph);
+
+  /// Updates a literal cell and recalculates its dependents.
+  Result<RecalcResult> SetNumber(const Cell& cell, double value);
+  Result<RecalcResult> SetText(const Cell& cell, std::string value);
+
+  /// Replaces a cell's formula (clear + insert in the graph) and
+  /// recalculates.
+  Result<RecalcResult> SetFormula(const Cell& cell, std::string_view text);
+
+  /// Clears a range of cells, removing their dependencies.
+  Result<RecalcResult> ClearRange(const Range& range);
+
+  /// Current value of a cell (cached; evaluates on demand).
+  Value GetValue(const Cell& cell) { return evaluator_.EvaluateCell(cell); }
+
+ private:
+  /// Invalidates and re-evaluates everything depending on `changed`.
+  RecalcResult Recalculate(const Range& changed);
+
+  Sheet* sheet_;
+  DependencyGraph* graph_;
+  Evaluator evaluator_;
+};
+
+}  // namespace taco
+
+#endif  // TACO_EVAL_RECALC_H_

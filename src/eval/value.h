@@ -1,0 +1,76 @@
+// Evaluated cell values.
+
+#ifndef TACO_EVAL_VALUE_H_
+#define TACO_EVAL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace taco {
+
+/// Spreadsheet error codes, printed the way sheets display them.
+enum class EvalError : uint8_t {
+  kDiv0,   ///< #DIV/0!
+  kValue,  ///< #VALUE! (type mismatch)
+  kRef,    ///< #REF!   (invalid reference)
+  kName,   ///< #NAME?  (unknown function)
+  kNa,     ///< #N/A    (lookup miss)
+  kCycle,  ///< #CYCLE! (circular dependency; non-standard but explicit)
+};
+
+std::string_view EvalErrorToString(EvalError error);
+
+/// The result of evaluating a cell or expression: empty (blank cell), a
+/// number, a boolean, text, or an error.
+class Value {
+ public:
+  Value() = default;
+  static Value Number(double v) { return Value(Repr(v)); }
+  static Value Boolean(bool v) { return Value(Repr(v)); }
+  static Value Text(std::string v) { return Value(Repr(std::move(v))); }
+  static Value Error(EvalError e) { return Value(Repr(e)); }
+  static Value Blank() { return Value(); }
+
+  bool is_blank() const { return std::holds_alternative<std::monostate>(repr_); }
+  bool is_number() const { return std::holds_alternative<double>(repr_); }
+  bool is_boolean() const { return std::holds_alternative<bool>(repr_); }
+  bool is_text() const { return std::holds_alternative<std::string>(repr_); }
+  bool is_error() const { return std::holds_alternative<EvalError>(repr_); }
+
+  double number() const { return std::get<double>(repr_); }
+  bool boolean() const { return std::get<bool>(repr_); }
+  const std::string& text() const { return std::get<std::string>(repr_); }
+  EvalError error() const { return std::get<EvalError>(repr_); }
+
+  /// Numeric coercion: numbers as-is, booleans 1/0, blank 0. Text and
+  /// errors do not coerce (callers check CoercesToNumber first).
+  double AsNumber() const {
+    if (is_number()) return number();
+    if (is_boolean()) return boolean() ? 1.0 : 0.0;
+    return 0.0;  // blank
+  }
+  bool CoercesToNumber() const { return is_number() || is_boolean() || is_blank(); }
+
+  /// Truthiness for IF/AND/OR: non-zero numbers and TRUE.
+  bool AsBoolean() const {
+    if (is_boolean()) return boolean();
+    if (is_number()) return number() != 0.0;
+    return false;
+  }
+
+  /// Display form ("42", "TRUE", "#DIV/0!", text verbatim, "" for blank).
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const { return repr_ == other.repr_; }
+
+ private:
+  using Repr =
+      std::variant<std::monostate, double, bool, std::string, EvalError>;
+  explicit Value(Repr repr) : repr_(std::move(repr)) {}
+  Repr repr_;
+};
+
+}  // namespace taco
+
+#endif  // TACO_EVAL_VALUE_H_

@@ -1,0 +1,247 @@
+#include "formula/ast.h"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace taco {
+namespace {
+
+// Operator precedence for printing with minimal parentheses; larger binds
+// tighter. Mirrors the parser's levels.
+int Precedence(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return 1;
+    case BinaryOp::kConcat:
+      return 2;
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+      return 3;
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv:
+      return 4;
+    case BinaryOp::kPow:
+      return 5;
+  }
+  return 0;
+}
+
+// All binary operators here are left-associative except '^'.
+bool RightAssociative(BinaryOp op) { return op == BinaryOp::kPow; }
+
+void Print(const Expr& expr, int parent_prec, bool parent_right,
+           std::string* out);
+
+void PrintBinary(const BinaryExpr& bin, int parent_prec, bool parent_right,
+                 std::string* out) {
+  int prec = Precedence(bin.op);
+  // Parenthesize when this operator binds looser than the context, or at
+  // equal precedence on the non-associative side.
+  bool needs_parens = prec < parent_prec ||
+                      (prec == parent_prec &&
+                       (RightAssociative(bin.op) ? !parent_right : parent_right));
+  if (needs_parens) out->push_back('(');
+  Print(*bin.lhs, prec, false, out);
+  out->append(BinaryOpToString(bin.op));
+  Print(*bin.rhs, prec + (RightAssociative(bin.op) ? 0 : 1), true, out);
+  if (needs_parens) out->push_back(')');
+}
+
+std::string FormatNumber(double v) {
+  // Integral values print without a decimal point, like spreadsheets do.
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::ostringstream os;
+    os.precision(15);
+    os << static_cast<long long>(v);
+    return os.str();
+  }
+  std::ostringstream os;
+  os.precision(15);
+  os << v;
+  return os.str();
+}
+
+void Print(const Expr& expr, int parent_prec, bool parent_right,
+           std::string* out) {
+  switch (expr.kind) {
+    case ExprKind::kNumber:
+      out->append(FormatNumber(static_cast<const NumberExpr&>(expr).value));
+      return;
+    case ExprKind::kString: {
+      const auto& str = static_cast<const StringExpr&>(expr);
+      out->push_back('"');
+      for (char ch : str.value) {
+        if (ch == '"') out->push_back('"');
+        out->push_back(ch);
+      }
+      out->push_back('"');
+      return;
+    }
+    case ExprKind::kBoolean:
+      out->append(static_cast<const BooleanExpr&>(expr).value ? "TRUE"
+                                                              : "FALSE");
+      return;
+    case ExprKind::kReference: {
+      const auto& ref = static_cast<const ReferenceExpr&>(expr).ref;
+      if (ref.is_single_cell) {
+        out->append(CellToA1(ref.range.head, ref.head_flags));
+      } else {
+        out->append(CellToA1(ref.range.head, ref.head_flags) + ":" +
+                    CellToA1(ref.range.tail, ref.tail_flags));
+      }
+      return;
+    }
+    case ExprKind::kUnary: {
+      const auto& unary = static_cast<const UnaryExpr&>(expr);
+      // Postfix '%' binds tighter than the prefix operators: "-x%" parses
+      // as Negate(Percent(x)), so Percent(Negate(x)) needs "(-x)%".
+      constexpr int kPrefixPrec = 6;
+      constexpr int kPostfixPrec = 7;
+      const bool is_postfix = unary.op == UnaryOp::kPercent;
+      const int my_prec = is_postfix ? kPostfixPrec : kPrefixPrec;
+      bool needs_parens = my_prec < parent_prec;
+      if (needs_parens) out->push_back('(');
+      switch (unary.op) {
+        case UnaryOp::kNegate:
+          out->push_back('-');
+          Print(*unary.operand, kPrefixPrec, true, out);
+          break;
+        case UnaryOp::kPlus:
+          out->push_back('+');
+          Print(*unary.operand, kPrefixPrec, true, out);
+          break;
+        case UnaryOp::kPercent:
+          Print(*unary.operand, kPostfixPrec, false, out);
+          out->push_back('%');
+          break;
+      }
+      if (needs_parens) out->push_back(')');
+      return;
+    }
+    case ExprKind::kBinary:
+      PrintBinary(static_cast<const BinaryExpr&>(expr), parent_prec,
+                  parent_right, out);
+      return;
+    case ExprKind::kCall: {
+      const auto& call = static_cast<const CallExpr&>(expr);
+      out->append(call.name);
+      out->push_back('(');
+      for (size_t i = 0; i < call.args.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        Print(*call.args[i], 0, false, out);
+      }
+      out->push_back(')');
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string_view BinaryOpToString(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kPow: return "^";
+    case BinaryOp::kConcat: return "&";
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "<>";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+ExprPtr CloneExpr(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kNumber:
+      return std::make_unique<NumberExpr>(
+          static_cast<const NumberExpr&>(expr).value);
+    case ExprKind::kString:
+      return std::make_unique<StringExpr>(
+          static_cast<const StringExpr&>(expr).value);
+    case ExprKind::kBoolean:
+      return std::make_unique<BooleanExpr>(
+          static_cast<const BooleanExpr&>(expr).value);
+    case ExprKind::kReference:
+      return std::make_unique<ReferenceExpr>(
+          static_cast<const ReferenceExpr&>(expr).ref);
+    case ExprKind::kUnary: {
+      const auto& unary = static_cast<const UnaryExpr&>(expr);
+      return std::make_unique<UnaryExpr>(unary.op, CloneExpr(*unary.operand));
+    }
+    case ExprKind::kBinary: {
+      const auto& bin = static_cast<const BinaryExpr&>(expr);
+      return std::make_unique<BinaryExpr>(bin.op, CloneExpr(*bin.lhs),
+                                          CloneExpr(*bin.rhs));
+    }
+    case ExprKind::kCall: {
+      const auto& call = static_cast<const CallExpr&>(expr);
+      std::vector<ExprPtr> args;
+      args.reserve(call.args.size());
+      for (const ExprPtr& arg : call.args) {
+        args.push_back(CloneExpr(*arg));
+      }
+      return std::make_unique<CallExpr>(call.name, std::move(args));
+    }
+  }
+  assert(false && "unreachable");
+  return nullptr;
+}
+
+std::string ExprToString(const Expr& expr) {
+  std::string out;
+  Print(expr, 0, false, &out);
+  return out;
+}
+
+bool ExprEquals(const Expr& a, const Expr& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case ExprKind::kNumber:
+      return static_cast<const NumberExpr&>(a).value ==
+             static_cast<const NumberExpr&>(b).value;
+    case ExprKind::kString:
+      return static_cast<const StringExpr&>(a).value ==
+             static_cast<const StringExpr&>(b).value;
+    case ExprKind::kBoolean:
+      return static_cast<const BooleanExpr&>(a).value ==
+             static_cast<const BooleanExpr&>(b).value;
+    case ExprKind::kReference:
+      return static_cast<const ReferenceExpr&>(a).ref ==
+             static_cast<const ReferenceExpr&>(b).ref;
+    case ExprKind::kUnary: {
+      const auto& ua = static_cast<const UnaryExpr&>(a);
+      const auto& ub = static_cast<const UnaryExpr&>(b);
+      return ua.op == ub.op && ExprEquals(*ua.operand, *ub.operand);
+    }
+    case ExprKind::kBinary: {
+      const auto& ba = static_cast<const BinaryExpr&>(a);
+      const auto& bb = static_cast<const BinaryExpr&>(b);
+      return ba.op == bb.op && ExprEquals(*ba.lhs, *bb.lhs) &&
+             ExprEquals(*ba.rhs, *bb.rhs);
+    }
+    case ExprKind::kCall: {
+      const auto& ca = static_cast<const CallExpr&>(a);
+      const auto& cb = static_cast<const CallExpr&>(b);
+      if (ca.name != cb.name || ca.args.size() != cb.args.size()) return false;
+      for (size_t i = 0; i < ca.args.size(); ++i) {
+        if (!ExprEquals(*ca.args[i], *cb.args[i])) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace taco

@@ -1,0 +1,121 @@
+// Abstract syntax tree for spreadsheet formulas.
+
+#ifndef TACO_FORMULA_AST_H_
+#define TACO_FORMULA_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/a1.h"
+
+namespace taco {
+
+enum class ExprKind : uint8_t {
+  kNumber,
+  kString,
+  kBoolean,
+  kReference,
+  kUnary,
+  kBinary,
+  kCall,
+};
+
+enum class UnaryOp : uint8_t {
+  kNegate,   ///< -x
+  kPlus,     ///< +x
+  kPercent,  ///< x% (postfix, divides by 100)
+};
+
+enum class BinaryOp : uint8_t {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kPow,
+  kConcat,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+/// Base class of all formula expression nodes. Nodes are immutable after
+/// parsing and owned through unique_ptr.
+struct Expr {
+  const ExprKind kind;
+
+  virtual ~Expr() = default;
+
+ protected:
+  explicit Expr(ExprKind k) : kind(k) {}
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct NumberExpr : Expr {
+  explicit NumberExpr(double v) : Expr(ExprKind::kNumber), value(v) {}
+  double value;
+};
+
+struct StringExpr : Expr {
+  explicit StringExpr(std::string v)
+      : Expr(ExprKind::kString), value(std::move(v)) {}
+  std::string value;
+};
+
+struct BooleanExpr : Expr {
+  explicit BooleanExpr(bool v) : Expr(ExprKind::kBoolean), value(v) {}
+  bool value;
+};
+
+/// A cell or range reference, retaining the '$' absolute markers.
+struct ReferenceExpr : Expr {
+  explicit ReferenceExpr(A1Reference r)
+      : Expr(ExprKind::kReference), ref(std::move(r)) {}
+  A1Reference ref;
+};
+
+struct UnaryExpr : Expr {
+  UnaryExpr(UnaryOp o, ExprPtr x)
+      : Expr(ExprKind::kUnary), op(o), operand(std::move(x)) {}
+  UnaryOp op;
+  ExprPtr operand;
+};
+
+struct BinaryExpr : Expr {
+  BinaryExpr(BinaryOp o, ExprPtr l, ExprPtr r)
+      : Expr(ExprKind::kBinary), op(o), lhs(std::move(l)), rhs(std::move(r)) {}
+  BinaryOp op;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+/// A function invocation, e.g. SUM(A1:B3, 5).
+struct CallExpr : Expr {
+  CallExpr(std::string n, std::vector<ExprPtr> a)
+      : Expr(ExprKind::kCall), name(std::move(n)), args(std::move(a)) {}
+  std::string name;  ///< Upper-cased function name.
+  std::vector<ExprPtr> args;
+};
+
+/// Deep-copies an expression tree.
+ExprPtr CloneExpr(const Expr& expr);
+
+/// Renders an expression back to formula text (without the leading '=').
+/// Parentheses are emitted where precedence requires them; parsing the
+/// output yields a structurally identical tree.
+std::string ExprToString(const Expr& expr);
+
+/// Structural equality of two expression trees.
+bool ExprEquals(const Expr& a, const Expr& b);
+
+/// The spelling of a binary operator ("+", "<>", ...).
+std::string_view BinaryOpToString(BinaryOp op);
+
+}  // namespace taco
+
+#endif  // TACO_FORMULA_AST_H_

@@ -1,0 +1,269 @@
+#include "formula/lexer.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+namespace taco {
+namespace {
+
+bool IsIdentChar(char ch) {
+  return std::isalnum(static_cast<unsigned char>(ch)) || ch == '_' ||
+         ch == '$' || ch == '.';
+}
+
+// Classifies an identifier-like run: cell reference, boolean literal, or
+// function-name identifier. `next_char` is the first character after the
+// run ('(' marks a function call).
+Result<Token> ClassifyWord(std::string_view word, size_t offset,
+                           char next_char) {
+  Token token;
+  token.offset = offset;
+
+  // Case-insensitive TRUE/FALSE.
+  auto equals_ci = [&](std::string_view target) {
+    if (word.size() != target.size()) return false;
+    for (size_t i = 0; i < word.size(); ++i) {
+      if (std::toupper(static_cast<unsigned char>(word[i])) != target[i]) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (equals_ci("TRUE")) {
+    token.kind = TokenKind::kBoolean;
+    token.boolean = true;
+    return token;
+  }
+  if (equals_ci("FALSE")) {
+    token.kind = TokenKind::kBoolean;
+    token.boolean = false;
+    return token;
+  }
+
+  if (next_char == '(') {
+    token.kind = TokenKind::kIdentifier;
+    token.text.assign(word);
+    for (char& ch : token.text) {
+      ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+    }
+    return token;
+  }
+
+  // Not a call: must be a cell reference.
+  size_t pos = 0;
+  AbsFlags flags;
+  if (pos < word.size() && word[pos] == '$') {
+    flags.abs_col = true;
+    ++pos;
+  }
+  size_t letters_begin = pos;
+  while (pos < word.size() &&
+         std::isalpha(static_cast<unsigned char>(word[pos]))) {
+    ++pos;
+  }
+  if (pos == letters_begin) {
+    return Status::ParseError("expected cell reference at offset " +
+                              std::to_string(offset) + ": '" +
+                              std::string(word) + "'");
+  }
+  auto col = LettersToColumn(word.substr(letters_begin, pos - letters_begin));
+  if (!col.ok()) {
+    return Status::ParseError("bad column in reference '" + std::string(word) +
+                              "' at offset " + std::to_string(offset));
+  }
+  if (pos < word.size() && word[pos] == '$') {
+    flags.abs_row = true;
+    ++pos;
+  }
+  size_t digits_begin = pos;
+  int64_t row = 0;
+  while (pos < word.size() &&
+         std::isdigit(static_cast<unsigned char>(word[pos]))) {
+    row = row * 10 + (word[pos] - '0');
+    if (row > kMaxRow) {
+      return Status::ParseError("row out of range in '" + std::string(word) +
+                                "'");
+    }
+    ++pos;
+  }
+  if (digits_begin == pos || pos != word.size() || row < 1) {
+    return Status::ParseError("unknown identifier '" + std::string(word) +
+                              "' at offset " + std::to_string(offset));
+  }
+  token.kind = TokenKind::kCellRef;
+  token.cell = Cell{*col, static_cast<int32_t>(row)};
+  token.cell_flags = flags;
+  return token;
+}
+
+}  // namespace
+
+std::string_view TokenKindToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kString: return "string";
+    case TokenKind::kBoolean: return "boolean";
+    case TokenKind::kCellRef: return "cell reference";
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kCaret: return "'^'";
+    case TokenKind::kAmpersand: return "'&'";
+    case TokenKind::kPercent: return "'%'";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kNe: return "'<>'";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kEnd: return "end of formula";
+  }
+  return "unknown";
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view text) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = text.size();
+
+  auto push_op = [&](TokenKind kind, size_t offset) {
+    Token token;
+    token.kind = kind;
+    token.offset = offset;
+    tokens.push_back(std::move(token));
+  };
+
+  while (i < n) {
+    char ch = text[i];
+    if (std::isspace(static_cast<unsigned char>(ch))) {
+      ++i;
+      continue;
+    }
+
+    // Numbers: digits, optionally with '.', exponent. A leading '.' is
+    // also accepted (".5").
+    if (std::isdigit(static_cast<unsigned char>(ch)) ||
+        (ch == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      const char* begin = text.data() + i;
+      char* end = nullptr;
+      double value = std::strtod(begin, &end);
+      if (end == begin) {
+        return Status::ParseError("malformed number at offset " +
+                                  std::to_string(i));
+      }
+      Token token;
+      token.kind = TokenKind::kNumber;
+      token.offset = i;
+      token.number = value;
+      tokens.push_back(std::move(token));
+      i += static_cast<size_t>(end - begin);
+      continue;
+    }
+
+    // Strings: double-quoted; "" escapes a literal quote.
+    if (ch == '"') {
+      Token token;
+      token.kind = TokenKind::kString;
+      token.offset = i;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (text[i] == '"') {
+          if (i + 1 < n && text[i + 1] == '"') {
+            token.text += '"';
+            i += 2;
+          } else {
+            ++i;
+            closed = true;
+            break;
+          }
+        } else {
+          token.text += text[i];
+          ++i;
+        }
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string at offset " +
+                                  std::to_string(token.offset));
+      }
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    // Identifier-like runs (function names, cell refs, TRUE/FALSE).
+    if (std::isalpha(static_cast<unsigned char>(ch)) || ch == '$' ||
+        ch == '_') {
+      size_t begin = i;
+      while (i < n && IsIdentChar(text[i])) ++i;
+      char next = i < n ? text[i] : '\0';
+      // Skip whitespace to find a possible '(' for function calls.
+      size_t look = i;
+      while (look < n &&
+             std::isspace(static_cast<unsigned char>(text[look]))) {
+        ++look;
+      }
+      if (look < n && text[look] == '(') next = '(';
+      auto token = ClassifyWord(text.substr(begin, i - begin), begin, next);
+      if (!token.ok()) return token.status();
+      tokens.push_back(std::move(*token));
+      continue;
+    }
+
+    size_t offset = i;
+    switch (ch) {
+      case '+': push_op(TokenKind::kPlus, offset); ++i; break;
+      case '-': push_op(TokenKind::kMinus, offset); ++i; break;
+      case '*': push_op(TokenKind::kStar, offset); ++i; break;
+      case '/': push_op(TokenKind::kSlash, offset); ++i; break;
+      case '^': push_op(TokenKind::kCaret, offset); ++i; break;
+      case '&': push_op(TokenKind::kAmpersand, offset); ++i; break;
+      case '%': push_op(TokenKind::kPercent, offset); ++i; break;
+      case '(': push_op(TokenKind::kLParen, offset); ++i; break;
+      case ')': push_op(TokenKind::kRParen, offset); ++i; break;
+      case ',': push_op(TokenKind::kComma, offset); ++i; break;
+      case ':': push_op(TokenKind::kColon, offset); ++i; break;
+      case '=': push_op(TokenKind::kEq, offset); ++i; break;
+      case '<':
+        if (i + 1 < n && text[i + 1] == '>') {
+          push_op(TokenKind::kNe, offset);
+          i += 2;
+        } else if (i + 1 < n && text[i + 1] == '=') {
+          push_op(TokenKind::kLe, offset);
+          i += 2;
+        } else {
+          push_op(TokenKind::kLt, offset);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && text[i + 1] == '=') {
+          push_op(TokenKind::kGe, offset);
+          i += 2;
+        } else {
+          push_op(TokenKind::kGt, offset);
+          ++i;
+        }
+        break;
+      default:
+        return Status::ParseError("unexpected character '" +
+                                  std::string(1, ch) + "' at offset " +
+                                  std::to_string(i));
+    }
+  }
+
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace taco

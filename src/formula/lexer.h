@@ -1,0 +1,26 @@
+// Tokenizer for spreadsheet formula text.
+//
+// Accepts the expression after the leading '=' (the sheet layer strips the
+// '='). Identifier-like character runs are disambiguated against cell
+// references: "SUM" followed by '(' is a function name, "B7" is a cell,
+// "$B$7" is a cell with absolute markers.
+
+#ifndef TACO_FORMULA_LEXER_H_
+#define TACO_FORMULA_LEXER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "formula/token.h"
+
+namespace taco {
+
+/// Tokenizes `text` into a token list terminated by a kEnd token.
+/// Whitespace between tokens is skipped. Fails with ParseError on
+/// malformed input (bad number, unterminated string, stray character).
+Result<std::vector<Token>> Tokenize(std::string_view text);
+
+}  // namespace taco
+
+#endif  // TACO_FORMULA_LEXER_H_

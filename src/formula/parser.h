@@ -1,0 +1,30 @@
+// Recursive-descent parser for spreadsheet formulas.
+//
+// Grammar (precedence from loosest to tightest, mirrors Excel):
+//   comparison :=  concat (('='|'<>'|'<'|'<='|'>'|'>=') concat)*
+//   concat     :=  additive ('&' additive)*
+//   additive   :=  multiplicative (('+'|'-') multiplicative)*
+//   multiplicative := exponent (('*'|'/') exponent)*
+//   exponent   :=  unary ('^' exponent)?          (right associative)
+//   unary      :=  ('-'|'+')* postfix
+//   postfix    :=  primary '%'*
+//   primary    :=  number | string | boolean | reference | call | '(' comparison ')'
+//   reference  :=  CELL (':' CELL)?
+//   call       :=  IDENT '(' (comparison (',' comparison)*)? ')'
+
+#ifndef TACO_FORMULA_PARSER_H_
+#define TACO_FORMULA_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "formula/ast.h"
+
+namespace taco {
+
+/// Parses formula text (without the leading '=') into an AST.
+Result<ExprPtr> ParseFormula(std::string_view text);
+
+}  // namespace taco
+
+#endif  // TACO_FORMULA_PARSER_H_

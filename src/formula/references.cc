@@ -1,0 +1,133 @@
+#include "formula/references.h"
+
+#include <cassert>
+
+namespace taco {
+namespace {
+
+// Shifts one corner: '$'-anchored coordinates stay, relative ones move.
+Cell ShiftCorner(const Cell& cell, const AbsFlags& flags, Offset offset) {
+  return Cell{flags.abs_col ? cell.col : cell.col + offset.dcol,
+              flags.abs_row ? cell.row : cell.row + offset.drow};
+}
+
+Result<A1Reference> ShiftReference(const A1Reference& ref, Offset offset) {
+  A1Reference out = ref;
+  Cell head = ShiftCorner(ref.range.head, ref.head_flags, offset);
+  Cell tail = ShiftCorner(ref.range.tail, ref.tail_flags, offset);
+  if (!head.IsValid() || !tail.IsValid()) {
+    return Status::OutOfRange("shifted reference " + ref.range.ToString() +
+                              " by " + offset.ToString() +
+                              " leaves the sheet (#REF!)");
+  }
+  // Mixed-anchor shifts can cross the corners; re-normalize, keeping each
+  // flag with its textual corner like spreadsheets do.
+  if (!DominatedBy(head, tail)) {
+    if (head.col > tail.col) {
+      std::swap(head.col, tail.col);
+      std::swap(out.head_flags.abs_col, out.tail_flags.abs_col);
+    }
+    if (head.row > tail.row) {
+      std::swap(head.row, tail.row);
+      std::swap(out.head_flags.abs_row, out.tail_flags.abs_row);
+    }
+  }
+  out.range = Range(head, tail);
+  return out;
+}
+
+}  // namespace
+
+void ExtractReferences(const Expr& expr, std::vector<A1Reference>* out) {
+  switch (expr.kind) {
+    case ExprKind::kNumber:
+    case ExprKind::kString:
+    case ExprKind::kBoolean:
+      return;
+    case ExprKind::kReference:
+      out->push_back(static_cast<const ReferenceExpr&>(expr).ref);
+      return;
+    case ExprKind::kUnary:
+      ExtractReferences(*static_cast<const UnaryExpr&>(expr).operand, out);
+      return;
+    case ExprKind::kBinary: {
+      const auto& bin = static_cast<const BinaryExpr&>(expr);
+      ExtractReferences(*bin.lhs, out);
+      ExtractReferences(*bin.rhs, out);
+      return;
+    }
+    case ExprKind::kCall: {
+      const auto& call = static_cast<const CallExpr&>(expr);
+      for (const ExprPtr& arg : call.args) {
+        ExtractReferences(*arg, out);
+      }
+      return;
+    }
+  }
+}
+
+std::vector<A1Reference> ExtractReferences(const Expr& expr) {
+  std::vector<A1Reference> out;
+  ExtractReferences(expr, &out);
+  return out;
+}
+
+Result<ExprPtr> ShiftExprForAutofill(const Expr& expr, Offset offset) {
+  switch (expr.kind) {
+    case ExprKind::kNumber:
+    case ExprKind::kString:
+    case ExprKind::kBoolean:
+      return CloneExpr(expr);
+    case ExprKind::kReference: {
+      auto shifted =
+          ShiftReference(static_cast<const ReferenceExpr&>(expr).ref, offset);
+      if (!shifted.ok()) return shifted.status();
+      return ExprPtr(std::make_unique<ReferenceExpr>(std::move(*shifted)));
+    }
+    case ExprKind::kUnary: {
+      const auto& unary = static_cast<const UnaryExpr&>(expr);
+      auto operand = ShiftExprForAutofill(*unary.operand, offset);
+      if (!operand.ok()) return operand;
+      return ExprPtr(
+          std::make_unique<UnaryExpr>(unary.op, std::move(*operand)));
+    }
+    case ExprKind::kBinary: {
+      const auto& bin = static_cast<const BinaryExpr&>(expr);
+      auto lhs = ShiftExprForAutofill(*bin.lhs, offset);
+      if (!lhs.ok()) return lhs;
+      auto rhs = ShiftExprForAutofill(*bin.rhs, offset);
+      if (!rhs.ok()) return rhs;
+      return ExprPtr(std::make_unique<BinaryExpr>(bin.op, std::move(*lhs),
+                                                  std::move(*rhs)));
+    }
+    case ExprKind::kCall: {
+      const auto& call = static_cast<const CallExpr&>(expr);
+      std::vector<ExprPtr> args;
+      args.reserve(call.args.size());
+      for (const ExprPtr& arg : call.args) {
+        auto shifted = ShiftExprForAutofill(*arg, offset);
+        if (!shifted.ok()) return shifted.status();
+        args.push_back(std::move(*shifted));
+      }
+      return ExprPtr(
+          std::make_unique<CallExpr>(call.name, std::move(args)));
+    }
+  }
+  assert(false && "unreachable");
+  return Status::Internal("unknown expression kind");
+}
+
+RefCue ClassifyReferenceCue(const A1Reference& ref, Axis axis) {
+  // Along the column axis formulas march down rows, so the row flag decides
+  // whether a corner is anchored; along the row axis the column flag does.
+  bool head_fixed = axis == Axis::kColumn ? ref.head_flags.abs_row
+                                          : ref.head_flags.abs_col;
+  bool tail_fixed = axis == Axis::kColumn ? ref.tail_flags.abs_row
+                                          : ref.tail_flags.abs_col;
+  if (head_fixed && tail_fixed) return RefCue::kFixFix;
+  if (head_fixed) return RefCue::kFixRel;
+  if (tail_fixed) return RefCue::kRelFix;
+  return RefCue::kRelRel;
+}
+
+}  // namespace taco

@@ -1,0 +1,51 @@
+// Reference extraction and the autofill shift transform.
+//
+// These are the two operations the rest of the system needs from parsed
+// formulas: (1) the list of ranges a formula reads, each with its '$'
+// flags (the input to formula-graph construction and to TACO's dollar-sign
+// compression cue), and (2) the relative/absolute shift that autofill
+// applies when a formula is dragged to neighboring cells — the mechanism
+// that creates tabular locality in the first place (Sec. III-A).
+
+#ifndef TACO_FORMULA_REFERENCES_H_
+#define TACO_FORMULA_REFERENCES_H_
+
+#include <vector>
+
+#include "common/a1.h"
+#include "common/range.h"
+#include "common/status.h"
+#include "formula/ast.h"
+
+namespace taco {
+
+/// Appends every cell/range reference in `expr`, in left-to-right source
+/// order. Duplicates are preserved (a formula may reference a range twice;
+/// graph construction deduplicates).
+void ExtractReferences(const Expr& expr, std::vector<A1Reference>* out);
+
+/// Convenience overload.
+std::vector<A1Reference> ExtractReferences(const Expr& expr);
+
+/// Applies the autofill shift: every relative coordinate moves by
+/// `offset`, every '$'-absolute coordinate stays. Fails with OutOfRange
+/// when a relative reference would leave the sheet (the #REF! case).
+/// Range corners that cross after shifting are re-normalized.
+Result<ExprPtr> ShiftExprForAutofill(const Expr& expr, Offset offset);
+
+/// The basic-pattern cue a reference's '$' flags imply for compression
+/// along `axis` (Sec. IV-A "Select the final edge"). Only the coordinate
+/// that varies along the axis matters: rows for column-wise autofill,
+/// columns for row-wise.
+enum class RefCue : uint8_t {
+  kRelRel,  ///< neither corner anchored: RR
+  kRelFix,  ///< tail anchored: RF
+  kFixRel,  ///< head anchored: FR
+  kFixFix,  ///< both corners anchored: FF
+};
+
+RefCue ClassifyReferenceCue(const A1Reference& ref, Axis axis);
+
+}  // namespace taco
+
+#endif  // TACO_FORMULA_REFERENCES_H_

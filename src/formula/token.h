@@ -1,0 +1,59 @@
+// Lexical tokens of the spreadsheet formula language.
+
+#ifndef TACO_FORMULA_TOKEN_H_
+#define TACO_FORMULA_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/a1.h"
+
+namespace taco {
+
+/// Kinds of lexical tokens. Operators carry no payload; literals and
+/// references carry their parsed value.
+enum class TokenKind : uint8_t {
+  kNumber,      ///< Numeric literal, e.g. "3.5", "1e6".
+  kString,      ///< Double-quoted string literal; "" escapes a quote.
+  kBoolean,     ///< TRUE or FALSE.
+  kCellRef,     ///< A single-cell reference, e.g. "B7", "$B$7".
+  kIdentifier,  ///< A function name, e.g. "SUM".
+  kPlus,        ///< '+'
+  kMinus,       ///< '-'
+  kStar,        ///< '*'
+  kSlash,       ///< '/'
+  kCaret,       ///< '^'
+  kAmpersand,   ///< '&' (string concatenation)
+  kPercent,     ///< '%' (postfix percent)
+  kEq,          ///< '='
+  kNe,          ///< '<>'
+  kLt,          ///< '<'
+  kLe,          ///< '<='
+  kGt,          ///< '>'
+  kGe,          ///< '>='
+  kLParen,      ///< '('
+  kRParen,      ///< ')'
+  kComma,       ///< ','
+  kColon,       ///< ':' (range operator)
+  kEnd,         ///< End of input.
+};
+
+/// Returns a short printable name for a token kind (for error messages).
+std::string_view TokenKindToString(TokenKind kind);
+
+/// One lexical token with its source position (byte offset into the
+/// formula text, for error messages).
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  size_t offset = 0;
+
+  double number = 0.0;       ///< Set for kNumber.
+  bool boolean = false;      ///< Set for kBoolean.
+  std::string text;          ///< Set for kString (unescaped) / kIdentifier.
+  Cell cell;                 ///< Set for kCellRef.
+  AbsFlags cell_flags;       ///< Set for kCellRef.
+};
+
+}  // namespace taco
+
+#endif  // TACO_FORMULA_TOKEN_H_

@@ -1,0 +1,34 @@
+#include "graph/dependency.h"
+
+#include <unordered_set>
+
+#include "formula/references.h"
+#include "sheet/sheet.h"
+
+namespace taco {
+
+std::vector<Dependency> CollectDependencies(const Sheet& sheet) {
+  std::vector<Dependency> out;
+  out.reserve(sheet.formula_cell_count());
+  std::vector<A1Reference> refs;
+  sheet.ForEachFormulaCellColumnMajor(
+      [&](const Cell& cell, const FormulaCell& formula) {
+        refs.clear();
+        ExtractReferences(*formula.ast, &refs);
+        std::unordered_set<Range> seen;
+        for (const A1Reference& ref : refs) {
+          // A formula can mention the same range several times (e.g. M3 in
+          // IF(A3=A2,N2+M3,M3)); only one dependency edge results.
+          if (!seen.insert(ref.range).second) continue;
+          Dependency dep;
+          dep.prec = ref.range;
+          dep.dep = cell;
+          dep.head_flags = ref.head_flags;
+          dep.tail_flags = ref.tail_flags;
+          out.push_back(dep);
+        }
+      });
+  return out;
+}
+
+}  // namespace taco

@@ -1,0 +1,37 @@
+// A single uncompressed formula dependency.
+
+#ifndef TACO_GRAPH_DEPENDENCY_H_
+#define TACO_GRAPH_DEPENDENCY_H_
+
+#include <vector>
+
+#include "common/a1.h"
+#include "common/cell.h"
+#include "common/range.h"
+
+namespace taco {
+
+/// One edge of the uncompressed formula graph: the formula cell `dep`
+/// references the range `prec`. The '$' flags from the formula text ride
+/// along as compression cues (TACO's heuristic 3; they never change query
+/// results).
+struct Dependency {
+  Range prec;
+  Cell dep;
+  AbsFlags head_flags;
+  AbsFlags tail_flags;
+
+  friend bool operator==(const Dependency&, const Dependency&) = default;
+};
+
+class Sheet;
+
+/// Extracts every formula dependency from `sheet` in column-major formula
+/// cell order — the insertion order the paper uses (POI configured to load
+/// by columns, Sec. VI-A). References duplicated inside one formula are
+/// emitted once.
+std::vector<Dependency> CollectDependencies(const Sheet& sheet);
+
+}  // namespace taco
+
+#endif  // TACO_GRAPH_DEPENDENCY_H_

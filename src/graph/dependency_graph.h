@@ -1,0 +1,74 @@
+// The formula-graph interface shared by TACO and every baseline.
+//
+// A formula graph answers two queries — the transitive dependents and the
+// transitive precedents of an input range — and supports incremental
+// maintenance (adding a dependency; clearing the dependencies of a range
+// of formula cells). Implementations: TacoGraph (compressed), NoCompGraph
+// (paper's baseline), and the Sec. VI comparison systems under
+// src/baselines.
+
+#ifndef TACO_GRAPH_DEPENDENCY_GRAPH_H_
+#define TACO_GRAPH_DEPENDENCY_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/range.h"
+#include "common/status.h"
+#include "graph/dependency.h"
+
+namespace taco {
+
+/// Counters for one query, for the paper's Sec. IV-D edge-access analysis.
+struct QueryCounters {
+  uint64_t edge_accesses = 0;    ///< findDep/findPrec invocations.
+  uint64_t vertex_visits = 0;    ///< overlap-index hits expanded.
+  uint64_t result_ranges = 0;    ///< ranges placed in the result set.
+};
+
+/// Abstract formula graph.
+class DependencyGraph {
+ public:
+  virtual ~DependencyGraph() = default;
+
+  /// Inserts one dependency (the formula cell `dep.dep` references
+  /// `dep.prec`). Duplicate insertions create parallel edges; callers feed
+  /// deduplicated dependency streams (CollectDependencies does).
+  virtual Status AddDependency(const Dependency& dep) = 0;
+
+  /// Returns the cells that transitively depend on any cell of `input`,
+  /// as a list of disjoint ranges (empty when none).
+  virtual std::vector<Range> FindDependents(const Range& input) = 0;
+
+  /// Returns the cells that any cell of `input` transitively depends on,
+  /// as a list of disjoint ranges.
+  virtual std::vector<Range> FindPrecedents(const Range& input) = 0;
+
+  /// Clears the formula cells in `cells`: every dependency whose formula
+  /// cell lies inside `cells` is removed. Edges referencing `cells` as a
+  /// precedent are unaffected (the locations still exist).
+  virtual Status RemoveFormulaCells(const Range& cells) = 0;
+
+  /// Graph size, in the representation's own units: compressed edges for
+  /// TACO, raw dependencies for NoComp (Table II compares these).
+  virtual size_t NumVertices() const = 0;
+  virtual size_t NumEdges() const = 0;
+
+  /// Implementation name for reports ("TACO", "NoComp", ...).
+  virtual std::string Name() const = 0;
+
+  /// Counters from the most recent FindDependents/FindPrecedents call.
+  const QueryCounters& last_query_counters() const { return counters_; }
+
+ protected:
+  QueryCounters counters_;
+};
+
+/// Builds `graph` from every formula dependency in `sheet`, in the
+/// paper's column-major insertion order.
+class Sheet;
+Status BuildGraphFromSheet(const Sheet& sheet, DependencyGraph* graph);
+
+}  // namespace taco
+
+#endif  // TACO_GRAPH_DEPENDENCY_GRAPH_H_

@@ -1,0 +1,162 @@
+#include "graph/nocomp_graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "common/range_set.h"
+#include "sheet/sheet.h"
+
+namespace taco {
+
+Status BuildGraphFromSheet(const Sheet& sheet, DependencyGraph* graph) {
+  for (const Dependency& dep : CollectDependencies(sheet)) {
+    TACO_RETURN_IF_ERROR(graph->AddDependency(dep));
+  }
+  return Status::OK();
+}
+
+NoCompGraph::VertexId NoCompGraph::InternVertex(const Range& range) {
+  auto it = vertex_by_range_.find(range);
+  if (it != vertex_by_range_.end()) return it->second;
+  VertexId id = static_cast<VertexId>(vertices_.size());
+  vertices_.push_back(Vertex{range, {}, {}, true});
+  vertex_by_range_.emplace(range, id);
+  index_.Insert(range, id);
+  ++live_vertices_;
+  return id;
+}
+
+Status NoCompGraph::AddDependency(const Dependency& dep) {
+  if (!dep.prec.IsValid() || !dep.dep.IsValid()) {
+    return Status::InvalidArgument("invalid dependency " +
+                                   dep.prec.ToString() + " -> " +
+                                   dep.dep.ToString());
+  }
+  VertexId prec = InternVertex(dep.prec);
+  VertexId dep_v = InternVertex(Range(dep.dep));
+  EdgeId edge = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{prec, dep_v, true});
+  vertices_[prec].out_edges.push_back(edge);
+  vertices_[dep_v].in_edges.push_back(edge);
+  ++live_edges_;
+  return Status::OK();
+}
+
+std::vector<Range> NoCompGraph::FindDependents(const Range& input) {
+  counters_ = QueryCounters{};
+  std::vector<Range> result;
+  // Dependent vertices are always single formula cells in the uncompressed
+  // graph, so a hash set of cells is the visited structure.
+  std::unordered_set<Cell> visited;
+  std::deque<Range> queue{input};
+
+  while (!queue.empty()) {
+    Range prec_to_visit = queue.front();
+    queue.pop_front();
+    index_.ForEachOverlap(
+        prec_to_visit, [&](const Range&, RTree::EntryId id) {
+          const Vertex& vertex = vertices_[static_cast<VertexId>(id)];
+          ++counters_.vertex_visits;
+          for (EdgeId edge_id : vertex.out_edges) {
+            const Edge& edge = edges_[edge_id];
+            ++counters_.edge_accesses;
+            const Cell dep_cell = vertices_[edge.dep].range.head;
+            if (visited.insert(dep_cell).second) {
+              result.push_back(Range(dep_cell));
+              queue.push_back(Range(dep_cell));
+              ++counters_.result_ranges;
+            }
+          }
+        });
+  }
+  return result;
+}
+
+std::vector<Range> NoCompGraph::FindPrecedents(const Range& input) {
+  counters_ = QueryCounters{};
+  std::vector<Range> result;
+  // Precedent vertices are arbitrary ranges; visited tracking is by vertex
+  // id (each precedent range is a vertex of the graph).
+  std::unordered_set<VertexId> visited;
+  std::deque<Range> queue{input};
+
+  while (!queue.empty()) {
+    Range dep_to_visit = queue.front();
+    queue.pop_front();
+    index_.ForEachOverlap(
+        dep_to_visit, [&](const Range&, RTree::EntryId id) {
+          const VertexId vid = static_cast<VertexId>(id);
+          const Vertex& vertex = vertices_[vid];
+          ++counters_.vertex_visits;
+          for (EdgeId edge_id : vertex.in_edges) {
+            const Edge& edge = edges_[edge_id];
+            ++counters_.edge_accesses;
+            if (visited.insert(edge.prec).second) {
+              const Range& prec_range = vertices_[edge.prec].range;
+              result.push_back(prec_range);
+              queue.push_back(prec_range);
+              ++counters_.result_ranges;
+            }
+          }
+        });
+  }
+  // Precedent ranges can overlap each other; normalize to disjoint form.
+  return DisjointifyRanges(result);
+}
+
+void NoCompGraph::RemoveEdge(EdgeId id) {
+  Edge& edge = edges_[id];
+  if (!edge.alive) return;
+  edge.alive = false;
+  --live_edges_;
+  auto unlink = [id](std::vector<EdgeId>* list) {
+    list->erase(std::remove(list->begin(), list->end(), id), list->end());
+  };
+  unlink(&vertices_[edge.prec].out_edges);
+  unlink(&vertices_[edge.dep].in_edges);
+}
+
+void NoCompGraph::RemoveVertexIfOrphan(VertexId id) {
+  Vertex& vertex = vertices_[id];
+  if (!vertex.alive || !vertex.out_edges.empty() || !vertex.in_edges.empty()) {
+    return;
+  }
+  vertex.alive = false;
+  --live_vertices_;
+  vertex_by_range_.erase(vertex.range);
+  index_.Remove(vertex.range, id);
+}
+
+Status NoCompGraph::RemoveFormulaCells(const Range& cells) {
+  if (!cells.IsValid()) {
+    return Status::InvalidArgument("invalid range " + cells.ToString());
+  }
+  // Gather first: removing edges mutates the index we are iterating.
+  std::vector<VertexId> targets;
+  index_.ForEachOverlap(cells, [&](const Range& box, RTree::EntryId id) {
+    // Only dependent-side vertices matter; they are single formula cells.
+    // A partially-covered multi-cell vertex is a precedent-only vertex.
+    if (cells.Contains(box) && !vertices_[static_cast<VertexId>(id)]
+                                    .in_edges.empty()) {
+      targets.push_back(static_cast<VertexId>(id));
+    }
+  });
+
+  for (VertexId vid : targets) {
+    std::vector<EdgeId> in_edges = vertices_[vid].in_edges;  // copy: mutated
+    std::vector<VertexId> precs;
+    precs.reserve(in_edges.size());
+    for (EdgeId edge_id : in_edges) {
+      precs.push_back(edges_[edge_id].prec);
+      RemoveEdge(edge_id);
+    }
+    RemoveVertexIfOrphan(vid);
+    for (VertexId prec : precs) {
+      RemoveVertexIfOrphan(prec);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace taco

@@ -1,0 +1,70 @@
+// NoComp: the paper's uncompressed baseline formula graph (Sec. IV-D).
+//
+// Every dependency is stored as its own edge in an adjacency list; an
+// R-tree over the vertices (distinct ranges) finds the vertices that
+// overlap a query range. Dependent search is a BFS whose frontier expands
+// whole dependent cells; precedent search is the dual.
+
+#ifndef TACO_GRAPH_NOCOMP_GRAPH_H_
+#define TACO_GRAPH_NOCOMP_GRAPH_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/dependency_graph.h"
+#include "rtree/rtree.h"
+
+namespace taco {
+
+/// Uncompressed formula graph with an R-tree vertex index.
+class NoCompGraph : public DependencyGraph {
+ public:
+  NoCompGraph() = default;
+
+  Status AddDependency(const Dependency& dep) override;
+  std::vector<Range> FindDependents(const Range& input) override;
+  std::vector<Range> FindPrecedents(const Range& input) override;
+  Status RemoveFormulaCells(const Range& cells) override;
+
+  size_t NumVertices() const override { return live_vertices_; }
+  size_t NumEdges() const override { return live_edges_; }
+  std::string Name() const override { return "NoComp"; }
+
+ private:
+  using VertexId = uint32_t;
+  using EdgeId = uint32_t;
+
+  struct Vertex {
+    Range range;
+    std::vector<EdgeId> out_edges;  ///< Edges with this vertex as precedent.
+    std::vector<EdgeId> in_edges;   ///< Edges with this vertex as dependent.
+    bool alive = true;
+  };
+
+  struct Edge {
+    VertexId prec = 0;
+    VertexId dep = 0;
+    bool alive = true;
+  };
+
+  /// Returns the vertex for `range`, creating (and indexing) it if new.
+  VertexId InternVertex(const Range& range);
+
+  /// Drops a vertex that no longer has any edges.
+  void RemoveVertexIfOrphan(VertexId id);
+
+  /// Unlinks one edge from both endpoint adjacency lists.
+  void RemoveEdge(EdgeId id);
+
+  std::vector<Vertex> vertices_;
+  std::vector<Edge> edges_;
+  std::unordered_map<Range, VertexId> vertex_by_range_;
+  RTree index_;
+  size_t live_vertices_ = 0;
+  size_t live_edges_ = 0;
+};
+
+}  // namespace taco
+
+#endif  // TACO_GRAPH_NOCOMP_GRAPH_H_

@@ -1,0 +1,352 @@
+#include "rtree/rtree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace taco {
+namespace {
+
+// Area of a bounding box as a 64-bit count of cells; boxes here are always
+// valid rectangles.
+uint64_t BoxArea(const Range& r) { return r.Area(); }
+
+// Area increase caused by extending `box` to also cover `add`.
+uint64_t Enlargement(const Range& box, const Range& add) {
+  return BoxArea(box.BoundingUnion(add)) - BoxArea(box);
+}
+
+}  // namespace
+
+Range RTree::Node::ComputeMbr() const {
+  assert(!entries.empty());
+  Range mbr = entries.front().box;
+  for (size_t i = 1; i < entries.size(); ++i) {
+    mbr = mbr.BoundingUnion(entries[i].box);
+  }
+  return mbr;
+}
+
+RTree::RTree() : root_(std::make_unique<Node>()) {}
+
+void RTree::Insert(const Range& box, EntryId id) {
+  InsertEntry(box, id);
+  ++size_;
+}
+
+void RTree::InsertEntry(const Range& box, EntryId id) {
+  Node* leaf = ChooseLeaf(box);
+  leaf->entries.push_back(Entry{box, id, nullptr});
+  std::unique_ptr<Node> sibling;
+  if (leaf->entries.size() > static_cast<size_t>(kMaxEntries)) {
+    sibling = SplitNode(leaf);
+  }
+  AdjustTree(leaf, std::move(sibling));
+}
+
+RTree::Node* RTree::ChooseLeaf(const Range& box) const {
+  Node* node = root_.get();
+  while (!node->is_leaf) {
+    // Least enlargement; ties broken by smaller area (Guttman's rule).
+    Entry* best = nullptr;
+    uint64_t best_enlarge = std::numeric_limits<uint64_t>::max();
+    uint64_t best_area = std::numeric_limits<uint64_t>::max();
+    for (Entry& entry : node->entries) {
+      uint64_t enlarge = Enlargement(entry.box, box);
+      uint64_t area = BoxArea(entry.box);
+      if (enlarge < best_enlarge ||
+          (enlarge == best_enlarge && area < best_area)) {
+        best = &entry;
+        best_enlarge = enlarge;
+        best_area = area;
+      }
+    }
+    assert(best != nullptr);
+    node = best->child.get();
+  }
+  return node;
+}
+
+std::unique_ptr<RTree::Node> RTree::SplitNode(Node* node) {
+  // Quadratic split: pick the pair of entries whose combined bounding box
+  // wastes the most area as seeds, then assign the rest greedily.
+  std::vector<Entry> entries = std::move(node->entries);
+  node->entries.clear();
+
+  size_t seed_a = 0, seed_b = 1;
+  int64_t worst_waste = std::numeric_limits<int64_t>::min();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    for (size_t j = i + 1; j < entries.size(); ++j) {
+      int64_t waste =
+          static_cast<int64_t>(
+              BoxArea(entries[i].box.BoundingUnion(entries[j].box))) -
+          static_cast<int64_t>(BoxArea(entries[i].box)) -
+          static_cast<int64_t>(BoxArea(entries[j].box));
+      if (waste > worst_waste) {
+        worst_waste = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  auto sibling = std::make_unique<Node>();
+  sibling->is_leaf = node->is_leaf;
+
+  Range mbr_a = entries[seed_a].box;
+  Range mbr_b = entries[seed_b].box;
+  std::vector<Entry> pending;
+  pending.reserve(entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i == seed_a) {
+      if (entries[i].child) entries[i].child->parent = node;
+      node->entries.push_back(std::move(entries[i]));
+    } else if (i == seed_b) {
+      if (entries[i].child) entries[i].child->parent = sibling.get();
+      sibling->entries.push_back(std::move(entries[i]));
+    } else {
+      pending.push_back(std::move(entries[i]));
+    }
+  }
+
+  while (!pending.empty()) {
+    // If one group must take all remaining entries to reach the minimum
+    // fill, assign them wholesale.
+    size_t remaining = pending.size();
+    if (node->entries.size() + remaining == static_cast<size_t>(kMinEntries)) {
+      for (Entry& entry : pending) {
+        mbr_a = mbr_a.BoundingUnion(entry.box);
+        if (entry.child) entry.child->parent = node;
+        node->entries.push_back(std::move(entry));
+      }
+      break;
+    }
+    if (sibling->entries.size() + remaining ==
+        static_cast<size_t>(kMinEntries)) {
+      for (Entry& entry : pending) {
+        mbr_b = mbr_b.BoundingUnion(entry.box);
+        if (entry.child) entry.child->parent = sibling.get();
+        sibling->entries.push_back(std::move(entry));
+      }
+      break;
+    }
+
+    // PickNext: the entry with the greatest preference for one group.
+    size_t best_idx = 0;
+    int64_t best_diff = -1;
+    for (size_t i = 0; i < pending.size(); ++i) {
+      int64_t d_a = static_cast<int64_t>(Enlargement(mbr_a, pending[i].box));
+      int64_t d_b = static_cast<int64_t>(Enlargement(mbr_b, pending[i].box));
+      int64_t diff = d_a > d_b ? d_a - d_b : d_b - d_a;
+      if (diff > best_diff) {
+        best_diff = diff;
+        best_idx = i;
+      }
+    }
+    Entry chosen = std::move(pending[best_idx]);
+    pending.erase(pending.begin() + static_cast<ptrdiff_t>(best_idx));
+
+    uint64_t enlarge_a = Enlargement(mbr_a, chosen.box);
+    uint64_t enlarge_b = Enlargement(mbr_b, chosen.box);
+    bool to_a;
+    if (enlarge_a != enlarge_b) {
+      to_a = enlarge_a < enlarge_b;
+    } else if (BoxArea(mbr_a) != BoxArea(mbr_b)) {
+      to_a = BoxArea(mbr_a) < BoxArea(mbr_b);
+    } else {
+      to_a = node->entries.size() <= sibling->entries.size();
+    }
+    if (to_a) {
+      mbr_a = mbr_a.BoundingUnion(chosen.box);
+      if (chosen.child) chosen.child->parent = node;
+      node->entries.push_back(std::move(chosen));
+    } else {
+      mbr_b = mbr_b.BoundingUnion(chosen.box);
+      if (chosen.child) chosen.child->parent = sibling.get();
+      sibling->entries.push_back(std::move(chosen));
+    }
+  }
+  return sibling;
+}
+
+void RTree::AdjustTree(Node* node, std::unique_ptr<Node> split_sibling) {
+  while (node->parent != nullptr) {
+    Node* parent = node->parent;
+    // Refresh this node's MBR in its parent entry.
+    for (Entry& entry : parent->entries) {
+      if (entry.child.get() == node) {
+        entry.box = node->ComputeMbr();
+        break;
+      }
+    }
+    if (split_sibling) {
+      Range sibling_mbr = split_sibling->ComputeMbr();
+      split_sibling->parent = parent;
+      parent->entries.push_back(
+          Entry{sibling_mbr, 0, std::move(split_sibling)});
+      if (parent->entries.size() > static_cast<size_t>(kMaxEntries)) {
+        split_sibling = SplitNode(parent);
+      } else {
+        split_sibling = nullptr;
+      }
+    }
+    node = parent;
+  }
+  // node == root.
+  if (split_sibling) {
+    auto new_root = std::make_unique<Node>();
+    new_root->is_leaf = false;
+    Range old_mbr = root_->ComputeMbr();
+    Range sib_mbr = split_sibling->ComputeMbr();
+    root_->parent = new_root.get();
+    split_sibling->parent = new_root.get();
+    new_root->entries.push_back(Entry{old_mbr, 0, std::move(root_)});
+    new_root->entries.push_back(Entry{sib_mbr, 0, std::move(split_sibling)});
+    root_ = std::move(new_root);
+  }
+}
+
+void RTree::SearchOverlap(const Range& query, std::vector<EntryId>* out) const {
+  ForEachOverlap(query, [out](const Range&, EntryId id) { out->push_back(id); });
+}
+
+bool RTree::AnyOverlap(const Range& query) const {
+  bool found = false;
+  ForEachOverlap(query, [&found](const Range&, EntryId) {
+    found = true;
+    return false;  // stop at the first hit
+  });
+  return found;
+}
+
+RTree::Node* RTree::FindLeaf(Node* node, const Range& box, EntryId id) const {
+  if (node->is_leaf) {
+    for (const Entry& entry : node->entries) {
+      if (entry.box == box && entry.id == id) return node;
+    }
+    return nullptr;
+  }
+  for (const Entry& entry : node->entries) {
+    if (!entry.box.Contains(box)) continue;
+    if (Node* found = FindLeaf(entry.child.get(), box, id)) return found;
+  }
+  return nullptr;
+}
+
+bool RTree::Remove(const Range& box, EntryId id) {
+  Node* leaf = FindLeaf(root_.get(), box, id);
+  if (leaf == nullptr) return false;
+  auto it = std::find_if(leaf->entries.begin(), leaf->entries.end(),
+                         [&](const Entry& entry) {
+                           return entry.box == box && entry.id == id;
+                         });
+  assert(it != leaf->entries.end());
+  leaf->entries.erase(it);
+  --size_;
+  CondenseTree(leaf);
+  return true;
+}
+
+void RTree::CondenseTree(Node* leaf) {
+  // Walk up, detaching underfull nodes; reinsert their leaf entries after.
+  std::vector<std::unique_ptr<Node>> orphans;
+  Node* node = leaf;
+  while (node->parent != nullptr) {
+    Node* parent = node->parent;
+    auto it = std::find_if(
+        parent->entries.begin(), parent->entries.end(),
+        [&](const Entry& entry) { return entry.child.get() == node; });
+    assert(it != parent->entries.end());
+    if (node->entries.size() < static_cast<size_t>(kMinEntries)) {
+      orphans.push_back(std::move(it->child));
+      parent->entries.erase(it);
+    } else {
+      it->box = node->ComputeMbr();
+    }
+    node = parent;
+  }
+
+  for (auto& orphan : orphans) {
+    ReinsertSubtree(orphan.get());
+  }
+
+  // Shrink the root when it has a single internal child.
+  while (!root_->is_leaf && root_->entries.size() == 1) {
+    std::unique_ptr<Node> child = std::move(root_->entries.front().child);
+    child->parent = nullptr;
+    root_ = std::move(child);
+  }
+  if (root_->entries.empty()) {
+    root_->is_leaf = true;
+  }
+}
+
+void RTree::ReinsertSubtree(Node* node) {
+  if (node->is_leaf) {
+    for (Entry& entry : node->entries) {
+      InsertEntry(entry.box, entry.id);
+    }
+    return;
+  }
+  for (Entry& entry : node->entries) {
+    ReinsertSubtree(entry.child.get());
+  }
+}
+
+void RTree::Clear() {
+  root_ = std::make_unique<Node>();
+  size_ = 0;
+}
+
+int RTree::HeightForTesting() const {
+  int height = 1;
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    node = node->entries.front().child.get();
+    ++height;
+  }
+  return height;
+}
+
+bool RTree::CheckInvariantsForTesting() const {
+  // Walk the tree verifying parent pointers, MBRs, fill bounds, and that
+  // all leaves sit at the same depth.
+  size_t counted = 0;
+  int leaf_depth = -1;
+
+  struct Frame {
+    const Node* node;
+    int depth;
+  };
+  std::vector<Frame> stack{{root_.get(), 0}};
+  while (!stack.empty()) {
+    Frame frame = stack.back();
+    stack.pop_back();
+    const Node* node = frame.node;
+
+    if (node != root_.get()) {
+      if (node->entries.size() < static_cast<size_t>(kMinEntries) ||
+          node->entries.size() > static_cast<size_t>(kMaxEntries)) {
+        return false;
+      }
+    } else if (node->entries.size() > static_cast<size_t>(kMaxEntries)) {
+      return false;
+    }
+
+    if (node->is_leaf) {
+      if (leaf_depth == -1) leaf_depth = frame.depth;
+      if (leaf_depth != frame.depth) return false;
+      counted += node->entries.size();
+      continue;
+    }
+    for (const Entry& entry : node->entries) {
+      if (entry.child == nullptr) return false;
+      if (entry.child->parent != node) return false;
+      if (!(entry.box == entry.child->ComputeMbr())) return false;
+      stack.push_back({entry.child.get(), frame.depth + 1});
+    }
+  }
+  return counted == size_;
+}
+
+}  // namespace taco

@@ -1,0 +1,134 @@
+// A Guttman R-tree over cell ranges.
+//
+// The paper indexes formula-graph vertices (which are rectangles of cells)
+// with an R-tree so that the vertices overlapping an input range can be
+// found without scanning (Sec. II-B, IV). This is a textbook main-memory
+// R-tree with quadratic split [Guttman, SIGMOD'84]: internal nodes hold
+// child bounding boxes, leaves hold (range, id) entries. Deletion uses
+// condense-and-reinsert.
+//
+// Duplicate boxes are allowed; entries are identified by (box, id) pairs.
+// Overlap search is allocation-free and templated on the visitor so the
+// BFS inner loops of the graph engines pay no std::function overhead.
+
+#ifndef TACO_RTREE_RTREE_H_
+#define TACO_RTREE_RTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "common/range.h"
+
+namespace taco {
+
+/// Main-memory R-tree mapping rectangles to opaque 64-bit ids.
+class RTree {
+ public:
+  using EntryId = uint64_t;
+
+  /// Maximum entries per node before a split; minimum fill after splits
+  /// and deletions is kMinEntries.
+  static constexpr int kMaxEntries = 8;
+  static constexpr int kMinEntries = 3;
+
+  RTree();
+  ~RTree() = default;
+
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+  RTree(RTree&&) noexcept = default;
+  RTree& operator=(RTree&&) noexcept = default;
+
+  /// Inserts an entry. Duplicates (same box and id) are stored separately.
+  void Insert(const Range& box, EntryId id);
+
+  /// Removes one entry matching (box, id) exactly. Returns false when no
+  /// such entry exists.
+  bool Remove(const Range& box, EntryId id);
+
+  /// Appends the ids of all entries whose box overlaps `query`.
+  void SearchOverlap(const Range& query, std::vector<EntryId>* out) const;
+
+  /// Calls `fn(box, id)` for every entry overlapping `query`. If `fn`
+  /// returns bool, returning false stops the search early.
+  template <typename Fn>
+  void ForEachOverlap(const Range& query, Fn&& fn) const {
+    if (root_) VisitOverlap(*root_, query, fn);
+  }
+
+  /// True iff at least one entry overlaps `query`.
+  bool AnyOverlap(const Range& query) const;
+
+  /// Number of stored entries.
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Removes all entries.
+  void Clear();
+
+  /// Height of the tree (1 for a leaf-only root). Exposed for tests.
+  int HeightForTesting() const;
+
+  /// Validates structural invariants (MBR correctness, fill factors,
+  /// entry count). Exposed for tests.
+  bool CheckInvariantsForTesting() const;
+
+ private:
+  struct Node;
+
+  struct Entry {
+    Range box;
+    // Leaf level: the user id. Internal level: unused (child holds data).
+    EntryId id = 0;
+    std::unique_ptr<Node> child;  // null at leaf level
+  };
+
+  struct Node {
+    bool is_leaf = true;
+    Node* parent = nullptr;
+    std::vector<Entry> entries;
+
+    Range ComputeMbr() const;
+  };
+
+  // Calls fn(box, id) per overlapping leaf entry; supports early exit when
+  // fn returns bool.
+  template <typename Fn>
+  static bool VisitOverlap(const Node& node, const Range& query, Fn&& fn) {
+    for (const Entry& entry : node.entries) {
+      if (!entry.box.Overlaps(query)) continue;
+      if (node.is_leaf) {
+        if constexpr (std::is_convertible_v<
+                          decltype(fn(entry.box, entry.id)), bool>) {
+          if (!fn(entry.box, entry.id)) return false;
+        } else {
+          fn(entry.box, entry.id);
+        }
+      } else {
+        if (!VisitOverlap(*entry.child, query, fn)) return false;
+      }
+    }
+    return true;
+  }
+
+  Node* ChooseLeaf(const Range& box) const;
+  // Splits `node` in place (quadratic split), returning the new sibling.
+  std::unique_ptr<Node> SplitNode(Node* node);
+  // Recomputes ancestor MBRs and propagates splits up to the root.
+  void AdjustTree(Node* node, std::unique_ptr<Node> split_sibling);
+
+  Node* FindLeaf(Node* node, const Range& box, EntryId id) const;
+  void CondenseTree(Node* leaf);
+  // Reinserts all leaf-level entries under `node` (used by CondenseTree).
+  void ReinsertSubtree(Node* node);
+  void InsertEntry(const Range& box, EntryId id);
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace taco
+
+#endif  // TACO_RTREE_RTREE_H_

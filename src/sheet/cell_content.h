@@ -1,0 +1,53 @@
+// The content stored in one spreadsheet cell.
+
+#ifndef TACO_SHEET_CELL_CONTENT_H_
+#define TACO_SHEET_CELL_CONTENT_H_
+
+#include <memory>
+#include <string>
+#include <variant>
+
+#include "formula/ast.h"
+
+namespace taco {
+
+/// A parsed formula: canonical source text (without the leading '=') plus
+/// its AST. The AST is shared so cells produced by autofill from the same
+/// source can be copied cheaply and CellContent stays copyable.
+struct FormulaCell {
+  std::string text;
+  std::shared_ptr<const Expr> ast;
+};
+
+/// What a cell holds: nothing, a literal, or a formula. Literal types are
+/// the three spreadsheet scalars (number, text, boolean).
+class CellContent {
+ public:
+  CellContent() = default;
+  explicit CellContent(double number) : repr_(number) {}
+  explicit CellContent(std::string text) : repr_(std::move(text)) {}
+  explicit CellContent(bool boolean) : repr_(boolean) {}
+  explicit CellContent(FormulaCell formula) : repr_(std::move(formula)) {}
+
+  bool IsBlank() const { return std::holds_alternative<std::monostate>(repr_); }
+  bool IsNumber() const { return std::holds_alternative<double>(repr_); }
+  bool IsText() const { return std::holds_alternative<std::string>(repr_); }
+  bool IsBoolean() const { return std::holds_alternative<bool>(repr_); }
+  bool IsFormula() const { return std::holds_alternative<FormulaCell>(repr_); }
+
+  double number() const { return std::get<double>(repr_); }
+  const std::string& text() const { return std::get<std::string>(repr_); }
+  bool boolean() const { return std::get<bool>(repr_); }
+  const FormulaCell& formula() const { return std::get<FormulaCell>(repr_); }
+
+  /// Renders the content as it would appear in the formula bar: formulas
+  /// with a leading '=', strings quoted, blanks as "".
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, double, std::string, bool, FormulaCell> repr_;
+};
+
+}  // namespace taco
+
+#endif  // TACO_SHEET_CELL_CONTENT_H_

@@ -1,0 +1,199 @@
+#include "sheet/sheet.h"
+
+#include <algorithm>
+
+#include "formula/parser.h"
+#include "formula/references.h"
+
+namespace taco {
+namespace {
+
+Status CheckCell(const Cell& cell) {
+  if (!cell.IsValid()) {
+    return Status::OutOfRange("cell " + cell.ToString() +
+                              " is outside the sheet bounds");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string CellContent::ToString() const {
+  if (IsBlank()) return "";
+  if (IsNumber()) {
+    // Reuse the formula printer's number formatting for consistency.
+    NumberExpr expr(number());
+    return ExprToString(expr);
+  }
+  if (IsText()) {
+    std::string quoted = "\"";
+    for (char ch : text()) {
+      if (ch == '"') quoted += '"';  // escape as ""
+      quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+  }
+  if (IsBoolean()) return boolean() ? "TRUE" : "FALSE";
+  return "=" + formula().text;
+}
+
+Status Sheet::SetNumber(const Cell& cell, double value) {
+  TACO_RETURN_IF_ERROR(CheckCell(cell));
+  TACO_RETURN_IF_ERROR(Clear(cell));
+  cells_[cell] = CellContent(value);
+  return Status::OK();
+}
+
+Status Sheet::SetText(const Cell& cell, std::string value) {
+  TACO_RETURN_IF_ERROR(CheckCell(cell));
+  TACO_RETURN_IF_ERROR(Clear(cell));
+  cells_[cell] = CellContent(std::move(value));
+  return Status::OK();
+}
+
+Status Sheet::SetBoolean(const Cell& cell, bool value) {
+  TACO_RETURN_IF_ERROR(CheckCell(cell));
+  TACO_RETURN_IF_ERROR(Clear(cell));
+  cells_[cell] = CellContent(value);
+  return Status::OK();
+}
+
+Status Sheet::SetFormula(const Cell& cell, std::string_view text) {
+  TACO_RETURN_IF_ERROR(CheckCell(cell));
+  auto ast = ParseFormula(text);
+  if (!ast.ok()) return ast.status();
+  FormulaCell formula;
+  // Store the canonical printing so equal formulas compare equal textually.
+  formula.text = ExprToString(**ast);
+  formula.ast = std::shared_ptr<const Expr>(std::move(*ast));
+  return SetFormulaCell(cell, std::move(formula));
+}
+
+Status Sheet::SetFormulaCell(const Cell& cell, FormulaCell formula) {
+  TACO_RETURN_IF_ERROR(CheckCell(cell));
+  if (formula.ast == nullptr) {
+    return Status::InvalidArgument("formula cell requires a parsed AST");
+  }
+  TACO_RETURN_IF_ERROR(Clear(cell));
+  cells_[cell] = CellContent(std::move(formula));
+  ++formula_count_;
+  return Status::OK();
+}
+
+Status Sheet::Clear(const Cell& cell) {
+  TACO_RETURN_IF_ERROR(CheckCell(cell));
+  auto it = cells_.find(cell);
+  if (it != cells_.end()) {
+    if (it->second.IsFormula()) --formula_count_;
+    cells_.erase(it);
+  }
+  return Status::OK();
+}
+
+Status Sheet::ClearRange(const Range& range) {
+  if (!range.IsValid()) {
+    return Status::OutOfRange("range " + range.ToString() + " is invalid");
+  }
+  // Sparse sheets can be much smaller than the cleared rectangle; iterate
+  // whichever side is cheaper.
+  if (range.Area() > cells_.size()) {
+    for (auto it = cells_.begin(); it != cells_.end();) {
+      if (range.Contains(it->first)) {
+        if (it->second.IsFormula()) --formula_count_;
+        it = cells_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return Status::OK();
+  }
+  for (int32_t col = range.head.col; col <= range.tail.col; ++col) {
+    for (int32_t row = range.head.row; row <= range.tail.row; ++row) {
+      TACO_RETURN_IF_ERROR(Clear(Cell{col, row}));
+    }
+  }
+  return Status::OK();
+}
+
+const CellContent* Sheet::Get(const Cell& cell) const {
+  auto it = cells_.find(cell);
+  return it == cells_.end() ? nullptr : &it->second;
+}
+
+bool Sheet::IsFormulaCell(const Cell& cell) const {
+  const CellContent* content = Get(cell);
+  return content != nullptr && content->IsFormula();
+}
+
+std::optional<Range> Sheet::UsedRange() const {
+  if (cells_.empty()) return std::nullopt;
+  Cell lo{kMaxCol, kMaxRow};
+  Cell hi{1, 1};
+  for (const auto& [cell, content] : cells_) {
+    lo = CellMin(lo, cell);
+    hi = CellMax(hi, cell);
+  }
+  return Range(lo, hi);
+}
+
+void Sheet::ForEachCellColumnMajor(
+    const std::function<void(const Cell&, const CellContent&)>& fn) const {
+  std::vector<const std::pair<const Cell, CellContent>*> entries;
+  entries.reserve(cells_.size());
+  for (const auto& entry : cells_) entries.push_back(&entry);
+  std::sort(entries.begin(), entries.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  for (const auto* entry : entries) fn(entry->first, entry->second);
+}
+
+void Sheet::ForEachFormulaCellColumnMajor(
+    const std::function<void(const Cell&, const FormulaCell&)>& fn) const {
+  ForEachCellColumnMajor([&fn](const Cell& cell, const CellContent& content) {
+    if (content.IsFormula()) fn(cell, content.formula());
+  });
+}
+
+Status Autofill(Sheet* sheet, const Cell& source, const Range& target) {
+  if (!target.IsValid()) {
+    return Status::OutOfRange("autofill target " + target.ToString() +
+                              " is invalid");
+  }
+  TACO_RETURN_IF_ERROR(CheckCell(source));
+
+  // Copy the source content: inserts below may rehash the cell map and
+  // would invalidate a pointer into it.
+  const CellContent* source_content = sheet->Get(source);
+  std::optional<CellContent> copy;
+  if (source_content != nullptr) copy = *source_content;
+  const CellContent* content = copy ? &*copy : nullptr;
+
+  for (const Cell& cell : EnumerateCells(target)) {
+    if (cell == source) continue;
+    if (content == nullptr) {
+      TACO_RETURN_IF_ERROR(sheet->Clear(cell));
+      continue;
+    }
+    if (!content->IsFormula()) {
+      // Literals copy unchanged (Ctrl-drag semantics).
+      if (content->IsNumber()) {
+        TACO_RETURN_IF_ERROR(sheet->SetNumber(cell, content->number()));
+      } else if (content->IsText()) {
+        TACO_RETURN_IF_ERROR(sheet->SetText(cell, content->text()));
+      } else {
+        TACO_RETURN_IF_ERROR(sheet->SetBoolean(cell, content->boolean()));
+      }
+      continue;
+    }
+    Offset offset = cell - source;
+    auto shifted = ShiftExprForAutofill(*content->formula().ast, offset);
+    if (!shifted.ok()) return shifted.status();
+    FormulaCell formula;
+    formula.text = ExprToString(**shifted);
+    formula.ast = std::shared_ptr<const Expr>(std::move(*shifted));
+    TACO_RETURN_IF_ERROR(sheet->SetFormulaCell(cell, std::move(formula)));
+  }
+  return Status::OK();
+}
+
+}  // namespace taco

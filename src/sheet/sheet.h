@@ -1,0 +1,93 @@
+// Sparse spreadsheet model.
+//
+// A Sheet is a sparse map from cell positions to contents. It knows nothing
+// about dependency graphs or evaluation; those layers consume it. Formula
+// cells keep both their canonical text and parsed AST so that reference
+// extraction (graph construction) and evaluation need no re-parsing.
+
+#ifndef TACO_SHEET_SHEET_H_
+#define TACO_SHEET_SHEET_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/cell.h"
+#include "common/range.h"
+#include "common/status.h"
+#include "sheet/cell_content.h"
+
+namespace taco {
+
+/// A single sparse sheet of cells.
+class Sheet {
+ public:
+  Sheet() = default;
+
+  /// Optional display name (file stem for loaded sheets).
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Sets a literal value. Replaces any existing content.
+  Status SetNumber(const Cell& cell, double value);
+  Status SetText(const Cell& cell, std::string value);
+  Status SetBoolean(const Cell& cell, bool value);
+
+  /// Parses `text` (without the leading '=') and stores it as a formula.
+  /// Fails with ParseError on malformed input; the cell is unchanged.
+  Status SetFormula(const Cell& cell, std::string_view text);
+
+  /// Stores an already-parsed formula (used by autofill and loaders).
+  Status SetFormulaCell(const Cell& cell, FormulaCell formula);
+
+  /// Removes the content of one cell (no-op when blank).
+  Status Clear(const Cell& cell);
+
+  /// Removes the contents of every cell in `range`.
+  Status ClearRange(const Range& range);
+
+  /// Returns the content at `cell`, or nullptr when blank.
+  const CellContent* Get(const Cell& cell) const;
+
+  /// True iff the cell holds a formula.
+  bool IsFormulaCell(const Cell& cell) const;
+
+  size_t cell_count() const { return cells_.size(); }
+  size_t formula_cell_count() const { return formula_count_; }
+
+  /// The minimal bounding rectangle of all non-blank cells; nullopt when
+  /// the sheet is empty.
+  std::optional<Range> UsedRange() const;
+
+  /// Visits every non-blank cell in column-major order (column by column,
+  /// top to bottom). Column-major order matters: the paper loads
+  /// spreadsheets by columns so the greedy compressor sees column runs of
+  /// formulas consecutively (Sec. VI-A).
+  void ForEachCellColumnMajor(
+      const std::function<void(const Cell&, const CellContent&)>& fn) const;
+
+  /// Visits only formula cells, column-major.
+  void ForEachFormulaCellColumnMajor(
+      const std::function<void(const Cell&, const FormulaCell&)>& fn) const;
+
+ private:
+  std::string name_;
+  std::unordered_map<Cell, CellContent> cells_;
+  size_t formula_count_ = 0;
+};
+
+/// Fills every cell of `target` with the source cell's content, shifting
+/// relative references by the displacement from `source` to each target
+/// cell — the paper's autofill, the primary generator of tabular locality.
+/// Formula cells whose shifted references would leave the sheet produce an
+/// OutOfRange error (the first such error aborts the fill). The source
+/// cell may lie inside `target`; its own content is preserved. A blank
+/// source clears the target cells.
+Status Autofill(Sheet* sheet, const Cell& source, const Range& target);
+
+}  // namespace taco
+
+#endif  // TACO_SHEET_SHEET_H_

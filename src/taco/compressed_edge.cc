@@ -1,0 +1,40 @@
+#include "taco/compressed_edge.h"
+
+namespace taco {
+
+std::string_view PatternTypeToString(PatternType type) {
+  switch (type) {
+    case PatternType::kSingle: return "Single";
+    case PatternType::kRR: return "RR";
+    case PatternType::kRF: return "RF";
+    case PatternType::kFR: return "FR";
+    case PatternType::kFF: return "FF";
+    case PatternType::kRRChain: return "RR-Chain";
+    case PatternType::kRRGapOne: return "RR-GapOne";
+  }
+  return "Unknown";
+}
+
+std::string CompressedEdge::ToString() const {
+  std::string out = prec.ToString() + " -> " + dep.ToString() + " [" +
+                    std::string(PatternTypeToString(pattern));
+  if (pattern != PatternType::kSingle && pattern != PatternType::kFF) {
+    out += " hRel=" + meta.h_rel.ToString() + " tRel=" + meta.t_rel.ToString();
+  }
+  out += " n=" + std::to_string(compressed_count) + "]";
+  return out;
+}
+
+CompressedEdge MakeSingleEdge(const Range& prec, const Cell& dep,
+                              AbsFlags head_flags, AbsFlags tail_flags) {
+  CompressedEdge edge;
+  edge.prec = prec;
+  edge.dep = Range(dep);
+  edge.pattern = PatternType::kSingle;
+  edge.compressed_count = 1;
+  edge.head_flags = head_flags;
+  edge.tail_flags = tail_flags;
+  return edge;
+}
+
+}  // namespace taco

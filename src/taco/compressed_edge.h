@@ -1,0 +1,88 @@
+// The compressed-edge representation (Sec. II-B of the paper).
+//
+// A compressed edge e = (prec, dep, pattern, meta) represents a set of raw
+// dependencies. `dep` is the rectangle of formula cells (always a line of
+// cells — 1xN or Nx1 — or a single cell), `prec` the minimal bounding
+// range of their referenced windows, and `meta` the constant-size pattern
+// information that reconstructs each raw dependency:
+//
+//   pattern   window referenced by dependent cell d
+//   -------   -------------------------------------
+//   Single    prec itself (one raw dependency)
+//   RR        [d + h_rel, d + t_rel]          sliding window
+//   RF        [d + h_rel, t_fix]              shrinking window
+//   FR        [h_fix, d + t_rel]              expanding window
+//   FF        [h_fix, t_fix]                  fixed window
+//   RR-Chain  [d + h_rel, d + h_rel]          unit-offset chain (Sec. V)
+//   RR-GapOne RR over every other cell        stride-2 extension (Sec. V)
+
+#ifndef TACO_TACO_COMPRESSED_EDGE_H_
+#define TACO_TACO_COMPRESSED_EDGE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/a1.h"
+#include "common/cell.h"
+#include "common/range.h"
+
+namespace taco {
+
+/// Compression pattern tags. kSingle marks an uncompressed edge.
+enum class PatternType : uint8_t {
+  kSingle = 0,
+  kRR = 1,
+  kRF = 2,
+  kFR = 3,
+  kFF = 4,
+  kRRChain = 5,
+  kRRGapOne = 6,
+};
+
+/// Stable display name ("RR", "FF", ...).
+std::string_view PatternTypeToString(PatternType type);
+
+/// Constant-size pattern metadata. Which fields are meaningful depends on
+/// the pattern; unused fields are left default.
+struct EdgeMeta {
+  Offset h_rel;  ///< RR/RF/RR-Chain/RR-GapOne: dep-to-window-head offset.
+  Offset t_rel;  ///< RR/FR/RR-Chain/RR-GapOne: dep-to-window-tail offset.
+  Cell h_fix;    ///< FR/FF: fixed window head.
+  Cell t_fix;    ///< RF/FF: fixed window tail.
+  /// Axis along which the dependent cells are stacked. kColumn means a
+  /// vertical run of formulas (the paper's default orientation).
+  Axis axis = Axis::kColumn;
+  /// Distance between consecutive dependent cells along the axis: 1 for
+  /// all basic patterns, 2 for RR-GapOne.
+  int32_t stride = 1;
+
+  friend bool operator==(const EdgeMeta&, const EdgeMeta&) = default;
+};
+
+/// One edge of the compressed formula graph.
+struct CompressedEdge {
+  Range prec;   ///< Bounding range of all referenced windows.
+  Range dep;    ///< Bounding range of the dependent formula cells.
+  PatternType pattern = PatternType::kSingle;
+  EdgeMeta meta;
+  /// Number of raw dependencies this edge represents (|E'_i|). For
+  /// stride-1 patterns this equals dep.Area(); for RR-GapOne it is the
+  /// number of occupied stride positions.
+  uint64_t compressed_count = 1;
+  /// '$' cues inherited from the formula text of the first dependency;
+  /// used only by the compression heuristics.
+  AbsFlags head_flags;
+  AbsFlags tail_flags;
+
+  /// "prec -> dep [pattern]" for logs and test failures.
+  std::string ToString() const;
+};
+
+/// Builds the Single (uncompressed) edge for one raw dependency.
+CompressedEdge MakeSingleEdge(const Range& prec, const Cell& dep,
+                              AbsFlags head_flags = {},
+                              AbsFlags tail_flags = {});
+
+}  // namespace taco
+
+#endif  // TACO_TACO_COMPRESSED_EDGE_H_

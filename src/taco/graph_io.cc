@@ -1,0 +1,193 @@
+#include "taco/graph_io.h"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "common/a1.h"
+
+namespace taco {
+namespace {
+
+std::string FlagsToString(const CompressedEdge& edge) {
+  std::string out(4, '0');
+  out[0] = edge.head_flags.abs_col ? '1' : '0';
+  out[1] = edge.head_flags.abs_row ? '1' : '0';
+  out[2] = edge.tail_flags.abs_col ? '1' : '0';
+  out[3] = edge.tail_flags.abs_row ? '1' : '0';
+  return out;
+}
+
+Result<PatternType> PatternFromName(std::string_view name) {
+  for (PatternType type :
+       {PatternType::kSingle, PatternType::kRR, PatternType::kRF,
+        PatternType::kFR, PatternType::kFF, PatternType::kRRChain,
+        PatternType::kRRGapOne}) {
+    if (name == PatternTypeToString(type)) return type;
+  }
+  return Status::ParseError("unknown pattern '" + std::string(name) + "'");
+}
+
+Result<std::pair<int32_t, int32_t>> ParsePair(std::string_view text) {
+  size_t comma = text.find(',');
+  if (comma == std::string_view::npos) {
+    return Status::ParseError("expected 'a,b' in '" + std::string(text) + "'");
+  }
+  int32_t a = 0, b = 0;
+  auto ra = std::from_chars(text.data(), text.data() + comma, a);
+  auto rb = std::from_chars(text.data() + comma + 1,
+                            text.data() + text.size(), b);
+  if (ra.ec != std::errc() || rb.ec != std::errc() ||
+      ra.ptr != text.data() + comma ||
+      rb.ptr != text.data() + text.size()) {
+    return Status::ParseError("malformed pair '" + std::string(text) + "'");
+  }
+  return std::make_pair(a, b);
+}
+
+Status LineError(size_t line_no, std::string_view detail) {
+  return Status::ParseError("line " + std::to_string(line_no) + ": " +
+                            std::string(detail));
+}
+
+}  // namespace
+
+std::string WriteGraphText(const TacoGraph& graph) {
+  std::ostringstream out;
+  out << "# taco-graph v1\n";
+  // Deterministic output: collect and sort by (dep, prec, pattern).
+  std::vector<CompressedEdge> edges;
+  graph.ForEachEdge(
+      [&edges](const CompressedEdge& edge) { edges.push_back(edge); });
+  std::sort(edges.begin(), edges.end(),
+            [](const CompressedEdge& a, const CompressedEdge& b) {
+              if (!(a.dep == b.dep)) return a.dep < b.dep;
+              if (!(a.prec == b.prec)) return a.prec < b.prec;
+              return static_cast<int>(a.pattern) < static_cast<int>(b.pattern);
+            });
+  for (const CompressedEdge& e : edges) {
+    out << PatternTypeToString(e.pattern) << ' ' << RangeToA1(e.prec) << ' '
+        << RangeToA1(e.dep);
+    out << " h=" << e.meta.h_rel.dcol << ',' << e.meta.h_rel.drow;
+    out << " t=" << e.meta.t_rel.dcol << ',' << e.meta.t_rel.drow;
+    out << " hf=" << e.meta.h_fix.col << ',' << e.meta.h_fix.row;
+    out << " tf=" << e.meta.t_fix.col << ',' << e.meta.t_fix.row;
+    out << " axis=" << (e.meta.axis == Axis::kColumn ? "col" : "row");
+    out << " stride=" << e.meta.stride;
+    out << " n=" << e.compressed_count;
+    out << " fl=" << FlagsToString(e);
+    out << '\n';
+  }
+  return out.str();
+}
+
+Result<TacoGraph> ReadGraphText(std::string_view text, TacoOptions options) {
+  TacoGraph graph(std::move(options));
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    std::string_view line = eol == std::string_view::npos
+                                ? text.substr(pos)
+                                : text.substr(pos, eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+
+    std::istringstream in{std::string(line)};
+    std::string pattern_name, prec_text, dep_text;
+    in >> pattern_name >> prec_text >> dep_text;
+    if (dep_text.empty()) {
+      return LineError(line_no, "expected '<pattern> <prec> <dep> ...'");
+    }
+    auto pattern = PatternFromName(pattern_name);
+    if (!pattern.ok()) return LineError(line_no, pattern.status().message());
+    auto prec = ParseA1(prec_text);
+    if (!prec.ok()) return LineError(line_no, prec.status().message());
+    auto dep = ParseA1(dep_text);
+    if (!dep.ok()) return LineError(line_no, dep.status().message());
+
+    CompressedEdge edge;
+    edge.pattern = *pattern;
+    edge.prec = prec->range;
+    edge.dep = dep->range;
+
+    std::string field;
+    while (in >> field) {
+      size_t eq = field.find('=');
+      if (eq == std::string::npos) {
+        return LineError(line_no, "malformed field '" + field + "'");
+      }
+      std::string_view key(field.data(), eq);
+      std::string_view value(field.data() + eq + 1, field.size() - eq - 1);
+      if (key == "axis") {
+        if (value != "col" && value != "row") {
+          return LineError(line_no, "bad axis '" + std::string(value) + "'");
+        }
+        edge.meta.axis = value == "col" ? Axis::kColumn : Axis::kRow;
+      } else if (key == "fl") {
+        if (value.size() != 4) {
+          return LineError(line_no, "bad flags '" + std::string(value) + "'");
+        }
+        edge.head_flags = AbsFlags{value[0] == '1', value[1] == '1'};
+        edge.tail_flags = AbsFlags{value[2] == '1', value[3] == '1'};
+      } else if (key == "n" || key == "stride") {
+        int64_t number = 0;
+        auto r = std::from_chars(value.data(), value.data() + value.size(),
+                                 number);
+        if (r.ec != std::errc() || r.ptr != value.data() + value.size() ||
+            number < 1) {
+          return LineError(line_no, "bad count '" + std::string(value) + "'");
+        }
+        if (key == "n") {
+          edge.compressed_count = static_cast<uint64_t>(number);
+        } else {
+          edge.meta.stride = static_cast<int32_t>(number);
+        }
+      } else {
+        auto pair = ParsePair(value);
+        if (!pair.ok()) return LineError(line_no, pair.status().message());
+        if (key == "h") {
+          edge.meta.h_rel = Offset{pair->first, pair->second};
+        } else if (key == "t") {
+          edge.meta.t_rel = Offset{pair->first, pair->second};
+        } else if (key == "hf") {
+          edge.meta.h_fix = Cell{pair->first, pair->second};
+        } else if (key == "tf") {
+          edge.meta.t_fix = Cell{pair->first, pair->second};
+        } else {
+          return LineError(line_no, "unknown field '" + std::string(key) +
+                                        "'");
+        }
+      }
+    }
+    Status inserted = graph.InsertCompressedEdgeForLoad(edge);
+    if (!inserted.ok()) return LineError(line_no, inserted.message());
+  }
+  return graph;
+}
+
+Status SaveGraphFile(const TacoGraph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  out << WriteGraphText(graph);
+  out.close();
+  if (!out) return Status::IoError("failed writing '" + path + "'");
+  return Status::OK();
+}
+
+Result<TacoGraph> LoadGraphFile(const std::string& path,
+                                TacoOptions options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ReadGraphText(buffer.str(), std::move(options));
+}
+
+}  // namespace taco

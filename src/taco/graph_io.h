@@ -1,0 +1,41 @@
+// Persistence for compressed formula graphs.
+//
+// Building the compressed graph is the one-time cost TACO pays at load
+// (Fig. 11); a spreadsheet system that persists the compressed graph next
+// to the file skips that cost entirely on reopen. The format is a
+// line-oriented text serialization of the compressed edges — one line per
+// edge, human-inspectable, and independent of insertion order:
+//
+//   # taco-graph v1
+//   RR A1:B6 C1:C4 hRel=-2,0 tRel=-1,2 axis=col stride=1 n=4 flags=0000
+//   Single B1:B4 D4 n=1 flags=1100
+//
+// Loading reconstructs the edges directly (no re-compression), yielding a
+// graph that answers queries identically to the one that was saved.
+
+#ifndef TACO_TACO_GRAPH_IO_H_
+#define TACO_TACO_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "taco/taco_graph.h"
+
+namespace taco {
+
+/// Serializes the live edges of `graph` to the text format above.
+std::string WriteGraphText(const TacoGraph& graph);
+
+/// Reconstructs a graph from WriteGraphText output. Options affect only
+/// future insertions, not the loaded edges.
+Result<TacoGraph> ReadGraphText(std::string_view text,
+                                TacoOptions options = TacoOptions::Full());
+
+/// File variants.
+Status SaveGraphFile(const TacoGraph& graph, const std::string& path);
+Result<TacoGraph> LoadGraphFile(const std::string& path,
+                                TacoOptions options = TacoOptions::Full());
+
+}  // namespace taco
+
+#endif  // TACO_TACO_GRAPH_IO_H_

@@ -1,0 +1,97 @@
+// The pattern interface: the four key functions of Sec. III-B.
+//
+// Every compression pattern plugs into the TACO framework by implementing
+// AddDep / FindDep / FindPrec / RemoveDep. The framework guarantees the
+// documented parameter preconditions (Sec. III-B); implementations
+// additionally defend by intersecting inputs with the edge's prec/dep.
+//
+// All four operations are O(1) for the basic patterns and RR-Chain.
+// RR-GapOne's query results are inherently non-rectangular, so its outputs
+// are O(k) lists of cells; it is disabled by default (Sec. V measures its
+// prevalence but finds it marginal).
+
+#ifndef TACO_TACO_PATTERN_H_
+#define TACO_TACO_PATTERN_H_
+
+#include <optional>
+#include <vector>
+
+#include "graph/dependency.h"
+#include "taco/compressed_edge.h"
+
+namespace taco {
+
+/// One compression pattern. Implementations are stateless singletons
+/// obtained via GetPattern().
+class Pattern {
+ public:
+  virtual ~Pattern() = default;
+
+  virtual PatternType type() const = 0;
+
+  /// Attempts to absorb the raw dependency `d` into edge `e`, where
+  /// `d.dep` extends `e.dep` by one cell along `axis` (the framework has
+  /// already verified the adjacency). `e` is either a Single edge or an
+  /// edge of this pattern. Returns the merged edge, or nullopt when the
+  /// dependency does not fit this pattern.
+  virtual std::optional<CompressedEdge> AddDep(const CompressedEdge& e,
+                                               const Dependency& d,
+                                               Axis axis) const = 0;
+
+  /// Appends the direct dependents of `r` within `e` (the subset of e.dep
+  /// whose windows intersect r). `r` may extend beyond e.prec; only the
+  /// overlap matters. RR-Chain returns its transitive in-edge closure (a
+  /// superset of the direct dependents that is always a subset of the
+  /// true transitive dependents), which is what makes chains O(1) to
+  /// traverse (Sec. V).
+  virtual void FindDep(const CompressedEdge& e, const Range& r,
+                       std::vector<Range>* out) const = 0;
+
+  /// Appends the precedents of the cells `s` within `e` (the union of the
+  /// windows of s ∩ e.dep). RR-Chain returns its transitive closure, as
+  /// above.
+  virtual void FindPrec(const CompressedEdge& e, const Range& s,
+                        std::vector<Range>* out) const = 0;
+
+  /// Removes the dependencies of the formula cells `s` from `e`,
+  /// appending the replacement edges (zero, one, or two for the basic
+  /// patterns). Remainders of size one demote to Single.
+  virtual void RemoveDep(const CompressedEdge& e, const Range& s,
+                         std::vector<CompressedEdge>* out) const = 0;
+};
+
+/// Returns the singleton implementation of `type`. kSingle has no Pattern
+/// object (Single edges are manipulated by the framework directly);
+/// requesting it is a programming error.
+const Pattern& GetPattern(PatternType type);
+
+/// The pattern set enabled by default: RR-Chain, RR, RF, FR, FF, in the
+/// framework's candidate-generation order (special patterns first so the
+/// heuristics can prefer them).
+const std::vector<PatternType>& DefaultPatternSet();
+
+/// Default set plus RR-GapOne (Sec. V extension), for the ablation bench.
+const std::vector<PatternType>& ExtendedPatternSet();
+
+/// Edge-level wrappers that also handle Single edges (which have no
+/// Pattern object): the graph engine calls these.
+void FindDepOnEdge(const CompressedEdge& e, const Range& r,
+                   std::vector<Range>* out);
+void FindPrecOnEdge(const CompressedEdge& e, const Range& s,
+                    std::vector<Range>* out);
+void RemoveDepOnEdge(const CompressedEdge& e, const Range& s,
+                     std::vector<CompressedEdge>* out);
+
+/// The raw dependencies represented by a compressed edge, reconstructed
+/// from the metadata. Used by tests (losslessness oracle) and by the
+/// decompression paths of baselines; O(|E'_i|).
+std::vector<Dependency> ReconstructDependencies(const CompressedEdge& e);
+
+/// Direct (single-hop) dependents of `r` in `e`, for all patterns — used
+/// by tests to validate FindDep against window enumeration. For RR-Chain
+/// this is the direct RR semantics, not the transitive closure.
+std::vector<Range> DirectDependents(const CompressedEdge& e, const Range& r);
+
+}  // namespace taco
+
+#endif  // TACO_TACO_PATTERN_H_

@@ -1,0 +1,624 @@
+#include "taco/pattern.h"
+
+#include <cassert>
+#include <functional>
+
+namespace taco {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+
+// Merges `cell` into the dependent line `dep`, requiring it to extend the
+// line by exactly one cell along `axis` (so the merged rectangle covers
+// exactly the old dependents plus the new formula cell — the lossless
+// merge invariant of DESIGN.md §3.1). Returns nullopt otherwise.
+std::optional<Range> MergeDepLine(const Range& dep, const Cell& cell,
+                                  Axis axis) {
+  Range merged = dep.BoundingUnion(Range(cell));
+  if (merged.Area() != dep.Area() + 1) return std::nullopt;
+  if (axis == Axis::kColumn ? merged.width() != 1 : merged.height() != 1) {
+    return std::nullopt;
+  }
+  return merged;
+}
+
+// Relative positions of a raw dependency: offsets from the formula cell to
+// the head and tail of its referenced window (the paper's rel(e)).
+struct Rel {
+  Offset h;
+  Offset t;
+};
+
+Rel RelOf(const Dependency& d) {
+  return Rel{d.prec.head - d.dep, d.prec.tail - d.dep};
+}
+
+Rel RelOf(const CompressedEdge& single) {
+  assert(single.pattern == PatternType::kSingle);
+  return Rel{single.prec.head - single.dep.head,
+             single.prec.tail - single.dep.head};
+}
+
+// The window referenced by dependent cell `c` of edge `e`.
+Range WindowOf(const CompressedEdge& e, const Cell& c) {
+  switch (e.pattern) {
+    case PatternType::kSingle:
+      return e.prec;
+    case PatternType::kRR:
+    case PatternType::kRRChain:
+    case PatternType::kRRGapOne:
+      return Range(c + e.meta.h_rel, c + e.meta.t_rel);
+    case PatternType::kRF:
+      return Range(c + e.meta.h_rel, e.meta.t_fix);
+    case PatternType::kFR:
+      return Range(e.meta.h_fix, c + e.meta.t_rel);
+    case PatternType::kFF:
+      return Range(e.meta.h_fix, e.meta.t_fix);
+  }
+  assert(false && "unreachable");
+  return e.prec;
+}
+
+CompressedEdge MergedEdge(const CompressedEdge& e, const Dependency& d,
+                          const Range& merged_dep, PatternType pattern,
+                          const EdgeMeta& meta) {
+  CompressedEdge out;
+  out.prec = e.prec.BoundingUnion(d.prec);
+  out.dep = merged_dep;
+  out.pattern = pattern;
+  out.meta = meta;
+  out.compressed_count = e.compressed_count + 1;
+  out.head_flags = e.head_flags;
+  out.tail_flags = e.tail_flags;
+  return out;
+}
+
+// Builds the replacement edge for a remainder line `piece` of e.dep after
+// removal, with pattern-appropriate precedent and demotion to Single for
+// one-cell remainders. Shared by every stride-1 pattern.
+CompressedEdge RemainderEdge(const CompressedEdge& e, const Range& piece) {
+  CompressedEdge out;
+  out.dep = piece;
+  out.compressed_count = piece.Area();
+  out.head_flags = e.head_flags;
+  out.tail_flags = e.tail_flags;
+  switch (e.pattern) {
+    case PatternType::kRR:
+    case PatternType::kRRChain:
+      out.prec = Range(piece.head + e.meta.h_rel, piece.tail + e.meta.t_rel);
+      break;
+    case PatternType::kRF:
+      out.prec = Range(piece.head + e.meta.h_rel, e.meta.t_fix);
+      break;
+    case PatternType::kFR:
+      out.prec = Range(e.meta.h_fix, piece.tail + e.meta.t_rel);
+      break;
+    case PatternType::kFF:
+      out.prec = Range(e.meta.h_fix, e.meta.t_fix);
+      break;
+    case PatternType::kSingle:
+    case PatternType::kRRGapOne:
+      assert(false && "handled elsewhere");
+      break;
+  }
+  if (piece.IsSingleCell()) {
+    out.pattern = PatternType::kSingle;
+  } else {
+    out.pattern = e.pattern;
+    out.meta = e.meta;
+  }
+  return out;
+}
+
+// Shared RemoveDep for all stride-1 patterns: subtract `s` from the
+// dependent line and re-emit pattern edges for the (at most two) remaining
+// line pieces.
+void RemoveDepStride1(const CompressedEdge& e, const Range& s,
+                      std::vector<CompressedEdge>* out) {
+  std::vector<Range> pieces;
+  SubtractRange(e.dep, s, &pieces);
+  for (const Range& piece : pieces) {
+    out->push_back(RemainderEdge(e, piece));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RR: sliding window. window(d) = [d + h_rel, d + t_rel].
+
+class RRPattern : public Pattern {
+ public:
+  PatternType type() const override { return PatternType::kRR; }
+
+  std::optional<CompressedEdge> AddDep(const CompressedEdge& e,
+                                       const Dependency& d,
+                                       Axis axis) const override {
+    Rel rel = RelOf(d);
+    if (e.pattern == PatternType::kSingle) {
+      Rel erel = RelOf(e);
+      if (!(erel.h == rel.h && erel.t == rel.t)) return std::nullopt;
+    } else if (e.pattern == PatternType::kRR) {
+      if (e.meta.axis != axis) return std::nullopt;
+      if (!(e.meta.h_rel == rel.h && e.meta.t_rel == rel.t)) {
+        return std::nullopt;
+      }
+    } else {
+      return std::nullopt;
+    }
+    auto merged_dep = MergeDepLine(e.dep, d.dep, axis);
+    if (!merged_dep) return std::nullopt;
+    EdgeMeta meta;
+    meta.h_rel = rel.h;
+    meta.t_rel = rel.t;
+    meta.axis = axis;
+    return MergedEdge(e, d, *merged_dep, PatternType::kRR, meta);
+  }
+
+  void FindDep(const CompressedEdge& e, const Range& r,
+               std::vector<Range>* out) const override {
+    // A dependent cell d qualifies iff its window [d+h_rel, d+t_rel]
+    // intersects r, i.e. d lies in the box [r.head - t_rel, r.tail - h_rel]
+    // (the closed form of the paper's back-calculation; DESIGN.md §3.1).
+    auto overlap = r.Intersect(e.prec);
+    if (!overlap) return;
+    Cell lo = overlap->head - e.meta.t_rel;
+    Cell hi = overlap->tail - e.meta.h_rel;
+    Range box(CellMax(lo, e.dep.head), CellMin(hi, e.dep.tail));
+    if (DominatedBy(box.head, box.tail)) out->push_back(box);
+  }
+
+  void FindPrec(const CompressedEdge& e, const Range& s,
+                std::vector<Range>* out) const override {
+    auto overlap = s.Intersect(e.dep);
+    if (!overlap) return;
+    // Union of vertically/horizontally sliding same-size windows over a
+    // rectangle of dependents is exactly their bounding rectangle.
+    out->push_back(
+        Range(overlap->head + e.meta.h_rel, overlap->tail + e.meta.t_rel));
+  }
+
+  void RemoveDep(const CompressedEdge& e, const Range& s,
+                 std::vector<CompressedEdge>* out) const override {
+    RemoveDepStride1(e, s, out);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// RF: shrinking window. window(d) = [d + h_rel, t_fix].
+
+class RFPattern : public Pattern {
+ public:
+  PatternType type() const override { return PatternType::kRF; }
+
+  std::optional<CompressedEdge> AddDep(const CompressedEdge& e,
+                                       const Dependency& d,
+                                       Axis axis) const override {
+    Rel rel = RelOf(d);
+    if (e.pattern == PatternType::kSingle) {
+      Rel erel = RelOf(e);
+      if (!(erel.h == rel.h && e.prec.tail == d.prec.tail)) {
+        return std::nullopt;
+      }
+    } else if (e.pattern == PatternType::kRF) {
+      if (e.meta.axis != axis) return std::nullopt;
+      if (!(e.meta.h_rel == rel.h && e.meta.t_fix == d.prec.tail)) {
+        return std::nullopt;
+      }
+    } else {
+      return std::nullopt;
+    }
+    auto merged_dep = MergeDepLine(e.dep, d.dep, axis);
+    if (!merged_dep) return std::nullopt;
+    EdgeMeta meta;
+    meta.h_rel = rel.h;
+    meta.t_fix = d.prec.tail;
+    meta.axis = axis;
+    return MergedEdge(e, d, *merged_dep, PatternType::kRF, meta);
+  }
+
+  void FindDep(const CompressedEdge& e, const Range& r,
+               std::vector<Range>* out) const override {
+    auto overlap = r.Intersect(e.prec);
+    if (!overlap) return;
+    // window(d) ∩ r ≠ ∅ iff d + h_rel <= r.tail (t_fix >= r.head holds
+    // because r ⊆ e.prec and e.prec.tail == t_fix).
+    Cell hi = overlap->tail - e.meta.h_rel;
+    Range box(e.dep.head, CellMin(hi, e.dep.tail));
+    if (DominatedBy(box.head, box.tail)) out->push_back(box);
+  }
+
+  void FindPrec(const CompressedEdge& e, const Range& s,
+                std::vector<Range>* out) const override {
+    auto overlap = s.Intersect(e.dep);
+    if (!overlap) return;
+    // Windows nest toward the tail; the union is the head cell's window.
+    out->push_back(Range(overlap->head + e.meta.h_rel, e.meta.t_fix));
+  }
+
+  void RemoveDep(const CompressedEdge& e, const Range& s,
+                 std::vector<CompressedEdge>* out) const override {
+    RemoveDepStride1(e, s, out);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// FR: expanding window. window(d) = [h_fix, d + t_rel]. Dual of RF.
+
+class FRPattern : public Pattern {
+ public:
+  PatternType type() const override { return PatternType::kFR; }
+
+  std::optional<CompressedEdge> AddDep(const CompressedEdge& e,
+                                       const Dependency& d,
+                                       Axis axis) const override {
+    Rel rel = RelOf(d);
+    if (e.pattern == PatternType::kSingle) {
+      Rel erel = RelOf(e);
+      if (!(erel.t == rel.t && e.prec.head == d.prec.head)) {
+        return std::nullopt;
+      }
+    } else if (e.pattern == PatternType::kFR) {
+      if (e.meta.axis != axis) return std::nullopt;
+      if (!(e.meta.t_rel == rel.t && e.meta.h_fix == d.prec.head)) {
+        return std::nullopt;
+      }
+    } else {
+      return std::nullopt;
+    }
+    auto merged_dep = MergeDepLine(e.dep, d.dep, axis);
+    if (!merged_dep) return std::nullopt;
+    EdgeMeta meta;
+    meta.t_rel = rel.t;
+    meta.h_fix = d.prec.head;
+    meta.axis = axis;
+    return MergedEdge(e, d, *merged_dep, PatternType::kFR, meta);
+  }
+
+  void FindDep(const CompressedEdge& e, const Range& r,
+               std::vector<Range>* out) const override {
+    auto overlap = r.Intersect(e.prec);
+    if (!overlap) return;
+    // window(d) ∩ r ≠ ∅ iff d + t_rel >= r.head (h_fix <= r.tail always).
+    Cell lo = overlap->head - e.meta.t_rel;
+    Range box(CellMax(lo, e.dep.head), e.dep.tail);
+    if (DominatedBy(box.head, box.tail)) out->push_back(box);
+  }
+
+  void FindPrec(const CompressedEdge& e, const Range& s,
+                std::vector<Range>* out) const override {
+    auto overlap = s.Intersect(e.dep);
+    if (!overlap) return;
+    out->push_back(Range(e.meta.h_fix, overlap->tail + e.meta.t_rel));
+  }
+
+  void RemoveDep(const CompressedEdge& e, const Range& s,
+                 std::vector<CompressedEdge>* out) const override {
+    RemoveDepStride1(e, s, out);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// FF: fixed window. window(d) = [h_fix, t_fix] for every dependent.
+
+class FFPattern : public Pattern {
+ public:
+  PatternType type() const override { return PatternType::kFF; }
+
+  std::optional<CompressedEdge> AddDep(const CompressedEdge& e,
+                                       const Dependency& d,
+                                       Axis axis) const override {
+    if (e.pattern == PatternType::kSingle) {
+      if (!(e.prec == d.prec)) return std::nullopt;
+    } else if (e.pattern == PatternType::kFF) {
+      if (e.meta.axis != axis) return std::nullopt;
+      if (!(Range(e.meta.h_fix, e.meta.t_fix) == d.prec)) return std::nullopt;
+    } else {
+      return std::nullopt;
+    }
+    auto merged_dep = MergeDepLine(e.dep, d.dep, axis);
+    if (!merged_dep) return std::nullopt;
+    EdgeMeta meta;
+    meta.h_fix = d.prec.head;
+    meta.t_fix = d.prec.tail;
+    meta.axis = axis;
+    return MergedEdge(e, d, *merged_dep, PatternType::kFF, meta);
+  }
+
+  void FindDep(const CompressedEdge& e, const Range& r,
+               std::vector<Range>* out) const override {
+    if (r.Overlaps(e.prec)) out->push_back(e.dep);
+  }
+
+  void FindPrec(const CompressedEdge& e, const Range& s,
+                std::vector<Range>* out) const override {
+    if (s.Overlaps(e.dep)) {
+      out->push_back(Range(e.meta.h_fix, e.meta.t_fix));
+    }
+  }
+
+  void RemoveDep(const CompressedEdge& e, const Range& s,
+                 std::vector<CompressedEdge>* out) const override {
+    RemoveDepStride1(e, s, out);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// RR-Chain: unit-offset RR over adjacent formula cells (Sec. V). Queries
+// return the transitive closure *within the edge* in O(1), which removes
+// the repeated-edge-access bottleneck of plain RR on chains.
+
+class RRChainPattern : public Pattern {
+ public:
+  PatternType type() const override { return PatternType::kRRChain; }
+
+  // True when `rel` is the unit offset of a chain along `axis` (the
+  // referenced cell is the adjacent cell above/below or left/right).
+  static bool IsChainRel(const Rel& rel, Axis axis) {
+    if (!(rel.h == rel.t)) return false;
+    if (axis == Axis::kColumn) {
+      return rel.h.dcol == 0 && (rel.h.drow == 1 || rel.h.drow == -1);
+    }
+    return rel.h.drow == 0 && (rel.h.dcol == 1 || rel.h.dcol == -1);
+  }
+
+  std::optional<CompressedEdge> AddDep(const CompressedEdge& e,
+                                       const Dependency& d,
+                                       Axis axis) const override {
+    Rel rel = RelOf(d);
+    if (!IsChainRel(rel, axis)) return std::nullopt;
+    if (e.pattern == PatternType::kSingle) {
+      Rel erel = RelOf(e);
+      if (!(erel.h == rel.h && erel.t == rel.t)) return std::nullopt;
+    } else if (e.pattern == PatternType::kRRChain) {
+      if (e.meta.axis != axis) return std::nullopt;
+      if (!(e.meta.h_rel == rel.h)) return std::nullopt;
+    } else {
+      return std::nullopt;
+    }
+    auto merged_dep = MergeDepLine(e.dep, d.dep, axis);
+    if (!merged_dep) return std::nullopt;
+    EdgeMeta meta;
+    meta.h_rel = rel.h;
+    meta.t_rel = rel.t;
+    meta.axis = axis;
+    return MergedEdge(e, d, *merged_dep, PatternType::kRRChain, meta);
+  }
+
+  void FindDep(const CompressedEdge& e, const Range& r,
+               std::vector<Range>* out) const override {
+    auto overlap = r.Intersect(e.prec);
+    if (!overlap) return;
+    const Offset rel = e.meta.h_rel;
+    // Negative rel: each cell references its predecessor, so dependents
+    // run from the first cell after the overlap to the end of the chain.
+    // Positive rel: the dual.
+    Range box = (rel.drow < 0 || rel.dcol < 0)
+                    ? Range(overlap->head - rel, e.dep.tail)
+                    : Range(e.dep.head, overlap->tail - rel);
+    Range clamped(CellMax(box.head, e.dep.head),
+                  CellMin(box.tail, e.dep.tail));
+    if (DominatedBy(clamped.head, clamped.tail)) out->push_back(clamped);
+  }
+
+  void FindPrec(const CompressedEdge& e, const Range& s,
+                std::vector<Range>* out) const override {
+    auto overlap = s.Intersect(e.dep);
+    if (!overlap) return;
+    const Offset rel = e.meta.h_rel;
+    Range box = (rel.drow < 0 || rel.dcol < 0)
+                    ? Range(e.prec.head, overlap->tail + rel)
+                    : Range(overlap->head + rel, e.prec.tail);
+    Range clamped(CellMax(box.head, e.prec.head),
+                  CellMin(box.tail, e.prec.tail));
+    if (DominatedBy(clamped.head, clamped.tail)) out->push_back(clamped);
+  }
+
+  void RemoveDep(const CompressedEdge& e, const Range& s,
+                 std::vector<CompressedEdge>* out) const override {
+    // Same direct-RR geometry as RR (Sec. V): remainders keep the chain
+    // pattern (or demote to Single).
+    RemoveDepStride1(e, s, out);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// RR-GapOne: RR over every other cell (stride 2) — the Sec. V extension.
+// Dependent cells occupy alternating positions of e.dep along the axis, so
+// query results are not rectangles; outputs are per-cell and O(k). The
+// pattern demonstrates framework extensibility and powers the pattern
+// ablation bench; it is not in DefaultPatternSet().
+
+class RRGapOnePattern : public Pattern {
+ public:
+  PatternType type() const override { return PatternType::kRRGapOne; }
+
+  static Offset StrideStep(Axis axis) {
+    return axis == Axis::kColumn ? Offset{0, 2} : Offset{2, 0};
+  }
+
+  // Enumerates the occupied dependent cells of `e`.
+  static void ForEachDepCell(const CompressedEdge& e,
+                             const std::function<void(const Cell&)>& fn) {
+    const Offset step = StrideStep(e.meta.axis);
+    Cell c = e.dep.head;
+    while (e.dep.Contains(c)) {
+      fn(c);
+      c = c + step;
+    }
+  }
+
+  std::optional<CompressedEdge> AddDep(const CompressedEdge& e,
+                                       const Dependency& d,
+                                       Axis axis) const override {
+    Rel rel = RelOf(d);
+    if (e.pattern == PatternType::kSingle) {
+      Rel erel = RelOf(e);
+      if (!(erel.h == rel.h && erel.t == rel.t)) return std::nullopt;
+    } else if (e.pattern == PatternType::kRRGapOne) {
+      if (e.meta.axis != axis) return std::nullopt;
+      if (!(e.meta.h_rel == rel.h && e.meta.t_rel == rel.t)) {
+        return std::nullopt;
+      }
+    } else {
+      return std::nullopt;
+    }
+    // The new cell must sit exactly one stride beyond the head or tail.
+    const Offset step = StrideStep(axis);
+    Range merged;
+    if (d.dep == e.dep.tail + step) {
+      merged = Range(e.dep.head, d.dep);
+    } else if (d.dep == e.dep.head - step) {
+      merged = Range(d.dep, e.dep.tail);
+    } else {
+      return std::nullopt;
+    }
+    if (e.pattern == PatternType::kSingle &&
+        !(axis == Axis::kColumn ? merged.width() == 1
+                                : merged.height() == 1)) {
+      return std::nullopt;
+    }
+    EdgeMeta meta;
+    meta.h_rel = rel.h;
+    meta.t_rel = rel.t;
+    meta.axis = axis;
+    meta.stride = 2;
+    return MergedEdge(e, d, merged, PatternType::kRRGapOne, meta);
+  }
+
+  void FindDep(const CompressedEdge& e, const Range& r,
+               std::vector<Range>* out) const override {
+    auto overlap = r.Intersect(e.prec);
+    if (!overlap) return;
+    Cell lo = overlap->head - e.meta.t_rel;
+    Cell hi = overlap->tail - e.meta.h_rel;
+    Range box(CellMax(lo, e.dep.head), CellMin(hi, e.dep.tail));
+    if (!DominatedBy(box.head, box.tail)) return;
+    ForEachDepCell(e, [&](const Cell& c) {
+      if (box.Contains(c)) out->push_back(Range(c));
+    });
+  }
+
+  void FindPrec(const CompressedEdge& e, const Range& s,
+                std::vector<Range>* out) const override {
+    // Per-cell windows: stride gaps make the union non-rectangular when
+    // the window is shorter than the stride, so no bounding shortcut.
+    ForEachDepCell(e, [&](const Cell& c) {
+      if (s.Contains(c)) {
+        out->push_back(Range(c + e.meta.h_rel, c + e.meta.t_rel));
+      }
+    });
+  }
+
+  void RemoveDep(const CompressedEdge& e, const Range& s,
+                 std::vector<CompressedEdge>* out) const override {
+    // Decompress the survivors to Single edges — correct and simple; the
+    // compressor may re-merge them later.
+    ForEachDepCell(e, [&](const Cell& c) {
+      if (!s.Contains(c)) {
+        CompressedEdge single = MakeSingleEdge(
+            Range(c + e.meta.h_rel, c + e.meta.t_rel), c, e.head_flags,
+            e.tail_flags);
+        out->push_back(single);
+      }
+    });
+  }
+};
+
+}  // namespace
+
+const Pattern& GetPattern(PatternType type) {
+  static const RRPattern rr;
+  static const RFPattern rf;
+  static const FRPattern fr;
+  static const FFPattern ff;
+  static const RRChainPattern chain;
+  static const RRGapOnePattern gap;
+  switch (type) {
+    case PatternType::kRR: return rr;
+    case PatternType::kRF: return rf;
+    case PatternType::kFR: return fr;
+    case PatternType::kFF: return ff;
+    case PatternType::kRRChain: return chain;
+    case PatternType::kRRGapOne: return gap;
+    case PatternType::kSingle: break;
+  }
+  assert(false && "Single edges have no Pattern object");
+  return rr;
+}
+
+const std::vector<PatternType>& DefaultPatternSet() {
+  static const std::vector<PatternType> kSet{
+      PatternType::kRRChain, PatternType::kRR, PatternType::kRF,
+      PatternType::kFR, PatternType::kFF};
+  return kSet;
+}
+
+const std::vector<PatternType>& ExtendedPatternSet() {
+  static const std::vector<PatternType> kSet{
+      PatternType::kRRChain, PatternType::kRR, PatternType::kRF,
+      PatternType::kFR, PatternType::kFF, PatternType::kRRGapOne};
+  return kSet;
+}
+
+void FindDepOnEdge(const CompressedEdge& e, const Range& r,
+                   std::vector<Range>* out) {
+  if (e.pattern == PatternType::kSingle) {
+    if (r.Overlaps(e.prec)) out->push_back(e.dep);
+    return;
+  }
+  GetPattern(e.pattern).FindDep(e, r, out);
+}
+
+void FindPrecOnEdge(const CompressedEdge& e, const Range& s,
+                    std::vector<Range>* out) {
+  if (e.pattern == PatternType::kSingle) {
+    if (s.Overlaps(e.dep)) out->push_back(e.prec);
+    return;
+  }
+  GetPattern(e.pattern).FindPrec(e, s, out);
+}
+
+void RemoveDepOnEdge(const CompressedEdge& e, const Range& s,
+                     std::vector<CompressedEdge>* out) {
+  if (e.pattern == PatternType::kSingle) {
+    if (!s.Overlaps(e.dep)) out->push_back(e);
+    return;
+  }
+  if (!s.Overlaps(e.dep)) {
+    out->push_back(e);
+    return;
+  }
+  GetPattern(e.pattern).RemoveDep(e, s, out);
+}
+
+std::vector<Dependency> ReconstructDependencies(const CompressedEdge& e) {
+  std::vector<Dependency> out;
+  auto emit = [&](const Cell& c) {
+    Dependency d;
+    d.prec = WindowOf(e, c);
+    d.dep = c;
+    d.head_flags = e.head_flags;
+    d.tail_flags = e.tail_flags;
+    out.push_back(d);
+  };
+  if (e.pattern == PatternType::kSingle) {
+    emit(e.dep.head);
+    return out;
+  }
+  if (e.pattern == PatternType::kRRGapOne) {
+    RRGapOnePattern::ForEachDepCell(e, emit);
+    return out;
+  }
+  for (const Cell& c : EnumerateCells(e.dep)) emit(c);
+  return out;
+}
+
+std::vector<Range> DirectDependents(const CompressedEdge& e, const Range& r) {
+  std::vector<Range> out;
+  for (const Dependency& d : ReconstructDependencies(e)) {
+    if (d.prec.Overlaps(r)) out.push_back(Range(d.dep));
+  }
+  return out;
+}
+
+}  // namespace taco

@@ -1,0 +1,287 @@
+// Tests for the Sec. VI comparison baselines. CellGraph and CalcGraph are
+// exact and must match the brute-force oracle; Antifreeze may return
+// bounding-range supersets (verified as such); ExcelLike is exact but
+// scan-based. All implement the common DependencyGraph interface.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "baselines/antifreeze.h"
+#include "baselines/calcgraph.h"
+#include "baselines/cellgraph.h"
+#include "baselines/excellike.h"
+#include "common/range_set.h"
+#include "graph/nocomp_graph.h"
+#include "graph_test_util.h"
+#include "sheet/sheet.h"
+
+namespace taco {
+namespace {
+
+using test::BruteForceDependents;
+using test::BruteForcePrecedents;
+using test::CellSet;
+using test::RandomAcyclicDependencies;
+using test::ToCellSet;
+
+Dependency Dep(const Range& prec, const Cell& dep) {
+  Dependency d;
+  d.prec = prec;
+  d.dep = dep;
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// CellGraph
+
+TEST(CellGraphTest, DecomposesRangeEdges) {
+  CellGraph graph;
+  // A1:A3 -> B1 becomes three cell-level edges (the RedisGraph loading
+  // transformation described in Sec. VI-D).
+  ASSERT_TRUE(graph.AddDependency(Dep(Range(1, 1, 1, 3), Cell{2, 1})).ok());
+  EXPECT_EQ(graph.NumEdges(), 3u);
+  EXPECT_EQ(graph.NumVertices(), 4u);  // A1, A2, A3, B1
+}
+
+TEST(CellGraphTest, BlowupOnLargeRanges) {
+  CellGraph graph;
+  NoCompGraph nocomp;
+  Dependency dep = Dep(Range(1, 1, 1, 10000), Cell{2, 1});
+  ASSERT_TRUE(graph.AddDependency(dep).ok());
+  ASSERT_TRUE(nocomp.AddDependency(dep).ok());
+  // The decomposition is 10000x larger than the range representation.
+  EXPECT_EQ(graph.NumEdges(), 10000u);
+  EXPECT_EQ(nocomp.NumEdges(), 1u);
+}
+
+TEST(CellGraphTest, QueryDeadlineReportsTimeout) {
+  CellGraph graph;
+  for (int i = 1; i <= 2000; ++i) {
+    ASSERT_TRUE(
+        graph.AddDependency(Dep(Range(Cell{1, i}), Cell{2, i})).ok());
+  }
+  graph.set_query_budget_ms(0.000001);
+  (void)graph.FindDependents(Range(1, 1, 1, 2000));
+  EXPECT_TRUE(graph.query_timed_out());
+  graph.set_query_budget_ms(0);
+  (void)graph.FindDependents(Range(1, 1, 1, 2000));
+  EXPECT_FALSE(graph.query_timed_out());
+}
+
+// ---------------------------------------------------------------------------
+// Antifreeze
+
+TEST(AntifreezeTest, LookupMatchesExactDependentsOnSmallSheets) {
+  // With K large enough, bounding compression is exact for small sets.
+  AntifreezeGraph graph(/*max_bounding_ranges=*/100);
+  NoCompGraph nocomp;
+  auto deps = RandomAcyclicDependencies(42, 40);
+  for (const Dependency& dep : deps) {
+    ASSERT_TRUE(graph.AddDependency(dep).ok());
+    ASSERT_TRUE(nocomp.AddDependency(dep).ok());
+  }
+  for (int col = 1; col <= 8; ++col) {
+    for (int row = 1; row <= 30; row += 3) {
+      Range input(Cell{col, row});
+      EXPECT_EQ(ToCellSet(graph.FindDependents(input)),
+                ToCellSet(nocomp.FindDependents(input)))
+          << input.ToString();
+    }
+  }
+}
+
+TEST(AntifreezeTest, SmallKProducesSupersets) {
+  AntifreezeGraph graph(/*max_bounding_ranges=*/2);
+  NoCompGraph nocomp;
+  // One cell with scattered dependents that cannot be covered exactly by
+  // two rectangles.
+  std::vector<Cell> dependents = {{3, 1}, {5, 9}, {2, 14}, {7, 3}, {4, 20}};
+  for (const Cell& d : dependents) {
+    ASSERT_TRUE(graph.AddDependency(Dep(Range(Cell{1, 1}), d)).ok());
+    ASSERT_TRUE(nocomp.AddDependency(Dep(Range(Cell{1, 1}), d)).ok());
+  }
+  auto approx = ToCellSet(graph.FindDependents(Range(Cell{1, 1})));
+  auto exact = ToCellSet(nocomp.FindDependents(Range(Cell{1, 1})));
+  // Superset, never a miss.
+  for (const auto& cell : exact) {
+    EXPECT_TRUE(approx.contains(cell));
+  }
+  EXPECT_GT(approx.size(), exact.size());  // false positives exist here
+}
+
+TEST(AntifreezeTest, RebuildOnModification) {
+  AntifreezeGraph graph;
+  ASSERT_TRUE(graph.AddDependency(Dep(Range(Cell{1, 1}), Cell{2, 1})).ok());
+  ASSERT_TRUE(graph.BuildLookupTable());
+  EXPECT_EQ(ToCellSet(graph.FindDependents(Range(Cell{1, 1}))),
+            (CellSet{{2, 1}}));
+
+  // Clearing B1 invalidates and rebuilds the table.
+  ASSERT_TRUE(graph.RemoveFormulaCells(Range(Cell{2, 1})).ok());
+  EXPECT_TRUE(graph.FindDependents(Range(Cell{1, 1})).empty());
+}
+
+TEST(AntifreezeTest, BuildDeadline) {
+  AntifreezeGraph graph;
+  // A wide sheet whose per-cell expansion is large.
+  for (int i = 1; i <= 50; ++i) {
+    ASSERT_TRUE(
+        graph.AddDependency(Dep(Range(1, 1, 20, 500), Cell{25, i})).ok());
+  }
+  graph.set_build_budget_ms(0.000001);
+  EXPECT_FALSE(graph.BuildLookupTable());
+  EXPECT_TRUE(graph.build_timed_out());
+  graph.set_build_budget_ms(0);
+  EXPECT_TRUE(graph.BuildLookupTable());
+  EXPECT_FALSE(graph.build_timed_out());
+}
+
+TEST(AntifreezeTest, PrecedentsFallBackToBaseGraph) {
+  AntifreezeGraph graph;
+  ASSERT_TRUE(graph.AddDependency(Dep(Range(1, 1, 1, 3), Cell{2, 1})).ok());
+  EXPECT_EQ(ToCellSet(graph.FindPrecedents(Range(Cell{2, 1}))),
+            (CellSet{{1, 1}, {1, 2}, {1, 3}}));
+}
+
+// ---------------------------------------------------------------------------
+// ExcelLike
+
+TEST(ExcelLikeTest, SharedRecordsDeduplicate) {
+  ExcelLikeGraph graph;
+  // 100 formulas with the same relative shape share one record.
+  for (int row = 1; row <= 100; ++row) {
+    ASSERT_TRUE(
+        graph.AddDependency(Dep(Range(Cell{1, row}), Cell{2, row})).ok());
+  }
+  EXPECT_EQ(graph.NumEdges(), 1u);  // one shared record
+  EXPECT_EQ(graph.NumRawDependencies(), 100u);
+}
+
+TEST(ExcelLikeTest, MultiReferenceShapes) {
+  ExcelLikeGraph graph;
+  // Two-reference formulas: both references end up in one record whose
+  // shape has two entries.
+  for (int row = 2; row <= 50; ++row) {
+    ASSERT_TRUE(
+        graph.AddDependency(Dep(Range(Cell{1, row}), Cell{3, row})).ok());
+    ASSERT_TRUE(
+        graph.AddDependency(Dep(Range(Cell{2, row - 1}), Cell{3, row})).ok());
+  }
+  EXPECT_EQ(graph.NumEdges(), 2u);  // the 1-ref prefix record + final shape
+  EXPECT_EQ(graph.NumRawDependencies(), 98u);
+
+  auto result = graph.FindDependents(Range(Cell{1, 10}));
+  EXPECT_EQ(ToCellSet(result), (CellSet{{3, 10}}));
+  result = graph.FindDependents(Range(Cell{2, 10}));
+  EXPECT_EQ(ToCellSet(result), (CellSet{{3, 11}}));
+}
+
+TEST(ExcelLikeTest, RemoveFormulaCells) {
+  ExcelLikeGraph graph;
+  for (int row = 1; row <= 10; ++row) {
+    ASSERT_TRUE(
+        graph.AddDependency(Dep(Range(Cell{1, row}), Cell{2, row})).ok());
+  }
+  ASSERT_TRUE(graph.RemoveFormulaCells(Range(2, 3, 2, 5)).ok());
+  EXPECT_EQ(graph.NumRawDependencies(), 7u);
+  EXPECT_TRUE(graph.FindDependents(Range(Cell{1, 4})).empty());
+  EXPECT_EQ(ToCellSet(graph.FindDependents(Range(Cell{1, 6}))),
+            (CellSet{{2, 6}}));
+}
+
+// ---------------------------------------------------------------------------
+// Differential: every exact baseline must agree with the oracle.
+
+struct BaselineParam {
+  const char* name;
+  int which;  // 0 = CellGraph, 1 = CalcGraph, 2 = ExcelLike
+  uint32_t seed;
+};
+
+class ExactBaselineTest : public ::testing::TestWithParam<BaselineParam> {
+ protected:
+  std::unique_ptr<DependencyGraph> MakeGraph() const {
+    switch (GetParam().which) {
+      case 0: return std::make_unique<CellGraph>();
+      case 1: return std::make_unique<CalcGraph>();
+      default: return std::make_unique<ExcelLikeGraph>();
+    }
+  }
+};
+
+TEST_P(ExactBaselineTest, MatchesOracle) {
+  auto deps = RandomAcyclicDependencies(GetParam().seed, 60);
+  auto graph = MakeGraph();
+  for (const Dependency& dep : deps) {
+    ASSERT_TRUE(graph->AddDependency(dep).ok());
+  }
+  std::mt19937 rng(GetParam().seed ^ 0xf00d);
+  std::uniform_int_distribution<int32_t> col(1, 8);
+  std::uniform_int_distribution<int32_t> row(1, 30);
+  for (int trial = 0; trial < 20; ++trial) {
+    Range input(Cell{col(rng), row(rng)});
+    EXPECT_EQ(ToCellSet(graph->FindDependents(input)),
+              BruteForceDependents(deps, input))
+        << graph->Name() << " dependents of " << input.ToString();
+    EXPECT_EQ(ToCellSet(graph->FindPrecedents(input)),
+              BruteForcePrecedents(deps, input))
+        << graph->Name() << " precedents of " << input.ToString();
+  }
+}
+
+TEST_P(ExactBaselineTest, RemovalMatchesOracle) {
+  auto deps = RandomAcyclicDependencies(GetParam().seed + 500, 50);
+  auto graph = MakeGraph();
+  for (const Dependency& dep : deps) {
+    ASSERT_TRUE(graph->AddDependency(dep).ok());
+  }
+  Range cleared(1, 12, 8, 18);
+  ASSERT_TRUE(graph->RemoveFormulaCells(cleared).ok());
+  std::vector<Dependency> remaining;
+  for (const Dependency& dep : deps) {
+    if (!cleared.Contains(dep.dep)) remaining.push_back(dep);
+  }
+  std::mt19937 rng(GetParam().seed);
+  std::uniform_int_distribution<int32_t> col(1, 8);
+  std::uniform_int_distribution<int32_t> row(1, 30);
+  for (int trial = 0; trial < 15; ++trial) {
+    Range input(Cell{col(rng), row(rng)});
+    EXPECT_EQ(ToCellSet(graph->FindDependents(input)),
+              BruteForceDependents(remaining, input))
+        << graph->Name() << " dependents of " << input.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Baselines, ExactBaselineTest,
+    ::testing::Values(BaselineParam{"CellGraph", 0, 21},
+                      BaselineParam{"CellGraph", 0, 22},
+                      BaselineParam{"CalcGraph", 1, 23},
+                      BaselineParam{"CalcGraph", 1, 24},
+                      BaselineParam{"ExcelLike", 2, 25},
+                      BaselineParam{"ExcelLike", 2, 26}),
+    [](const ::testing::TestParamInfo<BaselineParam>& info) {
+      return std::string(info.param.name) + "S" +
+             std::to_string(info.param.seed);
+    });
+
+// CalcGraph with tiny containers exercises multi-container registration.
+TEST(CalcGraphTest, TinyContainers) {
+  CalcGraph graph(/*container_cols=*/2, /*container_rows=*/4);
+  auto deps = RandomAcyclicDependencies(99, 50);
+  for (const Dependency& dep : deps) {
+    ASSERT_TRUE(graph.AddDependency(dep).ok());
+  }
+  for (int col = 1; col <= 8; col += 2) {
+    for (int row = 1; row <= 30; row += 5) {
+      Range input(Cell{col, row});
+      EXPECT_EQ(ToCellSet(graph.FindDependents(input)),
+                BruteForceDependents(deps, input))
+          << input.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace taco

@@ -1,0 +1,348 @@
+// Unit and property tests for the cell/range algebra and A1 notation.
+
+#include <algorithm>
+#include <random>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/a1.h"
+#include "common/cell.h"
+#include "common/range.h"
+#include "common/status.h"
+
+namespace taco {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / Result
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AllFactoryCodesRoundTrip) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::EvalError("x").code(), StatusCode::kEvalError);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Unsupported("x").code(), StatusCode::kUnsupported);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+// ---------------------------------------------------------------------------
+// Cell and Offset
+
+TEST(CellTest, ArithmeticRoundTrips) {
+  Cell a{5, 10};
+  Offset o{-2, 3};
+  Cell b = a + o;
+  EXPECT_EQ(b, (Cell{3, 13}));
+  EXPECT_EQ(b - o, a);
+  EXPECT_EQ(b - a, o);
+  EXPECT_EQ(-o, (Offset{2, -3}));
+}
+
+TEST(CellTest, ValidityBounds) {
+  EXPECT_TRUE((Cell{1, 1}).IsValid());
+  EXPECT_TRUE((Cell{kMaxCol, kMaxRow}).IsValid());
+  EXPECT_FALSE((Cell{0, 1}).IsValid());
+  EXPECT_FALSE((Cell{1, 0}).IsValid());
+  EXPECT_FALSE((Cell{kMaxCol + 1, 1}).IsValid());
+  EXPECT_FALSE((Cell{1, kMaxRow + 1}).IsValid());
+}
+
+TEST(CellTest, OrderingIsColumnMajor) {
+  EXPECT_LT((Cell{1, 5}), (Cell{2, 1}));
+  EXPECT_LT((Cell{2, 1}), (Cell{2, 2}));
+  EXPECT_FALSE((Cell{2, 2}) < (Cell{2, 2}));
+}
+
+TEST(CellTest, DominanceIsComponentwise) {
+  EXPECT_TRUE(DominatedBy(Cell{1, 1}, Cell{2, 2}));
+  EXPECT_TRUE(DominatedBy(Cell{2, 2}, Cell{2, 2}));
+  EXPECT_FALSE(DominatedBy(Cell{1, 3}, Cell{2, 2}));
+  EXPECT_FALSE(DominatedBy(Cell{3, 1}, Cell{2, 2}));
+}
+
+// ---------------------------------------------------------------------------
+// Range basics
+
+TEST(RangeTest, GeometryAccessors) {
+  Range r(2, 3, 4, 7);
+  EXPECT_EQ(r.width(), 3);
+  EXPECT_EQ(r.height(), 5);
+  EXPECT_EQ(r.Area(), 15u);
+  EXPECT_FALSE(r.IsSingleCell());
+  EXPECT_FALSE(r.IsLine());
+  EXPECT_TRUE(Range(Cell{2, 2}).IsSingleCell());
+  EXPECT_TRUE(Range(2, 1, 2, 9).IsLine());
+  EXPECT_TRUE(Range(1, 4, 9, 4).IsLine());
+}
+
+TEST(RangeTest, ContainsAndOverlaps) {
+  Range r(2, 2, 5, 5);
+  EXPECT_TRUE(r.Contains(Cell{2, 2}));
+  EXPECT_TRUE(r.Contains(Cell{5, 5}));
+  EXPECT_FALSE(r.Contains(Cell{1, 2}));
+  EXPECT_TRUE(r.Contains(Range(3, 3, 4, 4)));
+  EXPECT_FALSE(r.Contains(Range(3, 3, 6, 4)));
+  EXPECT_TRUE(r.Overlaps(Range(5, 5, 9, 9)));
+  EXPECT_FALSE(r.Overlaps(Range(6, 6, 9, 9)));
+  EXPECT_TRUE(r.Overlaps(r));
+}
+
+TEST(RangeTest, IntersectMatchesOverlap) {
+  Range a(2, 2, 5, 5);
+  auto overlap = a.Intersect(Range(4, 1, 8, 3));
+  ASSERT_TRUE(overlap.has_value());
+  EXPECT_EQ(*overlap, Range(4, 2, 5, 3));
+  EXPECT_FALSE(a.Intersect(Range(6, 6, 7, 7)).has_value());
+}
+
+TEST(RangeTest, BoundingUnionIsPaperOperator) {
+  // The paper's example: A1:A3 ⊕ A2:A5 = A1:A5.
+  Range a(1, 1, 1, 3);
+  Range b(1, 2, 1, 5);
+  EXPECT_EQ(a.BoundingUnion(b), Range(1, 1, 1, 5));
+  // Disjoint rectangles still produce the bounding box.
+  EXPECT_EQ(Range(1, 1, 1, 1).BoundingUnion(Range(3, 4, 3, 4)),
+            Range(1, 1, 3, 4));
+}
+
+TEST(RangeTest, ShiftedTranslates) {
+  EXPECT_EQ(Range(2, 2, 3, 4).Shifted(Offset{1, -1}), Range(3, 1, 4, 3));
+}
+
+TEST(RangeTest, TouchesOnAxisColumn) {
+  Range top(3, 1, 3, 4);
+  Range below(3, 5, 3, 5);
+  EXPECT_TRUE(top.TouchesOnAxis(below, Axis::kColumn));
+  EXPECT_TRUE(below.TouchesOnAxis(top, Axis::kColumn));
+  EXPECT_FALSE(top.TouchesOnAxis(below, Axis::kRow));
+  // Different column: not adjacent on the column axis.
+  EXPECT_FALSE(top.TouchesOnAxis(Range(4, 5, 4, 5), Axis::kColumn));
+  // Overlapping, not touching.
+  EXPECT_FALSE(top.TouchesOnAxis(Range(3, 4, 3, 6), Axis::kColumn));
+  // Gap of one row: not touching.
+  EXPECT_FALSE(top.TouchesOnAxis(Range(3, 6, 3, 6), Axis::kColumn));
+}
+
+TEST(RangeTest, TouchesOnAxisRow) {
+  Range left(1, 2, 4, 2);
+  Range right(5, 2, 5, 2);
+  EXPECT_TRUE(left.TouchesOnAxis(right, Axis::kRow));
+  EXPECT_TRUE(right.TouchesOnAxis(left, Axis::kRow));
+  EXPECT_FALSE(left.TouchesOnAxis(Range(5, 3, 5, 3), Axis::kRow));
+}
+
+// ---------------------------------------------------------------------------
+// Rectangle subtraction (exactness properties)
+
+// Brute-force oracle: the set of cells in a but not in any subtrahend.
+std::set<std::pair<int, int>> BruteDifference(
+    const Range& a, const std::vector<Range>& subs) {
+  std::set<std::pair<int, int>> cells;
+  for (const Cell& c : EnumerateCells(a)) {
+    bool covered = false;
+    for (const Range& s : subs) {
+      if (s.Contains(c)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) cells.insert({c.col, c.row});
+  }
+  return cells;
+}
+
+std::set<std::pair<int, int>> CellsOf(const std::vector<Range>& ranges) {
+  std::set<std::pair<int, int>> cells;
+  for (const Range& r : ranges) {
+    for (const Cell& c : EnumerateCells(r)) {
+      cells.insert({c.col, c.row});
+    }
+  }
+  return cells;
+}
+
+TEST(RangeSubtractTest, DisjointReturnsOriginal) {
+  std::vector<Range> out;
+  SubtractRange(Range(1, 1, 2, 2), Range(5, 5, 6, 6), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], Range(1, 1, 2, 2));
+}
+
+TEST(RangeSubtractTest, FullCoverReturnsEmpty) {
+  std::vector<Range> out;
+  SubtractRange(Range(2, 2, 3, 3), Range(1, 1, 5, 5), &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(RangeSubtractTest, CenterHoleProducesFourPieces) {
+  std::vector<Range> out;
+  SubtractRange(Range(1, 1, 5, 5), Range(3, 3, 3, 3), &out);
+  EXPECT_EQ(out.size(), 4u);
+  EXPECT_EQ(CellsOf(out), BruteDifference(Range(1, 1, 5, 5), {Range(3, 3, 3, 3)}));
+}
+
+TEST(RangeSubtractTest, PaperRemoveDepExample) {
+  // Removing C2 from C1:C4 leaves C1 and C3:C4 (Sec. III-B).
+  std::vector<Range> out =
+      SubtractRanges(Range(3, 1, 3, 4), std::vector<Range>{Range(3, 2, 3, 2)});
+  ASSERT_EQ(out.size(), 2u);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out[0], Range(3, 1, 3, 1));
+  EXPECT_EQ(out[1], Range(3, 3, 3, 4));
+}
+
+// Property: subtraction pieces are disjoint and exactly cover a \ b,
+// swept over randomized rectangles.
+TEST(RangeSubtractTest, RandomizedExactness) {
+  std::mt19937 rng(20230210);
+  std::uniform_int_distribution<int> coord(1, 12);
+  for (int trial = 0; trial < 500; ++trial) {
+    auto random_range = [&] {
+      int c1 = coord(rng), c2 = coord(rng);
+      int r1 = coord(rng), r2 = coord(rng);
+      return Range(std::min(c1, c2), std::min(r1, r2), std::max(c1, c2),
+                   std::max(r1, r2));
+    };
+    Range a = random_range();
+    std::vector<Range> subs;
+    int n_subs = 1 + trial % 4;
+    for (int i = 0; i < n_subs; ++i) subs.push_back(random_range());
+
+    std::vector<Range> pieces = SubtractRanges(a, subs);
+    // Exactness.
+    EXPECT_EQ(CellsOf(pieces), BruteDifference(a, subs));
+    // Disjointness.
+    for (size_t i = 0; i < pieces.size(); ++i) {
+      for (size_t j = i + 1; j < pieces.size(); ++j) {
+        EXPECT_FALSE(pieces[i].Overlaps(pieces[j]))
+            << pieces[i].ToString() << " overlaps " << pieces[j].ToString();
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// A1 notation
+
+TEST(A1Test, ColumnLettersRoundTrip) {
+  EXPECT_EQ(ColumnToLetters(1), "A");
+  EXPECT_EQ(ColumnToLetters(26), "Z");
+  EXPECT_EQ(ColumnToLetters(27), "AA");
+  EXPECT_EQ(ColumnToLetters(28), "AB");
+  EXPECT_EQ(ColumnToLetters(702), "ZZ");
+  EXPECT_EQ(ColumnToLetters(703), "AAA");
+  EXPECT_EQ(ColumnToLetters(kMaxCol), "XFD");
+
+  for (int col : {1, 2, 25, 26, 27, 51, 52, 701, 702, 703, 1000, kMaxCol}) {
+    auto back = LettersToColumn(ColumnToLetters(col));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, col);
+  }
+}
+
+TEST(A1Test, LettersToColumnRejectsBadInput) {
+  EXPECT_FALSE(LettersToColumn("").ok());
+  EXPECT_FALSE(LettersToColumn("A1").ok());
+  EXPECT_FALSE(LettersToColumn("XFE").ok());  // one past the max column
+}
+
+TEST(A1Test, ParseCell) {
+  auto c = ParseCellA1("B7");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, (Cell{2, 7}));
+  EXPECT_TRUE(ParseCellA1("$B$7").ok());
+  EXPECT_FALSE(ParseCellA1("B").ok());
+  EXPECT_FALSE(ParseCellA1("7").ok());
+  EXPECT_FALSE(ParseCellA1("B7x").ok());
+  EXPECT_FALSE(ParseCellA1("B0").ok());
+}
+
+TEST(A1Test, ParseRangeWithFlags) {
+  auto ref = ParseA1("$B$1:B4");
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(ref->range, Range(2, 1, 2, 4));
+  EXPECT_TRUE(ref->head_flags.abs_col);
+  EXPECT_TRUE(ref->head_flags.abs_row);
+  EXPECT_FALSE(ref->tail_flags.abs_col);
+  EXPECT_FALSE(ref->tail_flags.abs_row);
+  EXPECT_FALSE(ref->is_single_cell);
+}
+
+TEST(A1Test, ParseSingleCellReference) {
+  auto ref = ParseA1("C9");
+  ASSERT_TRUE(ref.ok());
+  EXPECT_TRUE(ref->is_single_cell);
+  EXPECT_EQ(ref->range, Range(Cell{3, 9}));
+}
+
+TEST(A1Test, ParseNormalizesReversedCorners) {
+  auto ref = ParseA1("B3:A1");
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(ref->range, Range(1, 1, 2, 3));
+}
+
+TEST(A1Test, PrintRoundTrip) {
+  EXPECT_EQ(CellToA1(Cell{2, 7}), "B7");
+  EXPECT_EQ(CellToA1(Cell{2, 7}, AbsFlags{true, true}), "$B$7");
+  EXPECT_EQ(CellToA1(Cell{2, 7}, AbsFlags{true, false}), "$B7");
+  EXPECT_EQ(RangeToA1(Range(1, 1, 2, 3)), "A1:B3");
+  EXPECT_EQ(RangeToA1(Range(Cell{3, 3})), "C3");
+  EXPECT_EQ((Range(1, 1, 2, 3)).ToString(), "A1:B3");
+  EXPECT_EQ((Cell{27, 14}).ToString(), "AA14");
+}
+
+// Property sweep: ParseA1(RangeToA1(r)) == r over a grid of ranges.
+class A1RoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(A1RoundTripTest, RangeRoundTrip) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int> col(1, 1000);
+  std::uniform_int_distribution<int> row(1, 100000);
+  for (int i = 0; i < 200; ++i) {
+    int c1 = col(rng), c2 = col(rng), r1 = row(rng), r2 = row(rng);
+    Range r(std::min(c1, c2), std::min(r1, r2), std::max(c1, c2),
+            std::max(r1, r2));
+    auto parsed = ParseA1(RangeToA1(r));
+    ASSERT_TRUE(parsed.ok()) << RangeToA1(r);
+    EXPECT_EQ(parsed->range, r);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, A1RoundTripTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace taco

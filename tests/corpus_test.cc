@@ -1,0 +1,172 @@
+// Tests for the corpus simulator: determinism, ground-truth anchors
+// (validated against real graph queries), pattern-mix shape, and scale
+// ordering between the Enron and Github profiles.
+
+#include <gtest/gtest.h>
+
+#include "common/range_set.h"
+#include "corpus/generator.h"
+#include "graph/nocomp_graph.h"
+#include "taco/taco_graph.h"
+
+namespace taco {
+namespace {
+
+CorpusProfile TestProfile() {
+  CorpusProfile p = CorpusProfile::Enron().Tiny();
+  p.seed = 777;
+  return p;
+}
+
+TEST(CorpusTest, DeterministicAcrossGenerators) {
+  CorpusGenerator g1(TestProfile());
+  CorpusGenerator g2(TestProfile());
+  for (int i = 0; i < 3; ++i) {
+    CorpusSheet a = g1.GenerateSheet(i);
+    CorpusSheet b = g2.GenerateSheet(i);
+    EXPECT_EQ(a.sheet.cell_count(), b.sheet.cell_count());
+    EXPECT_EQ(a.sheet.formula_cell_count(), b.sheet.formula_cell_count());
+    EXPECT_EQ(a.expected_dependencies, b.expected_dependencies);
+    EXPECT_EQ(a.max_dependents_cell, b.max_dependents_cell);
+    EXPECT_EQ(a.expected_max_dependents, b.expected_max_dependents);
+    // Spot-check identical contents.
+    auto deps_a = CollectDependencies(a.sheet);
+    auto deps_b = CollectDependencies(b.sheet);
+    ASSERT_EQ(deps_a.size(), deps_b.size());
+    for (size_t k = 0; k < deps_a.size(); k += 17) {
+      EXPECT_EQ(deps_a[k], deps_b[k]);
+    }
+  }
+}
+
+TEST(CorpusTest, DifferentSheetsDiffer) {
+  CorpusGenerator gen(TestProfile());
+  CorpusSheet a = gen.GenerateSheet(0);
+  CorpusSheet b = gen.GenerateSheet(1);
+  EXPECT_NE(a.sheet.cell_count(), b.sheet.cell_count());
+}
+
+TEST(CorpusTest, DependencyCountMatchesPrediction) {
+  CorpusGenerator gen(TestProfile());
+  for (int i = 0; i < 4; ++i) {
+    CorpusSheet s = gen.GenerateSheet(i);
+    auto deps = CollectDependencies(s.sheet);
+    EXPECT_EQ(deps.size(), s.expected_dependencies) << "sheet " << i;
+  }
+}
+
+TEST(CorpusTest, AnchorsMatchRealQueries) {
+  // With noise disabled, the recorded anchors are exact by construction;
+  // verify against actual graph queries.
+  CorpusProfile p = TestProfile();
+  p.mix.noise = 0.0;
+  CorpusGenerator gen(p);
+  for (int i = 0; i < 4; ++i) {
+    CorpusSheet s = gen.GenerateSheet(i);
+    NoCompGraph graph;
+    ASSERT_TRUE(BuildGraphFromSheet(s.sheet, &graph).ok());
+    auto dependents = graph.FindDependents(Range(s.max_dependents_cell));
+    EXPECT_EQ(CoveredCellCount(dependents), s.expected_max_dependents)
+        << "sheet " << i << " anchor " << s.max_dependents_cell.ToString();
+  }
+}
+
+TEST(CorpusTest, TacoCompressesCorpusSheets) {
+  CorpusGenerator gen(TestProfile());
+  CorpusSheet s = gen.GenerateSheet(0);
+
+  TacoGraph taco;
+  NoCompGraph nocomp;
+  ASSERT_TRUE(BuildGraphFromSheet(s.sheet, &taco).ok());
+  ASSERT_TRUE(BuildGraphFromSheet(s.sheet, &nocomp).ok());
+  // Compression must be substantial even on tiny sheets (Table IV shape).
+  EXPECT_LT(taco.NumEdges() * 3, nocomp.NumEdges());
+  // And lossless: spot-check equivalence on the anchor.
+  auto t = taco.FindDependents(Range(s.max_dependents_cell));
+  auto n = nocomp.FindDependents(Range(s.max_dependents_cell));
+  EXPECT_TRUE(SameCellSet(t, n));
+}
+
+TEST(CorpusTest, PatternMixShapeMatchesTableV) {
+  // On a mid-size sheet the reduced-edge ranking must put the RR family
+  // first and FF second, with FR/RF marginal (Table V's ordering).
+  CorpusProfile p = CorpusProfile::Enron();
+  p.num_sheets = 1;
+  p.min_formulas_per_sheet = 4000;
+  p.max_formulas_per_sheet = 8000;
+  p.min_region_len = 30;
+  p.max_region_len = 400;
+  CorpusGenerator gen(p);
+  CorpusSheet s = gen.GenerateSheet(0);
+
+  TacoGraph taco;
+  ASSERT_TRUE(BuildGraphFromSheet(s.sheet, &taco).ok());
+  auto stats = taco.PatternStats();
+  uint64_t rr_family = stats[PatternType::kRR].reduced() +
+                       stats[PatternType::kRRChain].reduced();
+  uint64_t ff = stats[PatternType::kFF].reduced();
+  uint64_t fr = stats[PatternType::kFR].reduced();
+  uint64_t rf = stats[PatternType::kRF].reduced();
+  EXPECT_GT(rr_family, ff);
+  EXPECT_GT(ff, fr);
+  EXPECT_GT(fr, rf);
+}
+
+TEST(CorpusTest, GithubSheetsLargerThanEnron) {
+  CorpusProfile enron = CorpusProfile::Enron();
+  CorpusProfile github = CorpusProfile::Github();
+  // Compare expected dependency totals over a few sheets.
+  // Shrink sheet sizes (keeping the profiles' scale ratios) so the test
+  // can afford enough samples to average out the log-uniform variance.
+  auto shrink = [](CorpusProfile p) {
+    p.min_formulas_per_sheet /= 20;
+    p.max_formulas_per_sheet /= 20;
+    p.min_region_len = 10;
+    p.max_region_len /= 20;
+    return p;
+  };
+  CorpusGenerator ge(shrink(enron));
+  CorpusGenerator gg(shrink(github));
+  uint64_t enron_total = 0, github_total = 0;
+  for (int i = 0; i < 12; ++i) {
+    enron_total += ge.GenerateSheet(i).expected_dependencies;
+    github_total += gg.GenerateSheet(i).expected_dependencies;
+  }
+  EXPECT_GT(github_total, enron_total);
+}
+
+TEST(CorpusTest, GapRegionsGenerateStride2Layout) {
+  CorpusProfile p = TestProfile();
+  p.gap_region_probability = 1.0;
+  p.mix = RegionMix{0, 1, 0, 0, 0, 0, 0, 0};  // derived regions only
+  p.hole_probability = 0;
+  CorpusGenerator gen(p);
+  CorpusSheet s = gen.GenerateSheet(0);
+
+  // With the extended pattern set, gap sheets compress via RR-GapOne.
+  TacoOptions options;
+  options.patterns = ExtendedPatternSet();
+  TacoGraph with_gap{options};
+  TacoGraph without_gap;
+  ASSERT_TRUE(BuildGraphFromSheet(s.sheet, &with_gap).ok());
+  ASSERT_TRUE(BuildGraphFromSheet(s.sheet, &without_gap).ok());
+  auto stats = with_gap.PatternStats();
+  EXPECT_GT(stats[PatternType::kRRGapOne].reduced(), 0u);
+  EXPECT_LT(with_gap.NumEdges(), without_gap.NumEdges());
+}
+
+TEST(CorpusTest, FillValuesPopulatesData) {
+  CorpusProfile p = TestProfile();
+  p.fill_values = true;
+  CorpusGenerator gen(p);
+  CorpusSheet with = gen.GenerateSheet(0);
+  p.fill_values = false;
+  CorpusGenerator gen2(p);
+  CorpusSheet without = gen2.GenerateSheet(0);
+  EXPECT_GT(with.sheet.cell_count(), without.sheet.cell_count());
+  EXPECT_EQ(with.sheet.formula_cell_count(),
+            without.sheet.formula_cell_count());
+}
+
+}  // namespace
+}  // namespace taco

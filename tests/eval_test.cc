@@ -1,0 +1,283 @@
+// Tests for the formula evaluator and the recalculation engine, including
+// end-to-end recalc driven by both TACO and NoComp graphs (results must be
+// identical — the engine is graph-agnostic).
+
+#include <gtest/gtest.h>
+
+#include "eval/recalc.h"
+#include "formula/parser.h"
+#include "graph/nocomp_graph.h"
+#include "taco/taco_graph.h"
+
+namespace taco {
+namespace {
+
+// Evaluates one formula against a prepared sheet.
+Value Eval(const Sheet& sheet, const std::string& formula) {
+  Evaluator evaluator(&sheet);
+  auto ast = ParseFormula(formula);
+  EXPECT_TRUE(ast.ok()) << formula;
+  return evaluator.EvaluateExpr(**ast);
+}
+
+Sheet NumbersSheet() {
+  Sheet sheet;
+  // A1..A5 = 1..5; B1 = "text"; C1 = TRUE.
+  for (int row = 1; row <= 5; ++row) {
+    EXPECT_TRUE(sheet.SetNumber(Cell{1, row}, row).ok());
+  }
+  EXPECT_TRUE(sheet.SetText(Cell{2, 1}, "text").ok());
+  EXPECT_TRUE(sheet.SetBoolean(Cell{3, 1}, true).ok());
+  return sheet;
+}
+
+TEST(EvaluatorTest, Literals) {
+  Sheet sheet;
+  EXPECT_EQ(Eval(sheet, "42"), Value::Number(42));
+  EXPECT_EQ(Eval(sheet, "\"hi\""), Value::Text("hi"));
+  EXPECT_EQ(Eval(sheet, "TRUE"), Value::Boolean(true));
+}
+
+TEST(EvaluatorTest, Arithmetic) {
+  Sheet sheet;
+  EXPECT_EQ(Eval(sheet, "1+2*3"), Value::Number(7));
+  EXPECT_EQ(Eval(sheet, "(1+2)*3"), Value::Number(9));
+  EXPECT_EQ(Eval(sheet, "2^10"), Value::Number(1024));
+  EXPECT_EQ(Eval(sheet, "-5+1"), Value::Number(-4));
+  EXPECT_EQ(Eval(sheet, "50%"), Value::Number(0.5));
+  EXPECT_EQ(Eval(sheet, "10/4"), Value::Number(2.5));
+}
+
+TEST(EvaluatorTest, DivisionByZero) {
+  Sheet sheet;
+  EXPECT_EQ(Eval(sheet, "1/0"), Value::Error(EvalError::kDiv0));
+  // Errors propagate through enclosing expressions.
+  EXPECT_EQ(Eval(sheet, "1+(1/0)"), Value::Error(EvalError::kDiv0));
+  EXPECT_EQ(Eval(sheet, "SUM(A1,1/0)"), Value::Error(EvalError::kDiv0));
+}
+
+TEST(EvaluatorTest, Comparisons) {
+  Sheet sheet;
+  EXPECT_EQ(Eval(sheet, "1<2"), Value::Boolean(true));
+  EXPECT_EQ(Eval(sheet, "2<=2"), Value::Boolean(true));
+  EXPECT_EQ(Eval(sheet, "1<>2"), Value::Boolean(true));
+  EXPECT_EQ(Eval(sheet, "\"abc\"=\"ABC\""), Value::Boolean(true));
+  EXPECT_EQ(Eval(sheet, "\"a\"<\"b\""), Value::Boolean(true));
+  EXPECT_EQ(Eval(sheet, "1=\"a\""), Value::Error(EvalError::kValue));
+}
+
+TEST(EvaluatorTest, Concat) {
+  Sheet sheet;
+  EXPECT_EQ(Eval(sheet, "\"a\"&\"b\""), Value::Text("ab"));
+  EXPECT_EQ(Eval(sheet, "\"n=\"&42"), Value::Text("n=42"));
+}
+
+TEST(EvaluatorTest, Aggregates) {
+  Sheet sheet = NumbersSheet();
+  EXPECT_EQ(Eval(sheet, "SUM(A1:A5)"), Value::Number(15));
+  EXPECT_EQ(Eval(sheet, "AVERAGE(A1:A5)"), Value::Number(3));
+  EXPECT_EQ(Eval(sheet, "AVG(A1:A5)"), Value::Number(3));
+  EXPECT_EQ(Eval(sheet, "MIN(A1:A5)"), Value::Number(1));
+  EXPECT_EQ(Eval(sheet, "MAX(A1:A5)"), Value::Number(5));
+  EXPECT_EQ(Eval(sheet, "COUNT(A1:A5)"), Value::Number(5));
+  // Text and blanks are skipped by SUM/COUNT; COUNTA counts non-blank.
+  EXPECT_EQ(Eval(sheet, "SUM(A1:C5)"), Value::Number(15));
+  EXPECT_EQ(Eval(sheet, "COUNT(A1:C5)"), Value::Number(5));
+  EXPECT_EQ(Eval(sheet, "COUNTA(A1:C5)"), Value::Number(7));
+  // Multiple arguments mix scalars and ranges.
+  EXPECT_EQ(Eval(sheet, "SUM(A1:A3,10,A5)"), Value::Number(21));
+}
+
+TEST(EvaluatorTest, IfIsLazy) {
+  Sheet sheet = NumbersSheet();
+  EXPECT_EQ(Eval(sheet, "IF(A1=1,\"yes\",\"no\")"), Value::Text("yes"));
+  EXPECT_EQ(Eval(sheet, "IF(A1>1,\"yes\",\"no\")"), Value::Text("no"));
+  // The untaken branch is not evaluated: no #DIV/0!.
+  EXPECT_EQ(Eval(sheet, "IF(TRUE,1,1/0)"), Value::Number(1));
+  EXPECT_EQ(Eval(sheet, "IF(FALSE,1/0,2)"), Value::Number(2));
+}
+
+TEST(EvaluatorTest, LogicalFunctions) {
+  Sheet sheet;
+  EXPECT_EQ(Eval(sheet, "AND(TRUE,1,2)"), Value::Boolean(true));
+  EXPECT_EQ(Eval(sheet, "AND(TRUE,0)"), Value::Boolean(false));
+  EXPECT_EQ(Eval(sheet, "OR(FALSE,0,3)"), Value::Boolean(true));
+  EXPECT_EQ(Eval(sheet, "NOT(FALSE)"), Value::Boolean(true));
+  EXPECT_EQ(Eval(sheet, "ABS(0-7)"), Value::Number(7));
+  EXPECT_EQ(Eval(sheet, "ROUND(3.14159,2)"), Value::Number(3.14));
+  EXPECT_EQ(Eval(sheet, "ROUND(2.5)"), Value::Number(3));
+}
+
+TEST(EvaluatorTest, Vlookup) {
+  Sheet sheet;
+  // Table D1:E3: (10, "a"), (20, "b"), (30, "c").
+  ASSERT_TRUE(sheet.SetNumber(Cell{4, 1}, 10).ok());
+  ASSERT_TRUE(sheet.SetNumber(Cell{4, 2}, 20).ok());
+  ASSERT_TRUE(sheet.SetNumber(Cell{4, 3}, 30).ok());
+  ASSERT_TRUE(sheet.SetText(Cell{5, 1}, "a").ok());
+  ASSERT_TRUE(sheet.SetText(Cell{5, 2}, "b").ok());
+  ASSERT_TRUE(sheet.SetText(Cell{5, 3}, "c").ok());
+
+  EXPECT_EQ(Eval(sheet, "VLOOKUP(20,D1:E3,2)"), Value::Text("b"));
+  EXPECT_EQ(Eval(sheet, "VLOOKUP(99,D1:E3,2)"), Value::Error(EvalError::kNa));
+  EXPECT_EQ(Eval(sheet, "VLOOKUP(10,D1:E3,3)"), Value::Error(EvalError::kRef));
+}
+
+TEST(EvaluatorTest, UnknownFunctionIsNameError) {
+  Sheet sheet;
+  EXPECT_EQ(Eval(sheet, "FROBNICATE(1)"), Value::Error(EvalError::kName));
+}
+
+TEST(EvaluatorTest, CellChains) {
+  Sheet sheet;
+  ASSERT_TRUE(sheet.SetNumber(Cell{1, 1}, 5).ok());
+  ASSERT_TRUE(sheet.SetFormula(Cell{1, 2}, "A1*2").ok());
+  ASSERT_TRUE(sheet.SetFormula(Cell{1, 3}, "A2+1").ok());
+  Evaluator evaluator(&sheet);
+  EXPECT_EQ(evaluator.EvaluateCell(Cell{1, 3}), Value::Number(11));
+  // The intermediate result is cached.
+  EXPECT_GE(evaluator.cache_size(), 2u);
+}
+
+TEST(EvaluatorTest, CycleDetection) {
+  Sheet sheet;
+  ASSERT_TRUE(sheet.SetFormula(Cell{1, 1}, "A2+1").ok());
+  ASSERT_TRUE(sheet.SetFormula(Cell{1, 2}, "A1+1").ok());
+  Evaluator evaluator(&sheet);
+  Value v = evaluator.EvaluateCell(Cell{1, 1});
+  EXPECT_EQ(v, Value::Error(EvalError::kCycle));
+}
+
+TEST(EvaluatorTest, DeepChainDoesNotOverflowStack) {
+  // Running-total chains reach 10^5 cells in real sheets; evaluation must
+  // be iterative over cells (a recursive evaluator segfaults here).
+  Sheet sheet;
+  ASSERT_TRUE(sheet.SetNumber(Cell{1, 1}, 1).ok());
+  ASSERT_TRUE(sheet.SetFormula(Cell{1, 2}, "A1+1").ok());
+  ASSERT_TRUE(Autofill(&sheet, Cell{1, 2}, Range(1, 2, 1, 150000)).ok());
+  Evaluator evaluator(&sheet);
+  EXPECT_EQ(evaluator.EvaluateCell(Cell{1, 150000}), Value::Number(150000));
+}
+
+TEST(EvaluatorTest, CycleInsideDeepChain) {
+  Sheet sheet;
+  ASSERT_TRUE(sheet.SetFormula(Cell{1, 1}, "A1000+1").ok());  // back edge
+  ASSERT_TRUE(sheet.SetFormula(Cell{1, 2}, "A1+1").ok());
+  ASSERT_TRUE(Autofill(&sheet, Cell{1, 2}, Range(1, 2, 1, 1000)).ok());
+  Evaluator evaluator(&sheet);
+  Value v = evaluator.EvaluateCell(Cell{1, 1000});
+  EXPECT_EQ(v, Value::Error(EvalError::kCycle));
+}
+
+TEST(EvaluatorTest, BlankCellsAreZeroInArithmetic) {
+  Sheet sheet;
+  EXPECT_EQ(Eval(sheet, "Z99+5"), Value::Number(5));
+  EXPECT_EQ(Eval(sheet, "SUM(Z1:Z10)"), Value::Number(0));
+  EXPECT_EQ(Eval(sheet, "AVERAGE(Z1:Z10)"), Value::Error(EvalError::kDiv0));
+}
+
+// ---------------------------------------------------------------------------
+// RecalcEngine
+
+class RecalcEngineTest : public ::testing::TestWithParam<bool> {
+ protected:
+  // Param selects the graph implementation: true = TACO, false = NoComp.
+  std::unique_ptr<DependencyGraph> MakeGraph() {
+    if (GetParam()) return std::make_unique<TacoGraph>();
+    return std::make_unique<NoCompGraph>();
+  }
+};
+
+TEST_P(RecalcEngineTest, UpdatePropagatesThroughChain) {
+  Sheet sheet;
+  ASSERT_TRUE(sheet.SetNumber(Cell{1, 1}, 1).ok());
+  // A2..A100: each is previous + 1.
+  ASSERT_TRUE(sheet.SetFormula(Cell{1, 2}, "A1+1").ok());
+  ASSERT_TRUE(Autofill(&sheet, Cell{1, 2}, Range(1, 2, 1, 100)).ok());
+
+  auto graph = MakeGraph();
+  ASSERT_TRUE(BuildGraphFromSheet(sheet, graph.get()).ok());
+  RecalcEngine engine(&sheet, graph.get());
+
+  EXPECT_EQ(engine.GetValue(Cell{1, 100}), Value::Number(100));
+
+  auto result = engine.SetNumber(Cell{1, 1}, 1000);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->dirty_cells, 99u);
+  EXPECT_EQ(result->recalculated, 99u);
+  EXPECT_EQ(engine.GetValue(Cell{1, 100}), Value::Number(1099));
+}
+
+TEST_P(RecalcEngineTest, FormulaReplacementRewiresGraph) {
+  Sheet sheet;
+  ASSERT_TRUE(sheet.SetNumber(Cell{1, 1}, 10).ok());
+  ASSERT_TRUE(sheet.SetNumber(Cell{2, 1}, 20).ok());
+  ASSERT_TRUE(sheet.SetFormula(Cell{3, 1}, "A1*2").ok());
+
+  auto graph = MakeGraph();
+  ASSERT_TRUE(BuildGraphFromSheet(sheet, graph.get()).ok());
+  RecalcEngine engine(&sheet, graph.get());
+  EXPECT_EQ(engine.GetValue(Cell{3, 1}), Value::Number(20));
+
+  // Repoint C1 at B1. Updating A1 must no longer dirty C1.
+  ASSERT_TRUE(engine.SetFormula(Cell{3, 1}, "B1*2").ok());
+  EXPECT_EQ(engine.GetValue(Cell{3, 1}), Value::Number(40));
+
+  auto result = engine.SetNumber(Cell{1, 1}, 99);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->dirty_cells, 0u);
+  auto result2 = engine.SetNumber(Cell{2, 1}, 30);
+  ASSERT_TRUE(result2.ok());
+  EXPECT_EQ(result2->dirty_cells, 1u);
+  EXPECT_EQ(engine.GetValue(Cell{3, 1}), Value::Number(60));
+}
+
+TEST_P(RecalcEngineTest, ClearRangeStopsPropagation) {
+  Sheet sheet;
+  ASSERT_TRUE(sheet.SetNumber(Cell{1, 1}, 1).ok());
+  ASSERT_TRUE(sheet.SetFormula(Cell{1, 2}, "A1+1").ok());
+  ASSERT_TRUE(Autofill(&sheet, Cell{1, 2}, Range(1, 2, 1, 50)).ok());
+
+  auto graph = MakeGraph();
+  ASSERT_TRUE(BuildGraphFromSheet(sheet, graph.get()).ok());
+  RecalcEngine engine(&sheet, graph.get());
+  ASSERT_TRUE(engine.ClearRange(Range(1, 20, 1, 30)).ok());
+
+  auto result = engine.SetNumber(Cell{1, 1}, 100);
+  ASSERT_TRUE(result.ok());
+  // Only A2..A19 depend on A1 now.
+  EXPECT_EQ(result->dirty_cells, 18u);
+  EXPECT_EQ(engine.GetValue(Cell{1, 19}), Value::Number(118));
+  EXPECT_EQ(engine.GetValue(Cell{1, 20}), Value::Blank());
+  // The tail of the chain reads the blank as 0.
+  EXPECT_EQ(engine.GetValue(Cell{1, 31}), Value::Number(1));
+}
+
+TEST_P(RecalcEngineTest, SlidingWindowRecalc) {
+  Sheet sheet;
+  for (int row = 1; row <= 20; ++row) {
+    ASSERT_TRUE(sheet.SetNumber(Cell{1, row}, 1).ok());
+  }
+  ASSERT_TRUE(sheet.SetFormula(Cell{2, 1}, "SUM(A1:A3)").ok());
+  ASSERT_TRUE(Autofill(&sheet, Cell{2, 1}, Range(2, 1, 2, 18)).ok());
+
+  auto graph = MakeGraph();
+  ASSERT_TRUE(BuildGraphFromSheet(sheet, graph.get()).ok());
+  RecalcEngine engine(&sheet, graph.get());
+  EXPECT_EQ(engine.GetValue(Cell{2, 5}), Value::Number(3));
+
+  // Changing A6 dirties the windows B4, B5, B6.
+  auto result = engine.SetNumber(Cell{1, 6}, 10);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->dirty_cells, 3u);
+  EXPECT_EQ(engine.GetValue(Cell{2, 5}), Value::Number(12));
+  EXPECT_EQ(engine.GetValue(Cell{2, 1}), Value::Number(3));
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, RecalcEngineTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Taco" : "NoComp";
+                         });
+
+}  // namespace
+}  // namespace taco

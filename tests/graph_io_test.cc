@@ -1,0 +1,152 @@
+// Tests for compressed-graph persistence: save/load round trips must
+// reproduce the exact edge set and answer queries identically, across all
+// patterns and after maintenance.
+
+#include <gtest/gtest.h>
+
+#include "common/range_set.h"
+#include "corpus/generator.h"
+#include "graph/nocomp_graph.h"
+#include "graph_test_util.h"
+#include "taco/graph_io.h"
+
+namespace taco {
+namespace {
+
+using test::ToCellSet;
+
+// Collects (pattern, prec, dep, count) tuples for comparison.
+std::vector<std::string> EdgeSignatures(const TacoGraph& graph) {
+  std::vector<std::string> out;
+  graph.ForEachEdge([&out](const CompressedEdge& edge) {
+    out.push_back(edge.ToString());
+  });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(GraphIoTest, RoundTripAllPatterns) {
+  // A sheet exercising every pattern, including RR-GapOne.
+  Sheet sheet;
+  EXPECT_TRUE(sheet.SetFormula(Cell{3, 2}, "SUM(A1:B2)").ok());     // RR
+  EXPECT_TRUE(Autofill(&sheet, Cell{3, 2}, Range(3, 2, 3, 40)).ok());
+  EXPECT_TRUE(sheet.SetFormula(Cell{4, 1}, "SUM($A$1:A1)").ok());   // FR
+  EXPECT_TRUE(Autofill(&sheet, Cell{4, 1}, Range(4, 1, 4, 40)).ok());
+  EXPECT_TRUE(sheet.SetFormula(Cell{5, 1}, "SUM(A1:$A$40)").ok());  // RF
+  EXPECT_TRUE(Autofill(&sheet, Cell{5, 1}, Range(5, 1, 5, 40)).ok());
+  EXPECT_TRUE(sheet.SetFormula(Cell{6, 1}, "SUM($A$1:$B$40)").ok());  // FF
+  EXPECT_TRUE(Autofill(&sheet, Cell{6, 1}, Range(6, 1, 6, 40)).ok());
+  EXPECT_TRUE(sheet.SetNumber(Cell{7, 1}, 0).ok());                 // chain
+  EXPECT_TRUE(sheet.SetFormula(Cell{7, 2}, "G1+1").ok());
+  EXPECT_TRUE(Autofill(&sheet, Cell{7, 2}, Range(7, 2, 7, 40)).ok());
+  EXPECT_TRUE(sheet.SetFormula(Cell{9, 7}, "A3+B9").ok());          // Single
+
+  TacoOptions options;
+  options.patterns = ExtendedPatternSet();
+  TacoGraph original{options};
+  ASSERT_TRUE(BuildGraphFromSheet(sheet, &original).ok());
+  // Stride-2 layout for RR-GapOne.
+  for (int row = 1; row <= 21; row += 2) {
+    Dependency d;
+    d.prec = Range(Cell{10, row});
+    d.dep = Cell{11, row};
+    ASSERT_TRUE(original.AddDependency(d).ok());
+  }
+  auto stats = original.PatternStats();
+  ASSERT_TRUE(stats.contains(PatternType::kRRGapOne));
+
+  std::string text = WriteGraphText(original);
+  auto loaded = ReadGraphText(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->NumEdges(), original.NumEdges());
+  EXPECT_EQ(loaded->NumVertices(), original.NumVertices());
+  EXPECT_EQ(loaded->NumRawDependencies(), original.NumRawDependencies());
+  EXPECT_EQ(EdgeSignatures(*loaded), EdgeSignatures(original));
+  // Serialization is canonical: a second round trip is byte-identical.
+  EXPECT_EQ(WriteGraphText(*loaded), text);
+
+  // Query equivalence on a grid of probes.
+  for (int col = 1; col <= 11; col += 2) {
+    for (int row = 1; row <= 40; row += 7) {
+      Range q(Cell{col, row});
+      EXPECT_EQ(ToCellSet(loaded->FindDependents(q)),
+                ToCellSet(original.FindDependents(q)))
+          << q.ToString();
+      EXPECT_EQ(ToCellSet(loaded->FindPrecedents(q)),
+                ToCellSet(original.FindPrecedents(q)))
+          << q.ToString();
+    }
+  }
+}
+
+TEST(GraphIoTest, LoadedGraphSupportsMaintenanceAndInsertion) {
+  TacoGraph original;
+  for (int row = 1; row <= 30; ++row) {
+    Dependency d;
+    d.prec = Range(Cell{1, row});
+    d.dep = Cell{2, row};
+    ASSERT_TRUE(original.AddDependency(d).ok());
+  }
+  auto loaded = ReadGraphText(WriteGraphText(original));
+  ASSERT_TRUE(loaded.ok());
+
+  // Maintenance on the loaded graph behaves like on the original.
+  ASSERT_TRUE(loaded->RemoveFormulaCells(Range(2, 10, 2, 15)).ok());
+  ASSERT_TRUE(original.RemoveFormulaCells(Range(2, 10, 2, 15)).ok());
+  EXPECT_EQ(EdgeSignatures(*loaded), EdgeSignatures(original));
+
+  // New insertions keep compressing.
+  Dependency d;
+  d.prec = Range(Cell{1, 31});
+  d.dep = Cell{2, 31};
+  ASSERT_TRUE(loaded->AddDependency(d).ok());
+  ASSERT_TRUE(original.AddDependency(d).ok());
+  EXPECT_EQ(loaded->NumEdges(), original.NumEdges());
+}
+
+TEST(GraphIoTest, CorpusSheetFileRoundTrip) {
+  CorpusProfile profile = CorpusProfile::Enron().Tiny();
+  profile.seed = 555;
+  CorpusSheet cs = CorpusGenerator(profile).GenerateSheet(0);
+  TacoGraph original;
+  ASSERT_TRUE(BuildGraphFromSheet(cs.sheet, &original).ok());
+
+  std::string path = ::testing::TempDir() + "/graph_io_test.tacograph";
+  ASSERT_TRUE(SaveGraphFile(original, path).ok());
+  auto loaded = LoadGraphFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(EdgeSignatures(*loaded), EdgeSignatures(original));
+
+  Range q(cs.max_dependents_cell);
+  EXPECT_TRUE(SameCellSet(loaded->FindDependents(q),
+                          original.FindDependents(q)));
+}
+
+TEST(GraphIoTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ReadGraphText("Bogus A1 B1 n=1\n").ok());       // bad pattern
+  EXPECT_FALSE(ReadGraphText("RR A1\n").ok());                 // missing dep
+  EXPECT_FALSE(ReadGraphText("RR ZZZZ9 B1 n=1\n").ok());       // bad range
+  EXPECT_FALSE(ReadGraphText("Single A1 B1 n=0\n").ok());      // zero count
+  EXPECT_FALSE(ReadGraphText("Single A1 B1:B3 n=1\n").ok());   // multi dep
+  EXPECT_FALSE(ReadGraphText("RR A1 B1 h=1\n").ok());          // bad pair
+  EXPECT_FALSE(ReadGraphText("RR A1 B1 zz=1,1\n").ok());       // bad key
+  EXPECT_FALSE(ReadGraphText("RR A1 B1 axis=diag\n").ok());    // bad axis
+  // A window that would leave the sheet is rejected by validation.
+  EXPECT_FALSE(
+      ReadGraphText("RR A1:A2 B1:B2 h=-5,0 t=-5,0 axis=col n=2 fl=0000\n")
+          .ok());
+  // Comments and blank lines are fine.
+  auto ok = ReadGraphText("# comment\n\nSingle A1 B1 n=1 fl=0000\n");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->NumEdges(), 1u);
+}
+
+TEST(GraphIoTest, MissingFileIsIoError) {
+  auto missing = LoadGraphFile("/nonexistent/graph.tacograph");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace taco

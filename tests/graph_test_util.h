@@ -1,0 +1,113 @@
+// Shared test helpers: brute-force cell-level oracles for dependent /
+// precedent queries, and random dependency workload generators. Used to
+// differentially test NoComp, TACO, and the baseline graphs.
+
+#ifndef TACO_TESTS_GRAPH_TEST_UTIL_H_
+#define TACO_TESTS_GRAPH_TEST_UTIL_H_
+
+#include <deque>
+#include <random>
+#include <set>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/cell.h"
+#include "common/range.h"
+#include "graph/dependency.h"
+
+namespace taco::test {
+
+using CellSet = std::set<std::pair<int32_t, int32_t>>;
+
+inline CellSet ToCellSet(std::span<const Range> ranges) {
+  CellSet out;
+  for (const Range& r : ranges) {
+    for (const Cell& c : EnumerateCells(r)) out.insert({c.col, c.row});
+  }
+  return out;
+}
+
+/// Brute-force transitive dependents of `input`: formula cells whose
+/// reference chain touches `input`. Cell-level BFS; intended for small
+/// workloads only.
+inline CellSet BruteForceDependents(std::span<const Dependency> deps,
+                                    const Range& input) {
+  CellSet result;
+  std::deque<Range> frontier{input};
+  while (!frontier.empty()) {
+    Range current = frontier.front();
+    frontier.pop_front();
+    for (const Dependency& dep : deps) {
+      if (!dep.prec.Overlaps(current)) continue;
+      auto key = std::make_pair(dep.dep.col, dep.dep.row);
+      if (result.insert(key).second) {
+        frontier.push_back(Range(dep.dep));
+      }
+    }
+  }
+  return result;
+}
+
+/// Brute-force transitive precedents of `input`: every cell of every range
+/// reachable backwards through formula references from `input`.
+inline CellSet BruteForcePrecedents(std::span<const Dependency> deps,
+                                    const Range& input) {
+  CellSet result;
+  std::deque<Range> frontier{input};
+  // Track visited precedent ranges to terminate on diamond shapes.
+  std::set<std::pair<std::pair<int32_t, int32_t>, std::pair<int32_t, int32_t>>>
+      visited_ranges;
+  while (!frontier.empty()) {
+    Range current = frontier.front();
+    frontier.pop_front();
+    for (const Dependency& dep : deps) {
+      if (!current.Contains(dep.dep)) continue;
+      auto key = std::make_pair(
+          std::make_pair(dep.prec.head.col, dep.prec.head.row),
+          std::make_pair(dep.prec.tail.col, dep.prec.tail.row));
+      if (!visited_ranges.insert(key).second) continue;
+      for (const Cell& c : EnumerateCells(dep.prec)) {
+        result.insert({c.col, c.row});
+      }
+      frontier.push_back(dep.prec);
+    }
+  }
+  return result;
+}
+
+/// Random acyclic dependency workload: formula cells reference ranges
+/// strictly above them (smaller rows), guaranteeing a DAG. Mimics the
+/// shape of real sheets (columns of formulas over data regions).
+inline std::vector<Dependency> RandomAcyclicDependencies(uint32_t seed,
+                                                         int n_deps,
+                                                         int max_col = 8,
+                                                         int max_row = 30) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int32_t> col(1, max_col);
+  std::uniform_int_distribution<int32_t> width(0, 2);
+  std::vector<Dependency> deps;
+  std::set<std::pair<std::pair<int32_t, int32_t>, std::pair<int32_t, int32_t>>>
+      used;  // (prec, dep) pairs, to avoid parallel edges
+  while (static_cast<int>(deps.size()) < n_deps) {
+    std::uniform_int_distribution<int32_t> dep_row(2, max_row);
+    Cell dep_cell{col(rng), dep_row(rng)};
+    std::uniform_int_distribution<int32_t> prec_row(1, dep_cell.row - 1);
+    int32_t r1 = prec_row(rng);
+    int32_t r2 = std::min<int32_t>(r1 + width(rng), dep_cell.row - 1);
+    int32_t c1 = col(rng);
+    int32_t c2 = std::min<int32_t>(c1 + width(rng), max_col);
+    Dependency dep;
+    dep.prec = Range(c1, r1, c2, r2);
+    dep.dep = dep_cell;
+    auto key = std::make_pair(std::make_pair(c1 * 100000 + r1, c2 * 100000 + r2),
+                              std::make_pair(dep_cell.col, dep_cell.row));
+    if (!used.insert(key).second) continue;
+    deps.push_back(dep);
+  }
+  return deps;
+}
+
+}  // namespace taco::test
+
+#endif  // TACO_TESTS_GRAPH_TEST_UTIL_H_

@@ -1,0 +1,278 @@
+// End-to-end integration tests: full pipelines across modules
+// (corpus -> .tsheet file -> parse -> graphs -> queries -> maintenance ->
+// recalculation), plus boundary conditions the unit suites don't reach.
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "baselines/antifreeze.h"
+#include "baselines/calcgraph.h"
+#include "baselines/cellgraph.h"
+#include "baselines/excellike.h"
+#include "common/range_set.h"
+#include "corpus/generator.h"
+#include "eval/recalc.h"
+#include "graph/nocomp_graph.h"
+#include "graph_test_util.h"
+#include "sheet/textio.h"
+#include "taco/taco_graph.h"
+
+namespace taco {
+namespace {
+
+using test::ToCellSet;
+
+// ---------------------------------------------------------------------------
+// Full pipeline: generate -> save -> load -> compress -> query -> modify.
+
+TEST(IntegrationTest, CorpusFileRoundTripPreservesGraphSemantics) {
+  CorpusProfile profile = CorpusProfile::Enron().Tiny();
+  profile.seed = 4242;
+  CorpusGenerator generator(profile);
+  CorpusSheet original = generator.GenerateSheet(0);
+
+  std::string path = ::testing::TempDir() + "/integration_roundtrip.tsheet";
+  ASSERT_TRUE(SaveSheetFile(original.sheet, path).ok());
+  auto loaded = LoadSheetFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  TacoGraph from_original, from_loaded;
+  ASSERT_TRUE(BuildGraphFromSheet(original.sheet, &from_original).ok());
+  ASSERT_TRUE(BuildGraphFromSheet(*loaded, &from_loaded).ok());
+  // Same dependencies in the same column-major order produce the same
+  // compressed graph.
+  EXPECT_EQ(from_original.NumEdges(), from_loaded.NumEdges());
+  EXPECT_EQ(from_original.NumRawDependencies(),
+            from_loaded.NumRawDependencies());
+
+  auto q = Range(original.max_dependents_cell);
+  EXPECT_TRUE(SameCellSet(from_original.FindDependents(q),
+                          from_loaded.FindDependents(q)));
+}
+
+// All six graph implementations agree on dependents for a corpus sheet
+// (Antifreeze with a large-enough K to be exact here).
+TEST(IntegrationTest, AllEnginesAgreeOnCorpusSheet) {
+  CorpusProfile profile = CorpusProfile::Enron().Tiny();
+  profile.seed = 31337;
+  profile.mix.noise = 0.0;
+  CorpusSheet cs = CorpusGenerator(profile).GenerateSheet(1);
+  std::vector<Dependency> deps = CollectDependencies(cs.sheet);
+
+  TacoGraph taco;
+  NoCompGraph nocomp;
+  CellGraph cellgraph;
+  CalcGraph calcgraph;
+  ExcelLikeGraph excel;
+  AntifreezeGraph antifreeze(/*max_bounding_ranges=*/1000);
+  std::vector<DependencyGraph*> graphs = {&taco,      &nocomp, &cellgraph,
+                                          &calcgraph, &excel,  &antifreeze};
+  for (DependencyGraph* g : graphs) {
+    for (const Dependency& d : deps) {
+      ASSERT_TRUE(g->AddDependency(d).ok()) << g->Name();
+    }
+  }
+
+  for (const Cell& query :
+       {cs.max_dependents_cell, cs.longest_path_cell, Cell{1, 1}}) {
+    auto expected = ToCellSet(nocomp.FindDependents(Range(query)));
+    for (DependencyGraph* g : graphs) {
+      EXPECT_EQ(ToCellSet(g->FindDependents(Range(query))), expected)
+          << g->Name() << " dependents of " << query.ToString();
+    }
+  }
+}
+
+// Maintenance keeps all engines in agreement.
+TEST(IntegrationTest, EnginesAgreeAfterMaintenance) {
+  CorpusProfile profile = CorpusProfile::Enron().Tiny();
+  profile.seed = 99;
+  CorpusSheet cs = CorpusGenerator(profile).GenerateSheet(2);
+  std::vector<Dependency> deps = CollectDependencies(cs.sheet);
+
+  TacoGraph taco;
+  NoCompGraph nocomp;
+  CellGraph cellgraph;
+  ExcelLikeGraph excel;
+  std::vector<DependencyGraph*> graphs = {&taco, &nocomp, &cellgraph,
+                                          &excel};
+  for (DependencyGraph* g : graphs) {
+    for (const Dependency& d : deps) {
+      ASSERT_TRUE(g->AddDependency(d).ok());
+    }
+  }
+  // Clear three bands, then re-add a few dependencies.
+  for (const Range& band : {Range(1, 5, 40, 9), Range(3, 1, 8, 200),
+                            Range(10, 50, 60, 80)}) {
+    for (DependencyGraph* g : graphs) {
+      ASSERT_TRUE(g->RemoveFormulaCells(band).ok()) << g->Name();
+    }
+  }
+  for (int i = 0; i < 5; ++i) {
+    Dependency d;
+    d.prec = Range(1, 1, 2, 3 + i);
+    d.dep = Cell{50 + i, 7};
+    for (DependencyGraph* g : graphs) {
+      ASSERT_TRUE(g->AddDependency(d).ok());
+    }
+  }
+  for (const Cell& query : {Cell{1, 1}, Cell{1, 2}, cs.max_dependents_cell}) {
+    auto expected = ToCellSet(nocomp.FindDependents(Range(query)));
+    for (DependencyGraph* g : graphs) {
+      EXPECT_EQ(ToCellSet(g->FindDependents(Range(query))), expected)
+          << g->Name() << " after maintenance, query " << query.ToString();
+    }
+  }
+}
+
+// Recalculation through a corpus sheet with values filled: both engines
+// must produce identical values after a cascade of edits.
+TEST(IntegrationTest, RecalcOnCorpusSheetMatchesAcrossGraphs) {
+  CorpusProfile profile = CorpusProfile::Enron().Tiny();
+  profile.seed = 7;
+  profile.fill_values = true;
+  CorpusSheet cs = CorpusGenerator(profile).GenerateSheet(0);
+
+  auto run = [&](DependencyGraph* graph) {
+    Sheet sheet = cs.sheet;  // engines mutate their own copy
+    EXPECT_TRUE(BuildGraphFromSheet(sheet, graph).ok());
+    RecalcEngine engine(&sheet, graph);
+    std::vector<std::string> observed;
+    // Edit a handful of cells in the used range and sample results.
+    auto used = sheet.UsedRange();
+    EXPECT_TRUE(used.has_value());
+    for (int i = 0; i < 8; ++i) {
+      Cell target{1 + (i * 3) % used->tail.col, 1 + (i * 7) % used->tail.row};
+      auto result = engine.SetNumber(target, i * 101.0);
+      EXPECT_TRUE(result.ok());
+    }
+    for (int col = 1; col <= used->tail.col; col += 3) {
+      for (int row = 1; row <= used->tail.row; row += 11) {
+        observed.push_back(engine.GetValue(Cell{col, row}).ToString());
+      }
+    }
+    return observed;
+  };
+
+  TacoGraph taco;
+  NoCompGraph nocomp;
+  EXPECT_EQ(run(&taco), run(&nocomp));
+}
+
+// ---------------------------------------------------------------------------
+// Boundary conditions
+
+TEST(IntegrationBoundsTest, SheetCornersCompressAndQuery) {
+  // Formulas in the last supported rows/columns.
+  TacoGraph graph;
+  for (int i = 0; i < 10; ++i) {
+    Dependency d;
+    d.prec = Range(Cell{kMaxCol - 1, kMaxRow - 9 + i});
+    d.dep = Cell{kMaxCol, kMaxRow - 9 + i};
+    ASSERT_TRUE(graph.AddDependency(d).ok());
+  }
+  EXPECT_EQ(graph.NumEdges(), 1u);  // compressed into one RR edge
+  auto result =
+      graph.FindDependents(Range(Cell{kMaxCol - 1, kMaxRow - 5}));
+  EXPECT_EQ(CoveredCellCount(result), 1u);
+}
+
+TEST(IntegrationBoundsTest, WholeColumnReferenceRange) {
+  // A formula aggregating a full-height column range.
+  TacoGraph graph;
+  Dependency d;
+  d.prec = Range(1, 1, 1, kMaxRow);
+  d.dep = Cell{2, 1};
+  ASSERT_TRUE(graph.AddDependency(d).ok());
+  auto result = graph.FindDependents(Range(Cell{1, 524288}));
+  EXPECT_EQ(ToCellSet(result), (test::CellSet{{2, 1}}));
+  auto precs = graph.FindPrecedents(Range(Cell{2, 1}));
+  EXPECT_EQ(CoveredCellCount(precs), static_cast<uint64_t>(kMaxRow));
+}
+
+TEST(IntegrationBoundsTest, ManyParallelColumnsStressRTree) {
+  // 300 independent compressed columns exercise R-tree splits and the
+  // candidate search at scale.
+  TacoGraph graph;
+  for (int col = 1; col <= 300; col += 2) {
+    for (int row = 1; row <= 50; ++row) {
+      Dependency d;
+      d.prec = Range(Cell{col, row});
+      d.dep = Cell{col + 1, row};
+      ASSERT_TRUE(graph.AddDependency(d).ok());
+    }
+  }
+  EXPECT_EQ(graph.NumEdges(), 150u);
+  for (int col = 1; col <= 300; col += 30) {
+    auto result = graph.FindDependents(Range(Cell{col, 25}));
+    EXPECT_EQ(ToCellSet(result), (test::CellSet{{col + 1, 25}})) << col;
+  }
+}
+
+TEST(IntegrationBoundsTest, InterleavedInsertRemoveChurn) {
+  // Insert/remove churn must not leak vertices or corrupt the index.
+  TacoGraph graph;
+  for (int round = 0; round < 20; ++round) {
+    for (int row = 1; row <= 100; ++row) {
+      Dependency d;
+      d.prec = Range(Cell{1, row});
+      d.dep = Cell{2, row};
+      ASSERT_TRUE(graph.AddDependency(d).ok());
+    }
+    ASSERT_TRUE(graph.RemoveFormulaCells(Range(2, 1, 2, 100)).ok());
+    ASSERT_EQ(graph.NumEdges(), 0u) << "round " << round;
+    ASSERT_EQ(graph.NumVertices(), 0u) << "round " << round;
+    ASSERT_EQ(graph.NumRawDependencies(), 0u) << "round " << round;
+  }
+}
+
+TEST(IntegrationBoundsTest, SelfReferenceCycleHandledEverywhere) {
+  // A formula referencing its own cell (a user error): the graphs must
+  // store and traverse it without hanging; the evaluator reports #CYCLE!.
+  Sheet sheet;
+  ASSERT_TRUE(sheet.SetFormula(Cell{1, 1}, "A1+1").ok());
+  TacoGraph taco;
+  NoCompGraph nocomp;
+  ASSERT_TRUE(BuildGraphFromSheet(sheet, &taco).ok());
+  ASSERT_TRUE(BuildGraphFromSheet(sheet, &nocomp).ok());
+  EXPECT_EQ(ToCellSet(taco.FindDependents(Range(Cell{1, 1}))),
+            ToCellSet(nocomp.FindDependents(Range(Cell{1, 1}))));
+  Evaluator evaluator(&sheet);
+  EXPECT_EQ(evaluator.EvaluateCell(Cell{1, 1}),
+            Value::Error(EvalError::kCycle));
+}
+
+TEST(IntegrationBoundsTest, EmptyAndDegenerateQueries) {
+  TacoGraph graph;
+  // Queries on an empty graph.
+  EXPECT_TRUE(graph.FindDependents(Range(1, 1, kMaxCol, kMaxRow)).empty());
+  EXPECT_TRUE(graph.FindPrecedents(Range(Cell{1, 1})).empty());
+  // Remove on an empty graph.
+  EXPECT_TRUE(graph.RemoveFormulaCells(Range(1, 1, 10, 10)).ok());
+  // Invalid inputs are rejected, not crashed on.
+  Dependency bad;
+  bad.prec = Range(5, 5, 1, 1);
+  bad.dep = Cell{1, 1};
+  EXPECT_FALSE(graph.AddDependency(bad).ok());
+}
+
+// Duplicated dependency insertions (the paper assumes a deduplicated
+// stream; the implementation must still behave sensibly).
+TEST(IntegrationBoundsTest, DuplicateDependencyInsertions) {
+  TacoGraph taco;
+  NoCompGraph nocomp;
+  Dependency d;
+  d.prec = Range(1, 1, 1, 3);
+  d.dep = Cell{2, 1};
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(taco.AddDependency(d).ok());
+    ASSERT_TRUE(nocomp.AddDependency(d).ok());
+  }
+  // Parallel edges exist but query results stay correct.
+  EXPECT_EQ(ToCellSet(taco.FindDependents(Range(Cell{1, 2}))),
+            ToCellSet(nocomp.FindDependents(Range(Cell{1, 2}))));
+}
+
+}  // namespace
+}  // namespace taco

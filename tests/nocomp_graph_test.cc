@@ -1,0 +1,263 @@
+// Tests for the NoComp baseline graph: the paper's Fig. 3 example,
+// maintenance semantics, and randomized differential tests against the
+// brute-force cell-level oracle.
+
+#include <gtest/gtest.h>
+
+#include "common/range_set.h"
+#include "graph/nocomp_graph.h"
+#include "graph_test_util.h"
+#include "sheet/sheet.h"
+
+namespace taco {
+namespace {
+
+using test::BruteForceDependents;
+using test::BruteForcePrecedents;
+using test::CellSet;
+using test::RandomAcyclicDependencies;
+using test::ToCellSet;
+
+// Builds the paper's Fig. 3 spreadsheet:
+//   B1 = SUM(A1:A3), B2 = SUM(A1:A3), C1 = B1+B3, C2 = AVG(B2:B3).
+Sheet Fig3Sheet() {
+  Sheet sheet;
+  EXPECT_TRUE(sheet.SetNumber(Cell{1, 1}, 1).ok());
+  EXPECT_TRUE(sheet.SetNumber(Cell{1, 2}, 2).ok());
+  EXPECT_TRUE(sheet.SetNumber(Cell{1, 3}, 3).ok());
+  EXPECT_TRUE(sheet.SetNumber(Cell{2, 3}, 4).ok());
+  EXPECT_TRUE(sheet.SetFormula(Cell{2, 1}, "SUM(A1:A3)").ok());
+  EXPECT_TRUE(sheet.SetFormula(Cell{2, 2}, "SUM(A1:A3)").ok());
+  EXPECT_TRUE(sheet.SetFormula(Cell{3, 1}, "B1+B3").ok());
+  EXPECT_TRUE(sheet.SetFormula(Cell{3, 2}, "AVG(B2:B3)").ok());
+  return sheet;
+}
+
+TEST(CollectDependenciesTest, Fig3) {
+  Sheet sheet = Fig3Sheet();
+  std::vector<Dependency> deps = CollectDependencies(sheet);
+  // B1, B2 each contribute one range; C1 two cells; C2 one range.
+  ASSERT_EQ(deps.size(), 5u);
+  // Column-major order: B1's and B2's dependencies come before C1's/C2's.
+  EXPECT_EQ(deps[0].dep, (Cell{2, 1}));
+  EXPECT_EQ(deps[0].prec, Range(1, 1, 1, 3));
+  EXPECT_EQ(deps[1].dep, (Cell{2, 2}));
+  EXPECT_EQ(deps[2].dep, (Cell{3, 1}));
+  EXPECT_EQ(deps[3].dep, (Cell{3, 1}));
+  EXPECT_EQ(deps[4].dep, (Cell{3, 2}));
+  EXPECT_EQ(deps[4].prec, Range(2, 2, 2, 3));
+}
+
+TEST(NoCompGraphTest, Fig3GraphShape) {
+  Sheet sheet = Fig3Sheet();
+  NoCompGraph graph;
+  ASSERT_TRUE(BuildGraphFromSheet(sheet, &graph).ok());
+  // Vertices: A1:A3, B1, B2, B3, B2:B3, C1, C2 (Fig. 3 shows exactly these).
+  EXPECT_EQ(graph.NumVertices(), 7u);
+  EXPECT_EQ(graph.NumEdges(), 5u);
+}
+
+TEST(NoCompGraphTest, Fig3DependentsOfA1) {
+  Sheet sheet = Fig3Sheet();
+  NoCompGraph graph;
+  ASSERT_TRUE(BuildGraphFromSheet(sheet, &graph).ok());
+  // The paper: dependents of A1 are {B1, B2, C1, C2}.
+  auto result = graph.FindDependents(Range(Cell{1, 1}));
+  EXPECT_EQ(ToCellSet(result),
+            (CellSet{{2, 1}, {2, 2}, {3, 1}, {3, 2}}));
+}
+
+TEST(NoCompGraphTest, Fig3DependentsOfB3) {
+  Sheet sheet = Fig3Sheet();
+  NoCompGraph graph;
+  ASSERT_TRUE(BuildGraphFromSheet(sheet, &graph).ok());
+  // B3 is referenced by C1 directly and by C2 through B2:B3.
+  auto result = graph.FindDependents(Range(Cell{2, 3}));
+  EXPECT_EQ(ToCellSet(result), (CellSet{{3, 1}, {3, 2}}));
+}
+
+TEST(NoCompGraphTest, Fig3PrecedentsOfC1) {
+  Sheet sheet = Fig3Sheet();
+  NoCompGraph graph;
+  ASSERT_TRUE(BuildGraphFromSheet(sheet, &graph).ok());
+  // C1 = B1+B3; B1 = SUM(A1:A3) -> {B1, B3, A1, A2, A3}.
+  auto result = graph.FindPrecedents(Range(Cell{3, 1}));
+  EXPECT_EQ(ToCellSet(result),
+            (CellSet{{2, 1}, {2, 3}, {1, 1}, {1, 2}, {1, 3}}));
+}
+
+TEST(NoCompGraphTest, Fig3PrecedentsOfC2) {
+  Sheet sheet = Fig3Sheet();
+  NoCompGraph graph;
+  ASSERT_TRUE(BuildGraphFromSheet(sheet, &graph).ok());
+  auto result = graph.FindPrecedents(Range(Cell{3, 2}));
+  // C2 = AVG(B2:B3); B2 = SUM(A1:A3).
+  EXPECT_EQ(ToCellSet(result),
+            (CellSet{{2, 2}, {2, 3}, {1, 1}, {1, 2}, {1, 3}}));
+}
+
+TEST(NoCompGraphTest, QueryOnEmptyGraph) {
+  NoCompGraph graph;
+  EXPECT_TRUE(graph.FindDependents(Range(Cell{1, 1})).empty());
+  EXPECT_TRUE(graph.FindPrecedents(Range(Cell{1, 1})).empty());
+}
+
+TEST(NoCompGraphTest, QueryRangeInput) {
+  Sheet sheet = Fig3Sheet();
+  NoCompGraph graph;
+  ASSERT_TRUE(BuildGraphFromSheet(sheet, &graph).ok());
+  // A whole-column input range.
+  auto result = graph.FindDependents(Range(1, 1, 1, 1000));
+  EXPECT_EQ(ToCellSet(result),
+            (CellSet{{2, 1}, {2, 2}, {3, 1}, {3, 2}}));
+}
+
+TEST(NoCompGraphTest, RemoveFormulaCells) {
+  Sheet sheet = Fig3Sheet();
+  NoCompGraph graph;
+  ASSERT_TRUE(BuildGraphFromSheet(sheet, &graph).ok());
+
+  // Clearing column B's formulas removes A1:A3 -> B1/B2 edges only.
+  ASSERT_TRUE(graph.RemoveFormulaCells(Range(2, 1, 2, 2)).ok());
+  EXPECT_EQ(graph.NumEdges(), 3u);
+  // A1 now has no dependents; the A1:A3 vertex is gone.
+  EXPECT_TRUE(graph.FindDependents(Range(Cell{1, 1})).empty());
+  // B1 is still referenced by C1 (the location still exists).
+  auto result = graph.FindDependents(Range(Cell{2, 1}));
+  EXPECT_EQ(ToCellSet(result), (CellSet{{3, 1}}));
+}
+
+TEST(NoCompGraphTest, RemoveThenReinsert) {
+  NoCompGraph graph;
+  Dependency dep;
+  dep.prec = Range(1, 1, 1, 3);
+  dep.dep = Cell{2, 1};
+  ASSERT_TRUE(graph.AddDependency(dep).ok());
+  ASSERT_TRUE(graph.RemoveFormulaCells(Range(Cell{2, 1})).ok());
+  EXPECT_EQ(graph.NumEdges(), 0u);
+  EXPECT_EQ(graph.NumVertices(), 0u);
+  // Reinsert after full removal.
+  ASSERT_TRUE(graph.AddDependency(dep).ok());
+  EXPECT_EQ(graph.NumEdges(), 1u);
+  auto result = graph.FindDependents(Range(Cell{1, 2}));
+  EXPECT_EQ(ToCellSet(result), (CellSet{{2, 1}}));
+}
+
+TEST(NoCompGraphTest, RemoveIgnoresPrecedentOnlyVertices) {
+  NoCompGraph graph;
+  Dependency dep;
+  dep.prec = Range(1, 1, 1, 3);
+  dep.dep = Cell{2, 1};
+  ASSERT_TRUE(graph.AddDependency(dep).ok());
+  // Clearing the referenced column must not remove the edge.
+  ASSERT_TRUE(graph.RemoveFormulaCells(Range(1, 1, 1, 3)).ok());
+  EXPECT_EQ(graph.NumEdges(), 1u);
+}
+
+TEST(NoCompGraphTest, InvalidInputsRejected) {
+  NoCompGraph graph;
+  Dependency bad;
+  bad.prec = Range(2, 2, 1, 1);  // reversed corners
+  bad.dep = Cell{1, 1};
+  EXPECT_FALSE(graph.AddDependency(bad).ok());
+  EXPECT_FALSE(graph.RemoveFormulaCells(Range(2, 2, 1, 1)).ok());
+}
+
+TEST(NoCompGraphTest, CountersPopulated) {
+  Sheet sheet = Fig3Sheet();
+  NoCompGraph graph;
+  ASSERT_TRUE(BuildGraphFromSheet(sheet, &graph).ok());
+  (void)graph.FindDependents(Range(Cell{1, 1}));
+  EXPECT_GT(graph.last_query_counters().edge_accesses, 0u);
+  EXPECT_GT(graph.last_query_counters().vertex_visits, 0u);
+  EXPECT_EQ(graph.last_query_counters().result_ranges, 4u);
+}
+
+// Long dependency chain: A1 <- A2 <- ... <- A200.
+TEST(NoCompGraphTest, LongChain) {
+  NoCompGraph graph;
+  for (int row = 2; row <= 200; ++row) {
+    Dependency dep;
+    dep.prec = Range(Cell{1, row - 1});
+    dep.dep = Cell{1, row};
+    ASSERT_TRUE(graph.AddDependency(dep).ok());
+  }
+  auto deps = graph.FindDependents(Range(Cell{1, 1}));
+  EXPECT_EQ(CoveredCellCount(deps), 199u);
+  auto precs = graph.FindPrecedents(Range(Cell{1, 200}));
+  EXPECT_EQ(CoveredCellCount(precs), 199u);
+}
+
+// Large fan-out: one cell referenced by N formulas.
+TEST(NoCompGraphTest, WideFanOut) {
+  NoCompGraph graph;
+  for (int row = 1; row <= 300; ++row) {
+    Dependency dep;
+    dep.prec = Range(Cell{1, 1});
+    dep.dep = Cell{2, row};
+    ASSERT_TRUE(graph.AddDependency(dep).ok());
+  }
+  auto deps = graph.FindDependents(Range(Cell{1, 1}));
+  EXPECT_EQ(CoveredCellCount(deps), 300u);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized differential testing against the brute-force oracle.
+
+class NoCompRandomizedTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(NoCompRandomizedTest, MatchesOracle) {
+  auto deps = RandomAcyclicDependencies(GetParam(), 60);
+  NoCompGraph graph;
+  for (const Dependency& dep : deps) {
+    ASSERT_TRUE(graph.AddDependency(dep).ok());
+  }
+  std::mt19937 rng(GetParam() ^ 0x5555);
+  std::uniform_int_distribution<int32_t> col(1, 8);
+  std::uniform_int_distribution<int32_t> row(1, 30);
+  for (int trial = 0; trial < 25; ++trial) {
+    Cell c{col(rng), row(rng)};
+    Range input = trial % 3 == 0 ? Range(c.col, c.row, c.col,
+                                         std::min(c.row + 3, 30))
+                                 : Range(c);
+    EXPECT_EQ(ToCellSet(graph.FindDependents(input)),
+              BruteForceDependents(deps, input))
+        << "dependents of " << input.ToString();
+    EXPECT_EQ(ToCellSet(graph.FindPrecedents(input)),
+              BruteForcePrecedents(deps, input))
+        << "precedents of " << input.ToString();
+  }
+}
+
+TEST_P(NoCompRandomizedTest, RemovalKeepsOracleAgreement) {
+  auto deps = RandomAcyclicDependencies(GetParam() + 1000, 50);
+  NoCompGraph graph;
+  for (const Dependency& dep : deps) {
+    ASSERT_TRUE(graph.AddDependency(dep).ok());
+  }
+  // Clear a band of formula cells and mirror in the oracle list.
+  Range cleared(1, 10, 8, 15);
+  ASSERT_TRUE(graph.RemoveFormulaCells(cleared).ok());
+  std::vector<Dependency> remaining;
+  for (const Dependency& dep : deps) {
+    if (!cleared.Contains(dep.dep)) remaining.push_back(dep);
+  }
+
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int32_t> col(1, 8);
+  std::uniform_int_distribution<int32_t> row(1, 30);
+  for (int trial = 0; trial < 15; ++trial) {
+    Range input(Cell{col(rng), row(rng)});
+    EXPECT_EQ(ToCellSet(graph.FindDependents(input)),
+              BruteForceDependents(remaining, input));
+    EXPECT_EQ(ToCellSet(graph.FindPrecedents(input)),
+              BruteForcePrecedents(remaining, input));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NoCompRandomizedTest,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u, 77u,
+                                           88u));
+
+}  // namespace
+}  // namespace taco

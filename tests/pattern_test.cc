@@ -1,0 +1,570 @@
+// Tests for the TACO compression patterns (Sec. III of the paper):
+// the worked examples of Fig. 4 and Fig. 9, then randomized property
+// sweeps validating FindDep / FindPrec / RemoveDep against brute-force
+// window enumeration for every pattern and both axes.
+
+#include <algorithm>
+#include <random>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph_test_util.h"
+#include "taco/pattern.h"
+
+namespace taco {
+namespace {
+
+using test::CellSet;
+using test::ToCellSet;
+
+// Builds a compressed edge by inserting `deps` one by one with `pattern`,
+// starting from a Single edge. Fails the test if any AddDep is rejected.
+CompressedEdge BuildEdge(PatternType pattern, const std::vector<Dependency>& deps,
+                         Axis axis) {
+  EXPECT_GE(deps.size(), 2u);
+  CompressedEdge edge = MakeSingleEdge(deps[0].prec, deps[0].dep,
+                                       deps[0].head_flags, deps[0].tail_flags);
+  const Pattern& p = GetPattern(pattern);
+  for (size_t i = 1; i < deps.size(); ++i) {
+    auto merged = p.AddDep(edge, deps[i], axis);
+    EXPECT_TRUE(merged.has_value())
+        << "AddDep rejected dependency " << i << ": " << deps[i].prec.ToString()
+        << " -> " << deps[i].dep.ToString();
+    if (!merged) return edge;
+    edge = *merged;
+  }
+  return edge;
+}
+
+Dependency Dep(const Range& prec, const Cell& dep) {
+  Dependency d;
+  d.prec = prec;
+  d.dep = dep;
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// Paper examples
+
+TEST(PatternPaperTest, Fig4aRelativeRelative) {
+  // C1=SUM(A1:B3) ... C4=SUM(A4:B6): sliding window.
+  std::vector<Dependency> deps = {
+      Dep(Range(1, 1, 2, 3), Cell{3, 1}), Dep(Range(1, 2, 2, 4), Cell{3, 2}),
+      Dep(Range(1, 3, 2, 5), Cell{3, 3}), Dep(Range(1, 4, 2, 6), Cell{3, 4})};
+  CompressedEdge edge = BuildEdge(PatternType::kRR, deps, Axis::kColumn);
+
+  EXPECT_EQ(edge.prec, Range(1, 1, 2, 6));  // A1:B6
+  EXPECT_EQ(edge.dep, Range(3, 1, 3, 4));   // C1:C4
+  EXPECT_EQ(edge.pattern, PatternType::kRR);
+  EXPECT_EQ(edge.meta.h_rel, (Offset{-2, 0}));  // paper: hRel=(-2,0)
+  EXPECT_EQ(edge.meta.t_rel, (Offset{-1, 2}));  // paper: tRel=(-1,2)
+  EXPECT_EQ(edge.compressed_count, 4u);
+}
+
+TEST(PatternPaperTest, Fig4aAddDepSectionExample) {
+  // Sec. III-B: e' = A5:B7 -> C5 extends the Fig. 4a edge.
+  std::vector<Dependency> deps = {
+      Dep(Range(1, 1, 2, 3), Cell{3, 1}), Dep(Range(1, 2, 2, 4), Cell{3, 2}),
+      Dep(Range(1, 3, 2, 5), Cell{3, 3}), Dep(Range(1, 4, 2, 6), Cell{3, 4})};
+  CompressedEdge edge = BuildEdge(PatternType::kRR, deps, Axis::kColumn);
+  auto merged = GetPattern(PatternType::kRR)
+                    .AddDep(edge, Dep(Range(1, 5, 2, 7), Cell{3, 5}),
+                            Axis::kColumn);
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(merged->prec, Range(1, 1, 2, 7));
+  EXPECT_EQ(merged->dep, Range(3, 1, 3, 5));
+
+  // A mismatched relative position must be rejected.
+  auto rejected = GetPattern(PatternType::kRR)
+                      .AddDep(edge, Dep(Range(1, 9, 2, 11), Cell{3, 5}),
+                              Axis::kColumn);
+  EXPECT_FALSE(rejected.has_value());
+}
+
+TEST(PatternPaperTest, Fig4bRelativeFixed) {
+  // C1=SUM(A1:B4) ... C4=SUM(A4:B4): shrinking window.
+  std::vector<Dependency> deps = {
+      Dep(Range(1, 1, 2, 4), Cell{3, 1}), Dep(Range(1, 2, 2, 4), Cell{3, 2}),
+      Dep(Range(1, 3, 2, 4), Cell{3, 3}), Dep(Range(1, 4, 2, 4), Cell{3, 4})};
+  CompressedEdge edge = BuildEdge(PatternType::kRF, deps, Axis::kColumn);
+
+  EXPECT_EQ(edge.prec, Range(1, 1, 2, 4));         // A1:B4
+  EXPECT_EQ(edge.dep, Range(3, 1, 3, 4));          // C1:C4
+  EXPECT_EQ(edge.meta.h_rel, (Offset{-2, 0}));
+  EXPECT_EQ(edge.meta.t_fix, (Cell{2, 4}));        // paper: tFix=(2,4)
+}
+
+TEST(PatternPaperTest, Fig4cFixedRelative) {
+  // C1=SUM(A1:B1) ... C3=SUM(A1:B3): expanding window.
+  std::vector<Dependency> deps = {
+      Dep(Range(1, 1, 2, 1), Cell{3, 1}), Dep(Range(1, 1, 2, 2), Cell{3, 2}),
+      Dep(Range(1, 1, 2, 3), Cell{3, 3})};
+  CompressedEdge edge = BuildEdge(PatternType::kFR, deps, Axis::kColumn);
+
+  EXPECT_EQ(edge.prec, Range(1, 1, 2, 3));      // A1:B3
+  EXPECT_EQ(edge.dep, Range(3, 1, 3, 3));       // C1:C3
+  EXPECT_EQ(edge.meta.h_fix, (Cell{1, 1}));     // paper: hFix=(1,1)
+  EXPECT_EQ(edge.meta.t_rel, (Offset{-1, 0}));  // paper: tRel=(-1,0)
+}
+
+TEST(PatternPaperTest, Fig4dFixedFixed) {
+  // C1..C3 = SUM(A1:B3): fixed window.
+  std::vector<Dependency> deps = {
+      Dep(Range(1, 1, 2, 3), Cell{3, 1}), Dep(Range(1, 1, 2, 3), Cell{3, 2}),
+      Dep(Range(1, 1, 2, 3), Cell{3, 3})};
+  CompressedEdge edge = BuildEdge(PatternType::kFF, deps, Axis::kColumn);
+
+  EXPECT_EQ(edge.prec, Range(1, 1, 2, 3));
+  EXPECT_EQ(edge.dep, Range(3, 1, 3, 3));
+  EXPECT_EQ(edge.meta.h_fix, (Cell{1, 1}));
+  EXPECT_EQ(edge.meta.t_fix, (Cell{2, 3}));
+}
+
+TEST(PatternPaperTest, Fig9RRChain) {
+  // A2=A1+1 ... A4=A3+1: the chain of Fig. 9.
+  std::vector<Dependency> deps = {Dep(Range(Cell{1, 1}), Cell{1, 2}),
+                                  Dep(Range(Cell{1, 2}), Cell{1, 3}),
+                                  Dep(Range(Cell{1, 3}), Cell{1, 4})};
+  CompressedEdge edge = BuildEdge(PatternType::kRRChain, deps, Axis::kColumn);
+
+  EXPECT_EQ(edge.prec, Range(1, 1, 1, 3));           // A1:A3
+  EXPECT_EQ(edge.dep, Range(1, 2, 1, 4));            // A2:A4
+  EXPECT_EQ(edge.meta.h_rel, (Offset{0, -1}));       // l = ABOVE
+
+  // Paper: findDep over the chain returns the rest of the chain at once.
+  std::vector<Range> out;
+  GetPattern(PatternType::kRRChain).FindDep(edge, Range(Cell{1, 2}), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], Range(1, 3, 1, 4));  // A3:A4
+
+  out.clear();
+  GetPattern(PatternType::kRRChain).FindDep(edge, Range(Cell{1, 1}), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], Range(1, 2, 1, 4));  // the whole chain
+
+  // Transitive precedents of A4: A1:A3.
+  out.clear();
+  GetPattern(PatternType::kRRChain).FindPrec(edge, Range(Cell{1, 4}), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], Range(1, 1, 1, 3));
+}
+
+TEST(PatternPaperTest, RRChainBelowDirection) {
+  // Chain referencing the cell *below*: A1=A2+1, A2=A3+1, A3=A4+1.
+  std::vector<Dependency> deps = {Dep(Range(Cell{1, 2}), Cell{1, 1}),
+                                  Dep(Range(Cell{1, 3}), Cell{1, 2}),
+                                  Dep(Range(Cell{1, 4}), Cell{1, 3})};
+  CompressedEdge edge = BuildEdge(PatternType::kRRChain, deps, Axis::kColumn);
+  EXPECT_EQ(edge.meta.h_rel, (Offset{0, 1}));  // l = BELOW
+
+  std::vector<Range> out;
+  // Dependents of A4: the whole chain above it.
+  GetPattern(PatternType::kRRChain).FindDep(edge, Range(Cell{1, 4}), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], Range(1, 1, 1, 3));
+}
+
+TEST(PatternPaperTest, Fig2SlidingWindowLookup) {
+  // The Fig. 2 discussion: Ai -> Ni edges compressed as RR; querying
+  // A3:A10 must return dependents N3:N10 in O(1).
+  std::vector<Dependency> deps;
+  for (int row = 3; row <= 20; ++row) {
+    deps.push_back(Dep(Range(Cell{1, row}), Cell{14, row}));
+  }
+  CompressedEdge edge = BuildEdge(PatternType::kRR, deps, Axis::kColumn);
+  std::vector<Range> out;
+  GetPattern(PatternType::kRR).FindDep(edge, Range(1, 3, 1, 10), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], Range(14, 3, 14, 10));  // N3:N10
+}
+
+// ---------------------------------------------------------------------------
+// Merge-invariant edge cases
+
+TEST(PatternMergeTest, RejectsNonAdjacentDep) {
+  CompressedEdge edge = MakeSingleEdge(Range(1, 1, 1, 3), Cell{2, 1});
+  // Same relative shape but two rows below: not adjacent.
+  auto merged = GetPattern(PatternType::kRR)
+                    .AddDep(edge, Dep(Range(1, 3, 1, 5), Cell{2, 3}),
+                            Axis::kColumn);
+  EXPECT_FALSE(merged.has_value());
+}
+
+TEST(PatternMergeTest, RejectsSidewaysGrowthOfColumnEdge) {
+  // dep C1:C3 cannot absorb D2 (would make the dependent box 2-D).
+  std::vector<Dependency> deps = {Dep(Range(Cell{1, 1}), Cell{3, 1}),
+                                  Dep(Range(Cell{1, 2}), Cell{3, 2}),
+                                  Dep(Range(Cell{1, 3}), Cell{3, 3})};
+  CompressedEdge edge = BuildEdge(PatternType::kRR, deps, Axis::kColumn);
+  auto merged = GetPattern(PatternType::kRR)
+                    .AddDep(edge, Dep(Range(Cell{2, 2}), Cell{4, 2}),
+                            Axis::kRow);
+  EXPECT_FALSE(merged.has_value());
+}
+
+TEST(PatternMergeTest, RowAxisCompression) {
+  // A row of formulas: A5=A1+A2, B5=B1+B2, C5=C1+C2.
+  std::vector<Dependency> deps = {Dep(Range(1, 1, 1, 2), Cell{1, 5}),
+                                  Dep(Range(2, 1, 2, 2), Cell{2, 5}),
+                                  Dep(Range(3, 1, 3, 2), Cell{3, 5})};
+  CompressedEdge edge = BuildEdge(PatternType::kRR, deps, Axis::kRow);
+  EXPECT_EQ(edge.dep, Range(1, 5, 3, 5));
+  EXPECT_EQ(edge.prec, Range(1, 1, 3, 2));
+  EXPECT_EQ(edge.meta.axis, Axis::kRow);
+
+  std::vector<Range> out;
+  GetPattern(PatternType::kRR).FindDep(edge, Range(Cell{2, 1}), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], Range(Cell{2, 5}));
+}
+
+TEST(PatternMergeTest, ExtendAtHeadEnd) {
+  // Deps inserted bottom-up still merge (extension before dep.head).
+  std::vector<Dependency> deps = {Dep(Range(Cell{1, 5}), Cell{2, 5}),
+                                  Dep(Range(Cell{1, 4}), Cell{2, 4}),
+                                  Dep(Range(Cell{1, 3}), Cell{2, 3})};
+  CompressedEdge edge = BuildEdge(PatternType::kRR, deps, Axis::kColumn);
+  EXPECT_EQ(edge.dep, Range(2, 3, 2, 5));
+  EXPECT_EQ(edge.prec, Range(1, 3, 1, 5));
+}
+
+TEST(PatternMergeTest, FFRejectsDifferentWindow) {
+  CompressedEdge edge = MakeSingleEdge(Range(1, 1, 2, 3), Cell{3, 1});
+  auto merged = GetPattern(PatternType::kFF)
+                    .AddDep(edge, Dep(Range(1, 1, 2, 4), Cell{3, 2}),
+                            Axis::kColumn);
+  EXPECT_FALSE(merged.has_value());
+}
+
+TEST(PatternMergeTest, ChainRejectsNonUnitReference) {
+  CompressedEdge edge = MakeSingleEdge(Range(Cell{1, 1}), Cell{1, 3});
+  // Reference two rows up is RR but not a chain.
+  auto merged = GetPattern(PatternType::kRRChain)
+                    .AddDep(edge, Dep(Range(Cell{1, 2}), Cell{1, 4}),
+                            Axis::kColumn);
+  EXPECT_FALSE(merged.has_value());
+}
+
+// ---------------------------------------------------------------------------
+// RemoveDep worked example (paper Sec. III-B: removing C2 from C1:C4).
+
+TEST(PatternRemoveTest, SplitsIntoTwoEdges) {
+  std::vector<Dependency> deps = {
+      Dep(Range(1, 1, 2, 3), Cell{3, 1}), Dep(Range(1, 2, 2, 4), Cell{3, 2}),
+      Dep(Range(1, 3, 2, 5), Cell{3, 3}), Dep(Range(1, 4, 2, 6), Cell{3, 4})};
+  CompressedEdge edge = BuildEdge(PatternType::kRR, deps, Axis::kColumn);
+
+  std::vector<CompressedEdge> out;
+  GetPattern(PatternType::kRR).RemoveDep(edge, Range(Cell{3, 2}), &out);
+  ASSERT_EQ(out.size(), 2u);
+  std::sort(out.begin(), out.end(),
+            [](const CompressedEdge& a, const CompressedEdge& b) {
+              return a.dep < b.dep;
+            });
+  // C1 alone demotes to Single with its own window as precedent.
+  EXPECT_EQ(out[0].dep, Range(Cell{3, 1}));
+  EXPECT_EQ(out[0].pattern, PatternType::kSingle);
+  EXPECT_EQ(out[0].prec, Range(1, 1, 2, 3));
+  // C3:C4 keeps RR with a recomputed precedent A3:B6.
+  EXPECT_EQ(out[1].dep, Range(3, 3, 3, 4));
+  EXPECT_EQ(out[1].pattern, PatternType::kRR);
+  EXPECT_EQ(out[1].prec, Range(1, 3, 2, 6));
+  EXPECT_EQ(out[1].compressed_count, 2u);
+}
+
+TEST(PatternRemoveTest, RemoveAllLeavesNothing) {
+  std::vector<Dependency> deps = {Dep(Range(Cell{1, 1}), Cell{2, 1}),
+                                  Dep(Range(Cell{1, 2}), Cell{2, 2})};
+  CompressedEdge edge = BuildEdge(PatternType::kRR, deps, Axis::kColumn);
+  std::vector<CompressedEdge> out;
+  GetPattern(PatternType::kRR).RemoveDep(edge, Range(2, 1, 2, 2), &out);
+  EXPECT_TRUE(out.empty());
+}
+
+// ---------------------------------------------------------------------------
+// RR-GapOne (Sec. V extension)
+
+TEST(PatternGapTest, BuildsStride2Edge) {
+  // Formulas at C1, C3, C5, each referencing the cell to the left.
+  std::vector<Dependency> deps = {Dep(Range(Cell{2, 1}), Cell{3, 1}),
+                                  Dep(Range(Cell{2, 3}), Cell{3, 3}),
+                                  Dep(Range(Cell{2, 5}), Cell{3, 5})};
+  CompressedEdge edge = BuildEdge(PatternType::kRRGapOne, deps, Axis::kColumn);
+  EXPECT_EQ(edge.dep, Range(3, 1, 3, 5));
+  EXPECT_EQ(edge.compressed_count, 3u);
+  EXPECT_EQ(edge.meta.stride, 2);
+
+  // The in-between rows are NOT dependents.
+  std::vector<Range> out;
+  GetPattern(PatternType::kRRGapOne).FindDep(edge, Range(2, 1, 2, 5), &out);
+  EXPECT_EQ(ToCellSet(out), (CellSet{{3, 1}, {3, 3}, {3, 5}}));
+
+  out.clear();
+  GetPattern(PatternType::kRRGapOne).FindDep(edge, Range(Cell{2, 2}), &out);
+  EXPECT_TRUE(out.empty());
+
+  // Precedents likewise skip the gaps.
+  out.clear();
+  GetPattern(PatternType::kRRGapOne).FindPrec(edge, Range(3, 1, 3, 5), &out);
+  EXPECT_EQ(ToCellSet(out), (CellSet{{2, 1}, {2, 3}, {2, 5}}));
+}
+
+TEST(PatternGapTest, RejectsOffStrideExtension) {
+  std::vector<Dependency> deps = {Dep(Range(Cell{2, 1}), Cell{3, 1}),
+                                  Dep(Range(Cell{2, 3}), Cell{3, 3})};
+  CompressedEdge edge = BuildEdge(PatternType::kRRGapOne, deps, Axis::kColumn);
+  auto merged = GetPattern(PatternType::kRRGapOne)
+                    .AddDep(edge, Dep(Range(Cell{2, 4}), Cell{3, 4}),
+                            Axis::kColumn);
+  EXPECT_FALSE(merged.has_value());
+}
+
+TEST(PatternGapTest, RemoveDecomposesToSingles) {
+  std::vector<Dependency> deps = {Dep(Range(Cell{2, 1}), Cell{3, 1}),
+                                  Dep(Range(Cell{2, 3}), Cell{3, 3}),
+                                  Dep(Range(Cell{2, 5}), Cell{3, 5})};
+  CompressedEdge edge = BuildEdge(PatternType::kRRGapOne, deps, Axis::kColumn);
+  std::vector<CompressedEdge> out;
+  GetPattern(PatternType::kRRGapOne).RemoveDep(edge, Range(Cell{3, 3}), &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].pattern, PatternType::kSingle);
+  EXPECT_EQ(out[0].dep, Range(Cell{3, 1}));
+  EXPECT_EQ(out[1].dep, Range(Cell{3, 5}));
+}
+
+// ---------------------------------------------------------------------------
+// Randomized property sweeps: FindDep / FindPrec / RemoveDep versus window
+// enumeration, for every pattern and both axes.
+
+struct PropertyParam {
+  PatternType pattern;
+  Axis axis;
+  uint32_t seed;
+};
+
+// Pretty parameter names in test listings.
+std::string ParamName(const ::testing::TestParamInfo<PropertyParam>& info) {
+  std::string name(PatternTypeToString(info.param.pattern));
+  name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+  name += info.param.axis == Axis::kColumn ? "Col" : "Row";
+  name += "S" + std::to_string(info.param.seed);
+  return name;
+}
+
+class PatternPropertyTest : public ::testing::TestWithParam<PropertyParam> {
+ protected:
+  // Generates a random valid edge of the parameterized pattern by
+  // constructing a coherent dependency list and AddDep-ing it together.
+  CompressedEdge RandomEdge(std::mt19937& rng,
+                            std::vector<Dependency>* deps_out) {
+    const PropertyParam p = GetParam();
+    std::uniform_int_distribution<int32_t> small(0, 3);
+    std::uniform_int_distribution<int32_t> len_dist(2, 8);
+    std::uniform_int_distribution<int32_t> start(12, 24);
+
+    const int32_t len = len_dist(rng);
+    const int32_t stride = p.pattern == PatternType::kRRGapOne ? 2 : 1;
+    const Cell dep0{start(rng), start(rng)};
+    const Offset step = p.axis == Axis::kColumn ? Offset{0, stride}
+                                                : Offset{stride, 0};
+
+    // Window geometry. Offsets are chosen small and negative-leaning so
+    // windows stay on-sheet.
+    Offset h_rel{-2 - small(rng), -2 - small(rng)};
+    Offset t_rel{h_rel.dcol + small(rng), h_rel.drow + small(rng)};
+    if (p.pattern == PatternType::kRRChain) {
+      h_rel = p.axis == Axis::kColumn ? Offset{0, -1} : Offset{-1, 0};
+      t_rel = h_rel;
+    }
+    const Cell h_fix = dep0 + Offset{-8, -8};
+    const Cell t_fix = dep0 + Offset{-2, -2} +
+                       Offset{small(rng), small(rng)} +
+                       (p.axis == Axis::kColumn
+                            ? Offset{0, (len - 1) * stride}
+                            : Offset{(len - 1) * stride, 0});
+
+    std::vector<Dependency> deps;
+    for (int32_t i = 0; i < len; ++i) {
+      Cell dep_cell = dep0;
+      for (int32_t k = 0; k < i; ++k) dep_cell = dep_cell + step;
+      Range window;
+      switch (p.pattern) {
+        case PatternType::kRR:
+        case PatternType::kRRChain:
+        case PatternType::kRRGapOne:
+          window = Range(dep_cell + h_rel, dep_cell + t_rel);
+          break;
+        case PatternType::kRF:
+          window = Range(dep_cell + h_rel, t_fix);
+          break;
+        case PatternType::kFR:
+          window = Range(h_fix, dep_cell + t_rel);
+          break;
+        case PatternType::kFF:
+          window = Range(h_fix, t_fix);
+          break;
+        case PatternType::kSingle:
+          break;
+      }
+      EXPECT_TRUE(window.IsValid())
+          << window.ToString() << " for dep " << dep_cell.ToString();
+      deps.push_back(Dep(window, dep_cell));
+    }
+    *deps_out = deps;
+    return BuildEdge(p.pattern, deps, p.axis);
+  }
+};
+
+TEST_P(PatternPropertyTest, ReconstructionIsLossless) {
+  std::mt19937 rng(GetParam().seed);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<Dependency> deps;
+    CompressedEdge edge = RandomEdge(rng, &deps);
+    ASSERT_EQ(edge.compressed_count, deps.size());
+
+    auto reconstructed = ReconstructDependencies(edge);
+    ASSERT_EQ(reconstructed.size(), deps.size());
+    for (size_t i = 0; i < deps.size(); ++i) {
+      // Reconstruction order follows dep-cell order; match by dep cell.
+      auto it = std::find_if(reconstructed.begin(), reconstructed.end(),
+                             [&](const Dependency& d) {
+                               return d.dep == deps[i].dep;
+                             });
+      ASSERT_NE(it, reconstructed.end());
+      EXPECT_EQ(it->prec, deps[i].prec) << "dep " << deps[i].dep.ToString();
+    }
+  }
+}
+
+TEST_P(PatternPropertyTest, FindDepMatchesWindowEnumeration) {
+  std::mt19937 rng(GetParam().seed ^ 0xABCD);
+  const bool transitive = GetParam().pattern == PatternType::kRRChain;
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<Dependency> deps;
+    CompressedEdge edge = RandomEdge(rng, &deps);
+
+    // Query rectangles around (and beyond) the precedent bounding box.
+    std::uniform_int_distribution<int32_t> jitter(-6, 6);
+    Cell q1{edge.prec.head.col + jitter(rng), edge.prec.head.row + jitter(rng)};
+    Cell q2{q1.col + std::abs(jitter(rng)), q1.row + std::abs(jitter(rng))};
+    q1 = CellMax(q1, Cell{1, 1});
+    q2 = CellMax(q2, q1);
+    Range query(q1, q2);
+
+    std::vector<Range> got;
+    FindDepOnEdge(edge, query, &got);
+    CellSet got_cells = ToCellSet(got);
+
+    CellSet expected = transitive
+                           ? test::BruteForceDependents(deps, query)
+                           : ToCellSet(DirectDependents(edge, query));
+    EXPECT_EQ(got_cells, expected)
+        << edge.ToString() << " query " << query.ToString();
+  }
+}
+
+TEST_P(PatternPropertyTest, FindPrecMatchesWindowEnumeration) {
+  std::mt19937 rng(GetParam().seed ^ 0x1234);
+  const bool transitive = GetParam().pattern == PatternType::kRRChain;
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<Dependency> deps;
+    CompressedEdge edge = RandomEdge(rng, &deps);
+
+    std::uniform_int_distribution<int32_t> jitter(-4, 4);
+    Cell q1{edge.dep.head.col + jitter(rng), edge.dep.head.row + jitter(rng)};
+    Cell q2{q1.col + std::abs(jitter(rng)), q1.row + std::abs(jitter(rng))};
+    q1 = CellMax(q1, Cell{1, 1});
+    q2 = CellMax(q2, q1);
+    Range query(q1, q2);
+
+    std::vector<Range> got;
+    FindPrecOnEdge(edge, query, &got);
+    CellSet got_cells = ToCellSet(got);
+
+    CellSet expected;
+    if (transitive) {
+      expected = test::BruteForcePrecedents(deps, query);
+    } else {
+      for (const Dependency& d : deps) {
+        if (!query.Contains(d.dep)) continue;
+        for (const Cell& c : EnumerateCells(d.prec)) {
+          expected.insert({c.col, c.row});
+        }
+      }
+    }
+    EXPECT_EQ(got_cells, expected)
+        << edge.ToString() << " query " << query.ToString();
+  }
+}
+
+TEST_P(PatternPropertyTest, RemoveDepPreservesSurvivingDependencies) {
+  std::mt19937 rng(GetParam().seed ^ 0x9999);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<Dependency> deps;
+    CompressedEdge edge = RandomEdge(rng, &deps);
+
+    // Remove a random band of formula cells crossing the dependent line.
+    std::uniform_int_distribution<int32_t> jitter(-3, 3);
+    Cell q1{edge.dep.head.col + jitter(rng), edge.dep.head.row + jitter(rng)};
+    Cell q2{q1.col + std::abs(jitter(rng)), q1.row + std::abs(jitter(rng))};
+    q1 = CellMax(q1, Cell{1, 1});
+    q2 = CellMax(q2, q1);
+    Range removed(q1, q2);
+
+    std::vector<CompressedEdge> out;
+    RemoveDepOnEdge(edge, removed, &out);
+
+    // The union of reconstructed dependencies of the outputs must equal
+    // the survivors.
+    std::vector<Dependency> survivors;
+    for (const Dependency& d : deps) {
+      if (!removed.Contains(d.dep)) survivors.push_back(d);
+    }
+    std::vector<Dependency> remaining;
+    for (const CompressedEdge& piece : out) {
+      auto part = ReconstructDependencies(piece);
+      remaining.insert(remaining.end(), part.begin(), part.end());
+    }
+    auto key = [](const Dependency& d) {
+      return std::tuple(d.dep.col, d.dep.row, d.prec.head.col, d.prec.head.row,
+                        d.prec.tail.col, d.prec.tail.row);
+    };
+    auto cmp = [&](const Dependency& a, const Dependency& b) {
+      return key(a) < key(b);
+    };
+    std::sort(survivors.begin(), survivors.end(), cmp);
+    std::sort(remaining.begin(), remaining.end(), cmp);
+    ASSERT_EQ(remaining.size(), survivors.size())
+        << edge.ToString() << " removed " << removed.ToString();
+    for (size_t i = 0; i < survivors.size(); ++i) {
+      EXPECT_EQ(key(remaining[i]), key(survivors[i]));
+    }
+    // Demotion invariant: single-dependency outputs are Single edges.
+    for (const CompressedEdge& piece : out) {
+      if (piece.compressed_count == 1) {
+        EXPECT_EQ(piece.pattern, PatternType::kSingle);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPatterns, PatternPropertyTest,
+    ::testing::Values(
+        PropertyParam{PatternType::kRR, Axis::kColumn, 1},
+        PropertyParam{PatternType::kRR, Axis::kRow, 2},
+        PropertyParam{PatternType::kRF, Axis::kColumn, 3},
+        PropertyParam{PatternType::kRF, Axis::kRow, 4},
+        PropertyParam{PatternType::kFR, Axis::kColumn, 5},
+        PropertyParam{PatternType::kFR, Axis::kRow, 6},
+        PropertyParam{PatternType::kFF, Axis::kColumn, 7},
+        PropertyParam{PatternType::kFF, Axis::kRow, 8},
+        PropertyParam{PatternType::kRRChain, Axis::kColumn, 9},
+        PropertyParam{PatternType::kRRChain, Axis::kRow, 10},
+        PropertyParam{PatternType::kRRGapOne, Axis::kColumn, 11},
+        PropertyParam{PatternType::kRRGapOne, Axis::kRow, 12}),
+    ParamName);
+
+}  // namespace
+}  // namespace taco

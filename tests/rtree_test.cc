@@ -1,0 +1,223 @@
+// Unit and randomized property tests for the R-tree, checked against a
+// brute-force list-of-rectangles oracle.
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rtree/rtree.h"
+
+namespace taco {
+namespace {
+
+TEST(RTreeTest, EmptyTree) {
+  RTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.size(), 0u);
+  std::vector<RTree::EntryId> out;
+  tree.SearchOverlap(Range(1, 1, 100, 100), &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_FALSE(tree.AnyOverlap(Range(1, 1, 100, 100)));
+  EXPECT_TRUE(tree.CheckInvariantsForTesting());
+}
+
+TEST(RTreeTest, SingleEntry) {
+  RTree tree;
+  tree.Insert(Range(2, 2, 4, 4), 7);
+  EXPECT_EQ(tree.size(), 1u);
+
+  std::vector<RTree::EntryId> out;
+  tree.SearchOverlap(Range(4, 4, 9, 9), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 7u);
+
+  out.clear();
+  tree.SearchOverlap(Range(5, 5, 9, 9), &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(RTreeTest, DuplicateBoxesDistinctIds) {
+  RTree tree;
+  Range box(1, 1, 2, 2);
+  tree.Insert(box, 1);
+  tree.Insert(box, 2);
+  tree.Insert(box, 3);
+  std::vector<RTree::EntryId> out;
+  tree.SearchOverlap(box, &out);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<RTree::EntryId>{1, 2, 3}));
+
+  EXPECT_TRUE(tree.Remove(box, 2));
+  out.clear();
+  tree.SearchOverlap(box, &out);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<RTree::EntryId>{1, 3}));
+}
+
+TEST(RTreeTest, RemoveMissingReturnsFalse) {
+  RTree tree;
+  tree.Insert(Range(1, 1, 2, 2), 1);
+  EXPECT_FALSE(tree.Remove(Range(1, 1, 2, 2), 99));
+  EXPECT_FALSE(tree.Remove(Range(3, 3, 4, 4), 1));
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(RTreeTest, SplitsGrowHeight) {
+  RTree tree;
+  // Insert enough entries to force several splits.
+  for (int i = 0; i < 100; ++i) {
+    tree.Insert(Range(i + 1, 1, i + 1, 1), static_cast<uint64_t>(i));
+  }
+  EXPECT_EQ(tree.size(), 100u);
+  EXPECT_GT(tree.HeightForTesting(), 1);
+  EXPECT_TRUE(tree.CheckInvariantsForTesting());
+
+  // Every entry findable.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(tree.AnyOverlap(Range(i + 1, 1, i + 1, 1))) << i;
+  }
+}
+
+TEST(RTreeTest, EarlyExitVisitor) {
+  RTree tree;
+  for (int i = 0; i < 50; ++i) {
+    tree.Insert(Range(1, i + 1, 1, i + 1), static_cast<uint64_t>(i));
+  }
+  int visits = 0;
+  tree.ForEachOverlap(Range(1, 1, 1, 50), [&](const Range&, uint64_t) {
+    ++visits;
+    return visits < 5;
+  });
+  EXPECT_EQ(visits, 5);
+}
+
+TEST(RTreeTest, ClearResets) {
+  RTree tree;
+  for (int i = 0; i < 30; ++i) {
+    tree.Insert(Range(i + 1, i + 1, i + 2, i + 2), static_cast<uint64_t>(i));
+  }
+  tree.Clear();
+  EXPECT_TRUE(tree.empty());
+  EXPECT_FALSE(tree.AnyOverlap(Range(1, 1, 1000, 1000)));
+  tree.Insert(Range(5, 5, 6, 6), 1);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_TRUE(tree.CheckInvariantsForTesting());
+}
+
+// ---------------------------------------------------------------------------
+// Randomized differential test against a brute-force oracle, parameterized
+// over seeds and workload shapes.
+
+struct WorkloadParam {
+  int seed;
+  int max_coord;    // coordinate universe size
+  int max_extent;   // max rectangle width/height
+  int ops;          // number of operations
+  double remove_fraction;
+};
+
+class RTreeRandomizedTest : public ::testing::TestWithParam<WorkloadParam> {};
+
+TEST_P(RTreeRandomizedTest, MatchesBruteForceOracle) {
+  const WorkloadParam p = GetParam();
+  std::mt19937 rng(p.seed);
+  std::uniform_int_distribution<int> coord(1, p.max_coord);
+  std::uniform_int_distribution<int> extent(0, p.max_extent - 1);
+  std::uniform_real_distribution<double> action(0.0, 1.0);
+
+  RTree tree;
+  std::vector<std::pair<Range, uint64_t>> oracle;
+  uint64_t next_id = 0;
+
+  auto random_box = [&] {
+    int c = coord(rng), r = coord(rng);
+    return Range(c, r, std::min(c + extent(rng), p.max_coord + p.max_extent),
+                 std::min(r + extent(rng), p.max_coord + p.max_extent));
+  };
+
+  for (int op = 0; op < p.ops; ++op) {
+    if (!oracle.empty() && action(rng) < p.remove_fraction) {
+      size_t idx = static_cast<size_t>(rng() % oracle.size());
+      auto [box, id] = oracle[idx];
+      ASSERT_TRUE(tree.Remove(box, id));
+      oracle.erase(oracle.begin() + static_cast<ptrdiff_t>(idx));
+    } else {
+      Range box = random_box();
+      tree.Insert(box, next_id);
+      oracle.emplace_back(box, next_id);
+      ++next_id;
+    }
+    ASSERT_EQ(tree.size(), oracle.size());
+
+    // Every few operations, cross-check a random overlap query and the
+    // structural invariants.
+    if (op % 7 == 0) {
+      Range query = random_box();
+      std::vector<uint64_t> got;
+      tree.SearchOverlap(query, &got);
+      std::vector<uint64_t> expected;
+      for (const auto& [box, id] : oracle) {
+        if (box.Overlaps(query)) expected.push_back(id);
+      }
+      std::sort(got.begin(), got.end());
+      std::sort(expected.begin(), expected.end());
+      ASSERT_EQ(got, expected) << "query " << query.ToString() << " at op "
+                               << op;
+    }
+    if (op % 50 == 0) {
+      ASSERT_TRUE(tree.CheckInvariantsForTesting()) << "op " << op;
+    }
+  }
+  EXPECT_TRUE(tree.CheckInvariantsForTesting());
+
+  // Drain the tree and verify emptiness.
+  while (!oracle.empty()) {
+    auto [box, id] = oracle.back();
+    oracle.pop_back();
+    ASSERT_TRUE(tree.Remove(box, id));
+  }
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.CheckInvariantsForTesting());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, RTreeRandomizedTest,
+    ::testing::Values(
+        WorkloadParam{101, 20, 4, 400, 0.2},    // dense small universe
+        WorkloadParam{202, 1000, 50, 400, 0.2},  // sparse
+        WorkloadParam{303, 50, 1, 400, 0.3},     // point-heavy
+        WorkloadParam{404, 200, 200, 300, 0.25}, // large overlapping boxes
+        WorkloadParam{505, 10000, 3, 500, 0.4},  // high churn
+        WorkloadParam{606, 30, 30, 300, 0.5}));  // remove-heavy
+
+// Column-shaped entries mimic formula-graph vertices (tall 1-wide ranges).
+TEST(RTreeTest, ColumnShapedWorkload) {
+  RTree tree;
+  std::vector<std::pair<Range, uint64_t>> oracle;
+  uint64_t id = 0;
+  for (int col = 1; col <= 20; ++col) {
+    for (int start = 1; start <= 500; start += 100) {
+      Range box(col, start, col, start + 250);
+      tree.Insert(box, id);
+      oracle.emplace_back(box, id);
+      ++id;
+    }
+  }
+  Range query(5, 200, 7, 210);
+  std::vector<uint64_t> got;
+  tree.SearchOverlap(query, &got);
+  std::vector<uint64_t> expected;
+  for (const auto& [box, eid] : oracle) {
+    if (box.Overlaps(query)) expected.push_back(eid);
+  }
+  std::sort(got.begin(), got.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(got, expected);
+  EXPECT_TRUE(tree.CheckInvariantsForTesting());
+}
+
+}  // namespace
+}  // namespace taco

@@ -1,0 +1,245 @@
+// Tests for the sparse sheet model, autofill, and .tsheet serialization.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sheet/sheet.h"
+#include "sheet/textio.h"
+
+namespace taco {
+namespace {
+
+TEST(SheetTest, SetAndGetLiterals) {
+  Sheet sheet;
+  ASSERT_TRUE(sheet.SetNumber(Cell{1, 1}, 42.5).ok());
+  ASSERT_TRUE(sheet.SetText(Cell{1, 2}, "label").ok());
+  ASSERT_TRUE(sheet.SetBoolean(Cell{1, 3}, true).ok());
+
+  ASSERT_NE(sheet.Get(Cell{1, 1}), nullptr);
+  EXPECT_DOUBLE_EQ(sheet.Get(Cell{1, 1})->number(), 42.5);
+  EXPECT_EQ(sheet.Get(Cell{1, 2})->text(), "label");
+  EXPECT_TRUE(sheet.Get(Cell{1, 3})->boolean());
+  EXPECT_EQ(sheet.Get(Cell{2, 1}), nullptr);
+  EXPECT_EQ(sheet.cell_count(), 3u);
+  EXPECT_EQ(sheet.formula_cell_count(), 0u);
+}
+
+TEST(SheetTest, SetFormulaParsesAndCanonicalizes) {
+  Sheet sheet;
+  ASSERT_TRUE(sheet.SetFormula(Cell{2, 1}, "sum(a1:a3)").ok());
+  ASSERT_TRUE(sheet.IsFormulaCell(Cell{2, 1}));
+  EXPECT_EQ(sheet.Get(Cell{2, 1})->formula().text, "SUM(A1:A3)");
+  EXPECT_EQ(sheet.formula_cell_count(), 1u);
+}
+
+TEST(SheetTest, SetFormulaRejectsMalformed) {
+  Sheet sheet;
+  EXPECT_FALSE(sheet.SetFormula(Cell{1, 1}, "SUM(").ok());
+  EXPECT_EQ(sheet.Get(Cell{1, 1}), nullptr);
+}
+
+TEST(SheetTest, OverwriteMaintainsFormulaCount) {
+  Sheet sheet;
+  ASSERT_TRUE(sheet.SetFormula(Cell{1, 1}, "A2+1").ok());
+  ASSERT_TRUE(sheet.SetNumber(Cell{1, 1}, 5).ok());
+  EXPECT_EQ(sheet.formula_cell_count(), 0u);
+  ASSERT_TRUE(sheet.SetFormula(Cell{1, 1}, "A3+1").ok());
+  EXPECT_EQ(sheet.formula_cell_count(), 1u);
+  ASSERT_TRUE(sheet.Clear(Cell{1, 1}).ok());
+  EXPECT_EQ(sheet.formula_cell_count(), 0u);
+  EXPECT_EQ(sheet.cell_count(), 0u);
+}
+
+TEST(SheetTest, ClearRangeSparseAndDense) {
+  Sheet sheet;
+  for (int row = 1; row <= 10; ++row) {
+    ASSERT_TRUE(sheet.SetNumber(Cell{1, row}, row).ok());
+  }
+  // Dense path: range area smaller than cell count.
+  ASSERT_TRUE(sheet.ClearRange(Range(1, 1, 1, 3)).ok());
+  EXPECT_EQ(sheet.cell_count(), 7u);
+  // Sparse path: huge range, few cells.
+  ASSERT_TRUE(sheet.ClearRange(Range(1, 1, 1000, 100000)).ok());
+  EXPECT_EQ(sheet.cell_count(), 0u);
+}
+
+TEST(SheetTest, UsedRange) {
+  Sheet sheet;
+  EXPECT_FALSE(sheet.UsedRange().has_value());
+  ASSERT_TRUE(sheet.SetNumber(Cell{3, 7}, 1).ok());
+  ASSERT_TRUE(sheet.SetNumber(Cell{5, 2}, 2).ok());
+  ASSERT_EQ(sheet.UsedRange(), Range(3, 2, 5, 7));
+}
+
+TEST(SheetTest, OutOfBoundsRejected) {
+  Sheet sheet;
+  EXPECT_FALSE(sheet.SetNumber(Cell{0, 1}, 1).ok());
+  EXPECT_FALSE(sheet.SetNumber(Cell{1, kMaxRow + 1}, 1).ok());
+  EXPECT_FALSE(sheet.ClearRange(Range(2, 2, 1, 1)).ok());
+}
+
+TEST(SheetTest, ColumnMajorIterationOrder) {
+  Sheet sheet;
+  ASSERT_TRUE(sheet.SetNumber(Cell{2, 1}, 1).ok());
+  ASSERT_TRUE(sheet.SetNumber(Cell{1, 2}, 2).ok());
+  ASSERT_TRUE(sheet.SetNumber(Cell{1, 1}, 3).ok());
+  ASSERT_TRUE(sheet.SetNumber(Cell{2, 2}, 4).ok());
+
+  std::vector<Cell> order;
+  sheet.ForEachCellColumnMajor(
+      [&order](const Cell& cell, const CellContent&) { order.push_back(cell); });
+  EXPECT_EQ(order, (std::vector<Cell>{{1, 1}, {1, 2}, {2, 1}, {2, 2}}));
+}
+
+// ---------------------------------------------------------------------------
+// Autofill
+
+TEST(AutofillTest, PaperFig4aSlidingWindow) {
+  // C1 = SUM(A1:B3) dragged down to C4 produces the RR pattern of Fig. 4a.
+  Sheet sheet;
+  ASSERT_TRUE(sheet.SetFormula(Cell{3, 1}, "SUM(A1:B3)").ok());
+  ASSERT_TRUE(Autofill(&sheet, Cell{3, 1}, Range(3, 1, 3, 4)).ok());
+  EXPECT_EQ(sheet.Get(Cell{3, 2})->formula().text, "SUM(A2:B4)");
+  EXPECT_EQ(sheet.Get(Cell{3, 3})->formula().text, "SUM(A3:B5)");
+  EXPECT_EQ(sheet.Get(Cell{3, 4})->formula().text, "SUM(A4:B6)");
+  EXPECT_EQ(sheet.formula_cell_count(), 4u);
+}
+
+TEST(AutofillTest, PaperFig4cExpandingWindow) {
+  // C1 = SUM($A$1:B1) dragged down produces the FR pattern of Fig. 4c.
+  Sheet sheet;
+  ASSERT_TRUE(sheet.SetFormula(Cell{3, 1}, "SUM($A$1:B1)").ok());
+  ASSERT_TRUE(Autofill(&sheet, Cell{3, 1}, Range(3, 1, 3, 3)).ok());
+  EXPECT_EQ(sheet.Get(Cell{3, 2})->formula().text, "SUM($A$1:B2)");
+  EXPECT_EQ(sheet.Get(Cell{3, 3})->formula().text, "SUM($A$1:B3)");
+}
+
+TEST(AutofillTest, FixedReferenceFF) {
+  Sheet sheet;
+  ASSERT_TRUE(sheet.SetFormula(Cell{3, 1}, "SUM($A$1:$B$3)").ok());
+  ASSERT_TRUE(Autofill(&sheet, Cell{3, 1}, Range(3, 1, 3, 3)).ok());
+  EXPECT_EQ(sheet.Get(Cell{3, 2})->formula().text, "SUM($A$1:$B$3)");
+  EXPECT_EQ(sheet.Get(Cell{3, 3})->formula().text, "SUM($A$1:$B$3)");
+}
+
+TEST(AutofillTest, RowAxisFill) {
+  Sheet sheet;
+  ASSERT_TRUE(sheet.SetFormula(Cell{1, 5}, "A1+A2").ok());
+  ASSERT_TRUE(Autofill(&sheet, Cell{1, 5}, Range(1, 5, 4, 5)).ok());
+  EXPECT_EQ(sheet.Get(Cell{2, 5})->formula().text, "B1+B2");
+  EXPECT_EQ(sheet.Get(Cell{4, 5})->formula().text, "D1+D2");
+}
+
+TEST(AutofillTest, LiteralsCopyUnchanged) {
+  Sheet sheet;
+  ASSERT_TRUE(sheet.SetNumber(Cell{1, 1}, 7).ok());
+  ASSERT_TRUE(Autofill(&sheet, Cell{1, 1}, Range(1, 1, 1, 5)).ok());
+  for (int row = 1; row <= 5; ++row) {
+    ASSERT_NE(sheet.Get(Cell{1, row}), nullptr) << row;
+    EXPECT_DOUBLE_EQ(sheet.Get(Cell{1, row})->number(), 7);
+  }
+}
+
+TEST(AutofillTest, BlankSourceClears) {
+  Sheet sheet;
+  ASSERT_TRUE(sheet.SetNumber(Cell{2, 2}, 1).ok());
+  ASSERT_TRUE(Autofill(&sheet, Cell{9, 9}, Range(2, 2, 2, 3)).ok());
+  EXPECT_EQ(sheet.Get(Cell{2, 2}), nullptr);
+}
+
+TEST(AutofillTest, RefErrorWhenShiftLeavesSheet) {
+  Sheet sheet;
+  ASSERT_TRUE(sheet.SetFormula(Cell{2, 2}, "A1").ok());
+  // Filling upward would reference row 0.
+  Status s = Autofill(&sheet, Cell{2, 2}, Range(2, 1, 2, 2));
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+}
+
+TEST(AutofillTest, LargeFillSharesNothingAcrossRows) {
+  // A 5000-row fill parses once and shifts per row; verify a few samples.
+  Sheet sheet;
+  ASSERT_TRUE(sheet.SetFormula(Cell{14, 3}, "IF(A3=A2,N2+M3,M3)").ok());
+  ASSERT_TRUE(Autofill(&sheet, Cell{14, 3}, Range(14, 3, 14, 5002)).ok());
+  EXPECT_EQ(sheet.Get(Cell{14, 5002})->formula().text,
+            "IF(A5002=A5001,N5001+M5002,M5002)");
+  EXPECT_EQ(sheet.formula_cell_count(), 5000u);
+}
+
+// ---------------------------------------------------------------------------
+// Text I/O
+
+TEST(TextIoTest, RoundTripAllContentTypes) {
+  Sheet sheet;
+  sheet.set_name("demo");
+  ASSERT_TRUE(sheet.SetNumber(Cell{1, 1}, 42.5).ok());
+  ASSERT_TRUE(sheet.SetText(Cell{1, 2}, "he said \"hi\"").ok());
+  ASSERT_TRUE(sheet.SetBoolean(Cell{1, 3}, false).ok());
+  ASSERT_TRUE(sheet.SetFormula(Cell{2, 1}, "SUM(A1:A3)*2").ok());
+
+  std::string text = WriteSheetText(sheet);
+  auto loaded = ReadSheetText(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->cell_count(), 4u);
+  EXPECT_DOUBLE_EQ(loaded->Get(Cell{1, 1})->number(), 42.5);
+  EXPECT_EQ(loaded->Get(Cell{1, 2})->text(), "he said \"hi\"");
+  EXPECT_FALSE(loaded->Get(Cell{1, 3})->boolean());
+  EXPECT_EQ(loaded->Get(Cell{2, 1})->formula().text, "SUM(A1:A3)*2");
+}
+
+TEST(TextIoTest, WriteIsDeterministicColumnMajor) {
+  Sheet sheet;
+  ASSERT_TRUE(sheet.SetNumber(Cell{2, 1}, 1).ok());
+  ASSERT_TRUE(sheet.SetNumber(Cell{1, 1}, 2).ok());
+  std::string text = WriteSheetText(sheet);
+  EXPECT_NE(text.find("A1 = 2\nB1 = 1\n"), std::string::npos) << text;
+}
+
+TEST(TextIoTest, CommentsAndBlankLinesIgnored) {
+  auto sheet = ReadSheetText("# header\n\n  \nA1 = 1\n# tail\n");
+  ASSERT_TRUE(sheet.ok());
+  EXPECT_EQ(sheet->cell_count(), 1u);
+}
+
+TEST(TextIoTest, ErrorsCarryLineNumbers) {
+  auto bad_cell = ReadSheetText("A1 = 1\nZZZZZ9 = 2\n");
+  ASSERT_FALSE(bad_cell.ok());
+  EXPECT_NE(bad_cell.status().message().find("line 2"), std::string::npos);
+
+  auto bad_number = ReadSheetText("A1 = 12x\n");
+  ASSERT_FALSE(bad_number.ok());
+
+  auto bad_formula = ReadSheetText("A1 = =SUM(\n");
+  ASSERT_FALSE(bad_formula.ok());
+
+  auto no_eq = ReadSheetText("A1 1\n");
+  ASSERT_FALSE(no_eq.ok());
+
+  auto bad_string = ReadSheetText("A1 = \"oops\n");
+  ASSERT_FALSE(bad_string.ok());
+}
+
+TEST(TextIoTest, FileRoundTrip) {
+  Sheet sheet;
+  ASSERT_TRUE(sheet.SetFormula(Cell{3, 1}, "SUM(A1:B3)").ok());
+  ASSERT_TRUE(Autofill(&sheet, Cell{3, 1}, Range(3, 1, 3, 100)).ok());
+
+  std::string path = ::testing::TempDir() + "/taco_textio_test.tsheet";
+  ASSERT_TRUE(SaveSheetFile(sheet, path).ok());
+  auto loaded = LoadSheetFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->name(), "taco_textio_test");
+  EXPECT_EQ(loaded->formula_cell_count(), 100u);
+  EXPECT_EQ(loaded->Get(Cell{3, 50})->formula().text, "SUM(A50:B52)");
+}
+
+TEST(TextIoTest, MissingFileIsIoError) {
+  auto missing = LoadSheetFile("/nonexistent/path/x.tsheet");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace taco

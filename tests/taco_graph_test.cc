@@ -1,0 +1,478 @@
+// Tests for the compressed formula graph: Algorithm 2 (greedy compression
+// with heuristics), Algorithm 3 (query), maintenance, and — most
+// importantly — equivalence with the NoComp baseline on randomized and
+// autofill-generated workloads (the losslessness guarantee of Sec. II-B).
+
+#include <memory>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "common/range_set.h"
+#include "graph/nocomp_graph.h"
+#include "graph_test_util.h"
+#include "sheet/sheet.h"
+#include "taco/taco_graph.h"
+
+namespace taco {
+namespace {
+
+using test::BruteForceDependents;
+using test::BruteForcePrecedents;
+using test::CellSet;
+using test::RandomAcyclicDependencies;
+using test::ToCellSet;
+
+Dependency Dep(const Range& prec, const Cell& dep) {
+  Dependency d;
+  d.prec = prec;
+  d.dep = dep;
+  return d;
+}
+
+// Returns the single live edge with the given pattern, failing if absent.
+std::optional<CompressedEdge> FindEdge(const TacoGraph& graph,
+                                       PatternType pattern) {
+  std::optional<CompressedEdge> found;
+  graph.ForEachEdge([&](const CompressedEdge& edge) {
+    if (edge.pattern == pattern) found = edge;
+  });
+  return found;
+}
+
+// ---------------------------------------------------------------------------
+// Compression shape on the paper's examples
+
+TEST(TacoGraphTest, SlidingWindowColumnCompressesToOneEdge) {
+  // Fig. 4a via autofill: C1=SUM(A1:B3) filled down 500 rows.
+  Sheet sheet;
+  ASSERT_TRUE(sheet.SetFormula(Cell{3, 1}, "SUM(A1:B3)").ok());
+  ASSERT_TRUE(Autofill(&sheet, Cell{3, 1}, Range(3, 1, 3, 500)).ok());
+
+  TacoGraph graph;
+  ASSERT_TRUE(BuildGraphFromSheet(sheet, &graph).ok());
+  EXPECT_EQ(graph.NumEdges(), 1u);
+  EXPECT_EQ(graph.NumRawDependencies(), 500u);
+
+  auto edge = FindEdge(graph, PatternType::kRR);
+  ASSERT_TRUE(edge.has_value());
+  EXPECT_EQ(edge->dep, Range(3, 1, 3, 500));
+  EXPECT_EQ(edge->prec, Range(1, 1, 2, 502));
+  EXPECT_EQ(edge->compressed_count, 500u);
+}
+
+TEST(TacoGraphTest, PaperFig8InsertAtC4) {
+  // Setup of Fig. 8: C1..C3 = SUM($B$1:Bi)*A1, D4 = SUM(B1:B4), then the
+  // dependency of SUM($B$1:B4) inserted at C4.
+  TacoGraph graph;
+  for (int row = 1; row <= 3; ++row) {
+    Dependency to_b = Dep(Range(2, 1, 2, row), Cell{3, row});
+    to_b.head_flags = AbsFlags{true, true};  // $B$1
+    ASSERT_TRUE(graph.AddDependency(to_b).ok());
+    ASSERT_TRUE(graph.AddDependency(Dep(Range(Cell{1, 1}), Cell{3, row})).ok());
+  }
+  ASSERT_TRUE(graph.AddDependency(Dep(Range(2, 1, 2, 4), Cell{4, 4})).ok());
+  // Before the insert: FR edge B1:B3 -> C1:C3, FF edge A1 -> C1:C3, and the
+  // uncompressed B1:B4 -> D4.
+  EXPECT_EQ(graph.NumEdges(), 3u);
+
+  Dependency inserted = Dep(Range(2, 1, 2, 4), Cell{3, 4});
+  inserted.head_flags = AbsFlags{true, true};
+  ASSERT_TRUE(graph.AddDependency(inserted).ok());
+
+  // Step 3 of Fig. 8: column-wise compression wins, giving B1:B4 -> C1:C4.
+  EXPECT_EQ(graph.NumEdges(), 3u);
+  auto fr = FindEdge(graph, PatternType::kFR);
+  ASSERT_TRUE(fr.has_value());
+  EXPECT_EQ(fr->prec, Range(2, 1, 2, 4));
+  EXPECT_EQ(fr->dep, Range(3, 1, 3, 4));
+  EXPECT_EQ(fr->compressed_count, 4u);
+
+  auto ff = FindEdge(graph, PatternType::kFF);
+  ASSERT_TRUE(ff.has_value());
+  EXPECT_EQ(ff->prec, Range(Cell{1, 1}));
+  EXPECT_EQ(ff->dep, Range(3, 1, 3, 3));
+
+  auto single = FindEdge(graph, PatternType::kSingle);
+  ASSERT_TRUE(single.has_value());
+  EXPECT_EQ(single->dep, Range(Cell{4, 4}));
+}
+
+TEST(TacoGraphTest, ChainPreferredOverRR) {
+  // A column of x = above + 1 formulas matches both RR and RR-Chain; the
+  // special-pattern heuristic must pick RR-Chain.
+  TacoGraph graph;
+  for (int row = 2; row <= 100; ++row) {
+    ASSERT_TRUE(
+        graph.AddDependency(Dep(Range(Cell{1, row - 1}), Cell{1, row})).ok());
+  }
+  EXPECT_EQ(graph.NumEdges(), 1u);
+  auto edge = FindEdge(graph, PatternType::kRRChain);
+  ASSERT_TRUE(edge.has_value());
+  EXPECT_EQ(edge->compressed_count, 99u);
+}
+
+TEST(TacoGraphTest, ChainQueryAccessesEdgeOnce) {
+  TacoGraph graph;
+  for (int row = 2; row <= 1000; ++row) {
+    ASSERT_TRUE(
+        graph.AddDependency(Dep(Range(Cell{1, row - 1}), Cell{1, row})).ok());
+  }
+  auto result = graph.FindDependents(Range(Cell{1, 1}));
+  EXPECT_EQ(CoveredCellCount(result), 999u);
+  // The whole chain resolves with O(1) edge accesses — the point of
+  // RR-Chain (Sec. V). Without it this would be ~999 accesses.
+  EXPECT_LE(graph.last_query_counters().edge_accesses, 8u);
+}
+
+TEST(TacoGraphTest, RowWiseCompression) {
+  // A row of formulas referencing the cell above each.
+  TacoGraph graph;
+  for (int col = 1; col <= 50; ++col) {
+    ASSERT_TRUE(
+        graph.AddDependency(Dep(Range(Cell{col, 1}), Cell{col, 2})).ok());
+  }
+  EXPECT_EQ(graph.NumEdges(), 1u);
+  auto edge = FindEdge(graph, PatternType::kRR);
+  ASSERT_TRUE(edge.has_value());
+  EXPECT_EQ(edge->meta.axis, Axis::kRow);
+  EXPECT_EQ(edge->dep, Range(1, 2, 50, 2));
+}
+
+TEST(TacoGraphTest, ColumnPriorityBeatsRowPriority) {
+  // A 2x2 block where both column- and row-wise merges are possible for
+  // the final insert; heuristic 1 selects column-wise.
+  TacoGraph graph;
+  // B1 references A1; B2 references A2 (column RR). C1 references B1-ish
+  // shape to give a row candidate: craft both.
+  ASSERT_TRUE(graph.AddDependency(Dep(Range(Cell{1, 1}), Cell{2, 1})).ok());
+  ASSERT_TRUE(graph.AddDependency(Dep(Range(Cell{2, 2}), Cell{3, 2})).ok());
+  // New dependency at C1 referencing B1: row-adjacent to nothing useful,
+  // column-adjacent to C2's edge (rel (-1,0)) and row-adjacent to B1's
+  // edge (rel (-1,0)). Both RR merges are valid; column must win.
+  ASSERT_TRUE(graph.AddDependency(Dep(Range(Cell{2, 1}), Cell{3, 1})).ok());
+
+  EXPECT_EQ(graph.NumEdges(), 2u);
+  auto rr = FindEdge(graph, PatternType::kRR);
+  ASSERT_TRUE(rr.has_value());
+  EXPECT_EQ(rr->meta.axis, Axis::kColumn);
+  EXPECT_EQ(rr->dep, Range(3, 1, 3, 2));
+}
+
+TEST(TacoGraphTest, DollarCueSelectsFRoverRF) {
+  // Sec. IV-A: for SUM($B$1:B4) at C4 both FR (via the B-column edge) and
+  // other merges may be valid; the $ cue prioritizes FR. Construct an
+  // ambiguous situation: C2 and C3 where the new dependency fits FR on one
+  // edge and FF on another.
+  TacoGraph graph;
+  // Edge 1: FR-shaped history at C1..C2 (B1:B1 -> C1, B1:B2 -> C2).
+  ASSERT_TRUE(graph.AddDependency(Dep(Range(2, 1, 2, 1), Cell{3, 1})).ok());
+  ASSERT_TRUE(graph.AddDependency(Dep(Range(2, 1, 2, 2), Cell{3, 2})).ok());
+  auto fr_before = FindEdge(graph, PatternType::kFR);
+  ASSERT_TRUE(fr_before.has_value());
+
+  // New dependency B1:B3 -> C3 with $B$1:B3 flags extends the FR edge.
+  Dependency inserted = Dep(Range(2, 1, 2, 3), Cell{3, 3});
+  inserted.head_flags = AbsFlags{true, true};
+  ASSERT_TRUE(graph.AddDependency(inserted).ok());
+  auto fr = FindEdge(graph, PatternType::kFR);
+  ASSERT_TRUE(fr.has_value());
+  EXPECT_EQ(fr->dep, Range(3, 1, 3, 3));
+  EXPECT_EQ(fr->compressed_count, 3u);
+}
+
+TEST(TacoGraphTest, InRowModeOnlyCompressesSameRowReferences) {
+  Sheet sheet;
+  // Derived column: B_i = A_i * 2 (same-row references, InRow-compressible).
+  ASSERT_TRUE(sheet.SetFormula(Cell{2, 1}, "A1*2").ok());
+  ASSERT_TRUE(Autofill(&sheet, Cell{2, 1}, Range(2, 1, 2, 100)).ok());
+  // Sliding window over previous rows (InRow must NOT compress these).
+  ASSERT_TRUE(sheet.SetFormula(Cell{3, 2}, "SUM(A1:A2)").ok());
+  ASSERT_TRUE(Autofill(&sheet, Cell{3, 2}, Range(3, 2, 3, 100)).ok());
+
+  TacoGraph full{TacoOptions::Full()};
+  TacoGraph in_row{TacoOptions::InRow()};
+  ASSERT_TRUE(BuildGraphFromSheet(sheet, &full).ok());
+  ASSERT_TRUE(BuildGraphFromSheet(sheet, &in_row).ok());
+
+  EXPECT_EQ(full.NumEdges(), 2u);
+  // InRow compresses the derived column only: 1 edge + 99 singles.
+  EXPECT_EQ(in_row.NumEdges(), 100u);
+  EXPECT_EQ(in_row.Name(), "TACO-InRow");
+  // Both remain lossless.
+  EXPECT_EQ(ToCellSet(full.FindDependents(Range(Cell{1, 50}))),
+            ToCellSet(in_row.FindDependents(Range(Cell{1, 50}))));
+}
+
+TEST(TacoGraphTest, PatternStatsTrackReducedEdges) {
+  Sheet sheet;
+  ASSERT_TRUE(sheet.SetFormula(Cell{2, 1}, "A1*2").ok());
+  ASSERT_TRUE(Autofill(&sheet, Cell{2, 1}, Range(2, 1, 2, 50)).ok());
+  ASSERT_TRUE(sheet.SetFormula(Cell{3, 1}, "SUM($A$1:$A$50)").ok());
+  ASSERT_TRUE(Autofill(&sheet, Cell{3, 1}, Range(3, 1, 3, 20)).ok());
+
+  TacoGraph graph;
+  ASSERT_TRUE(BuildGraphFromSheet(sheet, &graph).ok());
+  auto stats = graph.PatternStats();
+  ASSERT_TRUE(stats.contains(PatternType::kRR));
+  ASSERT_TRUE(stats.contains(PatternType::kFF));
+  EXPECT_EQ(stats[PatternType::kRR].edges, 1u);
+  EXPECT_EQ(stats[PatternType::kRR].dependencies, 50u);
+  EXPECT_EQ(stats[PatternType::kRR].reduced(), 49u);
+  EXPECT_EQ(stats[PatternType::kFF].reduced(), 19u);
+}
+
+// ---------------------------------------------------------------------------
+// Query correctness on compressed graphs
+
+TEST(TacoGraphTest, Fig2StyleQuery) {
+  // The running example: N3..N6949-style IF formulas with 4 references.
+  Sheet sheet;
+  ASSERT_TRUE(sheet.SetFormula(Cell{14, 3}, "IF(A3=A2,N2+M3,M3)").ok());
+  ASSERT_TRUE(Autofill(&sheet, Cell{14, 3}, Range(14, 3, 14, 1000)).ok());
+
+  TacoGraph graph;
+  ASSERT_TRUE(BuildGraphFromSheet(sheet, &graph).ok());
+  // Far fewer compressed edges than the ~4000 raw dependencies.
+  EXPECT_LE(graph.NumEdges(), 8u);
+  EXPECT_EQ(graph.NumRawDependencies(), 3992u);
+
+  // Dependents of A500 are N500:N1000 (via A-refs then the N-chain).
+  auto result = graph.FindDependents(Range(Cell{1, 500}));
+  CellSet expected;
+  for (int row = 500; row <= 1000; ++row) expected.insert({14, row});
+  EXPECT_EQ(ToCellSet(result), expected);
+
+  // Dependents of M800: N800:N1000.
+  result = graph.FindDependents(Range(Cell{13, 800}));
+  expected.clear();
+  for (int row = 800; row <= 1000; ++row) expected.insert({14, row});
+  EXPECT_EQ(ToCellSet(result), expected);
+}
+
+TEST(TacoGraphTest, PrecedentsOnCompressedGraph) {
+  Sheet sheet;
+  ASSERT_TRUE(sheet.SetFormula(Cell{3, 1}, "SUM(A1:B3)").ok());
+  ASSERT_TRUE(Autofill(&sheet, Cell{3, 1}, Range(3, 1, 3, 100)).ok());
+
+  TacoGraph graph;
+  ASSERT_TRUE(BuildGraphFromSheet(sheet, &graph).ok());
+  auto result = graph.FindPrecedents(Range(Cell{3, 50}));
+  // C50 = SUM(A50:B52): exactly that window.
+  EXPECT_EQ(ToCellSet(result), ToCellSet(std::vector<Range>{Range(1, 50, 2, 52)}));
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance
+
+TEST(TacoGraphTest, ClearMidColumnSplitsEdge) {
+  Sheet sheet;
+  ASSERT_TRUE(sheet.SetFormula(Cell{2, 1}, "A1*2").ok());
+  ASSERT_TRUE(Autofill(&sheet, Cell{2, 1}, Range(2, 1, 2, 100)).ok());
+
+  TacoGraph graph;
+  ASSERT_TRUE(BuildGraphFromSheet(sheet, &graph).ok());
+  ASSERT_EQ(graph.NumEdges(), 1u);
+
+  ASSERT_TRUE(graph.RemoveFormulaCells(Range(2, 40, 2, 60)).ok());
+  EXPECT_EQ(graph.NumEdges(), 2u);
+  EXPECT_EQ(graph.NumRawDependencies(), 79u);
+
+  // A45 no longer has dependents; A30 still has B30.
+  EXPECT_TRUE(graph.FindDependents(Range(Cell{1, 45})).empty());
+  EXPECT_EQ(ToCellSet(graph.FindDependents(Range(Cell{1, 30}))),
+            (CellSet{{2, 30}}));
+}
+
+TEST(TacoGraphTest, UpdateAsClearPlusInsert) {
+  TacoGraph graph;
+  for (int row = 1; row <= 10; ++row) {
+    ASSERT_TRUE(
+        graph.AddDependency(Dep(Range(Cell{1, row}), Cell{2, row})).ok());
+  }
+  ASSERT_EQ(graph.NumEdges(), 1u);
+
+  // Update B5 to reference C5 instead: clear then insert.
+  ASSERT_TRUE(graph.RemoveFormulaCells(Range(Cell{2, 5})).ok());
+  ASSERT_TRUE(graph.AddDependency(Dep(Range(Cell{3, 5}), Cell{2, 5})).ok());
+
+  EXPECT_TRUE(graph.FindDependents(Range(Cell{1, 5})).empty());
+  EXPECT_EQ(ToCellSet(graph.FindDependents(Range(Cell{3, 5}))),
+            (CellSet{{2, 5}}));
+  // The old edge split into two RR pieces plus the new single.
+  EXPECT_EQ(graph.NumEdges(), 3u);
+  EXPECT_EQ(graph.NumRawDependencies(), 10u);
+}
+
+TEST(TacoGraphTest, ReinsertAfterClearRecompresses) {
+  TacoGraph graph;
+  for (int row = 1; row <= 10; ++row) {
+    ASSERT_TRUE(
+        graph.AddDependency(Dep(Range(Cell{1, row}), Cell{2, row})).ok());
+  }
+  ASSERT_TRUE(graph.RemoveFormulaCells(Range(Cell{2, 5})).ok());
+  EXPECT_EQ(graph.NumEdges(), 2u);
+  // Re-inserting the cleared dependency merges back into a neighbor edge.
+  ASSERT_TRUE(graph.AddDependency(Dep(Range(Cell{1, 5}), Cell{2, 5})).ok());
+  EXPECT_LE(graph.NumEdges(), 2u);
+  EXPECT_EQ(graph.NumRawDependencies(), 10u);
+}
+
+TEST(TacoGraphTest, RemoveEverything) {
+  TacoGraph graph;
+  for (int row = 1; row <= 20; ++row) {
+    ASSERT_TRUE(
+        graph.AddDependency(Dep(Range(Cell{1, row}), Cell{2, row})).ok());
+  }
+  ASSERT_TRUE(graph.RemoveFormulaCells(Range(2, 1, 2, 20)).ok());
+  EXPECT_EQ(graph.NumEdges(), 0u);
+  EXPECT_EQ(graph.NumVertices(), 0u);
+  EXPECT_EQ(graph.NumRawDependencies(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence with NoComp (the losslessness guarantee), over random and
+// autofill-generated workloads, including after maintenance.
+
+class TacoEquivalenceTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(TacoEquivalenceTest, RandomWorkloadMatchesNoComp) {
+  auto deps = RandomAcyclicDependencies(GetParam(), 80);
+  TacoGraph taco;
+  NoCompGraph nocomp;
+  for (const Dependency& dep : deps) {
+    ASSERT_TRUE(taco.AddDependency(dep).ok());
+    ASSERT_TRUE(nocomp.AddDependency(dep).ok());
+  }
+  EXPECT_EQ(taco.NumRawDependencies(), deps.size());
+
+  std::mt19937 rng(GetParam() ^ 0xbeef);
+  std::uniform_int_distribution<int32_t> col(1, 8);
+  std::uniform_int_distribution<int32_t> row(1, 30);
+  for (int trial = 0; trial < 30; ++trial) {
+    Cell c{col(rng), row(rng)};
+    Range input = trial % 4 == 0
+                      ? Range(c.col, c.row, std::min(c.col + 2, 8),
+                              std::min(c.row + 4, 30))
+                      : Range(c);
+    EXPECT_EQ(ToCellSet(taco.FindDependents(input)),
+              ToCellSet(nocomp.FindDependents(input)))
+        << "dependents of " << input.ToString();
+    EXPECT_EQ(ToCellSet(taco.FindPrecedents(input)),
+              ToCellSet(nocomp.FindPrecedents(input)))
+        << "precedents of " << input.ToString();
+  }
+}
+
+TEST_P(TacoEquivalenceTest, AutofillSheetMatchesNoComp) {
+  std::mt19937 rng(GetParam());
+  Sheet sheet;
+  // Mix of all pattern shapes, autofilled into columns, with noise.
+  ASSERT_TRUE(sheet.SetFormula(Cell{3, 2}, "SUM(A1:B2)").ok());
+  ASSERT_TRUE(Autofill(&sheet, Cell{3, 2}, Range(3, 2, 3, 40)).ok());
+  ASSERT_TRUE(sheet.SetFormula(Cell{4, 1}, "SUM($A$1:A1)").ok());
+  ASSERT_TRUE(Autofill(&sheet, Cell{4, 1}, Range(4, 1, 4, 40)).ok());
+  ASSERT_TRUE(sheet.SetFormula(Cell{5, 1}, "SUM($A$1:$B$40)").ok());
+  ASSERT_TRUE(Autofill(&sheet, Cell{5, 1}, Range(5, 1, 5, 40)).ok());
+  ASSERT_TRUE(sheet.SetFormula(Cell{6, 2}, "F1+1").ok());
+  ASSERT_TRUE(Autofill(&sheet, Cell{6, 2}, Range(6, 2, 6, 40)).ok());
+  // Hand-written outliers that must stay uncompressed or merge oddly.
+  std::uniform_int_distribution<int32_t> col(1, 6);
+  std::uniform_int_distribution<int32_t> row(1, 40);
+  for (int i = 0; i < 10; ++i) {
+    Cell c{static_cast<int32_t>(7 + i % 3), row(rng)};
+    std::string ref = CellToA1(Cell{col(rng), row(rng)});
+    std::string ref2 = CellToA1(Cell{col(rng), row(rng)});
+    ASSERT_TRUE(sheet.SetFormula(c, ref + "+" + ref2).ok());
+  }
+
+  TacoGraph taco;
+  NoCompGraph nocomp;
+  ASSERT_TRUE(BuildGraphFromSheet(sheet, &taco).ok());
+  ASSERT_TRUE(BuildGraphFromSheet(sheet, &nocomp).ok());
+  // Compression must actually happen on this workload.
+  EXPECT_LT(taco.NumEdges(), nocomp.NumEdges() / 4);
+
+  for (int trial = 0; trial < 30; ++trial) {
+    Range input(Cell{col(rng), row(rng)});
+    EXPECT_EQ(ToCellSet(taco.FindDependents(input)),
+              ToCellSet(nocomp.FindDependents(input)))
+        << "dependents of " << input.ToString();
+    EXPECT_EQ(ToCellSet(taco.FindPrecedents(input)),
+              ToCellSet(nocomp.FindPrecedents(input)))
+        << "precedents of " << input.ToString();
+  }
+}
+
+TEST_P(TacoEquivalenceTest, MaintenanceMatchesNoComp) {
+  auto deps = RandomAcyclicDependencies(GetParam() + 7777, 70);
+  TacoGraph taco;
+  NoCompGraph nocomp;
+  for (const Dependency& dep : deps) {
+    ASSERT_TRUE(taco.AddDependency(dep).ok());
+    ASSERT_TRUE(nocomp.AddDependency(dep).ok());
+  }
+
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int32_t> col(1, 8);
+  std::uniform_int_distribution<int32_t> row(1, 30);
+
+  // Interleave clears, inserts, and queries.
+  for (int round = 0; round < 10; ++round) {
+    Range cleared(col(rng), row(rng), 8, std::min(row(rng) + 2, 30));
+    if (!cleared.IsValid()) continue;
+    ASSERT_TRUE(taco.RemoveFormulaCells(cleared).ok());
+    ASSERT_TRUE(nocomp.RemoveFormulaCells(cleared).ok());
+
+    Dependency added = Dep(Range(col(rng), 1, 8, 3), Cell{col(rng), 25});
+    ASSERT_TRUE(taco.AddDependency(added).ok());
+    ASSERT_TRUE(nocomp.AddDependency(added).ok());
+
+    for (int trial = 0; trial < 5; ++trial) {
+      Range input(Cell{col(rng), row(rng)});
+      ASSERT_EQ(ToCellSet(taco.FindDependents(input)),
+                ToCellSet(nocomp.FindDependents(input)))
+          << "round " << round << " dependents of " << input.ToString();
+      ASSERT_EQ(ToCellSet(taco.FindPrecedents(input)),
+                ToCellSet(nocomp.FindPrecedents(input)))
+          << "round " << round << " precedents of " << input.ToString();
+    }
+  }
+}
+
+TEST_P(TacoEquivalenceTest, GapPatternStaysLossless) {
+  // Stride-2 workload with the extended pattern set enabled.
+  TacoOptions options;
+  options.patterns = ExtendedPatternSet();
+  TacoGraph taco{options};
+  NoCompGraph nocomp;
+
+  std::vector<Dependency> deps;
+  for (int row = 1; row <= 30; row += 2) {
+    deps.push_back(Dep(Range(Cell{1, row}), Cell{2, row}));
+  }
+  // Interleaved unrelated formulas in the odd rows referencing column C.
+  for (int row = 2; row <= 30; row += 2) {
+    deps.push_back(Dep(Range(Cell{3, row}), Cell{2, row}));
+  }
+  for (const Dependency& dep : deps) {
+    ASSERT_TRUE(taco.AddDependency(dep).ok());
+    ASSERT_TRUE(nocomp.AddDependency(dep).ok());
+  }
+
+  for (int row = 1; row <= 30; ++row) {
+    for (int c = 1; c <= 3; ++c) {
+      Range input(Cell{c, row});
+      ASSERT_EQ(ToCellSet(taco.FindDependents(input)),
+                ToCellSet(nocomp.FindDependents(input)))
+          << "dependents of " << input.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TacoEquivalenceTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u,
+                                           10u));
+
+}  // namespace
+}  // namespace taco
