@@ -32,8 +32,20 @@ void ExcelLikeGraph::RemoveCellFromRecord(const Cell& cell) {
       record.cells.erase(pos);
       raw_dependencies_ -= record.shape.size();
     }
-    // Empty records stay as tombstones; Excel compacts lazily. They hold
-    // no cells, so traversal skips them at no correctness cost.
+    // Drop emptied records: NumEdges() reports the stored record count,
+    // and reference accumulation in AddDependency refiles a cell through
+    // every prefix shape, so tombstones would pile up on every insert and
+    // be scanned by all future traversals. Swap-pop keeps the indices in
+    // record_by_shape_ dense.
+    if (record.cells.empty()) {
+      size_t idx = rec_it->second;
+      record_by_shape_.erase(rec_it);
+      if (idx + 1 != records_.size()) {
+        records_[idx] = std::move(records_.back());
+        record_by_shape_[KeyOf(records_[idx].shape)] = idx;
+      }
+      records_.pop_back();
+    }
   }
 }
 

@@ -38,6 +38,8 @@ class ExcelLikeGraph : public DependencyGraph {
 
   /// Vertices: formula cells. Edges: shared records (the compact storage
   /// representation, analogous to Excel's shared formula records).
+  /// Records are compacted as soon as their last member cell leaves, so
+  /// this is always the live record count.
   size_t NumVertices() const override { return shape_of_cell_.size(); }
   size_t NumEdges() const override { return records_.size(); }
   std::string Name() const override { return "Excel-like"; }

@@ -1,0 +1,82 @@
+// Larger-scale differential workloads: the same oracle cross-check as
+// differential_test.cc but on a wider/taller sheet region with hundreds
+// of dependencies and more mutation rounds, where TACO's merge selection,
+// edge splitting, and the R-tree index see materially more churn. Kept in
+// tier-1 deliberately — the whole file runs in well under a second.
+
+#include <optional>
+
+#include <gtest/gtest.h>
+
+#include "baselines/antifreeze.h"
+#include "graph/nocomp_graph.h"
+#include "graph_test_util.h"
+#include "taco/taco_graph.h"
+
+namespace taco {
+namespace {
+
+using test::DifferentialConfig;
+using test::EdgesAreRawDeps;
+using test::RunDifferentialWorkload;
+using test::TacoRawDeps;
+
+DifferentialConfig BigConfig() {
+  DifferentialConfig config;
+  config.initial_inserts = 250;
+  config.rounds = 8;
+  config.inserts_per_round = 50;
+  config.queries_per_round = 15;
+  config.max_col = 14;
+  config.max_row = 70;
+  return config;
+}
+
+class DifferentialStressTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(DifferentialStressTest, TacoFull) {
+  TacoGraph graph(TacoOptions::Full());
+  DifferentialConfig config = BigConfig();
+  config.raw_deps = TacoRawDeps;
+  RunDifferentialWorkload(&graph, GetParam(), config);
+}
+
+TEST_P(DifferentialStressTest, TacoExtendedPatterns) {
+  TacoOptions options;
+  options.patterns = ExtendedPatternSet();
+  TacoGraph graph(options);
+  DifferentialConfig config = BigConfig();
+  config.raw_deps = TacoRawDeps;
+  RunDifferentialWorkload(&graph, GetParam() ^ 0x6A9, config);
+}
+
+TEST_P(DifferentialStressTest, TacoNoHeuristics) {
+  TacoGraph graph(TacoOptions::NoHeuristics());
+  DifferentialConfig config = BigConfig();
+  config.raw_deps = TacoRawDeps;
+  RunDifferentialWorkload(&graph, GetParam(), config);
+}
+
+TEST_P(DifferentialStressTest, NoComp) {
+  NoCompGraph graph;
+  DifferentialConfig config = BigConfig();
+  config.raw_deps = EdgesAreRawDeps;
+  RunDifferentialWorkload(&graph, GetParam(), config);
+}
+
+TEST_P(DifferentialStressTest, Antifreeze) {
+  AntifreezeGraph graph;
+  DifferentialConfig config = BigConfig();
+  config.exact_dependents = false;
+  // Antifreeze stores the raw graph in an embedded NoComp, so its
+  // NumEdges is the raw-dependency count.
+  config.raw_deps = EdgesAreRawDeps;
+  config.rounds = 3;  // every removal forces a full table rebuild
+  RunDifferentialWorkload(&graph, GetParam(), config);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialStressTest,
+                         ::testing::Values(7u, 8u, 9u));
+
+}  // namespace
+}  // namespace taco

@@ -1,22 +1,45 @@
 // Shared test helpers: brute-force cell-level oracles for dependent /
-// precedent queries, and random dependency workload generators. Used to
-// differentially test NoComp, TACO, and the baseline graphs.
+// precedent queries, random dependency workload generators, and the
+// differential equivalence harness that runs any DependencyGraph
+// implementation against the oracle on identical randomized
+// insert/query/remove workloads. Used to differentially test NoComp,
+// TACO, and the baseline graphs.
 
 #ifndef TACO_TESTS_GRAPH_TEST_UTIL_H_
 #define TACO_TESTS_GRAPH_TEST_UTIL_H_
 
+#include <algorithm>
 #include <deque>
+#include <functional>
+#include <optional>
 #include <random>
 #include <set>
 #include <span>
 #include <utility>
 #include <vector>
 
+#include <gtest/gtest.h>
+
 #include "common/cell.h"
 #include "common/range.h"
 #include "graph/dependency.h"
+#include "graph/dependency_graph.h"
+#include "taco/taco_graph.h"
 
 namespace taco::test {
+
+/// Raw-dependency accessors for DifferentialConfig::raw_deps (below).
+/// These encode each representation's contract for "dependencies
+/// represented", shared by every differential suite.
+inline std::optional<uint64_t> TacoRawDeps(const DependencyGraph& g) {
+  return static_cast<const TacoGraph&>(g).NumRawDependencies();
+}
+
+/// Uncompressed graphs store one edge per dependency, so NumEdges *is*
+/// the raw-dependency count.
+inline std::optional<uint64_t> EdgesAreRawDeps(const DependencyGraph& g) {
+  return g.NumEdges();
+}
 
 using CellSet = std::set<std::pair<int32_t, int32_t>>;
 
@@ -79,33 +102,212 @@ inline CellSet BruteForcePrecedents(std::span<const Dependency> deps,
 /// Random acyclic dependency workload: formula cells reference ranges
 /// strictly above them (smaller rows), guaranteeing a DAG. Mimics the
 /// shape of real sheets (columns of formulas over data regions).
+/// Implemented on WorkloadGenerator (below) so there is exactly one
+/// generator to evolve.
+std::vector<Dependency> RandomAcyclicDependencies(uint32_t seed, int n_deps,
+                                                  int max_col = 8,
+                                                  int max_row = 30);
+
+/// True iff every cell of `subset` also appears in `superset`.
+inline bool IsCellSubset(const CellSet& subset, const CellSet& superset) {
+  return std::includes(superset.begin(), superset.end(), subset.begin(),
+                       subset.end());
+}
+
+/// Incremental random workload source for the differential harness: emits
+/// fresh acyclic dependencies (never a duplicate (prec, dep) pair, so the
+/// deduplicated-stream contract of AddDependency holds across rounds),
+/// plus query ranges and removal bands over the same sheet region.
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(uint32_t seed, int max_col = 8, int max_row = 30)
+      : rng_(seed), max_col_(max_col), max_row_(max_row) {}
+
+  /// Next fresh dependency: a formula cell referencing a small range
+  /// strictly above it (rows < dep row), guaranteeing the stream stays a
+  /// DAG no matter how inserts interleave with removals.
+  Dependency Next() {
+    std::uniform_int_distribution<int32_t> col(1, max_col_);
+    std::uniform_int_distribution<int32_t> dep_row(2, max_row_);
+    std::uniform_int_distribution<int32_t> width(0, 2);
+    // Bounded retries: a workload that asks for more unique (prec, dep)
+    // pairs than the region admits must fail loudly, not hang.
+    for (int attempt = 0; attempt < 1000000; ++attempt) {
+      Cell dep_cell{col(rng_), dep_row(rng_)};
+      std::uniform_int_distribution<int32_t> prec_row(1, dep_cell.row - 1);
+      int32_t r1 = prec_row(rng_);
+      int32_t r2 = std::min<int32_t>(r1 + width(rng_), dep_cell.row - 1);
+      int32_t c1 = col(rng_);
+      int32_t c2 = std::min<int32_t>(c1 + width(rng_), max_col_);
+      auto key =
+          std::make_pair(std::make_pair(c1 * 100000 + r1, c2 * 100000 + r2),
+                         std::make_pair(dep_cell.col, dep_cell.row));
+      if (!used_.insert(key).second) continue;
+      Dependency dep;
+      dep.prec = Range(c1, r1, c2, r2);
+      dep.dep = dep_cell;
+      return dep;
+    }
+    ADD_FAILURE() << "WorkloadGenerator exhausted the unique-dependency "
+                     "space of the " << max_col_ << "x" << max_row_
+                  << " region; shrink the workload or grow the region";
+    return Dependency{};
+  }
+
+  /// Query probe: mostly single cells, sometimes a short vertical span
+  /// (both shapes appear in the paper's workloads).
+  Range NextQuery() {
+    std::uniform_int_distribution<int32_t> col(1, max_col_);
+    std::uniform_int_distribution<int32_t> row(1, max_row_);
+    Cell c{col(rng_), row(rng_)};
+    if (std::uniform_int_distribution<int>(0, 2)(rng_) == 0) {
+      return Range(c.col, c.row, c.col, std::min<int32_t>(c.row + 3, max_row_));
+    }
+    return Range(c);
+  }
+
+  /// Removal band: a horizontal slab of formula cells to clear.
+  Range NextRemovalBand() {
+    std::uniform_int_distribution<int32_t> row(1, max_row_);
+    std::uniform_int_distribution<int32_t> height(0, 3);
+    int32_t r1 = row(rng_);
+    int32_t r2 = std::min<int32_t>(r1 + height(rng_), max_row_);
+    return Range(1, r1, max_col_, r2);
+  }
+
+ private:
+  std::mt19937 rng_;
+  int max_col_;
+  int max_row_;
+  std::set<std::pair<std::pair<int32_t, int32_t>, std::pair<int32_t, int32_t>>>
+      used_;
+};
+
 inline std::vector<Dependency> RandomAcyclicDependencies(uint32_t seed,
                                                          int n_deps,
-                                                         int max_col = 8,
-                                                         int max_row = 30) {
-  std::mt19937 rng(seed);
-  std::uniform_int_distribution<int32_t> col(1, max_col);
-  std::uniform_int_distribution<int32_t> width(0, 2);
+                                                         int max_col,
+                                                         int max_row) {
+  WorkloadGenerator gen(seed, max_col, max_row);
   std::vector<Dependency> deps;
-  std::set<std::pair<std::pair<int32_t, int32_t>, std::pair<int32_t, int32_t>>>
-      used;  // (prec, dep) pairs, to avoid parallel edges
-  while (static_cast<int>(deps.size()) < n_deps) {
-    std::uniform_int_distribution<int32_t> dep_row(2, max_row);
-    Cell dep_cell{col(rng), dep_row(rng)};
-    std::uniform_int_distribution<int32_t> prec_row(1, dep_cell.row - 1);
-    int32_t r1 = prec_row(rng);
-    int32_t r2 = std::min<int32_t>(r1 + width(rng), dep_cell.row - 1);
-    int32_t c1 = col(rng);
-    int32_t c2 = std::min<int32_t>(c1 + width(rng), max_col);
-    Dependency dep;
-    dep.prec = Range(c1, r1, c2, r2);
-    dep.dep = dep_cell;
-    auto key = std::make_pair(std::make_pair(c1 * 100000 + r1, c2 * 100000 + r2),
-                              std::make_pair(dep_cell.col, dep_cell.row));
-    if (!used.insert(key).second) continue;
-    deps.push_back(dep);
-  }
+  deps.reserve(n_deps);
+  for (int i = 0; i < n_deps; ++i) deps.push_back(gen.Next());
   return deps;
+}
+
+/// Differential equivalence harness (the losslessness contract of
+/// Sec. II-B as an executable check). Drives one DependencyGraph and the
+/// brute-force oracle through an identical randomized workload of
+/// interleaved inserts, formula-cell removals, and dependent/precedent
+/// queries, asserting agreement after every phase.
+struct DifferentialConfig {
+  int initial_inserts = 50;     ///< Dependencies inserted before round 1.
+  int rounds = 4;               ///< Mutate+query rounds.
+  int inserts_per_round = 12;   ///< Fresh dependencies added each round.
+  int queries_per_round = 12;   ///< Probe queries checked each round.
+  bool removals = true;         ///< Clear a random formula band per round.
+  int max_col = 8;              ///< Sheet width of the workload region.
+  int max_row = 30;             ///< Sheet height of the workload region.
+
+  /// Exact equality for FindDependents. Antifreeze compresses dependent
+  /// sets into bounding ranges and may over-approximate, so it is checked
+  /// for superset-containment instead (false positives allowed, false
+  /// negatives never).
+  bool exact_dependents = true;
+
+  /// Returns the number of raw dependencies `graph` currently represents,
+  /// or nullopt when the representation does not expose one (CellGraph's
+  /// decomposed edges). When set, the harness cross-checks it — and
+  /// NumEdges, which can never exceed it for a lossless compressed
+  /// representation — against the oracle's live-dependency count.
+  std::function<std::optional<uint64_t>(const DependencyGraph&)> raw_deps;
+};
+
+inline void CheckQueriesAgainstOracle(DependencyGraph* graph,
+                                      std::span<const Dependency> live,
+                                      WorkloadGenerator* gen,
+                                      const DifferentialConfig& config,
+                                      int n_queries, const char* phase) {
+  for (int q = 0; q < n_queries; ++q) {
+    Range input = gen->NextQuery();
+    CellSet expected_deps = BruteForceDependents(live, input);
+    CellSet actual_deps = ToCellSet(graph->FindDependents(input));
+    if (config.exact_dependents) {
+      EXPECT_EQ(actual_deps, expected_deps)
+          << graph->Name() << " [" << phase << "] dependents of "
+          << input.ToString();
+    } else {
+      EXPECT_TRUE(IsCellSubset(expected_deps, actual_deps))
+          << graph->Name() << " [" << phase << "] lost dependents of "
+          << input.ToString();
+    }
+    EXPECT_EQ(ToCellSet(graph->FindPrecedents(input)),
+              BruteForcePrecedents(live, input))
+        << graph->Name() << " [" << phase << "] precedents of "
+        << input.ToString();
+  }
+}
+
+inline void CheckEdgeAccounting(DependencyGraph* graph,
+                                std::span<const Dependency> live,
+                                const DifferentialConfig& config,
+                                const char* phase) {
+  if (!config.raw_deps) return;
+  std::optional<uint64_t> raw = config.raw_deps(*graph);
+  if (!raw.has_value()) return;
+  EXPECT_EQ(*raw, live.size())
+      << graph->Name() << " [" << phase << "] raw-dependency accounting";
+  EXPECT_LE(graph->NumEdges(), *raw)
+      << graph->Name() << " [" << phase
+      << "] stores more edges than dependencies";
+  if (live.empty()) {
+    EXPECT_EQ(graph->NumEdges(), 0u)
+        << graph->Name() << " [" << phase << "] edges left after full clear";
+  }
+}
+
+inline void RunDifferentialWorkload(DependencyGraph* graph, uint32_t seed,
+                                    const DifferentialConfig& config = {}) {
+  WorkloadGenerator gen(seed, config.max_col, config.max_row);
+  std::vector<Dependency> live;
+
+  auto insert = [&](int count) {
+    for (int i = 0; i < count; ++i) {
+      Dependency dep = gen.Next();
+      ASSERT_TRUE(graph->AddDependency(dep).ok())
+          << graph->Name() << " rejected " << dep.prec.ToString();
+      live.push_back(dep);
+    }
+  };
+
+  insert(config.initial_inserts);
+  CheckEdgeAccounting(graph, live, config, "build");
+  CheckQueriesAgainstOracle(graph, live, &gen, config,
+                            config.queries_per_round, "build");
+
+  for (int round = 0; round < config.rounds; ++round) {
+    insert(config.inserts_per_round);
+    if (config.removals) {
+      Range band = gen.NextRemovalBand();
+      ASSERT_TRUE(graph->RemoveFormulaCells(band).ok())
+          << graph->Name() << " failed to clear " << band.ToString();
+      std::erase_if(live, [&](const Dependency& dep) {
+        return band.Contains(dep.dep);
+      });
+    }
+    CheckEdgeAccounting(graph, live, config, "round");
+    CheckQueriesAgainstOracle(graph, live, &gen, config,
+                              config.queries_per_round, "round");
+  }
+
+  // Tear down to empty: clearing every formula cell must leave no edges
+  // and queries must return nothing.
+  ASSERT_TRUE(
+      graph
+          ->RemoveFormulaCells(Range(1, 1, config.max_col, config.max_row))
+          .ok());
+  live.clear();
+  CheckEdgeAccounting(graph, live, config, "teardown");
+  CheckQueriesAgainstOracle(graph, live, &gen, config, 4, "teardown");
 }
 
 }  // namespace taco::test

@@ -1,0 +1,139 @@
+// Edge-case tests for the range-set helpers (common/range_set.h): empty
+// inputs, duplicate and nested rectangles, adjacent-range behavior, and
+// randomized agreement between DisjointifyRanges and a cell-level oracle.
+
+#include <random>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/range_set.h"
+
+namespace taco {
+namespace {
+
+using CellKey = std::pair<int32_t, int32_t>;
+
+std::set<CellKey> Cells(std::span<const Range> ranges) {
+  std::set<CellKey> out;
+  for (const Range& r : ranges) {
+    for (int32_t c = r.head.col; c <= r.tail.col; ++c) {
+      for (int32_t w = r.head.row; w <= r.tail.row; ++w) out.insert({c, w});
+    }
+  }
+  return out;
+}
+
+bool Disjoint(std::span<const Range> ranges) {
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    for (size_t j = i + 1; j < ranges.size(); ++j) {
+      if (ranges[i].Overlaps(ranges[j])) return false;
+    }
+  }
+  return true;
+}
+
+TEST(RangeSetTest, EmptySet) {
+  std::vector<Range> empty;
+  EXPECT_TRUE(DisjointifyRanges(empty).empty());
+  EXPECT_EQ(CoveredCellCount(empty), 0u);
+  EXPECT_TRUE(SameCellSet(empty, empty));
+  EXPECT_FALSE(CoversCell(empty, Cell{1, 1}));
+}
+
+TEST(RangeSetTest, EmptyVersusNonEmpty) {
+  std::vector<Range> empty;
+  std::vector<Range> one{Range(Cell{1, 1})};
+  EXPECT_FALSE(SameCellSet(empty, one));
+  EXPECT_FALSE(SameCellSet(one, empty));
+}
+
+TEST(RangeSetTest, SingleRangeIsIdentity) {
+  std::vector<Range> in{Range(2, 3, 5, 9)};
+  auto out = DisjointifyRanges(in);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], in[0]);
+  EXPECT_EQ(CoveredCellCount(in), 4u * 7u);
+}
+
+TEST(RangeSetTest, ExactDuplicatesCollapse) {
+  std::vector<Range> in{Range(1, 1, 2, 2), Range(1, 1, 2, 2),
+                        Range(1, 1, 2, 2)};
+  auto out = DisjointifyRanges(in);
+  EXPECT_TRUE(Disjoint(out));
+  EXPECT_EQ(CoveredCellCount(out), 4u);
+  EXPECT_EQ(Cells(out), Cells(std::vector<Range>{Range(1, 1, 2, 2)}));
+}
+
+TEST(RangeSetTest, NestedRangeIsAbsorbed) {
+  std::vector<Range> in{Range(1, 1, 6, 6), Range(2, 2, 4, 4)};
+  auto out = DisjointifyRanges(in);
+  EXPECT_TRUE(Disjoint(out));
+  EXPECT_EQ(CoveredCellCount(out), 36u);
+}
+
+TEST(RangeSetTest, AdjacentRangesDoNotDoubleCount) {
+  // A1:A3 and A4:A6 touch but do not overlap: 6 cells, fully disjoint
+  // already, and the disjoint rewrite must preserve the exact cell set.
+  std::vector<Range> in{Range(1, 1, 1, 3), Range(1, 4, 1, 6)};
+  EXPECT_EQ(CoveredCellCount(in), 6u);
+  auto out = DisjointifyRanges(in);
+  EXPECT_TRUE(Disjoint(out));
+  EXPECT_EQ(Cells(out), Cells(in));
+  // Side-by-side columns (B and C) as well.
+  std::vector<Range> cols{Range(2, 1, 2, 5), Range(3, 1, 3, 5)};
+  EXPECT_EQ(CoveredCellCount(cols), 10u);
+  EXPECT_TRUE(SameCellSet(cols, std::vector<Range>{Range(2, 1, 3, 5)}));
+}
+
+TEST(RangeSetTest, PartialOverlapCountsOnce) {
+  std::vector<Range> in{Range(1, 1, 3, 3), Range(2, 2, 4, 4)};
+  // 9 + 9 - 4 shared cells.
+  EXPECT_EQ(CoveredCellCount(in), 14u);
+  auto out = DisjointifyRanges(in);
+  EXPECT_TRUE(Disjoint(out));
+  EXPECT_EQ(Cells(out), Cells(in));
+}
+
+TEST(RangeSetTest, SameCellSetIgnoresDecomposition) {
+  // One 2x2 block versus its four single cells, in scrambled order.
+  std::vector<Range> block{Range(5, 5, 6, 6)};
+  std::vector<Range> cells{Range(Cell{6, 6}), Range(Cell{5, 5}),
+                           Range(Cell{6, 5}), Range(Cell{5, 6})};
+  EXPECT_TRUE(SameCellSet(block, cells));
+  cells.pop_back();
+  EXPECT_FALSE(SameCellSet(block, cells));
+}
+
+TEST(RangeSetTest, CoversCellBoundaries) {
+  std::vector<Range> in{Range(2, 2, 4, 4)};
+  EXPECT_TRUE(CoversCell(in, Cell{2, 2}));
+  EXPECT_TRUE(CoversCell(in, Cell{4, 4}));
+  EXPECT_TRUE(CoversCell(in, Cell{3, 2}));
+  EXPECT_FALSE(CoversCell(in, Cell{1, 2}));
+  EXPECT_FALSE(CoversCell(in, Cell{5, 4}));
+  EXPECT_FALSE(CoversCell(in, Cell{4, 5}));
+}
+
+TEST(RangeSetTest, RandomizedDisjointifyMatchesOracle) {
+  std::mt19937 rng(4242);
+  std::uniform_int_distribution<int32_t> coord(1, 12);
+  std::uniform_int_distribution<int32_t> extent(0, 4);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Range> in;
+    int n = 1 + trial % 7;
+    for (int i = 0; i < n; ++i) {
+      int32_t c = coord(rng), r = coord(rng);
+      in.push_back(Range(c, r, c + extent(rng), r + extent(rng)));
+    }
+    auto out = DisjointifyRanges(in);
+    EXPECT_TRUE(Disjoint(out)) << "trial " << trial;
+    EXPECT_EQ(Cells(out), Cells(in)) << "trial " << trial;
+    EXPECT_EQ(CoveredCellCount(in), Cells(in).size()) << "trial " << trial;
+    EXPECT_TRUE(SameCellSet(in, out)) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace taco

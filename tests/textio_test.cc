@@ -1,0 +1,96 @@
+// Round-trip and file-level tests for the .tsheet serializer
+// (sheet/textio.h): write -> read -> write must be a fixed point across
+// every cell type, the parser must survive formatting noise, and the
+// Save/Load file path must preserve the sheet and set its name from the
+// file stem.
+
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sheet/sheet.h"
+#include "sheet/textio.h"
+
+namespace taco {
+namespace {
+
+Sheet MixedSheet() {
+  Sheet sheet;
+  EXPECT_TRUE(sheet.SetNumber(Cell{1, 1}, 42.5).ok());
+  EXPECT_TRUE(sheet.SetNumber(Cell{1, 2}, -3).ok());
+  EXPECT_TRUE(sheet.SetNumber(Cell{1, 3}, 0.125).ok());
+  EXPECT_TRUE(sheet.SetText(Cell{2, 1}, "label").ok());
+  EXPECT_TRUE(sheet.SetText(Cell{2, 2}, "").ok());
+  EXPECT_TRUE(sheet.SetText(Cell{2, 3}, "with \"quotes\" inside").ok());
+  EXPECT_TRUE(sheet.SetBoolean(Cell{3, 1}, true).ok());
+  EXPECT_TRUE(sheet.SetBoolean(Cell{3, 2}, false).ok());
+  EXPECT_TRUE(sheet.SetFormula(Cell{4, 1}, "SUM(A1:A3)").ok());
+  EXPECT_TRUE(sheet.SetFormula(Cell{4, 2}, "IF(C1,B1,\"no\")").ok());
+  EXPECT_TRUE(sheet.SetFormula(Cell{4, 3}, "$A$1+A2*2").ok());
+  return sheet;
+}
+
+TEST(TextIoTest, RoundTripPreservesEveryCellType) {
+  Sheet sheet = MixedSheet();
+  std::string text = WriteSheetText(sheet);
+  auto loaded = ReadSheetText(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().cell_count(), sheet.cell_count());
+  // The writer is deterministic (column-major), so a full round trip is a
+  // fixed point — the strongest cheap equality check for sheets.
+  EXPECT_EQ(WriteSheetText(loaded.value()), text);
+}
+
+TEST(TextIoTest, EmptySheetRoundTrips) {
+  Sheet empty;
+  std::string text = WriteSheetText(empty);
+  auto loaded = ReadSheetText(text);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().cell_count(), 0u);
+}
+
+TEST(TextIoTest, CommentsAndBlankLinesIgnored) {
+  auto loaded = ReadSheetText(
+      "# generated corpus\n"
+      "\n"
+      "   \n"
+      "A1 = 7\n"
+      "# trailing comment\n"
+      "B2 = =A1*2\n");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().cell_count(), 2u);
+  const CellContent* formula = loaded.value().Get(Cell{2, 2});
+  ASSERT_NE(formula, nullptr);
+}
+
+TEST(TextIoTest, ParseErrorsCarryLineNumbers) {
+  auto bad = ReadSheetText("A1 = 1\nB1 = 12notanumber\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().ToString().find("2"), std::string::npos)
+      << "error should name line 2: " << bad.status().ToString();
+}
+
+TEST(TextIoTest, SaveLoadFileRoundTrip) {
+  Sheet sheet = MixedSheet();
+  // LoadSheetFile names the sheet after the file stem; name the original
+  // identically so the serialized headers (which embed the name) match.
+  sheet.set_name("taco_textio_test");
+  std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "taco_textio_test.tsheet";
+  ASSERT_TRUE(SaveSheetFile(sheet, path.string()).ok());
+  auto loaded = LoadSheetFile(path.string());
+  std::filesystem::remove(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(WriteSheetText(loaded.value()), WriteSheetText(sheet));
+  // The sheet name comes from the file stem.
+  EXPECT_EQ(loaded.value().name(), "taco_textio_test");
+}
+
+TEST(TextIoTest, LoadMissingFileFails) {
+  auto missing = LoadSheetFile("/nonexistent/dir/none.tsheet");
+  EXPECT_FALSE(missing.ok());
+}
+
+}  // namespace
+}  // namespace taco
