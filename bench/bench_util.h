@@ -3,16 +3,23 @@
 // bench-scale corpus profiles.
 //
 // Environment knobs (all optional):
+//   TACO_BENCH_PROFILE    scale preset: "paper" (full corpus sizes and
+//                         the paper's 300 s DNF budget), "smoke" (tiny
+//                         CI-scale corpora, 2 s budget), or unset for
+//                         the laptop-bench default scale
 //   TACO_BENCH_SHEETS     override the per-corpus sheet count
 //   TACO_BENCH_MAX_FORMULAS  override the per-sheet formula cap
 //   TACO_BENCH_BUDGET_MS  DNF cutoff for baseline builds/queries
 //                         (default 10000; the paper used 300000/60000)
+// The fine-grained knobs win over the profile, so a profile can be
+// tweaked without abandoning it.
 
 #ifndef TACO_BENCH_BENCH_UTIL_H_
 #define TACO_BENCH_BENCH_UTIL_H_
 
 #include <chrono>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "corpus/generator.h"
@@ -61,8 +68,22 @@ void PrintCdfRow(TablePrinter* table, const std::string& name,
 int EnvInt(const char* name, int fallback);
 double EnvDouble(const char* name, double fallback);
 
-/// Bench-scale corpus profiles (smaller than the src/corpus defaults so a
-/// full bench suite completes in minutes; ratios preserved).
+/// The TACO_BENCH_PROFILE scale presets.
+enum class BenchProfile {
+  kDefault,  ///< Laptop-bench scale (the historical defaults).
+  kSmoke,    ///< CI scale: tiny corpora, 2 s DNF budget.
+  kPaper,    ///< Full corpus sizes (Sec. VI), 300 s DNF budget.
+};
+
+/// Reads TACO_BENCH_PROFILE ("paper"/"smoke"; anything else, or unset,
+/// is the default profile — unknown values warn once on stderr).
+BenchProfile ActiveBenchProfile();
+std::string_view BenchProfileName(BenchProfile profile);
+
+/// Bench corpus profiles at the scale ActiveBenchProfile() selects
+/// (default: smaller than the src/corpus defaults so a full bench suite
+/// completes in minutes; ratios preserved). TACO_BENCH_SHEETS /
+/// TACO_BENCH_MAX_FORMULAS still override individual knobs.
 CorpusProfile BenchEnron();
 CorpusProfile BenchGithub();
 

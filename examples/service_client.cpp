@@ -1,0 +1,115 @@
+// service_client: a scripted driver for the workbook service and its
+// text protocol — the client half of taco_serve, linked in-process so it
+// runs without pipes or sockets. It walks through a realistic session:
+// open several workbooks, mix single edits with an EditBatch (one merged
+// recalc for N edits), read values back, save/reload through .tsheet,
+// and finish with the service STATS report.
+//
+// With a script file argument it instead replays protocol commands from
+// the file, printing each request/response pair (same framing rules as
+// taco_serve).
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "service/protocol.h"
+#include "service/workbook_service.h"
+
+using namespace taco;
+
+namespace {
+
+void Run(CommandProcessor* processor, const std::string& command) {
+  std::printf("> %s\n%s\n", command.c_str(),
+              processor->Execute(command).c_str());
+}
+
+int ReplayScript(CommandProcessor* processor, const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open script '%s'\n", path);
+    return 1;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string command = line;
+    int extra = CommandProcessor::ExtraBodyLines(line);
+    if (extra < 0) {  // Unframeable BATCH header: same rule as taco_serve.
+      Run(processor, command);
+      return 1;
+    }
+    for (; extra > 0; --extra) {
+      std::string body;
+      if (!std::getline(in, body)) break;
+      command += "\n" + body;
+    }
+    Run(processor, command);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  WorkbookServiceOptions options;
+  options.worker_threads = 2;
+  WorkbookService service(options);
+  CommandProcessor processor(&service);
+
+  if (argc > 1) return ReplayScript(&processor, argv[1]);
+
+  std::printf("== open two workbooks ==\n");
+  Run(&processor, "OPEN sales");
+  Run(&processor, "OPEN forecast nocomp");
+  Run(&processor, "LIST");
+
+  std::printf("\n== single edits (one recalc each) ==\n");
+  Run(&processor, "SET sales A1 100");
+  Run(&processor, "SET sales A2 250");
+  Run(&processor, "SET sales A3 75");
+  Run(&processor, "FORMULA sales B1 SUM(A1:A3)");
+  Run(&processor, "GET sales B1");
+
+  std::printf("\n== a batch: 6 edits, ONE merged dirty-set + recalc ==\n");
+  Run(&processor,
+      "BATCH sales 6\n"
+      "SET A1 110\n"
+      "SET A2 260\n"
+      "SET A3 85\n"
+      "FORMULA B2 B1*2\n"
+      "FORMULA B3 SUM(B1:B2)\n"
+      "SET C1 \"quarterly total\"");
+  Run(&processor, "GET sales B1");
+  Run(&processor, "GET sales B2");
+  Run(&processor, "GET sales B3");
+  Run(&processor, "GET sales C1");
+
+  std::printf("\n== independent sessions don't interfere ==\n");
+  Run(&processor, "FORMULA forecast A1 1+1");
+  Run(&processor, "GET forecast A1");
+  Run(&processor, "GET sales A1");
+
+  std::printf("\n== persistence round trip ==\n");
+  // Unique per process: the example doubles as a ctest smoke test and
+  // concurrent runs (build/ and build-tsan/) must not race on one file.
+  std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("taco_service_client_demo." + std::to_string(::getpid()) +
+        ".tsheet"))
+          .string();
+  Run(&processor, "SAVE sales " + path);
+  Run(&processor, "CLOSE sales");
+  Run(&processor, "LOAD sales2 " + path);
+  Run(&processor, "GET sales2 B3");
+  std::remove(path.c_str());
+
+  std::printf("\n== per-session and service stats ==\n");
+  Run(&processor, "STATS sales2");
+  Run(&processor, "STATS");
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Tiny wall-clock helpers shared by the timing-reporting layers.
+
+#ifndef TACO_COMMON_CLOCK_H_
+#define TACO_COMMON_CLOCK_H_
+
+#include <chrono>
+
+namespace taco {
+
+using SteadyTime = std::chrono::steady_clock::time_point;
+
+inline SteadyTime SteadyNow() { return std::chrono::steady_clock::now(); }
+
+/// Milliseconds elapsed since `start`.
+inline double MsSince(SteadyTime start) {
+  return std::chrono::duration<double, std::milli>(SteadyNow() - start)
+      .count();
+}
+
+}  // namespace taco
+
+#endif  // TACO_COMMON_CLOCK_H_

@@ -1,37 +1,76 @@
 #include "eval/recalc.h"
 
-#include <chrono>
 #include <unordered_set>
 
+#include "common/clock.h"
+#include "common/range_set.h"
 #include "formula/references.h"
 
 namespace taco {
-namespace {
 
-double MsSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - start)
-      .count();
+Edit Edit::SetNumber(const Cell& cell, double value) {
+  Edit edit;
+  edit.kind = Kind::kSetNumber;
+  edit.cell = cell;
+  edit.number = value;
+  return edit;
 }
 
-}  // namespace
+Edit Edit::SetText(const Cell& cell, std::string value) {
+  Edit edit;
+  edit.kind = Kind::kSetText;
+  edit.cell = cell;
+  edit.text = std::move(value);
+  return edit;
+}
+
+Edit Edit::SetFormula(const Cell& cell, std::string text) {
+  Edit edit;
+  edit.kind = Kind::kSetFormula;
+  edit.cell = cell;
+  edit.text = std::move(text);
+  return edit;
+}
+
+Edit Edit::ClearRange(const Range& range) {
+  Edit edit;
+  edit.kind = Kind::kClearRange;
+  edit.range = range;
+  return edit;
+}
 
 RecalcEngine::RecalcEngine(Sheet* sheet, DependencyGraph* graph)
     : sheet_(sheet), graph_(graph), evaluator_(sheet) {}
 
 RecalcResult RecalcEngine::Recalculate(const Range& changed) {
+  return RecalculateMerged({&changed, 1});
+}
+
+RecalcResult RecalcEngine::RecalculateMerged(std::span<const Range> changed) {
   RecalcResult result;
-  auto start = std::chrono::steady_clock::now();
-  result.dirty = graph_->FindDependents(changed);
+  result.recalc_passes = 1;
+
+  // One merged dirty-set computation: query the dependents of each distinct
+  // changed rectangle and collapse the union into disjoint ranges so the
+  // re-evaluation pass below visits each dirty formula exactly once.
+  std::vector<Range> seeds = DisjointifyRanges(changed);
+  std::vector<Range> dirty_union;
+  auto start = SteadyNow();
+  for (const Range& seed : seeds) {
+    std::vector<Range> dirty = graph_->FindDependents(seed);
+    dirty_union.insert(dirty_union.end(), dirty.begin(), dirty.end());
+  }
+  result.dirty = DisjointifyRanges(dirty_union);
   result.find_dependents_ms = MsSince(start);
 
-  evaluator_.Invalidate(changed);
+  for (const Range& seed : seeds) evaluator_.Invalidate(seed);
   for (const Range& range : result.dirty) {
     result.dirty_cells += range.Area();
     evaluator_.Invalidate(range);
   }
   // Re-evaluate eagerly; the recursive evaluator resolves ordering and the
-  // shared cache makes each formula compute once.
+  // shared cache makes each formula compute once. The dirty ranges are
+  // disjoint, so no formula is visited (or counted) twice.
   for (const Range& range : result.dirty) {
     for (const Cell& cell : EnumerateCells(range)) {
       if (sheet_->IsFormulaCell(cell)) {
@@ -43,52 +82,105 @@ RecalcResult RecalcEngine::Recalculate(const Range& changed) {
   return result;
 }
 
-Result<RecalcResult> RecalcEngine::SetNumber(const Cell& cell, double value) {
-  // Replacing a formula cell also drops its outgoing dependencies.
-  if (sheet_->IsFormulaCell(cell)) {
-    TACO_RETURN_IF_ERROR(graph_->RemoveFormulaCells(Range(cell)));
+Status RecalcEngine::ApplyEditNoRecalc(const Edit& edit,
+                                       std::vector<Range>* changed) {
+  switch (edit.kind) {
+    case Edit::Kind::kSetNumber:
+      // Replacing a formula cell also drops its outgoing dependencies.
+      if (sheet_->IsFormulaCell(edit.cell)) {
+        TACO_RETURN_IF_ERROR(graph_->RemoveFormulaCells(Range(edit.cell)));
+      }
+      TACO_RETURN_IF_ERROR(sheet_->SetNumber(edit.cell, edit.number));
+      changed->push_back(Range(edit.cell));
+      return Status::OK();
+    case Edit::Kind::kSetText:
+      if (sheet_->IsFormulaCell(edit.cell)) {
+        TACO_RETURN_IF_ERROR(graph_->RemoveFormulaCells(Range(edit.cell)));
+      }
+      TACO_RETURN_IF_ERROR(sheet_->SetText(edit.cell, edit.text));
+      changed->push_back(Range(edit.cell));
+      return Status::OK();
+    case Edit::Kind::kSetFormula: {
+      // Parse/store the new formula BEFORE dropping the old one's graph
+      // edges: a parse failure must leave sheet and graph untouched, not
+      // a formula cell with its dependencies removed.
+      bool was_formula = sheet_->IsFormulaCell(edit.cell);
+      TACO_RETURN_IF_ERROR(sheet_->SetFormula(edit.cell, edit.text));
+      if (was_formula) {
+        TACO_RETURN_IF_ERROR(graph_->RemoveFormulaCells(Range(edit.cell)));
+      }
+
+      // Register the new formula's dependencies (an update is modeled as
+      // clear + insert, Sec. IV-C).
+      const CellContent* content = sheet_->Get(edit.cell);
+      std::vector<A1Reference> refs =
+          ExtractReferences(*content->formula().ast);
+      std::unordered_set<Range> seen;
+      for (const A1Reference& ref : refs) {
+        if (!seen.insert(ref.range).second) continue;
+        Dependency dep;
+        dep.prec = ref.range;
+        dep.dep = edit.cell;
+        dep.head_flags = ref.head_flags;
+        dep.tail_flags = ref.tail_flags;
+        TACO_RETURN_IF_ERROR(graph_->AddDependency(dep));
+      }
+      changed->push_back(Range(edit.cell));
+      return Status::OK();
+    }
+    case Edit::Kind::kClearRange:
+      TACO_RETURN_IF_ERROR(graph_->RemoveFormulaCells(edit.range));
+      TACO_RETURN_IF_ERROR(sheet_->ClearRange(edit.range));
+      changed->push_back(edit.range);
+      return Status::OK();
   }
-  TACO_RETURN_IF_ERROR(sheet_->SetNumber(cell, value));
-  return Recalculate(Range(cell));
+  return Status::Internal("unknown edit kind");
+}
+
+Result<RecalcResult> RecalcEngine::SetNumber(const Cell& cell, double value) {
+  return ApplyBatch({Edit::SetNumber(cell, value)});
 }
 
 Result<RecalcResult> RecalcEngine::SetText(const Cell& cell,
                                            std::string value) {
-  if (sheet_->IsFormulaCell(cell)) {
-    TACO_RETURN_IF_ERROR(graph_->RemoveFormulaCells(Range(cell)));
-  }
-  TACO_RETURN_IF_ERROR(sheet_->SetText(cell, std::move(value)));
-  return Recalculate(Range(cell));
+  return ApplyBatch({Edit::SetText(cell, std::move(value))});
 }
 
 Result<RecalcResult> RecalcEngine::SetFormula(const Cell& cell,
                                               std::string_view text) {
-  if (sheet_->IsFormulaCell(cell)) {
-    TACO_RETURN_IF_ERROR(graph_->RemoveFormulaCells(Range(cell)));
-  }
-  TACO_RETURN_IF_ERROR(sheet_->SetFormula(cell, text));
-
-  // Register the new formula's dependencies (an update is modeled as
-  // clear + insert, Sec. IV-C).
-  const CellContent* content = sheet_->Get(cell);
-  std::vector<A1Reference> refs = ExtractReferences(*content->formula().ast);
-  std::unordered_set<Range> seen;
-  for (const A1Reference& ref : refs) {
-    if (!seen.insert(ref.range).second) continue;
-    Dependency dep;
-    dep.prec = ref.range;
-    dep.dep = cell;
-    dep.head_flags = ref.head_flags;
-    dep.tail_flags = ref.tail_flags;
-    TACO_RETURN_IF_ERROR(graph_->AddDependency(dep));
-  }
-  return Recalculate(Range(cell));
+  return ApplyBatch({Edit::SetFormula(cell, std::string(text))});
 }
 
 Result<RecalcResult> RecalcEngine::ClearRange(const Range& range) {
-  TACO_RETURN_IF_ERROR(graph_->RemoveFormulaCells(range));
-  TACO_RETURN_IF_ERROR(sheet_->ClearRange(range));
-  return Recalculate(range);
+  return ApplyBatch({Edit::ClearRange(range)});
+}
+
+Result<RecalcResult> RecalcEngine::ApplyBatch(const EditBatch& batch,
+                                              RecalcResult* partial) {
+  if (partial != nullptr) *partial = RecalcResult{};
+  std::vector<Range> changed;
+  changed.reserve(batch.size());
+  Status failure = Status::OK();
+  uint64_t applied = 0;
+  for (const Edit& edit : batch) {
+    failure = ApplyEditNoRecalc(edit, &changed);
+    if (!failure.ok()) break;
+    ++applied;
+  }
+  if (changed.empty()) {
+    if (!failure.ok()) return failure;
+    return RecalcResult{};  // Empty batch: nothing changed, no recalc pass.
+  }
+  RecalcResult result = RecalculateMerged(changed);
+  result.edits_applied = applied;
+  // A failing edit stops the batch, but the edits before it were applied
+  // and recalculated above, leaving the engine consistent; the partial
+  // outcome is reported through `partial` alongside the error.
+  if (!failure.ok()) {
+    if (partial != nullptr) *partial = std::move(result);
+    return failure;
+  }
+  return result;
 }
 
 }  // namespace taco

@@ -11,6 +11,9 @@
 #define TACO_EVAL_RECALC_H_
 
 #include <memory>
+#include <span>
+#include <string>
+#include <vector>
 
 #include "eval/evaluator.h"
 #include "graph/dependency_graph.h"
@@ -18,13 +21,37 @@
 
 namespace taco {
 
-/// Outcome of one update.
+/// Outcome of one update (or one batch of updates).
 struct RecalcResult {
   std::vector<Range> dirty;        ///< Ranges of formulas needing recalc.
   uint64_t dirty_cells = 0;        ///< Total dirty formula cells.
   uint64_t recalculated = 0;       ///< Formulas actually re-evaluated.
+  uint64_t recalc_passes = 0;      ///< Merged recalc passes (1 per batch).
+  uint64_t edits_applied = 0;      ///< Sheet/graph mutations performed.
   double find_dependents_ms = 0;   ///< Time spent in FindDependents.
 };
+
+/// One deferred cell mutation, for batched application. Constructed via
+/// the factory helpers; `range` is used by kClearRange, `cell` by the
+/// others.
+struct Edit {
+  enum class Kind { kSetNumber, kSetText, kSetFormula, kClearRange };
+
+  Kind kind = Kind::kSetNumber;
+  Cell cell;
+  Range range;
+  double number = 0;
+  std::string text;  ///< Text value or formula source (no leading '=').
+
+  static Edit SetNumber(const Cell& cell, double value);
+  static Edit SetText(const Cell& cell, std::string value);
+  static Edit SetFormula(const Cell& cell, std::string text);
+  static Edit ClearRange(const Range& range);
+};
+
+/// An ordered list of edits applied with a single merged dirty-set
+/// computation and recalc pass (RecalcEngine::ApplyBatch).
+using EditBatch = std::vector<Edit>;
 
 /// Couples a Sheet, a DependencyGraph, and an Evaluator into a live
 /// spreadsheet engine. The graph implementation is pluggable — pass a
@@ -46,12 +73,38 @@ class RecalcEngine {
   /// Clears a range of cells, removing their dependencies.
   Result<RecalcResult> ClearRange(const Range& range);
 
+  /// Applies every edit of `batch` in order, then performs ONE merged
+  /// dirty-set computation and recalc pass instead of one per edit — the
+  /// serving-path batching the paper's latency argument calls for. Each
+  /// dirty formula is re-evaluated at most once per batch regardless of
+  /// how many edits dirtied it; the result's `recalc_passes` is 1 and
+  /// `edits_applied` is batch.size().
+  ///
+  /// Batches are not atomic: a failing edit (e.g. a formula parse error)
+  /// stops application at that edit (applying nothing of it), but the
+  /// edits before it stay applied and their merged recalc still runs
+  /// before the error is returned, so the engine is always left
+  /// consistent. When `partial` is non-null and the batch fails, it
+  /// receives the recalc outcome of the edits that DID apply (zeroed
+  /// when none did) — callers tracking work done must not lose it just
+  /// because the Result carries an error.
+  Result<RecalcResult> ApplyBatch(const EditBatch& batch,
+                                  RecalcResult* partial = nullptr);
+
   /// Current value of a cell (cached; evaluates on demand).
   Value GetValue(const Cell& cell) { return evaluator_.EvaluateCell(cell); }
 
  private:
   /// Invalidates and re-evaluates everything depending on `changed`.
   RecalcResult Recalculate(const Range& changed);
+
+  /// Merged variant: one FindDependents sweep over every changed range,
+  /// one de-duplicated re-evaluation pass.
+  RecalcResult RecalculateMerged(std::span<const Range> changed);
+
+  /// Mutates sheet + graph for one edit without recalculating; appends
+  /// the changed rectangle to `changed`.
+  Status ApplyEditNoRecalc(const Edit& edit, std::vector<Range>* changed);
 
   Sheet* sheet_;
   DependencyGraph* graph_;

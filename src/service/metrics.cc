@@ -1,0 +1,72 @@
+#include "service/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace taco {
+
+std::string_view ServiceOpName(ServiceOp op) {
+  switch (op) {
+    case ServiceOp::kOpen:    return "OPEN";
+    case ServiceOp::kLoad:    return "LOAD";
+    case ServiceOp::kSave:    return "SAVE";
+    case ServiceOp::kClose:   return "CLOSE";
+    case ServiceOp::kSet:     return "SET";
+    case ServiceOp::kFormula: return "FORMULA";
+    case ServiceOp::kGet:     return "GET";
+    case ServiceOp::kClear:   return "CLEAR";
+    case ServiceOp::kBatch:   return "BATCH";
+    case ServiceOp::kOpCount: break;
+  }
+  return "?";
+}
+
+void ServiceMetrics::Record(ServiceOp op, double elapsed_ms, bool ok,
+                            const RecalcResult* result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  OpStats& s = stats_[static_cast<size_t>(op)];
+  ++s.count;
+  if (!ok) ++s.errors;
+  s.total_ms += elapsed_ms;
+  s.max_ms = std::max(s.max_ms, elapsed_ms);
+  if (result != nullptr) {
+    s.dirty_cells += result->dirty_cells;
+    s.max_dirty_cells = std::max(s.max_dirty_cells, result->dirty_cells);
+    s.recalculated += result->recalculated;
+    s.recalc_passes += result->recalc_passes;
+    s.find_dependents_ms += result->find_dependents_ms;
+  }
+}
+
+OpStats ServiceMetrics::Get(ServiceOp op) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_[static_cast<size_t>(op)];
+}
+
+std::string ServiceMetrics::Report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out =
+      "op       count errors  mean_ms   max_ms dirty_cells max_dirty "
+      "recalced passes finddep_ms\n";
+  char line[192];
+  for (size_t i = 0; i < stats_.size(); ++i) {
+    const OpStats& s = stats_[i];
+    if (s.count == 0) continue;
+    std::snprintf(
+        line, sizeof(line),
+        "%-8s %5llu %6llu %8.3f %8.3f %11llu %9llu %8llu %6llu %10.3f\n",
+        std::string(ServiceOpName(static_cast<ServiceOp>(i))).c_str(),
+        static_cast<unsigned long long>(s.count),
+        static_cast<unsigned long long>(s.errors),
+        s.count ? s.total_ms / double(s.count) : 0.0, s.max_ms,
+        static_cast<unsigned long long>(s.dirty_cells),
+        static_cast<unsigned long long>(s.max_dirty_cells),
+        static_cast<unsigned long long>(s.recalculated),
+        static_cast<unsigned long long>(s.recalc_passes),
+        s.find_dependents_ms);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace taco

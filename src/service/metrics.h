@@ -1,0 +1,73 @@
+// Service-level operation metrics.
+//
+// Every session operation records its wall-clock latency (including lock
+// wait, so contention shows up) and, for mutating operations, the recalc
+// outcome: dirty-set size and FindDependents time — the quantity the
+// paper's latency budget is about. STATS renders the aggregate report.
+
+#ifndef TACO_SERVICE_METRICS_H_
+#define TACO_SERVICE_METRICS_H_
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "eval/recalc.h"
+
+namespace taco {
+
+/// The operations the service meters, one row of STATS each.
+enum class ServiceOp : uint8_t {
+  kOpen = 0,
+  kLoad,
+  kSave,
+  kClose,
+  kSet,       ///< SetNumber / SetText
+  kFormula,
+  kGet,
+  kClear,
+  kBatch,
+  kOpCount,   ///< Sentinel; not an operation.
+};
+
+std::string_view ServiceOpName(ServiceOp op);
+
+/// Latency + recalc aggregates for one ServiceOp.
+struct OpStats {
+  uint64_t count = 0;
+  uint64_t errors = 0;
+  double total_ms = 0;
+  double max_ms = 0;
+  uint64_t dirty_cells = 0;           ///< Sum of per-op dirty-set sizes.
+  uint64_t max_dirty_cells = 0;
+  uint64_t recalculated = 0;
+  uint64_t recalc_passes = 0;
+  double find_dependents_ms = 0;
+
+  double MeanMs() const { return count ? total_ms / double(count) : 0; }
+};
+
+/// Thread-safe metrics sink shared by every session of a service.
+class ServiceMetrics {
+ public:
+  /// Records one completed operation; `result` adds recalc aggregates for
+  /// mutating ops (pass nullptr for reads / failed ops).
+  void Record(ServiceOp op, double elapsed_ms, bool ok,
+              const RecalcResult* result = nullptr);
+
+  /// Snapshot of one op's aggregates.
+  OpStats Get(ServiceOp op) const;
+
+  /// Fixed-width text report, one line per op with traffic (for STATS).
+  std::string Report() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::array<OpStats, static_cast<size_t>(ServiceOp::kOpCount)> stats_;
+};
+
+}  // namespace taco
+
+#endif  // TACO_SERVICE_METRICS_H_

@@ -1,0 +1,334 @@
+#include "service/protocol.h"
+
+#include <charconv>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/a1.h"
+#include "common/ascii.h"
+
+namespace taco {
+namespace {
+
+std::string_view TrimCr(std::string_view line) {
+  while (!line.empty() && (line.back() == '\r' || line.back() == '\n')) {
+    line.remove_suffix(1);
+  }
+  return line;
+}
+
+/// Pops the next whitespace-delimited token off `rest`.
+std::string_view NextToken(std::string_view* rest) {
+  size_t begin = rest->find_first_not_of(" \t");
+  if (begin == std::string_view::npos) {
+    *rest = {};
+    return {};
+  }
+  size_t end = rest->find_first_of(" \t", begin);
+  std::string_view token = rest->substr(
+      begin, end == std::string_view::npos ? std::string_view::npos
+                                           : end - begin);
+  *rest = end == std::string_view::npos ? std::string_view{}
+                                        : rest->substr(end);
+  return token;
+}
+
+/// The rest of the line with surrounding whitespace removed — used for
+/// values and formula sources, which may contain spaces.
+std::string_view Remainder(std::string_view rest) {
+  size_t begin = rest.find_first_not_of(" \t");
+  if (begin == std::string_view::npos) return {};
+  size_t end = rest.find_last_not_of(" \t");
+  return rest.substr(begin, end - begin + 1);
+}
+
+inline bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  return EqualsIgnoreCaseAscii(a, b);
+}
+
+std::string ErrLine(const Status& status) {
+  return "ERR " + std::string(StatusCodeToString(status.code())) + ": " +
+         status.message();
+}
+
+std::string ErrUsage(std::string_view usage) {
+  return "ERR InvalidArgument: usage: " + std::string(usage);
+}
+
+std::string FormatRecalc(const char* verb, const RecalcResult& r) {
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer),
+                "OK %s edits=%llu dirty=%llu recalced=%llu passes=%llu "
+                "find_ms=%.3f",
+                verb, static_cast<unsigned long long>(r.edits_applied),
+                static_cast<unsigned long long>(r.dirty_cells),
+                static_cast<unsigned long long>(r.recalculated),
+                static_cast<unsigned long long>(r.recalc_passes),
+                r.find_dependents_ms);
+  return buffer;
+}
+
+/// Parses one edit line of a BATCH body (SET / FORMULA / CLEAR without a
+/// session name). Returns the error response on failure.
+Result<Edit> ParseEditLine(std::string_view line) {
+  std::string_view rest = TrimCr(line);
+  std::string_view op = NextToken(&rest);
+  if (EqualsIgnoreCase(op, "SET")) {
+    std::string_view cell_text = NextToken(&rest);
+    std::string_view value = Remainder(rest);
+    auto cell = ParseCellA1(cell_text);
+    if (!cell.ok()) return cell.status();
+    if (value.empty()) {
+      return Status::InvalidArgument("SET needs a value");
+    }
+    double number = 0;
+    auto [ptr, ec] =
+        std::from_chars(value.data(), value.data() + value.size(), number);
+    if (ec == std::errc() && ptr == value.data() + value.size()) {
+      return Edit::SetNumber(*cell, number);
+    }
+    if (value.size() >= 2 && value.front() == '"' && value.back() == '"') {
+      value = value.substr(1, value.size() - 2);
+    }
+    return Edit::SetText(*cell, std::string(value));
+  }
+  if (EqualsIgnoreCase(op, "FORMULA")) {
+    std::string_view cell_text = NextToken(&rest);
+    std::string_view src = Remainder(rest);
+    auto cell = ParseCellA1(cell_text);
+    if (!cell.ok()) return cell.status();
+    if (src.empty()) return Status::InvalidArgument("FORMULA needs a source");
+    if (src.front() == '=') src.remove_prefix(1);  // Leading '=' tolerated.
+    return Edit::SetFormula(*cell, std::string(src));
+  }
+  if (EqualsIgnoreCase(op, "CLEAR")) {
+    std::string_view range_text = NextToken(&rest);
+    auto ref = ParseA1(range_text);
+    if (!ref.ok()) return ref.status();
+    return Edit::ClearRange(ref->range);
+  }
+  return Status::InvalidArgument("unknown batch edit '" + std::string(op) +
+                                 "' (SET/FORMULA/CLEAR)");
+}
+
+// Built with string appends, not a fixed buffer: names and paths are
+// client-controlled and must never silently truncate the response.
+std::string SessionStatsReport(const SessionStats& stats) {
+  std::string out = "OK session=" + stats.name;
+  out += " backend=" + stats.backend;
+  out += " cells=" + std::to_string(stats.cells);
+  out += " formulas=" + std::to_string(stats.formula_cells);
+  out += " vertices=" + std::to_string(stats.graph_vertices);
+  out += " edges=" + std::to_string(stats.graph_edges);
+  out += " ops=" + std::to_string(stats.ops);
+  out += " edits=" + std::to_string(stats.edits);
+  out += " recalc_passes=" + std::to_string(stats.recalc_passes);
+  out += " dirty_cells=" + std::to_string(stats.dirty_cells);
+  out += " unsaved=" + std::to_string(stats.dirty ? 1 : 0);
+  out += " path=" + (stats.path.empty() ? "(none)" : stats.path);
+  return out;
+}
+
+}  // namespace
+
+std::string_view CommandProcessor::DispatchKey(std::string_view header_line) {
+  std::string_view rest = TrimCr(header_line);
+  std::string_view cmd = NextToken(&rest);
+  std::string_view name = NextToken(&rest);
+  return name.empty() ? cmd : name;
+}
+
+int CommandProcessor::ExtraBodyLines(std::string_view header_line) {
+  std::string_view rest = TrimCr(header_line);
+  std::string_view cmd = NextToken(&rest);
+  if (!EqualsIgnoreCase(cmd, "BATCH")) return 0;
+  NextToken(&rest);  // Session name.
+  std::string_view count_text = NextToken(&rest);
+  int count = 0;
+  auto [ptr, ec] = std::from_chars(
+      count_text.data(), count_text.data() + count_text.size(), count);
+  if (ec != std::errc() || ptr != count_text.data() + count_text.size() ||
+      count < 0 || count > kMaxBatchEdits) {
+    return -1;  // Unframeable: report the error and close the stream.
+  }
+  return count;
+}
+
+std::string CommandProcessor::Execute(std::string_view command_text) {
+  // Split the header from any BATCH body lines.
+  size_t newline = command_text.find('\n');
+  std::string_view header = TrimCr(command_text.substr(0, newline));
+  std::string_view body =
+      newline == std::string_view::npos ? std::string_view{}
+                                        : command_text.substr(newline + 1);
+
+  std::string_view rest = header;
+  std::string_view cmd = NextToken(&rest);
+  if (cmd.empty() || cmd.front() == '#') return "OK";
+
+  if (EqualsIgnoreCase(cmd, "OPEN")) {
+    std::string_view name = NextToken(&rest);
+    std::string_view backend = NextToken(&rest);
+    if (name.empty()) return ErrUsage("OPEN <session> [backend]");
+    auto session = service_->Open(std::string(name), backend);
+    if (!session.ok()) return ErrLine(session.status());
+    return "OK opened " + std::string(name) +
+           " backend=" + (*session)->Stats().backend;
+  }
+  if (EqualsIgnoreCase(cmd, "LOAD")) {
+    std::string_view name = NextToken(&rest);
+    std::string_view path = NextToken(&rest);
+    std::string_view backend = NextToken(&rest);
+    if (name.empty() || path.empty()) {
+      return ErrUsage("LOAD <session> <path> [backend]");
+    }
+    auto session = service_->Load(std::string(name), std::string(path),
+                                  backend);
+    if (!session.ok()) return ErrLine(session.status());
+    SessionStats stats = (*session)->Stats();
+    return "OK loaded " + stats.name + " cells=" +
+           std::to_string(stats.cells) + " formulas=" +
+           std::to_string(stats.formula_cells) + " backend=" +
+           stats.backend;
+  }
+  if (EqualsIgnoreCase(cmd, "SAVE")) {
+    std::string_view name = NextToken(&rest);
+    std::string_view path = NextToken(&rest);
+    if (name.empty()) return ErrUsage("SAVE <session> [path]");
+    Status status = service_->Save(std::string(name), std::string(path));
+    if (!status.ok()) return ErrLine(status);
+    return "OK saved " + std::string(name);
+  }
+  if (EqualsIgnoreCase(cmd, "CLOSE")) {
+    std::string_view name = NextToken(&rest);
+    if (name.empty()) return ErrUsage("CLOSE <session>");
+    Status status = service_->Close(std::string(name));
+    if (!status.ok()) return ErrLine(status);
+    return "OK closed " + std::string(name);
+  }
+  if (EqualsIgnoreCase(cmd, "LIST")) {
+    std::string out = "OK sessions";
+    for (const std::string& name : service_->SessionNames()) {
+      out += " " + name;
+    }
+    return out;
+  }
+  if (EqualsIgnoreCase(cmd, "STATS")) {
+    std::string_view name = NextToken(&rest);
+    if (!name.empty()) {
+      auto session = service_->Get(std::string(name));
+      if (!session.ok()) return ErrLine(session.status());
+      return SessionStatsReport((*session)->Stats());
+    }
+    char buffer[160];
+    std::snprintf(buffer, sizeof(buffer),
+                  "OK service resident=%zu parked=%zu evictions=%llu "
+                  "workers=%d\n",
+                  service_->resident_sessions(), service_->parked_sessions(),
+                  static_cast<unsigned long long>(service_->evictions()),
+                  service_->pool().num_threads());
+    return buffer + service_->metrics().Report() + "END";
+  }
+
+  // Everything below addresses one session.
+  if (EqualsIgnoreCase(cmd, "GET")) {
+    std::string_view name = NextToken(&rest);
+    std::string_view cell_text = NextToken(&rest);
+    if (name.empty() || cell_text.empty()) {
+      return ErrUsage("GET <session> <cell>");
+    }
+    auto cell = ParseCellA1(cell_text);
+    if (!cell.ok()) return ErrLine(cell.status());
+    auto session = service_->Get(std::string(name));
+    if (!session.ok()) return ErrLine(session.status());
+    Value value = (*session)->GetValue(*cell);
+    return "VALUE " + cell->ToString() + " " + value.ToString();
+  }
+  if (EqualsIgnoreCase(cmd, "SET") || EqualsIgnoreCase(cmd, "FORMULA") ||
+      EqualsIgnoreCase(cmd, "CLEAR")) {
+    std::string_view name = NextToken(&rest);
+    if (name.empty()) {
+      return ErrUsage(std::string(cmd) + " <session> ...");
+    }
+    // Reuse the batch edit parser (same grammar minus the session name)
+    // and parse BEFORE resolving the session: malformed traffic must not
+    // trigger LRU touches or parked reloads.
+    std::string edit_line = std::string(cmd) + std::string(rest);
+    auto edit = ParseEditLine(edit_line);
+    if (!edit.ok()) return ErrLine(edit.status());
+    auto session = service_->Get(std::string(name));
+    if (!session.ok()) return ErrLine(session.status());
+    Result<RecalcResult> result = [&]() -> Result<RecalcResult> {
+      switch (edit->kind) {
+        case Edit::Kind::kSetNumber:
+          return (*session)->SetNumber(edit->cell, edit->number);
+        case Edit::Kind::kSetText:
+          return (*session)->SetText(edit->cell, edit->text);
+        case Edit::Kind::kSetFormula:
+          return (*session)->SetFormula(edit->cell, edit->text);
+        case Edit::Kind::kClearRange:
+          return (*session)->ClearRange(edit->range);
+      }
+      return Status::Internal("unreachable");
+    }();
+    if (!result.ok()) return ErrLine(result.status());
+    return FormatRecalc(EqualsIgnoreCase(cmd, "CLEAR") ? "cleared" : "set",
+                        *result);
+  }
+  if (EqualsIgnoreCase(cmd, "BATCH")) {
+    std::string_view name = NextToken(&rest);
+    std::string_view count_text = NextToken(&rest);
+    int count = -1;
+    if (!count_text.empty()) {
+      auto [ptr, ec] = std::from_chars(
+          count_text.data(), count_text.data() + count_text.size(), count);
+      if (ec != std::errc() || ptr != count_text.data() + count_text.size()) {
+        count = -1;
+      }
+    }
+    if (name.empty() || count < 0) {
+      return ErrUsage("BATCH <session> <n>, then n edit lines");
+    }
+    if (count > kMaxBatchEdits) {
+      return "ERR InvalidArgument: batch of " + std::to_string(count) +
+             " edits exceeds the limit of " +
+             std::to_string(kMaxBatchEdits);
+    }
+    EditBatch batch;
+    batch.reserve(count);
+    std::string_view lines = body;
+    for (int i = 0; i < count; ++i) {
+      size_t eol = lines.find('\n');
+      std::string_view line = lines.substr(0, eol);
+      lines = eol == std::string_view::npos ? std::string_view{}
+                                            : lines.substr(eol + 1);
+      auto edit = ParseEditLine(line);
+      if (!edit.ok()) {
+        return ErrLine(Status(edit.status().code(),
+                              "batch line " + std::to_string(i + 1) + ": " +
+                                  edit.status().message()));
+      }
+      batch.push_back(std::move(*edit));
+    }
+    auto session = service_->Get(std::string(name));
+    if (!session.ok()) return ErrLine(session.status());
+    RecalcResult partial;
+    auto result = (*session)->ApplyBatch(batch, &partial);
+    if (!result.ok()) {
+      // Unlike every other ERR, a failed batch may have changed state:
+      // say exactly how much so the client doesn't blindly retry the
+      // whole batch and double-apply the prefix.
+      return ErrLine(result.status()) + " (applied " +
+             std::to_string(partial.edits_applied) + " of " +
+             std::to_string(batch.size()) +
+             " edits before the error; applied edits remain in effect)";
+    }
+    return FormatRecalc("batch", *result);
+  }
+
+  return "ERR InvalidArgument: unknown command '" + std::string(cmd) +
+         "' (OPEN/LOAD/SAVE/CLOSE/SET/FORMULA/GET/CLEAR/BATCH/STATS/LIST)";
+}
+
+}  // namespace taco

@@ -1,0 +1,77 @@
+// Line-oriented text command protocol over the workbook service.
+//
+// One command per line; BATCH is the one multi-line form (a header with
+// an edit count, followed by that many edit lines). Responses are single
+// "OK ...", "VALUE ...", or "ERR <Code>: ..." lines, except STATS, which
+// returns a multi-line report. The grammar (docs/architecture.md):
+//
+//   OPEN <session> [backend]          create or attach
+//   LOAD <session> <path> [backend]   read a .tsheet file
+//   SAVE <session> [path]             write the bound / given path
+//   CLOSE <session>                   drop from the registry
+//   SET <session> <cell> <value>      number, or text (quotes optional)
+//   FORMULA <session> <cell> <src>    formula without the leading '='
+//   GET <session> <cell>              -> VALUE <cell> <display form>
+//   CLEAR <session> <range>
+//   BATCH <session> <n>               header; then n lines of
+//     SET <cell> <value> | FORMULA <cell> <src> | CLEAR <range>
+//   STATS [session]                   service / session report
+//   LIST                              resident session names
+//
+// The processor is stateless and thread-safe: a complete command (header
+// plus any BATCH body lines) goes in as one string, the response comes
+// back as one string. Framing — collecting the BATCH body lines — is the
+// transport's job (taco_serve does it for stdin).
+
+#ifndef TACO_SERVICE_PROTOCOL_H_
+#define TACO_SERVICE_PROTOCOL_H_
+
+#include <string>
+#include <string_view>
+
+#include "service/workbook_service.h"
+
+namespace taco {
+
+class CommandProcessor {
+ public:
+  /// Upper bound on edits per BATCH. A header asking for more is a
+  /// protocol error (and frames zero body lines), so a hostile count
+  /// can neither make the transport swallow the rest of the stream nor
+  /// reserve unbounded memory.
+  static constexpr int kMaxBatchEdits = 65536;
+
+  /// `service` must outlive the processor.
+  explicit CommandProcessor(WorkbookService* service) : service_(service) {}
+
+  /// Executes one complete command (multi-line for BATCH). Never fails at
+  /// the C++ level: protocol and engine errors come back as "ERR ..."
+  /// response text, keeping the wire protocol uniform.
+  std::string Execute(std::string_view command_text);
+
+  /// Number of body lines the transport must still read after this
+  /// header line to complete the command (only BATCH needs any); 0 for
+  /// every other command, including malformed ones (their error surfaces
+  /// when the header is executed). Returns -1 for a BATCH header whose
+  /// count is unusable (negative, non-numeric, or over kMaxBatchEdits):
+  /// the frame boundary is unknowable, so the only safe transport
+  /// response is to report the error (Execute still produces it) and
+  /// close the stream — re-interpreting the body lines as commands
+  /// would silently address other sessions.
+  static int ExtraBodyLines(std::string_view header_line);
+
+  /// The ordering key a transport should dispatch this command under:
+  /// the session name (second token) for session-addressed commands, the
+  /// command word itself for session-less ones (LIST, STATS). Commands
+  /// with equal keys must execute in submission order; taco_serve feeds
+  /// this to ThreadPool::Submit's keyed overload. The returned view
+  /// aliases `header_line`.
+  static std::string_view DispatchKey(std::string_view header_line);
+
+ private:
+  WorkbookService* service_;
+};
+
+}  // namespace taco
+
+#endif  // TACO_SERVICE_PROTOCOL_H_

@@ -1,0 +1,151 @@
+// taco_serve: the workbook service speaking its text protocol over
+// stdin/stdout — one request line in (plus BATCH body lines), one
+// response out, suitable for piping, scripting, or wrapping in a socket
+// server. Responses are printed in request order, but execution is
+// dispatched onto the service's worker pool: commands for different
+// sessions run in parallel, commands for one session keep their order
+// (per-key queue affinity, see thread_pool.h).
+//
+//   $ ./taco_serve [--threads N] [--backend NAME] [--max-resident N] [script]
+//   OPEN sales
+//   SET sales A1 41.5
+//   FORMULA sales B1 SUM(A1:A9)*2
+//   GET sales B1
+//   STATS
+//   QUIT
+//
+// Diagnostics go to stderr; stdout carries only protocol responses.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "common/ascii.h"
+#include "service/protocol.h"
+#include "service/workbook_service.h"
+
+using namespace taco;
+
+namespace {
+
+int ParseIntArg(const char* text, int fallback) {
+  int value = std::atoi(text);
+  return value > 0 ? value : fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  WorkbookServiceOptions options;
+  const char* script_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      options.worker_threads = ParseIntArg(argv[++i], options.worker_threads);
+    } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+      options.default_backend = argv[++i];
+    } else if (std::strcmp(argv[i], "--max-resident") == 0 && i + 1 < argc) {
+      // 0 is meaningful here (disables the LRU bound entirely), so the
+      // value must parse fully — '6O' silently becoming 0 would turn a
+      // requested tight cap into no cap at all.
+      const char* text = argv[++i];
+      char* end = nullptr;
+      long value = std::strtol(text, &end, 10);
+      if (end != text && *end == '\0' && value >= 0) {
+        options.max_resident_sessions = static_cast<size_t>(value);
+      } else {
+        std::fprintf(stderr,
+                     "ignoring --max-resident '%s' (not a non-negative "
+                     "integer); keeping %zu\n",
+                     text, options.max_resident_sessions);
+      }
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::fprintf(stderr,
+                   "usage: taco_serve [--threads N] [--backend NAME] "
+                   "[--max-resident N] [script]\n");
+      return 0;
+    } else {
+      script_path = argv[i];
+    }
+  }
+
+  WorkbookService service(options);
+  CommandProcessor processor(&service);
+
+  std::istream* input = &std::cin;
+  std::ifstream script;
+  if (script_path != nullptr) {
+    script.open(script_path);
+    if (!script) {
+      std::fprintf(stderr, "cannot open script '%s'\n", script_path);
+      return 1;
+    }
+    input = &script;
+  }
+
+  std::fprintf(stderr,
+               "taco_serve ready (workers=%d backend=%s max_resident=%zu)\n",
+               service.pool().num_threads(),
+               options.default_backend.c_str(),
+               options.max_resident_sessions);
+
+  // Responses print in request order: each command's future joins the
+  // back of the queue, and the queue drains from the front.
+  std::deque<std::future<std::string>> pending;
+  auto drain = [&](size_t keep) {
+    while (pending.size() > keep) {
+      std::printf("%s\n", pending.front().get().c_str());
+      pending.pop_front();
+    }
+    std::fflush(stdout);
+  };
+
+  std::string line;
+  while (std::getline(*input, line)) {
+    // QUIT/EXIT end the loop (stdin EOF does too).
+    std::string_view word(line);
+    word = word.substr(0, word.find_first_of(" \t\r"));
+    if (EqualsIgnoreCaseAscii(word, "QUIT") ||
+        EqualsIgnoreCaseAscii(word, "EXIT")) {
+      break;
+    }
+
+    // A BATCH header owns the next n lines; ship them as one command. An
+    // unframeable header (-1) poisons the stream — the body length is
+    // unknown, so report the error and stop rather than misread edit
+    // lines as commands.
+    std::string command = line;
+    int extra = CommandProcessor::ExtraBodyLines(line);
+    if (extra < 0) {
+      drain(0);
+      std::printf("%s\n", processor.Execute(command).c_str());
+      std::fflush(stdout);
+      break;
+    }
+    for (; extra > 0; --extra) {
+      std::string body_line;
+      if (!std::getline(*input, body_line)) break;
+      command += "\n" + body_line;
+    }
+
+    // Dispatch keyed by the session name so one session's commands stay
+    // ordered; the processor owns the grammar, so it owns the key too.
+    std::string_view key = CommandProcessor::DispatchKey(line);
+
+    auto task = std::make_shared<std::packaged_task<std::string()>>(
+        [&processor, command] { return processor.Execute(command); });
+    pending.push_back(task->get_future());
+    service.pool().Submit(key, [task] { (*task)(); });
+
+    // Keep the pipeline shallow enough that a slow command applies
+    // backpressure instead of queueing unbounded futures.
+    drain(64);
+  }
+  drain(0);
+  return 0;
+}

@@ -1,0 +1,61 @@
+#include "service/thread_pool.h"
+
+#include <algorithm>
+
+namespace taco {
+
+ThreadPool::ThreadPool(int num_threads) {
+  int n = std::max(1, num_threads);
+  queues_.reserve(n);
+  for (int i = 0; i < n; ++i) queues_.push_back(std::make_unique<Queue>());
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(static_cast<size_t>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  shutdown_.store(true);
+  for (auto& queue : queues_) {
+    std::lock_guard<std::mutex> lock(queue->mu);
+    queue->cv.notify_all();
+  }
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::string_view key, std::function<void()> task) {
+  Enqueue(std::hash<std::string_view>{}(key) % queues_.size(),
+          std::move(task));
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  Enqueue(next_queue_.fetch_add(1) % queues_.size(), std::move(task));
+}
+
+void ThreadPool::Enqueue(size_t index, std::function<void()> task) {
+  Queue& queue = *queues_[index];
+  {
+    std::lock_guard<std::mutex> lock(queue.mu);
+    queue.tasks.push_back(std::move(task));
+  }
+  queue.cv.notify_one();
+}
+
+void ThreadPool::WorkerLoop(size_t index) {
+  Queue& queue = *queues_[index];
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(queue.mu);
+      queue.cv.wait(lock, [&] {
+        return shutdown_.load() || !queue.tasks.empty();
+      });
+      if (queue.tasks.empty()) return;  // Shutdown with a drained queue.
+      task = std::move(queue.tasks.front());
+      queue.tasks.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace taco

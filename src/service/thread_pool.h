@@ -1,0 +1,66 @@
+// A small fixed-size worker pool with per-key queue affinity.
+//
+// The workbook service needs two properties from its executor: commands
+// against different sessions should run in parallel, while commands
+// against the SAME session must apply in submission order (a text
+// protocol has no other way to express ordering). Instead of one shared
+// queue — which would let two edits to one session race to its lock and
+// apply out of order — each worker owns a queue and keyed submissions
+// hash to a fixed worker. Same key, same worker, same order.
+
+#ifndef TACO_SERVICE_THREAD_POOL_H_
+#define TACO_SERVICE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace taco {
+
+/// Fixed pool of workers, one task queue per worker.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains every queue, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` on the worker owning `key`. Tasks with equal keys
+  /// execute in submission order.
+  void Submit(std::string_view key, std::function<void()> task);
+
+  /// Enqueues `task` on the least-loaded-ish worker (round robin); no
+  /// ordering guarantee relative to other tasks.
+  void Submit(std::function<void()> task);
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void Enqueue(size_t index, std::function<void()> task);
+  void WorkerLoop(size_t index);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+  std::atomic<size_t> next_queue_{0};
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace taco
+
+#endif  // TACO_SERVICE_THREAD_POOL_H_

@@ -1,0 +1,306 @@
+#include "service/workbook_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/clock.h"
+#include "sheet/textio.h"
+
+namespace taco {
+
+WorkbookService::WorkbookService(WorkbookServiceOptions options)
+    : options_(std::move(options)) {
+  int shards = std::max(1, options_.shards);
+  shards_.reserve(shards);
+  for (int i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  pool_ = std::make_unique<ThreadPool>(options_.worker_threads);
+}
+
+WorkbookService::Shard& WorkbookService::ShardFor(const std::string& name) {
+  return *shards_[std::hash<std::string>{}(name) % shards_.size()];
+}
+
+const WorkbookService::Shard& WorkbookService::ShardFor(
+    const std::string& name) const {
+  return *shards_[std::hash<std::string>{}(name) % shards_.size()];
+}
+
+void WorkbookService::Touch(WorkbookSession& session) {
+  session.Touch(lru_clock_.fetch_add(1) + 1);
+}
+
+std::optional<WorkbookService::ParkedEntry> WorkbookService::TakeParked(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(parked_mu_);
+  auto it = parked_.find(name);
+  if (it == parked_.end()) return std::nullopt;
+  ParkedEntry entry = std::move(it->second);
+  parked_.erase(it);
+  return entry;
+}
+
+Result<std::shared_ptr<WorkbookSession>> WorkbookService::MakeSession(
+    const std::string& name, Sheet sheet, std::string_view backend) {
+  std::string key =
+      backend.empty() ? options_.default_backend : std::string(backend);
+  auto graph = MakeGraphBackend(key);
+  if (!graph.ok()) return graph.status();
+  TACO_RETURN_IF_ERROR(BuildGraphFromSheet(sheet, graph->get()));
+  auto session = std::make_shared<WorkbookSession>(
+      name, std::move(sheet), std::move(*graph), &metrics_);
+  session->set_backend_key(std::move(key));
+  Touch(*session);
+  return session;
+}
+
+Result<std::shared_ptr<WorkbookSession>> WorkbookService::OpenImpl(
+    const std::string& name, std::string_view backend,
+    bool create_if_missing) {
+  // The whole lookup-or-reload-or-create transition runs under the shard
+  // lock so racing opens of one name cannot interleave with a parked
+  // reload (which would drop the reloaded data) or a concurrent Close.
+  // Lock order here and in MaybeEvict is always shard.mu before
+  // parked_mu_.
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.sessions.find(name);
+  if (it != shard.sessions.end()) {
+    Touch(*it->second);
+    return it->second;
+  }
+  // Parked? Reload from the remembered file — always with the backend
+  // the session was created with, exactly like a resident hit ignores a
+  // requested backend: `backend` only applies when a session is CREATED,
+  // so OPEN's effect cannot depend on eviction timing. A failed reload
+  // restores the parked entry: the saved data must stay reachable, not
+  // be shadowed by a fresh empty session on the next try.
+  if (std::optional<ParkedEntry> parked = TakeParked(name)) {
+    auto repark = [&] {
+      std::lock_guard<std::mutex> parked_lock(parked_mu_);
+      parked_.emplace(name, *parked);
+    };
+    auto loaded = LoadSheetFile(parked->path);
+    if (!loaded.ok()) {
+      repark();
+      return loaded.status();
+    }
+    auto session = MakeSession(name, std::move(*loaded), parked->backend);
+    if (!session.ok()) {
+      repark();
+      return session;
+    }
+    (*session)->BindPath(parked->path);
+    shard.sessions.emplace(name, *session);
+    resident_count_.fetch_add(1);
+    return session;
+  }
+  if (!create_if_missing) {
+    return Status::NotFound("no session named '" + name + "'");
+  }
+  auto session = MakeSession(name, Sheet(), backend);
+  if (!session.ok()) return session;
+  shard.sessions.emplace(name, *session);
+  resident_count_.fetch_add(1);
+  return session;
+}
+
+Result<std::shared_ptr<WorkbookSession>> WorkbookService::Open(
+    const std::string& name, std::string_view backend) {
+  auto start = SteadyNow();
+  auto result = OpenImpl(name, backend, /*create_if_missing=*/true);
+  metrics_.Record(ServiceOp::kOpen, MsSince(start), result.ok());
+  if (result.ok()) MaybeEvict();
+  return result;
+}
+
+Result<std::shared_ptr<WorkbookSession>> WorkbookService::Get(
+    const std::string& name) {
+  auto result = OpenImpl(name, "", /*create_if_missing=*/false);
+  if (result.ok()) MaybeEvict();  // A parked reload may breach the cap.
+  return result;
+}
+
+Result<std::shared_ptr<WorkbookSession>> WorkbookService::Load(
+    const std::string& name, const std::string& path,
+    std::string_view backend) {
+  auto start = SteadyNow();
+  auto result = [&]() -> Result<std::shared_ptr<WorkbookSession>> {
+    Shard& shard = ShardFor(name);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.sessions.contains(name)) {
+      return Status::AlreadyExists("session '" + name + "' is open");
+    }
+    auto loaded = LoadSheetFile(path);
+    if (!loaded.ok()) return loaded.status();
+    auto session = MakeSession(name, std::move(*loaded), backend);
+    if (!session.ok()) return session;
+    (*session)->BindPath(path);
+    shard.sessions.emplace(name, *session);
+    resident_count_.fetch_add(1);
+    // LOAD replaces any stale parked entry for this name.
+    std::lock_guard<std::mutex> parked_lock(parked_mu_);
+    parked_.erase(name);
+    return session;
+  }();
+  metrics_.Record(ServiceOp::kLoad, MsSince(start), result.ok());
+  if (result.ok()) MaybeEvict();
+  return result;
+}
+
+Status WorkbookService::Save(const std::string& name,
+                             const std::string& path) {
+  // A parked session is by definition saved-and-clean at its parked
+  // path, so SAVE to that path (or no path) is already satisfied —
+  // don't pay a full reload just to rewrite identical bytes. (A racing
+  // un-park between this check and Get is fine: Get then saves live.)
+  {
+    std::lock_guard<std::mutex> lock(parked_mu_);
+    auto it = parked_.find(name);
+    if (it != parked_.end() &&
+        (path.empty() || path == it->second.path)) {
+      metrics_.Record(ServiceOp::kSave, 0.0, /*ok=*/true);
+      return Status::OK();
+    }
+  }
+  auto session = Get(name);
+  if (!session.ok()) return session.status();
+  return (*session)->Save(path);  // Session records SAVE metrics itself.
+}
+
+Status WorkbookService::Close(const std::string& name) {
+  auto start = SteadyNow();
+  Status status = [&] {
+    {
+      Shard& shard = ShardFor(name);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      if (shard.sessions.erase(name) > 0) {
+        resident_count_.fetch_sub(1);
+        return Status::OK();
+      }
+    }
+    std::lock_guard<std::mutex> lock(parked_mu_);
+    if (parked_.erase(name) > 0) return Status::OK();
+    return Status::NotFound("no session named '" + name + "'");
+  }();
+  metrics_.Record(ServiceOp::kClose, MsSince(start), status.ok());
+  return status;
+}
+
+std::vector<std::string> WorkbookService::SessionNames() const {
+  std::vector<std::string> names;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [name, session] : shard->sessions) {
+      names.push_back(name);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+size_t WorkbookService::resident_sessions() const {
+  return resident_count_.load();
+}
+
+size_t WorkbookService::parked_sessions() const {
+  std::lock_guard<std::mutex> lock(parked_mu_);
+  return parked_.size();
+}
+
+void WorkbookService::MaybeEvict() {
+  if (options_.max_resident_sessions == 0) return;
+  // Single flight: a concurrent sweep is already draining the backlog,
+  // and two sweeps would pin each other's victims (use_count re-check).
+  bool expected = false;
+  if (!evicting_.compare_exchange_strong(expected, true)) return;
+  struct ClearFlag {
+    std::atomic<bool>& flag;
+    ~ClearFlag() { flag.store(false); }
+  } clear_flag{evicting_};
+  // Sessions to leave alone this sweep: an unsavable victim must not be
+  // re-picked forever while savable candidates exist. Holding shared_ptr
+  // (not raw pointers) keeps the skip identities valid even if a
+  // concurrent Close releases a session mid-sweep.
+  std::vector<std::shared_ptr<WorkbookSession>> skip;
+  // Bounded attempts: every resident session may turn out unevictable
+  // (no backing file / unsavable), and the cap is soft in that case.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    if (resident_sessions() <= options_.max_resident_sessions) return;
+
+    // Pick the least-recently-used session that has a backing file and
+    // isn't black-listed from an earlier failed save (at its current
+    // epoch — any new activity makes it eligible again).
+    std::shared_ptr<WorkbookSession> victim;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      for (const auto& [name, session] : shard->sessions) {
+        if (session->bound_path().empty()) continue;
+        if (std::find(skip.begin(), skip.end(), session) != skip.end()) {
+          continue;
+        }
+        {
+          std::lock_guard<std::mutex> unsavable_lock(unsavable_mu_);
+          auto it = unsavable_.find(name);
+          if (it != unsavable_.end()) {
+            if (it->second == session->op_epoch()) continue;
+            unsavable_.erase(it);  // Changed since the failure: retry.
+          }
+        }
+        if (!victim || session->last_access() < victim->last_access()) {
+          victim = session;
+        }
+      }
+    }
+    if (!victim) return;  // Nothing evictable: soft cap, stay resident.
+
+    // The epoch pins the session's operation count across the save: any
+    // client op (via a pointer obtained before this sweep) bumps it, and
+    // a changed epoch below aborts the park so the edit is not lost to a
+    // reload of the pre-edit file.
+    uint64_t stamp = victim->last_access();
+    uint64_t epoch = victim->op_epoch();
+    // A clean victim's bound file is already current — no save needed.
+    if (victim->Stats().dirty && !victim->Save().ok()) {
+      // Unsavable: pin, try the next LRU — and remember the failure so
+      // later sweeps don't repeat the doomed disk write every request.
+      skip.push_back(victim);
+      std::lock_guard<std::mutex> unsavable_lock(unsavable_mu_);
+      if (unsavable_.size() > 1024) unsavable_.clear();  // Stale-name bound.
+      unsavable_[victim->name()] = victim->op_epoch();
+      continue;
+    }
+
+    // Park only if nobody touched it while we were saving; otherwise it
+    // is hot (or freshly edited) again and the next attempt picks a
+    // better victim. Erase and park under the shard lock so no window
+    // exists where the name is neither resident nor parked (an Open then
+    // would create it empty). The use_count()==2 condition (the map's
+    // reference plus our local one) means no client still holds this
+    // session: new references are only handed out under the shard lock
+    // we hold, so an in-flight client can never mutate a session after
+    // it is parked — the lost-edit window is closed, not just narrowed.
+    Shard& shard = ShardFor(victim->name());
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.sessions.find(victim->name());
+      if (it == shard.sessions.end() || it->second != victim ||
+          victim->last_access() != stamp || victim->op_epoch() != epoch ||
+          victim.use_count() != 2 || victim->Stats().dirty) {
+        // Hot again, or a client still pins it: don't re-pick (and
+        // re-save) the same victim for the rest of this sweep.
+        skip.push_back(victim);
+        continue;
+      }
+      shard.sessions.erase(it);
+      resident_count_.fetch_sub(1);
+      std::lock_guard<std::mutex> parked_lock(parked_mu_);
+      parked_[victim->name()] = {victim->bound_path(),
+                                 victim->backend_key()};
+    }
+    evictions_.fetch_add(1);
+  }
+}
+
+}  // namespace taco

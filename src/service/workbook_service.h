@@ -1,0 +1,152 @@
+// The workbook service: a concurrent registry of WorkbookSessions.
+//
+// Layout: session names hash into a fixed set of shards, each a mutex +
+// name->session map, so unrelated opens/lookups do not contend on one
+// lock. Sessions are handed out as shared_ptr — a request keeps its
+// session alive even if another client closes or the LRU evicts it
+// concurrently.
+//
+// Residency: the number of live sessions is LRU-bounded
+// (`max_resident_sessions`). When the cap is exceeded, the
+// least-recently-used file-bound session is saved and "parked": dropped
+// from its shard while the service remembers name -> path, so the next
+// request for that name transparently reloads it. Sessions without a
+// backing file cannot be parked losslessly and are pinned resident (the
+// cap is soft; STATS exposes the pressure).
+//
+// Execution: requests can be dispatched through the owned ThreadPool,
+// whose per-key affinity keeps commands of one session in submission
+// order while different sessions run in parallel (see thread_pool.h).
+
+#ifndef TACO_SERVICE_WORKBOOK_SERVICE_H_
+#define TACO_SERVICE_WORKBOOK_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "service/metrics.h"
+#include "service/thread_pool.h"
+#include "service/workbook_session.h"
+
+namespace taco {
+
+struct WorkbookServiceOptions {
+  int shards = 8;                    ///< Session-map shards (>= 1).
+  size_t max_resident_sessions = 64; ///< LRU bound; 0 = unbounded.
+  int worker_threads = 4;            ///< ThreadPool size.
+  std::string default_backend = "taco";  ///< Graph for OPEN without one.
+};
+
+/// Owns many independent workbook sessions and serves them concurrently.
+/// All public methods are thread-safe.
+class WorkbookService {
+ public:
+  explicit WorkbookService(WorkbookServiceOptions options = {});
+
+  /// Returns the session named `name`, creating an empty one (with
+  /// `backend`, or the default) if it does not exist. Reloads a parked
+  /// session from its file. `backend` applies only when the session is
+  /// created; an existing session — resident or parked — keeps the
+  /// backend it was created with (close it to change backends).
+  Result<std::shared_ptr<WorkbookSession>> Open(const std::string& name,
+                                                std::string_view backend = "");
+
+  /// Returns an existing (or parked) session; NotFound otherwise.
+  Result<std::shared_ptr<WorkbookSession>> Get(const std::string& name);
+
+  /// Loads a .tsheet file into a new session bound to `path`.
+  /// AlreadyExists when `name` is taken.
+  Result<std::shared_ptr<WorkbookSession>> Load(const std::string& name,
+                                                const std::string& path,
+                                                std::string_view backend = "");
+
+  /// Saves the named session (to `path`, or its bound path).
+  Status Save(const std::string& name, const std::string& path = "");
+
+  /// Drops the session from the registry. Unsaved changes are lost
+  /// (protocol clients SAVE first); in-flight holders keep their pointer.
+  Status Close(const std::string& name);
+
+  /// Names of resident sessions (sorted; parked sessions excluded).
+  std::vector<std::string> SessionNames() const;
+
+  size_t resident_sessions() const;
+  size_t parked_sessions() const;
+  uint64_t evictions() const { return evictions_.load(); }
+
+  ServiceMetrics& metrics() { return metrics_; }
+  ThreadPool& pool() { return *pool_; }
+  const WorkbookServiceOptions& options() const { return options_; }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, std::shared_ptr<WorkbookSession>> sessions;
+  };
+
+  /// What the registry remembers about an evicted session: enough to
+  /// transparently bring it back exactly as it was.
+  struct ParkedEntry {
+    std::string path;
+    std::string backend;
+  };
+
+  Shard& ShardFor(const std::string& name);
+  const Shard& ShardFor(const std::string& name) const;
+
+  /// Stamps `session` with the next LRU tick.
+  void Touch(WorkbookSession& session);
+
+  /// Creates a session around `sheet` with `backend`, building its graph.
+  Result<std::shared_ptr<WorkbookSession>> MakeSession(
+      const std::string& name, Sheet sheet, std::string_view backend);
+
+  /// The shared lookup/reload/create transition behind Open and Get,
+  /// atomic per shard. With `create_if_missing` false, a name that is
+  /// neither resident nor parked is NotFound instead of created.
+  Result<std::shared_ptr<WorkbookSession>> OpenImpl(const std::string& name,
+                                                    std::string_view backend,
+                                                    bool create_if_missing);
+
+  /// If over the residency cap, saves + parks LRU file-bound sessions.
+  void MaybeEvict();
+
+  /// Looks up (and erases) the parked entry for `name`.
+  std::optional<ParkedEntry> TakeParked(const std::string& name);
+
+  WorkbookServiceOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> lru_clock_{0};
+  std::atomic<uint64_t> evictions_{0};
+  /// Tracks the map sizes so the per-op residency check (MaybeEvict's
+  /// fast path) doesn't have to lock every shard just to count.
+  std::atomic<size_t> resident_count_{0};
+
+  mutable std::mutex parked_mu_;
+  std::unordered_map<std::string, ParkedEntry> parked_;
+
+  /// Sessions whose eviction save failed, with the op epoch at failure:
+  /// skipped by later sweeps until they change again, so a session with
+  /// a broken bound path doesn't put a failing disk write on every
+  /// request while the service sits over the (soft) cap.
+  std::mutex unsavable_mu_;
+  std::unordered_map<std::string, uint64_t> unsavable_;
+
+  /// Single-flight guard for MaybeEvict: overlapping sweeps would veto
+  /// each other's park re-checks (each holds the victim's shared_ptr,
+  /// breaking the sole-reference condition) and duplicate scans/saves.
+  std::atomic<bool> evicting_{false};
+
+  ServiceMetrics metrics_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace taco
+
+#endif  // TACO_SERVICE_WORKBOOK_SERVICE_H_

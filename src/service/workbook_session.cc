@@ -1,0 +1,199 @@
+#include "service/workbook_session.h"
+
+#include <utility>
+
+#include "common/ascii.h"
+#include "common/clock.h"
+#include "baselines/antifreeze.h"
+#include "baselines/calcgraph.h"
+#include "baselines/cellgraph.h"
+#include "baselines/excellike.h"
+#include "graph/nocomp_graph.h"
+#include "sheet/textio.h"
+#include "taco/taco_graph.h"
+
+namespace taco {
+
+Result<std::unique_ptr<DependencyGraph>> MakeGraphBackend(
+    std::string_view backend) {
+  std::string key = ToLowerAscii(backend);
+  if (key.empty() || key == "taco" || key == "taco-full") {
+    return std::unique_ptr<DependencyGraph>(
+        std::make_unique<TacoGraph>(TacoOptions::Full()));
+  }
+  if (key == "taco-inrow") {
+    return std::unique_ptr<DependencyGraph>(
+        std::make_unique<TacoGraph>(TacoOptions::InRow()));
+  }
+  if (key == "nocomp") {
+    return std::unique_ptr<DependencyGraph>(std::make_unique<NoCompGraph>());
+  }
+  if (key == "excellike") {
+    return std::unique_ptr<DependencyGraph>(
+        std::make_unique<ExcelLikeGraph>());
+  }
+  if (key == "calcgraph") {
+    return std::unique_ptr<DependencyGraph>(std::make_unique<CalcGraph>());
+  }
+  if (key == "cellgraph") {
+    return std::unique_ptr<DependencyGraph>(std::make_unique<CellGraph>());
+  }
+  if (key == "antifreeze") {
+    return std::unique_ptr<DependencyGraph>(
+        std::make_unique<AntifreezeGraph>());
+  }
+  return Status::InvalidArgument("unknown graph backend '" +
+                                 std::string(backend) + "'");
+}
+
+WorkbookSession::WorkbookSession(std::string name, Sheet sheet,
+                                 std::unique_ptr<DependencyGraph> graph,
+                                 ServiceMetrics* metrics)
+    : name_(std::move(name)),
+      sheet_(std::move(sheet)),
+      graph_(std::move(graph)),
+      engine_(&sheet_, graph_.get()),
+      metrics_(metrics) {
+  sheet_.set_name(name_);
+}
+
+template <typename Fn>
+Result<RecalcResult> WorkbookSession::Mutate(ServiceOp op, Fn&& fn) {
+  auto start = SteadyNow();
+  op_epoch_.fetch_add(1);
+  // A failed batch may still have applied (and recalculated) the edits
+  // before the failing one — batches are not atomic — and that work must
+  // show up in the session counters and metrics, not vanish with the
+  // error. Single edits apply nothing on failure (partial stays zero).
+  RecalcResult partial;
+  Result<RecalcResult> result = [&]() -> Result<RecalcResult> {
+    std::lock_guard<std::mutex> lock(mu_);
+    Result<RecalcResult> r = fn(&partial);
+    const RecalcResult& outcome = r.ok() ? r.value() : partial;
+    if (r.ok() || outcome.edits_applied > 0) ++ops_;
+    // Only actual edits make the session dirty — a successful empty
+    // batch must not force a pointless save.
+    if (outcome.edits_applied > 0) {
+      dirty_ = true;
+      edits_ += outcome.edits_applied;
+      recalc_passes_ += outcome.recalc_passes;
+      dirty_cells_ += outcome.dirty_cells;
+    }
+    return r;
+  }();
+  if (metrics_ != nullptr) {
+    const RecalcResult* outcome =
+        result.ok() ? &result.value()
+                    : (partial.edits_applied > 0 ? &partial : nullptr);
+    metrics_->Record(op, MsSince(start), result.ok(), outcome);
+  }
+  return result;
+}
+
+Result<RecalcResult> WorkbookSession::SetNumber(const Cell& cell,
+                                                double value) {
+  return Mutate(ServiceOp::kSet, [&](RecalcResult*) {
+    return engine_.SetNumber(cell, value);
+  });
+}
+
+Result<RecalcResult> WorkbookSession::SetText(const Cell& cell,
+                                              std::string value) {
+  return Mutate(ServiceOp::kSet, [&](RecalcResult*) {
+    return engine_.SetText(cell, std::move(value));
+  });
+}
+
+Result<RecalcResult> WorkbookSession::SetFormula(const Cell& cell,
+                                                 std::string_view text) {
+  return Mutate(ServiceOp::kFormula, [&](RecalcResult*) {
+    return engine_.SetFormula(cell, text);
+  });
+}
+
+Result<RecalcResult> WorkbookSession::ClearRange(const Range& range) {
+  return Mutate(ServiceOp::kClear, [&](RecalcResult*) {
+    return engine_.ClearRange(range);
+  });
+}
+
+Result<RecalcResult> WorkbookSession::ApplyBatch(const EditBatch& batch,
+                                                 RecalcResult* partial) {
+  return Mutate(ServiceOp::kBatch, [&](RecalcResult* inner) {
+    Result<RecalcResult> r = engine_.ApplyBatch(batch, inner);
+    if (partial != nullptr) *partial = *inner;
+    return r;
+  });
+}
+
+Value WorkbookSession::GetValue(const Cell& cell) {
+  auto start = SteadyNow();
+  op_epoch_.fetch_add(1);
+  Value value;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    value = engine_.GetValue(cell);
+    ++ops_;
+  }
+  if (metrics_ != nullptr) {
+    metrics_->Record(ServiceOp::kGet, MsSince(start), /*ok=*/true);
+  }
+  return value;
+}
+
+std::string WorkbookSession::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return WriteSheetText(sheet_);
+}
+
+Status WorkbookSession::Save(const std::string& path) {
+  auto start = SteadyNow();
+  Status status = [&] {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string target = path.empty() ? bound_path_ : path;
+    if (target.empty()) {
+      return Status::InvalidArgument("session '" + name_ +
+                                     "' has no bound path; pass one to SAVE");
+    }
+    Status s = SaveSheetFile(sheet_, target);
+    if (s.ok()) {
+      bound_path_ = target;
+      dirty_ = false;
+    }
+    return s;
+  }();
+  if (metrics_ != nullptr) {
+    metrics_->Record(ServiceOp::kSave, MsSince(start), status.ok());
+  }
+  return status;
+}
+
+std::string WorkbookSession::bound_path() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bound_path_;
+}
+
+void WorkbookSession::BindPath(std::string path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bound_path_ = std::move(path);
+}
+
+SessionStats WorkbookSession::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SessionStats stats;
+  stats.name = name_;
+  stats.backend = graph_->Name();
+  stats.path = bound_path_;
+  stats.cells = sheet_.cell_count();
+  stats.formula_cells = sheet_.formula_cell_count();
+  stats.graph_vertices = graph_->NumVertices();
+  stats.graph_edges = graph_->NumEdges();
+  stats.ops = ops_;
+  stats.edits = edits_;
+  stats.recalc_passes = recalc_passes_;
+  stats.dirty_cells = dirty_cells_;
+  stats.dirty = dirty_;
+  return stats;
+}
+
+}  // namespace taco

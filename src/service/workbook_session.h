@@ -1,0 +1,132 @@
+// One live workbook: Sheet + pluggable DependencyGraph + RecalcEngine
+// behind a per-session mutex.
+//
+// A session is the unit of isolation in the workbook service: every
+// operation takes the session lock, so concurrent clients of one
+// workbook serialize (spreadsheet recalc is inherently ordered) while
+// different workbooks proceed in parallel. Sessions never share mutable
+// state with each other; the only cross-session object is the metrics
+// sink, which is internally synchronized.
+
+#ifndef TACO_SERVICE_WORKBOOK_SESSION_H_
+#define TACO_SERVICE_WORKBOOK_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "eval/recalc.h"
+#include "graph/dependency_graph.h"
+#include "service/metrics.h"
+#include "sheet/sheet.h"
+
+namespace taco {
+
+/// Point-in-time counters of one session (STATS <name>).
+struct SessionStats {
+  std::string name;
+  std::string backend;        ///< Graph implementation name.
+  std::string path;           ///< Bound file, empty when in-memory only.
+  size_t cells = 0;
+  size_t formula_cells = 0;
+  size_t graph_vertices = 0;
+  size_t graph_edges = 0;
+  uint64_t ops = 0;           ///< Mutating + read operations served.
+  uint64_t edits = 0;         ///< Individual edits applied (batch members).
+  uint64_t recalc_passes = 0;
+  uint64_t dirty_cells = 0;   ///< Cumulative dirty-set size.
+  bool dirty = false;         ///< Unsaved changes since load/save.
+};
+
+/// A named spreadsheet session. Thread-safe; all public operations lock.
+class WorkbookSession {
+ public:
+  /// Takes ownership of `graph`, which must already reflect `sheet`
+  /// (callers use BuildGraphFromSheet; an empty sheet needs no build).
+  /// `metrics` is optional and must outlive the session when given.
+  WorkbookSession(std::string name, Sheet sheet,
+                  std::unique_ptr<DependencyGraph> graph,
+                  ServiceMetrics* metrics = nullptr);
+
+  WorkbookSession(const WorkbookSession&) = delete;
+  WorkbookSession& operator=(const WorkbookSession&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Mutations; each returns the merged recalc outcome.
+  Result<RecalcResult> SetNumber(const Cell& cell, double value);
+  Result<RecalcResult> SetText(const Cell& cell, std::string value);
+  Result<RecalcResult> SetFormula(const Cell& cell, std::string_view text);
+  Result<RecalcResult> ClearRange(const Range& range);
+
+  /// Applies `batch` with ONE merged dirty-set computation and recalc
+  /// (RecalcEngine::ApplyBatch) — N edits, one graph sweep. On failure,
+  /// a non-null `partial` receives the outcome of the edits that did
+  /// apply (batches are not atomic; see RecalcEngine::ApplyBatch).
+  Result<RecalcResult> ApplyBatch(const EditBatch& batch,
+                                  RecalcResult* partial = nullptr);
+
+  /// Evaluates one cell (cached in the engine's evaluator).
+  Value GetValue(const Cell& cell);
+
+  /// Serializes the sheet in .tsheet format.
+  std::string Snapshot() const;
+
+  /// Saves to `path` (or the bound path when empty) and clears the dirty
+  /// flag. Binding: a successful save remembers `path` for next time.
+  Status Save(const std::string& path = "");
+
+  /// File this session was loaded from / last saved to ("" if none).
+  std::string bound_path() const;
+
+  /// Binds `path` without saving (used by LOAD right after reading it).
+  void BindPath(std::string path);
+
+  SessionStats Stats() const;
+
+  /// LRU bookkeeping for the service's resident-set bound.
+  uint64_t last_access() const { return last_access_.load(); }
+  void Touch(uint64_t tick) { last_access_.store(tick); }
+
+  /// Monotonic count of operations served; the evictor compares epochs
+  /// around save-and-park to detect a session that became hot again.
+  uint64_t op_epoch() const { return op_epoch_.load(); }
+
+  /// The MakeGraphBackend key this session was created with. Set once by
+  /// the service before the session is published; parking remembers it
+  /// so a reload keeps the same graph implementation.
+  const std::string& backend_key() const { return backend_key_; }
+  void set_backend_key(std::string key) { backend_key_ = std::move(key); }
+
+ private:
+  template <typename Fn>
+  Result<RecalcResult> Mutate(ServiceOp op, Fn&& fn);
+
+  const std::string name_;
+  mutable std::mutex mu_;
+  Sheet sheet_;
+  std::unique_ptr<DependencyGraph> graph_;
+  RecalcEngine engine_;
+  std::string bound_path_;
+  bool dirty_ = false;
+  uint64_t ops_ = 0;
+  uint64_t edits_ = 0;
+  uint64_t recalc_passes_ = 0;
+  uint64_t dirty_cells_ = 0;
+  ServiceMetrics* metrics_;
+  std::string backend_key_;
+  std::atomic<uint64_t> last_access_{0};
+  std::atomic<uint64_t> op_epoch_{0};
+};
+
+/// Creates the graph backend selected by `backend` ("taco", "taco-inrow",
+/// "nocomp", "excellike", "calcgraph", "cellgraph", "antifreeze");
+/// case-insensitive. Fails with InvalidArgument on unknown names.
+Result<std::unique_ptr<DependencyGraph>> MakeGraphBackend(
+    std::string_view backend);
+
+}  // namespace taco
+
+#endif  // TACO_SERVICE_WORKBOOK_SESSION_H_

@@ -1,5 +1,8 @@
 #include "sheet/textio.h"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cctype>
 #include <charconv>
 #include <cstdlib>
@@ -128,14 +131,31 @@ Result<Sheet> ReadSheetText(std::string_view text) {
 }
 
 Status SaveSheetFile(const Sheet& sheet, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
+  // Write-then-rename so a concurrent load (the workbook service reloads
+  // parked sessions while others save) never observes a partial file. The
+  // temp name is unique per writer so concurrent saves to one path can't
+  // interleave inside the same temp file; last rename wins.
+  static std::atomic<uint64_t> save_counter{0};
+  const std::string tmp_path = path + ".tmp." +
+                               std::to_string(::getpid()) + "." +
+                               std::to_string(save_counter.fetch_add(1));
+  std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
   if (!out) {
-    return Status::IoError("cannot open '" + path + "' for writing");
+    return Status::IoError("cannot open '" + tmp_path + "' for writing");
   }
   out << WriteSheetText(sheet);
   out.close();
   if (!out) {
-    return Status::IoError("failed writing '" + path + "'");
+    std::error_code ec;
+    std::filesystem::remove(tmp_path, ec);
+    return Status::IoError("failed writing '" + tmp_path + "'");
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp_path, ec);
+    return Status::IoError("cannot rename '" + tmp_path + "' to '" + path +
+                           "'");
   }
   return Status::OK();
 }

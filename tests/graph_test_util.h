@@ -220,17 +220,50 @@ struct DifferentialConfig {
   /// NumEdges, which can never exceed it for a lossless compressed
   /// representation — against the oracle's live-dependency count.
   std::function<std::optional<uint64_t>(const DependencyGraph&)> raw_deps;
+
+  /// Expected NumEdges as a deterministic function of the live dependency
+  /// list, for representations whose edge count is NOT the raw-dependency
+  /// count — CellGraph stores one cell-to-cell edge per precedent cell
+  /// (sum of prec areas). When set, the harness checks NumEdges against
+  /// it after every phase.
+  std::function<uint64_t(std::span<const Dependency>)> expected_edges;
+};
+
+/// Aggregate query-accuracy report of one differential run. Exact graphs
+/// must come out with zero false positives; Antifreeze's documented
+/// dependent over-approximation is quantified by `Precision()` — the
+/// fraction of reported dependent cells the oracle confirms.
+struct DifferentialReport {
+  uint64_t dependent_queries = 0;
+  uint64_t oracle_cells = 0;          ///< True dependent cells (oracle).
+  uint64_t reported_cells = 0;        ///< Cells the graph reported.
+  uint64_t false_positive_cells = 0;  ///< Reported but not true.
+
+  double Precision() const {
+    return reported_cells == 0
+               ? 1.0
+               : 1.0 - double(false_positive_cells) / double(reported_cells);
+  }
 };
 
 inline void CheckQueriesAgainstOracle(DependencyGraph* graph,
                                       std::span<const Dependency> live,
                                       WorkloadGenerator* gen,
                                       const DifferentialConfig& config,
-                                      int n_queries, const char* phase) {
+                                      int n_queries, const char* phase,
+                                      DifferentialReport* report = nullptr) {
   for (int q = 0; q < n_queries; ++q) {
     Range input = gen->NextQuery();
     CellSet expected_deps = BruteForceDependents(live, input);
     CellSet actual_deps = ToCellSet(graph->FindDependents(input));
+    if (report != nullptr) {
+      ++report->dependent_queries;
+      report->oracle_cells += expected_deps.size();
+      report->reported_cells += actual_deps.size();
+      for (const auto& cell : actual_deps) {
+        if (!expected_deps.contains(cell)) ++report->false_positive_cells;
+      }
+    }
     if (config.exact_dependents) {
       EXPECT_EQ(actual_deps, expected_deps)
           << graph->Name() << " [" << phase << "] dependents of "
@@ -265,8 +298,31 @@ inline void CheckEdgeAccounting(DependencyGraph* graph,
   }
 }
 
+/// Edge-count oracle for graphs whose NumEdges is a pure function of the
+/// live dependencies (decomposed representations).
+inline void CheckExpectedEdges(DependencyGraph* graph,
+                               std::span<const Dependency> live,
+                               const DifferentialConfig& config,
+                               const char* phase) {
+  if (!config.expected_edges) return;
+  EXPECT_EQ(graph->NumEdges(), config.expected_edges(live))
+      << graph->Name() << " [" << phase << "] decomposed-edge accounting";
+}
+
+/// CellGraph's representation contract: every dependency decomposes into
+/// one cell-to-cell edge per precedent cell (Sec. VI-D), duplicates and
+/// all, so the live edge count is the sum of precedent areas.
+inline uint64_t DecomposedEdgeCount(std::span<const Dependency> live) {
+  uint64_t total = 0;
+  for (const Dependency& dep : live) total += dep.prec.Area();
+  return total;
+}
+
+/// Drives the workload; when `report` is given, accumulates the
+/// dependent-query accuracy aggregates into it (precision metric).
 inline void RunDifferentialWorkload(DependencyGraph* graph, uint32_t seed,
-                                    const DifferentialConfig& config = {}) {
+                                    const DifferentialConfig& config = {},
+                                    DifferentialReport* report = nullptr) {
   WorkloadGenerator gen(seed, config.max_col, config.max_row);
   std::vector<Dependency> live;
 
@@ -281,8 +337,9 @@ inline void RunDifferentialWorkload(DependencyGraph* graph, uint32_t seed,
 
   insert(config.initial_inserts);
   CheckEdgeAccounting(graph, live, config, "build");
+  CheckExpectedEdges(graph, live, config, "build");
   CheckQueriesAgainstOracle(graph, live, &gen, config,
-                            config.queries_per_round, "build");
+                            config.queries_per_round, "build", report);
 
   for (int round = 0; round < config.rounds; ++round) {
     insert(config.inserts_per_round);
@@ -295,8 +352,9 @@ inline void RunDifferentialWorkload(DependencyGraph* graph, uint32_t seed,
       });
     }
     CheckEdgeAccounting(graph, live, config, "round");
+    CheckExpectedEdges(graph, live, config, "round");
     CheckQueriesAgainstOracle(graph, live, &gen, config,
-                              config.queries_per_round, "round");
+                              config.queries_per_round, "round", report);
   }
 
   // Tear down to empty: clearing every formula cell must leave no edges
@@ -307,7 +365,9 @@ inline void RunDifferentialWorkload(DependencyGraph* graph, uint32_t seed,
           .ok());
   live.clear();
   CheckEdgeAccounting(graph, live, config, "teardown");
-  CheckQueriesAgainstOracle(graph, live, &gen, config, 4, "teardown");
+  CheckExpectedEdges(graph, live, config, "teardown");
+  CheckQueriesAgainstOracle(graph, live, &gen, config, 4, "teardown",
+                            report);
 }
 
 }  // namespace taco::test

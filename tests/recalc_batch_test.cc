@@ -1,0 +1,208 @@
+// RecalcEngine batch semantics: an EditBatch of N edits must perform
+// exactly ONE merged dirty-set computation + recalc pass, re-evaluate
+// each dirty formula at most once, and leave the sheet cell-for-cell
+// identical to applying the same N edits sequentially.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "eval/recalc.h"
+#include "graph/nocomp_graph.h"
+#include "sheet/sheet.h"
+#include "taco/taco_graph.h"
+
+namespace taco {
+namespace {
+
+std::unique_ptr<DependencyGraph> MakeGraph(bool taco) {
+  if (taco) return std::make_unique<TacoGraph>();
+  return std::make_unique<NoCompGraph>();
+}
+
+/// Sheet + graph + engine bundle for one replay.
+struct Rig {
+  explicit Rig(bool taco) : graph(MakeGraph(taco)), engine(&sheet, graph.get()) {}
+  Sheet sheet;
+  std::unique_ptr<DependencyGraph> graph;
+  RecalcEngine engine;
+};
+
+/// Asserts every cell of `range` evaluates identically in both rigs.
+void ExpectSameValues(Rig* a, Rig* b, const Range& range) {
+  for (const Cell& cell : EnumerateCells(range)) {
+    EXPECT_EQ(a->engine.GetValue(cell), b->engine.GetValue(cell))
+        << "cell " << cell.ToString();
+  }
+}
+
+class RecalcBatchTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(RecalcBatchTest, BatchMatchesSequentialCellForCell) {
+  Rig batch_rig(GetParam());
+  Rig seq_rig(GetParam());
+
+  // A small model: A1:A5 inputs, B column derived, C1 grand total.
+  EditBatch setup;
+  for (int r = 1; r <= 5; ++r) {
+    setup.push_back(Edit::SetNumber(Cell{1, r}, r * 10.0));
+    setup.push_back(
+        Edit::SetFormula(Cell{2, r}, "A" + std::to_string(r) + "*2"));
+  }
+  setup.push_back(Edit::SetFormula(Cell{3, 1}, "SUM(B1:B5)"));
+
+  auto batch_result = batch_rig.engine.ApplyBatch(setup);
+  ASSERT_TRUE(batch_result.ok()) << batch_result.status().ToString();
+  EXPECT_EQ(batch_result->recalc_passes, 1u);
+  EXPECT_EQ(batch_result->edits_applied, setup.size());
+
+  uint64_t sequential_passes = 0;
+  for (const Edit& edit : setup) {
+    auto r = seq_rig.engine.ApplyBatch({edit});
+    ASSERT_TRUE(r.ok());
+    sequential_passes += r->recalc_passes;
+  }
+  EXPECT_EQ(sequential_passes, setup.size());
+
+  ExpectSameValues(&batch_rig, &seq_rig, Range(1, 1, 4, 6));
+}
+
+TEST_P(RecalcBatchTest, EachDirtyFormulaRecalculatedAtMostOnce) {
+  Rig rig(GetParam());
+  // B1 = SUM(A1:A10): every input edit dirties the same single formula.
+  for (int r = 1; r <= 10; ++r) {
+    ASSERT_TRUE(rig.engine.SetNumber(Cell{1, r}, 1.0).ok());
+  }
+  ASSERT_TRUE(rig.engine.SetFormula(Cell{2, 1}, "SUM(A1:A10)").ok());
+
+  EditBatch batch;
+  for (int r = 1; r <= 10; ++r) {
+    batch.push_back(Edit::SetNumber(Cell{1, r}, 2.0));
+  }
+  auto result = rig.engine.ApplyBatch(batch);
+  ASSERT_TRUE(result.ok());
+  // Ten edits all dirty exactly B1; a per-edit loop would recalc it ten
+  // times, the merged pass exactly once.
+  EXPECT_EQ(result->recalc_passes, 1u);
+  EXPECT_EQ(result->recalculated, 1u);
+  EXPECT_EQ(result->dirty_cells, 1u);
+  EXPECT_EQ(rig.engine.GetValue(Cell{2, 1}), Value::Number(20.0));
+
+  // Sequential baseline: the same ten edits cost ten recalcs of B1.
+  Rig seq(GetParam());
+  for (int r = 1; r <= 10; ++r) {
+    ASSERT_TRUE(seq.engine.SetNumber(Cell{1, r}, 1.0).ok());
+  }
+  ASSERT_TRUE(seq.engine.SetFormula(Cell{2, 1}, "SUM(A1:A10)").ok());
+  uint64_t recalced = 0;
+  for (const Edit& edit : batch) {
+    auto r = seq.engine.ApplyBatch({edit});
+    ASSERT_TRUE(r.ok());
+    recalced += r->recalculated;
+  }
+  EXPECT_EQ(recalced, 10u);
+  EXPECT_EQ(seq.engine.GetValue(Cell{2, 1}), rig.engine.GetValue(Cell{2, 1}));
+}
+
+TEST_P(RecalcBatchTest, OverlappingDirtySetsAreMerged) {
+  Rig rig(GetParam());
+  // Chain: A1 -> B1 -> B2 -> B3. Editing A1 and B1's formula both dirty
+  // the downstream chain; the merged pass must still visit each formula
+  // once (disjointified dirty set).
+  ASSERT_TRUE(rig.engine.SetNumber(Cell{1, 1}, 1.0).ok());
+  ASSERT_TRUE(rig.engine.SetFormula(Cell{2, 1}, "A1+1").ok());
+  ASSERT_TRUE(rig.engine.SetFormula(Cell{2, 2}, "B1+1").ok());
+  ASSERT_TRUE(rig.engine.SetFormula(Cell{2, 3}, "B2+1").ok());
+
+  EditBatch batch;
+  batch.push_back(Edit::SetNumber(Cell{1, 1}, 5.0));
+  batch.push_back(Edit::SetFormula(Cell{2, 1}, "A1+100"));
+  auto result = rig.engine.ApplyBatch(batch);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->recalc_passes, 1u);
+  // Dirty formulas: B1, B2, B3 — each exactly once despite two seeds.
+  EXPECT_EQ(result->recalculated, 3u);
+  EXPECT_EQ(rig.engine.GetValue(Cell{2, 3}), Value::Number(107.0));
+}
+
+TEST_P(RecalcBatchTest, BatchWithClearAndFormulaReplacement) {
+  Rig batch_rig(GetParam());
+  Rig seq_rig(GetParam());
+  for (Rig* rig : {&batch_rig, &seq_rig}) {
+    for (int r = 1; r <= 4; ++r) {
+      ASSERT_TRUE(rig->engine.SetNumber(Cell{1, r}, r * 1.0).ok());
+    }
+    ASSERT_TRUE(rig->engine.SetFormula(Cell{2, 1}, "SUM(A1:A4)").ok());
+    ASSERT_TRUE(rig->engine.SetFormula(Cell{2, 2}, "B1*10").ok());
+  }
+
+  EditBatch batch;
+  batch.push_back(Edit::ClearRange(Range(1, 3, 1, 4)));   // Drop A3:A4.
+  batch.push_back(Edit::SetFormula(Cell{2, 1}, "SUM(A1:A2)"));  // Rewire.
+  batch.push_back(Edit::SetText(Cell{4, 1}, "note"));
+  auto result = batch_rig.engine.ApplyBatch(batch);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->recalc_passes, 1u);
+  for (const Edit& edit : batch) {
+    ASSERT_TRUE(seq_rig.engine.ApplyBatch({edit}).ok());
+  }
+  ExpectSameValues(&batch_rig, &seq_rig, Range(1, 1, 4, 4));
+  EXPECT_EQ(batch_rig.engine.GetValue(Cell{2, 2}), Value::Number(30.0));
+}
+
+TEST_P(RecalcBatchTest, FailingEditStopsBatchButKeepsEngineConsistent) {
+  Rig rig(GetParam());
+  ASSERT_TRUE(rig.engine.SetNumber(Cell{1, 1}, 1.0).ok());
+  ASSERT_TRUE(rig.engine.SetFormula(Cell{2, 1}, "A1*2").ok());
+
+  EditBatch batch;
+  batch.push_back(Edit::SetNumber(Cell{1, 1}, 7.0));
+  batch.push_back(Edit::SetFormula(Cell{3, 1}, "SUM(("));  // Parse error.
+  batch.push_back(Edit::SetNumber(Cell{1, 1}, 9.0));       // Never applied.
+  RecalcResult partial;
+  auto result = rig.engine.ApplyBatch(batch, &partial);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+  // The edit before the failure was applied AND recalculated, and the
+  // partial outcome reports exactly that work.
+  EXPECT_EQ(rig.engine.GetValue(Cell{1, 1}), Value::Number(7.0));
+  EXPECT_EQ(rig.engine.GetValue(Cell{2, 1}), Value::Number(14.0));
+  EXPECT_EQ(partial.edits_applied, 1u);
+  EXPECT_EQ(partial.recalc_passes, 1u);
+  EXPECT_EQ(partial.recalculated, 1u);
+  // The failing formula touched neither the sheet nor the graph.
+  EXPECT_FALSE(rig.sheet.IsFormulaCell(Cell{3, 1}));
+}
+
+TEST_P(RecalcBatchTest, FailedFormulaReplacementKeepsOldDependencies) {
+  Rig rig(GetParam());
+  ASSERT_TRUE(rig.engine.SetNumber(Cell{1, 1}, 3.0).ok());
+  ASSERT_TRUE(rig.engine.SetFormula(Cell{2, 1}, "A1*2").ok());
+  // Replacing B1's formula with garbage must fail WITHOUT dropping B1's
+  // existing graph edges (parse is validated before the clear+insert).
+  auto result = rig.engine.SetFormula(Cell{2, 1}, "SUM((");
+  ASSERT_FALSE(result.ok());
+  auto after = rig.engine.SetNumber(Cell{1, 1}, 4.0);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->recalculated, 1u);  // B1 still depends on A1.
+  EXPECT_EQ(rig.engine.GetValue(Cell{2, 1}), Value::Number(8.0));
+}
+
+TEST_P(RecalcBatchTest, EmptyBatchIsANoOp) {
+  Rig rig(GetParam());
+  auto result = rig.engine.ApplyBatch({});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->recalc_passes, 0u);
+  EXPECT_EQ(result->edits_applied, 0u);
+  EXPECT_EQ(result->recalculated, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, RecalcBatchTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Taco" : "NoComp";
+                         });
+
+}  // namespace
+}  // namespace taco

@@ -1,0 +1,286 @@
+// Workbook service + protocol unit tests: session registry semantics
+// (open/load/save/close, backend selection, LRU parking + transparent
+// reload), protocol round trips including BATCH framing, and metrics.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "service/protocol.h"
+#include "service/workbook_service.h"
+#include "sheet/textio.h"
+
+namespace taco {
+namespace {
+
+std::string TempPath(const std::string& stem) {
+  return (std::filesystem::temp_directory_path() / stem).string();
+}
+
+TEST(WorkbookServiceTest, OpenIsIdempotentAndCloseDrops) {
+  WorkbookService service;
+  auto a = service.Open("book");
+  ASSERT_TRUE(a.ok());
+  auto b = service.Open("book");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->get(), b->get());
+  EXPECT_EQ(service.resident_sessions(), 1u);
+
+  ASSERT_TRUE(service.Close("book").ok());
+  EXPECT_EQ(service.resident_sessions(), 0u);
+  EXPECT_EQ(service.Get("book").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(service.Close("book").code(), StatusCode::kNotFound);
+}
+
+TEST(WorkbookServiceTest, BackendSelectionPerSession) {
+  WorkbookService service;
+  auto taco = service.Open("a");
+  auto nocomp = service.Open("b", "nocomp");
+  ASSERT_TRUE(taco.ok());
+  ASSERT_TRUE(nocomp.ok());
+  EXPECT_EQ((*taco)->Stats().backend, "TACO");
+  EXPECT_EQ((*nocomp)->Stats().backend, "NoComp");
+  EXPECT_EQ(service.Open("c", "bogus").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WorkbookServiceTest, SessionOpsRecalculateAndReport) {
+  WorkbookService service;
+  auto session = *service.Open("book");
+  ASSERT_TRUE(session->SetNumber(Cell{1, 1}, 5).ok());
+  ASSERT_TRUE(session->SetFormula(Cell{2, 1}, "A1*3").ok());
+  EXPECT_EQ(session->GetValue(Cell{2, 1}), Value::Number(15));
+
+  EditBatch batch;
+  batch.push_back(Edit::SetNumber(Cell{1, 1}, 10));
+  batch.push_back(Edit::SetFormula(Cell{2, 2}, "B1+1"));
+  auto result = session->ApplyBatch(batch);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->recalc_passes, 1u);
+  EXPECT_EQ(session->GetValue(Cell{2, 2}), Value::Number(31));
+
+  SessionStats stats = session->Stats();
+  EXPECT_EQ(stats.backend, "TACO");
+  EXPECT_TRUE(stats.dirty);
+  EXPECT_GE(stats.edits, 4u);
+  OpStats batch_stats = service.metrics().Get(ServiceOp::kBatch);
+  EXPECT_EQ(batch_stats.count, 1u);
+  EXPECT_EQ(batch_stats.recalc_passes, 1u);
+}
+
+TEST(WorkbookServiceTest, SaveLoadRoundTrip) {
+  std::string path = TempPath("taco_service_roundtrip.tsheet");
+  WorkbookService service;
+  {
+    auto session = *service.Open("src");
+    ASSERT_TRUE(session->SetNumber(Cell{1, 1}, 2).ok());
+    ASSERT_TRUE(session->SetFormula(Cell{1, 2}, "A1*A1").ok());
+    ASSERT_TRUE(service.Save("src", path).ok());
+    EXPECT_EQ(session->bound_path(), path);
+    EXPECT_FALSE(session->Stats().dirty);
+  }
+  auto loaded = service.Load("copy", path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)->GetValue(Cell{1, 2}), Value::Number(4));
+  // A no-op batch must not mark a clean session unsaved.
+  ASSERT_TRUE((*loaded)->ApplyBatch({}).ok());
+  EXPECT_FALSE((*loaded)->Stats().dirty);
+  // A second load under the same name collides.
+  EXPECT_EQ(service.Load("copy", path).status().code(),
+            StatusCode::kAlreadyExists);
+  std::remove(path.c_str());
+}
+
+TEST(WorkbookServiceTest, LruEvictionParksAndReloadsTransparently) {
+  WorkbookServiceOptions options;
+  options.max_resident_sessions = 2;
+  WorkbookService service(options);
+
+  // Three file-bound sessions under a cap of two: the LRU one parks.
+  // wb0 uses a non-default backend, which parking must remember.
+  std::string paths[3];
+  for (int i = 0; i < 3; ++i) {
+    std::string name = "wb" + std::to_string(i);
+    paths[i] = TempPath("taco_service_lru_" + std::to_string(i) + ".tsheet");
+    auto session = *service.Open(name, i == 0 ? "nocomp" : "");
+    ASSERT_TRUE(session->SetNumber(Cell{1, 1}, i * 100.0).ok());
+    ASSERT_TRUE(service.Save(name, paths[i]).ok());
+  }
+  EXPECT_EQ(service.resident_sessions(), 2u);
+  EXPECT_EQ(service.parked_sessions(), 1u);
+  EXPECT_EQ(service.evictions(), 1u);
+
+  // wb0 was least recently used; Get reloads it from its file with its
+  // data — and its graph backend — intact.
+  auto reloaded = service.Get("wb0");
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ((*reloaded)->GetValue(Cell{1, 1}), Value::Number(0));
+  EXPECT_EQ((*reloaded)->bound_path(), paths[0]);
+  EXPECT_EQ((*reloaded)->Stats().backend, "NoComp");
+
+  // A closed name must stay closed: Close drops the parked entry too, so
+  // a later Get cannot resurrect it from the parked map.
+  ASSERT_TRUE(service.Close("wb1").ok() || service.Close("wb2").ok());
+  for (const std::string& path : paths) std::remove(path.c_str());
+}
+
+TEST(WorkbookServiceTest, FailedParkedReloadKeepsTheParkedEntry) {
+  WorkbookServiceOptions options;
+  options.max_resident_sessions = 1;
+  WorkbookService service(options);
+
+  std::string path = TempPath("taco_service_repark.tsheet");
+  auto first = *service.Open("first");
+  ASSERT_TRUE(first->SetNumber(Cell{1, 1}, 1).ok());
+  ASSERT_TRUE(service.Save("first", path).ok());
+  first.reset();  // Only the registry holds it now: evictable.
+  ASSERT_TRUE(service.Open("other").ok());  // Cap 1: parks "first".
+  ASSERT_EQ(service.parked_sessions(), 1u);
+
+  // Break the backing file: reload must fail WITHOUT consuming the
+  // parked entry, so the name stays bound to its data instead of being
+  // recreated empty on the next open.
+  std::remove(path.c_str());
+  EXPECT_EQ(service.Get("first").status().code(), StatusCode::kIoError);
+  EXPECT_EQ(service.parked_sessions(), 1u);
+  EXPECT_EQ(service.Open("first").status().code(), StatusCode::kIoError);
+
+  // Restoring the file makes the same name reloadable again.
+  Sheet sheet;
+  ASSERT_TRUE(sheet.SetNumber(Cell{1, 1}, 1).ok());
+  ASSERT_TRUE(SaveSheetFile(sheet, path).ok());
+  auto reloaded = service.Get("first");
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ((*reloaded)->GetValue(Cell{1, 1}), Value::Number(1));
+  std::remove(path.c_str());
+}
+
+TEST(WorkbookServiceTest, UnboundSessionsArePinnedResident) {
+  WorkbookServiceOptions options;
+  options.max_resident_sessions = 1;
+  WorkbookService service(options);
+  ASSERT_TRUE(service.Open("a").ok());
+  ASSERT_TRUE(service.Open("b").ok());
+  // No backing files: nothing can be parked losslessly, the cap is soft.
+  EXPECT_EQ(service.resident_sessions(), 2u);
+  EXPECT_EQ(service.evictions(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol
+// ---------------------------------------------------------------------------
+
+class ProtocolTest : public ::testing::Test {
+ protected:
+  WorkbookService service_;
+  CommandProcessor processor_{&service_};
+
+  std::string Run(const std::string& command) {
+    return processor_.Execute(command);
+  }
+};
+
+TEST_F(ProtocolTest, OpenSetFormulaGetRoundTrip) {
+  EXPECT_EQ(Run("OPEN book"), "OK opened book backend=TACO");
+  EXPECT_TRUE(Run("SET book A1 2.5").starts_with("OK set")) << Run("LIST");
+  EXPECT_TRUE(Run("FORMULA book B1 A1*4").starts_with("OK set"));
+  EXPECT_EQ(Run("GET book B1"), "VALUE B1 10");
+  EXPECT_TRUE(Run("SET book C1 \"hello world\"")
+                  .starts_with("OK set edits=1 dirty=0 recalced=0 passes=1"));
+  EXPECT_EQ(Run("GET book C1"), "VALUE C1 hello world");
+}
+
+TEST_F(ProtocolTest, ErrorsComeBackAsErrLines) {
+  EXPECT_TRUE(Run("GET nosuch A1").starts_with("ERR NotFound:"));
+  EXPECT_TRUE(Run("FLY book").starts_with("ERR InvalidArgument:"));
+  EXPECT_TRUE(Run("OPEN").starts_with("ERR InvalidArgument: usage:"));
+  Run("OPEN book");
+  EXPECT_TRUE(Run("SET book ZZZZZZZ99 1").starts_with("ERR"));
+  EXPECT_TRUE(Run("FORMULA book A1 SUM((").starts_with("ERR ParseError:"));
+  EXPECT_TRUE(Run("SAVE book").starts_with("ERR InvalidArgument:"));
+}
+
+TEST_F(ProtocolTest, BatchAppliesAtomicallyOrderedEditsWithOneRecalc) {
+  Run("OPEN book");
+  std::string response = Run(
+      "BATCH book 4\n"
+      "SET A1 1\n"
+      "SET A2 2\n"
+      "FORMULA A3 SUM(A1:A2)\n"
+      "SET A1 10");
+  EXPECT_TRUE(response.starts_with("OK batch edits=4")) << response;
+  EXPECT_NE(response.find("passes=1"), std::string::npos) << response;
+  EXPECT_EQ(Run("GET book A3"), "VALUE A3 12");
+
+  // A malformed edit line reports its 1-based position.
+  std::string bad = Run("BATCH book 2\nSET A1 3\nNOPE A2 4");
+  EXPECT_TRUE(bad.starts_with("ERR InvalidArgument: batch line 2")) << bad;
+  // And the batch was rejected before touching the session.
+  EXPECT_EQ(Run("GET book A1"), "VALUE A1 10");
+}
+
+TEST_F(ProtocolTest, ExtraBodyLinesFramesBatchOnly) {
+  EXPECT_EQ(CommandProcessor::ExtraBodyLines("BATCH book 3"), 3);
+  EXPECT_EQ(CommandProcessor::ExtraBodyLines("batch book 12"), 12);
+  EXPECT_EQ(CommandProcessor::ExtraBodyLines("SET book A1 1"), 0);
+  EXPECT_EQ(CommandProcessor::ExtraBodyLines("STATS"), 0);
+  // Unusable counts make the frame boundary unknowable: -1 tells the
+  // transport to report the error and close instead of re-interpreting
+  // body lines as commands addressed to other sessions.
+  EXPECT_EQ(CommandProcessor::ExtraBodyLines("BATCH book"), -1);
+  EXPECT_EQ(CommandProcessor::ExtraBodyLines("BATCH book -2"), -1);
+  EXPECT_EQ(CommandProcessor::ExtraBodyLines("BATCH book nine"), -1);
+}
+
+TEST_F(ProtocolTest, OversizedBatchCountIsAProtocolErrorNotACrash) {
+  // A hostile count must neither swallow the stream nor reserve memory.
+  EXPECT_EQ(CommandProcessor::ExtraBodyLines("BATCH book 999999999"), -1);
+  Run("OPEN book");
+  std::string response = Run("BATCH book 999999999");
+  EXPECT_TRUE(response.starts_with("ERR InvalidArgument:")) << response;
+  EXPECT_NE(response.find("exceeds the limit"), std::string::npos);
+}
+
+TEST_F(ProtocolTest, DispatchKeyIsTheSessionNameOrCommandWord) {
+  EXPECT_EQ(CommandProcessor::DispatchKey("SET book A1 1"), "book");
+  EXPECT_EQ(CommandProcessor::DispatchKey("BATCH wb 3"), "wb");
+  EXPECT_EQ(CommandProcessor::DispatchKey("LIST"), "LIST");
+  EXPECT_EQ(CommandProcessor::DispatchKey("STATS"), "STATS");
+  EXPECT_EQ(CommandProcessor::DispatchKey("  GET  wb  A1\r"), "wb");
+}
+
+TEST_F(ProtocolTest, StatsAndListReport) {
+  Run("OPEN alpha");
+  Run("OPEN beta nocomp");
+  Run("SET alpha A1 1");
+  EXPECT_EQ(Run("LIST"), "OK sessions alpha beta");
+
+  std::string session_stats = Run("STATS beta");
+  EXPECT_NE(session_stats.find("backend=NoComp"), std::string::npos)
+      << session_stats;
+  std::string service_stats = Run("STATS");
+  EXPECT_TRUE(service_stats.starts_with("OK service resident=2"))
+      << service_stats;
+  EXPECT_NE(service_stats.find("OPEN"), std::string::npos);
+  EXPECT_NE(service_stats.find("SET"), std::string::npos);
+  EXPECT_TRUE(service_stats.ends_with("END"));
+}
+
+TEST_F(ProtocolTest, SaveCloseLoadThroughProtocol) {
+  std::string path = TempPath("taco_protocol_roundtrip.tsheet");
+  Run("OPEN book");
+  Run("SET book A1 9");
+  Run("FORMULA book A2 A1+1");
+  EXPECT_EQ(Run("SAVE book " + path), "OK saved book");
+  EXPECT_EQ(Run("CLOSE book"), "OK closed book");
+  std::string loaded = Run("LOAD book2 " + path);
+  EXPECT_TRUE(loaded.starts_with("OK loaded book2 cells=2 formulas=1"))
+      << loaded;
+  EXPECT_EQ(Run("GET book2 A2"), "VALUE A2 10");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace taco
