@@ -68,17 +68,27 @@ RecalcResult RecalcEngine::RecalculateMerged(std::span<const Range> changed) {
     result.dirty_cells += range.Area();
     evaluator_.Invalidate(range);
   }
-  // Re-evaluate eagerly; the recursive evaluator resolves ordering and the
-  // shared cache makes each formula compute once. The dirty ranges are
-  // disjoint, so no formula is visited (or counted) twice.
-  for (const Range& range : result.dirty) {
-    for (const Cell& cell : EnumerateCells(range)) {
-      if (sheet_->IsFormulaCell(cell)) {
-        evaluator_.EvaluateCell(cell);
-        ++result.recalculated;
+  auto eval_start = SteadyNow();
+  if (mode_ == RecalcMode::kParallel && executor_ != nullptr) {
+    RecalcExecutor::Outcome outcome =
+        executor_->Execute(*sheet_, &evaluator_, result.dirty);
+    result.recalculated = outcome.recalculated;
+    result.waves = outcome.waves;
+    result.max_wave_cells = outcome.max_wave_cells;
+  } else {
+    // Re-evaluate eagerly; the recursive evaluator resolves ordering and
+    // the shared cache makes each formula compute once. The dirty ranges
+    // are disjoint, so no formula is visited (or counted) twice.
+    for (const Range& range : result.dirty) {
+      for (const Cell& cell : EnumerateCells(range)) {
+        if (sheet_->IsFormulaCell(cell)) {
+          evaluator_.EvaluateCell(cell);
+          ++result.recalculated;
+        }
       }
     }
   }
+  result.eval_ms = MsSince(eval_start);
   return result;
 }
 

@@ -29,6 +29,41 @@ struct RecalcResult {
   uint64_t recalc_passes = 0;      ///< Merged recalc passes (1 per batch).
   uint64_t edits_applied = 0;      ///< Sheet/graph mutations performed.
   double find_dependents_ms = 0;   ///< Time spent in FindDependents.
+  double eval_ms = 0;              ///< Time spent re-evaluating formulas.
+  uint64_t waves = 0;              ///< Topological waves executed (0 = serial).
+  uint64_t max_wave_cells = 0;     ///< Largest wave, in formula cells.
+};
+
+/// How the engine re-evaluates a dirty set. kParallel only takes effect
+/// when an executor is plugged in (set_executor); without one the engine
+/// silently stays serial, so taco_core keeps no thread dependency.
+enum class RecalcMode {
+  kSerial,    ///< One thread, dirty-range enumeration order.
+  kParallel,  ///< Wave-scheduled across the plugged-in executor.
+};
+
+/// The pluggable parallel-execution seam between the engine (taco_core,
+/// thread-free) and the wave scheduler (taco_sched, owns the threads).
+/// An executor must evaluate EVERY dirty formula cell of `dirty` into
+/// `evaluator`'s cache with results cell-for-cell identical to the
+/// serial path — including #CYCLE!/error outcomes — before returning
+/// (src/sched/recalc_scheduler.h documents how that determinism is
+/// achieved).
+class RecalcExecutor {
+ public:
+  /// What the executor did, for RecalcResult's wave metrics.
+  struct Outcome {
+    uint64_t recalculated = 0;    ///< Formula cells evaluated.
+    uint64_t waves = 0;           ///< Topological waves executed.
+    uint64_t max_wave_cells = 0;  ///< Largest wave, in formula cells.
+  };
+
+  virtual ~RecalcExecutor() = default;
+
+  /// Evaluates every dirty formula cell. `dirty` ranges are disjoint;
+  /// the evaluator has already been invalidated for them.
+  virtual Outcome Execute(const Sheet& sheet, Evaluator* evaluator,
+                          std::span<const Range> dirty) = 0;
 };
 
 /// One deferred cell mutation, for batched application. Constructed via
@@ -94,6 +129,15 @@ class RecalcEngine {
   /// Current value of a cell (cached; evaluates on demand).
   Value GetValue(const Cell& cell) { return evaluator_.EvaluateCell(cell); }
 
+  /// Plugs in (or clears) the parallel executor; `executor` must outlive
+  /// the engine. Switching the executor or mode between operations is
+  /// safe — recalc consults both at the start of each pass.
+  void set_executor(RecalcExecutor* executor) { executor_ = executor; }
+
+  /// Selects the recalc path. kParallel without an executor runs serial.
+  void set_mode(RecalcMode mode) { mode_ = mode; }
+  RecalcMode mode() const { return mode_; }
+
  private:
   /// Invalidates and re-evaluates everything depending on `changed`.
   RecalcResult Recalculate(const Range& changed);
@@ -109,6 +153,8 @@ class RecalcEngine {
   Sheet* sheet_;
   DependencyGraph* graph_;
   Evaluator evaluator_;
+  RecalcExecutor* executor_ = nullptr;
+  RecalcMode mode_ = RecalcMode::kSerial;
 };
 
 }  // namespace taco

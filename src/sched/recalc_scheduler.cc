@@ -1,0 +1,319 @@
+#include "sched/recalc_scheduler.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "eval/evaluator.h"
+#include "formula/references.h"
+#include "rtree/rtree.h"
+#include "sheet/sheet.h"
+
+namespace taco {
+namespace {
+
+/// One worker's private evaluation context: an overlay evaluator that
+/// reads through to the engine's shared cache but writes only locally.
+/// Contexts persist across the waves of one pass, so a worker re-reads
+/// its own earlier results without a base-cache hop; they are discarded
+/// at the end of the pass.
+struct WorkerContext {
+  explicit WorkerContext(const Sheet& sheet, const Evaluator* base)
+      : eval(&sheet, base) {}
+  Evaluator eval;
+};
+
+/// Builds the per-pass worker contexts (lazily — serial passes never
+/// allocate them).
+std::vector<std::unique_ptr<WorkerContext>> MakeContexts(
+    int n, const Sheet& sheet, const Evaluator* base) {
+  std::vector<std::unique_ptr<WorkerContext>> contexts;
+  contexts.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    contexts.push_back(std::make_unique<WorkerContext>(sheet, base));
+  }
+  return contexts;
+}
+
+/// Partitions Kahn-style ready counts into waves. `adj[p]` lists the
+/// nodes depending on p; `indeg` is consumed. Waves come out sorted by
+/// node index so the partition is canonical regardless of adjacency
+/// discovery order. Nodes still blocked at the end (on or downstream of
+/// a cycle) are returned through `leftover`, in node order.
+std::vector<std::vector<int>> BuildWaves(
+    const std::vector<std::vector<int>>& adj, std::vector<int>* indeg,
+    std::vector<int>* leftover) {
+  const int n = static_cast<int>(indeg->size());
+  std::vector<std::vector<int>> waves;
+  std::vector<int> current;
+  for (int i = 0; i < n; ++i) {
+    if ((*indeg)[i] == 0) current.push_back(i);
+  }
+  int scheduled = 0;
+  while (!current.empty()) {
+    scheduled += static_cast<int>(current.size());
+    std::vector<int> next;
+    for (int node : current) {
+      for (int dependent : adj[node]) {
+        if (--(*indeg)[dependent] == 0) next.push_back(dependent);
+      }
+    }
+    std::sort(next.begin(), next.end());
+    waves.push_back(std::move(current));
+    current = std::move(next);
+  }
+  if (scheduled < n) {
+    leftover->reserve(n - scheduled);
+    for (int i = 0; i < n; ++i) {
+      if ((*indeg)[i] > 0) leftover->push_back(i);
+    }
+  }
+  return waves;
+}
+
+}  // namespace
+
+RecalcScheduler::RecalcScheduler(ThreadPool* pool, SchedulerOptions options)
+    : pool_(pool), options_(options) {}
+
+RecalcExecutor::Outcome RecalcScheduler::Execute(const Sheet& sheet,
+                                                 Evaluator* evaluator,
+                                                 std::span<const Range> dirty) {
+  Outcome outcome;
+
+  // ----- Serial fast paths -------------------------------------------------
+  // Evaluates `cells` on the calling thread via the shared evaluator —
+  // bit-identical to RecalcMode::kSerial by construction.
+  auto eval_serial_range = [&](const Range& range) {
+    for (const Cell& cell : EnumerateCells(range)) {
+      if (sheet.IsFormulaCell(cell)) {
+        evaluator->EvaluateCell(cell);
+        ++outcome.recalculated;
+      }
+    }
+  };
+
+  uint64_t dirty_area = 0;
+  for (const Range& range : dirty) dirty_area += range.Area();
+
+  const int width =
+      pool_ == nullptr
+          ? 1
+          : std::max(1, std::min(options_.threads, pool_->num_threads()));
+  if (width <= 1 || dirty_area < options_.min_parallel_cells) {
+    for (const Range& range : dirty) eval_serial_range(range);
+    return outcome;
+  }
+
+  // ----- Plan: enumerate dirty formula cells in serial order ---------------
+  // (Shared by both granularities; the serial path visits cells in
+  // exactly this order, which is what the leftover pass must replay.)
+  const bool cell_granular = dirty_area <= options_.max_cells &&
+                             dirty.size() <= options_.max_ranges;
+  if (!cell_granular && dirty.size() > options_.max_ranges) {
+    // Too fragmented for either plan: edge discovery would dominate.
+    for (const Range& range : dirty) eval_serial_range(range);
+    return outcome;
+  }
+
+  if (cell_granular) {
+    // Nodes: every dirty formula cell, in dirty-range enumeration order.
+    std::vector<Cell> nodes;
+    std::vector<const Expr*> asts;
+    for (const Range& range : dirty) {
+      for (const Cell& cell : EnumerateCells(range)) {
+        const CellContent* content = sheet.Get(cell);
+        if (content != nullptr && content->IsFormula()) {
+          nodes.push_back(cell);
+          asts.push_back(content->formula().ast.get());
+        }
+      }
+    }
+    const int n = static_cast<int>(nodes.size());
+    if (static_cast<uint64_t>(n) < options_.min_parallel_cells) {
+      for (int i = 0; i < n; ++i) evaluator->EvaluateCell(nodes[i]);
+      outcome.recalculated = n;
+      return outcome;
+    }
+
+    // Per-column row index over the dirty nodes, for reference-range
+    // intersection: ordered by column so a wide reference only visits
+    // columns that actually hold dirty cells.
+    std::map<int32_t, std::vector<std::pair<int32_t, int>>> columns;
+    for (int i = 0; i < n; ++i) {
+      columns[nodes[i].col].emplace_back(nodes[i].row, i);
+    }
+    for (auto& [col, rows] : columns) std::sort(rows.begin(), rows.end());
+
+    // Expand each node's references into cell-level dirty edges
+    // (precedent -> dependent), bounded by the edge budget.
+    std::vector<std::vector<int>> adj(n);
+    std::vector<int> indeg(n, 0);
+    uint64_t edges = 0;
+    bool over_budget = false;
+    std::vector<A1Reference> refs;
+    for (int d = 0; d < n && !over_budget; ++d) {
+      refs.clear();
+      ExtractReferences(*asts[d], &refs);
+      for (const A1Reference& ref : refs) {
+        const Range& r = ref.range;
+        if (!r.IsValid()) continue;
+        for (auto it = columns.lower_bound(r.head.col);
+             it != columns.end() && it->first <= r.tail.col; ++it) {
+          const auto& rows = it->second;
+          auto lo = std::lower_bound(rows.begin(), rows.end(),
+                                     std::make_pair(r.head.row, -1));
+          for (auto row_it = lo;
+               row_it != rows.end() && row_it->first <= r.tail.row;
+               ++row_it) {
+            // Duplicate references produce duplicate edges; indegree and
+            // adjacency stay matched, so Kahn still converges. A
+            // self-reference blocks its own node forever — exactly the
+            // serial #CYCLE! case, resolved by the leftover pass.
+            adj[row_it->second].push_back(d);
+            ++indeg[d];
+            if (++edges > options_.max_edges) {
+              over_budget = true;
+              break;
+            }
+          }
+          if (over_budget) break;
+        }
+        if (over_budget) break;
+      }
+    }
+
+    if (!over_budget) {
+      std::vector<int> leftover;
+      std::vector<std::vector<int>> waves =
+          BuildWaves(adj, &indeg, &leftover);
+
+      std::vector<std::unique_ptr<WorkerContext>> contexts;
+      std::vector<Value> values(n);
+      WaitGroup group;
+      for (const std::vector<int>& wave : waves) {
+        ++outcome.waves;
+        outcome.max_wave_cells =
+            std::max<uint64_t>(outcome.max_wave_cells, wave.size());
+        if (wave.size() < options_.min_parallel_wave) {
+          for (int idx : wave) evaluator->EvaluateCell(nodes[idx]);
+          continue;
+        }
+        if (contexts.empty()) {
+          contexts = MakeContexts(width, sheet, evaluator);
+        }
+        // Strided assignment balances skewed per-cell costs (e.g. the
+        // growing SUM($A$1:Ar) of an FR column) across workers.
+        const int tasks = std::min<int>(width, static_cast<int>(wave.size()));
+        for (int c = 0; c < tasks; ++c) {
+          pool_->Submit(&group, [&, c, tasks] {
+            Evaluator& eval = contexts[c]->eval;
+            for (size_t pos = c; pos < wave.size();
+                 pos += static_cast<size_t>(tasks)) {
+              const int idx = wave[pos];
+              values[idx] = eval.EvaluateCell(nodes[idx]);
+            }
+          });
+        }
+        group.Wait();
+        // Single-threaded commit: workers never touch the shared cache.
+        for (int idx : wave) {
+          evaluator->Prime(nodes[idx], std::move(values[idx]));
+        }
+      }
+      // Cycle members and their downstream dependents, in serial order.
+      for (int idx : leftover) evaluator->EvaluateCell(nodes[idx]);
+      outcome.recalculated = n;
+      return outcome;
+    }
+    // Edge budget blown: fall through to range-granular leveling.
+  }
+
+  // ----- Range-granular fallback -------------------------------------------
+  // Nodes are the disjoint dirty ranges; an R-tree over them turns each
+  // reference range into range-level edges. One range is one unit of
+  // work (its formulas evaluate in enumeration order within a task).
+  const int m = static_cast<int>(dirty.size());
+  RTree index;
+  for (int j = 0; j < m; ++j) index.Insert(dirty[j], j);
+
+  std::vector<uint64_t> formulas(m, 0);
+  std::vector<std::vector<int>> adj(m);
+  std::vector<int> indeg(m, 0);
+  std::unordered_set<uint64_t> edge_seen;
+  std::vector<A1Reference> refs;
+  for (int j = 0; j < m; ++j) {
+    for (const Cell& cell : EnumerateCells(dirty[j])) {
+      const CellContent* content = sheet.Get(cell);
+      if (content == nullptr || !content->IsFormula()) continue;
+      ++formulas[j];
+      refs.clear();
+      ExtractReferences(*content->formula().ast, &refs);
+      for (const A1Reference& ref : refs) {
+        if (!ref.range.IsValid()) continue;
+        index.ForEachOverlap(ref.range, [&](const Range&, RTree::EntryId id) {
+          const int i = static_cast<int>(id);
+          // Intra-range dependencies are resolved by in-order evaluation
+          // inside the range's task, so self-edges don't schedule.
+          if (i == j) return;
+          uint64_t key = (static_cast<uint64_t>(i) << 32) |
+                         static_cast<uint32_t>(j);
+          if (!edge_seen.insert(key).second) return;
+          adj[i].push_back(j);
+          ++indeg[j];
+        });
+      }
+    }
+  }
+
+  std::vector<int> leftover;
+  std::vector<std::vector<int>> waves = BuildWaves(adj, &indeg, &leftover);
+
+  std::vector<std::unique_ptr<WorkerContext>> contexts;
+  // Per-range results, committed after each wave's barrier.
+  std::vector<std::vector<std::pair<Cell, Value>>> results(m);
+  WaitGroup group;
+  for (const std::vector<int>& wave : waves) {
+    ++outcome.waves;
+    uint64_t wave_cells = 0;
+    for (int j : wave) wave_cells += formulas[j];
+    outcome.max_wave_cells = std::max(outcome.max_wave_cells, wave_cells);
+    if (wave_cells < options_.min_parallel_wave || wave.size() == 1) {
+      for (int j : wave) eval_serial_range(dirty[j]);
+      continue;
+    }
+    if (contexts.empty()) contexts = MakeContexts(width, sheet, evaluator);
+    const int tasks = std::min<int>(width, static_cast<int>(wave.size()));
+    for (int c = 0; c < tasks; ++c) {
+      pool_->Submit(&group, [&, c, tasks] {
+        Evaluator& eval = contexts[c]->eval;
+        for (size_t pos = c; pos < wave.size();
+             pos += static_cast<size_t>(tasks)) {
+          const int j = wave[pos];
+          for (const Cell& cell : EnumerateCells(dirty[j])) {
+            if (sheet.IsFormulaCell(cell)) {
+              results[j].emplace_back(cell, eval.EvaluateCell(cell));
+            }
+          }
+        }
+      });
+    }
+    group.Wait();
+    for (int j : wave) {
+      for (auto& [cell, value] : results[j]) {
+        evaluator->Prime(cell, std::move(value));
+        ++outcome.recalculated;
+      }
+      results[j].clear();
+      results[j].shrink_to_fit();
+    }
+  }
+  // Mutually-referencing ranges (cross-range cycles), in serial order.
+  for (int j : leftover) eval_serial_range(dirty[j]);
+  return outcome;
+}
+
+}  // namespace taco

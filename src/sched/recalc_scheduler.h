@@ -1,0 +1,111 @@
+// The parallel recalculation scheduler: wave-based execution of the
+// dirty subgraph.
+//
+// After a batch of edits, RecalcEngine knows WHAT to re-evaluate (the
+// merged dirty ranges from FindDependents) but the serial path runs the
+// re-evaluations on one thread. Dependent-cell recomputation is a
+// topological traversal of the dirty subgraph, which parallelizes
+// naturally by level: every formula in wave k depends — among dirty
+// cells — only on formulas in waves < k, so one wave's cells can be
+// evaluated concurrently and the next wave starts after a barrier.
+//
+// Planning granularities, chosen per pass by budget:
+//   * Cell-granular (the default): each dirty formula cell is a node;
+//     its direct precedents come from its parsed references, intersected
+//     with the dirty set through a per-column row index. Kahn-style
+//     ready counts partition the nodes into waves. Bounded by
+//     `max_cells` nodes and `max_edges` expanded (cell-level) edges.
+//   * Range-granular (the fallback): when per-cell expansion would
+//     exceed the budget, the disjoint dirty RANGES become the nodes and
+//     an R-tree over them resolves reference overlaps into range-level
+//     edges. A range is one unit of work (its cells evaluate in
+//     enumeration order inside one task), so intra-range chains cost
+//     nothing to schedule.
+//   * Serial inline: dirty sets below `min_parallel_cells`, or plans
+//     whose shape defeats both granularities, evaluate on the calling
+//     thread exactly like RecalcMode::kSerial.
+//
+// Determinism contract — parallel results are CELL-FOR-CELL IDENTICAL
+// to serial recalc, errors and #CYCLE! included:
+//   * Acyclic dirty formulas are pure functions of committed inputs:
+//     same AST, same operand values, same result, on any thread. A wave
+//     cell's dirty precedents are committed by earlier waves' barriers;
+//     its clean precedents never change during the pass (a formula that
+//     transitively depends on an edit is dirty by definition), so
+//     worker-local lazy evaluation of clean cells is race-free and
+//     yields the serial values.
+//   * Workers never write the shared evaluator. Each worker evaluates
+//     into a private overlay evaluator (read-through to the shared
+//     cache); the scheduler commits a wave's results single-threaded
+//     after the wave's WaitGroup barrier.
+//   * Cells on or downstream of reference cycles never become ready in
+//     Kahn's algorithm. These leftovers are evaluated serially, in the
+//     same dirty-range enumeration order as the serial path, AFTER all
+//     waves — so cycle detection sees the same first-touch order and
+//     reports exactly the serial #CYCLE! pattern. (An intra-range cycle
+//     in range-granular mode stays inside one task, which evaluates the
+//     range in enumeration order — again the serial order.)
+//
+// The scheduler holds no per-pass state: one instance is safely shared
+// by every session of a service, and concurrent Execute calls interleave
+// on the shared ThreadPool without blocking each other's progress.
+
+#ifndef TACO_SCHED_RECALC_SCHEDULER_H_
+#define TACO_SCHED_RECALC_SCHEDULER_H_
+
+#include <cstdint>
+#include <span>
+
+#include "eval/recalc.h"
+#include "sched/thread_pool.h"
+
+namespace taco {
+
+struct SchedulerOptions {
+  /// Wave-execution width: tasks per wave (clamped to the pool size).
+  int threads = 4;
+
+  /// Dirty sets smaller than this (formula cells) evaluate serially
+  /// inline — planning overhead would exceed the work.
+  uint64_t min_parallel_cells = 64;
+
+  /// Waves smaller than this evaluate inline on the calling thread
+  /// instead of paying task dispatch (chain-shaped subgraphs produce
+  /// thousands of single-cell waves).
+  uint64_t min_parallel_wave = 32;
+
+  /// Cell-granular planning budgets; exceeding either falls back to
+  /// range-granular leveling. `max_cells` bounds the node arrays (dirty
+  /// AREA, so a sparse million-cell rectangle cannot allocate a node per
+  /// blank cell); `max_edges` bounds per-cell precedent expansion (a
+  /// SUM over a dirty column expands to one edge per dirty cell in it).
+  uint64_t max_cells = 1u << 20;
+  uint64_t max_edges = 4u << 20;
+
+  /// Range-granular budget: more disjoint dirty ranges than this and the
+  /// pass just runs serial inline (edge discovery would dominate).
+  uint64_t max_ranges = 4096;
+};
+
+/// Wave-based RecalcExecutor over a shared ThreadPool. The pool must
+/// outlive the scheduler and must NOT be the pool the caller itself runs
+/// on (a wave barrier inside a pool task would deadlock a fully loaded
+/// pool); the workbook service keeps a dedicated recalc pool for this.
+class RecalcScheduler : public RecalcExecutor {
+ public:
+  /// `pool` may be null, which degrades every pass to serial inline.
+  explicit RecalcScheduler(ThreadPool* pool, SchedulerOptions options = {});
+
+  Outcome Execute(const Sheet& sheet, Evaluator* evaluator,
+                  std::span<const Range> dirty) override;
+
+  const SchedulerOptions& options() const { return options_; }
+
+ private:
+  ThreadPool* pool_;
+  SchedulerOptions options_;
+};
+
+}  // namespace taco
+
+#endif  // TACO_SCHED_RECALC_SCHEDULER_H_

@@ -1,6 +1,7 @@
-#include "service/thread_pool.h"
+#include "sched/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace taco {
 
@@ -30,6 +31,16 @@ void ThreadPool::Submit(std::string_view key, std::function<void()> task) {
 
 void ThreadPool::Submit(std::function<void()> task) {
   Enqueue(next_queue_.fetch_add(1) % queues_.size(), std::move(task));
+}
+
+void ThreadPool::Submit(WaitGroup* group, std::function<void()> task) {
+  // Add BEFORE the task is queued: a Wait racing the submission must see
+  // the task as outstanding, never a zero count between queue and run.
+  group->Add(1);
+  Submit([group, task = std::move(task)] {
+    task();
+    group->Done();
+  });
 }
 
 void ThreadPool::Enqueue(size_t index, std::function<void()> task) {

@@ -35,6 +35,8 @@ void ServiceMetrics::Record(ServiceOp op, double elapsed_ms, bool ok,
     s.recalculated += result->recalculated;
     s.recalc_passes += result->recalc_passes;
     s.find_dependents_ms += result->find_dependents_ms;
+    s.eval_ms += result->eval_ms;
+    s.waves += result->waves;
   }
 }
 
@@ -47,14 +49,15 @@ std::string ServiceMetrics::Report() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out =
       "op       count errors  mean_ms   max_ms dirty_cells max_dirty "
-      "recalced passes finddep_ms\n";
-  char line[192];
+      "recalced passes finddep_ms    eval_ms  waves\n";
+  char line[224];
   for (size_t i = 0; i < stats_.size(); ++i) {
     const OpStats& s = stats_[i];
     if (s.count == 0) continue;
     std::snprintf(
         line, sizeof(line),
-        "%-8s %5llu %6llu %8.3f %8.3f %11llu %9llu %8llu %6llu %10.3f\n",
+        "%-8s %5llu %6llu %8.3f %8.3f %11llu %9llu %8llu %6llu %10.3f "
+        "%10.3f %6llu\n",
         std::string(ServiceOpName(static_cast<ServiceOp>(i))).c_str(),
         static_cast<unsigned long long>(s.count),
         static_cast<unsigned long long>(s.errors),
@@ -63,7 +66,8 @@ std::string ServiceMetrics::Report() const {
         static_cast<unsigned long long>(s.max_dirty_cells),
         static_cast<unsigned long long>(s.recalculated),
         static_cast<unsigned long long>(s.recalc_passes),
-        s.find_dependents_ms);
+        s.find_dependents_ms, s.eval_ms,
+        static_cast<unsigned long long>(s.waves));
     out += line;
   }
   return out;

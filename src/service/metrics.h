@@ -45,6 +45,8 @@ struct OpStats {
   uint64_t recalculated = 0;
   uint64_t recalc_passes = 0;
   double find_dependents_ms = 0;
+  double eval_ms = 0;                 ///< Re-evaluation phase time.
+  uint64_t waves = 0;                 ///< Scheduler waves executed.
 
   double MeanMs() const { return count ? total_ms / double(count) : 0; }
 };

@@ -126,6 +126,10 @@ std::string SessionStatsReport(const SessionStats& stats) {
   out += " recalc_passes=" + std::to_string(stats.recalc_passes);
   out += " dirty_cells=" + std::to_string(stats.dirty_cells);
   out += " unsaved=" + std::to_string(stats.dirty ? 1 : 0);
+  out += std::string(" recalc_mode=") +
+         (stats.recalc_mode == RecalcMode::kParallel ? "parallel" : "serial");
+  out += " waves=" + std::to_string(stats.waves);
+  out += " max_wave_cells=" + std::to_string(stats.max_wave_cells);
   out += " path=" + (stats.path.empty() ? "(none)" : stats.path);
   return out;
 }
@@ -221,14 +225,38 @@ std::string CommandProcessor::Execute(std::string_view command_text) {
       if (!session.ok()) return ErrLine(session.status());
       return SessionStatsReport((*session)->Stats());
     }
-    char buffer[160];
+    char buffer[192];
     std::snprintf(buffer, sizeof(buffer),
                   "OK service resident=%zu parked=%zu evictions=%llu "
-                  "workers=%d\n",
+                  "workers=%d recalc_workers=%d\n",
                   service_->resident_sessions(), service_->parked_sessions(),
                   static_cast<unsigned long long>(service_->evictions()),
-                  service_->pool().num_threads());
+                  service_->pool().num_threads(),
+                  service_->recalc_threads());
     return buffer + service_->metrics().Report() + "END";
+  }
+  if (EqualsIgnoreCase(cmd, "RECALC")) {
+    std::string_view name = NextToken(&rest);
+    std::string_view mode_text = NextToken(&rest);
+    if (name.empty()) return ErrUsage("RECALC <session> [serial|parallel]");
+    auto session = service_->Get(std::string(name));
+    if (!session.ok()) return ErrLine(session.status());
+    if (!mode_text.empty()) {
+      RecalcMode mode;
+      if (EqualsIgnoreCase(mode_text, "serial")) {
+        mode = RecalcMode::kSerial;
+      } else if (EqualsIgnoreCase(mode_text, "parallel")) {
+        mode = RecalcMode::kParallel;
+      } else {
+        return ErrUsage("RECALC <session> [serial|parallel]");
+      }
+      Status status = (*session)->SetRecalcMode(mode);
+      if (!status.ok()) return ErrLine(status);
+    }
+    bool parallel = (*session)->recalc_mode() == RecalcMode::kParallel;
+    return "OK recalc " + std::string(name) +
+           " mode=" + (parallel ? "parallel" : "serial") +
+           " threads=" + std::to_string(service_->recalc_threads());
   }
 
   // Everything below addresses one session.
@@ -328,7 +356,8 @@ std::string CommandProcessor::Execute(std::string_view command_text) {
   }
 
   return "ERR InvalidArgument: unknown command '" + std::string(cmd) +
-         "' (OPEN/LOAD/SAVE/CLOSE/SET/FORMULA/GET/CLEAR/BATCH/STATS/LIST)";
+         "' (OPEN/LOAD/SAVE/CLOSE/SET/FORMULA/GET/CLEAR/BATCH/RECALC/"
+         "STATS/LIST)";
 }
 
 }  // namespace taco

@@ -15,6 +15,7 @@
 //   CLEAR <session> <range>
 //   BATCH <session> <n>               header; then n lines of
 //     SET <cell> <value> | FORMULA <cell> <src> | CLEAR <range>
+//   RECALC <session> [serial|parallel]  query / switch the recalc path
 //   STATS [session]                   service / session report
 //   LIST                              resident session names
 //

@@ -6,7 +6,8 @@
 // sessions run in parallel, commands for one session keep their order
 // (per-key queue affinity, see thread_pool.h).
 //
-//   $ ./taco_serve [--threads N] [--backend NAME] [--max-resident N] [script]
+//   $ ./taco_serve [--threads N] [--recalc-threads N] [--backend NAME]
+//                  [--max-resident N] [script]
 //   OPEN sales
 //   SET sales A1 41.5
 //   FORMULA sales B1 SUM(A1:A9)*2
@@ -47,6 +48,21 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       options.worker_threads = ParseIntArg(argv[++i], options.worker_threads);
+    } else if (std::strcmp(argv[i], "--recalc-threads") == 0 && i + 1 < argc) {
+      // 0 (the default) keeps the wave scheduler off, so the value must
+      // parse fully — a typo silently becoming 0 would disable parallel
+      // recalc without a trace (same hazard as --max-resident below).
+      const char* text = argv[++i];
+      char* end = nullptr;
+      long value = std::strtol(text, &end, 10);
+      if (end != text && *end == '\0' && value >= 0) {
+        options.recalc_threads = static_cast<int>(value);
+      } else {
+        std::fprintf(stderr,
+                     "ignoring --recalc-threads '%s' (not a non-negative "
+                     "integer); keeping %d\n",
+                     text, options.recalc_threads);
+      }
     } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
       options.default_backend = argv[++i];
     } else if (std::strcmp(argv[i], "--max-resident") == 0 && i + 1 < argc) {
@@ -66,8 +82,8 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::fprintf(stderr,
-                   "usage: taco_serve [--threads N] [--backend NAME] "
-                   "[--max-resident N] [script]\n");
+                   "usage: taco_serve [--threads N] [--recalc-threads N] "
+                   "[--backend NAME] [--max-resident N] [script]\n");
       return 0;
     } else {
       script_path = argv[i];
@@ -89,8 +105,9 @@ int main(int argc, char** argv) {
   }
 
   std::fprintf(stderr,
-               "taco_serve ready (workers=%d backend=%s max_resident=%zu)\n",
-               service.pool().num_threads(),
+               "taco_serve ready (workers=%d recalc_workers=%d backend=%s "
+               "max_resident=%zu)\n",
+               service.pool().num_threads(), service.recalc_threads(),
                options.default_backend.c_str(),
                options.max_resident_sessions);
 

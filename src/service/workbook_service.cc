@@ -16,6 +16,13 @@ WorkbookService::WorkbookService(WorkbookServiceOptions options)
     shards_.push_back(std::make_unique<Shard>());
   }
   pool_ = std::make_unique<ThreadPool>(options_.worker_threads);
+  if (options_.recalc_threads > 0) {
+    recalc_pool_ = std::make_unique<ThreadPool>(options_.recalc_threads);
+    SchedulerOptions sched = options_.scheduler;
+    sched.threads = options_.recalc_threads;
+    recalc_scheduler_ =
+        std::make_unique<RecalcScheduler>(recalc_pool_.get(), sched);
+  }
 }
 
 WorkbookService::Shard& WorkbookService::ShardFor(const std::string& name) {
@@ -51,6 +58,9 @@ Result<std::shared_ptr<WorkbookSession>> WorkbookService::MakeSession(
   auto session = std::make_shared<WorkbookSession>(
       name, std::move(sheet), std::move(*graph), &metrics_);
   session->set_backend_key(std::move(key));
+  if (recalc_scheduler_ != nullptr) {
+    session->EnableParallelRecalc(recalc_scheduler_.get());
+  }
   Touch(*session);
   return session;
 }
@@ -58,52 +68,94 @@ Result<std::shared_ptr<WorkbookSession>> WorkbookService::MakeSession(
 Result<std::shared_ptr<WorkbookSession>> WorkbookService::OpenImpl(
     const std::string& name, std::string_view backend,
     bool create_if_missing) {
-  // The whole lookup-or-reload-or-create transition runs under the shard
-  // lock so racing opens of one name cannot interleave with a parked
-  // reload (which would drop the reloaded data) or a concurrent Close.
-  // Lock order here and in MaybeEvict is always shard.mu before
-  // parked_mu_.
+  // The lookup/create/claim transition runs under the shard lock, but
+  // the HEAVY part of a parked reload — file I/O and graph build — runs
+  // outside it behind an InFlight placeholder, so a big reload stalls
+  // only requests for the same name, not the whole shard. Lock order
+  // here and in MaybeEvict is always shard.mu before parked_mu_; the
+  // placeholder's mutex is only ever taken with no registry lock held.
   Shard& shard = ShardFor(name);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.sessions.find(name);
-  if (it != shard.sessions.end()) {
-    Touch(*it->second);
-    return it->second;
-  }
-  // Parked? Reload from the remembered file — always with the backend
-  // the session was created with, exactly like a resident hit ignores a
-  // requested backend: `backend` only applies when a session is CREATED,
-  // so OPEN's effect cannot depend on eviction timing. A failed reload
-  // restores the parked entry: the saved data must stay reachable, not
-  // be shadowed by a fresh empty session on the next try.
-  if (std::optional<ParkedEntry> parked = TakeParked(name)) {
-    auto repark = [&] {
-      std::lock_guard<std::mutex> parked_lock(parked_mu_);
-      parked_.emplace(name, *parked);
-    };
-    auto loaded = LoadSheetFile(parked->path);
-    if (!loaded.ok()) {
-      repark();
-      return loaded.status();
+  for (;;) {
+    std::shared_ptr<InFlight> flight;
+    std::optional<ParkedEntry> parked;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.sessions.find(name);
+      if (it != shard.sessions.end()) {
+        Touch(*it->second);
+        return it->second;
+      }
+      auto pending = shard.pending.find(name);
+      if (pending != shard.pending.end()) {
+        flight = pending->second;  // Someone's load; wait below, unlocked.
+      } else {
+        // Parked? Reload from the remembered file — always with the
+        // backend the session was created with, exactly like a resident
+        // hit ignores a requested backend: `backend` only applies when a
+        // session is CREATED, so OPEN's effect cannot depend on eviction
+        // timing.
+        parked = TakeParked(name);
+        if (!parked.has_value()) {
+          if (!create_if_missing) {
+            return Status::NotFound("no session named '" + name + "'");
+          }
+          // Creating an EMPTY session does no file I/O and builds no
+          // graph, so it stays under the lock and the lookup-or-create
+          // transition remains atomic.
+          auto session = MakeSession(name, Sheet(), backend);
+          if (!session.ok()) return session;
+          shard.sessions.emplace(name, *session);
+          resident_count_.fetch_add(1);
+          return session;
+        }
+        flight = std::make_shared<InFlight>();
+        shard.pending.emplace(name, flight);
+      }
     }
-    auto session = MakeSession(name, std::move(*loaded), parked->backend);
-    if (!session.ok()) {
-      repark();
+
+    if (!parked.has_value()) {
+      // Another request owns the load. Its success is our session; its
+      // failure re-parked the entry (or a LOAD failed), so re-run the
+      // whole transition rather than guessing what state it left.
+      std::unique_lock<std::mutex> wait_lock(flight->mu);
+      flight->cv.wait(wait_lock, [&] { return flight->done; });
+      if (flight->result.ok()) {
+        Touch(**flight->result);
+        return flight->result;
+      }
+      continue;
+    }
+
+    // We claimed the parked entry: reload outside the shard lock. A
+    // failed reload restores the parked entry — the saved data must stay
+    // reachable, not be shadowed by a fresh empty session next try.
+    auto result = [&]() -> Result<std::shared_ptr<WorkbookSession>> {
+      auto loaded = LoadSheetFile(parked->path);
+      if (!loaded.ok()) return loaded.status();
+      auto session = MakeSession(name, std::move(*loaded), parked->backend);
+      if (!session.ok()) return session;
+      (*session)->BindPath(parked->path);
       return session;
+    }();
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.pending.erase(name);
+      if (result.ok()) {
+        shard.sessions.emplace(name, *result);
+        resident_count_.fetch_add(1);
+      } else {
+        std::lock_guard<std::mutex> parked_lock(parked_mu_);
+        parked_.emplace(name, *parked);
+      }
     }
-    (*session)->BindPath(parked->path);
-    shard.sessions.emplace(name, *session);
-    resident_count_.fetch_add(1);
-    return session;
+    {
+      std::lock_guard<std::mutex> done_lock(flight->mu);
+      flight->done = true;
+      flight->result = result;
+    }
+    flight->cv.notify_all();
+    return result;
   }
-  if (!create_if_missing) {
-    return Status::NotFound("no session named '" + name + "'");
-  }
-  auto session = MakeSession(name, Sheet(), backend);
-  if (!session.ok()) return session;
-  shard.sessions.emplace(name, *session);
-  resident_count_.fetch_add(1);
-  return session;
 }
 
 Result<std::shared_ptr<WorkbookSession>> WorkbookService::Open(
@@ -128,21 +180,46 @@ Result<std::shared_ptr<WorkbookSession>> WorkbookService::Load(
   auto start = SteadyNow();
   auto result = [&]() -> Result<std::shared_ptr<WorkbookSession>> {
     Shard& shard = ShardFor(name);
-    std::lock_guard<std::mutex> lock(shard.mu);
-    if (shard.sessions.contains(name)) {
-      return Status::AlreadyExists("session '" + name + "' is open");
+    std::shared_ptr<InFlight> flight;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      // An in-flight load/reload counts as existing: LOAD must not race
+      // a reload of the same name into two sessions.
+      if (shard.sessions.contains(name) || shard.pending.contains(name)) {
+        return Status::AlreadyExists("session '" + name + "' is open");
+      }
+      flight = std::make_shared<InFlight>();
+      shard.pending.emplace(name, flight);
     }
-    auto loaded = LoadSheetFile(path);
-    if (!loaded.ok()) return loaded.status();
-    auto session = MakeSession(name, std::move(*loaded), backend);
-    if (!session.ok()) return session;
-    (*session)->BindPath(path);
-    shard.sessions.emplace(name, *session);
-    resident_count_.fetch_add(1);
-    // LOAD replaces any stale parked entry for this name.
-    std::lock_guard<std::mutex> parked_lock(parked_mu_);
-    parked_.erase(name);
-    return session;
+    // File read + graph build happen outside the shard lock; same-name
+    // requests wait on the placeholder, other names proceed.
+    auto loaded_result = [&]() -> Result<std::shared_ptr<WorkbookSession>> {
+      auto loaded = LoadSheetFile(path);
+      if (!loaded.ok()) return loaded.status();
+      auto session = MakeSession(name, std::move(*loaded), backend);
+      if (!session.ok()) return session;
+      (*session)->BindPath(path);
+      return session;
+    }();
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.pending.erase(name);
+      if (loaded_result.ok()) {
+        shard.sessions.emplace(name, *loaded_result);
+        resident_count_.fetch_add(1);
+        // LOAD replaces any stale parked entry for this name. (A failed
+        // LOAD leaves it alone: the parked data stays reachable.)
+        std::lock_guard<std::mutex> parked_lock(parked_mu_);
+        parked_.erase(name);
+      }
+    }
+    {
+      std::lock_guard<std::mutex> done_lock(flight->mu);
+      flight->done = true;
+      flight->result = loaded_result;
+    }
+    flight->cv.notify_all();
+    return loaded_result;
   }();
   metrics_.Record(ServiceOp::kLoad, MsSince(start), result.ok());
   if (result.ok()) MaybeEvict();
@@ -172,17 +249,29 @@ Status WorkbookService::Save(const std::string& name,
 Status WorkbookService::Close(const std::string& name) {
   auto start = SteadyNow();
   Status status = [&] {
-    {
-      Shard& shard = ShardFor(name);
-      std::lock_guard<std::mutex> lock(shard.mu);
-      if (shard.sessions.erase(name) > 0) {
-        resident_count_.fetch_sub(1);
-        return Status::OK();
+    for (;;) {
+      std::shared_ptr<InFlight> flight;
+      {
+        Shard& shard = ShardFor(name);
+        std::lock_guard<std::mutex> lock(shard.mu);
+        if (shard.sessions.erase(name) > 0) {
+          resident_count_.fetch_sub(1);
+          return Status::OK();
+        }
+        auto pending = shard.pending.find(name);
+        if (pending != shard.pending.end()) flight = pending->second;
       }
+      if (flight != nullptr) {
+        // A load in flight: the name exists, it just isn't published
+        // yet. Wait for the loader, then close whatever it produced.
+        std::unique_lock<std::mutex> wait_lock(flight->mu);
+        flight->cv.wait(wait_lock, [&] { return flight->done; });
+        continue;
+      }
+      std::lock_guard<std::mutex> lock(parked_mu_);
+      if (parked_.erase(name) > 0) return Status::OK();
+      return Status::NotFound("no session named '" + name + "'");
     }
-    std::lock_guard<std::mutex> lock(parked_mu_);
-    if (parked_.erase(name) > 0) return Status::OK();
-    return Status::NotFound("no session named '" + name + "'");
   }();
   metrics_.Record(ServiceOp::kClose, MsSince(start), status.ok());
   return status;

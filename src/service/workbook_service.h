@@ -22,6 +22,7 @@
 #define TACO_SERVICE_WORKBOOK_SERVICE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -30,8 +31,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sched/recalc_scheduler.h"
+#include "sched/thread_pool.h"
 #include "service/metrics.h"
-#include "service/thread_pool.h"
 #include "service/workbook_session.h"
 
 namespace taco {
@@ -39,8 +41,19 @@ namespace taco {
 struct WorkbookServiceOptions {
   int shards = 8;                    ///< Session-map shards (>= 1).
   size_t max_resident_sessions = 64; ///< LRU bound; 0 = unbounded.
-  int worker_threads = 4;            ///< ThreadPool size.
+  int worker_threads = 4;            ///< Command ThreadPool size.
   std::string default_backend = "taco";  ///< Graph for OPEN without one.
+
+  /// Width of the shared parallel-recalc pool. 0 disables the wave
+  /// scheduler entirely: sessions recalc serially and RECALC <s>
+  /// parallel is rejected. When > 0, sessions start in parallel mode.
+  /// This pool is deliberately distinct from the command pool — a wave
+  /// barrier inside a command worker would deadlock a saturated pool.
+  int recalc_threads = 0;
+
+  /// Wave-scheduler tuning (budgets, inline thresholds); `threads` is
+  /// overridden by `recalc_threads`.
+  SchedulerOptions scheduler;
 };
 
 /// Owns many independent workbook sessions and serves them concurrently.
@@ -84,10 +97,31 @@ class WorkbookService {
   ThreadPool& pool() { return *pool_; }
   const WorkbookServiceOptions& options() const { return options_; }
 
+  /// The shared wave executor (null when recalc_threads == 0).
+  RecalcScheduler* recalc_scheduler() { return recalc_scheduler_.get(); }
+  int recalc_threads() const {
+    return recalc_pool_ ? recalc_pool_->num_threads() : 0;
+  }
+
  private:
+  /// A load/reload in progress for one name: inserted under the shard
+  /// lock before the file I/O + graph build start, so same-name requests
+  /// wait on the placeholder (outside the shard lock) instead of
+  /// stalling the whole shard behind the disk.
+  struct InFlight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Result<std::shared_ptr<WorkbookSession>> result{
+        Status::Internal("load still in flight")};
+  };
+
   struct Shard {
     mutable std::mutex mu;
     std::unordered_map<std::string, std::shared_ptr<WorkbookSession>> sessions;
+    /// Names with a load/reload in progress (heavy work runs outside
+    /// shard.mu). A name is never in `sessions` and `pending` at once.
+    std::unordered_map<std::string, std::shared_ptr<InFlight>> pending;
   };
 
   /// What the registry remembers about an evicted session: enough to
@@ -145,6 +179,13 @@ class WorkbookService {
 
   ServiceMetrics metrics_;
   std::unique_ptr<ThreadPool> pool_;
+
+  /// Dedicated executor for intra-session parallel recalc, shared by all
+  /// sessions (the scheduler holds no per-pass state). Never the command
+  /// pool: wave barriers must not wait on queue slots held by the very
+  /// commands that issued them.
+  std::unique_ptr<ThreadPool> recalc_pool_;
+  std::unique_ptr<RecalcScheduler> recalc_scheduler_;
 };
 
 }  // namespace taco

@@ -1,5 +1,6 @@
 #include "service/workbook_session.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/ascii.h"
@@ -78,6 +79,8 @@ Result<RecalcResult> WorkbookSession::Mutate(ServiceOp op, Fn&& fn) {
       edits_ += outcome.edits_applied;
       recalc_passes_ += outcome.recalc_passes;
       dirty_cells_ += outcome.dirty_cells;
+      waves_ += outcome.waves;
+      max_wave_cells_ = std::max(max_wave_cells_, outcome.max_wave_cells);
     }
     return r;
   }();
@@ -124,6 +127,30 @@ Result<RecalcResult> WorkbookSession::ApplyBatch(const EditBatch& batch,
     if (partial != nullptr) *partial = *inner;
     return r;
   });
+}
+
+void WorkbookSession::EnableParallelRecalc(RecalcExecutor* executor) {
+  std::lock_guard<std::mutex> lock(mu_);
+  executor_ = executor;
+  engine_.set_executor(executor);
+  if (executor != nullptr) engine_.set_mode(RecalcMode::kParallel);
+}
+
+Status WorkbookSession::SetRecalcMode(RecalcMode mode) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (mode == RecalcMode::kParallel && executor_ == nullptr) {
+    return Status::InvalidArgument(
+        "session '" + name_ +
+        "' has no recalc executor (service started without recalc "
+        "threads); parallel mode is unavailable");
+  }
+  engine_.set_mode(mode);
+  return Status::OK();
+}
+
+RecalcMode WorkbookSession::recalc_mode() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return engine_.mode();
 }
 
 Value WorkbookSession::GetValue(const Cell& cell) {
@@ -193,6 +220,9 @@ SessionStats WorkbookSession::Stats() const {
   stats.recalc_passes = recalc_passes_;
   stats.dirty_cells = dirty_cells_;
   stats.dirty = dirty_;
+  stats.recalc_mode = engine_.mode();
+  stats.waves = waves_;
+  stats.max_wave_cells = max_wave_cells_;
   return stats;
 }
 

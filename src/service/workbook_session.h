@@ -38,6 +38,9 @@ struct SessionStats {
   uint64_t recalc_passes = 0;
   uint64_t dirty_cells = 0;   ///< Cumulative dirty-set size.
   bool dirty = false;         ///< Unsaved changes since load/save.
+  RecalcMode recalc_mode = RecalcMode::kSerial;
+  uint64_t waves = 0;           ///< Cumulative scheduler waves executed.
+  uint64_t max_wave_cells = 0;  ///< Largest wave any recalc produced.
 };
 
 /// A named spreadsheet session. Thread-safe; all public operations lock.
@@ -70,6 +73,19 @@ class WorkbookSession {
 
   /// Evaluates one cell (cached in the engine's evaluator).
   Value GetValue(const Cell& cell);
+
+  /// Plugs in the service's shared wave executor and switches the engine
+  /// to parallel recalc. `executor` must outlive the session (the
+  /// service owns both). Called by the service before the session is
+  /// published; safe to call on a live session too (takes the lock).
+  void EnableParallelRecalc(RecalcExecutor* executor);
+
+  /// Switches the recalc path. Parallel mode requires an executor
+  /// (EnableParallelRecalc / a service configured with recalc threads);
+  /// without one this fails with FailedPrecondition-like InvalidArgument
+  /// rather than silently staying serial.
+  Status SetRecalcMode(RecalcMode mode);
+  RecalcMode recalc_mode() const;
 
   /// Serializes the sheet in .tsheet format.
   std::string Snapshot() const;
@@ -109,12 +125,15 @@ class WorkbookSession {
   Sheet sheet_;
   std::unique_ptr<DependencyGraph> graph_;
   RecalcEngine engine_;
+  RecalcExecutor* executor_ = nullptr;  ///< Shared; owned by the service.
   std::string bound_path_;
   bool dirty_ = false;
   uint64_t ops_ = 0;
   uint64_t edits_ = 0;
   uint64_t recalc_passes_ = 0;
   uint64_t dirty_cells_ = 0;
+  uint64_t waves_ = 0;
+  uint64_t max_wave_cells_ = 0;
   ServiceMetrics* metrics_;
   std::string backend_key_;
   std::atomic<uint64_t> last_access_{0};

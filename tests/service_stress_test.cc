@@ -124,6 +124,14 @@ TEST(ServiceStressTest, ConcurrentSessionsMatchSerialOracle) {
   WorkbookServiceOptions options;
   options.shards = 4;
   options.worker_threads = 2;  // Pool unused here; threads drive directly.
+  // Wave-parallel recalc inside every session, with thresholds forced to
+  // zero so even these small dirty sets exercise the scheduler — the
+  // serial oracle below proves determinism THROUGH the whole service
+  // while TSan watches the scheduler run under real cross-session
+  // concurrency.
+  options.recalc_threads = 2;
+  options.scheduler.min_parallel_cells = 1;
+  options.scheduler.min_parallel_wave = 1;
   WorkbookService service(options);
   CommandProcessor processor(&service);
 

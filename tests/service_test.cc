@@ -4,7 +4,10 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -266,6 +269,120 @@ TEST_F(ProtocolTest, StatsAndListReport) {
   EXPECT_NE(service_stats.find("OPEN"), std::string::npos);
   EXPECT_NE(service_stats.find("SET"), std::string::npos);
   EXPECT_TRUE(service_stats.ends_with("END"));
+}
+
+TEST(WorkbookServiceTest, ParallelRecalcMatchesSerialThroughTheService) {
+  WorkbookServiceOptions parallel_options;
+  parallel_options.recalc_threads = 3;
+  parallel_options.scheduler.min_parallel_cells = 1;
+  parallel_options.scheduler.min_parallel_wave = 1;
+  WorkbookService parallel_service(parallel_options);
+  WorkbookService serial_service;  // recalc_threads defaults to 0.
+
+  auto parallel = *parallel_service.Open("book");
+  auto serial = *serial_service.Open("book");
+  EXPECT_EQ(parallel->recalc_mode(), RecalcMode::kParallel);
+  EXPECT_EQ(serial->recalc_mode(), RecalcMode::kSerial);
+
+  for (auto& session : {parallel, serial}) {
+    EditBatch setup;
+    setup.push_back(Edit::SetNumber(Cell{1, 1}, 7));
+    for (int r = 1; r <= 50; ++r) {
+      setup.push_back(
+          Edit::SetFormula(Cell{2, r}, "$A$1*" + std::to_string(r)));
+    }
+    ASSERT_TRUE(session->ApplyBatch(setup).ok());
+  }
+  auto presult = parallel->SetNumber(Cell{1, 1}, 3);
+  auto sresult = serial->SetNumber(Cell{1, 1}, 3);
+  ASSERT_TRUE(presult.ok());
+  ASSERT_TRUE(sresult.ok());
+  EXPECT_EQ(presult->recalculated, sresult->recalculated);
+  EXPECT_EQ(presult->waves, 1u);
+  for (const Cell& cell : EnumerateCells(Range(1, 1, 2, 50))) {
+    EXPECT_EQ(parallel->GetValue(cell), serial->GetValue(cell))
+        << cell.ToString();
+  }
+
+  // The session stats surface the wave metrics.
+  SessionStats stats = parallel->Stats();
+  EXPECT_EQ(stats.recalc_mode, RecalcMode::kParallel);
+  EXPECT_GE(stats.waves, 1u);
+  EXPECT_GE(stats.max_wave_cells, 50u);
+}
+
+TEST(WorkbookServiceTest, SetRecalcModeRequiresAnExecutor) {
+  WorkbookService service;  // No recalc threads configured.
+  auto session = *service.Open("book");
+  EXPECT_EQ(session->SetRecalcMode(RecalcMode::kParallel).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(session->SetRecalcMode(RecalcMode::kSerial).ok());
+}
+
+TEST(WorkbookServiceTest, ConcurrentOpensOfAParkedSessionLoadOnce) {
+  WorkbookServiceOptions options;
+  options.max_resident_sessions = 1;
+  WorkbookService service(options);
+
+  std::string path = TempPath("taco_service_inflight.tsheet");
+  {
+    auto first = *service.Open("first");
+    ASSERT_TRUE(first->SetNumber(Cell{1, 1}, 42).ok());
+    ASSERT_TRUE(service.Save("first", path).ok());
+  }
+  ASSERT_TRUE(service.Open("other").ok());  // Cap 1: parks "first".
+  ASSERT_EQ(service.parked_sessions(), 1u);
+
+  // Many threads race to reload the parked name. Exactly one runs the
+  // file I/O (behind the InFlight placeholder, outside the shard lock);
+  // the rest wait on the placeholder and must all get THE SAME session
+  // with the saved data — never a fresh empty one.
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<WorkbookSession>> sessions(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      auto result = service.Open("first");
+      if (result.ok()) sessions[i] = *result;
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_NE(sessions[0], nullptr);
+  for (int i = 0; i < kThreads; ++i) {
+    ASSERT_NE(sessions[i], nullptr) << "open " << i << " failed";
+    EXPECT_EQ(sessions[i].get(), sessions[0].get());
+  }
+  EXPECT_EQ(sessions[0]->GetValue(Cell{1, 1}), Value::Number(42));
+  std::remove(path.c_str());
+}
+
+TEST_F(ProtocolTest, RecalcCommandQueriesAndSwitchesTheMode) {
+  // Without recalc threads, parallel mode is rejected but serial works.
+  Run("OPEN book");
+  EXPECT_EQ(Run("RECALC book"), "OK recalc book mode=serial threads=0");
+  EXPECT_TRUE(Run("RECALC book parallel").starts_with("ERR InvalidArgument"));
+  EXPECT_EQ(Run("RECALC book serial"), "OK recalc book mode=serial threads=0");
+  EXPECT_TRUE(Run("RECALC").starts_with("ERR InvalidArgument: usage"));
+  EXPECT_TRUE(Run("RECALC book sideways").starts_with("ERR InvalidArgument"));
+
+  // With a recalc pool, sessions default to parallel and can switch.
+  WorkbookServiceOptions options;
+  options.recalc_threads = 2;
+  WorkbookService parallel_service(options);
+  CommandProcessor processor(&parallel_service);
+  EXPECT_EQ(processor.Execute("OPEN wb"), "OK opened wb backend=TACO");
+  EXPECT_EQ(processor.Execute("RECALC wb"),
+            "OK recalc wb mode=parallel threads=2");
+  EXPECT_EQ(processor.Execute("RECALC wb serial"),
+            "OK recalc wb mode=serial threads=2");
+  EXPECT_EQ(processor.Execute("RECALC wb parallel"),
+            "OK recalc wb mode=parallel threads=2");
+  std::string stats = processor.Execute("STATS wb");
+  EXPECT_NE(stats.find("recalc_mode=parallel"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("waves="), std::string::npos) << stats;
+  std::string service_stats = processor.Execute("STATS");
+  EXPECT_NE(service_stats.find("recalc_workers=2"), std::string::npos)
+      << service_stats;
 }
 
 TEST_F(ProtocolTest, SaveCloseLoadThroughProtocol) {
