@@ -24,6 +24,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "IoError";
     case StatusCode::kUnsupported:
       return "Unsupported";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -29,6 +29,8 @@ enum class StatusCode {
   kInternal = 7,          ///< Invariant violation inside the library.
   kIoError = 8,           ///< Filesystem-level failure.
   kUnsupported = 9,       ///< Feature intentionally not implemented.
+  kUnavailable = 10,      ///< Service cannot take the request right now
+                          ///< (at capacity, shutting down, idle-closed).
 };
 
 /// Returns a stable, human-readable name for a status code ("OK",
@@ -81,6 +83,9 @@ class Status {
   }
   static Status Unsupported(std::string msg) {
     return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   /// True iff this status represents success.

@@ -1,0 +1,162 @@
+#include "net/socket_client.h"
+
+#include <errno.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <charconv>
+#include <cstring>
+#include <utility>
+
+#include "service/protocol.h"
+
+namespace taco {
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+SocketClient::~SocketClient() { Close(); }
+
+SocketClient::SocketClient(SocketClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      buffer_(std::move(other.buffer_)) {}
+
+SocketClient& SocketClient::operator=(SocketClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+Status SocketClient::Connect(const std::string& host, uint16_t port) {
+  if (connected()) return Status::AlreadyExists("already connected");
+
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                         &results);
+  if (rc != 0) {
+    return Status::IoError("resolve '" + host + "': " + ::gai_strerror(rc));
+  }
+
+  Status status = Status::IoError("no addresses for '" + host + "'");
+  for (addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      status = Errno("socket");
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      fd_ = fd;
+      status = Status::OK();
+      break;
+    }
+    status = Errno("connect " + host + ":" + std::to_string(port));
+    ::close(fd);
+  }
+  ::freeaddrinfo(results);
+  return status;
+}
+
+void SocketClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+void SocketClient::FinishWrites() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+Status SocketClient::WriteRaw(std::string_view bytes) {
+  if (!connected()) return Status::Unavailable("not connected");
+  while (!bytes.empty()) {
+    ssize_t n = ::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    bytes.remove_prefix(static_cast<size_t>(n));
+  }
+  return Status::OK();
+}
+
+Status SocketClient::SendCommand(const std::string& command) {
+  return WriteRaw(command + "\n");
+}
+
+Result<std::string> SocketClient::ReadLine() {
+  if (!connected()) return Status::Unavailable("not connected");
+  size_t nl;
+  while ((nl = buffer_.find('\n')) == std::string::npos) {
+    char chunk[4096];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (n == 0) return Status::Unavailable("connection closed by server");
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+  std::string line = buffer_.substr(0, nl);
+  buffer_.erase(0, nl + 1);
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return line;
+}
+
+Result<std::string> SocketClient::ReadResponse() {
+  TACO_ASSIGN_OR_RETURN(std::string response, ReadLine());
+  if (!CommandProcessor::ResponseContinues(response)) return response;
+  // The multi-line report: accumulate through the terminator so the
+  // caller gets the exact string Execute() returned on the server.
+  while (true) {
+    TACO_ASSIGN_OR_RETURN(std::string line, ReadLine());
+    response += '\n';
+    response += line;
+    if (line == CommandProcessor::kResponseTerminator) return response;
+  }
+}
+
+Result<std::string> SocketClient::Call(const std::string& command) {
+  TACO_RETURN_IF_ERROR(SendCommand(command));
+  return ReadResponse();
+}
+
+Status ParseHostPort(std::string_view spec, std::string* host,
+                     uint16_t* port) {
+  size_t colon = spec.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 == spec.size()) {
+    return Status::InvalidArgument("expected host:port, got '" +
+                                   std::string(spec) + "'");
+  }
+  std::string_view port_text = spec.substr(colon + 1);
+  int value = 0;
+  auto [ptr, ec] = std::from_chars(
+      port_text.data(), port_text.data() + port_text.size(), value);
+  if (ec != std::errc() || ptr != port_text.data() + port_text.size() ||
+      value < 1 || value > 65535) {
+    return Status::InvalidArgument("bad port '" + std::string(port_text) +
+                                   "'");
+  }
+  *host = std::string(spec.substr(0, colon));
+  *port = static_cast<uint16_t>(value);
+  return Status::OK();
+}
+
+}  // namespace taco

@@ -1,0 +1,72 @@
+// A small blocking TCP client for the taco_serve text protocol: the
+// remote counterpart of driving CommandProcessor in-process. One
+// Call() sends one complete command (multi-line for BATCH) and returns
+// exactly the string CommandProcessor::Execute produced on the server
+// — including the multi-line service STATS report, which is framed by
+// CommandProcessor::ResponseContinues / kResponseTerminator.
+//
+// Used by examples/service_client.cpp (--connect host:port), the
+// protocol conformance and transport test suites, and
+// bench_net_throughput. Intentionally synchronous: request, response,
+// repeat — pipelining belongs to the server side.
+
+#ifndef TACO_NET_SOCKET_CLIENT_H_
+#define TACO_NET_SOCKET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace taco {
+
+class SocketClient {
+ public:
+  SocketClient() = default;
+  ~SocketClient();
+
+  SocketClient(const SocketClient&) = delete;
+  SocketClient& operator=(const SocketClient&) = delete;
+  SocketClient(SocketClient&& other) noexcept;
+  SocketClient& operator=(SocketClient&& other) noexcept;
+
+  /// Connects to `host`:`port` (name or numeric, resolved over IPv4).
+  Status Connect(const std::string& host, uint16_t port);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Half-close: tells the server no more commands are coming while
+  /// responses can still be read — how a scripted client ends cleanly
+  /// (and how tests exercise the server's EOF-mid-frame path).
+  void FinishWrites();
+
+  /// Sends `command` and reads its complete response.
+  Result<std::string> Call(const std::string& command);
+
+  /// The halves of Call, for callers that pipeline or test framing.
+  Status SendCommand(const std::string& command);  ///< command + '\n'.
+  Result<std::string> ReadResponse();  ///< One response, multi-line aware.
+
+  /// Exactly these bytes, no newline added — lets tests tear commands
+  /// across writes to exercise the server's reassembly.
+  Status WriteRaw(std::string_view bytes);
+
+  /// Next line, CR/LF stripped. Unavailable on clean EOF ("connection
+  /// closed by server"), IoError on transport failure.
+  Result<std::string> ReadLine();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< Received bytes not yet returned as lines.
+};
+
+/// Splits "host:port" (e.g. "127.0.0.1:7013"). InvalidArgument when the
+/// port is missing or not in [1, 65535].
+Status ParseHostPort(std::string_view spec, std::string* host,
+                     uint16_t* port);
+
+}  // namespace taco
+
+#endif  // TACO_NET_SOCKET_CLIENT_H_

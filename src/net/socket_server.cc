@@ -1,0 +1,444 @@
+#include "net/socket_server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "common/ascii.h"
+#include "service/metrics.h"
+
+namespace taco {
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+void SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void SetCloseOnExec(int fd) {
+  int flags = ::fcntl(fd, F_GETFD, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+}
+
+/// Poll outcome the connection/accept loops branch on.
+enum class WaitResult { kReady, kWake, kTimeout, kError };
+
+/// Waits for `events` on `fd` while also watching the shutdown pipe.
+/// `timeout_ms` < 0 means forever.
+WaitResult WaitFor(int fd, short events, int wake_fd, int timeout_ms) {
+  struct pollfd fds[2];
+  int r;
+  do {
+    fds[0] = {fd, events, 0};
+    fds[1] = {wake_fd, POLLIN, 0};
+    r = ::poll(fds, 2, timeout_ms);
+    // Re-polling on EINTR restarts the idle window; close enough — a
+    // signal storm should not masquerade as an idle client.
+  } while (r < 0 && errno == EINTR);
+  if (r < 0) return WaitResult::kError;
+  if (r == 0) return WaitResult::kTimeout;
+  // Shutdown wins over pending data: in-flight commands already finished
+  // (we only poll between commands), so this is the drain point.
+  if (fds[1].revents != 0) return WaitResult::kWake;
+  if (fds[0].revents & (POLLERR | POLLNVAL)) return WaitResult::kError;
+  return WaitResult::kReady;
+}
+
+/// Writes all of `data`, waiting for POLLOUT on the non-blocking fd and
+/// aborting if the shutdown pipe wakes — a stuck peer must not be able
+/// to wedge Shutdown(). Returns false when the connection is unusable.
+bool WriteAll(int fd, std::string_view data, int wake_fd) {
+  while (!data.empty()) {
+    ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      data.remove_prefix(static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (WaitFor(fd, POLLOUT, wake_fd, -1) != WaitResult::kReady) {
+        return false;
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // EPIPE / ECONNRESET / anything else: peer is gone.
+  }
+  return true;
+}
+
+/// ResponseWriter over one connection: a whole response (newline
+/// appended) per Emit, written by the single connection thread, so
+/// responses can never interleave on the wire.
+class SocketResponseWriter : public ResponseWriter {
+ public:
+  SocketResponseWriter(int fd, int wake_fd) : fd_(fd), wake_fd_(wake_fd) {}
+
+  bool Emit(std::string_view response) override {
+    std::string framed;
+    framed.reserve(response.size() + 1);
+    framed.append(response);
+    framed.push_back('\n');
+    return WriteAll(fd_, framed, wake_fd_);
+  }
+
+ private:
+  int fd_;
+  int wake_fd_;
+};
+
+}  // namespace
+
+SocketServer::SocketServer(WorkbookService* service,
+                           SocketServerOptions options)
+    : service_(service), processor_(service), options_(std::move(options)) {
+  if (options_.max_clients < 1) options_.max_clients = 1;
+  if (options_.max_line_bytes < 256) options_.max_line_bytes = 256;
+}
+
+SocketServer::~SocketServer() { Shutdown(); }
+
+Status SocketServer::Start() {
+  if (running_.load()) return Status::AlreadyExists("server already started");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  SetCloseOnExec(listen_fd_);
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address '" +
+                                   options_.bind_address + "'");
+  }
+  // Non-blocking listener: poll-then-accept races (a connection that
+  // RSTs away between the two calls) must surface as EAGAIN, not block
+  // accept() past the wake pipe and wedge Shutdown().
+  SetNonBlocking(listen_fd_);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 128) < 0) {
+    Status status = Errno("bind/listen " + options_.bind_address + ":" +
+                          std::to_string(options_.port));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) <
+      0) {
+    Status status = Errno("getsockname");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  port_ = ntohs(bound.sin_port);
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) < 0) {
+    Status status = Errno("pipe");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  wake_read_ = pipe_fds[0];
+  wake_write_ = pipe_fds[1];
+  SetCloseOnExec(wake_read_);
+  SetCloseOnExec(wake_write_);
+
+  shutdown_.store(false);
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void SocketServer::Shutdown() {
+  if (!running_.load()) return;
+  if (!shutdown_.exchange(true)) {
+    // Closing the write end makes the read end readable-at-EOF for every
+    // poller at once — accept loop, idle reads, and stuck writes alike.
+    ::close(wake_write_);
+    wake_write_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  Reap(/*all=*/true);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (wake_read_ >= 0) {
+    ::close(wake_read_);
+    wake_read_ = -1;
+  }
+  running_.store(false);
+}
+
+void SocketServer::Reap(bool all) {
+  std::list<std::unique_ptr<Connection>> joinable;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (all) {
+      joinable.swap(connections_);
+    } else {
+      for (auto it = connections_.begin(); it != connections_.end();) {
+        if ((*it)->done.load()) {
+          joinable.push_back(std::move(*it));
+          it = connections_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+  for (auto& conn : joinable) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+}
+
+void SocketServer::AcceptLoop() {
+  TransportCounters& counters = service_->metrics().transport();
+  while (!shutdown_.load()) {
+    WaitResult wait = WaitFor(listen_fd_, POLLIN, wake_read_, -1);
+    if (wait == WaitResult::kWake || wait == WaitResult::kError) break;
+    if (wait == WaitResult::kTimeout) continue;
+
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      // Only a dead listening socket ends the loop. Everything else —
+      // including fd exhaustion (EMFILE/ENFILE) and kernel memory
+      // pressure (ENOBUFS/ENOMEM) — is transient: back off briefly
+      // (wake-aware, so Shutdown stays prompt) and keep accepting,
+      // rather than silently leaving the backlog to hang forever.
+      if (errno == EBADF || errno == EINVAL || errno == ENOTSOCK) break;
+      if (errno != EINTR && errno != EAGAIN && errno != ECONNABORTED) {
+        std::fprintf(stderr, "taco_net: accept: %s (retrying)\n",
+                     std::strerror(errno));
+        WaitFor(listen_fd_, 0, wake_read_, 50);
+      }
+      continue;
+    }
+    SetCloseOnExec(fd);
+    SetNonBlocking(fd);
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    if (open_.load() >= options_.max_clients) {
+      counters.rejected.fetch_add(1);
+      WriteAll(fd,
+               "ERR Unavailable: too many clients (max " +
+                   std::to_string(options_.max_clients) + ")\n",
+               wake_read_);
+      ::close(fd);
+      continue;
+    }
+
+    counters.accepted.fetch_add(1);
+    ConnectionOpened();
+
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      connections_.push_back(std::move(conn));
+    }
+    raw->thread = std::thread([this, raw] { ServeConnection(raw); });
+
+    Reap(/*all=*/false);
+  }
+}
+
+void SocketServer::ServeConnection(Connection* conn) {
+  TransportCounters& counters = service_->metrics().transport();
+  SocketResponseWriter writer(conn->fd, wake_read_);
+
+  std::string inbuf;     // Raw bytes not yet split into lines.
+  std::string pending;   // Command under assembly (BATCH header + body).
+  int body_needed = 0;   // Body lines still owed to `pending`.
+  bool discarding = false;  // Skipping the tail of an oversized line.
+  bool closing = false;
+
+  auto dispatch = [&](std::string_view command) {
+    counters.commands.fetch_add(1);
+    if (!writer.Emit(processor_.Execute(command))) closing = true;
+  };
+
+  // One complete line (terminator stripped; may still carry a '\r',
+  // which the processor tolerates).
+  auto feed_line = [&](std::string_view line) {
+    if (body_needed > 0) {
+      pending += '\n';
+      pending += line;
+      if (--body_needed == 0) {
+        dispatch(pending);
+        pending.clear();
+      }
+      return;
+    }
+    std::string_view word = line.substr(0, line.find_first_of(" \t\r"));
+    if (EqualsIgnoreCaseAscii(word, "QUIT") ||
+        EqualsIgnoreCaseAscii(word, "EXIT")) {
+      closing = true;  // Mirror stdin: end of stream, no response.
+      return;
+    }
+    int extra = CommandProcessor::ExtraBodyLines(line);
+    if (extra < 0) {
+      // Unframeable BATCH header: report and close — the body length is
+      // unknowable, so the rest of the stream cannot be trusted.
+      dispatch(line);
+      closing = true;
+      return;
+    }
+    if (extra == 0) {
+      dispatch(line);
+    } else {
+      pending.assign(line);
+      body_needed = extra;
+    }
+  };
+
+  // A line blew the bound (`prefix` is what arrived before we stopped
+  // buffering). Never buffered further: the command is lost by design,
+  // but the framing is not — a body line consumes its slot (the batch
+  // response then names it unparseable), a header line gets its own
+  // error response. One exception: a header whose first word is BATCH
+  // is *unframeable* — its body-line count was in the dropped bytes —
+  // so it gets the poison treatment (ERR + close) rather than letting
+  // its body lines execute as commands against other sessions.
+  auto oversized = [&](std::string_view prefix) {
+    counters.oversized.fetch_add(1);
+    if (body_needed > 0) {
+      feed_line("");
+      return;
+    }
+    // Tokenize the way ExtraBodyLines does (leading whitespace skipped)
+    // so " BATCH ..." cannot sneak past the check below.
+    size_t start = prefix.find_first_not_of(" \t");
+    prefix = start == std::string_view::npos ? std::string_view{}
+                                             : prefix.substr(start);
+    std::string_view word = prefix.substr(0, prefix.find_first_of(" \t\r"));
+    bool unframeable = EqualsIgnoreCaseAscii(word, "BATCH");
+    if (!writer.Emit("ERR InvalidArgument: line exceeds " +
+                     std::to_string(options_.max_line_bytes) + " bytes" +
+                     (unframeable ? "; BATCH frame unknowable, closing"
+                                  : "")) ||
+        unframeable) {
+      closing = true;
+    }
+  };
+
+  auto drain_lines = [&] {
+    // Consume via an offset and erase once: front-erasing per line
+    // would memmove the rest of the buffer for every pipelined command.
+    size_t begin = 0;
+    size_t nl;
+    while (!closing &&
+           (nl = inbuf.find('\n', begin)) != std::string::npos) {
+      std::string_view line =
+          std::string_view(inbuf).substr(begin, nl - begin);
+      if (discarding) {
+        discarding = false;  // The dropped line's tail ends here.
+      } else if (line.size() > options_.max_line_bytes) {
+        oversized(line);
+      } else {
+        feed_line(line);
+      }
+      begin = nl + 1;
+    }
+    inbuf.erase(0, begin);
+    if (closing) return;
+    if (discarding) {
+      inbuf.clear();
+    } else if (inbuf.size() > options_.max_line_bytes) {
+      oversized(inbuf);
+      discarding = true;
+      inbuf.clear();
+    }
+  };
+
+  char chunk[4096];
+  bool peer_eof = false;
+  while (!closing && !shutdown_.load()) {
+    int timeout =
+        options_.idle_timeout_ms > 0 ? options_.idle_timeout_ms : -1;
+    WaitResult wait = WaitFor(conn->fd, POLLIN, wake_read_, timeout);
+    if (wait == WaitResult::kWake || wait == WaitResult::kError) break;
+    if (wait == WaitResult::kTimeout) {
+      if (options_.idle_timeout_ms > 0) {
+        counters.idle_closed.fetch_add(1);
+        writer.Emit("ERR Unavailable: idle timeout, closing connection");
+        break;
+      }
+      continue;
+    }
+    ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      break;
+    }
+    if (n == 0) {  // Peer finished writing (EOF / half-close).
+      peer_eof = true;
+      break;
+    }
+    inbuf.append(chunk, static_cast<size_t>(n));
+    drain_lines();
+  }
+
+  // EOF mid-frame: execute what arrived, exactly like the stdin loop
+  // when getline fails inside a BATCH body. An unterminated final line
+  // counts as a line (a stream ending without a newline still said it).
+  if (peer_eof && !closing && !shutdown_.load()) {
+    if (!inbuf.empty() && !discarding) {
+      feed_line(inbuf);
+    }
+    if (body_needed > 0 && !closing) {
+      body_needed = 0;
+      dispatch(pending);
+    }
+  }
+
+  ::close(conn->fd);
+  conn->fd = -1;
+  ConnectionClosed();
+  // Reap peers that finished before us so a quiet daemon does not hold
+  // dead threads until the next accept. Our own entry is skipped (done
+  // is still false here — a thread cannot join itself), and the chain
+  // terminates because a thread only ever joins already-done peers.
+  Reap(/*all=*/false);
+  conn->done.store(true);
+}
+
+void SocketServer::ConnectionOpened() {
+  open_.fetch_add(1);
+  service_->metrics().transport().open.fetch_add(1);
+}
+
+void SocketServer::ConnectionClosed() {
+  open_.fetch_sub(1);
+  service_->metrics().transport().open.fetch_sub(1);
+}
+
+}  // namespace taco

@@ -1,0 +1,133 @@
+// TCP transport for the workbook service: a POSIX socket server that
+// frames the line protocol and dispatches into the shared
+// CommandProcessor, so socket clients and the stdin loop of taco_serve
+// serve the SAME sessions, metrics, and recalc pools.
+//
+// Model: one accept thread plus one thread per connection. Each
+// connection owns a read buffer with partial-line reassembly (commands
+// may arrive torn across packets, CRLF or LF terminated), frames BATCH
+// bodies with CommandProcessor::ExtraBodyLines, executes each complete
+// command synchronously on its own thread, and writes the response as
+// one atomic unit (ResponseWriter contract). Two clients editing one
+// session serialize on the session lock exactly like two stdin
+// commands; a client's next command always observes its previous
+// response's effects.
+//
+// Framing hazards are handled the way taco_serve's stdin loop does, and
+// then some:
+//   - a line longer than `max_line_bytes` is dropped with a single
+//     "ERR InvalidArgument: line exceeds ..." response instead of
+//     buffering without bound; the connection survives. Inside a BATCH
+//     body the dropped line consumes its body slot (the batch response
+//     then reports that line unparseable) so the frame never slips. An
+//     oversized line whose first word is BATCH is treated as an
+//     unframeable header (below) — its count was in the dropped bytes.
+//   - an unframeable BATCH header (bad or oversized count) gets its ERR
+//     response and then the connection closes — the body length is
+//     unknowable, so reinterpreting body lines as commands would
+//     silently address other sessions.
+//   - EOF in the middle of a BATCH body executes the partial frame
+//     (matching stdin-at-EOF) before closing.
+//
+// Shutdown() is graceful: stop accepting, wake every connection (they
+// finish the command in flight and emit its response first), join all
+// threads, close every fd. A connection blocked on a stuck peer's full
+// send buffer is aborted by the same wakeup, so Shutdown() always
+// completes. Idle connections can be reaped with `idle_timeout_ms`.
+
+#ifndef TACO_NET_SOCKET_SERVER_H_
+#define TACO_NET_SOCKET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "service/protocol.h"
+#include "service/workbook_service.h"
+
+namespace taco {
+
+struct SocketServerOptions {
+  /// IPv4 address to bind. The default serves loopback only; a daemon
+  /// deliberately exposed to a network binds "0.0.0.0".
+  std::string bind_address = "127.0.0.1";
+  uint16_t port = 0;            ///< 0 = ephemeral; read back via port().
+  int max_clients = 64;         ///< Concurrent connections; extras refused.
+  int idle_timeout_ms = 0;      ///< Close silent connections; 0 = never.
+  size_t max_line_bytes = 64 * 1024;  ///< Per-line bound (see above).
+};
+
+/// The network daemon in front of one WorkbookService. `service` must
+/// outlive the server. Start() binds and begins serving; Shutdown()
+/// (also run by the destructor) drains and joins everything.
+class SocketServer {
+ public:
+  explicit SocketServer(WorkbookService* service,
+                        SocketServerOptions options = {});
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds, listens, and starts the accept thread. Fails (IoError) when
+  /// the address is unusable; safe to destroy the server afterwards.
+  Status Start();
+
+  /// The bound port (resolves an ephemeral request) — valid after a
+  /// successful Start().
+  uint16_t port() const { return port_; }
+
+  /// Graceful stop: no new connections, in-flight commands finish and
+  /// their responses are written, every connection thread is joined and
+  /// every fd closed. Idempotent; returns only when fully quiesced.
+  void Shutdown();
+
+  /// Currently attached clients (0 after Shutdown()).
+  int open_connections() const { return open_.load(); }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void ServeConnection(Connection* conn);
+  /// Joins finished connection threads; with `all`, blocks until every
+  /// connection (live ones were woken by Shutdown) has been joined.
+  void Reap(bool all);
+  /// Keep the per-server gauge (admission control, open_connections())
+  /// and the service-wide STATS gauge moving in lockstep.
+  void ConnectionOpened();
+  void ConnectionClosed();
+
+  WorkbookService* service_;
+  CommandProcessor processor_;
+  SocketServerOptions options_;
+
+  int listen_fd_ = -1;
+  /// Self-pipe: every poll() in the server also watches the read end;
+  /// Shutdown() closes the write end, which wakes them all at once
+  /// (readable-at-EOF) without any per-connection signaling.
+  int wake_read_ = -1;
+  int wake_write_ = -1;
+  uint16_t port_ = 0;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> shutdown_{false};
+  std::thread accept_thread_;
+
+  mutable std::mutex conn_mu_;
+  std::list<std::unique_ptr<Connection>> connections_;
+  std::atomic<int> open_{0};
+};
+
+}  // namespace taco
+
+#endif  // TACO_NET_SOCKET_SERVER_H_

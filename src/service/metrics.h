@@ -9,6 +9,7 @@
 #define TACO_SERVICE_METRICS_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -51,6 +52,18 @@ struct OpStats {
   double MeanMs() const { return count ? total_ms / double(count) : 0; }
 };
 
+/// Socket-transport counters, bumped lock-free by taco_net's SocketServer
+/// and rendered on the service-wide STATS report. All zero when the
+/// service only ever speaks stdin/stdout.
+struct TransportCounters {
+  std::atomic<uint64_t> accepted{0};      ///< Connections ever accepted.
+  std::atomic<uint64_t> rejected{0};      ///< Refused over max-clients.
+  std::atomic<int64_t> open{0};           ///< Currently attached clients.
+  std::atomic<uint64_t> commands{0};      ///< Framed commands dispatched.
+  std::atomic<uint64_t> oversized{0};     ///< Lines dropped for length.
+  std::atomic<uint64_t> idle_closed{0};   ///< Closed by the idle timeout.
+};
+
 /// Thread-safe metrics sink shared by every session of a service.
 class ServiceMetrics {
  public:
@@ -65,9 +78,13 @@ class ServiceMetrics {
   /// Fixed-width text report, one line per op with traffic (for STATS).
   std::string Report() const;
 
+  TransportCounters& transport() { return transport_; }
+  const TransportCounters& transport() const { return transport_; }
+
  private:
   mutable std::mutex mu_;
   std::array<OpStats, static_cast<size_t>(ServiceOp::kOpCount)> stats_;
+  TransportCounters transport_;
 };
 
 }  // namespace taco

@@ -136,6 +136,24 @@ std::string SessionStatsReport(const SessionStats& stats) {
 
 }  // namespace
 
+bool StdioResponseWriter::Emit(std::string_view response) {
+  // One buffered write + one flush: the reader on the other end of the
+  // pipe sees complete responses only, and an error (closed pipe) stops
+  // the transport instead of silently dropping output.
+  if (std::fwrite(response.data(), 1, response.size(), out_) !=
+      response.size()) {
+    return false;
+  }
+  if (std::fputc('\n', out_) == EOF) return false;
+  return std::fflush(out_) == 0;
+}
+
+bool CommandProcessor::ResponseContinues(std::string_view first_line) {
+  // The service-wide STATS report is the one multi-line response; its
+  // first line is "OK service ..." (a session report is "OK session=...").
+  return first_line.starts_with("OK service");
+}
+
 std::string_view CommandProcessor::DispatchKey(std::string_view header_line) {
   std::string_view rest = TrimCr(header_line);
   std::string_view cmd = NextToken(&rest);
@@ -233,7 +251,18 @@ std::string CommandProcessor::Execute(std::string_view command_text) {
                   static_cast<unsigned long long>(service_->evictions()),
                   service_->pool().num_threads(),
                   service_->recalc_threads());
-    return buffer + service_->metrics().Report() + "END";
+    const TransportCounters& t = service_->metrics().transport();
+    char conn[192];
+    std::snprintf(conn, sizeof(conn),
+                  "connections open=%lld accepted=%llu rejected=%llu "
+                  "commands=%llu oversized=%llu idle_closed=%llu\n",
+                  static_cast<long long>(t.open.load()),
+                  static_cast<unsigned long long>(t.accepted.load()),
+                  static_cast<unsigned long long>(t.rejected.load()),
+                  static_cast<unsigned long long>(t.commands.load()),
+                  static_cast<unsigned long long>(t.oversized.load()),
+                  static_cast<unsigned long long>(t.idle_closed.load()));
+    return buffer + std::string(conn) + service_->metrics().Report() + "END";
   }
   if (EqualsIgnoreCase(cmd, "RECALC")) {
     std::string_view name = NextToken(&rest);

@@ -27,12 +27,38 @@
 #ifndef TACO_SERVICE_PROTOCOL_H_
 #define TACO_SERVICE_PROTOCOL_H_
 
+#include <cstdio>
 #include <string>
 #include <string_view>
 
 #include "service/workbook_service.h"
 
 namespace taco {
+
+/// Transport-agnostic response emission. Execute() returns each response
+/// as ONE string (multi-line for service STATS); a ResponseWriter's
+/// contract is that one Emit call delivers that whole response — plus
+/// the terminating newline — as one atomic unit on the wire, so two
+/// threads sharing a transport can never interleave mid-response.
+/// Returns false when the transport is gone (peer hung up); the caller
+/// should stop emitting.
+class ResponseWriter {
+ public:
+  virtual ~ResponseWriter() = default;
+  virtual bool Emit(std::string_view response) = 0;
+};
+
+/// ResponseWriter over a stdio stream (taco_serve's stdin mode, script
+/// replay). One fwrite + flush per response: a response is visible to
+/// the reader as soon as Emit returns, never partially.
+class StdioResponseWriter : public ResponseWriter {
+ public:
+  explicit StdioResponseWriter(std::FILE* out) : out_(out) {}
+  bool Emit(std::string_view response) override;
+
+ private:
+  std::FILE* out_;
+};
 
 class CommandProcessor {
  public:
@@ -68,6 +94,14 @@ class CommandProcessor {
   /// this to ThreadPool::Submit's keyed overload. The returned view
   /// aliases `header_line`.
   static std::string_view DispatchKey(std::string_view header_line);
+
+  /// Response framing for remote clients: almost every response is one
+  /// line, but the service-wide STATS report spans several. A response
+  /// whose FIRST line satisfies this predicate continues until a lone
+  /// terminator line (kResponseTerminator). SocketClient uses it to know
+  /// when a reply is complete.
+  static bool ResponseContinues(std::string_view first_line);
+  static constexpr std::string_view kResponseTerminator = "END";
 
  private:
   WorkbookService* service_;

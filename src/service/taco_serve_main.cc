@@ -1,21 +1,27 @@
-// taco_serve: the workbook service speaking its text protocol over
-// stdin/stdout — one request line in (plus BATCH body lines), one
-// response out, suitable for piping, scripting, or wrapping in a socket
-// server. Responses are printed in request order, but execution is
-// dispatched onto the service's worker pool: commands for different
-// sessions run in parallel, commands for one session keep their order
-// (per-key queue affinity, see thread_pool.h).
+// taco_serve: the workbook service speaking its text protocol — over
+// stdin/stdout by default (one request line in, one response out,
+// suitable for piping and scripting), or as a real TCP daemon with
+// --listen <port> (src/net/socket_server.h): N concurrent clients share
+// the same sessions, metrics, and recalc pools the stdin loop uses.
 //
 //   $ ./taco_serve [--threads N] [--recalc-threads N] [--backend NAME]
 //                  [--max-resident N] [script]
-//   OPEN sales
-//   SET sales A1 41.5
-//   FORMULA sales B1 SUM(A1:A9)*2
-//   GET sales B1
-//   STATS
-//   QUIT
+//   $ ./taco_serve --listen 7013 [--bind ADDR] [--max-clients N]
+//                  [--idle-timeout-ms M]
+//
+// Stdin mode responses are printed in request order, but execution is
+// dispatched onto the service's worker pool: commands for different
+// sessions run in parallel, commands for one session keep their order
+// (per-key queue affinity, see thread_pool.h). In listen mode each
+// connection executes its commands in arrival order on its own thread;
+// SIGINT/SIGTERM shut down gracefully (in-flight commands finish and
+// their responses are written before connections close).
 //
 // Diagnostics go to stderr; stdout carries only protocol responses.
+
+#include <errno.h>
+#include <signal.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -28,6 +34,7 @@
 #include <string>
 
 #include "common/ascii.h"
+#include "net/socket_server.h"
 #include "service/protocol.h"
 #include "service/workbook_service.h"
 
@@ -40,10 +47,60 @@ int ParseIntArg(const char* text, int fallback) {
   return value > 0 ? value : fallback;
 }
 
+/// Self-pipe for signal-safe shutdown: the handler only writes a byte;
+/// main blocks reading the other end, then drains the server properly.
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void HandleShutdownSignal(int /*signo*/) {
+  char byte = 1;
+  [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+int RunListenMode(WorkbookService* service, const SocketServerOptions& opts) {
+  SocketServer server(service, opts);
+  Status status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "cannot listen: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "pipe: %s\n", std::strerror(errno));
+    return 1;
+  }
+  struct sigaction action {};
+  action.sa_handler = HandleShutdownSignal;
+  sigemptyset(&action.sa_mask);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+
+  std::fprintf(stderr,
+               "taco_serve listening on %s:%u (max_clients=%d "
+               "idle_timeout_ms=%d workers=%d recalc_workers=%d)\n",
+               opts.bind_address.c_str(), server.port(), opts.max_clients,
+               opts.idle_timeout_ms, service->pool().num_threads(),
+               service->recalc_threads());
+
+  char byte;
+  while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  std::fprintf(stderr, "shutdown signal: draining %d connection(s)\n",
+               server.open_connections());
+  server.Shutdown();
+  const TransportCounters& t = service->metrics().transport();
+  std::fprintf(stderr,
+               "taco_serve done (connections=%llu commands=%llu)\n",
+               static_cast<unsigned long long>(t.accepted.load()),
+               static_cast<unsigned long long>(t.commands.load()));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   WorkbookServiceOptions options;
+  SocketServerOptions socket_options;
+  bool listen_mode = false;
   const char* script_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
@@ -80,10 +137,30 @@ int main(int argc, char** argv) {
                      "integer); keeping %zu\n",
                      text, options.max_resident_sessions);
       }
+    } else if (std::strcmp(argv[i], "--listen") == 0 && i + 1 < argc) {
+      int port = ParseIntArg(argv[++i], -1);
+      if (port < 1 || port > 65535) {
+        std::fprintf(stderr, "--listen needs a port in [1, 65535]\n");
+        return 1;
+      }
+      socket_options.port = static_cast<uint16_t>(port);
+      listen_mode = true;
+    } else if (std::strcmp(argv[i], "--bind") == 0 && i + 1 < argc) {
+      socket_options.bind_address = argv[++i];
+    } else if (std::strcmp(argv[i], "--max-clients") == 0 && i + 1 < argc) {
+      socket_options.max_clients =
+          ParseIntArg(argv[++i], socket_options.max_clients);
+    } else if (std::strcmp(argv[i], "--idle-timeout-ms") == 0 &&
+               i + 1 < argc) {
+      socket_options.idle_timeout_ms =
+          ParseIntArg(argv[++i], socket_options.idle_timeout_ms);
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::fprintf(stderr,
-                   "usage: taco_serve [--threads N] [--recalc-threads N] "
-                   "[--backend NAME] [--max-resident N] [script]\n");
+      std::fprintf(
+          stderr,
+          "usage: taco_serve [--threads N] [--recalc-threads N] "
+          "[--backend NAME] [--max-resident N] [script]\n"
+          "       taco_serve --listen PORT [--bind ADDR] [--max-clients N] "
+          "[--idle-timeout-ms M] [...]\n");
       return 0;
     } else {
       script_path = argv[i];
@@ -91,6 +168,15 @@ int main(int argc, char** argv) {
   }
 
   WorkbookService service(options);
+
+  if (listen_mode) {
+    if (script_path != nullptr) {
+      std::fprintf(stderr, "--listen and a script file are exclusive\n");
+      return 1;
+    }
+    return RunListenMode(&service, socket_options);
+  }
+
   CommandProcessor processor(&service);
 
   std::istream* input = &std::cin;
@@ -112,14 +198,16 @@ int main(int argc, char** argv) {
                options.max_resident_sessions);
 
   // Responses print in request order: each command's future joins the
-  // back of the queue, and the queue drains from the front.
+  // back of the queue, and the queue drains from the front. Emission
+  // goes through the ResponseWriter so a response is always delivered
+  // whole (same contract the socket transport relies on).
+  StdioResponseWriter writer(stdout);
   std::deque<std::future<std::string>> pending;
   auto drain = [&](size_t keep) {
     while (pending.size() > keep) {
-      std::printf("%s\n", pending.front().get().c_str());
+      writer.Emit(pending.front().get());
       pending.pop_front();
     }
-    std::fflush(stdout);
   };
 
   std::string line;
@@ -140,8 +228,7 @@ int main(int argc, char** argv) {
     int extra = CommandProcessor::ExtraBodyLines(line);
     if (extra < 0) {
       drain(0);
-      std::printf("%s\n", processor.Execute(command).c_str());
-      std::fflush(stdout);
+      writer.Emit(processor.Execute(command));
       break;
     }
     for (; extra > 0; --extra) {

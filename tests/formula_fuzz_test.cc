@@ -13,31 +13,16 @@
 
 #include "formula/parser.h"
 #include "formula/references.h"
+#include "graph_test_util.h"
 
 namespace taco {
 namespace {
 
 // Tier-1 runs use the bounded deterministic defaults below (seeds are
 // fixed by INSTANTIATE_TEST_SUITE_P, so every run covers the identical
-// input set — no flakes). Longer local fuzzing sessions can scale every
-// loop with TACO_FUZZ_TRIALS (a multiplier denominator of 100, e.g.
-// TACO_FUZZ_TRIALS=1000 runs 10x the default iterations).
-int Trials(int tier1_default) {
-  if (const char* env = std::getenv("TACO_FUZZ_TRIALS")) {
-    long scale = std::strtol(env, nullptr, 10);
-    if (scale > 0) {
-      // Clamp before multiplying so absurd knob values saturate instead
-      // of overflowing (which would wrap negative and run zero trials).
-      int64_t capped = std::min<int64_t>(
-          scale,
-          int64_t{std::numeric_limits<int>::max()} * 100 / tier1_default);
-      int64_t n = static_cast<int64_t>(tier1_default) * capped / 100;
-      return static_cast<int>(
-          std::min<int64_t>(n, std::numeric_limits<int>::max()));
-    }
-  }
-  return tier1_default;
-}
+// input set — no flakes). Longer local fuzzing sessions scale every
+// loop with TACO_FUZZ_TRIALS (see test::FuzzTrials).
+using test::FuzzTrials;
 
 class AstFuzzer {
  public:
@@ -117,7 +102,7 @@ class FormulaFuzzTest : public ::testing::TestWithParam<uint32_t> {};
 
 TEST_P(FormulaFuzzTest, PrintParseRoundTrip) {
   AstFuzzer fuzzer(GetParam());
-  for (int trial = 0, n = Trials(300); trial < n; ++trial) {
+  for (int trial = 0, n = FuzzTrials(300); trial < n; ++trial) {
     ExprPtr original = fuzzer.Random(0);
     std::string printed = ExprToString(*original);
     auto reparsed = ParseFormula(printed);
@@ -132,7 +117,7 @@ TEST_P(FormulaFuzzTest, PrintParseRoundTrip) {
 
 TEST_P(FormulaFuzzTest, CloneIsDeepAndEqual) {
   AstFuzzer fuzzer(GetParam() ^ 0xC0FFEE);
-  for (int trial = 0, n = Trials(100); trial < n; ++trial) {
+  for (int trial = 0, n = FuzzTrials(100); trial < n; ++trial) {
     ExprPtr original = fuzzer.Random(0);
     ExprPtr clone = CloneExpr(*original);
     EXPECT_TRUE(ExprEquals(*original, *clone));
@@ -147,7 +132,7 @@ TEST_P(FormulaFuzzTest, ShiftThenUnshiftIsIdentityWhenInBounds) {
   // is inherent to spreadsheet semantics, so crossing trials are skipped:
   // a crossing is visible as a flag change after the forward shift.
   AstFuzzer fuzzer(GetParam() ^ 0xBEEF);
-  for (int trial = 0, n = Trials(200); trial < n; ++trial) {
+  for (int trial = 0, n = FuzzTrials(200); trial < n; ++trial) {
     ExprPtr original = fuzzer.Random(0);
     Offset offset{trial % 5, trial % 7};
     auto shifted = ShiftExprForAutofill(*original, offset);
@@ -175,7 +160,7 @@ TEST_P(FormulaFuzzTest, ShiftThenUnshiftIsIdentityWhenInBounds) {
 
 TEST_P(FormulaFuzzTest, ExtractedReferencesMatchPrintedText) {
   AstFuzzer fuzzer(GetParam() ^ 0x1234);
-  for (int trial = 0, n = Trials(200); trial < n; ++trial) {
+  for (int trial = 0, n = FuzzTrials(200); trial < n; ++trial) {
     ExprPtr original = fuzzer.Random(0);
     // References extracted from the AST equal those extracted after a
     // print/parse round trip (serialization preserves the graph inputs).

@@ -9,8 +9,10 @@
 #define TACO_TESTS_GRAPH_TEST_UTIL_H_
 
 #include <algorithm>
+#include <cstdlib>
 #include <deque>
 #include <functional>
+#include <limits>
 #include <optional>
 #include <random>
 #include <set>
@@ -22,11 +24,33 @@
 
 #include "common/cell.h"
 #include "common/range.h"
+#include "eval/recalc.h"
 #include "graph/dependency.h"
 #include "graph/dependency_graph.h"
 #include "taco/taco_graph.h"
 
 namespace taco::test {
+
+/// TACO_FUZZ_TRIALS scaling shared by the randomized suites: tier-1
+/// runs use the bounded deterministic default; the knob is a multiplier
+/// denominator of 100 (TACO_FUZZ_TRIALS=1000 runs 10x the default
+/// iterations) for longer local fuzzing/soak sessions.
+inline int FuzzTrials(int tier1_default) {
+  if (const char* env = std::getenv("TACO_FUZZ_TRIALS")) {
+    long scale = std::strtol(env, nullptr, 10);
+    if (scale > 0) {
+      // Clamp before multiplying so absurd knob values saturate instead
+      // of overflowing (which would wrap negative and run zero trials).
+      int64_t capped = std::min<int64_t>(
+          scale,
+          int64_t{std::numeric_limits<int>::max()} * 100 / tier1_default);
+      int64_t n = static_cast<int64_t>(tier1_default) * capped / 100;
+      return static_cast<int>(std::max<int64_t>(
+          std::min<int64_t>(n, std::numeric_limits<int>::max()), 1));
+    }
+  }
+  return tier1_default;
+}
 
 /// Raw-dependency accessors for DifferentialConfig::raw_deps (below).
 /// These encode each representation's contract for "dependencies
@@ -173,6 +197,86 @@ class WorkloadGenerator {
     int32_t r1 = row(rng_);
     int32_t r2 = std::min<int32_t>(r1 + height(rng_), max_row_);
     return Range(1, r1, max_col_, r2);
+  }
+
+  // --- Protocol-script mode -----------------------------------------
+  //
+  // The same randomized workload rendered as text-protocol traffic: each
+  // step carries its wire command AND the equivalent Edits, so a soak
+  // test can replay one script through a serial-oracle WorkbookSession
+  // (applying the Edits directly) and through a transport (sending the
+  // commands) and assert cell-for-cell equality. Formulas reference only
+  // rows strictly above their own, so scripts stay acyclic and
+  // evaluation results are order-independent across transports.
+
+  /// One random edit: the Edit for the oracle plus its sessionless wire
+  /// form ("SET B3 42" — the shape BATCH body lines use). The
+  /// session-addressed form inserts the session after the first word.
+  struct WireEdit {
+    Edit edit;
+    std::string op;    ///< "SET" / "FORMULA" / "CLEAR".
+    std::string args;  ///< Everything after the op (and session) words.
+
+    std::string BatchLine() const { return op + " " + args; }
+    std::string Command(const std::string& session) const {
+      return op + " " + session + " " + args;
+    }
+  };
+
+  WireEdit NextProtocolEdit() {
+    std::uniform_int_distribution<int> pick(0, 9);
+    int kind = pick(rng_);
+    if (kind < 5) {  // Literal SET; integer values survive the text
+                     // round trip bit-exactly.
+      std::uniform_int_distribution<int32_t> col(1, max_col_);
+      std::uniform_int_distribution<int32_t> row(1, max_row_);
+      std::uniform_int_distribution<int> value(-999, 999);
+      Cell cell{col(rng_), row(rng_)};
+      int v = value(rng_);
+      return {Edit::SetNumber(cell, v), "SET",
+              cell.ToString() + " " + std::to_string(v)};
+    }
+    if (kind < 8) {  // Formula over a fresh strictly-above dependency.
+      Dependency dep = Next();
+      std::string src =
+          "SUM(" + dep.prec.ToString() + ")+" + std::to_string(dep.dep.row);
+      return {Edit::SetFormula(dep.dep, src), "FORMULA",
+              dep.dep.ToString() + " " + src};
+    }
+    Range band = NextRemovalBand();
+    return {Edit::ClearRange(band), "CLEAR", band.ToString()};
+  }
+
+  /// One step of a protocol script for `session`: a GET probe (no
+  /// edits), a single session-addressed edit, or a BATCH of several.
+  struct ProtocolStep {
+    std::string command;      ///< Complete wire command (multi-line BATCH).
+    std::vector<Edit> edits;  ///< Oracle equivalent; empty for GET.
+  };
+
+  ProtocolStep NextProtocolStep(const std::string& session) {
+    std::uniform_int_distribution<int> pick(0, 9);
+    int kind = pick(rng_);
+    if (kind < 2) {
+      std::uniform_int_distribution<int32_t> col(1, max_col_);
+      std::uniform_int_distribution<int32_t> row(1, max_row_);
+      Cell cell{col(rng_), row(rng_)};
+      return {"GET " + session + " " + cell.ToString(), {}};
+    }
+    if (kind < 8) {
+      WireEdit edit = NextProtocolEdit();
+      return {edit.Command(session), {edit.edit}};
+    }
+    std::uniform_int_distribution<int> size(2, 5);
+    int n = size(rng_);
+    ProtocolStep step;
+    step.command = "BATCH " + session + " " + std::to_string(n);
+    for (int i = 0; i < n; ++i) {
+      WireEdit edit = NextProtocolEdit();
+      step.command += "\n" + edit.BatchLine();
+      step.edits.push_back(std::move(edit.edit));
+    }
+    return step;
   }
 
  private:

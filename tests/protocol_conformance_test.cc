@@ -1,0 +1,340 @@
+// Protocol conformance: the socket transport must be invisible.
+//
+// Table-driven transcripts covering every protocol verb (OPEN LOAD SAVE
+// CLOSE SET FORMULA GET CLEAR BATCH RECALC STATS LIST) plus malformed
+// traffic are replayed twice — through an in-process CommandProcessor
+// (the stdin path of taco_serve) and through a real TCP connection —
+// each against its own fresh service, and every response must come back
+// byte-identical. The only tolerated difference is wall-clock noise:
+// latency fields (find_ms, the STATS ms columns) and the STATS
+// connection-counter line (a transport necessarily counts itself) are
+// scrubbed before comparison; every other byte must match.
+//
+// The soak test then drives randomized protocol scripts
+// (WorkloadGenerator's protocol-script mode) through a serial-oracle
+// WorkbookSession and through the socket, asserting cell-for-cell
+// equality over the whole sheet region. Scale with TACO_FUZZ_TRIALS.
+
+#include <cstdlib>
+#include <filesystem>
+#include <limits>
+#include <memory>
+#include <regex>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include "graph_test_util.h"
+#include "net/socket_client.h"
+#include "net/socket_server.h"
+#include "service/protocol.h"
+#include "service/workbook_service.h"
+
+namespace taco {
+namespace {
+
+/// One scripted conversation. Commands are complete (BATCH bodies
+/// included); `truncate_tail` cuts the final command's frame short on
+/// the wire (half-close mid-BATCH) to exercise the EOF path, and
+/// `closes_stream` marks transcripts whose last command poisons the
+/// stream (unframeable BATCH header) so the socket side can assert the
+/// hangup.
+struct Transcript {
+  std::string name;
+  std::vector<std::string> commands;
+  bool truncate_tail = false;
+  bool closes_stream = false;
+};
+
+/// Strips what may legitimately differ between two executions: latency
+/// floats and the connection-counter line of the service STATS report.
+/// VALUE lines pass through verbatim — cell values must be bit-equal.
+std::string Scrub(const std::string& response) {
+  static const std::regex kFloat("-?[0-9]+\\.[0-9]+");
+  static const std::regex kConnections("connections [^\n]*");
+  std::string out;
+  size_t begin = 0;
+  while (begin <= response.size()) {
+    size_t end = response.find('\n', begin);
+    std::string line = response.substr(
+        begin, end == std::string::npos ? std::string::npos : end - begin);
+    if (!line.starts_with("VALUE")) {
+      line = std::regex_replace(line, kConnections, "connections #");
+      line = std::regex_replace(line, kFloat, "#");
+    }
+    out += line;
+    if (end == std::string::npos) break;
+    out += '\n';
+    begin = end + 1;
+  }
+  return out;
+}
+
+/// The stdin reference: direct CommandProcessor::Execute against a fresh
+/// service — exactly what taco_serve's stdin loop dispatches.
+std::vector<std::string> RunOverStdin(const Transcript& transcript) {
+  WorkbookService service;
+  CommandProcessor processor(&service);
+  std::vector<std::string> responses;
+  for (const std::string& command : transcript.commands) {
+    responses.push_back(processor.Execute(command));
+  }
+  return responses;
+}
+
+std::vector<std::string> RunOverSocket(const Transcript& transcript) {
+  WorkbookService service;
+  SocketServer server(&service);
+  EXPECT_TRUE(server.Start().ok());
+  SocketClient client;
+  EXPECT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  std::vector<std::string> responses;
+  for (size_t i = 0; i < transcript.commands.size(); ++i) {
+    const std::string& command = transcript.commands[i];
+    bool last = i + 1 == transcript.commands.size();
+    if (last && transcript.truncate_tail) {
+      EXPECT_TRUE(client.SendCommand(command).ok());
+      client.FinishWrites();
+    } else {
+      EXPECT_TRUE(client.SendCommand(command).ok());
+    }
+    auto response = client.ReadResponse();
+    EXPECT_TRUE(response.ok())
+        << transcript.name << " command " << i << ": "
+        << response.status().ToString();
+    if (!response.ok()) break;
+    responses.push_back(*response);
+  }
+  if (transcript.closes_stream || transcript.truncate_tail) {
+    EXPECT_EQ(client.ReadLine().status().code(), StatusCode::kUnavailable)
+        << transcript.name << ": stream should have closed";
+  }
+  server.Shutdown();
+  return responses;
+}
+
+void ExpectConformance(const Transcript& transcript) {
+  SCOPED_TRACE(transcript.name);
+  std::vector<std::string> stdin_responses = RunOverStdin(transcript);
+  std::vector<std::string> socket_responses = RunOverSocket(transcript);
+  ASSERT_EQ(stdin_responses.size(), socket_responses.size());
+  for (size_t i = 0; i < stdin_responses.size(); ++i) {
+    EXPECT_EQ(Scrub(stdin_responses[i]), Scrub(socket_responses[i]))
+        << "command " << i << ": " << transcript.commands[i];
+  }
+}
+
+std::string TempPath(const std::string& tag) {
+  return (std::filesystem::temp_directory_path() /
+          ("taco_conformance_" + tag + "." + std::to_string(::getpid()) +
+           ".tsheet"))
+      .string();
+}
+
+TEST(ProtocolConformanceTest, EditReadVerbs) {
+  ExpectConformance(
+      {.name = "edit-read",
+       .commands = {
+           "OPEN wb",
+           "OPEN wb2 nocomp",
+           "LIST",
+           "SET wb A1 100",
+           "SET wb A2 -3",
+           "SET wb A3 quarterly",
+           "SET wb A4 \"spaced text\"",
+           "FORMULA wb B1 SUM(A1:A2)*2",
+           "FORMULA wb B2 =B1+1",
+           "GET wb A3",
+           "GET wb B1",
+           "GET wb B2",
+           "GET wb Z99",
+           "CLEAR wb A1:A2",
+           "GET wb B1",
+           "RECALC wb",
+           "STATS wb",
+           "CLOSE wb2",
+           "LIST",
+       }});
+}
+
+TEST(ProtocolConformanceTest, BatchVerb) {
+  ExpectConformance(
+      {.name = "batch",
+       .commands = {
+           "OPEN wb",
+           "BATCH wb 4\nSET A1 10\nSET A2 20\nFORMULA B1 SUM(A1:A2)\n"
+           "SET C1 \"note\"",
+           "GET wb B1",
+           "BATCH wb 0",
+           "BATCH wb 2\nSET A1 1\nFORMULA B9 NOSUCHFN(((",  // Bad edit.
+           "GET wb A1",  // The failed batch applied nothing.
+           "BATCH wb 1\nCLEAR A1:C9",
+           "GET wb B1",
+           "STATS wb",
+       }});
+}
+
+TEST(ProtocolConformanceTest, PersistenceVerbs) {
+  std::string path = TempPath("persist");
+  std::string path2 = TempPath("persist2");
+  ExpectConformance(
+      {.name = "persistence",
+       .commands = {
+           "OPEN wb",
+           "SET wb A1 7",
+           "FORMULA wb B1 A1*6",
+           "SAVE wb " + path,
+           "SAVE wb",  // Bound path from the save above.
+           "CLOSE wb",
+           "LOAD back " + path,
+           "GET back B1",
+           "STATS back",
+           "SAVE back " + path2,
+           "LOAD dup " + path2 + " nocomp",
+           "GET dup B1",
+           "LOAD back " + path,  // AlreadyExists.
+           "CLOSE back",
+           "CLOSE back",  // NotFound the second time.
+       }});
+  std::remove(path.c_str());
+  std::remove(path2.c_str());
+}
+
+TEST(ProtocolConformanceTest, MalformedTraffic) {
+  ExpectConformance(
+      {.name = "malformed",
+       .commands = {
+           "",              // Empty line.
+           "   \t ",        // Whitespace only.
+           "# a comment",
+           "FROBNICATE x",  // Unknown verb.
+           "OPEN",          // Usage.
+           "OPEN wb sparkly-backend",
+           "OPEN wb",
+           "GET nosuch A1",          // Bad session.
+           "GET wb NOTACELL",        // Bad cell.
+           "SET wb A1",              // Missing value.
+           "FORMULA wb B1",          // Missing source.
+           "FORMULA wb B1 SUM((((",  // Parse error.
+           "CLEAR wb 99",            // Bad range.
+           "RECALC wb warp-speed",
+           "RECALC wb parallel",  // No recalc pool configured.
+           "SET wb A1 5",  // Still serving after all of the above.
+           "GET wb A1",
+       }});
+}
+
+TEST(ProtocolConformanceTest, ServiceStatsReport) {
+  ExpectConformance(
+      {.name = "service-stats",
+       .commands = {
+           "OPEN wb",
+           "SET wb A1 1",
+           "FORMULA wb B1 A1+1",
+           "GET wb B1",
+           "STATS",  // Multi-line report, END-terminated.
+           "STATS nosuch",
+       }});
+}
+
+TEST(ProtocolConformanceTest, TruncatedBatchAtEof) {
+  // The stream ends inside a BATCH body; both transports execute the
+  // partial frame (stdin: getline fails, socket: EOF) identically.
+  ExpectConformance({.name = "truncated-batch",
+                     .commands = {"OPEN wb",
+                                  "SET wb A1 3",
+                                  "BATCH wb 3\nSET A1 5\nSET A2 6"},
+                     .truncate_tail = true});
+}
+
+TEST(ProtocolConformanceTest, UnframeableBatchHeaderPoisonsTheStream) {
+  // A BATCH count that cannot be framed: both transports report the
+  // error and refuse to interpret anything after it (taco_serve's stdin
+  // loop stops; the socket server closes the connection).
+  ExpectConformance({.name = "unframeable-batch",
+                     .commands = {"OPEN wb", "BATCH wb 9999999"},
+                     .closes_stream = true});
+  ExpectConformance({.name = "unframeable-batch-nan",
+                     .commands = {"OPEN wb", "BATCH wb seven"},
+                     .closes_stream = true});
+  // A missing or negative count is just as unframeable as a huge one.
+  ExpectConformance({.name = "unframeable-batch-missing",
+                     .commands = {"OPEN wb", "BATCH wb"},
+                     .closes_stream = true});
+  ExpectConformance({.name = "unframeable-batch-negative",
+                     .commands = {"OPEN wb", "BATCH wb -1"},
+                     .closes_stream = true});
+}
+
+// --- Randomized protocol soak ---------------------------------------
+
+TEST(ProtocolSoakTest, RandomScriptsMatchSerialOracleCellForCell) {
+  constexpr int kStepsPerScript = 60;
+  constexpr int kMaxCol = 8;
+  constexpr int kMaxRow = 30;
+  const int trials = test::FuzzTrials(6);
+
+  for (int trial = 0; trial < trials; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+
+    // The serial oracle: a bare WorkbookSession driven through the
+    // session API — no protocol, no transport, no threads.
+    auto graph = MakeGraphBackend("taco");
+    ASSERT_TRUE(graph.ok());
+    WorkbookSession oracle("oracle", Sheet(), std::move(*graph));
+
+    // The system under test: the same script as wire traffic.
+    WorkbookService service;
+    SocketServer server(&service);
+    ASSERT_TRUE(server.Start().ok());
+    SocketClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+    ASSERT_TRUE(client.Call("OPEN wb taco")->starts_with("OK opened"));
+
+    test::WorkloadGenerator gen(0x50AC + trial, kMaxCol, kMaxRow);
+    for (int i = 0; i < kStepsPerScript; ++i) {
+      auto step = gen.NextProtocolStep("wb");
+      auto response = client.Call(step.command);
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      ASSERT_TRUE(response->starts_with("OK") ||
+                  response->starts_with("VALUE"))
+          << step.command << " -> " << *response;
+      for (const Edit& edit : step.edits) {
+        switch (edit.kind) {
+          case Edit::Kind::kSetNumber:
+            ASSERT_TRUE(oracle.SetNumber(edit.cell, edit.number).ok());
+            break;
+          case Edit::Kind::kSetText:
+            ASSERT_TRUE(oracle.SetText(edit.cell, edit.text).ok());
+            break;
+          case Edit::Kind::kSetFormula:
+            ASSERT_TRUE(oracle.SetFormula(edit.cell, edit.text).ok());
+            break;
+          case Edit::Kind::kClearRange:
+            ASSERT_TRUE(oracle.ClearRange(edit.range).ok());
+            break;
+        }
+      }
+    }
+
+    // Cell-for-cell equality across the whole region, via the wire.
+    for (int col = 1; col <= kMaxCol; ++col) {
+      for (int row = 1; row <= kMaxRow; ++row) {
+        Cell cell{col, row};
+        std::string expected =
+            "VALUE " + cell.ToString() + " " + oracle.GetValue(cell).ToString();
+        auto actual = client.Call("GET wb " + cell.ToString());
+        ASSERT_TRUE(actual.ok());
+        EXPECT_EQ(*actual, expected) << cell.ToString();
+      }
+    }
+    server.Shutdown();
+  }
+}
+
+}  // namespace
+}  // namespace taco
