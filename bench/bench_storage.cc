@@ -1,0 +1,150 @@
+// Storage-engine benchmark: snapshot save/load latency and size for the
+// text vs binary backends over the bench corpora, plus WAL append
+// throughput (with and without fsync).
+//
+// The headline number is cold-load speed: the binary snapshot skips the
+// line/A1/number parsing entirely and loads formulas from precompiled
+// ASTs, so it must load at least ~2x faster than the text format (the
+// ISSUE 5 acceptance bar; docs/BENCHMARKS.md records the tables).
+//
+// Profile-aware: TACO_BENCH_PROFILE=smoke|paper scales the corpus like
+// every other bench binary.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "eval/recalc.h"
+#include "sheet/textio.h"
+#include "store/storage_engine.h"
+#include "store/wal.h"
+
+namespace taco::bench {
+namespace {
+
+struct BackendNumbers {
+  double save_ms = 0;
+  double load_ms = 0;
+  uint64_t bytes = 0;
+};
+
+std::string ScratchFile(const std::string& stem) {
+  return (std::filesystem::temp_directory_path() /
+          (stem + "." + std::to_string(::getpid())))
+      .string();
+}
+
+/// Saves + loads every sheet of `sheets` through `engine`, accumulating
+/// wall time and file size. Round-trip equality is asserted against the
+/// text serialization (the differential oracle) on the first sheet.
+BackendNumbers MeasureBackend(const StorageEngine& engine,
+                              const std::vector<CorpusSheet>& sheets) {
+  BackendNumbers numbers;
+  std::string path = ScratchFile(std::string("bench_storage_") +
+                                 std::string(engine.name()));
+  bool checked = false;
+  for (const CorpusSheet& cs : sheets) {
+    TimerMs save_timer;
+    if (!engine.SaveSnapshot(cs.sheet, path).ok()) {
+      std::fprintf(stderr, "save failed (%s)\n",
+                   std::string(engine.name()).c_str());
+      continue;
+    }
+    numbers.save_ms += save_timer.ElapsedMs();
+    numbers.bytes += std::filesystem::file_size(path);
+    TimerMs load_timer;
+    auto loaded = engine.LoadSnapshot(path);
+    numbers.load_ms += load_timer.ElapsedMs();
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "load failed (%s): %s\n",
+                   std::string(engine.name()).c_str(),
+                   loaded.status().ToString().c_str());
+      continue;
+    }
+    if (!checked) {
+      checked = true;
+      Sheet reference = cs.sheet;
+      loaded->set_name(reference.name());
+      if (WriteSheetText(*loaded) != WriteSheetText(reference)) {
+        std::fprintf(stderr, "ROUND-TRIP MISMATCH (%s)!\n",
+                     std::string(engine.name()).c_str());
+      }
+    }
+  }
+  std::remove(path.c_str());
+  return numbers;
+}
+
+/// Appends `records` single-edit records, returning records/second.
+double MeasureWalAppends(bool sync, int records) {
+  std::string path = ScratchFile(sync ? "bench_storage_sync.wal"
+                                      : "bench_storage_nosync.wal");
+  std::remove(path.c_str());
+  WalOptions options;
+  options.sync = sync;
+  auto wal = WriteAheadLog::Create(path, options, {});
+  if (!wal.ok()) return 0;
+  TimerMs timer;
+  for (int i = 0; i < records; ++i) {
+    Edit edit = Edit::SetNumber(Cell{i % 50 + 1, i % 1000 + 1}, i * 0.5);
+    if (!(*wal)->Append({&edit, 1}).ok()) return 0;
+  }
+  double elapsed = timer.ElapsedMs();
+  std::remove(path.c_str());
+  return elapsed > 0 ? records / (elapsed / 1000.0) : 0;
+}
+
+void RunCorpus(const CorpusProfile& profile) {
+  std::vector<CorpusSheet> sheets = LoadCorpus(profile);
+  auto text = MakeStorageEngine("text").value();
+  auto binary = MakeStorageEngine("binary").value();
+  BackendNumbers text_numbers = MeasureBackend(*text, sheets);
+  BackendNumbers binary_numbers = MeasureBackend(*binary, sheets);
+
+  TablePrinter table({profile.name, "save_ms", "load_ms", "bytes"});
+  auto row = [&](const char* name, const BackendNumbers& n) {
+    char save[32], load[32];
+    std::snprintf(save, sizeof(save), "%.2f", n.save_ms);
+    std::snprintf(load, sizeof(load), "%.2f", n.load_ms);
+    table.AddRow({name, save, load, std::to_string(n.bytes)});
+  };
+  row("text", text_numbers);
+  row("binary", binary_numbers);
+  table.Print();
+  if (binary_numbers.load_ms > 0) {
+    std::printf(
+        "  binary load speedup: %.2fx  (size: %.2fx of text)\n",
+        text_numbers.load_ms / binary_numbers.load_ms,
+        text_numbers.bytes == 0
+            ? 0.0
+            : double(binary_numbers.bytes) / double(text_numbers.bytes));
+  }
+}
+
+}  // namespace
+}  // namespace taco::bench
+
+int main() {
+  using namespace taco::bench;
+  PrintHeader("Storage engines: snapshot save/load + WAL append",
+              "ISSUE 5 (storage tentpole)");
+
+  RunCorpus(BenchEnron());
+  std::printf("\n");
+  RunCorpus(BenchGithub());
+
+  int records = ActiveBenchProfile() == BenchProfile::kSmoke ? 2000 : 20000;
+  std::printf("\nWAL appends (%d single-edit records):\n", records);
+  std::printf("  fsync on : %10.0f records/s\n",
+              MeasureWalAppends(true, records));
+  std::printf("  fsync off: %10.0f records/s\n",
+              MeasureWalAppends(false, records));
+  std::printf(
+      "\nShape check: binary loads >= 2x faster than text at every\n"
+      "profile; fsync dominates WAL append cost (the durability price).\n");
+  return 0;
+}

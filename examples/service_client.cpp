@@ -107,6 +107,13 @@ int Tour(const Transport& call) {
   Run(call, "CLOSE sales");
   Run(call, "LOAD sales2 " + path);
   Run(call, "GET sales2 B3");
+
+  std::printf("\n== storage layer: checkpoint + report ==\n");
+  // CHECKPOINT is SAVE under its durability name (snapshot + WAL
+  // rotation when the server runs --wal-dir); STORAGE shows where the
+  // durable state lives.
+  Run(call, "CHECKPOINT sales2");
+  Run(call, "STORAGE sales2");
   std::remove(path.c_str());
 
   std::printf("\n== per-session and service stats ==\n");

@@ -26,6 +26,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Unsupported";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

@@ -31,6 +31,8 @@ enum class StatusCode {
   kUnsupported = 9,       ///< Feature intentionally not implemented.
   kUnavailable = 10,      ///< Service cannot take the request right now
                           ///< (at capacity, shutting down, idle-closed).
+  kDataLoss = 11,         ///< Persisted data is corrupt, truncated, or
+                          ///< oversized (storage-layer integrity failure).
 };
 
 /// Returns a stable, human-readable name for a status code ("OK",
@@ -86,6 +88,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   /// True iff this status represents success.

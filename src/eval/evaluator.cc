@@ -397,6 +397,19 @@ void Evaluator::Invalidate(const Range& cells) {
       ++it;
     }
   }
+  MaybeShrink();
+}
+
+void Evaluator::MaybeShrink() {
+  // unordered_map::erase never releases buckets, so a cache that once
+  // held a large region keeps its table (and its O(buckets) iteration
+  // cost) forever. After a bulk invalidation leaves the table mostly
+  // empty, rehash down. The 1/8 threshold keeps the amortized cost nil:
+  // a shrink is only reachable after ~8x growth or mass erasure.
+  if (cache_.bucket_count() > kShrinkMinBuckets &&
+      cache_.size() < cache_.bucket_count() / 8) {
+    cache_.rehash(cache_.size() * 2);
+  }
 }
 
 }  // namespace taco

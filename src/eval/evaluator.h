@@ -39,9 +39,14 @@ class Evaluator {
   /// absolute positions, so no origin is needed).
   Value EvaluateExpr(const Expr& expr);
 
-  /// Drops the cached values of `cells` (after an update).
+  /// Drops the cached values of `cells` (after an update). Shrinks the
+  /// cache's bucket table when a bulk invalidation leaves it nearly
+  /// empty (erase alone never returns bucket memory).
   void Invalidate(const Range& cells);
-  void InvalidateAll() { cache_.clear(); }
+  void InvalidateAll() {
+    cache_.clear();
+    MaybeShrink();
+  }
 
   /// Inserts an already-computed value into the cache — how the parallel
   /// scheduler commits a wave's results back into the engine's main
@@ -59,6 +64,14 @@ class Evaluator {
 
   size_t cache_size() const { return cache_.size(); }
 
+  /// Bucket count of the value cache — the memory-visible footprint the
+  /// shrink heuristic manages (tests assert it drops after bulk clears).
+  size_t cache_bucket_count() const { return cache_.bucket_count(); }
+
+  /// Tables at or below this many buckets never shrink (rehash churn on
+  /// small maps isn't worth it).
+  static constexpr size_t kShrinkMinBuckets = 1024;
+
   /// One flattened function argument. Spreadsheet aggregates treat values
   /// that came out of a range differently from direct scalar arguments
   /// (text/logicals in ranges are skipped; direct ones coerce), so the
@@ -73,6 +86,9 @@ class Evaluator {
   Value EvaluateBinary(const BinaryExpr& expr);
   Value EvaluateUnary(const UnaryExpr& expr);
   void CollectArgValues(const Expr& arg, std::vector<ArgValue>* out);
+
+  /// Rehashes the cache down after bulk erasure leaves it sparse.
+  void MaybeShrink();
 
   /// Cached value of `cell` in the base's cache or the local one;
   /// nullptr when neither holds it. Base first: for overlay evaluators

@@ -64,6 +64,17 @@ struct TransportCounters {
   std::atomic<uint64_t> idle_closed{0};   ///< Closed by the idle timeout.
 };
 
+/// Storage-layer counters, bumped lock-free by sessions (WAL appends,
+/// checkpoints) and the service (recoveries), rendered on the
+/// service-wide STATS report. All zero when persistence is never used.
+struct StorageCounters {
+  std::atomic<uint64_t> checkpoints{0};        ///< Snapshot+rotate saves.
+  std::atomic<uint64_t> wal_records{0};        ///< Records ever appended.
+  std::atomic<uint64_t> wal_bytes{0};          ///< Bytes ever appended.
+  std::atomic<uint64_t> recoveries{0};         ///< Sessions recovered.
+  std::atomic<uint64_t> recovered_records{0};  ///< Records replayed.
+};
+
 /// Thread-safe metrics sink shared by every session of a service.
 class ServiceMetrics {
  public:
@@ -81,10 +92,14 @@ class ServiceMetrics {
   TransportCounters& transport() { return transport_; }
   const TransportCounters& transport() const { return transport_; }
 
+  StorageCounters& storage() { return storage_; }
+  const StorageCounters& storage() const { return storage_; }
+
  private:
   mutable std::mutex mu_;
   std::array<OpStats, static_cast<size_t>(ServiceOp::kOpCount)> stats_;
   TransportCounters transport_;
+  StorageCounters storage_;
 };
 
 }  // namespace taco

@@ -134,6 +134,18 @@ std::string SessionStatsReport(const SessionStats& stats) {
   return out;
 }
 
+std::string SessionStorageReport(const SessionStats& stats) {
+  std::string out = "OK storage session=" + stats.name;
+  out += " engine=" + stats.storage;
+  out += " wal=" + (stats.wal_path.empty() ? "(none)" : stats.wal_path);
+  out += " wal_records=" + std::to_string(stats.wal_records);
+  out += " wal_bytes=" + std::to_string(stats.wal_bytes);
+  out += " recovered=" + std::to_string(stats.recovered_records);
+  out += " unsaved=" + std::to_string(stats.dirty ? 1 : 0);
+  out += " path=" + (stats.path.empty() ? "(none)" : stats.path);
+  return out;
+}
+
 }  // namespace
 
 bool StdioResponseWriter::Emit(std::string_view response) {
@@ -222,6 +234,28 @@ std::string CommandProcessor::Execute(std::string_view command_text) {
     if (!status.ok()) return ErrLine(status);
     return "OK saved " + std::string(name);
   }
+  if (EqualsIgnoreCase(cmd, "CHECKPOINT")) {
+    // SAVE under its durability name: snapshot + WAL rotation. Kept as a
+    // distinct verb so clients managing recovery cost (bounding the WAL
+    // tail) read as what they are, and so the response reports where the
+    // durable state now lives.
+    std::string_view name = NextToken(&rest);
+    std::string_view path = NextToken(&rest);
+    if (name.empty()) return ErrUsage("CHECKPOINT <session> [path]");
+    auto session = service_->Get(std::string(name));
+    if (!session.ok()) return ErrLine(session.status());
+    Status status = (*session)->Checkpoint(std::string(path));
+    if (!status.ok()) return ErrLine(status);
+    SessionStats stats = (*session)->Stats();
+    return "OK checkpoint " + std::string(name) + " path=" + stats.path;
+  }
+  if (EqualsIgnoreCase(cmd, "STORAGE")) {
+    std::string_view name = NextToken(&rest);
+    if (name.empty()) return ErrUsage("STORAGE <session>");
+    auto session = service_->Get(std::string(name));
+    if (!session.ok()) return ErrLine(session.status());
+    return SessionStorageReport((*session)->Stats());
+  }
   if (EqualsIgnoreCase(cmd, "CLOSE")) {
     std::string_view name = NextToken(&rest);
     if (name.empty()) return ErrUsage("CLOSE <session>");
@@ -262,7 +296,20 @@ std::string CommandProcessor::Execute(std::string_view command_text) {
                   static_cast<unsigned long long>(t.commands.load()),
                   static_cast<unsigned long long>(t.oversized.load()),
                   static_cast<unsigned long long>(t.idle_closed.load()));
-    return buffer + std::string(conn) + service_->metrics().Report() + "END";
+    const StorageCounters& st = service_->metrics().storage();
+    char storage[224];
+    std::snprintf(
+        storage, sizeof(storage),
+        "storage engine=%s checkpoints=%llu wal_records=%llu "
+        "wal_bytes=%llu recoveries=%llu recovered_records=%llu\n",
+        std::string(service_->storage().name()).c_str(),
+        static_cast<unsigned long long>(st.checkpoints.load()),
+        static_cast<unsigned long long>(st.wal_records.load()),
+        static_cast<unsigned long long>(st.wal_bytes.load()),
+        static_cast<unsigned long long>(st.recoveries.load()),
+        static_cast<unsigned long long>(st.recovered_records.load()));
+    return buffer + std::string(conn) + storage +
+           service_->metrics().Report() + "END";
   }
   if (EqualsIgnoreCase(cmd, "RECALC")) {
     std::string_view name = NextToken(&rest);
@@ -385,8 +432,8 @@ std::string CommandProcessor::Execute(std::string_view command_text) {
   }
 
   return "ERR InvalidArgument: unknown command '" + std::string(cmd) +
-         "' (OPEN/LOAD/SAVE/CLOSE/SET/FORMULA/GET/CLEAR/BATCH/RECALC/"
-         "STATS/LIST)";
+         "' (OPEN/LOAD/SAVE/CHECKPOINT/STORAGE/CLOSE/SET/FORMULA/GET/"
+         "CLEAR/BATCH/RECALC/STATS/LIST)";
 }
 
 }  // namespace taco

@@ -5,10 +5,13 @@
 // "OK ...", "VALUE ...", or "ERR <Code>: ..." lines, except STATS, which
 // returns a multi-line report. The grammar (docs/architecture.md):
 //
-//   OPEN <session> [backend]          create or attach
-//   LOAD <session> <path> [backend]   read a .tsheet file
+//   OPEN <session> [backend]          create or attach (recovers a WAL)
+//   LOAD <session> <path> [backend]   read a snapshot file (+ WAL tail)
 //   SAVE <session> [path]             write the bound / given path
-//   CLOSE <session>                   drop from the registry
+//   CHECKPOINT <session> [path]       SAVE + WAL rotation, by its
+//                                     durability name
+//   STORAGE <session>                 storage engine / WAL report
+//   CLOSE <session>                   drop from the registry (and WAL)
 //   SET <session> <cell> <value>      number, or text (quotes optional)
 //   FORMULA <session> <cell> <src>    formula without the leading '='
 //   GET <session> <cell>              -> VALUE <cell> <display form>

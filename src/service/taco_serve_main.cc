@@ -27,6 +27,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <filesystem>
 #include <fstream>
 #include <future>
 #include <iostream>
@@ -122,6 +123,28 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
       options.default_backend = argv[++i];
+    } else if (std::strcmp(argv[i], "--store") == 0 && i + 1 < argc) {
+      // Validate here: the service constructor cannot fail, and a typo
+      // silently falling back to text would be a durability surprise.
+      const char* store = argv[++i];
+      if (!MakeStorageEngine(store).ok()) {
+        std::fprintf(stderr, "--store needs 'text' or 'binary', got '%s'\n",
+                     store);
+        return 1;
+      }
+      options.store = store;
+    } else if (std::strcmp(argv[i], "--wal-dir") == 0 && i + 1 < argc) {
+      // Fail up front on an unusable directory: discovering it per-edit
+      // would leave every acknowledged edit applied in memory but not
+      // durable — the opposite of what the flag promises.
+      options.wal_dir = argv[++i];
+      std::error_code ec;
+      std::filesystem::create_directories(options.wal_dir, ec);
+      if (ec || ::access(options.wal_dir.c_str(), W_OK | X_OK) != 0) {
+        std::fprintf(stderr, "--wal-dir '%s' is not a writable directory\n",
+                     options.wal_dir.c_str());
+        return 1;
+      }
     } else if (std::strcmp(argv[i], "--max-resident") == 0 && i + 1 < argc) {
       // 0 is meaningful here (disables the LRU bound entirely), so the
       // value must parse fully — '6O' silently becoming 0 would turn a
@@ -158,7 +181,8 @@ int main(int argc, char** argv) {
       std::fprintf(
           stderr,
           "usage: taco_serve [--threads N] [--recalc-threads N] "
-          "[--backend NAME] [--max-resident N] [script]\n"
+          "[--backend NAME] [--store text|binary] [--wal-dir DIR] "
+          "[--max-resident N] [script]\n"
           "       taco_serve --listen PORT [--bind ADDR] [--max-clients N] "
           "[--idle-timeout-ms M] [...]\n");
       return 0;
@@ -192,9 +216,11 @@ int main(int argc, char** argv) {
 
   std::fprintf(stderr,
                "taco_serve ready (workers=%d recalc_workers=%d backend=%s "
-               "max_resident=%zu)\n",
+               "store=%s wal=%s max_resident=%zu)\n",
                service.pool().num_threads(), service.recalc_threads(),
                options.default_backend.c_str(),
+               std::string(service.storage().name()).c_str(),
+               options.wal_dir.empty() ? "(off)" : options.wal_dir.c_str(),
                options.max_resident_sessions);
 
   // Responses print in request order: each command's future joins the

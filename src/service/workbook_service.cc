@@ -1,10 +1,12 @@
 #include "service/workbook_service.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <utility>
 
 #include "common/clock.h"
 #include "sheet/textio.h"
+#include "store/wal.h"
 
 namespace taco {
 
@@ -14,6 +16,17 @@ WorkbookService::WorkbookService(WorkbookServiceOptions options)
   shards_.reserve(shards);
   for (int i = 0; i < shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
+  }
+  // An unknown store name falls back to text (the constructor cannot
+  // fail); taco_serve validates its --store flag before getting here.
+  auto engine = MakeStorageEngine(options_.store, options_.storage);
+  if (!engine.ok()) {
+    engine = MakeStorageEngine("text", options_.storage);
+  }
+  storage_ = std::move(*engine);
+  if (wal_enabled()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options_.wal_dir, ec);
   }
   pool_ = std::make_unique<ThreadPool>(options_.worker_threads);
   if (options_.recalc_threads > 0) {
@@ -38,6 +51,28 @@ void WorkbookService::Touch(WorkbookSession& session) {
   session.Touch(lru_clock_.fetch_add(1) + 1);
 }
 
+std::string WorkbookService::WalPathFor(const std::string& name) const {
+  if (!wal_enabled()) return "";
+  // Escape anything a filesystem (or this escaping itself) could
+  // misread, so distinct protocol names map to distinct files.
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  std::string file;
+  file.reserve(name.size());
+  for (unsigned char c : name) {
+    bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (safe) {
+      file.push_back(static_cast<char>(c));
+    } else {
+      file.push_back('%');
+      file.push_back(kHex[c >> 4]);
+      file.push_back(kHex[c & 0xF]);
+    }
+  }
+  return (std::filesystem::path(options_.wal_dir) / (file + ".wal"))
+      .string();
+}
+
 std::optional<WorkbookService::ParkedEntry> WorkbookService::TakeParked(
     const std::string& name) {
   std::lock_guard<std::mutex> lock(parked_mu_);
@@ -58,10 +93,96 @@ Result<std::shared_ptr<WorkbookSession>> WorkbookService::MakeSession(
   auto session = std::make_shared<WorkbookSession>(
       name, std::move(sheet), std::move(*graph), &metrics_);
   session->set_backend_key(std::move(key));
+  session->ConfigureStorage(storage_.get());
+  if (wal_enabled()) {
+    // Lazy arming: a fresh session creates its log file on its first
+    // mutation, so this costs no I/O here (important for the in-lock
+    // empty-session fast path). Recovered sessions AdoptWal afterwards,
+    // replacing the armed path with the already-open log.
+    session->ArmWal(WalPathFor(name), options_.wal);
+  }
   if (recalc_scheduler_ != nullptr) {
     session->EnableParallelRecalc(recalc_scheduler_.get());
   }
   Touch(*session);
+  return session;
+}
+
+Result<std::shared_ptr<WorkbookSession>>
+WorkbookService::LoadSessionFromStorage(const std::string& name,
+                                        const std::string& base_path,
+                                        std::string_view backend,
+                                        bool replay_wal) {
+  const std::string wal_path = WalPathFor(name);
+  const bool wal_exists =
+      !wal_path.empty() && std::filesystem::exists(wal_path);
+  std::string snapshot_path = base_path;
+  std::string backend_key(backend);
+  if (replay_wal && wal_exists) {
+    auto header = WriteAheadLog::PeekHeader(wal_path);
+    if (!header.ok()) return header.status();
+    if (base_path.empty()) {
+      // OPEN-style (crash) recovery: the log knows its own base
+      // snapshot AND the backend the session was created with — like a
+      // parked reload, recovery must not let the first opener's
+      // requested backend change an existing session's implementation.
+      snapshot_path = header->snapshot_path;
+      if (!header->backend.empty()) backend_key = header->backend;
+    } else if (header->snapshot_path != base_path) {
+      // LOAD of a file this log does not extend: the caller's explicit
+      // file wins and the stale log is reset below. (Replaying edits
+      // recorded against a different snapshot would corrupt the sheet.)
+      replay_wal = false;
+    }
+  }
+
+  Sheet sheet;
+  if (!snapshot_path.empty()) {
+    auto loaded = storage_->LoadSnapshot(snapshot_path);
+    if (!loaded.ok()) return loaded.status();
+    sheet = std::move(*loaded);
+  }
+
+  std::unique_ptr<WriteAheadLog> wal;
+  WalRecovery recovery;
+  if (!wal_path.empty() && replay_wal && wal_exists) {
+    // Replay the acknowledged tail onto the snapshot. Torn final
+    // records truncate silently (never acknowledged); interior
+    // corruption fails the whole open with DataLoss — better NotFound
+    // than a silently wrong sheet. (Open only ever trims the torn
+    // tail, so a later failure below leaves the log's data intact.)
+    auto opened = WriteAheadLog::Open(
+        wal_path, options_.wal,
+        [&sheet](const EditBatch& batch) {
+          for (const Edit& edit : batch) {
+            TACO_RETURN_IF_ERROR(ApplyEditToSheet(&sheet, edit));
+          }
+          return Status::OK();
+        },
+        &recovery);
+    if (!opened.ok()) return opened.status();
+    wal = std::move(*opened);
+  }
+
+  auto session = MakeSession(name, std::move(sheet), backend_key);
+  if (!session.ok()) return session;
+  if (!wal_path.empty() && wal == nullptr) {
+    // Create (or reset, in the LOAD-mismatch case) the log only now
+    // that the session definitely exists: a failed load/build must
+    // neither destroy an existing log's acknowledged records nor leave
+    // a stray log that would flip a later OPEN into recovery mode.
+    auto created = WriteAheadLog::Create(
+        wal_path, options_.wal,
+        {snapshot_path, (*session)->backend_key()});
+    if (!created.ok()) return created.status();
+    wal = std::move(*created);
+  }
+  if (!snapshot_path.empty()) (*session)->BindPath(snapshot_path);
+  if (wal != nullptr) (*session)->AdoptWal(std::move(wal), recovery);
+  if (recovery.records > 0) {
+    metrics_.storage().recoveries.fetch_add(1);
+    metrics_.storage().recovered_records.fetch_add(recovery.records);
+  }
   return session;
 }
 
@@ -78,6 +199,7 @@ Result<std::shared_ptr<WorkbookSession>> WorkbookService::OpenImpl(
   for (;;) {
     std::shared_ptr<InFlight> flight;
     std::optional<ParkedEntry> parked;
+    bool recover_from_wal = false;
     {
       std::lock_guard<std::mutex> lock(shard.mu);
       auto it = shard.sessions.find(name);
@@ -96,24 +218,34 @@ Result<std::shared_ptr<WorkbookSession>> WorkbookService::OpenImpl(
         // timing.
         parked = TakeParked(name);
         if (!parked.has_value()) {
-          if (!create_if_missing) {
-            return Status::NotFound("no session named '" + name + "'");
+          // Crash recovery: a WAL left by a previous process means this
+          // name has durable state even though the registry has never
+          // heard of it. Recovering replays real I/O, so it runs behind
+          // a placeholder like any reload (the existence probe is one
+          // stat — cheap enough for the lock).
+          recover_from_wal =
+              create_if_missing && wal_enabled() &&
+              std::filesystem::exists(WalPathFor(name));
+          if (!recover_from_wal) {
+            if (!create_if_missing) {
+              return Status::NotFound("no session named '" + name + "'");
+            }
+            // Creating an EMPTY session does no file I/O and builds no
+            // graph (its WAL is armed lazily), so it stays under the
+            // lock and the lookup-or-create transition remains atomic.
+            auto session = MakeSession(name, Sheet(), backend);
+            if (!session.ok()) return session;
+            shard.sessions.emplace(name, *session);
+            resident_count_.fetch_add(1);
+            return session;
           }
-          // Creating an EMPTY session does no file I/O and builds no
-          // graph, so it stays under the lock and the lookup-or-create
-          // transition remains atomic.
-          auto session = MakeSession(name, Sheet(), backend);
-          if (!session.ok()) return session;
-          shard.sessions.emplace(name, *session);
-          resident_count_.fetch_add(1);
-          return session;
         }
         flight = std::make_shared<InFlight>();
         shard.pending.emplace(name, flight);
       }
     }
 
-    if (!parked.has_value()) {
+    if (!parked.has_value() && !recover_from_wal) {
       // Another request owns the load. Its success is our session; its
       // failure re-parked the entry (or a LOAD failed), so re-run the
       // whole transition rather than guessing what state it left.
@@ -126,24 +258,24 @@ Result<std::shared_ptr<WorkbookSession>> WorkbookService::OpenImpl(
       continue;
     }
 
-    // We claimed the parked entry: reload outside the shard lock. A
-    // failed reload restores the parked entry — the saved data must stay
-    // reachable, not be shadowed by a fresh empty session next try.
-    auto result = [&]() -> Result<std::shared_ptr<WorkbookSession>> {
-      auto loaded = LoadSheetFile(parked->path);
-      if (!loaded.ok()) return loaded.status();
-      auto session = MakeSession(name, std::move(*loaded), parked->backend);
-      if (!session.ok()) return session;
-      (*session)->BindPath(parked->path);
-      return session;
-    }();
+    // We claimed the reload: snapshot + WAL replay outside the shard
+    // lock. A failed parked reload restores the parked entry — the saved
+    // data must stay reachable, not be shadowed by a fresh empty session
+    // next try. (A failed WAL recovery keeps the log on disk for the
+    // same reason.)
+    auto result =
+        parked.has_value()
+            ? LoadSessionFromStorage(name, parked->path, parked->backend,
+                                     /*replay_wal=*/wal_enabled())
+            : LoadSessionFromStorage(name, "", backend,
+                                     /*replay_wal=*/true);
     {
       std::lock_guard<std::mutex> lock(shard.mu);
       shard.pending.erase(name);
       if (result.ok()) {
         shard.sessions.emplace(name, *result);
         resident_count_.fetch_add(1);
-      } else {
+      } else if (parked.has_value()) {
         std::lock_guard<std::mutex> parked_lock(parked_mu_);
         parked_.emplace(name, *parked);
       }
@@ -192,15 +324,12 @@ Result<std::shared_ptr<WorkbookSession>> WorkbookService::Load(
       shard.pending.emplace(name, flight);
     }
     // File read + graph build happen outside the shard lock; same-name
-    // requests wait on the placeholder, other names proceed.
-    auto loaded_result = [&]() -> Result<std::shared_ptr<WorkbookSession>> {
-      auto loaded = LoadSheetFile(path);
-      if (!loaded.ok()) return loaded.status();
-      auto session = MakeSession(name, std::move(*loaded), backend);
-      if (!session.ok()) return session;
-      (*session)->BindPath(path);
-      return session;
-    }();
+    // requests wait on the placeholder, other names proceed. When a WAL
+    // for this name extends `path`, its acknowledged tail is replayed on
+    // top (LOAD performs recovery too); a WAL recorded against some
+    // OTHER snapshot is reset — the operator explicitly chose this file.
+    auto loaded_result =
+        LoadSessionFromStorage(name, path, backend, /*replay_wal=*/true);
     {
       std::lock_guard<std::mutex> lock(shard.mu);
       shard.pending.erase(name);
@@ -273,6 +402,14 @@ Status WorkbookService::Close(const std::string& name) {
       return Status::NotFound("no session named '" + name + "'");
     }
   }();
+  if (status.ok() && wal_enabled()) {
+    // CLOSE drops unsaved changes by contract, and that includes the
+    // log: a closed name must stay closed, not resurrect from its WAL
+    // on the next OPEN. (In-flight holders of the session keep writing
+    // to the unlinked inode harmlessly.)
+    std::error_code ec;
+    std::filesystem::remove(WalPathFor(name), ec);
+  }
   metrics_.Record(ServiceOp::kClose, MsSince(start), status.ok());
   return status;
 }

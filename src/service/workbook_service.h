@@ -54,6 +54,24 @@ struct WorkbookServiceOptions {
   /// Wave-scheduler tuning (budgets, inline thresholds); `threads` is
   /// overridden by `recalc_threads`.
   SchedulerOptions scheduler;
+
+  /// Persistence backend for every session: "text" (.tsheet, the
+  /// compatibility format) or "binary" (compact CRC-checked snapshots).
+  /// Unknown names fall back to text (taco_serve validates its flag
+  /// before construction).
+  std::string store = "text";
+
+  /// Directory for per-session write-ahead logs. Empty disables WAL:
+  /// no durability between saves, exactly the pre-storage behavior.
+  /// When set, every acknowledged edit is logged (and fsynced) before
+  /// its response, and OPEN/LOAD recover snapshot + WAL tail.
+  std::string wal_dir;
+
+  /// Snapshot load bounds (max file size).
+  StorageOptions storage;
+
+  /// WAL tuning (fsync discipline, record bounds).
+  WalOptions wal;
 };
 
 /// Owns many independent workbook sessions and serves them concurrently.
@@ -96,6 +114,16 @@ class WorkbookService {
   ServiceMetrics& metrics() { return metrics_; }
   ThreadPool& pool() { return *pool_; }
   const WorkbookServiceOptions& options() const { return options_; }
+
+  /// The storage engine every session persists through.
+  StorageEngine& storage() { return *storage_; }
+  const StorageEngine& storage() const { return *storage_; }
+  bool wal_enabled() const { return !options_.wal_dir.empty(); }
+
+  /// The WAL file a session named `name` uses (empty when WAL is off).
+  /// Names are filesystem-escaped, so any protocol-legal session name
+  /// maps to a distinct file inside wal_dir.
+  std::string WalPathFor(const std::string& name) const;
 
   /// The shared wave executor (null when recalc_threads == 0).
   RecalcScheduler* recalc_scheduler() { return recalc_scheduler_.get(); }
@@ -141,6 +169,17 @@ class WorkbookService {
   Result<std::shared_ptr<WorkbookSession>> MakeSession(
       const std::string& name, Sheet sheet, std::string_view backend);
 
+  /// The storage-side of OPEN/LOAD/reload, run OUTSIDE registry locks:
+  /// loads the base snapshot (WAL header path, or `base_path` when
+  /// given), replays the WAL tail onto it (`replay_wal`), or resets the
+  /// log when the caller explicitly chose a different file (LOAD to a
+  /// path the log does not extend). Torn tails truncate silently;
+  /// interior WAL corruption and snapshot CRC failures surface as
+  /// statuses and the session is not created.
+  Result<std::shared_ptr<WorkbookSession>> LoadSessionFromStorage(
+      const std::string& name, const std::string& base_path,
+      std::string_view backend, bool replay_wal);
+
   /// The shared lookup/reload/create transition behind Open and Get,
   /// atomic per shard. With `create_if_missing` false, a name that is
   /// neither resident nor parked is NotFound instead of created.
@@ -179,6 +218,7 @@ class WorkbookService {
 
   ServiceMetrics metrics_;
   std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<StorageEngine> storage_;
 
   /// Dedicated executor for intra-session parallel recalc, shared by all
   /// sessions (the scheduler holds no per-pass state). Never the command

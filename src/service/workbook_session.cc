@@ -58,8 +58,32 @@ WorkbookSession::WorkbookSession(std::string name, Sheet sheet,
   sheet_.set_name(name_);
 }
 
+Status WorkbookSession::LogToWal(std::span<const Edit> edits) {
+  if (edits.empty()) return Status::OK();
+  if (wal_ == nullptr) {
+    if (wal_path_.empty()) return Status::OK();  // WAL disabled.
+    // Lazy creation: the header records the CURRENT bound path (so
+    // recovery knows which snapshot these records extend) and the graph
+    // backend (so recovery rebuilds the same implementation).
+    auto wal = WriteAheadLog::Create(wal_path_, wal_options_,
+                                     {bound_path_, backend_key_});
+    if (!wal.ok()) return wal.status();
+    wal_ = std::move(*wal);
+  }
+  uint64_t before = wal_->bytes();
+  TACO_RETURN_IF_ERROR(wal_->Append(edits));
+  wal_live_records_ += 1;
+  if (metrics_ != nullptr) {
+    metrics_->storage().wal_records.fetch_add(1);
+    metrics_->storage().wal_bytes.fetch_add(wal_->bytes() - before);
+  }
+  return Status::OK();
+}
+
 template <typename Fn>
-Result<RecalcResult> WorkbookSession::Mutate(ServiceOp op, Fn&& fn) {
+Result<RecalcResult> WorkbookSession::Mutate(ServiceOp op,
+                                             std::span<const Edit> edits,
+                                             Fn&& fn) {
   auto start = SteadyNow();
   op_epoch_.fetch_add(1);
   // A failed batch may still have applied (and recalculated) the edits
@@ -81,6 +105,18 @@ Result<RecalcResult> WorkbookSession::Mutate(ServiceOp op, Fn&& fn) {
       dirty_cells_ += outcome.dirty_cells;
       waves_ += outcome.waves;
       max_wave_cells_ = std::max(max_wave_cells_, outcome.max_wave_cells);
+      // Durability before acknowledgement: the prefix of `edits` that
+      // actually applied is logged before the result leaves the lock. A
+      // batch that failed midway logs exactly its applied prefix, so
+      // recovery replays what this session's state really contains.
+      size_t applied = std::min<size_t>(outcome.edits_applied, edits.size());
+      Status logged = LogToWal(edits.subspan(0, applied));
+      if (!logged.ok()) {
+        // Applied in memory but not durable: the client must see an
+        // error, not an acknowledgement the WAL cannot back.
+        return Status(logged.code(),
+                      "edit applied but not logged: " + logged.message());
+      }
     }
     return r;
   }();
@@ -95,34 +131,38 @@ Result<RecalcResult> WorkbookSession::Mutate(ServiceOp op, Fn&& fn) {
 
 Result<RecalcResult> WorkbookSession::SetNumber(const Cell& cell,
                                                 double value) {
-  return Mutate(ServiceOp::kSet, [&](RecalcResult*) {
+  Edit edit = Edit::SetNumber(cell, value);
+  return Mutate(ServiceOp::kSet, {&edit, 1}, [&](RecalcResult*) {
     return engine_.SetNumber(cell, value);
   });
 }
 
 Result<RecalcResult> WorkbookSession::SetText(const Cell& cell,
                                               std::string value) {
-  return Mutate(ServiceOp::kSet, [&](RecalcResult*) {
+  Edit edit = Edit::SetText(cell, value);
+  return Mutate(ServiceOp::kSet, {&edit, 1}, [&](RecalcResult*) {
     return engine_.SetText(cell, std::move(value));
   });
 }
 
 Result<RecalcResult> WorkbookSession::SetFormula(const Cell& cell,
                                                  std::string_view text) {
-  return Mutate(ServiceOp::kFormula, [&](RecalcResult*) {
+  Edit edit = Edit::SetFormula(cell, std::string(text));
+  return Mutate(ServiceOp::kFormula, {&edit, 1}, [&](RecalcResult*) {
     return engine_.SetFormula(cell, text);
   });
 }
 
 Result<RecalcResult> WorkbookSession::ClearRange(const Range& range) {
-  return Mutate(ServiceOp::kClear, [&](RecalcResult*) {
+  Edit edit = Edit::ClearRange(range);
+  return Mutate(ServiceOp::kClear, {&edit, 1}, [&](RecalcResult*) {
     return engine_.ClearRange(range);
   });
 }
 
 Result<RecalcResult> WorkbookSession::ApplyBatch(const EditBatch& batch,
                                                  RecalcResult* partial) {
-  return Mutate(ServiceOp::kBatch, [&](RecalcResult* inner) {
+  return Mutate(ServiceOp::kBatch, batch, [&](RecalcResult* inner) {
     Result<RecalcResult> r = engine_.ApplyBatch(batch, inner);
     if (partial != nullptr) *partial = *inner;
     return r;
@@ -173,6 +213,29 @@ std::string WorkbookSession::Snapshot() const {
   return WriteSheetText(sheet_);
 }
 
+void WorkbookSession::ConfigureStorage(StorageEngine* engine) {
+  std::lock_guard<std::mutex> lock(mu_);
+  storage_ = engine;
+}
+
+void WorkbookSession::ArmWal(std::string wal_path, WalOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  wal_path_ = std::move(wal_path);
+  wal_options_ = options;
+}
+
+void WorkbookSession::AdoptWal(std::unique_ptr<WriteAheadLog> wal,
+                               const WalRecovery& recovery) {
+  std::lock_guard<std::mutex> lock(mu_);
+  wal_path_ = wal->path();
+  wal_ = std::move(wal);
+  wal_live_records_ = recovery.records;
+  recovered_records_ = recovery.records;
+  // Replayed records postdate the snapshot: until the next checkpoint
+  // folds them in, this session has state only the WAL holds.
+  if (recovery.records > 0) dirty_ = true;
+}
+
 Status WorkbookSession::Save(const std::string& path) {
   auto start = SteadyNow();
   Status status = [&] {
@@ -182,12 +245,32 @@ Status WorkbookSession::Save(const std::string& path) {
       return Status::InvalidArgument("session '" + name_ +
                                      "' has no bound path; pass one to SAVE");
     }
-    Status s = SaveSheetFile(sheet_, target);
-    if (s.ok()) {
-      bound_path_ = target;
-      dirty_ = false;
+    Status s = storage_ != nullptr ? storage_->SaveSnapshot(sheet_, target)
+                                   : SaveSheetFile(sheet_, target);
+    if (!s.ok()) return s;
+    // Rotate the WAL: its records are now folded into the snapshot, and
+    // the fresh header names it so recovery starts from the right base.
+    // A failed rotation is surfaced as the checkpoint's error — and
+    // only a FULLY successful checkpoint updates the session state, so
+    // STORAGE never reports clean-with-live-records. It is NOT a
+    // lost-data state either way: the old log simply replays onto the
+    // OLD snapshot path it names, reproducing the acknowledged state.
+    if (wal_ != nullptr) {
+      TACO_RETURN_IF_ERROR(wal_->Rotate({target, backend_key_}));
+      wal_live_records_ = 0;
+    } else if (!wal_path_.empty()) {
+      // Nothing logged yet, but a stale file from a previous incarnation
+      // may exist (e.g. recovery was skipped by a LOAD); re-point it.
+      auto wal = WriteAheadLog::Create(wal_path_, wal_options_,
+                                       {target, backend_key_});
+      if (!wal.ok()) return wal.status();
+      wal_ = std::move(*wal);
+      wal_live_records_ = 0;
     }
-    return s;
+    bound_path_ = target;
+    dirty_ = false;
+    if (metrics_ != nullptr) metrics_->storage().checkpoints.fetch_add(1);
+    return Status::OK();
   }();
   if (metrics_ != nullptr) {
     metrics_->Record(ServiceOp::kSave, MsSince(start), status.ok());
@@ -223,6 +306,11 @@ SessionStats WorkbookSession::Stats() const {
   stats.recalc_mode = engine_.mode();
   stats.waves = waves_;
   stats.max_wave_cells = max_wave_cells_;
+  stats.storage = storage_ != nullptr ? std::string(storage_->name()) : "text";
+  stats.wal_path = wal_path_;
+  stats.wal_records = wal_live_records_;
+  stats.wal_bytes = wal_ != nullptr ? wal_->bytes() : 0;
+  stats.recovered_records = recovered_records_;
   return stats;
 }
 

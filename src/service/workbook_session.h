@@ -15,12 +15,15 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 
 #include "eval/recalc.h"
 #include "graph/dependency_graph.h"
 #include "service/metrics.h"
 #include "sheet/sheet.h"
+#include "store/storage_engine.h"
+#include "store/wal.h"
 
 namespace taco {
 
@@ -41,6 +44,11 @@ struct SessionStats {
   RecalcMode recalc_mode = RecalcMode::kSerial;
   uint64_t waves = 0;           ///< Cumulative scheduler waves executed.
   uint64_t max_wave_cells = 0;  ///< Largest wave any recalc produced.
+  std::string storage;          ///< Storage engine name ("text"/"binary").
+  std::string wal_path;         ///< WAL file, empty when WAL is disabled.
+  uint64_t wal_records = 0;     ///< Records live in the WAL right now.
+  uint64_t wal_bytes = 0;       ///< Current WAL file size.
+  uint64_t recovered_records = 0;  ///< Records replayed at open.
 };
 
 /// A named spreadsheet session. Thread-safe; all public operations lock.
@@ -90,9 +98,32 @@ class WorkbookSession {
   /// Serializes the sheet in .tsheet format.
   std::string Snapshot() const;
 
+  /// Plugs in the service's shared storage engine; `engine` must outlive
+  /// the session. Without one, Save falls back to the text format.
+  void ConfigureStorage(StorageEngine* engine);
+
+  /// Arms write-ahead logging: the log file is created lazily (its
+  /// header recording the bound path of that moment) on the first
+  /// mutation, so fresh sessions pay no I/O until they change. Called by
+  /// the service before the session is published.
+  void ArmWal(std::string wal_path, WalOptions options);
+
+  /// Adopts an already-open log (the recovery path). When `recovery`
+  /// replayed records, the session starts dirty: its snapshot does not
+  /// yet contain those edits.
+  void AdoptWal(std::unique_ptr<WriteAheadLog> wal,
+                const WalRecovery& recovery);
+
   /// Saves to `path` (or the bound path when empty) and clears the dirty
   /// flag. Binding: a successful save remembers `path` for next time.
+  /// With storage configured this is a full checkpoint: snapshot via
+  /// temp-then-rename+fsync, then WAL rotation (the fresh log's header
+  /// records the snapshot path), so recovery never replays edits the
+  /// snapshot already holds.
   Status Save(const std::string& path = "");
+
+  /// Alias of Save under its durability name (the CHECKPOINT verb).
+  Status Checkpoint(const std::string& path = "") { return Save(path); }
 
   /// File this session was loaded from / last saved to ("" if none).
   std::string bound_path() const;
@@ -118,7 +149,14 @@ class WorkbookSession {
 
  private:
   template <typename Fn>
-  Result<RecalcResult> Mutate(ServiceOp op, Fn&& fn);
+  Result<RecalcResult> Mutate(ServiceOp op, std::span<const Edit> edits,
+                              Fn&& fn);
+
+  /// Appends the acknowledged prefix of `edits` to the WAL (opening an
+  /// armed log on first use). Called under mu_. A failure here surfaces
+  /// to the client: the edit is applied in memory but NOT durable, and
+  /// acknowledging it would break the recovery contract.
+  Status LogToWal(std::span<const Edit> edits);
 
   const std::string name_;
   mutable std::mutex mu_;
@@ -126,6 +164,12 @@ class WorkbookSession {
   std::unique_ptr<DependencyGraph> graph_;
   RecalcEngine engine_;
   RecalcExecutor* executor_ = nullptr;  ///< Shared; owned by the service.
+  StorageEngine* storage_ = nullptr;    ///< Shared; owned by the service.
+  std::unique_ptr<WriteAheadLog> wal_;  ///< Open log; null until first use.
+  std::string wal_path_;                ///< Armed path; empty = disabled.
+  WalOptions wal_options_;
+  uint64_t wal_live_records_ = 0;  ///< Records a crash would replay now.
+  uint64_t recovered_records_ = 0;
   std::string bound_path_;
   bool dirty_ = false;
   uint64_t ops_ = 0;

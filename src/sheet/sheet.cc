@@ -70,6 +70,21 @@ Status Sheet::SetFormula(const Cell& cell, std::string_view text) {
   return SetFormulaCell(cell, std::move(formula));
 }
 
+Status Sheet::AdoptCell(const Cell& cell, CellContent content) {
+  TACO_RETURN_IF_ERROR(CheckCell(cell));
+  if (content.IsBlank()) {
+    return Status::InvalidArgument("cannot adopt blank content");
+  }
+  bool is_formula = content.IsFormula();
+  auto [it, inserted] = cells_.emplace(cell, std::move(content));
+  if (!inserted) {
+    return Status::AlreadyExists("cell " + cell.ToString() +
+                                 " adopted twice");
+  }
+  if (is_formula) ++formula_count_;
+  return Status::OK();
+}
+
 Status Sheet::SetFormulaCell(const Cell& cell, FormulaCell formula) {
   TACO_RETURN_IF_ERROR(CheckCell(cell));
   if (formula.ast == nullptr) {
@@ -106,6 +121,7 @@ Status Sheet::ClearRange(const Range& range) {
         ++it;
       }
     }
+    MaybeShrink();
     return Status::OK();
   }
   for (int32_t col = range.head.col; col <= range.tail.col; ++col) {
@@ -113,7 +129,19 @@ Status Sheet::ClearRange(const Range& range) {
       TACO_RETURN_IF_ERROR(Clear(Cell{col, row}));
     }
   }
+  MaybeShrink();
   return Status::OK();
+}
+
+void Sheet::MaybeShrink() {
+  // The 1/8 occupancy threshold makes shrinking unreachable without a
+  // preceding ~8x growth or mass erasure, so the amortized rehash cost
+  // on edit-heavy workloads is nil. Single-cell Clear never shrinks —
+  // only ClearRange (the bulk path) checks.
+  if (cells_.bucket_count() > kShrinkMinBuckets &&
+      cells_.size() < cells_.bucket_count() / 8) {
+    cells_.rehash(cells_.size() * 2);
+  }
 }
 
 const CellContent* Sheet::Get(const Cell& cell) const {

@@ -43,6 +43,17 @@ class Sheet {
   /// Stores an already-parsed formula (used by autofill and loaders).
   Status SetFormulaCell(const Cell& cell, FormulaCell formula);
 
+  /// Pre-sizes the cell map for `cells` entries — loaders that know the
+  /// final count (the binary snapshot reader) skip every rehash.
+  void Reserve(size_t cells) { cells_.reserve(cells); }
+
+  /// Bulk-load insert: stores `content` at `cell` WITHOUT the
+  /// replace-existing bookkeeping of the Set* paths (one hash probe, no
+  /// Clear). Only valid while loading into positions not yet occupied —
+  /// an occupied cell is left unchanged and reported as AlreadyExists so
+  /// a corrupt duplicate-bearing file cannot skew the formula count.
+  Status AdoptCell(const Cell& cell, CellContent content);
+
   /// Removes the content of one cell (no-op when blank).
   Status Clear(const Cell& cell);
 
@@ -57,6 +68,14 @@ class Sheet {
 
   size_t cell_count() const { return cells_.size(); }
   size_t formula_cell_count() const { return formula_count_; }
+
+  /// Bucket count of the cell map — the memory-visible footprint the
+  /// post-ClearRange shrink heuristic manages (unordered_map::erase
+  /// alone never returns bucket memory).
+  size_t bucket_count() const { return cells_.bucket_count(); }
+
+  /// Tables at or below this many buckets never shrink.
+  static constexpr size_t kShrinkMinBuckets = 1024;
 
   /// The minimal bounding rectangle of all non-blank cells; nullopt when
   /// the sheet is empty.
@@ -74,6 +93,11 @@ class Sheet {
       const std::function<void(const Cell&, const FormulaCell&)>& fn) const;
 
  private:
+  /// Rehashes the cell map down after a bulk clear leaves it sparse, so
+  /// a sheet that briefly held a huge region doesn't keep the bucket
+  /// table (and the O(buckets) iteration cost) forever.
+  void MaybeShrink();
+
   std::string name_;
   std::unordered_map<Cell, CellContent> cells_;
   size_t formula_count_ = 0;

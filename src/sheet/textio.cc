@@ -160,10 +160,19 @@ Status SaveSheetFile(const Sheet& sheet, const std::string& path) {
   return Status::OK();
 }
 
-Result<Sheet> LoadSheetFile(const std::string& path) {
+Result<Sheet> LoadSheetFile(const std::string& path, uint64_t max_bytes) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  // Refuse oversized files up front: the size check costs one stat and
+  // keeps a corrupt or hostile path from ballooning the process.
+  std::error_code ec;
+  uint64_t size = std::filesystem::file_size(path, ec);
+  if (!ec && size > max_bytes) {
+    return Status::DataLoss("'" + path + "' is " + std::to_string(size) +
+                            " bytes, over the load limit of " +
+                            std::to_string(max_bytes));
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();

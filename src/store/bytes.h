@@ -1,0 +1,172 @@
+// Little-endian byte encoding helpers shared by the binary snapshot
+// format and the write-ahead log.
+//
+// ByteWriter appends fixed-width scalars and length-prefixed strings to a
+// std::string. ByteReader is the bounds-checked inverse: every accessor
+// returns false once the input is exhausted instead of reading past the
+// end, so a truncated or corrupted buffer can never walk out of bounds —
+// the caller turns the failure into a DataLoss status.
+
+#ifndef TACO_STORE_BYTES_H_
+#define TACO_STORE_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace taco {
+
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::string* out) : out_(out) {}
+
+  void U8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) { AppendLe(&v, sizeof(v)); }
+  void U64(uint64_t v) { AppendLe(&v, sizeof(v)); }
+  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+  void F64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+  /// u32 length prefix + raw bytes.
+  void Str(std::string_view s) {
+    U32(static_cast<uint32_t>(s.size()));
+    out_->append(s.data(), s.size());
+  }
+  void Raw(std::string_view s) { out_->append(s.data(), s.size()); }
+
+  /// LEB128 varint: 7 bits per byte, high bit = continue. Small values
+  /// (cell coordinate deltas, string lengths) cost one byte.
+  void VarU64(uint64_t v) {
+    while (v >= 0x80) {
+      out_->push_back(static_cast<char>((v & 0x7F) | 0x80));
+      v >>= 7;
+    }
+    out_->push_back(static_cast<char>(v));
+  }
+  void VarU32(uint32_t v) { VarU64(v); }
+  /// Zigzag-encoded signed varint (small magnitudes of either sign are
+  /// one byte).
+  void VarI32(int32_t v) {
+    VarU32((static_cast<uint32_t>(v) << 1) ^
+           static_cast<uint32_t>(v >> 31));
+  }
+  /// Varint length prefix + raw bytes.
+  void VarStr(std::string_view s) {
+    VarU64(s.size());
+    out_->append(s.data(), s.size());
+  }
+
+  size_t size() const { return out_->size(); }
+
+ private:
+  void AppendLe(const void* v, size_t n) {
+    // Serialize explicitly little-endian so files are portable across
+    // hosts regardless of native byte order.
+    const auto* bytes = static_cast<const unsigned char*>(v);
+    uint64_t value = 0;
+    std::memcpy(&value, bytes, n);
+    for (size_t i = 0; i < n; ++i) {
+      out_->push_back(static_cast<char>((value >> (8 * i)) & 0xFFu));
+    }
+  }
+
+  std::string* out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  bool U8(uint8_t* v) {
+    if (pos_ + 1 > data_.size()) return false;
+    *v = static_cast<uint8_t>(data_[pos_++]);
+    return true;
+  }
+  bool U32(uint32_t* v) { return ReadLe(v); }
+  bool U64(uint64_t* v) { return ReadLe(v); }
+  bool I32(int32_t* v) {
+    uint32_t raw;
+    if (!U32(&raw)) return false;
+    *v = static_cast<int32_t>(raw);
+    return true;
+  }
+  bool F64(double* v) {
+    uint64_t bits;
+    if (!U64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+  /// Reads a u32 length prefix + that many bytes. The view aliases the
+  /// underlying buffer. `max_len` bounds hostile prefixes.
+  bool Str(std::string_view* s, uint32_t max_len = 1u << 30) {
+    uint32_t len;
+    if (!U32(&len)) return false;
+    if (len > max_len || pos_ + len > data_.size()) return false;
+    *s = data_.substr(pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  bool VarU64(uint64_t* v) {
+    uint64_t value = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      uint8_t byte;
+      if (!U8(&byte)) return false;
+      value |= static_cast<uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) {
+        *v = value;
+        return true;
+      }
+    }
+    return false;  // Over-long encoding: corrupt.
+  }
+  bool VarU32(uint32_t* v) {
+    uint64_t wide;
+    if (!VarU64(&wide) || wide > 0xFFFFFFFFull) return false;
+    *v = static_cast<uint32_t>(wide);
+    return true;
+  }
+  bool VarI32(int32_t* v) {
+    uint32_t raw;
+    if (!VarU32(&raw)) return false;
+    *v = static_cast<int32_t>((raw >> 1) ^ (~(raw & 1) + 1));
+    return true;
+  }
+  bool VarStr(std::string_view* s, uint64_t max_len = 1ull << 30) {
+    uint64_t len;
+    if (!VarU64(&len)) return false;
+    if (len > max_len || pos_ + len > data_.size()) return false;
+    *s = data_.substr(pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+  size_t position() const { return pos_; }
+
+ private:
+  template <typename T>
+  bool ReadLe(T* v) {
+    if (pos_ + sizeof(T) > data_.size()) return false;
+    uint64_t value = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      value |= static_cast<uint64_t>(
+                   static_cast<unsigned char>(data_[pos_ + i]))
+               << (8 * i);
+    }
+    std::memcpy(v, &value, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace taco
+
+#endif  // TACO_STORE_BYTES_H_

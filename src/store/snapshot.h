@@ -1,0 +1,78 @@
+// Compact binary sheet snapshots (.tsnap).
+//
+// The text format (.tsheet, sheet/textio.h) is human-inspectable but slow
+// to load: every line re-runs the A1 parser, the number scanner, and — for
+// formula cells — the full formula parser. The binary snapshot trades
+// inspectability for cold-load speed and size:
+//
+//   header   magic "TSNP", version, section count, header CRC
+//   sections length-prefixed, each with its own CRC32:
+//     meta      sheet name + cell/formula counts (cross-checked on load)
+//     strtab    deduplicated strings (text-cell values and canonical
+//               formula texts), varint length-prefixed
+//     formulas  one compiled AST blob per distinct HOST-RELATIVE
+//               formula: references without '$' are stored as offsets
+//               from the formula's own cell (the autofill shift rule),
+//               so an entire autofilled region — the paper's tabular
+//               locality — shares ONE byte-identical entry. Loading
+//               re-parses nothing; all-'$' entries even share one
+//               decoded tree across their cells.
+//     cells     column-major records, coordinates delta-encoded as
+//               zigzag varints against the previous cell (the common
+//               "next row, same column" step is one byte)
+//
+// Every byte of the file is covered by a CRC (the header by its own, each
+// section payload by the section CRC, section framing by bounds checks
+// against the file size), so any single-byte corruption fails the load
+// with a status instead of producing a wrong sheet. Truncation at any
+// offset is detected the same way and reported as DataLoss.
+
+#ifndef TACO_STORE_SNAPSHOT_H_
+#define TACO_STORE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "sheet/sheet.h"
+
+namespace taco {
+
+/// Default refusal threshold for loading persisted artifacts. Generous —
+/// real workbooks are far smaller — but finite, so a hostile or corrupt
+/// length field can never drive an unbounded allocation.
+inline constexpr uint64_t kDefaultMaxSnapshotBytes = 512ull << 20;
+
+/// Serializes `sheet` into the binary snapshot format.
+std::string WriteSheetBinary(const Sheet& sheet);
+
+/// Parses a binary snapshot. Fails with ParseError when `data` is not a
+/// binary snapshot at all (bad magic), Unsupported for a future version,
+/// and DataLoss for truncation or CRC mismatch.
+Result<Sheet> ReadSheetBinary(std::string_view data);
+
+/// True when `data` starts with the binary snapshot magic (used for
+/// format mix-up diagnostics; a positive sniff does not imply validity).
+bool LooksLikeBinarySnapshot(std::string_view data);
+
+/// File variants. Save writes temp-then-rename with fsync so a crash
+/// leaves either the old file or the new one, never a torn mix. Load
+/// refuses files larger than `max_bytes` with DataLoss.
+Status SaveSheetBinaryFile(const Sheet& sheet, const std::string& path);
+Result<Sheet> LoadSheetBinaryFile(
+    const std::string& path, uint64_t max_bytes = kDefaultMaxSnapshotBytes);
+
+/// Shared helper for the storage layer: writes `data` to `path` via a
+/// unique temp file + rename, fsyncing the file (and best-effort the
+/// directory) before the rename so the bytes are durable when it returns.
+Status WriteFileAtomic(const std::string& path, std::string_view data);
+
+/// Reads a whole file, refusing files larger than `max_bytes` with
+/// DataLoss (the configurable guard against unbounded reads).
+Result<std::string> ReadFileLimited(const std::string& path,
+                                    uint64_t max_bytes);
+
+}  // namespace taco
+
+#endif  // TACO_STORE_SNAPSHOT_H_

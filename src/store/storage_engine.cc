@@ -1,0 +1,95 @@
+#include "store/storage_engine.h"
+
+#include <filesystem>
+
+#include "common/ascii.h"
+#include "sheet/textio.h"
+
+namespace taco {
+namespace {
+
+class TextStorageEngine : public StorageEngine {
+ public:
+  explicit TextStorageEngine(StorageOptions options) : options_(options) {}
+
+  std::string_view name() const override { return "text"; }
+
+  std::string Serialize(const Sheet& sheet) const override {
+    return WriteSheetText(sheet);
+  }
+
+  Result<Sheet> Deserialize(std::string_view data) const override {
+    return ReadSheetText(data);
+  }
+
+  Status SaveSnapshot(const Sheet& sheet,
+                      const std::string& path) const override {
+    // WriteFileAtomic rather than SaveSheetFile: same temp-then-rename,
+    // plus the fsync the durability contract requires.
+    return WriteFileAtomic(path, WriteSheetText(sheet));
+  }
+
+  Result<Sheet> LoadSnapshot(const std::string& path) const override {
+    auto data = ReadFileLimited(path, options_.max_load_bytes);
+    if (!data.ok()) return data.status();
+    if (LooksLikeBinarySnapshot(*data)) {
+      return Status::ParseError(
+          "'" + path +
+          "' is a binary snapshot; this service runs --store text");
+    }
+    auto sheet = ReadSheetText(*data);
+    if (!sheet.ok()) return sheet;
+    sheet->set_name(std::filesystem::path(path).stem().string());
+    return sheet;
+  }
+
+ private:
+  StorageOptions options_;
+};
+
+class BinaryStorageEngine : public StorageEngine {
+ public:
+  explicit BinaryStorageEngine(StorageOptions options) : options_(options) {}
+
+  std::string_view name() const override { return "binary"; }
+
+  std::string Serialize(const Sheet& sheet) const override {
+    return WriteSheetBinary(sheet);
+  }
+
+  Result<Sheet> Deserialize(std::string_view data) const override {
+    return ReadSheetBinary(data);
+  }
+
+  Status SaveSnapshot(const Sheet& sheet,
+                      const std::string& path) const override {
+    return SaveSheetBinaryFile(sheet, path);
+  }
+
+  Result<Sheet> LoadSnapshot(const std::string& path) const override {
+    return LoadSheetBinaryFile(path, options_.max_load_bytes);
+  }
+
+ private:
+  StorageOptions options_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<StorageEngine>> MakeStorageEngine(
+    std::string_view kind, const StorageOptions& options) {
+  std::string key = ToLowerAscii(kind);
+  if (key.empty() || key == "text") {
+    return std::unique_ptr<StorageEngine>(
+        std::make_unique<TextStorageEngine>(options));
+  }
+  if (key == "binary") {
+    return std::unique_ptr<StorageEngine>(
+        std::make_unique<BinaryStorageEngine>(options));
+  }
+  return Status::InvalidArgument("unknown storage engine '" +
+                                 std::string(kind) +
+                                 "' (text/binary)");
+}
+
+}  // namespace taco

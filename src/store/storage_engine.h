@@ -1,0 +1,65 @@
+// The pluggable persistence seam of the workbook service.
+//
+// Everything above this interface (sessions, the service registry, the
+// protocol) persists sheets exclusively through a StorageEngine; which
+// bytes land on disk is the engine's business. Two backends exist:
+//
+//   "text"    the original .tsheet line format (sheet/textio.h) — human-
+//             inspectable, kept for compatibility and as the
+//             differential oracle for the binary backend
+//   "binary"  the compact snapshot format (store/snapshot.h) — versioned
+//             header, CRC-checked sections, string table, compiled
+//             formula ASTs; ~2x+ faster cold loads
+//
+// Both Save paths are atomic (unique temp + rename) and fsync before the
+// rename, and both Load paths refuse files over options.max_load_bytes
+// with DataLoss instead of reading unboundedly.
+
+#ifndef TACO_STORE_STORAGE_ENGINE_H_
+#define TACO_STORE_STORAGE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "sheet/sheet.h"
+#include "store/snapshot.h"
+
+namespace taco {
+
+struct StorageOptions {
+  /// Snapshot files larger than this fail to load with DataLoss.
+  uint64_t max_load_bytes = kDefaultMaxSnapshotBytes;
+};
+
+/// One persistence format. Engines are stateless and thread-safe; the
+/// service owns a single instance shared by every session.
+class StorageEngine {
+ public:
+  virtual ~StorageEngine() = default;
+
+  /// The MakeStorageEngine key ("text", "binary").
+  virtual std::string_view name() const = 0;
+
+  /// In-memory (de)serialization, used by tests and diff tooling.
+  virtual std::string Serialize(const Sheet& sheet) const = 0;
+  virtual Result<Sheet> Deserialize(std::string_view data) const = 0;
+
+  /// Atomic, durable snapshot write (temp + fsync + rename).
+  virtual Status SaveSnapshot(const Sheet& sheet,
+                              const std::string& path) const = 0;
+
+  /// Bounded snapshot read; the sheet is named after the file stem.
+  virtual Result<Sheet> LoadSnapshot(const std::string& path) const = 0;
+};
+
+/// Creates the engine selected by `kind` ("text" or "binary",
+/// case-insensitive). Fails with InvalidArgument on unknown names.
+Result<std::unique_ptr<StorageEngine>> MakeStorageEngine(
+    std::string_view kind, const StorageOptions& options = {});
+
+}  // namespace taco
+
+#endif  // TACO_STORE_STORAGE_ENGINE_H_

@@ -279,5 +279,36 @@ INSTANTIATE_TEST_SUITE_P(Graphs, RecalcEngineTest, ::testing::Bool(),
                            return info.param ? "Taco" : "NoComp";
                          });
 
+TEST(EvaluatorTest, BulkInvalidationShrinksTheValueCache) {
+  // The cache's bucket table must follow a bulk invalidation down, not
+  // stay sized for the largest region ever evaluated.
+  Sheet sheet;
+  for (int col = 1; col <= 100; ++col) {
+    for (int row = 1; row <= 100; ++row) {
+      ASSERT_TRUE(sheet.SetNumber(Cell{col, row}, col * row).ok());
+    }
+  }
+  Evaluator evaluator(&sheet);
+  for (int col = 1; col <= 100; ++col) {
+    for (int row = 1; row <= 100; ++row) {
+      evaluator.EvaluateCell(Cell{col, row});
+    }
+  }
+  ASSERT_EQ(evaluator.cache_size(), 10000u);
+  size_t grown = evaluator.cache_bucket_count();
+  ASSERT_GT(grown, Evaluator::kShrinkMinBuckets);
+
+  evaluator.Invalidate(Range(1, 1, 100, 99));
+  EXPECT_EQ(evaluator.cache_size(), 100u);
+  EXPECT_LT(evaluator.cache_bucket_count(), grown / 4)
+      << "cache bucket table did not shrink after bulk invalidation";
+  // Cached survivors still serve; re-evaluation still works.
+  EXPECT_EQ(evaluator.EvaluateCell(Cell{50, 100}), Value::Number(5000));
+  EXPECT_EQ(evaluator.EvaluateCell(Cell{50, 50}), Value::Number(2500));
+
+  evaluator.InvalidateAll();
+  EXPECT_LE(evaluator.cache_bucket_count(), Evaluator::kShrinkMinBuckets);
+}
+
 }  // namespace
 }  // namespace taco

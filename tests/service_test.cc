@@ -385,6 +385,81 @@ TEST_F(ProtocolTest, RecalcCommandQueriesAndSwitchesTheMode) {
       << service_stats;
 }
 
+TEST(WorkbookServiceTest, StorageCountersTrackWalAndCheckpoints) {
+  // The storage satellite: checkpoints / wal_records / wal_bytes /
+  // recoveries / recovered_records must be visible in ServiceMetrics and
+  // on the STATS report.
+  std::string wal_dir = TempPath("taco_service_counters_wal");
+  std::string snap = TempPath("taco_service_counters.snap");
+  {
+    WorkbookServiceOptions options;
+    options.wal_dir = wal_dir;
+    WorkbookService service(options);
+    auto session = *service.Open("book");
+    ASSERT_TRUE(session->SetNumber(Cell{1, 1}, 1).ok());
+    ASSERT_TRUE(session->SetFormula(Cell{2, 1}, "A1*2").ok());
+    const StorageCounters& st = service.metrics().storage();
+    EXPECT_EQ(st.wal_records.load(), 2u);
+    EXPECT_GT(st.wal_bytes.load(), 0u);
+    EXPECT_EQ(st.checkpoints.load(), 0u);
+    ASSERT_TRUE(service.Save("book", snap).ok());
+    EXPECT_EQ(st.checkpoints.load(), 1u);
+    ASSERT_TRUE(session->SetNumber(Cell{1, 2}, 5).ok());
+    EXPECT_EQ(st.wal_records.load(), 3u);
+    EXPECT_EQ(st.recoveries.load(), 0u);
+  }
+  {
+    // A new service over the same WAL dir: OPEN recovers snapshot + the
+    // one post-checkpoint record.
+    WorkbookServiceOptions options;
+    options.wal_dir = wal_dir;
+    WorkbookService service(options);
+    CommandProcessor processor(&service);
+    EXPECT_EQ(processor.Execute("OPEN book"), "OK opened book backend=TACO");
+    const StorageCounters& st = service.metrics().storage();
+    EXPECT_EQ(st.recoveries.load(), 1u);
+    EXPECT_EQ(st.recovered_records.load(), 1u);
+    EXPECT_EQ(processor.Execute("GET book B1"), "VALUE B1 2");
+    EXPECT_EQ(processor.Execute("GET book A2"), "VALUE A2 5");
+    std::string stats = processor.Execute("STATS");
+    EXPECT_NE(stats.find("storage engine=text checkpoints=0 wal_records=0 "
+                         "wal_bytes=0 recoveries=1 recovered_records=1"),
+              std::string::npos)
+        << stats;
+    std::string storage = processor.Execute("STORAGE book");
+    EXPECT_TRUE(storage.starts_with("OK storage session=book engine=text"))
+        << storage;
+    EXPECT_NE(storage.find("wal_records=1"), std::string::npos) << storage;
+    EXPECT_NE(storage.find("recovered=1"), std::string::npos) << storage;
+    EXPECT_NE(storage.find("unsaved=1"), std::string::npos) << storage;
+    // CHECKPOINT rotates: the live record count drops to zero.
+    EXPECT_EQ(processor.Execute("CHECKPOINT book"),
+              "OK checkpoint book path=" + snap);
+    EXPECT_EQ(st.checkpoints.load(), 1u);
+    storage = processor.Execute("STORAGE book");
+    EXPECT_NE(storage.find("wal_records=0"), std::string::npos) << storage;
+    EXPECT_NE(storage.find("unsaved=0"), std::string::npos) << storage;
+    ASSERT_TRUE(service.Close("book").ok());
+  }
+  std::filesystem::remove_all(wal_dir);
+  std::remove(snap.c_str());
+}
+
+TEST_F(ProtocolTest, CheckpointAndStorageVerbsValidateUsage) {
+  EXPECT_TRUE(Run("CHECKPOINT").starts_with("ERR InvalidArgument: usage:"));
+  EXPECT_TRUE(Run("STORAGE").starts_with("ERR InvalidArgument: usage:"));
+  EXPECT_TRUE(Run("CHECKPOINT ghost").starts_with("ERR NotFound:"));
+  EXPECT_TRUE(Run("STORAGE ghost").starts_with("ERR NotFound:"));
+  Run("OPEN book");
+  // No bound path and none given: same contract as SAVE.
+  EXPECT_TRUE(Run("CHECKPOINT book").starts_with("ERR InvalidArgument:"));
+  // Without --wal-dir the report shows the engine and no WAL.
+  std::string storage = Run("STORAGE book");
+  EXPECT_TRUE(storage.starts_with("OK storage session=book engine=text"))
+      << storage;
+  EXPECT_NE(storage.find("wal=(none)"), std::string::npos) << storage;
+}
+
 TEST_F(ProtocolTest, SaveCloseLoadThroughProtocol) {
   std::string path = TempPath("taco_protocol_roundtrip.tsheet");
   Run("OPEN book");

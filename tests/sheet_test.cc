@@ -241,5 +241,35 @@ TEST(TextIoTest, MissingFileIsIoError) {
   EXPECT_EQ(missing.status().code(), StatusCode::kIoError);
 }
 
+TEST(SheetTest, ClearRangeShrinksTheCellMap) {
+  // unordered_map::erase never gives buckets back; the post-bulk-clear
+  // shrink heuristic must, so a sheet that briefly held a huge region
+  // doesn't keep paying (memory and iteration) for it forever.
+  Sheet sheet;
+  for (int col = 1; col <= 100; ++col) {
+    for (int row = 1; row <= 100; ++row) {
+      ASSERT_TRUE(sheet.SetNumber(Cell{col, row}, col + row).ok());
+    }
+  }
+  size_t grown = sheet.bucket_count();
+  ASSERT_GT(grown, Sheet::kShrinkMinBuckets);
+
+  // Keep a corner so the map is sparse, not empty.
+  ASSERT_TRUE(sheet.ClearRange(Range(1, 1, 100, 99)).ok());
+  EXPECT_EQ(sheet.cell_count(), 100u);
+  EXPECT_LT(sheet.bucket_count(), grown / 4)
+      << "bucket table did not shrink after a bulk clear";
+  // Surviving cells are intact and the sheet keeps working.
+  EXPECT_EQ(sheet.Get(Cell{7, 100})->number(), 107);
+  ASSERT_TRUE(sheet.SetNumber(Cell{1, 1}, 5).ok());
+  EXPECT_EQ(sheet.cell_count(), 101u);
+
+  // The sparse-iteration branch (clearing more area than cells) shrinks
+  // too: wipe everything via a huge rectangle.
+  ASSERT_TRUE(sheet.ClearRange(Range(1, 1, kMaxCol, kMaxRow)).ok());
+  EXPECT_EQ(sheet.cell_count(), 0u);
+  EXPECT_LE(sheet.bucket_count(), Sheet::kShrinkMinBuckets);
+}
+
 }  // namespace
 }  // namespace taco
