@@ -92,6 +92,18 @@ RecalcResult RecalcEngine::RecalculateMerged(std::span<const Range> changed) {
   return result;
 }
 
+std::shared_ptr<const ValueVersion> RecalcEngine::PublishVersion(
+    std::span<const Range> touched) {
+  // A freshly set formula's own cell is NOT in the dirty set (only its
+  // dependents are) and is evaluated lazily — but a published version
+  // must carry its committed value, so `touched` always includes the
+  // seed rectangles. Evaluating here, before readers see the version,
+  // keeps the lazy path out of the lock-free read side entirely.
+  uint64_t id = version_ != nullptr ? version_->id() + 1 : 1;
+  version_ = ValueVersion::Delta(id, version_, *sheet_, &evaluator_, touched);
+  return version_;
+}
+
 Status RecalcEngine::ApplyEditNoRecalc(const Edit& edit,
                                        std::vector<Range>* changed) {
   switch (edit.kind) {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "eval/evaluator.h"
+#include "eval/value_version.h"
 #include "graph/dependency_graph.h"
 #include "sheet/sheet.h"
 
@@ -129,6 +130,22 @@ class RecalcEngine {
   /// Current value of a cell (cached; evaluates on demand).
   Value GetValue(const Cell& cell) { return evaluator_.EvaluateCell(cell); }
 
+  /// The version-publication hook at the recalc commit point: builds the
+  /// immutable ValueVersion succeeding the last published one, covering
+  /// `touched` (the commit's seed rectangles plus its dirty ranges).
+  /// Serial and parallel commits call this identically — by the
+  /// executor's contract the evaluator cache holds the same committed
+  /// values either way, so the published version is mode-independent.
+  /// NOT thread-safe; the caller serializes it with mutations (the
+  /// session lock) and hands the result to readers via an atomic store.
+  std::shared_ptr<const ValueVersion> PublishVersion(
+      std::span<const Range> touched);
+
+  /// The most recently published version (null before the first commit).
+  const std::shared_ptr<const ValueVersion>& latest_version() const {
+    return version_;
+  }
+
   /// Plugs in (or clears) the parallel executor; `executor` must outlive
   /// the engine. Switching the executor or mode between operations is
   /// safe — recalc consults both at the start of each pass.
@@ -155,6 +172,7 @@ class RecalcEngine {
   Evaluator evaluator_;
   RecalcExecutor* executor_ = nullptr;
   RecalcMode mode_ = RecalcMode::kSerial;
+  std::shared_ptr<const ValueVersion> version_;  ///< Last published.
 };
 
 }  // namespace taco

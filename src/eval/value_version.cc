@@ -1,0 +1,123 @@
+#include "eval/value_version.h"
+
+#include <utility>
+
+#include "common/range_set.h"
+
+namespace taco {
+namespace {
+
+/// Erases from `values` every cell covered by the disjoint `ranges`.
+/// Picks the cheaper side: enumerate the ranges when their area is
+/// smaller than the map, otherwise sweep the map once.
+void EraseCovered(std::span<const Range> ranges,
+                  std::unordered_map<Cell, Value>* values) {
+  uint64_t area = 0;
+  for (const Range& r : ranges) area += r.Area();
+  if (area <= values->size()) {
+    for (const Range& r : ranges) {
+      for (const Cell& cell : EnumerateCells(r)) values->erase(cell);
+    }
+    return;
+  }
+  for (auto it = values->begin(); it != values->end();) {
+    it = CoversCell(ranges, it->first) ? values->erase(it) : ++it;
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<const ValueVersion> ValueVersion::Full(uint64_t id,
+                                                       const Sheet& sheet,
+                                                       Evaluator* evaluator) {
+  auto version = std::shared_ptr<ValueVersion>(new ValueVersion());
+  version->id_ = id;
+  version->values_.reserve(sheet.cell_count());
+  // Evaluating inside the visitor is safe: EvaluateCell reads the sheet
+  // and mutates only the evaluator's own cache.
+  sheet.ForEachCellColumnMajor([&](const Cell& cell, const CellContent&) {
+    version->values_.emplace(cell, evaluator->EvaluateCell(cell));
+  });
+  return version;
+}
+
+std::shared_ptr<const ValueVersion> ValueVersion::Delta(
+    uint64_t id, std::shared_ptr<const ValueVersion> base, const Sheet& sheet,
+    Evaluator* evaluator, std::span<const Range> touched) {
+  if (base == nullptr) return Full(id, sheet, evaluator);
+
+  std::vector<Range> disjoint = DisjointifyRanges(touched);
+  uint64_t covered = CoveredCellCount(disjoint);
+  // A commit that touched more cells than the sheet holds (a huge CLEAR,
+  // a wide dirty fan-out over mostly-empty area) is cheaper to re-snapshot
+  // outright than to enumerate cell by cell — and the result is more
+  // compact than carrying the wide delta forward.
+  if (covered > sheet.cell_count() + 1024) return Full(id, sheet, evaluator);
+
+  auto version = std::shared_ptr<ValueVersion>(new ValueVersion());
+  version->id_ = id;
+  version->touched_ = std::move(disjoint);
+  for (const Range& range : version->touched_) {
+    for (const Cell& cell : EnumerateCells(range)) {
+      // Only existing cells get entries; a touched cell without one reads
+      // as Blank, which is exactly what a cleared or empty cell is. The
+      // evaluator was primed by the commit, so this is mostly cache hits.
+      if (sheet.Get(cell) != nullptr) {
+        version->values_.emplace(cell, evaluator->EvaluateCell(cell));
+      }
+    }
+  }
+
+  if (base->depth_ < kMaxDepth) {
+    version->depth_ = base->depth_ + 1;
+    version->base_ = std::move(base);
+    return version;
+  }
+
+  // Flatten: merge the whole chain into one full node so reader cost and
+  // retained memory stay bounded. Oldest-first replay — start from the
+  // root's map, and for each newer node drop what its commit touched,
+  // then overlay what it carries.
+  std::vector<const ValueVersion*> chain;
+  for (const ValueVersion* node = base.get(); node != nullptr;
+       node = node->base_.get()) {
+    chain.push_back(node);
+  }
+  auto flat = std::shared_ptr<ValueVersion>(new ValueVersion());
+  flat->id_ = id;
+  flat->values_ = chain.back()->values_;  // Root: a full snapshot.
+  for (size_t i = chain.size() - 1; i-- > 0;) {
+    EraseCovered(chain[i]->touched_, &flat->values_);
+    for (const auto& [cell, value] : chain[i]->values_) {
+      flat->values_[cell] = value;
+    }
+  }
+  EraseCovered(version->touched_, &flat->values_);
+  for (const auto& [cell, value] : version->values_) {
+    flat->values_[cell] = value;
+  }
+  return flat;
+}
+
+Value ValueVersion::Lookup(const Cell& cell) const {
+  for (const ValueVersion* node = this; node != nullptr;
+       node = node->base_.get()) {
+    // A rootless node is a full snapshot (Full or a flatten): its map is
+    // the whole sheet, so the probe is the answer either way.
+    if (node->base_ == nullptr) {
+      auto it = node->values_.find(cell);
+      return it != node->values_.end() ? it->second : Value::Blank();
+    }
+    // Delta node: the coverage test is a handful of range compares and
+    // gates the hash probe — a cell outside this commit's touched set
+    // skips straight to the older node. Touched but absent from the map
+    // means the commit left the cell blank.
+    if (CoversCell(node->touched_, cell)) {
+      auto it = node->values_.find(cell);
+      return it != node->values_.end() ? it->second : Value::Blank();
+    }
+  }
+  return Value::Blank();
+}
+
+}  // namespace taco

@@ -46,6 +46,13 @@
 //     in range-granular mode stays inside one task, which evaluates the
 //     range in enumeration order — again the serial order.)
 //
+// This determinism is what makes the MVCC read path mode-independent:
+// when Execute returns, the shared evaluator cache holds exactly the
+// values a serial pass would have produced, so the ValueVersion the
+// session publishes at this commit point (RecalcEngine::PublishVersion,
+// still under the session lock) is identical whichever path ran — the
+// final barrier doubles as the version boundary readers observe.
+//
 // The scheduler holds no per-pass state: one instance is safely shared
 // by every session of a service, and concurrent Execute calls interleave
 // on the shared ThreadPool without blocking each other's progress.

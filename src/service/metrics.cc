@@ -4,6 +4,17 @@
 #include <cstdio>
 
 namespace taco {
+namespace {
+
+/// Stable per-thread shard index: assigned round-robin on first use, so
+/// concurrent readers land on distinct (padded) counter lines.
+unsigned ThreadShard() {
+  static std::atomic<unsigned> next{0};
+  thread_local unsigned slot = next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+}  // namespace
 
 std::string_view ServiceOpName(ServiceOp op) {
   switch (op) {
@@ -14,6 +25,7 @@ std::string_view ServiceOpName(ServiceOp op) {
     case ServiceOp::kSet:     return "SET";
     case ServiceOp::kFormula: return "FORMULA";
     case ServiceOp::kGet:     return "GET";
+    case ServiceOp::kGetRange: return "GETRANGE";
     case ServiceOp::kClear:   return "CLEAR";
     case ServiceOp::kBatch:   return "BATCH";
     case ServiceOp::kOpCount: break;
@@ -23,6 +35,18 @@ std::string_view ServiceOpName(ServiceOp op) {
 
 void ServiceMetrics::Record(ServiceOp op, double elapsed_ms, bool ok,
                             const RecalcResult* result) {
+  if (IsReadOp(op) && result == nullptr) {
+    ReadShard& r = ReadSlot(op).shards[ThreadShard() % kReadShards];
+    r.count.fetch_add(1, std::memory_order_relaxed);
+    if (!ok) r.errors.fetch_add(1, std::memory_order_relaxed);
+    auto ns = static_cast<uint64_t>(elapsed_ms * 1e6);
+    r.total_ns.fetch_add(ns, std::memory_order_relaxed);
+    uint64_t prev = r.max_ns.load(std::memory_order_relaxed);
+    while (prev < ns && !r.max_ns.compare_exchange_weak(
+                            prev, ns, std::memory_order_relaxed)) {
+    }
+    return;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   OpStats& s = stats_[static_cast<size_t>(op)];
   ++s.count;
@@ -41,18 +65,30 @@ void ServiceMetrics::Record(ServiceOp op, double elapsed_ms, bool ok,
 }
 
 OpStats ServiceMetrics::Get(ServiceOp op) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_[static_cast<size_t>(op)];
+  OpStats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s = stats_[static_cast<size_t>(op)];
+  }
+  if (IsReadOp(op)) {
+    for (const ReadShard& r : ReadSlot(op).shards) {
+      s.count += r.count.load(std::memory_order_relaxed);
+      s.errors += r.errors.load(std::memory_order_relaxed);
+      s.total_ms += double(r.total_ns.load(std::memory_order_relaxed)) / 1e6;
+      s.max_ms = std::max(
+          s.max_ms, double(r.max_ns.load(std::memory_order_relaxed)) / 1e6);
+    }
+  }
+  return s;
 }
 
 std::string ServiceMetrics::Report() const {
-  std::lock_guard<std::mutex> lock(mu_);
   std::string out =
       "op       count errors  mean_ms   max_ms dirty_cells max_dirty "
       "recalced passes finddep_ms    eval_ms  waves\n";
   char line[224];
   for (size_t i = 0; i < stats_.size(); ++i) {
-    const OpStats& s = stats_[i];
+    OpStats s = Get(static_cast<ServiceOp>(i));
     if (s.count == 0) continue;
     std::snprintf(
         line, sizeof(line),

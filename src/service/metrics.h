@@ -28,6 +28,7 @@ enum class ServiceOp : uint8_t {
   kSet,       ///< SetNumber / SetText
   kFormula,
   kGet,
+  kGetRange,  ///< Bulk versioned read (GETRANGE).
   kClear,
   kBatch,
   kOpCount,   ///< Sentinel; not an operation.
@@ -79,11 +80,14 @@ struct StorageCounters {
 class ServiceMetrics {
  public:
   /// Records one completed operation; `result` adds recalc aggregates for
-  /// mutating ops (pass nullptr for reads / failed ops).
+  /// mutating ops (pass nullptr for reads / failed ops). GET/GETRANGE
+  /// records go to lock-free atomic counters: the MVCC read path serves
+  /// millions of ops/s across threads, and funneling them through mu_
+  /// would serialize the very path that exists to avoid a lock.
   void Record(ServiceOp op, double elapsed_ms, bool ok,
               const RecalcResult* result = nullptr);
 
-  /// Snapshot of one op's aggregates.
+  /// Snapshot of one op's aggregates (read ops merged in).
   OpStats Get(ServiceOp op) const;
 
   /// Fixed-width text report, one line per op with traffic (for STATS).
@@ -96,8 +100,37 @@ class ServiceMetrics {
   const StorageCounters& storage() const { return storage_; }
 
  private:
+  /// Latency/error aggregates for one read op, all relaxed atomics
+  /// (cross-counter consistency is not worth a read-path lock; Get()
+  /// reassembles a close-enough OpStats). Time is kept in integer
+  /// nanoseconds so accumulation is a fetch_add, not a CAS loop. The
+  /// counters are SHARDED by thread (cache-line padded): N readers
+  /// bumping one shared line would serialize on cache-line ownership at
+  /// exactly the fan-out the lock-free path is built for.
+  struct alignas(64) ReadShard {
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> errors{0};
+    std::atomic<uint64_t> total_ns{0};
+    std::atomic<uint64_t> max_ns{0};
+  };
+  static constexpr size_t kReadShards = 16;  // Power of two.
+  struct ReadCounters {
+    ReadShard shards[kReadShards];
+  };
+
+  static bool IsReadOp(ServiceOp op) {
+    return op == ServiceOp::kGet || op == ServiceOp::kGetRange;
+  }
+  ReadCounters& ReadSlot(ServiceOp op) {
+    return reads_[op == ServiceOp::kGetRange ? 1 : 0];
+  }
+  const ReadCounters& ReadSlot(ServiceOp op) const {
+    return reads_[op == ServiceOp::kGetRange ? 1 : 0];
+  }
+
   mutable std::mutex mu_;
   std::array<OpStats, static_cast<size_t>(ServiceOp::kOpCount)> stats_;
+  ReadCounters reads_[2];  ///< [0] = kGet, [1] = kGetRange.
   TransportCounters transport_;
   StorageCounters storage_;
 };

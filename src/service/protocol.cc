@@ -130,6 +130,11 @@ std::string SessionStatsReport(const SessionStats& stats) {
          (stats.recalc_mode == RecalcMode::kParallel ? "parallel" : "serial");
   out += " waves=" + std::to_string(stats.waves);
   out += " max_wave_cells=" + std::to_string(stats.max_wave_cells);
+  out += " version=" + std::to_string(stats.version);
+  out += " versions=" + std::to_string(stats.versions_published);
+  out += " reads_versioned=" + std::to_string(stats.reads_versioned);
+  out += " reads_locked=" + std::to_string(stats.reads_locked);
+  out += " wal_failed=" + std::to_string(stats.wal_failed ? 1 : 0);
   out += " path=" + (stats.path.empty() ? "(none)" : stats.path);
   return out;
 }
@@ -142,6 +147,7 @@ std::string SessionStorageReport(const SessionStats& stats) {
   out += " wal_bytes=" + std::to_string(stats.wal_bytes);
   out += " recovered=" + std::to_string(stats.recovered_records);
   out += " unsaved=" + std::to_string(stats.dirty ? 1 : 0);
+  out += " wal_failed=" + std::to_string(stats.wal_failed ? 1 : 0);
   out += " path=" + (stats.path.empty() ? "(none)" : stats.path);
   return out;
 }
@@ -161,9 +167,12 @@ bool StdioResponseWriter::Emit(std::string_view response) {
 }
 
 bool CommandProcessor::ResponseContinues(std::string_view first_line) {
-  // The service-wide STATS report is the one multi-line response; its
-  // first line is "OK service ..." (a session report is "OK session=...").
-  return first_line.starts_with("OK service");
+  // Two responses span multiple lines: the service-wide STATS report
+  // ("OK service ...") and GETRANGE ("OK range ..."); a session report
+  // is "OK session=..." and stays one line. Both multi-line forms end
+  // with the lone terminator line.
+  return first_line.starts_with("OK service") ||
+         first_line.starts_with("OK range");
 }
 
 std::string_view CommandProcessor::DispatchKey(std::string_view header_line) {
@@ -349,6 +358,37 @@ std::string CommandProcessor::Execute(std::string_view command_text) {
     Value value = (*session)->GetValue(*cell);
     return "VALUE " + cell->ToString() + " " + value.ToString();
   }
+  if (EqualsIgnoreCase(cmd, "GETRANGE")) {
+    std::string_view name = NextToken(&rest);
+    std::string_view range_text = NextToken(&rest);
+    if (name.empty() || range_text.empty()) {
+      return ErrUsage("GETRANGE <session> <range>");
+    }
+    auto ref = ParseA1(range_text);
+    if (!ref.ok()) return ErrLine(ref.status());
+    if (ref->range.Area() > kMaxGetRangeCells) {
+      return "ERR InvalidArgument: range " + ref->range.ToString() +
+             " covers " + std::to_string(ref->range.Area()) +
+             " cells, over the GETRANGE limit of " +
+             std::to_string(kMaxGetRangeCells);
+    }
+    auto session = service_->Get(std::string(name));
+    if (!session.ok()) return ErrLine(session.status());
+    RangeSnapshot snapshot = (*session)->GetRange(ref->range);
+    // Multi-line: header, one VALUE line per non-blank cell (in
+    // EnumerateCells order — the version makes them one consistent
+    // cut), then the terminator SocketClient frames on. version=0 means
+    // the session had never published and the lock served the read.
+    std::string out = "OK range " + ref->range.ToString() +
+                      " version=" + std::to_string(snapshot.version) +
+                      " cells=" + std::to_string(snapshot.values.size());
+    for (const auto& [cell, value] : snapshot.values) {
+      out += "\nVALUE " + cell.ToString() + " " + value.ToString();
+    }
+    out += "\n";
+    out += kResponseTerminator;
+    return out;
+  }
   if (EqualsIgnoreCase(cmd, "SET") || EqualsIgnoreCase(cmd, "FORMULA") ||
       EqualsIgnoreCase(cmd, "CLEAR")) {
     std::string_view name = NextToken(&rest);
@@ -433,7 +473,7 @@ std::string CommandProcessor::Execute(std::string_view command_text) {
 
   return "ERR InvalidArgument: unknown command '" + std::string(cmd) +
          "' (OPEN/LOAD/SAVE/CHECKPOINT/STORAGE/CLOSE/SET/FORMULA/GET/"
-         "CLEAR/BATCH/RECALC/STATS/LIST)";
+         "GETRANGE/CLEAR/BATCH/RECALC/STATS/LIST)";
 }
 
 }  // namespace taco

@@ -15,6 +15,11 @@
 //   SET <session> <cell> <value>      number, or text (quotes optional)
 //   FORMULA <session> <cell> <src>    formula without the leading '='
 //   GET <session> <cell>              -> VALUE <cell> <display form>
+//   GETRANGE <session> <range>        -> OK range <range> version=<v>
+//                                        cells=<n>, then one VALUE line
+//                                        per non-blank cell, then END —
+//                                        all cells from ONE published
+//                                        version (never torn mid-recalc)
 //   CLEAR <session> <range>
 //   BATCH <session> <n>               header; then n lines of
 //     SET <cell> <value> | FORMULA <cell> <src> | CLEAR <range>
@@ -71,6 +76,12 @@ class CommandProcessor {
   /// reserve unbounded memory.
   static constexpr int kMaxBatchEdits = 65536;
 
+  /// Upper bound on the area of a GETRANGE rectangle. The response is
+  /// proportional to the NON-BLANK cells, but enumeration visits every
+  /// cell of the rectangle, so a hostile A1:ZZZ9999999 must be refused
+  /// rather than walked.
+  static constexpr uint64_t kMaxGetRangeCells = 65536;
+
   /// `service` must outlive the processor.
   explicit CommandProcessor(WorkbookService* service) : service_(service) {}
 
@@ -99,10 +110,10 @@ class CommandProcessor {
   static std::string_view DispatchKey(std::string_view header_line);
 
   /// Response framing for remote clients: almost every response is one
-  /// line, but the service-wide STATS report spans several. A response
-  /// whose FIRST line satisfies this predicate continues until a lone
-  /// terminator line (kResponseTerminator). SocketClient uses it to know
-  /// when a reply is complete.
+  /// line, but the service-wide STATS report and GETRANGE span several.
+  /// A response whose FIRST line satisfies this predicate continues
+  /// until a lone terminator line (kResponseTerminator). SocketClient
+  /// uses it to know when a reply is complete.
   static bool ResponseContinues(std::string_view first_line);
   static constexpr std::string_view kResponseTerminator = "END";
 

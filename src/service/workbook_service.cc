@@ -128,7 +128,13 @@ WorkbookService::LoadSessionFromStorage(const std::string& name,
       // requested backend change an existing session's implementation.
       snapshot_path = header->snapshot_path;
       if (!header->backend.empty()) backend_key = header->backend;
-    } else if (header->snapshot_path != base_path) {
+    } else if (header->snapshot_path == base_path) {
+      // LOAD of the very file this log extends: recovery, not a fresh
+      // import. Unless the caller explicitly chose a backend, restore
+      // the one the log records — a recovered session must not silently
+      // come back on the default implementation.
+      if (backend_key.empty()) backend_key = header->backend;
+    } else {
       // LOAD of a file this log does not extend: the caller's explicit
       // file wins and the stale log is reset below. (Replaying edits
       // recorded against a different snapshot would corrupt the sheet.)
@@ -138,9 +144,15 @@ WorkbookService::LoadSessionFromStorage(const std::string& name,
 
   Sheet sheet;
   if (!snapshot_path.empty()) {
-    auto loaded = storage_->LoadSnapshot(snapshot_path);
+    SnapshotMeta snapshot_meta;
+    auto loaded = storage_->LoadSnapshot(snapshot_path, &snapshot_meta);
     if (!loaded.ok()) return loaded.status();
     sheet = std::move(*loaded);
+    // The snapshot itself may record the saving session's backend (the
+    // binary format does). It ranks below an explicit caller choice and
+    // below the WAL header — the log is newer than its base snapshot —
+    // but beats silently falling back to the service default.
+    if (backend_key.empty()) backend_key = snapshot_meta.backend;
   }
 
   std::unique_ptr<WriteAheadLog> wal;

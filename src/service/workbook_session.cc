@@ -14,6 +14,30 @@
 #include "taco/taco_graph.h"
 
 namespace taco {
+namespace {
+
+/// Per-thread cache of the last version a reader resolved, keyed by the
+/// owning session's process-unique serial. A read whose session still
+/// publishes the cached id runs without touching any shared cache line:
+/// the refcount (and libstdc++'s atomic-shared_ptr spinlock) is only
+/// paid once per published version per thread, not once per read.
+struct TlsVersionCache {
+  uint64_t session_serial = 0;
+  uint64_t id = 0;
+  std::shared_ptr<const ValueVersion> version;
+};
+thread_local TlsVersionCache tls_version_cache;
+
+std::atomic<uint64_t> session_serial_counter{0};
+
+/// Stable per-thread shard index for the sharded read counter.
+unsigned ThreadReadShard() {
+  static std::atomic<unsigned> next{0};
+  thread_local unsigned slot = next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+}  // namespace
 
 Result<std::unique_ptr<DependencyGraph>> MakeGraphBackend(
     std::string_view backend) {
@@ -54,7 +78,8 @@ WorkbookSession::WorkbookSession(std::string name, Sheet sheet,
       sheet_(std::move(sheet)),
       graph_(std::move(graph)),
       engine_(&sheet_, graph_.get()),
-      metrics_(metrics) {
+      metrics_(metrics),
+      serial_(session_serial_counter.fetch_add(1) + 1) {
   sheet_.set_name(name_);
 }
 
@@ -93,9 +118,18 @@ Result<RecalcResult> WorkbookSession::Mutate(ServiceOp op,
   RecalcResult partial;
   Result<RecalcResult> result = [&]() -> Result<RecalcResult> {
     std::lock_guard<std::mutex> lock(mu_);
+    if (wal_failed_) {
+      // An earlier append failed, so the log is missing acknowledged
+      // edits. Accepting more would widen the gap silently; refuse until
+      // a CHECKPOINT folds the unlogged state into a snapshot.
+      return Status::DataLoss(
+          "session '" + name_ +
+          "' has edits the WAL could not record; mutations are refused "
+          "until a successful CHECKPOINT re-establishes durability");
+    }
     Result<RecalcResult> r = fn(&partial);
     const RecalcResult& outcome = r.ok() ? r.value() : partial;
-    if (r.ok() || outcome.edits_applied > 0) ++ops_;
+    if (r.ok() || outcome.edits_applied > 0) ops_.fetch_add(1);
     // Only actual edits make the session dirty — a successful empty
     // batch must not force a pointless save.
     if (outcome.edits_applied > 0) {
@@ -111,9 +145,15 @@ Result<RecalcResult> WorkbookSession::Mutate(ServiceOp op,
       // recovery replays what this session's state really contains.
       size_t applied = std::min<size_t>(outcome.edits_applied, edits.size());
       Status logged = LogToWal(edits.subspan(0, applied));
+      // Publish the post-commit version even when logging failed: the
+      // in-memory state DID change, and readers must see committed
+      // state, not the pre-edit version of a sheet that moved on.
+      PublishVersion(edits.subspan(0, applied), outcome);
       if (!logged.ok()) {
         // Applied in memory but not durable: the client must see an
-        // error, not an acknowledgement the WAL cannot back.
+        // error, not an acknowledgement the WAL cannot back — and the
+        // session latches wal_failed_ so the gap cannot widen.
+        wal_failed_ = true;
         return Status(logged.code(),
                       "edit applied but not logged: " + logged.message());
       }
@@ -193,19 +233,108 @@ RecalcMode WorkbookSession::recalc_mode() const {
   return engine_.mode();
 }
 
+void WorkbookSession::PublishVersion(std::span<const Edit> applied,
+                                     const RecalcResult& outcome) {
+  if (!versioned_reads_) return;
+  std::vector<Range> touched = outcome.dirty;
+  touched.reserve(touched.size() + applied.size());
+  for (const Edit& edit : applied) {
+    touched.push_back(edit.kind == Edit::Kind::kClearRange ? edit.range
+                                                           : Range(edit.cell));
+  }
+  ++versions_published_;
+  auto version = engine_.PublishVersion(touched);
+  uint64_t id = version->id();
+  published_.store(std::move(version), std::memory_order_release);
+  // The id is stored AFTER the pointer: a reader that sees the new id
+  // and misses its thread-local cache loads published_ and gets this
+  // version or a newer one, never an older one.
+  published_id_.store(id, std::memory_order_release);
+}
+
+const ValueVersion* WorkbookSession::AcquireVersion() {
+  uint64_t id = published_id_.load(std::memory_order_acquire);
+  if (id == 0) return nullptr;
+  TlsVersionCache& cache = tls_version_cache;
+  if (cache.session_serial == serial_ && cache.id == id) {
+    return cache.version.get();
+  }
+  auto version = published_.load(std::memory_order_acquire);
+  if (version == nullptr) return nullptr;  // Raced with a disable.
+  cache.session_serial = serial_;
+  cache.id = version->id();
+  cache.version = std::move(version);
+  return cache.version.get();
+}
+
+void WorkbookSession::EnableVersionedReads(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  versioned_reads_ = enabled;
+  if (!enabled) {
+    // Id first: a reader seeing 0 falls back to the lock without ever
+    // touching published_. Stale thread-local caches revalidate against
+    // the id, so they go cold with it.
+    published_id_.store(0, std::memory_order_release);
+    published_.store(nullptr, std::memory_order_release);
+  }
+}
+
 Value WorkbookSession::GetValue(const Cell& cell) {
   auto start = SteadyNow();
-  op_epoch_.fetch_add(1);
   Value value;
-  {
+  if (auto version = AcquireVersion()) {
+    // The lock-free path: reads of an immutable chain. No evaluator-
+    // cache mutation, no waiting behind a recalc.
+    value = version->Lookup(cell);
+    reads_versioned_[ThreadReadShard() % kReadCountShards].v.fetch_add(
+        1, std::memory_order_relaxed);
+  } else {
+    op_epoch_.fetch_add(1);
     std::lock_guard<std::mutex> lock(mu_);
     value = engine_.GetValue(cell);
-    ++ops_;
+    reads_locked_.fetch_add(1, std::memory_order_relaxed);
   }
   if (metrics_ != nullptr) {
-    metrics_->Record(ServiceOp::kGet, MsSince(start), /*ok=*/true);
+    // Error values (out-of-bounds reads, #CYCLE! and friends) count as
+    // errors, so the STATS error column reflects what clients saw.
+    metrics_->Record(ServiceOp::kGet, MsSince(start),
+                     /*ok=*/!value.is_error());
   }
   return value;
+}
+
+RangeSnapshot WorkbookSession::GetRange(const Range& range) {
+  auto start = SteadyNow();
+  RangeSnapshot snapshot;
+  bool any_error = false;
+  auto append = [&](const Cell& cell, Value value) {
+    if (value.is_blank()) return;
+    if (value.is_error()) any_error = true;
+    snapshot.values.emplace_back(cell, std::move(value));
+  };
+  if (auto version = AcquireVersion()) {
+    // Every cell resolves against ONE version: a concurrent commit
+    // publishes a new pointer but never mutates this one, so the values
+    // below are a consistent cut even mid-recalc.
+    snapshot.version = version->id();
+    for (const Cell& cell : EnumerateCells(range)) {
+      append(cell, version->Lookup(cell));
+    }
+    reads_versioned_[ThreadReadShard() % kReadCountShards].v.fetch_add(
+        1, std::memory_order_relaxed);
+  } else {
+    op_epoch_.fetch_add(1);
+    std::lock_guard<std::mutex> lock(mu_);  // One hold for the whole range.
+    for (const Cell& cell : EnumerateCells(range)) {
+      append(cell, engine_.GetValue(cell));
+    }
+    reads_locked_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (metrics_ != nullptr) {
+    metrics_->Record(ServiceOp::kGetRange, MsSince(start),
+                     /*ok=*/!any_error);
+  }
+  return snapshot;
 }
 
 std::string WorkbookSession::Snapshot() const {
@@ -245,8 +374,9 @@ Status WorkbookSession::Save(const std::string& path) {
       return Status::InvalidArgument("session '" + name_ +
                                      "' has no bound path; pass one to SAVE");
     }
-    Status s = storage_ != nullptr ? storage_->SaveSnapshot(sheet_, target)
-                                   : SaveSheetFile(sheet_, target);
+    Status s = storage_ != nullptr
+                   ? storage_->SaveSnapshot(sheet_, target, {backend_key_})
+                   : SaveSheetFile(sheet_, target);
     if (!s.ok()) return s;
     // Rotate the WAL: its records are now folded into the snapshot, and
     // the fresh header names it so recovery starts from the right base.
@@ -269,6 +399,10 @@ Status WorkbookSession::Save(const std::string& path) {
     }
     bound_path_ = target;
     dirty_ = false;
+    // A full checkpoint re-establishes the recovery contract: the new
+    // snapshot contains every in-memory edit (logged or not) and the
+    // rotated log extends it, so the data-loss latch can clear.
+    wal_failed_ = false;
     if (metrics_ != nullptr) metrics_->storage().checkpoints.fetch_add(1);
     return Status::OK();
   }();
@@ -298,7 +432,14 @@ SessionStats WorkbookSession::Stats() const {
   stats.formula_cells = sheet_.formula_cell_count();
   stats.graph_vertices = graph_->NumVertices();
   stats.graph_edges = graph_->NumEdges();
-  stats.ops = ops_;
+  // Mutations count into ops_ directly; reads are folded in from their
+  // own counters so the read path never touches a second shared line.
+  uint64_t reads_versioned = 0;
+  for (const PaddedCount& shard : reads_versioned_) {
+    reads_versioned += shard.v.load(std::memory_order_relaxed);
+  }
+  stats.ops = ops_.load(std::memory_order_relaxed) + reads_versioned +
+              reads_locked_.load(std::memory_order_relaxed);
   stats.edits = edits_;
   stats.recalc_passes = recalc_passes_;
   stats.dirty_cells = dirty_cells_;
@@ -311,6 +452,12 @@ SessionStats WorkbookSession::Stats() const {
   stats.wal_records = wal_live_records_;
   stats.wal_bytes = wal_ != nullptr ? wal_->bytes() : 0;
   stats.recovered_records = recovered_records_;
+  stats.wal_failed = wal_failed_;
+  auto version = published_.load(std::memory_order_acquire);
+  stats.version = version != nullptr ? version->id() : 0;
+  stats.versions_published = versions_published_;
+  stats.reads_versioned = reads_versioned;
+  stats.reads_locked = reads_locked_.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -1,12 +1,18 @@
 // One live workbook: Sheet + pluggable DependencyGraph + RecalcEngine
-// behind a per-session mutex.
+// behind a per-session mutex, with an MVCC read path beside it.
 //
 // A session is the unit of isolation in the workbook service: every
-// operation takes the session lock, so concurrent clients of one
+// MUTATION takes the session lock, so concurrent writers of one
 // workbook serialize (spreadsheet recalc is inherently ordered) while
-// different workbooks proceed in parallel. Sessions never share mutable
-// state with each other; the only cross-session object is the metrics
-// sink, which is internally synchronized.
+// different workbooks proceed in parallel. READS do not queue behind
+// that lock: each committed mutation publishes an immutable ValueVersion
+// (under the lock, at the recalc commit point), and GetValue/GetRange
+// serve from the latest published version via an atomic shared_ptr load
+// — no mutex, no evaluator-cache mutation, and never a torn mid-recalc
+// state. Only a never-published session (no mutation since creation or
+// reload) falls back to the locked read path. Sessions never share
+// mutable state with each other; the only cross-session object is the
+// metrics sink, which is internally synchronized.
 
 #ifndef TACO_SERVICE_WORKBOOK_SESSION_H_
 #define TACO_SERVICE_WORKBOOK_SESSION_H_
@@ -17,6 +23,8 @@
 #include <mutex>
 #include <span>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "eval/recalc.h"
 #include "graph/dependency_graph.h"
@@ -49,6 +57,21 @@ struct SessionStats {
   uint64_t wal_records = 0;     ///< Records live in the WAL right now.
   uint64_t wal_bytes = 0;       ///< Current WAL file size.
   uint64_t recovered_records = 0;  ///< Records replayed at open.
+  bool wal_failed = false;      ///< Sticky: a WAL append failed; mutations
+                                ///  are refused until a CHECKPOINT.
+  uint64_t version = 0;            ///< Latest published value version id.
+  uint64_t versions_published = 0; ///< Versions published over the lifetime.
+  uint64_t reads_versioned = 0;    ///< Reads served lock-free.
+  uint64_t reads_locked = 0;       ///< Reads served under the lock.
+};
+
+/// One consistent bulk read (GETRANGE): every value comes from a single
+/// published version — or one hold of the session lock on the fallback
+/// path — so the cells can never mix two commits.
+struct RangeSnapshot {
+  uint64_t version = 0;  ///< Version id served; 0 = locked fallback.
+  std::vector<std::pair<Cell, Value>> values;  ///< Non-blank cells, in
+                                               ///  EnumerateCells order.
 };
 
 /// A named spreadsheet session. Thread-safe; all public operations lock.
@@ -79,8 +102,20 @@ class WorkbookSession {
   Result<RecalcResult> ApplyBatch(const EditBatch& batch,
                                   RecalcResult* partial = nullptr);
 
-  /// Evaluates one cell (cached in the engine's evaluator).
+  /// The current value of one cell. Lock-free once a version has been
+  /// published (every mutation publishes); the locked engine path serves
+  /// only never-published sessions.
   Value GetValue(const Cell& cell);
+
+  /// Every non-blank cell of `range`, read from ONE published version
+  /// (or one hold of the lock before the first publication). The caller
+  /// bounds the range area; this enumerates every cell of it.
+  RangeSnapshot GetRange(const Range& range);
+
+  /// Toggles the MVCC read path (default on). Turning it off drops the
+  /// published version and stops publishing, so every read takes the
+  /// lock — the pre-MVCC behavior, kept for benchmark baselines.
+  void EnableVersionedReads(bool enabled);
 
   /// Plugs in the service's shared wave executor and switches the engine
   /// to parallel recalc. `executor` must outlive the session (the
@@ -152,6 +187,26 @@ class WorkbookSession {
   Result<RecalcResult> Mutate(ServiceOp op, std::span<const Edit> edits,
                               Fn&& fn);
 
+  /// Publishes the post-commit ValueVersion covering the applied edits'
+  /// rectangles plus the recalc's dirty ranges. Called under mu_, after
+  /// the commit (serial or parallel — the wave barrier has passed), so
+  /// the version readers acquire is always fully committed state.
+  void PublishVersion(std::span<const Edit> applied,
+                      const RecalcResult& outcome);
+
+  /// The reader-side acquire: the latest published version, or null when
+  /// the session has never published (or the MVCC path is disabled).
+  /// Readers check the plain atomic `published_id_` first and reuse a
+  /// thread-local cached shared_ptr when it is current, so the hot path
+  /// touches no shared cache line at all — libstdc++'s atomic
+  /// shared_ptr load takes a pooled spinlock plus two refcount RMWs,
+  /// which under read fan-out costs more than the session mutex it was
+  /// meant to replace. Returns a RAW pointer into that thread-local
+  /// cache (pinned until this thread's next AcquireVersion call):
+  /// returning the shared_ptr by value would put two refcount RMWs on
+  /// the shared control block back on every read.
+  const ValueVersion* AcquireVersion();
+
   /// Appends the acknowledged prefix of `edits` to the WAL (opening an
   /// armed log on first use). Called under mu_. A failure here surfaces
   /// to the client: the edit is applied in memory but NOT durable, and
@@ -172,7 +227,14 @@ class WorkbookSession {
   uint64_t recovered_records_ = 0;
   std::string bound_path_;
   bool dirty_ = false;
-  uint64_t ops_ = 0;
+  /// Sticky data-loss latch: a WAL append failed, so in-memory state is
+  /// ahead of the log. Further mutations are refused (kDataLoss) until a
+  /// successful CHECKPOINT writes a snapshot that contains the unlogged
+  /// edits and rotates the log.
+  bool wal_failed_ = false;
+  bool versioned_reads_ = true;
+  uint64_t versions_published_ = 0;
+  std::atomic<uint64_t> ops_{0};  ///< Mutations only; Stats() adds reads.
   uint64_t edits_ = 0;
   uint64_t recalc_passes_ = 0;
   uint64_t dirty_cells_ = 0;
@@ -182,6 +244,25 @@ class WorkbookSession {
   std::string backend_key_;
   std::atomic<uint64_t> last_access_{0};
   std::atomic<uint64_t> op_epoch_{0};
+  /// The MVCC slot: writers release-store the freshly built version
+  /// under mu_, then release-store its id into `published_id_`; readers
+  /// check the id (one plain atomic load) and only touch the shared_ptr
+  /// when their thread-local cache is stale. Id 0 = nothing published.
+  std::atomic<std::shared_ptr<const ValueVersion>> published_;
+  std::atomic<uint64_t> published_id_{0};
+  /// Process-unique session identity for the thread-local version cache
+  /// (a reused heap address must not revalidate a dead cache entry).
+  const uint64_t serial_;
+  /// Versioned-read count, sharded by thread (padded lines) — the only
+  /// write the lock-free read path makes must not be a shared line N
+  /// readers serialize on. The locked counter needs no shards: that
+  /// path is mutex-serialized anyway.
+  struct alignas(64) PaddedCount {
+    std::atomic<uint64_t> v{0};
+  };
+  static constexpr size_t kReadCountShards = 8;
+  PaddedCount reads_versioned_[kReadCountShards];
+  std::atomic<uint64_t> reads_locked_{0};
 };
 
 /// Creates the graph backend selected by `backend` ("taco", "taco-inrow",

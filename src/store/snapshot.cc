@@ -19,7 +19,11 @@ namespace taco {
 namespace {
 
 constexpr std::string_view kMagic = "TSNP";
-constexpr uint32_t kVersion = 1;
+// Version 2 added the graph-backend key to the meta section (recovery
+// restores the saving session's graph implementation). Version-1 files
+// still load — they simply report no backend.
+constexpr uint32_t kVersion = 2;
+constexpr uint32_t kMinReadVersion = 1;
 
 // Section ids, in required file order.
 constexpr uint32_t kSectionMeta = 1;
@@ -247,7 +251,7 @@ bool LooksLikeBinarySnapshot(std::string_view data) {
   return data.substr(0, kMagic.size()) == kMagic;
 }
 
-std::string WriteSheetBinary(const Sheet& sheet) {
+std::string WriteSheetBinary(const Sheet& sheet, std::string_view backend) {
   // One pass to intern strings (text values AND distinct formula texts)
   // and distinct host-relative ASTs, collecting the cell records in
   // column-major order as we go. Cells are delta-encoded against the
@@ -323,6 +327,7 @@ std::string WriteSheetBinary(const Sheet& sheet) {
   meta.Str(sheet.name());
   meta.U64(cell_count);
   meta.U64(formula_cells);
+  meta.Str(backend);  // Since version 2.
 
   std::string strings_payload;
   ByteWriter strtab(&strings_payload);
@@ -354,7 +359,8 @@ std::string WriteSheetBinary(const Sheet& sheet) {
   return out;
 }
 
-Result<Sheet> ReadSheetBinary(std::string_view data) {
+Result<Sheet> ReadSheetBinary(std::string_view data, std::string* backend) {
+  if (backend != nullptr) backend->clear();
   // Header: magic, version, section count, CRC over those 12 bytes.
   if (data.size() < 16) {
     if (!LooksLikeBinarySnapshot(data)) {
@@ -373,9 +379,10 @@ Result<Sheet> ReadSheetBinary(std::string_view data) {
   if (Crc32(data.substr(0, 12)) != header_crc) {
     return Corrupt("header CRC mismatch");
   }
-  if (version != kVersion) {
+  if (version < kMinReadVersion || version > kVersion) {
     return Status::Unsupported("binary snapshot version " +
                                std::to_string(version) + " (expected " +
+                               std::to_string(kMinReadVersion) + ".." +
                                std::to_string(kVersion) + ")");
   }
   if (section_count != kSectionCount) {
@@ -410,9 +417,15 @@ Result<Sheet> ReadSheetBinary(std::string_view data) {
   std::string_view name;
   uint64_t cell_count, formula_cells;
   if (!meta.Str(&name) || !meta.U64(&cell_count) ||
-      !meta.U64(&formula_cells) || !meta.AtEnd()) {
+      !meta.U64(&formula_cells)) {
     return Corrupt("malformed meta section");
   }
+  std::string_view recorded_backend;
+  if (version >= 2 && !meta.Str(&recorded_backend)) {
+    return Corrupt("malformed meta section");
+  }
+  if (!meta.AtEnd()) return Corrupt("malformed meta section");
+  if (backend != nullptr) *backend = std::string(recorded_backend);
 
   // strtab.
   ByteReader strtab(payloads[kSectionStrings]);
@@ -628,15 +641,16 @@ Result<std::string> ReadFileLimited(const std::string& path,
   return data;
 }
 
-Status SaveSheetBinaryFile(const Sheet& sheet, const std::string& path) {
-  return WriteFileAtomic(path, WriteSheetBinary(sheet));
+Status SaveSheetBinaryFile(const Sheet& sheet, const std::string& path,
+                           std::string_view backend) {
+  return WriteFileAtomic(path, WriteSheetBinary(sheet, backend));
 }
 
 Result<Sheet> LoadSheetBinaryFile(const std::string& path,
-                                  uint64_t max_bytes) {
+                                  uint64_t max_bytes, std::string* backend) {
   auto data = ReadFileLimited(path, max_bytes);
   if (!data.ok()) return data.status();
-  auto sheet = ReadSheetBinary(*data);
+  auto sheet = ReadSheetBinary(*data, backend);
   if (!sheet.ok()) return sheet;
   sheet->set_name(std::filesystem::path(path).stem().string());
   return sheet;

@@ -44,13 +44,20 @@ namespace taco {
 /// length field can never drive an unbounded allocation.
 inline constexpr uint64_t kDefaultMaxSnapshotBytes = 512ull << 20;
 
-/// Serializes `sheet` into the binary snapshot format.
-std::string WriteSheetBinary(const Sheet& sheet);
+/// Serializes `sheet` into the binary snapshot format (version 2).
+/// `backend` — the graph-backend key of the saving session — is recorded
+/// in the meta section so recovery can restore the same implementation;
+/// empty means unrecorded.
+std::string WriteSheetBinary(const Sheet& sheet,
+                             std::string_view backend = {});
 
-/// Parses a binary snapshot. Fails with ParseError when `data` is not a
-/// binary snapshot at all (bad magic), Unsupported for a future version,
-/// and DataLoss for truncation or CRC mismatch.
-Result<Sheet> ReadSheetBinary(std::string_view data);
+/// Parses a binary snapshot (versions 1 and 2). Fails with ParseError
+/// when `data` is not a binary snapshot at all (bad magic), Unsupported
+/// for a future version, and DataLoss for truncation or CRC mismatch.
+/// A non-null `backend` receives the recorded graph-backend key (empty
+/// for version-1 files, which predate the field).
+Result<Sheet> ReadSheetBinary(std::string_view data,
+                              std::string* backend = nullptr);
 
 /// True when `data` starts with the binary snapshot magic (used for
 /// format mix-up diagnostics; a positive sniff does not imply validity).
@@ -59,9 +66,11 @@ bool LooksLikeBinarySnapshot(std::string_view data);
 /// File variants. Save writes temp-then-rename with fsync so a crash
 /// leaves either the old file or the new one, never a torn mix. Load
 /// refuses files larger than `max_bytes` with DataLoss.
-Status SaveSheetBinaryFile(const Sheet& sheet, const std::string& path);
+Status SaveSheetBinaryFile(const Sheet& sheet, const std::string& path,
+                           std::string_view backend = {});
 Result<Sheet> LoadSheetBinaryFile(
-    const std::string& path, uint64_t max_bytes = kDefaultMaxSnapshotBytes);
+    const std::string& path, uint64_t max_bytes = kDefaultMaxSnapshotBytes,
+    std::string* backend = nullptr);
 
 /// Shared helper for the storage layer: writes `data` to `path` via a
 /// unique temp file + rename, fsyncing the file (and best-effort the

@@ -22,14 +22,18 @@ class TextStorageEngine : public StorageEngine {
     return ReadSheetText(data);
   }
 
-  Status SaveSnapshot(const Sheet& sheet,
-                      const std::string& path) const override {
+  Status SaveSnapshot(const Sheet& sheet, const std::string& path,
+                      const SnapshotMeta& /*meta*/) const override {
     // WriteFileAtomic rather than SaveSheetFile: same temp-then-rename,
-    // plus the fsync the durability contract requires.
+    // plus the fsync the durability contract requires. The text format
+    // carries no meta — its byte layout is the compatibility contract —
+    // so the backend key rides the WAL header instead.
     return WriteFileAtomic(path, WriteSheetText(sheet));
   }
 
-  Result<Sheet> LoadSnapshot(const std::string& path) const override {
+  Result<Sheet> LoadSnapshot(const std::string& path,
+                             SnapshotMeta* meta) const override {
+    if (meta != nullptr) *meta = {};
     auto data = ReadFileLimited(path, options_.max_load_bytes);
     if (!data.ok()) return data.status();
     if (LooksLikeBinarySnapshot(*data)) {
@@ -61,13 +65,16 @@ class BinaryStorageEngine : public StorageEngine {
     return ReadSheetBinary(data);
   }
 
-  Status SaveSnapshot(const Sheet& sheet,
-                      const std::string& path) const override {
-    return SaveSheetBinaryFile(sheet, path);
+  Status SaveSnapshot(const Sheet& sheet, const std::string& path,
+                      const SnapshotMeta& meta) const override {
+    return SaveSheetBinaryFile(sheet, path, meta.backend);
   }
 
-  Result<Sheet> LoadSnapshot(const std::string& path) const override {
-    return LoadSheetBinaryFile(path, options_.max_load_bytes);
+  Result<Sheet> LoadSnapshot(const std::string& path,
+                             SnapshotMeta* meta) const override {
+    if (meta != nullptr) *meta = {};
+    return LoadSheetBinaryFile(path, options_.max_load_bytes,
+                               meta != nullptr ? &meta->backend : nullptr);
   }
 
  private:

@@ -34,6 +34,18 @@ struct StorageOptions {
   uint64_t max_load_bytes = kDefaultMaxSnapshotBytes;
 };
 
+/// Side metadata a snapshot may carry beyond the sheet itself. The
+/// binary format persists it in its meta section; the text format
+/// cannot (its byte layout is the compatibility contract and the
+/// differential oracle), so text loads leave the fields empty and rely
+/// on the WAL header carrying the same facts.
+struct SnapshotMeta {
+  /// The MakeGraphBackend key of the session that saved the snapshot —
+  /// recovery restores the same graph implementation instead of
+  /// silently rebuilding on the default. Empty = unrecorded.
+  std::string backend;
+};
+
 /// One persistence format. Engines are stateless and thread-safe; the
 /// service owns a single instance shared by every session.
 class StorageEngine {
@@ -47,12 +59,16 @@ class StorageEngine {
   virtual std::string Serialize(const Sheet& sheet) const = 0;
   virtual Result<Sheet> Deserialize(std::string_view data) const = 0;
 
-  /// Atomic, durable snapshot write (temp + fsync + rename).
-  virtual Status SaveSnapshot(const Sheet& sheet,
-                              const std::string& path) const = 0;
+  /// Atomic, durable snapshot write (temp + fsync + rename). Engines
+  /// that can persist `meta` do; the text engine ignores it.
+  virtual Status SaveSnapshot(const Sheet& sheet, const std::string& path,
+                              const SnapshotMeta& meta = {}) const = 0;
 
   /// Bounded snapshot read; the sheet is named after the file stem.
-  virtual Result<Sheet> LoadSnapshot(const std::string& path) const = 0;
+  /// A non-null `meta` receives whatever the file recorded (fields the
+  /// format cannot carry come back empty).
+  virtual Result<Sheet> LoadSnapshot(const std::string& path,
+                                     SnapshotMeta* meta = nullptr) const = 0;
 };
 
 /// Creates the engine selected by `kind` ("text" or "binary",

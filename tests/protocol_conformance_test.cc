@@ -161,6 +161,65 @@ TEST(ProtocolConformanceTest, EditReadVerbs) {
        }});
 }
 
+TEST(ProtocolConformanceTest, GetRangeVerb) {
+  // The one multi-line data response: both transports must frame the
+  // header + VALUE lines + terminator identically, including the
+  // version=0 never-published form, the all-blank form (header + END
+  // only), and every error shape.
+  ExpectConformance(
+      {.name = "getrange",
+       .commands = {
+           "OPEN wb",
+           "GETRANGE wb A1:B2",  // Never published: version=0, no rows.
+           "SET wb A1 1",
+           "SET wb A3 2.5",
+           "FORMULA wb B2 A1*4",
+           "GETRANGE wb A1:B3",  // Values in column-major order.
+           "GETRANGE wb A1",     // Single-cell range.
+           "GETRANGE wb D8:E9",  // All blank: header + END only.
+           "GETRANGE wb",        // Usage error.
+           "GETRANGE nosuch A1:B2",
+           "GETRANGE wb A1:D20000",  // Over the area cap.
+           "STATS wb",
+       }});
+}
+
+TEST(ProtocolConformanceTest, PipelinedReadsComeBackInOrderAndFramed) {
+  // A client may write a burst of commands before reading anything.
+  // Responses must come back in submission order with the multi-line
+  // GETRANGE frames intact — a framing bug would misattribute the
+  // VALUE lines of one response to the next command's reply.
+  WorkbookService service;
+  SocketServer server(&service);
+  ASSERT_TRUE(server.Start().ok());
+  SocketClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  for (const char* setup : {"OPEN wb", "SET wb A1 5", "FORMULA wb B1 A1*2"}) {
+    auto response = client.Call(setup);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+  }
+  const std::vector<std::string> burst = {
+      "GET wb A1", "GETRANGE wb A1:B1", "GET wb B1",
+      "GETRANGE wb A9:B9", "GET wb Z1"};
+  for (const std::string& command : burst) {
+    ASSERT_TRUE(client.SendCommand(command).ok());
+  }
+  const std::vector<std::string> expected = {
+      "VALUE A1 5",
+      "OK range A1:B1 version=2 cells=2\nVALUE A1 5\nVALUE B1 10\nEND",
+      "VALUE B1 10",
+      "OK range A9:B9 version=2 cells=0\nEND",
+      "VALUE Z1 ",
+  };
+  for (size_t i = 0; i < expected.size(); ++i) {
+    auto response = client.ReadResponse();
+    ASSERT_TRUE(response.ok())
+        << "response " << i << ": " << response.status().ToString();
+    EXPECT_EQ(*response, expected[i]) << "response " << i;
+  }
+  server.Shutdown();
+}
+
 TEST(ProtocolConformanceTest, BatchVerb) {
   ExpectConformance(
       {.name = "batch",

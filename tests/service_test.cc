@@ -474,5 +474,73 @@ TEST_F(ProtocolTest, SaveCloseLoadThroughProtocol) {
   std::remove(path.c_str());
 }
 
+TEST_F(ProtocolTest, GetRangeValidatesUsageBeforeTouchingSessions) {
+  EXPECT_TRUE(Run("GETRANGE").starts_with("ERR InvalidArgument: usage:"));
+  EXPECT_TRUE(Run("GETRANGE book").starts_with("ERR InvalidArgument: usage:"));
+  // The range parses before the session resolves, so a bad range on a
+  // missing session is a parse error, not NotFound.
+  EXPECT_TRUE(Run("GETRANGE ghost NOPE!").starts_with("ERR"));
+  EXPECT_TRUE(Run("GETRANGE ghost A1:B2").starts_with("ERR NotFound:"));
+  // An in-bounds but oversized area is refused up front: the response
+  // would otherwise carry up to Area() VALUE lines.
+  Run("OPEN book");
+  std::string oversized = Run("GETRANGE book A1:D20000");
+  EXPECT_TRUE(oversized.starts_with("ERR InvalidArgument:")) << oversized;
+  EXPECT_NE(oversized.find("over the GETRANGE limit"), std::string::npos)
+      << oversized;
+  // Exactly at the cap is fine: 65536 = 1 column x 65536 rows.
+  std::string at_cap = Run("GETRANGE book A1:A65536");
+  EXPECT_TRUE(at_cap.starts_with("OK range A1:A65536")) << at_cap;
+}
+
+TEST_F(ProtocolTest, GetRangeFramesHeaderValuesAndTerminator) {
+  Run("OPEN book");
+  Run("SET book A1 1");
+  Run("SET book A3 2");
+  Run("FORMULA book B2 A1+A3");
+  std::string response = Run("GETRANGE book A1:B3");
+  // Header carries the published version and the non-blank cell count;
+  // VALUE lines come in EnumerateCells (column-major) order; the lone
+  // terminator closes the frame for SocketClient.
+  EXPECT_TRUE(response.starts_with("OK range A1:B3 version=3 cells=3"))
+      << response;
+  EXPECT_EQ(response,
+            "OK range A1:B3 version=3 cells=3\n"
+            "VALUE A1 1\n"
+            "VALUE A3 2\n"
+            "VALUE B2 3\n"
+            "END");
+  // The framing predicate must keep reading GETRANGE bodies.
+  EXPECT_TRUE(CommandProcessor::ResponseContinues(
+      "OK range A1:B3 version=3 cells=3"));
+  EXPECT_FALSE(CommandProcessor::ResponseContinues("OK session=book ..."));
+  EXPECT_FALSE(CommandProcessor::ResponseContinues("VALUE A1 1"));
+}
+
+TEST_F(ProtocolTest, GetRangeOnNeverPublishedSessionReportsVersionZero) {
+  Run("OPEN book");  // No mutation yet: nothing has been published.
+  EXPECT_EQ(Run("GETRANGE book A1:B2"),
+            "OK range A1:B2 version=0 cells=0\nEND");
+  // The first mutation publishes version 1 and the header reflects it.
+  Run("SET book A1 7");
+  EXPECT_EQ(Run("GETRANGE book A1:B2"),
+            "OK range A1:B2 version=1 cells=1\nVALUE A1 7\nEND");
+}
+
+TEST_F(ProtocolTest, StatsReportVersionAndReadPathCounters) {
+  Run("OPEN book");
+  Run("SET book A1 1");
+  Run("SET book A2 2");
+  Run("GET book A1");
+  Run("GETRANGE book A1:A2");
+  std::string stats = Run("STATS book");
+  EXPECT_NE(stats.find(" version=2"), std::string::npos) << stats;
+  EXPECT_NE(stats.find(" versions=2"), std::string::npos) << stats;
+  // Both reads ran after the first publish, so both went versioned.
+  EXPECT_NE(stats.find(" reads_versioned=2"), std::string::npos) << stats;
+  EXPECT_NE(stats.find(" reads_locked=0"), std::string::npos) << stats;
+  EXPECT_NE(stats.find(" wal_failed=0"), std::string::npos) << stats;
+}
+
 }  // namespace
 }  // namespace taco

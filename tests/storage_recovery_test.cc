@@ -411,6 +411,173 @@ TEST(StorageRecoveryMiscTest, LoadResetsAWalRecordedAgainstAnotherFile) {
   }
 }
 
+TEST(StorageRecoveryMiscTest, KillPointRecoveryKeepsTheNoCompBackend) {
+  // The backend key must survive ANY kill point, not just a clean
+  // shutdown: the WAL header is written atomically at creation, so even
+  // a log truncated to the header — or torn mid-record — still names
+  // the backend, and recovery rebuilds a NoComp session holding exactly
+  // the acknowledged prefix.
+  constexpr int kOps = 5;
+  // Header size of a log whose header is {no snapshot, "nocomp"}.
+  uint64_t header_bytes = 0;
+  {
+    ScratchDir probe_dir("taco_nocomp_probe");
+    auto probe = WriteAheadLog::Create(probe_dir.File("probe.wal"),
+                                       WalOptions{}, {"", "nocomp"});
+    ASSERT_TRUE(probe.ok());
+    header_bytes = (*probe)->bytes();
+  }
+  for (int cut_at = 0; cut_at <= kOps; ++cut_at) {
+    for (bool tear : {false, true}) {
+      // A header is written whole via temp+rename — no kill point can
+      // tear it — so the smallest legal cut is the full header.
+      if (tear && cut_at == 0) continue;
+      ScratchDir dir("taco_nocomp_kill");
+      std::vector<uint64_t> boundaries{header_bytes};
+      std::string wal_file;
+      {
+        WorkbookService service(StorageOptionsFor("text", dir.File("wal")));
+        auto session = *service.Open("book", "nocomp");
+        wal_file = service.WalPathFor("book");
+        for (int i = 1; i <= kOps; ++i) {
+          ASSERT_TRUE(session->SetNumber(Cell{1, i}, i).ok());
+          boundaries.push_back(session->Stats().wal_bytes);
+        }
+      }  // Crash.
+      // A torn cut loses the (never fully written) record it bites into.
+      uint64_t cut = boundaries[cut_at] - (tear ? 1 : 0);
+      int surviving = tear ? std::max(cut_at - 1, 0) : cut_at;
+      std::filesystem::resize_file(wal_file, cut);
+
+      WorkbookService service(StorageOptionsFor("text", dir.File("wal")));
+      auto recovered = service.Open("book");  // No backend requested.
+      ASSERT_TRUE(recovered.ok())
+          << recovered.status().ToString() << " cut=" << cut;
+      EXPECT_EQ((*recovered)->Stats().backend, "NoComp")
+          << "cut=" << cut << " tear=" << tear;
+      EXPECT_EQ((*recovered)->backend_key(), "nocomp");
+      EXPECT_EQ((*recovered)->Stats().recovered_records,
+                uint64_t(surviving));
+      for (int i = 1; i <= kOps; ++i) {
+        EXPECT_EQ((*recovered)->GetValue(Cell{1, i}),
+                  i <= surviving ? Value::Number(i) : Value::Blank())
+            << "cut=" << cut << " row " << i;
+      }
+    }
+  }
+}
+
+TEST(StorageRecoveryMiscTest, LoadRestoresTheBackendFromTheWalHeader) {
+  // LOAD of the very file the crashed session's WAL extends is recovery:
+  // with no explicit backend the WAL header's key wins, and the logged
+  // tail replays on top of the snapshot.
+  ScratchDir dir("taco_load_backend");
+  const std::string snap = dir.File("book.snap");
+  {
+    WorkbookService service(StorageOptionsFor("text", dir.File("wal")));
+    auto session = *service.Open("book", "nocomp");
+    ASSERT_TRUE(session->SetNumber(Cell{1, 1}, 1).ok());
+    ASSERT_TRUE(session->Checkpoint(snap).ok());
+    ASSERT_TRUE(session->SetNumber(Cell{1, 2}, 2).ok());  // In the WAL.
+  }  // Crash.
+  WorkbookService service(StorageOptionsFor("text", dir.File("wal")));
+  auto loaded = service.Load("book", snap);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->Stats().backend, "NoComp");
+  EXPECT_EQ((*loaded)->GetValue(Cell{1, 1}), Value::Number(1));
+  EXPECT_EQ((*loaded)->GetValue(Cell{1, 2}), Value::Number(2));
+  EXPECT_EQ((*loaded)->Stats().recovered_records, 1u);
+  // An explicit caller choice still outranks the header.
+  ASSERT_TRUE(service.Close("book").ok());
+  auto explicit_load = service.Load("book", snap, "cellgraph");
+  ASSERT_TRUE(explicit_load.ok()) << explicit_load.status().ToString();
+  EXPECT_EQ((*explicit_load)->Stats().backend, "CellGraph");
+}
+
+TEST(StorageRecoveryMiscTest, BinarySnapshotRestoresTheBackendWithoutAWal) {
+  // With the WAL disabled entirely, the binary snapshot's meta section
+  // is the only place the key survives — a later LOAD with no explicit
+  // backend must come back on it, not on the service default.
+  ScratchDir dir("taco_snapmeta_backend");
+  const std::string snap = dir.File("book.bsnap");
+  {
+    WorkbookService service(StorageOptionsFor("binary", ""));
+    auto session = *service.Open("book", "nocomp");
+    ASSERT_TRUE(session->SetNumber(Cell{1, 1}, 5).ok());
+    ASSERT_TRUE(session->Save(snap).ok());
+  }
+  WorkbookService service(StorageOptionsFor("binary", ""));
+  auto loaded = service.Load("copy", snap);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->Stats().backend, "NoComp");
+  EXPECT_EQ((*loaded)->GetValue(Cell{1, 1}), Value::Number(5));
+  // Explicit choice outranks the snapshot meta.
+  auto chosen = service.Load("copy2", snap, "cellgraph");
+  ASSERT_TRUE(chosen.ok()) << chosen.status().ToString();
+  EXPECT_EQ((*chosen)->Stats().backend, "CellGraph");
+}
+
+TEST(StorageRecoveryMiscTest, WalFailureLatchesUntilACheckpointSucceeds) {
+  // An append failure leaves the log missing an acknowledged edit, so
+  // the session must (a) report the failed mutation as an error even
+  // though it applied in memory, (b) refuse further mutations with
+  // DataLoss — accepting them would widen the unlogged gap silently —
+  // and (c) clear the latch only once a CHECKPOINT folds the unlogged
+  // state into a durable snapshot.
+  ScratchDir dir("taco_wal_latch");
+  const std::string wal_dir = dir.File("wal");
+  WorkbookService service(StorageOptionsFor("text", wal_dir));
+  CommandProcessor processor(&service);
+  EXPECT_EQ(processor.Execute("OPEN book"), "OK opened book backend=TACO");
+
+  // Break WAL creation: replace the (still empty) wal directory with a
+  // plain file, so the lazy Create on first append cannot open a path
+  // under it. (chmod tricks don't inject here: tests may run as root.)
+  std::filesystem::remove_all(wal_dir);
+  std::ofstream(wal_dir).put('x');
+
+  std::string failed = processor.Execute("SET book A1 7");
+  EXPECT_TRUE(failed.starts_with("ERR")) << failed;
+  EXPECT_NE(failed.find("not logged"), std::string::npos) << failed;
+  // The edit DID apply in memory, and readers see it: the post-commit
+  // version published before the error went out.
+  EXPECT_EQ(processor.Execute("GET book A1"), "VALUE A1 7");
+  std::string stats = processor.Execute("STATS book");
+  EXPECT_NE(stats.find(" wal_failed=1"), std::string::npos) << stats;
+
+  // The latch refuses everything mutating, single edits and batches.
+  std::string refused = processor.Execute("SET book A2 8");
+  EXPECT_TRUE(refused.starts_with("ERR DataLoss:")) << refused;
+  EXPECT_NE(refused.find("CHECKPOINT"), std::string::npos) << refused;
+  EXPECT_TRUE(processor.Execute("BATCH book 1\nSET A2 8")
+                  .starts_with("ERR DataLoss:"));
+  EXPECT_EQ(processor.Execute("GET book A2"), "VALUE A2 ");
+
+  // A CHECKPOINT that still cannot write its WAL must keep the latch.
+  std::string snap = dir.File("book.snap");
+  EXPECT_TRUE(processor.Execute("CHECKPOINT book " + snap)
+                  .starts_with("ERR"));
+  EXPECT_NE(processor.Execute("STATS book").find(" wal_failed=1"),
+            std::string::npos);
+
+  // Restore the directory: CHECKPOINT now snapshots the full in-memory
+  // state (including the unlogged A1) and re-establishes durability.
+  std::filesystem::remove(wal_dir);
+  std::filesystem::create_directories(wal_dir);
+  EXPECT_TRUE(processor.Execute("CHECKPOINT book " + snap)
+                  .starts_with("OK checkpoint book"));
+  EXPECT_NE(processor.Execute("STATS book").find(" wal_failed=0"),
+            std::string::npos);
+  EXPECT_TRUE(processor.Execute("SET book A2 8").starts_with("OK set"));
+
+  // Crash + recover: snapshot carries A1, the fresh log carries A2.
+  WorkbookService reopened(StorageOptionsFor("text", wal_dir));
+  auto recovered = reopened.Open("book");
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ((*recovered)->GetValue(Cell{1, 1}), Value::Number(7));
+  EXPECT_EQ((*recovered)->GetValue(Cell{1, 2}), Value::Number(8));
+}
+
 // ---------------------------------------------------------------------------
 // Differential backend equivalence through the protocol
 // ---------------------------------------------------------------------------

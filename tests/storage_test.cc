@@ -23,6 +23,7 @@
 #include "graph_test_util.h"
 #include "sheet/textio.h"
 #include "store/bytes.h"
+#include "store/checksum.h"
 #include "store/snapshot.h"
 #include "store/storage_engine.h"
 #include "store/wal.h"
@@ -200,6 +201,71 @@ TEST(BinarySnapshotTest, FuzzRoundTripAndCorruption) {
                            << " by 0x" << std::hex << int(delta)
                            << " still loaded";
   }
+}
+
+TEST(BinarySnapshotTest, RecordsAndReturnsTheBackendKey) {
+  Sheet sheet = DemoSheet();
+  std::string blob = WriteSheetBinary(sheet, "nocomp");
+  std::string backend = "poison";  // Must be overwritten, not appended.
+  auto loaded = ReadSheetBinary(blob, &backend);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(backend, "nocomp");
+  EXPECT_EQ(Canon(*loaded), Canon(sheet));
+  // Unrecorded stays empty, and passing no out-param is fine.
+  backend = "poison";
+  ASSERT_TRUE(ReadSheetBinary(WriteSheetBinary(sheet), &backend).ok());
+  EXPECT_TRUE(backend.empty());
+  ASSERT_TRUE(ReadSheetBinary(blob).ok());
+  // The file variants carry the key through disk too.
+  std::string path = TempPath("taco_snapshot_backend.bsheet");
+  ASSERT_TRUE(SaveSheetBinaryFile(sheet, path, "cellgraph").ok());
+  backend.clear();
+  auto from_disk =
+      LoadSheetBinaryFile(path, kDefaultMaxSnapshotBytes, &backend);
+  ASSERT_TRUE(from_disk.ok()) << from_disk.status().ToString();
+  EXPECT_EQ(backend, "cellgraph");
+  std::remove(path.c_str());
+}
+
+TEST(BinarySnapshotTest, VersionOneFilesReadWithAnEmptyBackend) {
+  // Version 1 predates the backend field: its meta section ends after
+  // the formula-cell count. Synthesize one by surgery on a v2 blob with
+  // an EMPTY backend — drop the trailing empty string (a lone u32 zero
+  // length prefix) from the meta payload, patch the version, and
+  // recompute both CRCs. The reader must accept it and report no
+  // backend rather than refusing old files.
+  Sheet sheet = DemoSheet();
+  std::string blob = WriteSheetBinary(sheet);
+
+  auto put_u32 = [&](size_t at, uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      blob[at + i] = static_cast<char>((v >> (8 * i)) & 0xFFu);
+    }
+  };
+  auto get_u64 = [&](size_t at) {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= uint64_t(static_cast<unsigned char>(blob[at + i])) << (8 * i);
+    }
+    return v;
+  };
+  // Header: magic[0,4) version[4,8) sections[8,12) crc[12,16).
+  put_u32(4, 1);
+  put_u32(12, Crc32(std::string_view(blob).substr(0, 12)));
+  // Meta section (id 1) header at 16: id[16,20) len[20,28) crc[28,32),
+  // payload right after. Shrink it by the 4-byte empty-string suffix.
+  uint64_t meta_len = get_u64(20);
+  ASSERT_GE(meta_len, 4u);
+  blob.erase(32 + size_t(meta_len) - 4, 4);
+  put_u32(20, static_cast<uint32_t>(meta_len - 4));
+  put_u32(24, 0);  // High half of the u64 length.
+  put_u32(28, Crc32(std::string_view(blob).substr(32, meta_len - 4)));
+
+  std::string backend = "poison";
+  auto loaded = ReadSheetBinary(blob, &backend);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(backend.empty());
+  EXPECT_EQ(Canon(*loaded), Canon(sheet));
 }
 
 // ---------------------------------------------------------------------------
