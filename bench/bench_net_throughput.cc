@@ -157,5 +157,21 @@ int main() {
               static_cast<unsigned long long>(total_commands),
               FormatMs(wall_ms).c_str(),
               seconds > 0 ? double(total_commands) / seconds : 0.0, clients);
+
+  std::vector<std::pair<std::string, std::string>> labels = {
+      {"clients", std::to_string(clients)},
+      {"commands_per_client", std::to_string(commands)}};
+  ReportJsonMetric("bench_net_throughput",
+                   {"commands_per_sec",
+                    seconds > 0 ? double(total_commands) / seconds : 0.0,
+                    "1/s", labels});
+  ReportJsonMetric("bench_net_throughput",
+                   {"errors", double(total_errors), "", labels});
+  for (double p : {50.0, 95.0, 99.0, 100.0}) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "rtt_p%.0f_ms", p);
+    ReportJsonMetric("bench_net_throughput",
+                     {name, Percentile(all_latency, p), "ms", labels});
+  }
   return total_errors == 0 ? 0 : 1;
 }

@@ -188,6 +188,22 @@ int main() {
     double speedup = locked.reads_per_sec > 0
                          ? mvcc.reads_per_sec / locked.reads_per_sec
                          : 0;
+    std::string r = std::to_string(readers);
+    for (const auto& [path, run] : {std::pair<const char*, RunResult&>{
+                                        "locked", locked},
+                                    {"mvcc", mvcc}}) {
+      ReportJsonMetric("bench_read_throughput",
+                       {"reads_per_sec", run.reads_per_sec, "1/s",
+                        {{"readers", r}, {"path", path}}});
+      ReportJsonMetric("bench_read_throughput",
+                       {"writes_per_sec", run.writes_per_sec, "1/s",
+                        {{"readers", r}, {"path", path}}});
+      ReportJsonMetric("bench_read_throughput",
+                       {"read_max_ms", run.read_max_ms, "ms",
+                        {{"readers", r}, {"path", path}}});
+    }
+    ReportJsonMetric("bench_read_throughput",
+                     {"mvcc_speedup", speedup, "", {{"readers", r}}});
     char speedup_str[32];
     std::snprintf(speedup_str, sizeof(speedup_str), "%.1fx", speedup);
     table.AddRow({std::to_string(readers) + "R",

@@ -115,6 +115,16 @@ void RunCorpus(const CorpusProfile& profile) {
   row("text", text_numbers);
   row("binary", binary_numbers);
   table.Print();
+  for (const auto& [backend, n] :
+       {std::pair<const char*, const BackendNumbers&>{"text", text_numbers},
+        {"binary", binary_numbers}}) {
+    std::vector<std::pair<std::string, std::string>> labels = {
+        {"corpus", profile.name}, {"backend", backend}};
+    ReportJsonMetric("bench_storage", {"save_ms", n.save_ms, "ms", labels});
+    ReportJsonMetric("bench_storage", {"load_ms", n.load_ms, "ms", labels});
+    ReportJsonMetric("bench_storage",
+                     {"snapshot_bytes", double(n.bytes), "bytes", labels});
+  }
   if (binary_numbers.load_ms > 0) {
     std::printf(
         "  binary load speedup: %.2fx  (size: %.2fx of text)\n",
@@ -139,10 +149,14 @@ int main() {
 
   int records = ActiveBenchProfile() == BenchProfile::kSmoke ? 2000 : 20000;
   std::printf("\nWAL appends (%d single-edit records):\n", records);
-  std::printf("  fsync on : %10.0f records/s\n",
-              MeasureWalAppends(true, records));
-  std::printf("  fsync off: %10.0f records/s\n",
-              MeasureWalAppends(false, records));
+  double sync_rate = MeasureWalAppends(true, records);
+  double nosync_rate = MeasureWalAppends(false, records);
+  std::printf("  fsync on : %10.0f records/s\n", sync_rate);
+  std::printf("  fsync off: %10.0f records/s\n", nosync_rate);
+  ReportJsonMetric("bench_storage", {"wal_appends_per_sec", sync_rate, "1/s",
+                                     {{"fsync", "on"}}});
+  ReportJsonMetric("bench_storage", {"wal_appends_per_sec", nosync_rate,
+                                     "1/s", {{"fsync", "off"}}});
   std::printf(
       "\nShape check: binary loads >= 2x faster than text at every\n"
       "profile; fsync dominates WAL append cost (the durability price).\n");

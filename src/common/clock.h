@@ -4,6 +4,7 @@
 #define TACO_COMMON_CLOCK_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace taco {
 
@@ -15,6 +16,16 @@ inline SteadyTime SteadyNow() { return std::chrono::steady_clock::now(); }
 inline double MsSince(SteadyTime start) {
   return std::chrono::duration<double, std::milli>(SteadyNow() - start)
       .count();
+}
+
+/// Integer nanoseconds elapsed since `start`. Latency metering keeps ns
+/// end-to-end: a double-milliseconds hop silently erases the
+/// sub-millisecond structure the read path lives in.
+inline uint64_t NsSince(SteadyTime start) {
+  auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(SteadyNow() -
+                                                                 start)
+                .count();
+  return ns > 0 ? static_cast<uint64_t>(ns) : 0;
 }
 
 }  // namespace taco

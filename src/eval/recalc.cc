@@ -61,7 +61,8 @@ RecalcResult RecalcEngine::RecalculateMerged(std::span<const Range> changed) {
     dirty_union.insert(dirty_union.end(), dirty.begin(), dirty.end());
   }
   result.dirty = DisjointifyRanges(dirty_union);
-  result.find_dependents_ms = MsSince(start);
+  result.find_dependents_ns = NsSince(start);
+  result.find_dependents_ms = double(result.find_dependents_ns) / 1e6;
 
   for (const Range& seed : seeds) evaluator_.Invalidate(seed);
   for (const Range& range : result.dirty) {
@@ -75,6 +76,7 @@ RecalcResult RecalcEngine::RecalculateMerged(std::span<const Range> changed) {
     result.recalculated = outcome.recalculated;
     result.waves = outcome.waves;
     result.max_wave_cells = outcome.max_wave_cells;
+    result.barrier_wait_ns = outcome.barrier_wait_ns;
   } else {
     // Re-evaluate eagerly; the recursive evaluator resolves ordering and
     // the shared cache makes each formula compute once. The dirty ranges
@@ -88,7 +90,8 @@ RecalcResult RecalcEngine::RecalculateMerged(std::span<const Range> changed) {
       }
     }
   }
-  result.eval_ms = MsSince(eval_start);
+  result.eval_ns = NsSince(eval_start);
+  result.eval_ms = double(result.eval_ns) / 1e6;
   return result;
 }
 

@@ -31,6 +31,13 @@ struct RecalcResult {
   uint64_t edits_applied = 0;      ///< Sheet/graph mutations performed.
   double find_dependents_ms = 0;   ///< Time spent in FindDependents.
   double eval_ms = 0;              ///< Time spent re-evaluating formulas.
+  /// The same two phases in integer nanoseconds (the ms fields are
+  /// derived from these). Trace spans and histograms keep ns end-to-end;
+  /// a FindDependents probe on a small sheet runs in single-digit µs,
+  /// which a double-ms aggregate quietly rounds into noise.
+  uint64_t find_dependents_ns = 0;
+  uint64_t eval_ns = 0;
+  uint64_t barrier_wait_ns = 0;    ///< Wave-barrier wait (parallel only).
   uint64_t waves = 0;              ///< Topological waves executed (0 = serial).
   uint64_t max_wave_cells = 0;     ///< Largest wave, in formula cells.
 };
@@ -57,6 +64,9 @@ class RecalcExecutor {
     uint64_t recalculated = 0;    ///< Formula cells evaluated.
     uint64_t waves = 0;           ///< Topological waves executed.
     uint64_t max_wave_cells = 0;  ///< Largest wave, in formula cells.
+    uint64_t barrier_wait_ns = 0; ///< Time the coordinator spent blocked
+                                  ///  on wave barriers (contention signal:
+                                  ///  eval_ns minus this is compute).
   };
 
   virtual ~RecalcExecutor() = default;

@@ -15,6 +15,7 @@
 #include <utility>
 
 #include "common/ascii.h"
+#include "common/clock.h"
 #include "service/metrics.h"
 
 namespace taco {
@@ -269,8 +270,83 @@ void SocketServer::AcceptLoop() {
   }
 }
 
+void SocketServer::ServeHttp(Connection* conn) {
+  // Minimal, deliberately boring HTTP/1.0-style serving: one request
+  // head, one response, close. A scraper opens a fresh connection per
+  // scrape anyway, and single-shot keeps every hard HTTP problem
+  // (pipelining, chunking, keep-alive timers) out of the daemon.
+  std::string head;
+  char chunk[4096];
+  bool complete = false;
+  while (!complete && !shutdown_.load()) {
+    int timeout =
+        options_.idle_timeout_ms > 0 ? options_.idle_timeout_ms : -1;
+    WaitResult wait = WaitFor(conn->fd, POLLIN, wake_read_, timeout);
+    if (wait != WaitResult::kReady) return;
+    ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      return;
+    }
+    if (n == 0) return;  // EOF before a complete request head.
+    head.append(chunk, static_cast<size_t>(n));
+    complete = head.find("\r\n\r\n") != std::string::npos ||
+               head.find("\n\n") != std::string::npos;
+    if (!complete && head.size() > options_.max_line_bytes) {
+      return;  // A request head this large is not a scraper.
+    }
+  }
+  if (!complete) return;
+
+  std::string_view request = head;
+  std::string_view line = request.substr(0, request.find('\n'));
+  while (!line.empty() && (line.back() == '\r')) line.remove_suffix(1);
+  size_t sp1 = line.find(' ');
+  size_t sp2 = line.rfind(' ');
+  std::string_view method =
+      sp1 == std::string_view::npos ? line : line.substr(0, sp1);
+  std::string_view target = (sp1 == std::string_view::npos || sp2 <= sp1)
+                                ? std::string_view{}
+                                : line.substr(sp1 + 1, sp2 - sp1 - 1);
+
+  std::string status_line;
+  std::string body;
+  if (method != "GET") {
+    status_line = "HTTP/1.1 405 Method Not Allowed";
+    body = "only GET is served\n";
+  } else if (target == "/metrics" || target.substr(0, 9) == "/metrics?") {
+    auto start = SteadyNow();
+    body = options_.http_get_metrics();
+    status_line = "HTTP/1.1 200 OK";
+    // An HTTP scrape is a METRICS op by another transport; it lands in
+    // the same histogram row the protocol verb does.
+    service_->metrics().Record(ServiceOp::kMetrics, NsSince(start),
+                               /*ok=*/true);
+  } else {
+    status_line = "HTTP/1.1 404 Not Found";
+    body = "try /metrics\n";
+  }
+  std::string response = status_line +
+                         "\r\nContent-Type: text/plain; version=0.0.4; "
+                         "charset=utf-8\r\nContent-Length: " +
+                         std::to_string(body.size()) +
+                         "\r\nConnection: close\r\n\r\n" + body;
+  WriteAll(conn->fd, response, wake_read_);
+}
+
 void SocketServer::ServeConnection(Connection* conn) {
   TransportCounters& counters = service_->metrics().transport();
+  if (options_.http_get_metrics) {
+    ServeHttp(conn);
+    ::close(conn->fd);
+    conn->fd = -1;
+    ConnectionClosed();
+    Reap(/*all=*/false);
+    conn->done.store(true);
+    return;
+  }
   SocketResponseWriter writer(conn->fd, wake_read_);
 
   std::string inbuf;     // Raw bytes not yet split into lines.

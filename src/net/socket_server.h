@@ -40,6 +40,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -60,6 +61,15 @@ struct SocketServerOptions {
   int max_clients = 64;         ///< Concurrent connections; extras refused.
   int idle_timeout_ms = 0;      ///< Close silent connections; 0 = never.
   size_t max_line_bytes = 64 * 1024;  ///< Per-line bound (see above).
+
+  /// When set, this listener speaks minimal HTTP instead of the line
+  /// protocol: `GET /metrics` returns the callback's bytes as a 200
+  /// (text/plain; version=0.0.4 — the Prometheus exposition content
+  /// type), anything else is a 404/405, and every connection serves one
+  /// request then closes. taco_serve's --metrics-port uses this so a
+  /// stock Prometheus can scrape the daemon with zero new threading
+  /// machinery — the accept/drain/shutdown model is untouched.
+  std::function<std::string()> http_get_metrics;
 };
 
 /// The network daemon in front of one WorkbookService. `service` must
@@ -99,6 +109,10 @@ class SocketServer {
 
   void AcceptLoop();
   void ServeConnection(Connection* conn);
+  /// One-request HTTP mode (options_.http_get_metrics set): reads one
+  /// request head, answers, closes. Uses the same wake pipe / idle
+  /// timeout / WriteAll machinery as the line protocol.
+  void ServeHttp(Connection* conn);
   /// Joins finished connection threads; with `all`, blocks until every
   /// connection (live ones were woken by Shutdown) has been joined.
   void Reap(bool all);

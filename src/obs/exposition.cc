@@ -1,0 +1,138 @@
+#include "obs/exposition.h"
+
+#include <cassert>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace taco::obs {
+namespace {
+
+bool NameStartChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+
+bool NameChar(char c) { return NameStartChar(c) || (c >= '0' && c <= '9'); }
+
+/// Renders a sample value: integers exactly (uint64 counts round-trip),
+/// everything else with enough digits to preserve microsecond structure
+/// in seconds-unit values.
+std::string FormatValue(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+    return buffer;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+}  // namespace
+
+bool IsValidMetricName(std::string_view name) {
+  if (name.empty() || !NameStartChar(name[0])) return false;
+  for (char c : name) {
+    if (!NameChar(c)) return false;
+  }
+  return true;
+}
+
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void PromBuilder::Family(std::string_view name, std::string_view help,
+                         std::string_view type) {
+  assert(IsValidMetricName(name));
+  out_ += "# HELP ";
+  out_.append(name);
+  out_ += ' ';
+  // HELP text escapes backslash and newline (but not quotes).
+  for (char c : help) {
+    if (c == '\\') {
+      out_ += "\\\\";
+    } else if (c == '\n') {
+      out_ += "\\n";
+    } else {
+      out_ += c;
+    }
+  }
+  out_ += "\n# TYPE ";
+  out_.append(name);
+  out_ += ' ';
+  out_.append(type);
+  out_ += '\n';
+}
+
+void PromBuilder::Sample(std::string_view name, const Labels& labels,
+                         double value) {
+  assert(IsValidMetricName(name));
+  out_.append(name);
+  if (!labels.empty()) {
+    out_ += '{';
+    bool first = true;
+    for (const auto& [key, val] : labels) {
+      assert(IsValidMetricName(key) && key.find(':') == std::string::npos);
+      if (!first) out_ += ',';
+      first = false;
+      out_ += key;
+      out_ += "=\"";
+      out_ += EscapeLabelValue(val);
+      out_ += '"';
+    }
+    out_ += '}';
+  }
+  out_ += ' ';
+  out_ += FormatValue(value);
+  out_ += '\n';
+}
+
+void PromBuilder::Histogram(std::string_view name, const Labels& labels,
+                            const HistogramSnapshot& snapshot) {
+  const auto& bounds = LatencyHistogram::BucketBoundsNs();
+  Labels with_le = labels;
+  with_le.emplace_back("le", "");
+  uint64_t cumulative = 0;
+  std::string bucket_name(name);
+  bucket_name += "_bucket";
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    cumulative += snapshot.buckets[i];
+    char le[32];
+    // le is the bound in SECONDS. Bounds are exact integer ns, so %.9g
+    // renders them without noise (e.g. 1µs -> "1e-06").
+    std::snprintf(le, sizeof(le), "%.9g",
+                  static_cast<double>(bounds[i]) / 1e9);
+    with_le.back().second = le;
+    Sample(bucket_name, with_le, static_cast<double>(cumulative));
+  }
+  cumulative += snapshot.buckets[LatencyHistogram::kBuckets];
+  with_le.back().second = "+Inf";
+  Sample(bucket_name, with_le, static_cast<double>(cumulative));
+  Sample(std::string(name) + "_sum", labels,
+         static_cast<double>(snapshot.sum_ns) / 1e9);
+  // _count is the bucket total, NOT snapshot.count: a snapshot taken
+  // mid-Record can hold a bucket increment whose count increment is not
+  // visible yet (relaxed reads, by design), and +Inf != _count would
+  // make the scrape internally inconsistent. The bucket sum is what the
+  // buckets actually say; count catches up by the next scrape.
+  Sample(std::string(name) + "_count", labels,
+         static_cast<double>(cumulative));
+}
+
+std::string PromBuilder::Finish() && { return std::move(out_); }
+
+}  // namespace taco::obs

@@ -1,0 +1,71 @@
+// Prometheus text-exposition rendering (text format version 0.0.4).
+//
+// A small append-only builder producing scrape-ready output:
+//
+//   # HELP taco_ops_total Operations served.
+//   # TYPE taco_ops_total counter
+//   taco_ops_total{op="SET"} 41
+//   ...
+//
+// The builder owns the grammar so every caller gets it right by
+// construction: metric/label name charset is validated (debug-asserted),
+// label values are escaped (backslash, quote, newline), each family
+// emits exactly one HELP/TYPE pair before its samples, and histograms
+// render the full convention — cumulative `_bucket{le="..."}` series
+// with an `+Inf` terminal, `_sum`, and `_count` — with `le` in seconds,
+// the Prometheus base unit for time. Duplicate series are a scrape-time
+// error in Prometheus; the conformance test enforces uniqueness over
+// everything the service exposes.
+
+#ifndef TACO_OBS_EXPOSITION_H_
+#define TACO_OBS_EXPOSITION_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.h"
+
+namespace taco::obs {
+
+/// label name -> value pairs, rendered in the order given.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Escapes a label value per the text format: backslash, double quote,
+/// and newline become \\, \", and \n.
+std::string EscapeLabelValue(std::string_view value);
+
+/// True when `name` matches the metric-name grammar
+/// [a-zA-Z_:][a-zA-Z0-9_:]* (label names: same minus ':').
+bool IsValidMetricName(std::string_view name);
+
+class PromBuilder {
+ public:
+  /// Starts a family: emits the HELP and TYPE lines. Every subsequent
+  /// Sample/Histogram call for this family must use the same `name`.
+  /// `type` is "counter", "gauge", "histogram", or "untyped".
+  void Family(std::string_view name, std::string_view help,
+              std::string_view type);
+
+  /// One sample line: name{labels} value. Values render with enough
+  /// precision to round-trip a uint64 count exactly when integral.
+  void Sample(std::string_view name, const Labels& labels, double value);
+
+  /// The full histogram convention for one label set: cumulative
+  /// buckets (le in SECONDS, ns bounds converted), +Inf, _sum, _count.
+  /// Call Family(name, help, "histogram") first.
+  void Histogram(std::string_view name, const Labels& labels,
+                 const HistogramSnapshot& snapshot);
+
+  /// The rendered exposition. Ends with a newline (required: the text
+  /// format terminates every line, including the last).
+  std::string Finish() &&;
+
+ private:
+  std::string out_;
+};
+
+}  // namespace taco::obs
+
+#endif  // TACO_OBS_EXPOSITION_H_

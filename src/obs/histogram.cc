@@ -1,0 +1,123 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace taco::obs {
+namespace {
+
+/// Stable per-thread shard slot, assigned round-robin on first use so
+/// concurrent recorders land on distinct padded shards.
+unsigned ThreadSlot() {
+  static std::atomic<unsigned> next{0};
+  thread_local unsigned slot = next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+std::array<uint64_t, LatencyHistogram::kBuckets> ComputeBounds() {
+  std::array<uint64_t, LatencyHistogram::kBuckets> bounds{};
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    // 5 buckets per decade starting at 1µs. Rounding to integer ns keeps
+    // the bounds exact and monotonic (the ratio is ~1.585, far above
+    // 1 ns granularity everywhere in range).
+    bounds[i] = static_cast<uint64_t>(
+        std::llround(1000.0 * std::pow(10.0, static_cast<double>(i) / 5.0)));
+  }
+  return bounds;
+}
+
+}  // namespace
+
+const std::array<uint64_t, LatencyHistogram::kBuckets>&
+LatencyHistogram::BucketBoundsNs() {
+  static const std::array<uint64_t, kBuckets> bounds = ComputeBounds();
+  return bounds;
+}
+
+size_t LatencyHistogram::BucketIndex(uint64_t ns) {
+  const auto& bounds = BucketBoundsNs();
+  // Branch-light binary search: 40 bounds resolve in 6 comparisons, all
+  // over one read-shared cache-resident array.
+  size_t lo = 0;
+  size_t hi = bounds.size();  // == kBuckets, the overflow index.
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (ns < bounds[mid]) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+LatencyHistogram::Shard& LatencyHistogram::ShardForThisThread() {
+  return shards_[ThreadSlot() % kShards];
+}
+
+void LatencyHistogram::Record(uint64_t ns) {
+  Shard& shard = ShardForThisThread();
+  shard.buckets[BucketIndex(ns)].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  shard.sum_ns.fetch_add(ns, std::memory_order_relaxed);
+  uint64_t prev = shard.max_ns.load(std::memory_order_relaxed);
+  while (prev < ns && !shard.max_ns.compare_exchange_weak(
+                          prev, ns, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  for (const Shard& shard : shards_) {
+    snapshot.count += shard.count.load(std::memory_order_relaxed);
+    snapshot.sum_ns += shard.sum_ns.load(std::memory_order_relaxed);
+    snapshot.max_ns = std::max(snapshot.max_ns,
+                               shard.max_ns.load(std::memory_order_relaxed));
+    for (size_t i = 0; i < snapshot.buckets.size(); ++i) {
+      snapshot.buckets[i] +=
+          shard.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return snapshot;
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  count += other.count;
+  sum_ns += other.sum_ns;
+  max_ns = std::max(max_ns, other.max_ns);
+  for (size_t i = 0; i < buckets.size(); ++i) buckets[i] += other.buckets[i];
+}
+
+double HistogramSnapshot::QuantileNs(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // The sample at (0-based) rank q*(count-1), located by cumulative
+  // bucket counts and interpolated linearly inside its bucket.
+  double rank = q * static_cast<double>(count - 1);
+  const auto& bounds = LatencyHistogram::BucketBoundsNs();
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    double begin = static_cast<double>(cumulative);
+    cumulative += buckets[i];
+    if (rank >= static_cast<double>(cumulative)) continue;
+    double lower =
+        i == 0 ? 0.0 : static_cast<double>(bounds[i - 1]);
+    // The overflow bucket has no upper bound; the observed max is the
+    // tightest honest one. Also cap finite buckets at max_ns so a lone
+    // sample reports its (known) exact maximum rather than its bucket
+    // ceiling.
+    double upper = i < bounds.size()
+                       ? static_cast<double>(bounds[i])
+                       : static_cast<double>(max_ns);
+    upper = std::min(upper, static_cast<double>(max_ns));
+    if (upper < lower) upper = lower;
+    double fraction =
+        (rank - begin + 0.5) / static_cast<double>(buckets[i]);
+    fraction = std::clamp(fraction, 0.0, 1.0);
+    return lower + (upper - lower) * fraction;
+  }
+  return static_cast<double>(max_ns);
+}
+
+}  // namespace taco::obs

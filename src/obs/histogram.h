@@ -1,0 +1,100 @@
+// Lock-free log-bucketed latency histograms.
+//
+// The service's hot paths (MVCC reads, socket command dispatch) record a
+// latency sample on every operation, so the recorder must cost a handful
+// of relaxed atomic adds and never a lock: N readers funneled through a
+// histogram mutex would re-serialize the very path the MVCC layer exists
+// to keep lock-free. Samples land in logarithmic buckets — 5 per decade
+// from 1µs to ~63s, 40 buckets — which is enough resolution to report
+// p50/p95/p99 within ~26% (one bucket ratio) across the entire range an
+// interactive recalc service can plausibly produce, from a cache-hit
+// versioned GET to a paper-scale full-sheet recalculation.
+//
+// Sharding: each histogram keeps `kShards` cache-line-padded copies of
+// its counters and a thread picks one by a stable round-robin slot, so
+// concurrent recorders on different cores do not serialize on cache-line
+// ownership of one bucket array. Snapshot() merges the shards; it is a
+// relaxed read (scrapes tolerate a sample's worth of skew — consistency
+// across counters is not worth a read-path fence).
+//
+// Time is integer nanoseconds end-to-end. The previous aggregates went
+// through a `double` milliseconds field, which silently flushed
+// sub-millisecond reads toward zero once accumulated; a 5µs read must
+// land in a nonzero bucket (tests assert exactly that).
+
+#ifndef TACO_OBS_HISTOGRAM_H_
+#define TACO_OBS_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace taco::obs {
+
+/// A merged point-in-time view of one histogram (plain integers; safe to
+/// copy, compare, and render without touching the live atomics).
+struct HistogramSnapshot {
+  /// One counter per finite bucket plus the overflow bucket.
+  static constexpr size_t kBuckets = 40;
+
+  uint64_t count = 0;
+  uint64_t sum_ns = 0;
+  uint64_t max_ns = 0;
+  std::array<uint64_t, kBuckets + 1> buckets{};  ///< [kBuckets] = overflow.
+
+  /// Interpolated quantile in nanoseconds, q in [0, 1]. Positions inside
+  /// a bucket interpolate linearly between its bounds; the overflow
+  /// bucket interpolates toward max_ns. Empty snapshots return 0.
+  double QuantileNs(double q) const;
+
+  double MeanNs() const {
+    return count ? static_cast<double>(sum_ns) / static_cast<double>(count)
+                 : 0.0;
+  }
+
+  /// Merges `other` into this snapshot (bucket-wise sum, max of max).
+  void Merge(const HistogramSnapshot& other);
+};
+
+/// Thread-safe latency histogram; Record is lock-free and wait-free on
+/// every architecture with native 64-bit fetch_add (the max update is a
+/// bounded CAS loop). Zero-initialized; no dynamic allocation.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = HistogramSnapshot::kBuckets;
+
+  /// Upper bound (exclusive) of bucket i in nanoseconds:
+  /// 1000 * 10^(i/5), i.e. 1µs, 1.58µs, 2.51µs, ... ~63s. Samples at or
+  /// over the last bound land in the overflow bucket.
+  static const std::array<uint64_t, kBuckets>& BucketBoundsNs();
+
+  /// Index of the bucket `ns` falls into (kBuckets = overflow).
+  static size_t BucketIndex(uint64_t ns);
+
+  void Record(uint64_t ns);
+
+  /// Merged view across shards (relaxed reads; see file comment).
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  /// One shard's counters, padded so two shards never share a cache
+  /// line. The bucket array itself spans several lines, but distinct
+  /// threads use distinct shards, so there is no cross-thread sharing —
+  /// false or true — on any of them.
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum_ns{0};
+    std::atomic<uint64_t> max_ns{0};
+    std::atomic<uint64_t> buckets[kBuckets + 1]{};
+  };
+  static constexpr size_t kShards = 8;  // Power of two.
+
+  Shard& ShardForThisThread();
+
+  Shard shards_[kShards];
+};
+
+}  // namespace taco::obs
+
+#endif  // TACO_OBS_HISTOGRAM_H_

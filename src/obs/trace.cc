@@ -1,0 +1,73 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace taco::obs {
+namespace {
+
+uint64_t ToUs(uint64_t ns) { return ns / 1000; }
+
+}  // namespace
+
+std::string TraceSpan::ToLine() const {
+  char buffer[384];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "span seq=%" PRIu64 " op=%s session=%s detail=%s ok=%d total_us=%" PRIu64
+      " lock_us=%" PRIu64 " find_us=%" PRIu64 " eval_us=%" PRIu64
+      " publish_us=%" PRIu64 " fsync_us=%" PRIu64 " respond_us=%" PRIu64
+      " dirty=%" PRIu64 " waves=%" PRIu64,
+      seq, op.c_str(), session.c_str(), detail.empty() ? "-" : detail.c_str(),
+      ok ? 1 : 0, ToUs(total_ns), ToUs(lock_wait_ns), ToUs(find_dependents_ns),
+      ToUs(eval_ns), ToUs(publish_ns), ToUs(wal_fsync_ns), ToUs(respond_ns),
+      dirty_cells, waves);
+  return buffer;
+}
+
+TraceRing::TraceRing(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void TraceRing::Record(TraceSpan span) {
+  uint64_t threshold = slow_threshold_ns();
+  std::string slow_line;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    span.seq = next_seq_++;
+    if (threshold > 0 && span.total_ns >= threshold) {
+      slow_line = span.ToLine();
+    }
+    if (ring_.size() < capacity_) {
+      ring_.push_back(std::move(span));
+    } else {
+      ring_[(span.seq - 1) % capacity_] = std::move(span);
+    }
+  }
+  // The stderr write happens outside the lock: a blocked stderr (full
+  // pipe) must slow the one offending thread, not every mutator.
+  if (!slow_line.empty()) {
+    std::fprintf(stderr, "taco_serve: slow-op %s\n", slow_line.c_str());
+  }
+}
+
+std::vector<TraceSpan> TraceRing::Newest(size_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t held = ring_.size();
+  if (n == 0 || n > held) n = held;
+  std::vector<TraceSpan> out;
+  out.reserve(n);
+  // seq is assigned 1,2,3,... and slot (seq-1) % capacity holds the
+  // span, so the newest is at (next_seq_ - 2) % capacity once full.
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t seq = next_seq_ - 1 - i;           // Newest first.
+    out.push_back(ring_[(seq - 1) % capacity_]);
+  }
+  return out;
+}
+
+uint64_t TraceRing::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_ - 1;
+}
+
+}  // namespace taco::obs

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/clock.h"
 #include "eval/evaluator.h"
 #include "formula/references.h"
 #include "rtree/rtree.h"
@@ -218,7 +219,9 @@ RecalcExecutor::Outcome RecalcScheduler::Execute(const Sheet& sheet,
             }
           });
         }
+        auto barrier_start = SteadyNow();
         group.Wait();
+        outcome.barrier_wait_ns += NsSince(barrier_start);
         // Single-threaded commit: workers never touch the shared cache.
         for (int idx : wave) {
           evaluator->Prime(nodes[idx], std::move(values[idx]));
@@ -301,7 +304,9 @@ RecalcExecutor::Outcome RecalcScheduler::Execute(const Sheet& sheet,
         }
       });
     }
+    auto barrier_start = SteadyNow();
     group.Wait();
+    outcome.barrier_wait_ns += NsSince(barrier_start);
     for (int j : wave) {
       for (auto& [cell, value] : results[j]) {
         evaluator->Prime(cell, std::move(value));

@@ -4,100 +4,89 @@
 #include <cstdio>
 
 namespace taco {
-namespace {
-
-/// Stable per-thread shard index: assigned round-robin on first use, so
-/// concurrent readers land on distinct (padded) counter lines.
-unsigned ThreadShard() {
-  static std::atomic<unsigned> next{0};
-  thread_local unsigned slot = next.fetch_add(1, std::memory_order_relaxed);
-  return slot;
-}
-
-}  // namespace
 
 std::string_view ServiceOpName(ServiceOp op) {
   switch (op) {
-    case ServiceOp::kOpen:    return "OPEN";
-    case ServiceOp::kLoad:    return "LOAD";
-    case ServiceOp::kSave:    return "SAVE";
-    case ServiceOp::kClose:   return "CLOSE";
-    case ServiceOp::kSet:     return "SET";
-    case ServiceOp::kFormula: return "FORMULA";
-    case ServiceOp::kGet:     return "GET";
-    case ServiceOp::kGetRange: return "GETRANGE";
-    case ServiceOp::kClear:   return "CLEAR";
-    case ServiceOp::kBatch:   return "BATCH";
+    case ServiceOp::kOpen:       return "OPEN";
+    case ServiceOp::kLoad:       return "LOAD";
+    case ServiceOp::kSave:       return "SAVE";
+    case ServiceOp::kClose:      return "CLOSE";
+    case ServiceOp::kSet:        return "SET";
+    case ServiceOp::kFormula:    return "FORMULA";
+    case ServiceOp::kGet:        return "GET";
+    case ServiceOp::kGetRange:   return "GETRANGE";
+    case ServiceOp::kClear:      return "CLEAR";
+    case ServiceOp::kBatch:      return "BATCH";
+    case ServiceOp::kRecalc:     return "RECALC";
+    case ServiceOp::kCheckpoint: return "CHECKPOINT";
+    case ServiceOp::kStats:      return "STATS";
+    case ServiceOp::kStorage:    return "STORAGE";
+    case ServiceOp::kList:       return "LIST";
+    case ServiceOp::kMetrics:    return "METRICS";
+    case ServiceOp::kTrace:      return "TRACE";
     case ServiceOp::kOpCount: break;
   }
   return "?";
 }
 
-void ServiceMetrics::Record(ServiceOp op, double elapsed_ms, bool ok,
+void ServiceMetrics::Record(ServiceOp op, uint64_t elapsed_ns, bool ok,
                             const RecalcResult* result) {
-  if (IsReadOp(op) && result == nullptr) {
-    ReadShard& r = ReadSlot(op).shards[ThreadShard() % kReadShards];
-    r.count.fetch_add(1, std::memory_order_relaxed);
-    if (!ok) r.errors.fetch_add(1, std::memory_order_relaxed);
-    auto ns = static_cast<uint64_t>(elapsed_ms * 1e6);
-    r.total_ns.fetch_add(ns, std::memory_order_relaxed);
-    uint64_t prev = r.max_ns.load(std::memory_order_relaxed);
-    while (prev < ns && !r.max_ns.compare_exchange_weak(
-                            prev, ns, std::memory_order_relaxed)) {
-    }
-    return;
-  }
+  size_t i = static_cast<size_t>(op);
+  histograms_[i].Record(elapsed_ns);
+  if (!ok) errors_[i].fetch_add(1, std::memory_order_relaxed);
+  if (result == nullptr) return;
   std::lock_guard<std::mutex> lock(mu_);
-  OpStats& s = stats_[static_cast<size_t>(op)];
-  ++s.count;
-  if (!ok) ++s.errors;
-  s.total_ms += elapsed_ms;
-  s.max_ms = std::max(s.max_ms, elapsed_ms);
-  if (result != nullptr) {
-    s.dirty_cells += result->dirty_cells;
-    s.max_dirty_cells = std::max(s.max_dirty_cells, result->dirty_cells);
-    s.recalculated += result->recalculated;
-    s.recalc_passes += result->recalc_passes;
-    s.find_dependents_ms += result->find_dependents_ms;
-    s.eval_ms += result->eval_ms;
-    s.waves += result->waves;
-  }
+  RecalcStats& s = recalc_[i];
+  s.dirty_cells += result->dirty_cells;
+  s.max_dirty_cells = std::max(s.max_dirty_cells, result->dirty_cells);
+  s.recalculated += result->recalculated;
+  s.recalc_passes += result->recalc_passes;
+  s.find_dependents_ms += result->find_dependents_ms;
+  s.eval_ms += result->eval_ms;
+  s.waves += result->waves;
 }
 
 OpStats ServiceMetrics::Get(ServiceOp op) const {
+  size_t i = static_cast<size_t>(op);
+  obs::HistogramSnapshot h = histograms_[i].Snapshot();
   OpStats s;
+  s.count = h.count;
+  s.errors = errors_[i].load(std::memory_order_relaxed);
+  s.total_ms = static_cast<double>(h.sum_ns) / 1e6;
+  s.max_ms = static_cast<double>(h.max_ns) / 1e6;
+  s.p50_ms = h.QuantileNs(0.50) / 1e6;
+  s.p95_ms = h.QuantileNs(0.95) / 1e6;
+  s.p99_ms = h.QuantileNs(0.99) / 1e6;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    s = stats_[static_cast<size_t>(op)];
-  }
-  if (IsReadOp(op)) {
-    for (const ReadShard& r : ReadSlot(op).shards) {
-      s.count += r.count.load(std::memory_order_relaxed);
-      s.errors += r.errors.load(std::memory_order_relaxed);
-      s.total_ms += double(r.total_ns.load(std::memory_order_relaxed)) / 1e6;
-      s.max_ms = std::max(
-          s.max_ms, double(r.max_ns.load(std::memory_order_relaxed)) / 1e6);
-    }
+    const RecalcStats& r = recalc_[i];
+    s.dirty_cells = r.dirty_cells;
+    s.max_dirty_cells = r.max_dirty_cells;
+    s.recalculated = r.recalculated;
+    s.recalc_passes = r.recalc_passes;
+    s.find_dependents_ms = r.find_dependents_ms;
+    s.eval_ms = r.eval_ms;
+    s.waves = r.waves;
   }
   return s;
 }
 
 std::string ServiceMetrics::Report() const {
   std::string out =
-      "op       count errors  mean_ms   max_ms dirty_cells max_dirty "
-      "recalced passes finddep_ms    eval_ms  waves\n";
-  char line[224];
-  for (size_t i = 0; i < stats_.size(); ++i) {
+      "op         count errors  mean_ms   p50_ms   p95_ms   p99_ms   max_ms "
+      "dirty_cells max_dirty recalced passes finddep_ms    eval_ms  waves\n";
+  char line[288];
+  for (size_t i = 0; i < kOps; ++i) {
     OpStats s = Get(static_cast<ServiceOp>(i));
     if (s.count == 0) continue;
     std::snprintf(
         line, sizeof(line),
-        "%-8s %5llu %6llu %8.3f %8.3f %11llu %9llu %8llu %6llu %10.3f "
-        "%10.3f %6llu\n",
+        "%-10s %5llu %6llu %8.3f %8.3f %8.3f %8.3f %8.3f %11llu %9llu "
+        "%8llu %6llu %10.3f %10.3f %6llu\n",
         std::string(ServiceOpName(static_cast<ServiceOp>(i))).c_str(),
         static_cast<unsigned long long>(s.count),
-        static_cast<unsigned long long>(s.errors),
-        s.count ? s.total_ms / double(s.count) : 0.0, s.max_ms,
+        static_cast<unsigned long long>(s.errors), s.MeanMs(), s.p50_ms,
+        s.p95_ms, s.p99_ms, s.max_ms,
         static_cast<unsigned long long>(s.dirty_cells),
         static_cast<unsigned long long>(s.max_dirty_cells),
         static_cast<unsigned long long>(s.recalculated),

@@ -1,9 +1,12 @@
 // Service-level operation metrics.
 //
 // Every session operation records its wall-clock latency (including lock
-// wait, so contention shows up) and, for mutating operations, the recalc
-// outcome: dirty-set size and FindDependents time — the quantity the
-// paper's latency budget is about. STATS renders the aggregate report.
+// wait, so contention shows up) into a lock-free log-bucketed histogram —
+// one per ServiceOp — so STATS and the Prometheus exposition can report
+// p50/p95/p99/max, not just a mean that hides tail behavior. Mutating
+// operations additionally record the recalc outcome: dirty-set size and
+// FindDependents time — the quantity the paper's latency budget is about.
+// A TraceRing holds the most recent per-command phase breakdowns.
 
 #ifndef TACO_SERVICE_METRICS_H_
 #define TACO_SERVICE_METRICS_H_
@@ -16,6 +19,8 @@
 #include <string_view>
 
 #include "eval/recalc.h"
+#include "obs/histogram.h"
+#include "obs/trace.h"
 
 namespace taco {
 
@@ -31,17 +36,29 @@ enum class ServiceOp : uint8_t {
   kGetRange,  ///< Bulk versioned read (GETRANGE).
   kClear,
   kBatch,
-  kOpCount,   ///< Sentinel; not an operation.
+  kRecalc,      ///< RECALC admin verb.
+  kCheckpoint,  ///< CHECKPOINT admin verb (snapshot + WAL rotate).
+  kStats,       ///< STATS admin verb.
+  kStorage,     ///< STORAGE admin verb.
+  kList,        ///< LIST admin verb.
+  kMetrics,     ///< METRICS exposition verb (+ HTTP /metrics scrapes).
+  kTrace,       ///< TRACE span-dump verb.
+  kOpCount,     ///< Sentinel; not an operation.
 };
 
 std::string_view ServiceOpName(ServiceOp op);
 
-/// Latency + recalc aggregates for one ServiceOp.
+/// Latency + recalc aggregates for one ServiceOp. Latency figures are
+/// derived from the op's histogram snapshot; quantiles interpolate
+/// within log buckets (~26% bucket ratio).
 struct OpStats {
   uint64_t count = 0;
   uint64_t errors = 0;
   double total_ms = 0;
   double max_ms = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
   uint64_t dirty_cells = 0;           ///< Sum of per-op dirty-set sizes.
   uint64_t max_dirty_cells = 0;
   uint64_t recalculated = 0;
@@ -79,19 +96,32 @@ struct StorageCounters {
 /// Thread-safe metrics sink shared by every session of a service.
 class ServiceMetrics {
  public:
-  /// Records one completed operation; `result` adds recalc aggregates for
-  /// mutating ops (pass nullptr for reads / failed ops). GET/GETRANGE
-  /// records go to lock-free atomic counters: the MVCC read path serves
-  /// millions of ops/s across threads, and funneling them through mu_
-  /// would serialize the very path that exists to avoid a lock.
-  void Record(ServiceOp op, double elapsed_ms, bool ok,
+  explicit ServiceMetrics(size_t trace_capacity = 256)
+      : trace_(trace_capacity) {}
+
+  /// Records one completed operation taking `elapsed_ns` wall-clock
+  /// nanoseconds; `result` adds recalc aggregates for mutating ops (pass
+  /// nullptr for reads / failed ops). The latency sample and error count
+  /// go to lock-free per-op structures on EVERY path: the MVCC read path
+  /// serves millions of ops/s across threads, and funneling them through
+  /// mu_ would serialize the very path that exists to avoid a lock. Only
+  /// the recalc aggregates (edit-rate, result != nullptr) take mu_.
+  void Record(ServiceOp op, uint64_t elapsed_ns, bool ok,
               const RecalcResult* result = nullptr);
 
-  /// Snapshot of one op's aggregates (read ops merged in).
+  /// Snapshot of one op's aggregates (quantiles from the histogram).
   OpStats Get(ServiceOp op) const;
+
+  /// Merged histogram snapshot for one op, for exposition rendering.
+  obs::HistogramSnapshot Histogram(ServiceOp op) const {
+    return histograms_[static_cast<size_t>(op)].Snapshot();
+  }
 
   /// Fixed-width text report, one line per op with traffic (for STATS).
   std::string Report() const;
+
+  obs::TraceRing& trace() { return trace_; }
+  const obs::TraceRing& trace() const { return trace_; }
 
   TransportCounters& transport() { return transport_; }
   const TransportCounters& transport() const { return transport_; }
@@ -100,37 +130,25 @@ class ServiceMetrics {
   const StorageCounters& storage() const { return storage_; }
 
  private:
-  /// Latency/error aggregates for one read op, all relaxed atomics
-  /// (cross-counter consistency is not worth a read-path lock; Get()
-  /// reassembles a close-enough OpStats). Time is kept in integer
-  /// nanoseconds so accumulation is a fetch_add, not a CAS loop. The
-  /// counters are SHARDED by thread (cache-line padded): N readers
-  /// bumping one shared line would serialize on cache-line ownership at
-  /// exactly the fan-out the lock-free path is built for.
-  struct alignas(64) ReadShard {
-    std::atomic<uint64_t> count{0};
-    std::atomic<uint64_t> errors{0};
-    std::atomic<uint64_t> total_ns{0};
-    std::atomic<uint64_t> max_ns{0};
-  };
-  static constexpr size_t kReadShards = 16;  // Power of two.
-  struct ReadCounters {
-    ReadShard shards[kReadShards];
+  /// Per-op recalc aggregates (mutating ops only); latency lives in the
+  /// histograms, never here.
+  struct RecalcStats {
+    uint64_t dirty_cells = 0;
+    uint64_t max_dirty_cells = 0;
+    uint64_t recalculated = 0;
+    uint64_t recalc_passes = 0;
+    double find_dependents_ms = 0;
+    double eval_ms = 0;
+    uint64_t waves = 0;
   };
 
-  static bool IsReadOp(ServiceOp op) {
-    return op == ServiceOp::kGet || op == ServiceOp::kGetRange;
-  }
-  ReadCounters& ReadSlot(ServiceOp op) {
-    return reads_[op == ServiceOp::kGetRange ? 1 : 0];
-  }
-  const ReadCounters& ReadSlot(ServiceOp op) const {
-    return reads_[op == ServiceOp::kGetRange ? 1 : 0];
-  }
+  static constexpr size_t kOps = static_cast<size_t>(ServiceOp::kOpCount);
 
+  std::array<obs::LatencyHistogram, kOps> histograms_;
+  std::array<std::atomic<uint64_t>, kOps> errors_{};
   mutable std::mutex mu_;
-  std::array<OpStats, static_cast<size_t>(ServiceOp::kOpCount)> stats_;
-  ReadCounters reads_[2];  ///< [0] = kGet, [1] = kGetRange.
+  std::array<RecalcStats, kOps> recalc_;
+  obs::TraceRing trace_;
   TransportCounters transport_;
   StorageCounters storage_;
 };

@@ -7,6 +7,8 @@
 
 #include "common/a1.h"
 #include "common/ascii.h"
+#include "common/clock.h"
+#include "service/exposition.h"
 
 namespace taco {
 namespace {
@@ -167,12 +169,15 @@ bool StdioResponseWriter::Emit(std::string_view response) {
 }
 
 bool CommandProcessor::ResponseContinues(std::string_view first_line) {
-  // Two responses span multiple lines: the service-wide STATS report
-  // ("OK service ...") and GETRANGE ("OK range ..."); a session report
-  // is "OK session=..." and stays one line. Both multi-line forms end
-  // with the lone terminator line.
+  // Four responses span multiple lines: the service-wide STATS report
+  // ("OK service ..."), GETRANGE ("OK range ..."), the Prometheus
+  // exposition ("OK metrics"), and the span dump ("OK trace ..."); a
+  // session report is "OK session=..." and stays one line. Every
+  // multi-line form ends with the lone terminator line.
   return first_line.starts_with("OK service") ||
-         first_line.starts_with("OK range");
+         first_line.starts_with("OK range") ||
+         first_line.starts_with("OK metrics") ||
+         first_line.starts_with("OK trace");
 }
 
 std::string_view CommandProcessor::DispatchKey(std::string_view header_line) {
@@ -199,6 +204,39 @@ int CommandProcessor::ExtraBodyLines(std::string_view header_line) {
 }
 
 std::string CommandProcessor::Execute(std::string_view command_text) {
+  // Admin verbs run entirely at this layer and would otherwise bypass
+  // ServiceMetrics; meter them around the dispatch. Session-addressed
+  // data ops and SAVE/CHECKPOINT/OPEN/LOAD/CLOSE record inside the
+  // session/service (with lock wait), so they are NOT re-metered here —
+  // one op, one histogram sample. A verb's own sample lands AFTER its
+  // response is built: the first STATS never shows a STATS row, every
+  // later one does, identically on every transport.
+  std::string_view header = TrimCr(
+      command_text.substr(0, command_text.find('\n')));
+  std::string_view cmd = NextToken(&header);
+  ServiceOp admin_op = ServiceOp::kOpCount;
+  if (EqualsIgnoreCase(cmd, "STATS")) {
+    admin_op = ServiceOp::kStats;
+  } else if (EqualsIgnoreCase(cmd, "RECALC")) {
+    admin_op = ServiceOp::kRecalc;
+  } else if (EqualsIgnoreCase(cmd, "STORAGE")) {
+    admin_op = ServiceOp::kStorage;
+  } else if (EqualsIgnoreCase(cmd, "LIST")) {
+    admin_op = ServiceOp::kList;
+  } else if (EqualsIgnoreCase(cmd, "METRICS")) {
+    admin_op = ServiceOp::kMetrics;
+  } else if (EqualsIgnoreCase(cmd, "TRACE")) {
+    admin_op = ServiceOp::kTrace;
+  }
+  if (admin_op == ServiceOp::kOpCount) return ExecuteInner(command_text);
+  auto start = SteadyNow();
+  std::string response = ExecuteInner(command_text);
+  service_->metrics().Record(admin_op, NsSince(start),
+                             /*ok=*/!response.starts_with("ERR"));
+  return response;
+}
+
+std::string CommandProcessor::ExecuteInner(std::string_view command_text) {
   // Split the header from any BATCH body lines.
   size_t newline = command_text.find('\n');
   std::string_view header = TrimCr(command_text.substr(0, newline));
@@ -343,6 +381,37 @@ std::string CommandProcessor::Execute(std::string_view command_text) {
            " mode=" + (parallel ? "parallel" : "serial") +
            " threads=" + std::to_string(service_->recalc_threads());
   }
+  if (EqualsIgnoreCase(cmd, "METRICS")) {
+    // The same bytes taco_serve's HTTP /metrics listener serves: one
+    // renderer, two transports. The exposition already terminates every
+    // line, so the protocol terminator lands on its own line directly.
+    return "OK metrics\n" + RenderServiceExposition(*service_) +
+           std::string(kResponseTerminator);
+  }
+  if (EqualsIgnoreCase(cmd, "TRACE")) {
+    std::string_view count_text = NextToken(&rest);
+    int n = 0;  // 0 = everything the ring holds.
+    if (!count_text.empty()) {
+      auto [ptr, ec] = std::from_chars(
+          count_text.data(), count_text.data() + count_text.size(), n);
+      if (ec != std::errc() ||
+          ptr != count_text.data() + count_text.size() || n < 0) {
+        return ErrUsage("TRACE [n]");
+      }
+    }
+    obs::TraceRing& ring = service_->metrics().trace();
+    std::vector<obs::TraceSpan> spans =
+        ring.Newest(static_cast<size_t>(n));
+    std::string out = "OK trace spans=" + std::to_string(spans.size()) +
+                      " recorded=" + std::to_string(ring.recorded()) +
+                      " capacity=" + std::to_string(ring.capacity());
+    for (const obs::TraceSpan& span : spans) {
+      out += "\n" + span.ToLine();
+    }
+    out += "\n";
+    out += kResponseTerminator;
+    return out;
+  }
 
   // Everything below addresses one session.
   if (EqualsIgnoreCase(cmd, "GET")) {
@@ -473,7 +542,7 @@ std::string CommandProcessor::Execute(std::string_view command_text) {
 
   return "ERR InvalidArgument: unknown command '" + std::string(cmd) +
          "' (OPEN/LOAD/SAVE/CHECKPOINT/STORAGE/CLOSE/SET/FORMULA/GET/"
-         "GETRANGE/CLEAR/BATCH/RECALC/STATS/LIST)";
+         "GETRANGE/CLEAR/BATCH/RECALC/STATS/LIST/METRICS/TRACE)";
 }
 
 }  // namespace taco

@@ -26,6 +26,10 @@
 //   RECALC <session> [serial|parallel]  query / switch the recalc path
 //   STATS [session]                   service / session report
 //   LIST                              resident session names
+//   METRICS                           -> OK metrics, then the Prometheus
+//                                        text exposition, then END
+//   TRACE [n]                         -> OK trace ..., then the newest n
+//                                        (default all) span lines, END
 //
 // The processor is stateless and thread-safe: a complete command (header
 // plus any BATCH body lines) goes in as one string, the response comes
@@ -118,6 +122,10 @@ class CommandProcessor {
   static constexpr std::string_view kResponseTerminator = "END";
 
  private:
+  /// The dispatch body behind Execute (which wraps it with admin-verb
+  /// metering — session-addressed data ops meter inside the session).
+  std::string ExecuteInner(std::string_view command_text);
+
   WorkbookService* service_;
 };
 

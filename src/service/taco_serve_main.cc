@@ -5,9 +5,10 @@
 // the same sessions, metrics, and recalc pools the stdin loop uses.
 //
 //   $ ./taco_serve [--threads N] [--recalc-threads N] [--backend NAME]
-//                  [--max-resident N] [script]
+//                  [--max-resident N] [--metrics-port P] [--slow-op-ms T]
+//                  [script]
 //   $ ./taco_serve --listen 7013 [--bind ADDR] [--max-clients N]
-//                  [--idle-timeout-ms M]
+//                  [--idle-timeout-ms M] [--metrics-port P]
 //
 // Stdin mode responses are printed in request order, but execution is
 // dispatched onto the service's worker pool: commands for different
@@ -36,6 +37,7 @@
 
 #include "common/ascii.h"
 #include "net/socket_server.h"
+#include "service/exposition.h"
 #include "service/protocol.h"
 #include "service/workbook_service.h"
 
@@ -57,12 +59,48 @@ extern "C" void HandleShutdownSignal(int /*signo*/) {
   [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
 }
 
-int RunListenMode(WorkbookService* service, const SocketServerOptions& opts) {
+/// Starts the HTTP /metrics listener when --metrics-port was given.
+/// Returns null (and logs) on failure — a daemon that can serve traffic
+/// but not scrapes should say so and keep serving, while the stdin mode
+/// treats a broken flag as fatal (the caller decides).
+std::unique_ptr<SocketServer> StartMetricsServer(WorkbookService* service,
+                                                 const std::string& bind,
+                                                 uint16_t port) {
+  SocketServerOptions opts;
+  opts.bind_address = bind;
+  opts.port = port;
+  // Scrapes are short and serial; a small cap keeps a misbehaving
+  // scraper from holding fds the protocol listener wants.
+  opts.max_clients = 8;
+  opts.idle_timeout_ms = 10000;
+  opts.http_get_metrics = [service] {
+    return RenderServiceExposition(*service);
+  };
+  auto server = std::make_unique<SocketServer>(service, opts);
+  Status status = server->Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "cannot serve /metrics: %s\n",
+                 status.ToString().c_str());
+    return nullptr;
+  }
+  std::fprintf(stderr, "taco_serve metrics on http://%s:%u/metrics\n",
+               bind.c_str(), server->port());
+  return server;
+}
+
+int RunListenMode(WorkbookService* service, const SocketServerOptions& opts,
+                  const std::string& metrics_bind, int metrics_port) {
   SocketServer server(service, opts);
   Status status = server.Start();
   if (!status.ok()) {
     std::fprintf(stderr, "cannot listen: %s\n", status.ToString().c_str());
     return 1;
+  }
+  std::unique_ptr<SocketServer> metrics_server;
+  if (metrics_port > 0) {
+    metrics_server = StartMetricsServer(service, metrics_bind,
+                                        static_cast<uint16_t>(metrics_port));
+    if (metrics_server == nullptr) return 1;
   }
 
   if (::pipe(g_signal_pipe) != 0) {
@@ -102,6 +140,7 @@ int main(int argc, char** argv) {
   WorkbookServiceOptions options;
   SocketServerOptions socket_options;
   bool listen_mode = false;
+  int metrics_port = 0;
   const char* script_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
@@ -177,12 +216,35 @@ int main(int argc, char** argv) {
                i + 1 < argc) {
       socket_options.idle_timeout_ms =
           ParseIntArg(argv[++i], socket_options.idle_timeout_ms);
+    } else if (std::strcmp(argv[i], "--metrics-port") == 0 && i + 1 < argc) {
+      int port = ParseIntArg(argv[++i], -1);
+      if (port < 1 || port > 65535) {
+        std::fprintf(stderr, "--metrics-port needs a port in [1, 65535]\n");
+        return 1;
+      }
+      metrics_port = port;
+    } else if (std::strcmp(argv[i], "--slow-op-ms") == 0 && i + 1 < argc) {
+      // 0 (the default) disables slow-op logging, so the value must
+      // parse fully; fractional thresholds are meaningful (a 200µs read
+      // is slow for this service).
+      const char* text = argv[++i];
+      char* end = nullptr;
+      double value = std::strtod(text, &end);
+      if (end != text && *end == '\0' && value >= 0) {
+        options.slow_op_ms = value;
+      } else {
+        std::fprintf(stderr,
+                     "ignoring --slow-op-ms '%s' (not a non-negative "
+                     "number); keeping %g\n",
+                     text, options.slow_op_ms);
+      }
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::fprintf(
           stderr,
           "usage: taco_serve [--threads N] [--recalc-threads N] "
           "[--backend NAME] [--store text|binary] [--wal-dir DIR] "
-          "[--max-resident N] [script]\n"
+          "[--max-resident N] [--metrics-port PORT] [--slow-op-ms T] "
+          "[script]\n"
           "       taco_serve --listen PORT [--bind ADDR] [--max-clients N] "
           "[--idle-timeout-ms M] [...]\n");
       return 0;
@@ -198,7 +260,17 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "--listen and a script file are exclusive\n");
       return 1;
     }
-    return RunListenMode(&service, socket_options);
+    return RunListenMode(&service, socket_options,
+                         socket_options.bind_address, metrics_port);
+  }
+
+  // In stdin mode the scrape listener rides along so interactive runs
+  // can be watched live; it binds loopback (stdin mode has no --bind).
+  std::unique_ptr<SocketServer> metrics_server;
+  if (metrics_port > 0) {
+    metrics_server = StartMetricsServer(&service, "127.0.0.1",
+                                        static_cast<uint16_t>(metrics_port));
+    if (metrics_server == nullptr) return 1;
   }
 
   CommandProcessor processor(&service);

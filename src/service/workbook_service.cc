@@ -11,7 +11,11 @@
 namespace taco {
 
 WorkbookService::WorkbookService(WorkbookServiceOptions options)
-    : options_(std::move(options)) {
+    : options_(std::move(options)), metrics_(options_.trace_spans) {
+  if (options_.slow_op_ms > 0) {
+    metrics_.trace().set_slow_threshold_ns(
+        static_cast<uint64_t>(options_.slow_op_ms * 1e6));
+  }
   int shards = std::max(1, options_.shards);
   shards_.reserve(shards);
   for (int i = 0; i < shards; ++i) {
@@ -306,7 +310,7 @@ Result<std::shared_ptr<WorkbookSession>> WorkbookService::Open(
     const std::string& name, std::string_view backend) {
   auto start = SteadyNow();
   auto result = OpenImpl(name, backend, /*create_if_missing=*/true);
-  metrics_.Record(ServiceOp::kOpen, MsSince(start), result.ok());
+  metrics_.Record(ServiceOp::kOpen, NsSince(start), result.ok());
   if (result.ok()) MaybeEvict();
   return result;
 }
@@ -362,7 +366,7 @@ Result<std::shared_ptr<WorkbookSession>> WorkbookService::Load(
     flight->cv.notify_all();
     return loaded_result;
   }();
-  metrics_.Record(ServiceOp::kLoad, MsSince(start), result.ok());
+  metrics_.Record(ServiceOp::kLoad, NsSince(start), result.ok());
   if (result.ok()) MaybeEvict();
   return result;
 }
@@ -378,7 +382,7 @@ Status WorkbookService::Save(const std::string& name,
     auto it = parked_.find(name);
     if (it != parked_.end() &&
         (path.empty() || path == it->second.path)) {
-      metrics_.Record(ServiceOp::kSave, 0.0, /*ok=*/true);
+      metrics_.Record(ServiceOp::kSave, 0, /*ok=*/true);
       return Status::OK();
     }
   }
@@ -422,7 +426,7 @@ Status WorkbookService::Close(const std::string& name) {
     std::error_code ec;
     std::filesystem::remove(WalPathFor(name), ec);
   }
-  metrics_.Record(ServiceOp::kClose, MsSince(start), status.ok());
+  metrics_.Record(ServiceOp::kClose, NsSince(start), status.ok());
   return status;
 }
 

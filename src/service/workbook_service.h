@@ -72,6 +72,16 @@ struct WorkbookServiceOptions {
 
   /// WAL tuning (fsync discipline, record bounds).
   WalOptions wal;
+
+  /// Capacity of the per-service trace ring the TRACE verb reads from
+  /// (most recent mutating commands, phase-by-phase).
+  size_t trace_spans = 256;
+
+  /// Mutations whose total latency reaches this many milliseconds are
+  /// mirrored to stderr as one structured span line (taco_serve
+  /// --slow-op-ms). 0 disables. Fractional values work: thresholds
+  /// below one millisecond are meaningful on the paper's workloads.
+  double slow_op_ms = 0;
 };
 
 /// Owns many independent workbook sessions and serves them concurrently.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/a1.h"
 #include "common/ascii.h"
 #include "common/clock.h"
 #include "baselines/antifreeze.h"
@@ -35,6 +36,17 @@ unsigned ThreadReadShard() {
   static std::atomic<unsigned> next{0};
   thread_local unsigned slot = next.fetch_add(1, std::memory_order_relaxed);
   return slot;
+}
+
+/// The trace span's "what" column: the touched cell/range for single
+/// edits, the edit count for batches.
+std::string MutationDetail(ServiceOp op, std::span<const Edit> edits) {
+  if (op == ServiceOp::kBatch || edits.size() != 1) {
+    return "edits=" + std::to_string(edits.size());
+  }
+  const Edit& edit = edits.front();
+  return edit.kind == Edit::Kind::kClearRange ? RangeToA1(edit.range)
+                                              : CellToA1(edit.cell);
 }
 
 }  // namespace
@@ -111,13 +123,21 @@ Result<RecalcResult> WorkbookSession::Mutate(ServiceOp op,
                                              Fn&& fn) {
   auto start = SteadyNow();
   op_epoch_.fetch_add(1);
+  // Phase timings for the trace span. Lock wait is measured explicitly
+  // (queueing behind another writer is a real, reportable phase);
+  // find/eval come from the recalc outcome, fsync from the WAL handle.
+  uint64_t lock_wait_ns = 0;
+  uint64_t publish_ns = 0;
+  uint64_t wal_fsync_ns = 0;
   // A failed batch may still have applied (and recalculated) the edits
   // before the failing one — batches are not atomic — and that work must
   // show up in the session counters and metrics, not vanish with the
   // error. Single edits apply nothing on failure (partial stays zero).
   RecalcResult partial;
   Result<RecalcResult> result = [&]() -> Result<RecalcResult> {
+    auto lock_start = SteadyNow();
     std::lock_guard<std::mutex> lock(mu_);
+    lock_wait_ns = NsSince(lock_start);
     if (wal_failed_) {
       // An earlier append failed, so the log is missing acknowledged
       // edits. Accepting more would widen the gap silently; refuse until
@@ -145,10 +165,13 @@ Result<RecalcResult> WorkbookSession::Mutate(ServiceOp op,
       // recovery replays what this session's state really contains.
       size_t applied = std::min<size_t>(outcome.edits_applied, edits.size());
       Status logged = LogToWal(edits.subspan(0, applied));
+      if (wal_ != nullptr) wal_fsync_ns = wal_->last_sync_ns();
       // Publish the post-commit version even when logging failed: the
       // in-memory state DID change, and readers must see committed
       // state, not the pre-edit version of a sheet that moved on.
+      auto publish_start = SteadyNow();
       PublishVersion(edits.subspan(0, applied), outcome);
+      publish_ns = NsSince(publish_start);
       if (!logged.ok()) {
         // Applied in memory but not durable: the client must see an
         // error, not an acknowledgement the WAL cannot back — and the
@@ -164,7 +187,31 @@ Result<RecalcResult> WorkbookSession::Mutate(ServiceOp op,
     const RecalcResult* outcome =
         result.ok() ? &result.value()
                     : (partial.edits_applied > 0 ? &partial : nullptr);
-    metrics_->Record(op, MsSince(start), result.ok(), outcome);
+    uint64_t total_ns = NsSince(start);
+    metrics_->Record(op, total_ns, result.ok(), outcome);
+
+    obs::TraceSpan span;
+    span.op = ServiceOpName(op);
+    span.session = name_;
+    span.detail = MutationDetail(op, edits);
+    span.ok = result.ok();
+    span.total_ns = total_ns;
+    span.lock_wait_ns = lock_wait_ns;
+    span.publish_ns = publish_ns;
+    span.wal_fsync_ns = wal_fsync_ns;
+    if (outcome != nullptr) {
+      span.find_dependents_ns = outcome->find_dependents_ns;
+      span.eval_ns = outcome->eval_ns;
+      span.dirty_cells = outcome->dirty_cells;
+      span.waves = outcome->waves;
+    }
+    // The remainder: edit application, graph mutation, counter updates,
+    // and the return path. Clamped — phases are measured independently
+    // of the total, so rounding can put their sum a hair over it.
+    uint64_t accounted = span.lock_wait_ns + span.find_dependents_ns +
+                         span.eval_ns + span.publish_ns + span.wal_fsync_ns;
+    span.respond_ns = total_ns > accounted ? total_ns - accounted : 0;
+    metrics_->trace().Record(std::move(span));
   }
   return result;
 }
@@ -297,7 +344,7 @@ Value WorkbookSession::GetValue(const Cell& cell) {
   if (metrics_ != nullptr) {
     // Error values (out-of-bounds reads, #CYCLE! and friends) count as
     // errors, so the STATS error column reflects what clients saw.
-    metrics_->Record(ServiceOp::kGet, MsSince(start),
+    metrics_->Record(ServiceOp::kGet, NsSince(start),
                      /*ok=*/!value.is_error());
   }
   return value;
@@ -331,7 +378,7 @@ RangeSnapshot WorkbookSession::GetRange(const Range& range) {
     reads_locked_.fetch_add(1, std::memory_order_relaxed);
   }
   if (metrics_ != nullptr) {
-    metrics_->Record(ServiceOp::kGetRange, MsSince(start),
+    metrics_->Record(ServiceOp::kGetRange, NsSince(start),
                      /*ok=*/!any_error);
   }
   return snapshot;
@@ -365,7 +412,7 @@ void WorkbookSession::AdoptWal(std::unique_ptr<WriteAheadLog> wal,
   if (recovery.records > 0) dirty_ = true;
 }
 
-Status WorkbookSession::Save(const std::string& path) {
+Status WorkbookSession::Save(const std::string& path, ServiceOp op) {
   auto start = SteadyNow();
   Status status = [&] {
     std::lock_guard<std::mutex> lock(mu_);
@@ -407,7 +454,7 @@ Status WorkbookSession::Save(const std::string& path) {
     return Status::OK();
   }();
   if (metrics_ != nullptr) {
-    metrics_->Record(ServiceOp::kSave, MsSince(start), status.ok());
+    metrics_->Record(op, NsSince(start), status.ok());
   }
   return status;
 }

@@ -155,10 +155,15 @@ class WorkbookSession {
   /// temp-then-rename+fsync, then WAL rotation (the fresh log's header
   /// records the snapshot path), so recovery never replays edits the
   /// snapshot already holds.
-  Status Save(const std::string& path = "");
+  /// `op` selects the metrics row this save records under — SAVE and
+  /// CHECKPOINT are the same code path but distinct operator actions,
+  /// and each must be visible in its own STATS/exposition row.
+  Status Save(const std::string& path = "", ServiceOp op = ServiceOp::kSave);
 
   /// Alias of Save under its durability name (the CHECKPOINT verb).
-  Status Checkpoint(const std::string& path = "") { return Save(path); }
+  Status Checkpoint(const std::string& path = "") {
+    return Save(path, ServiceOp::kCheckpoint);
+  }
 
   /// File this session was loaded from / last saved to ("" if none).
   std::string bound_path() const;

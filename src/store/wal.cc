@@ -11,6 +11,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/clock.h"
+
 #include "store/bytes.h"
 #include "store/checksum.h"
 
@@ -406,6 +408,7 @@ Result<WalHeader> WriteAheadLog::PeekHeader(const std::string& path) {
 }
 
 Status WriteAheadLog::Append(std::span<const Edit> edits) {
+  last_sync_ns_ = 0;  // Never report a previous append's fsync.
   if (edits.empty()) return Status::OK();
   std::string payload;
   ByteWriter body(&payload);
@@ -442,9 +445,13 @@ Status WriteAheadLog::Append(std::span<const Edit> edits) {
     }
     written += static_cast<size_t>(n);
   }
-  if (options_.sync && ::fsync(fd_) != 0) {
-    return Status::IoError("wal fsync '" + path_ +
-                           "': " + std::strerror(errno));
+  if (options_.sync) {
+    auto sync_start = SteadyNow();
+    if (::fsync(fd_) != 0) {
+      return Status::IoError("wal fsync '" + path_ +
+                             "': " + std::strerror(errno));
+    }
+    last_sync_ns_ = NsSince(sync_start);
   }
   bytes_ += record.size();
   ++appended_records_;

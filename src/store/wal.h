@@ -118,6 +118,11 @@ class WriteAheadLog {
   uint64_t bytes() const { return bytes_; }
   /// Records appended through THIS handle since open/rotate.
   uint64_t appended_records() const { return appended_records_; }
+  /// Duration of the fsync in the most recent Append (0 when sync is
+  /// off or nothing was appended yet). The durability wait is usually
+  /// the dominant term of a mutation's latency; trace spans report it
+  /// as its own phase so it is never mistaken for compute.
+  uint64_t last_sync_ns() const { return last_sync_ns_; }
 
  private:
   WriteAheadLog(std::string path, WalOptions options, int fd,
@@ -128,6 +133,7 @@ class WriteAheadLog {
   int fd_ = -1;
   uint64_t bytes_ = 0;
   uint64_t appended_records_ = 0;
+  uint64_t last_sync_ns_ = 0;
 };
 
 /// Applies one logged edit directly to a sheet (no graph, no recalc) —

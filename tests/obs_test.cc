@@ -1,0 +1,327 @@
+// Unit tests for the observability primitives (src/obs): histogram
+// bucketing and quantiles, concurrent recording, the trace-span ring,
+// and the Prometheus text-format builder. The service-level wiring
+// (METRICS verb, /metrics endpoint, conformance of the full exposition)
+// lives in observability_test.cc.
+
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/exposition.h"
+#include "obs/histogram.h"
+#include "obs/trace.h"
+
+namespace taco::obs {
+namespace {
+
+// ---------------------------------------------------------------------
+// Bucket geometry.
+
+TEST(HistogramBucketsTest, BoundsAreStrictlyMonotonicFromOneMicrosecond) {
+  const auto& bounds = LatencyHistogram::BucketBoundsNs();
+  EXPECT_EQ(bounds.front(), 1000u);  // 1µs.
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]) << "bucket " << i;
+    // Log spacing: the ratio is 10^(1/5) within integer rounding.
+    double ratio = double(bounds[i]) / double(bounds[i - 1]);
+    EXPECT_NEAR(ratio, std::pow(10.0, 0.2), 0.01) << "bucket " << i;
+  }
+  // Five decades * ... : the top bound covers paper-scale full recalcs.
+  EXPECT_GT(bounds.back(), 60u * 1000 * 1000 * 1000);  // > 60 s.
+}
+
+TEST(HistogramBucketsTest, BucketIndexEdges) {
+  const auto& bounds = LatencyHistogram::BucketBoundsNs();
+  EXPECT_EQ(LatencyHistogram::BucketIndex(0), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(999), 0u);
+  // Bounds are exclusive upper: a sample exactly at a bound moves up.
+  EXPECT_EQ(LatencyHistogram::BucketIndex(1000), 1u);
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    EXPECT_EQ(LatencyHistogram::BucketIndex(bounds[i] - 1), i);
+    EXPECT_EQ(LatencyHistogram::BucketIndex(bounds[i]), i + 1);
+  }
+  // At or past the last bound: overflow.
+  EXPECT_EQ(LatencyHistogram::BucketIndex(bounds.back()),
+            LatencyHistogram::kBuckets);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(~uint64_t{0}),
+            LatencyHistogram::kBuckets);
+}
+
+// The regression this subsystem exists to fix: a 5µs read must land in
+// a nonzero bucket and survive into the quantiles, instead of being
+// flushed to zero by millisecond-unit aggregation.
+TEST(HistogramBucketsTest, FiveMicrosecondSampleLandsInANonzeroBucket) {
+  LatencyHistogram histogram;
+  histogram.Record(5000);  // 5µs.
+  HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, 1u);
+  EXPECT_EQ(snapshot.sum_ns, 5000u);
+  size_t index = LatencyHistogram::BucketIndex(5000);
+  EXPECT_GT(index, 0u);
+  EXPECT_EQ(snapshot.buckets[index], 1u);
+  // And every quantile of the one-sample distribution is ~5µs, not 0.
+  EXPECT_GT(snapshot.QuantileNs(0.5), 0.0);
+  EXPECT_LE(snapshot.QuantileNs(0.99), 5000.0 + 1e-9);
+}
+
+// ---------------------------------------------------------------------
+// Quantiles.
+
+TEST(HistogramQuantileTest, EmptyHistogramReportsZero) {
+  HistogramSnapshot empty;
+  EXPECT_EQ(empty.QuantileNs(0.5), 0.0);
+  EXPECT_EQ(empty.MeanNs(), 0.0);
+}
+
+TEST(HistogramQuantileTest, QuantilesAreOrderedAndBucketAccurate) {
+  LatencyHistogram histogram;
+  // 90 fast samples at 2µs, 10 slow at 40ms: p50 must sit in the fast
+  // bucket, p99 in the slow one, and the estimates must be within one
+  // bucket ratio (~1.585x) of the true values.
+  for (int i = 0; i < 90; ++i) histogram.Record(2000);
+  for (int i = 0; i < 10; ++i) histogram.Record(40 * 1000 * 1000);
+  HistogramSnapshot snapshot = histogram.Snapshot();
+  double p50 = snapshot.QuantileNs(0.50);
+  double p95 = snapshot.QuantileNs(0.95);
+  double p99 = snapshot.QuantileNs(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GE(p50, 1000.0);
+  EXPECT_LE(p50, 2000.0 * 1.585);
+  EXPECT_GE(p99, 40e6 / 1.585);
+  EXPECT_LE(p99, 40e6 * 1.585);
+  EXPECT_EQ(snapshot.max_ns, 40u * 1000 * 1000);
+  // A finite bucket caps at max_ns: no quantile exceeds the observed max.
+  EXPECT_LE(snapshot.QuantileNs(1.0), double(snapshot.max_ns));
+}
+
+TEST(HistogramQuantileTest, OverflowBucketInterpolatesTowardMax) {
+  LatencyHistogram histogram;
+  const auto& bounds = LatencyHistogram::BucketBoundsNs();
+  uint64_t huge = bounds.back() + 5'000'000'000;  // Well past the top.
+  histogram.Record(huge);
+  HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.buckets[LatencyHistogram::kBuckets], 1u);
+  double p50 = snapshot.QuantileNs(0.5);
+  EXPECT_GE(p50, double(bounds.back()));
+  EXPECT_LE(p50, double(huge));
+}
+
+TEST(HistogramQuantileTest, MergeSumsBucketsAndTakesMaxOfMax) {
+  LatencyHistogram a, b;
+  a.Record(2000);
+  b.Record(8000);
+  b.Record(8000);
+  HistogramSnapshot merged = a.Snapshot();
+  merged.Merge(b.Snapshot());
+  EXPECT_EQ(merged.count, 3u);
+  EXPECT_EQ(merged.sum_ns, 18000u);
+  EXPECT_EQ(merged.max_ns, 8000u);
+  EXPECT_EQ(merged.buckets[LatencyHistogram::BucketIndex(2000)], 1u);
+  EXPECT_EQ(merged.buckets[LatencyHistogram::BucketIndex(8000)], 2u);
+}
+
+// ---------------------------------------------------------------------
+// Concurrency: counts must be exact under parallel recording (the
+// sharding changes where samples land, never how many).
+
+TEST(HistogramConcurrencyTest, ParallelRecordersLoseNothing) {
+  LatencyHistogram histogram;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram.Record(uint64_t(1000 + (t * kPerThread + i) % 100000));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, uint64_t(kThreads) * kPerThread);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : snapshot.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, snapshot.count);
+  EXPECT_GE(snapshot.max_ns, 100000u);
+}
+
+// ---------------------------------------------------------------------
+// Trace ring.
+
+TraceSpan MakeSpan(const std::string& op, uint64_t total_ns) {
+  TraceSpan span;
+  span.op = op;
+  span.session = "s";
+  span.total_ns = total_ns;
+  return span;
+}
+
+TEST(TraceRingTest, AssignsMonotonicSequenceNumbers) {
+  TraceRing ring(4);
+  for (int i = 0; i < 3; ++i) ring.Record(MakeSpan("SET", 1000));
+  EXPECT_EQ(ring.recorded(), 3u);
+  std::vector<TraceSpan> spans = ring.Newest(0);
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].seq, 3u);  // Newest first.
+  EXPECT_EQ(spans[1].seq, 2u);
+  EXPECT_EQ(spans[2].seq, 1u);
+}
+
+TEST(TraceRingTest, WrapsKeepingTheNewestSpans) {
+  TraceRing ring(4);
+  for (int i = 1; i <= 10; ++i) {
+    ring.Record(MakeSpan("OP" + std::to_string(i), uint64_t(i) * 1000));
+  }
+  EXPECT_EQ(ring.recorded(), 10u);
+  std::vector<TraceSpan> spans = ring.Newest(0);
+  ASSERT_EQ(spans.size(), 4u);  // Capacity bound, not record count.
+  EXPECT_EQ(spans[0].seq, 10u);
+  EXPECT_EQ(spans[0].op, "OP10");
+  EXPECT_EQ(spans[3].seq, 7u);
+  EXPECT_EQ(spans[3].op, "OP7");
+  // Asking for more than held clamps; asking for less truncates.
+  EXPECT_EQ(ring.Newest(100).size(), 4u);
+  std::vector<TraceSpan> two = ring.Newest(2);
+  ASSERT_EQ(two.size(), 2u);
+  EXPECT_EQ(two[0].seq, 10u);
+  EXPECT_EQ(two[1].seq, 9u);
+}
+
+TEST(TraceRingTest, SlowThresholdGatesNothingWhenUnset) {
+  TraceRing ring(4);
+  EXPECT_EQ(ring.slow_threshold_ns(), 0u);
+  ring.set_slow_threshold_ns(5'000'000);
+  EXPECT_EQ(ring.slow_threshold_ns(), 5'000'000u);
+  // Recording around the threshold must not disturb the ring contents
+  // (the stderr mirror is a side effect; the ring keeps every span).
+  ring.Record(MakeSpan("FAST", 1000));
+  ring.Record(MakeSpan("SLOW", 10'000'000));
+  EXPECT_EQ(ring.recorded(), 2u);
+  EXPECT_EQ(ring.Newest(1)[0].op, "SLOW");
+}
+
+TEST(TraceRingTest, ToLineRendersEveryPhaseInMicroseconds) {
+  TraceSpan span;
+  span.seq = 7;
+  span.op = "SET";
+  span.session = "book";
+  span.detail = "B2";
+  span.ok = true;
+  span.total_ns = 1'234'000;
+  span.lock_wait_ns = 10'000;
+  span.find_dependents_ns = 200'000;
+  span.eval_ns = 900'000;
+  span.publish_ns = 50'000;
+  span.wal_fsync_ns = 60'000;
+  span.respond_ns = 14'000;
+  span.dirty_cells = 42;
+  span.waves = 3;
+  EXPECT_EQ(span.ToLine(),
+            "span seq=7 op=SET session=book detail=B2 ok=1 total_us=1234 "
+            "lock_us=10 find_us=200 eval_us=900 publish_us=50 fsync_us=60 "
+            "respond_us=14 dirty=42 waves=3");
+  span.detail.clear();
+  EXPECT_NE(span.ToLine().find("detail=- "), std::string::npos);
+}
+
+TEST(TraceRingTest, ConcurrentRecordersKeepSequenceDense) {
+  TraceRing ring(64);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ring] {
+      for (int i = 0; i < kPerThread; ++i) ring.Record(MakeSpan("SET", 100));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(ring.recorded(), uint64_t(kThreads) * kPerThread);
+  std::vector<TraceSpan> spans = ring.Newest(0);
+  ASSERT_EQ(spans.size(), 64u);
+  for (size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].seq, uint64_t(kThreads) * kPerThread - i);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Prometheus builder.
+
+TEST(PromBuilderTest, MetricNameGrammar) {
+  EXPECT_TRUE(IsValidMetricName("taco_ops_total"));
+  EXPECT_TRUE(IsValidMetricName("a:b_c9"));
+  EXPECT_TRUE(IsValidMetricName("_private"));
+  EXPECT_FALSE(IsValidMetricName(""));
+  EXPECT_FALSE(IsValidMetricName("9lives"));
+  EXPECT_FALSE(IsValidMetricName("has-dash"));
+  EXPECT_FALSE(IsValidMetricName("has space"));
+  EXPECT_FALSE(IsValidMetricName("unicode\xc3\xa9"));
+}
+
+TEST(PromBuilderTest, EscapesLabelValues) {
+  EXPECT_EQ(EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(EscapeLabelValue("a\"b"), "a\\\"b");
+  EXPECT_EQ(EscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapeLabelValue("a\nb"), "a\\nb");
+}
+
+TEST(PromBuilderTest, RendersFamilyAndSamples) {
+  PromBuilder builder;
+  builder.Family("taco_ops_total", "Operations served.", "counter");
+  builder.Sample("taco_ops_total", {{"op", "SET"}}, 41);
+  builder.Sample("taco_ops_total", {{"op", "evil\"quote"}}, 1.5);
+  std::string text = std::move(builder).Finish();
+  EXPECT_EQ(text,
+            "# HELP taco_ops_total Operations served.\n"
+            "# TYPE taco_ops_total counter\n"
+            "taco_ops_total{op=\"SET\"} 41\n"
+            "taco_ops_total{op=\"evil\\\"quote\"} 1.5\n");
+}
+
+TEST(PromBuilderTest, HistogramRendersCumulativeBucketsInSeconds) {
+  LatencyHistogram histogram;
+  histogram.Record(2000);   // 2µs.
+  histogram.Record(2500);   // 2.5µs, same bucket region.
+  histogram.Record(900000); // 0.9ms.
+  PromBuilder builder;
+  builder.Family("t_seconds", "Latency.", "histogram");
+  builder.Histogram("t_seconds", {{"op", "GET"}}, histogram.Snapshot());
+  std::string text = std::move(builder).Finish();
+
+  // Every finite bucket, one +Inf, one _sum, one _count.
+  size_t bucket_lines = 0;
+  size_t pos = 0;
+  while ((pos = text.find("t_seconds_bucket{", pos)) != std::string::npos) {
+    ++bucket_lines;
+    pos += 1;
+  }
+  EXPECT_EQ(bucket_lines, LatencyHistogram::kBuckets + 1);
+  EXPECT_NE(text.find("le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("t_seconds_count{op=\"GET\"} 3\n"), std::string::npos);
+  // le values are in seconds: the first bound is 1µs -> 1e-06.
+  EXPECT_NE(text.find("le=\"1e-06\"} 0\n"), std::string::npos);
+  // Cumulative counts never decrease down the bucket list.
+  long previous = -1;
+  pos = 0;
+  while ((pos = text.find("t_seconds_bucket{", pos)) != std::string::npos) {
+    size_t space = text.find(' ', text.find('}', pos));
+    long value = std::stol(text.substr(space + 1));
+    EXPECT_GE(value, previous);
+    previous = value;
+    pos += 1;
+  }
+  // _sum is in seconds too.
+  size_t sum_pos = text.find("t_seconds_sum{op=\"GET\"} ");
+  ASSERT_NE(sum_pos, std::string::npos);
+  double sum = std::stod(text.substr(sum_pos + strlen("t_seconds_sum{op=\"GET\"} ")));
+  EXPECT_NEAR(sum, (2000 + 2500 + 900000) / 1e9, 1e-12);
+}
+
+}  // namespace
+}  // namespace taco::obs

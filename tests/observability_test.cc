@@ -1,0 +1,615 @@
+// Service-level observability: the full Prometheus exposition a live
+// WorkbookService renders, the METRICS / TRACE protocol verbs, and the
+// HTTP /metrics listener mode of the socket server.
+//
+// The exposition is validated against the text-format 0.0.4 grammar by
+// an actual parser (HELP/TYPE pairing, name charset, label quoting,
+// series uniqueness, cumulative histogram buckets, +Inf == _count) —
+// not by spot-checking substrings — because a scrape-time parse error
+// in Prometheus silently loses every metric in the payload, and the
+// cheapest place to catch one is here. The scrape-while-hammering suite
+// runs under ThreadSanitizer in CI: rendering must be safe against
+// concurrent lock-free recorders.
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/socket_client.h"
+#include "net/socket_server.h"
+#include "obs/exposition.h"
+#include "service/exposition.h"
+#include "service/protocol.h"
+#include "service/workbook_service.h"
+
+namespace taco {
+namespace {
+
+// ---------------------------------------------------------------------
+// A small text-format 0.0.4 parser/validator.
+
+struct PromSeries {
+  std::string family;                        ///< Family name (no suffix).
+  std::string name;                          ///< Full sample name.
+  std::map<std::string, std::string> labels;
+  double value = 0;
+};
+
+class PromValidator {
+ public:
+  /// Parses and validates `text`; on failure `error()` says where.
+  bool Validate(const std::string& text) {
+    size_t start = 0;
+    int line_no = 0;
+    if (text.empty() || text.back() != '\n') {
+      return Fail(0, "exposition must end with a newline");
+    }
+    while (start < text.size()) {
+      size_t end = text.find('\n', start);
+      if (end == std::string::npos) end = text.size();
+      std::string line = text.substr(start, end - start);
+      start = end + 1;
+      ++line_no;
+      if (line.empty()) continue;
+      if (!ParseLine(line, line_no)) return false;
+    }
+    return CheckHistograms();
+  }
+
+  const std::string& error() const { return error_; }
+  const std::vector<PromSeries>& series() const { return series_; }
+
+  /// Sample value lookup; fails the current test when the series is
+  /// absent. Label match is exact.
+  double Value(const std::string& name,
+               const std::map<std::string, std::string>& labels) const {
+    for (const PromSeries& s : series_) {
+      if (s.name == name && s.labels == labels) return s.value;
+    }
+    ADD_FAILURE() << "series not found: " << name;
+    return -1;
+  }
+
+  bool Has(const std::string& name,
+           const std::map<std::string, std::string>& labels) const {
+    for (const PromSeries& s : series_) {
+      if (s.name == name && s.labels == labels) return true;
+    }
+    return false;
+  }
+
+ private:
+  bool Fail(int line_no, const std::string& what) {
+    error_ = "line " + std::to_string(line_no) + ": " + what;
+    return false;
+  }
+
+  static bool ValidName(const std::string& name, bool label) {
+    if (name.empty()) return false;
+    for (size_t i = 0; i < name.size(); ++i) {
+      char c = name[i];
+      bool alpha = std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+                   (!label && c == ':');
+      if (i == 0 ? !alpha
+                 : !(alpha || std::isdigit(static_cast<unsigned char>(c)))) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool ParseLine(const std::string& line, int line_no) {
+    if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+      bool is_type = line[2] == 'T';
+      size_t name_start = 7;
+      size_t name_end = line.find(' ', name_start);
+      if (name_end == std::string::npos) {
+        return Fail(line_no, "comment line without text");
+      }
+      std::string name = line.substr(name_start, name_end - name_start);
+      if (!ValidName(name, false)) {
+        return Fail(line_no, "bad metric name '" + name + "'");
+      }
+      if (!is_type) {
+        if (families_.count(name)) {
+          return Fail(line_no, "duplicate family " + name);
+        }
+        pending_help_ = name;
+        return true;
+      }
+      // TYPE must directly follow its HELP (how the builder emits).
+      if (pending_help_ != name) {
+        return Fail(line_no, "TYPE " + name + " without preceding HELP");
+      }
+      pending_help_.clear();
+      std::string type = line.substr(name_end + 1);
+      if (type != "counter" && type != "gauge" && type != "histogram" &&
+          type != "summary" && type != "untyped") {
+        return Fail(line_no, "bad type '" + type + "'");
+      }
+      families_[name] = type;
+      current_family_ = name;
+      return true;
+    }
+    if (line[0] == '#') return true;  // Other comments are legal.
+
+    // Sample line: name[{labels}] value
+    PromSeries sample;
+    size_t pos = 0;
+    while (pos < line.size() && line[pos] != '{' && line[pos] != ' ') ++pos;
+    sample.name = line.substr(0, pos);
+    if (!ValidName(sample.name, false)) {
+      return Fail(line_no, "bad sample name '" + sample.name + "'");
+    }
+    if (pos < line.size() && line[pos] == '{') {
+      ++pos;
+      while (pos < line.size() && line[pos] != '}') {
+        size_t eq = line.find('=', pos);
+        if (eq == std::string::npos || line[eq + 1] != '"') {
+          return Fail(line_no, "malformed label");
+        }
+        std::string key = line.substr(pos, eq - pos);
+        if (!ValidName(key, true)) {
+          return Fail(line_no, "bad label name '" + key + "'");
+        }
+        pos = eq + 2;
+        std::string value;
+        while (pos < line.size() && line[pos] != '"') {
+          if (line[pos] == '\\') {
+            ++pos;
+            if (pos >= line.size()) return Fail(line_no, "trailing escape");
+            char c = line[pos];
+            if (c == 'n') {
+              value += '\n';
+            } else if (c == '\\' || c == '"') {
+              value += c;
+            } else {
+              return Fail(line_no, "bad escape in label value");
+            }
+          } else {
+            value += line[pos];
+          }
+          ++pos;
+        }
+        if (pos >= line.size()) return Fail(line_no, "unterminated label");
+        ++pos;  // Closing quote.
+        if (sample.labels.count(key)) {
+          return Fail(line_no, "duplicate label " + key);
+        }
+        sample.labels[key] = value;
+        if (pos < line.size() && line[pos] == ',') ++pos;
+      }
+      if (pos >= line.size() || line[pos] != '}') {
+        return Fail(line_no, "unterminated label set");
+      }
+      ++pos;
+    }
+    if (pos >= line.size() || line[pos] != ' ') {
+      return Fail(line_no, "missing value separator");
+    }
+    std::string value_text = line.substr(pos + 1);
+    if (value_text == "+Inf") {
+      sample.value = HUGE_VAL;
+    } else if (value_text == "-Inf") {
+      sample.value = -HUGE_VAL;
+    } else if (value_text == "NaN") {
+      sample.value = NAN;
+    } else {
+      char* end = nullptr;
+      sample.value = std::strtod(value_text.c_str(), &end);
+      if (end == value_text.c_str() || *end != '\0') {
+        return Fail(line_no, "bad value '" + value_text + "'");
+      }
+    }
+
+    // Resolve the family: exact, or histogram suffixes.
+    sample.family = sample.name;
+    if (!families_.count(sample.family)) {
+      for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+        std::string stem = sample.name;
+        if (stem.size() > strlen(suffix) &&
+            stem.compare(stem.size() - strlen(suffix), strlen(suffix),
+                         suffix) == 0) {
+          stem.resize(stem.size() - strlen(suffix));
+          if (families_.count(stem) && families_[stem] == "histogram") {
+            sample.family = stem;
+            break;
+          }
+        }
+      }
+    }
+    if (!families_.count(sample.family)) {
+      return Fail(line_no, "sample before its TYPE: " + sample.name);
+    }
+    if (sample.family != current_family_) {
+      return Fail(line_no,
+                  "sample " + sample.name + " outside its family block");
+    }
+
+    // Series uniqueness (scrape-time error in Prometheus otherwise).
+    std::string key = sample.name;
+    for (const auto& [k, v] : sample.labels) key += "|" + k + "=" + v;
+    if (!seen_series_.insert(key).second) {
+      return Fail(line_no, "duplicate series " + key);
+    }
+    series_.push_back(std::move(sample));
+    return true;
+  }
+
+  /// Per histogram label set: buckets cumulative, +Inf present and equal
+  /// to _count.
+  bool CheckHistograms() {
+    struct Hist {
+      double last_bucket = -1;
+      double inf = -1;
+      double count = -1;
+      double last_le = -1;
+    };
+    std::map<std::string, Hist> hists;
+    for (const PromSeries& s : series_) {
+      if (families_[s.family] != "histogram") continue;
+      std::string key = s.family;
+      for (const auto& [k, v] : s.labels) {
+        if (k != "le") key += "|" + k + "=" + v;
+      }
+      Hist& h = hists[key];
+      if (s.name == s.family + "_bucket") {
+        auto le = s.labels.find("le");
+        if (le == s.labels.end()) {
+          error_ = "bucket without le: " + key;
+          return false;
+        }
+        if (le->second == "+Inf") {
+          h.inf = s.value;
+        } else {
+          double bound = std::strtod(le->second.c_str(), nullptr);
+          if (bound <= h.last_le) {
+            error_ = "le bounds not increasing: " + key;
+            return false;
+          }
+          h.last_le = bound;
+          if (s.value < h.last_bucket) {
+            error_ = "bucket counts not cumulative: " + key;
+            return false;
+          }
+          h.last_bucket = s.value;
+        }
+      } else if (s.name == s.family + "_count") {
+        h.count = s.value;
+      }
+    }
+    for (const auto& [key, h] : hists) {
+      if (h.inf < 0 || h.count < 0 || h.inf != h.count) {
+        error_ = "histogram +Inf/_count mismatch: " + key;
+        return false;
+      }
+      if (h.last_bucket > h.inf) {
+        error_ = "finite bucket exceeds +Inf: " + key;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::map<std::string, std::string> families_;  ///< name -> type.
+  std::string pending_help_;
+  std::string current_family_;
+  std::set<std::string> seen_series_;
+  std::vector<PromSeries> series_;
+  std::string error_;
+};
+
+// ---------------------------------------------------------------------
+
+class ObservabilityTest : public ::testing::Test {
+ protected:
+  ObservabilityTest() : processor_(&service_) {}
+
+  /// Drives a representative mix so every headline op has samples.
+  void DriveTraffic() {
+    Exec("OPEN wb");
+    for (int i = 1; i <= 20; ++i) {
+      Exec("SET wb A" + std::to_string(i) + " " + std::to_string(i));
+    }
+    Exec("FORMULA wb B1 SUM(A1:A20)");
+    Exec("FORMULA wb B2 A1*2");
+    for (int i = 0; i < 10; ++i) Exec("GET wb B1");
+    Exec("GETRANGE wb A1:B2");
+    Exec("BATCH wb 2\nSET C1 1\nSET C2 2");
+    Exec("GET wb ZZ99");        // Blank read, still a sample.
+    // A metered error: the save fails inside the session, after the op
+    // was timed. ("GET nosuch A1" would NOT count — the protocol layer
+    // rejects it before any session is addressed.)
+    Exec("SAVE wb /nonexistent_dir_for_test/out.taco");
+    Exec("STATS");
+    Exec("LIST");
+  }
+
+  std::string Exec(const std::string& command) {
+    return processor_.Execute(command);
+  }
+
+  WorkbookService service_;
+  CommandProcessor processor_;
+};
+
+TEST_F(ObservabilityTest, ExpositionSurvivesGrammarValidation) {
+  DriveTraffic();
+  std::string text = RenderServiceExposition(service_);
+  PromValidator validator;
+  EXPECT_TRUE(validator.Validate(text)) << validator.error();
+  // A loaded server exposes latency quantiles for the headline verbs.
+  for (const std::string& op : {"SET", "FORMULA", "GET"}) {
+    for (const std::string& q : {"0.5", "0.95", "0.99"}) {
+      double value = validator.Value("taco_op_latency_quantile_seconds",
+                                     {{"op", op}, {"quantile", q}});
+      EXPECT_GT(value, 0.0) << op << " p" << q;
+    }
+    EXPECT_GT(validator.Value("taco_ops_total", {{"op", op}}), 0.0);
+  }
+  // Sub-millisecond fidelity: an in-process GET takes microseconds, and
+  // its p50 must come out in that range instead of flushing to zero.
+  double get_p50 = validator.Value("taco_op_latency_quantile_seconds",
+                                   {{"op", "GET"}, {"quantile", "0.5"}});
+  EXPECT_LT(get_p50, 0.01);
+  EXPECT_GT(get_p50, 0.0);
+  // The error path counted.
+  EXPECT_GE(validator.Value("taco_op_errors_total", {{"op", "SAVE"}}), 1.0);
+  // Per-session gauges carry the session label.
+  EXPECT_GT(validator.Value("taco_session_cells", {{"session", "wb"}}), 0.0);
+}
+
+TEST_F(ObservabilityTest, ExpositionLayoutIsConstantAcrossLoad) {
+  // Same series set before and after traffic: only values change. This
+  // is what makes dashboards stable and the conformance transcript
+  // scrubbable.
+  auto series_names = [](const std::string& text) {
+    PromValidator v;
+    EXPECT_TRUE(v.Validate(text)) << v.error();
+    std::set<std::string> names;
+    for (const PromSeries& s : v.series()) {
+      // Per-session gauges are the one load-dependent axis (a series per
+      // live session); everything else must be layout-stable.
+      if (s.labels.count("session")) continue;
+      std::string key = s.name;
+      for (const auto& [k, val] : s.labels) key += "|" + k + "=" + val;
+      names.insert(key);
+    }
+    return names;
+  };
+  std::set<std::string> cold = series_names(RenderServiceExposition(service_));
+  DriveTraffic();
+  std::set<std::string> warm = series_names(RenderServiceExposition(service_));
+  EXPECT_EQ(cold, warm);
+}
+
+TEST_F(ObservabilityTest, MetricsVerbServesTheSameExposition) {
+  DriveTraffic();
+  std::string response = Exec("METRICS");
+  ASSERT_TRUE(response.starts_with("OK metrics\n")) << response;
+  ASSERT_TRUE(response.ends_with("\nEND")) << response.substr(
+      response.size() > 40 ? response.size() - 40 : 0);
+  EXPECT_TRUE(CommandProcessor::ResponseContinues("OK metrics"));
+  std::string body = response.substr(strlen("OK metrics\n"));
+  body.resize(body.size() - strlen("END"));
+  PromValidator validator;
+  EXPECT_TRUE(validator.Validate(body)) << validator.error();
+  // The verb itself meters — a second call sees the first's sample.
+  EXPECT_GT(validator.Value("taco_ops_total", {{"op", "SET"}}), 0.0);
+  std::string again = Exec("METRICS");
+  PromValidator v2;
+  std::string body2 = again.substr(strlen("OK metrics\n"));
+  body2.resize(body2.size() - strlen("END"));
+  ASSERT_TRUE(v2.Validate(body2)) << v2.error();
+  EXPECT_GE(v2.Value("taco_ops_total", {{"op", "METRICS"}}), 1.0);
+}
+
+TEST_F(ObservabilityTest, TraceVerbDumpsSpansNewestFirst) {
+  Exec("OPEN wb");
+  Exec("SET wb A1 1");
+  Exec("FORMULA wb B1 A1*2");
+  Exec("SET wb A1 5");
+
+  std::string all = Exec("TRACE");
+  ASSERT_TRUE(all.starts_with("OK trace spans=3 recorded=3 capacity="))
+      << all;
+  ASSERT_TRUE(all.ends_with("\nEND"));
+  EXPECT_TRUE(CommandProcessor::ResponseContinues("OK trace"));
+  // Newest first: the second SET leads, the first SET is last.
+  size_t first_span = all.find("\nspan ");
+  ASSERT_NE(first_span, std::string::npos);
+  EXPECT_NE(all.find("seq=3 op=SET", first_span), std::string::npos) << all;
+  EXPECT_NE(all.find("op=FORMULA"), std::string::npos);
+  // Every span carries the phase fields.
+  for (const char* field : {"total_us=", "lock_us=", "find_us=", "eval_us=",
+                            "publish_us=", "fsync_us=", "respond_us=",
+                            "dirty=", "waves="}) {
+    EXPECT_NE(all.find(field), std::string::npos) << field;
+  }
+  // Detail names the edited cell.
+  EXPECT_NE(all.find("detail=A1"), std::string::npos) << all;
+
+  std::string two = Exec("TRACE 2");
+  EXPECT_TRUE(two.starts_with("OK trace spans=2 recorded=3")) << two;
+
+  // Reads never trace: the lock-free path records no spans.
+  Exec("GET wb B1");
+  EXPECT_TRUE(Exec("TRACE 0").starts_with("OK trace spans=3 recorded=3"));
+
+  EXPECT_TRUE(Exec("TRACE -1").starts_with("ERR"));
+  EXPECT_TRUE(Exec("TRACE abc").starts_with("ERR"));
+}
+
+TEST_F(ObservabilityTest, BatchSpanAggregatesItsEdits) {
+  Exec("OPEN wb");
+  Exec("BATCH wb 3\nSET A1 1\nSET A2 2\nFORMULA A3 A1+A2");
+  std::string trace = Exec("TRACE 1");
+  EXPECT_NE(trace.find("op=BATCH"), std::string::npos) << trace;
+  EXPECT_NE(trace.find("detail=edits=3"), std::string::npos) << trace;
+}
+
+// ---------------------------------------------------------------------
+// HTTP /metrics listener mode.
+
+class MetricsHttpTest : public ::testing::Test {
+ protected:
+  void StartHttp() {
+    SocketServerOptions options;
+    options.http_get_metrics = [this] {
+      return RenderServiceExposition(service_);
+    };
+    server_ = std::make_unique<SocketServer>(&service_, options);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  /// One raw HTTP exchange; returns status line, headers, body.
+  struct HttpResponse {
+    std::string status_line;
+    std::map<std::string, std::string> headers;
+    std::string body;
+  };
+
+  HttpResponse Request(const std::string& head) {
+    HttpResponse response;
+    SocketClient client;
+    EXPECT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+    EXPECT_TRUE(client.WriteRaw(head).ok());
+    auto status_line = client.ReadLine();
+    EXPECT_TRUE(status_line.ok());
+    response.status_line = status_line.value_or("");
+    while (true) {
+      auto line = client.ReadLine();
+      if (!line.ok() || line->empty()) break;
+      size_t colon = line->find(": ");
+      if (colon != std::string::npos) {
+        response.headers[line->substr(0, colon)] = line->substr(colon + 2);
+      }
+    }
+    // Body: read to EOF (the server closes after one response).
+    while (true) {
+      auto line = client.ReadLine();
+      if (!line.ok()) break;
+      response.body += *line + "\n";
+    }
+    return response;
+  }
+
+  WorkbookService service_;
+  std::unique_ptr<SocketServer> server_;
+};
+
+TEST_F(MetricsHttpTest, GetMetricsReturnsParseableExposition) {
+  // Load the service first so the scrape carries real numbers.
+  CommandProcessor processor(&service_);
+  processor.Execute("OPEN wb");
+  for (int i = 1; i <= 10; ++i) {
+    processor.Execute("SET wb A" + std::to_string(i) + " 1");
+  }
+  processor.Execute("FORMULA wb B1 SUM(A1:A10)");
+  processor.Execute("GET wb B1");
+  StartHttp();
+
+  HttpResponse response = Request("GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_EQ(response.status_line, "HTTP/1.1 200 OK");
+  EXPECT_EQ(response.headers["Content-Type"],
+            "text/plain; version=0.0.4; charset=utf-8");
+  EXPECT_EQ(response.headers["Connection"], "close");
+  ASSERT_FALSE(response.body.empty());
+  EXPECT_EQ(std::stoul(response.headers["Content-Length"]),
+            response.body.size());
+  PromValidator validator;
+  EXPECT_TRUE(validator.Validate(response.body)) << validator.error();
+  EXPECT_GT(validator.Value("taco_ops_total", {{"op", "SET"}}), 0.0);
+  EXPECT_TRUE(validator.Has("taco_op_latency_quantile_seconds",
+                            {{"op", "GET"}, {"quantile", "0.99"}}));
+
+  // The scrape itself was metered as a METRICS op.
+  HttpResponse second = Request("GET /metrics HTTP/1.1\r\n\r\n");
+  PromValidator v2;
+  ASSERT_TRUE(v2.Validate(second.body)) << v2.error();
+  EXPECT_GE(v2.Value("taco_ops_total", {{"op", "METRICS"}}), 1.0);
+}
+
+TEST_F(MetricsHttpTest, NonMetricsTargetsGet404And405) {
+  StartHttp();
+  EXPECT_EQ(Request("GET /other HTTP/1.1\r\n\r\n").status_line,
+            "HTTP/1.1 404 Not Found");
+  EXPECT_EQ(Request("POST /metrics HTTP/1.1\r\n\r\n").status_line,
+            "HTTP/1.1 405 Method Not Allowed");
+  // A query string still routes to the exposition.
+  EXPECT_EQ(Request("GET /metrics?format=text HTTP/1.1\r\n\r\n").status_line,
+            "HTTP/1.1 200 OK");
+}
+
+// ---------------------------------------------------------------------
+// Concurrency: scraping must never race the lock-free recorders. Run
+// under TSan in CI.
+
+TEST(ObservabilityConcurrencyTest, ScrapeWhileHammering) {
+  WorkbookService service;
+  CommandProcessor processor(&service);
+  processor.Execute("OPEN wb");
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  // Two mutator threads (distinct sessions to avoid pure lock convoy),
+  // two reader threads, one scraper, one tracer.
+  processor.Execute("OPEN wb2");
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      std::string session = t == 0 ? "wb" : "wb2";
+      CommandProcessor local(&service);
+      int i = 0;
+      while (!stop.load()) {
+        local.Execute("SET " + session + " A" + std::to_string(i % 50 + 1) +
+                      " " + std::to_string(i));
+        ++i;
+      }
+    });
+  }
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      CommandProcessor local(&service);
+      while (!stop.load()) {
+        local.Execute("GET wb A1");
+        local.Execute("GETRANGE wb A1:A8");
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    while (!stop.load()) {
+      std::string text = RenderServiceExposition(service);
+      PromValidator v;
+      ASSERT_TRUE(v.Validate(text)) << v.error();
+    }
+  });
+  threads.emplace_back([&] {
+    CommandProcessor local(&service);
+    while (!stop.load()) {
+      local.Execute("TRACE 8");
+      local.Execute("STATS");
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  stop.store(true);
+  for (std::thread& t : threads) t.join();
+
+  // Final scrape still valid and the counters moved.
+  PromValidator validator;
+  std::string text = RenderServiceExposition(service);
+  ASSERT_TRUE(validator.Validate(text)) << validator.error();
+  EXPECT_GT(validator.Value("taco_ops_total", {{"op", "SET"}}), 0.0);
+  EXPECT_GT(validator.Value("taco_ops_total", {{"op", "GET"}}), 0.0);
+}
+
+}  // namespace
+}  // namespace taco

@@ -52,16 +52,28 @@ struct Transcript {
 /// Strips what may legitimately differ between two executions: latency
 /// floats and the connection-counter line of the service STATS report.
 /// VALUE lines pass through verbatim — cell values must be bit-equal.
+///
+/// METRICS and TRACE responses additionally scrub EVERY number: their
+/// values are measurements (latency buckets, transport counters, span
+/// timings) that necessarily differ across transports, while their
+/// LAYOUT — the family/series/label structure and the span line fields
+/// — is the contract and must match byte for byte.
 std::string Scrub(const std::string& response) {
   static const std::regex kFloat("-?[0-9]+\\.[0-9]+");
   static const std::regex kConnections("connections [^\n]*");
+  static const std::regex kNumber(
+      "-?[0-9]+(\\.[0-9]+)?([eE][+-]?[0-9]+)?");
+  bool scrub_all = response.starts_with("OK metrics") ||
+                   response.starts_with("OK trace");
   std::string out;
   size_t begin = 0;
   while (begin <= response.size()) {
     size_t end = response.find('\n', begin);
     std::string line = response.substr(
         begin, end == std::string::npos ? std::string::npos : end - begin);
-    if (!line.starts_with("VALUE")) {
+    if (scrub_all) {
+      line = std::regex_replace(line, kNumber, "#");
+    } else if (!line.starts_with("VALUE")) {
       line = std::regex_replace(line, kConnections, "connections #");
       line = std::regex_replace(line, kFloat, "#");
     }
@@ -297,6 +309,29 @@ TEST(ProtocolConformanceTest, ServiceStatsReport) {
            "GET wb B1",
            "STATS",  // Multi-line report, END-terminated.
            "STATS nosuch",
+       }});
+}
+
+TEST(ProtocolConformanceTest, ObservabilityVerbs) {
+  // METRICS and TRACE must render the same structure over both
+  // transports: same families, same series in the same order, same span
+  // lines — only the measured numbers (scrubbed) may differ. This is
+  // what makes the exposition layout a stable contract rather than a
+  // load-dependent accident.
+  ExpectConformance(
+      {.name = "observability",
+       .commands = {
+           "OPEN wb",
+           "SET wb A1 1",
+           "FORMULA wb B1 A1*2",
+           "GET wb B1",
+           "METRICS",
+           "TRACE",     // Both spans (SET, FORMULA), newest first.
+           "TRACE 1",   // Just the FORMULA span.
+           "TRACE 0",   // Explicit "everything held".
+           "TRACE -2",  // Usage error.
+           "TRACE six", // Usage error.
+           "METRICS",   // The first METRICS/TRACE calls are now counted.
        }});
 }
 
