@@ -9,8 +9,20 @@
 //
 // Profiles (TACO_BENCH_PROFILE): smoke 2 clients x 300 commands,
 // default 4 x 3000, paper 8 x 20000.
+//
+// TACO_BENCH_LOG_FILE=<path> attaches a structured logger (obs/log.h)
+// to the service at the production-default info level — exactly what
+// `taco_serve --log-file` gives you. The harness runs the bench with
+// and without it and gates on the throughput delta
+// (docs/observability.md: logging must cost <5% on the SET path).
+// TACO_BENCH_LOG_LEVEL=debug additionally emits one op.apply event per
+// mutation through the async sink — the worst-case emit-path stress,
+// reported but not gated (on a single-core host the writer thread
+// necessarily steals serving cycles).
 
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -18,6 +30,7 @@
 #include "bench_util.h"
 #include "net/socket_client.h"
 #include "net/socket_server.h"
+#include "obs/log.h"
 #include "service/workbook_service.h"
 
 using namespace taco;
@@ -99,7 +112,26 @@ int main() {
   clients = EnvInt("TACO_BENCH_NET_CLIENTS", clients);
   commands = EnvInt("TACO_BENCH_NET_COMMANDS", commands);
 
+  std::unique_ptr<obs::Logger> logger;
+  const char* log_file = std::getenv("TACO_BENCH_LOG_FILE");
+  if (log_file != nullptr && log_file[0] != '\0') {
+    obs::Logger::Options log_options;
+    log_options.path = log_file;
+    if (const char* level = std::getenv("TACO_BENCH_LOG_LEVEL")) {
+      if (!obs::ParseLogLevel(level, &log_options.level)) {
+        std::fprintf(stderr, "bad TACO_BENCH_LOG_LEVEL %s\n", level);
+        return 1;
+      }
+    }
+    logger = obs::Logger::Open(log_options);
+    if (logger == nullptr) {
+      std::fprintf(stderr, "cannot open TACO_BENCH_LOG_FILE %s\n", log_file);
+      return 1;
+    }
+  }
+
   WorkbookServiceOptions service_options;
+  service_options.logger = logger.get();
   WorkbookService service(service_options);
   SocketServer server(&service);
   Status status = server.Start();
@@ -172,6 +204,19 @@ int main() {
     std::snprintf(name, sizeof(name), "rtt_p%.0f_ms", p);
     ReportJsonMetric("bench_net_throughput",
                      {name, Percentile(all_latency, p), "ms", labels});
+  }
+  if (logger != nullptr) {
+    logger->Flush();
+    std::printf("structured log: %llu events written, %llu dropped (%s)\n",
+                static_cast<unsigned long long>(logger->events_logged()),
+                static_cast<unsigned long long>(logger->events_dropped()),
+                logger->path().c_str());
+    ReportJsonMetric("bench_net_throughput",
+                     {"log_events", double(logger->events_logged()), "",
+                      labels});
+    ReportJsonMetric("bench_net_throughput",
+                     {"log_dropped", double(logger->events_dropped()), "",
+                      labels});
   }
   return total_errors == 0 ? 0 : 1;
 }

@@ -1,5 +1,6 @@
 #include "eval/recalc.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "common/clock.h"
@@ -37,6 +38,54 @@ Edit Edit::ClearRange(const Range& range) {
   edit.kind = Kind::kClearRange;
   edit.range = range;
   return edit;
+}
+
+uint64_t RecalcPlan::max_wave_cells() const {
+  uint64_t max_cells = 0;
+  for (uint64_t cells : wave_cells) max_cells = std::max(max_cells, cells);
+  return max_cells;
+}
+
+std::string_view RecalcPlan::granularity_name() const {
+  switch (granularity) {
+    case Granularity::kSerialInline:  return "serial-inline";
+    case Granularity::kCellGranular:  return "cell-granular";
+    case Granularity::kRangeGranular: return "range-granular";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Counts the formula cells in `dirty` for plan reporting, bounded so an
+/// EXPLAIN of a giant sparse rectangle cannot take longer than the pass
+/// it describes.  Returns false when the area budget was exceeded (the
+/// count is then a lower bound over the ranges scanned so far).
+bool CountDirtyFormulas(const Sheet& sheet, std::span<const Range> dirty,
+                        uint64_t max_area, uint64_t* formulas) {
+  *formulas = 0;
+  uint64_t scanned = 0;
+  for (const Range& range : dirty) {
+    scanned += range.Area();
+    if (scanned > max_area) return false;
+    for (const Cell& cell : EnumerateCells(range)) {
+      if (sheet.IsFormulaCell(cell)) ++(*formulas);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+RecalcPlan RecalcExecutor::Plan(const Sheet& sheet,
+                                std::span<const Range> dirty) const {
+  RecalcPlan plan;
+  plan.granularity = RecalcPlan::Granularity::kSerialInline;
+  plan.decision = "no_planner";
+  plan.dirty_ranges = dirty.size();
+  for (const Range& range : dirty) plan.dirty_area += range.Area();
+  CountDirtyFormulas(sheet, dirty, 1u << 20, &plan.dirty_formulas);
+  return plan;
 }
 
 RecalcEngine::RecalcEngine(Sheet* sheet, DependencyGraph* graph)
@@ -93,6 +142,37 @@ RecalcResult RecalcEngine::RecalculateMerged(std::span<const Range> changed) {
   result.eval_ns = NsSince(eval_start);
   result.eval_ms = double(result.eval_ns) / 1e6;
   return result;
+}
+
+RecalcEngine::ExplainInfo RecalcEngine::Explain(const Range& target) {
+  ExplainInfo info;
+  info.mode = mode_;
+  info.parallel_active = mode_ == RecalcMode::kParallel && executor_ != nullptr;
+
+  // The exact dirty-set recipe of RecalculateMerged, minus invalidation.
+  info.seeds = DisjointifyRanges({&target, 1});
+  std::vector<Range> dirty_union;
+  auto start = SteadyNow();
+  for (const Range& seed : info.seeds) {
+    std::vector<Range> dirty = graph_->FindDependents(seed);
+    dirty_union.insert(dirty_union.end(), dirty.begin(), dirty.end());
+  }
+  info.dirty = DisjointifyRanges(dirty_union);
+  info.find_dependents_ns = NsSince(start);
+  for (const Range& range : info.dirty) info.dirty_cells += range.Area();
+
+  if (info.parallel_active) {
+    info.plan = executor_->Plan(*sheet_, info.dirty);
+  } else {
+    info.plan.granularity = RecalcPlan::Granularity::kSerialInline;
+    info.plan.decision =
+        executor_ == nullptr ? "no_executor" : "mode=serial";
+    info.plan.dirty_ranges = info.dirty.size();
+    info.plan.dirty_area = info.dirty_cells;
+    CountDirtyFormulas(*sheet_, info.dirty, 1u << 20,
+                       &info.plan.dirty_formulas);
+  }
+  return info;
 }
 
 std::shared_ptr<const ValueVersion> RecalcEngine::PublishVersion(

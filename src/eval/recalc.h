@@ -13,6 +13,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "eval/evaluator.h"
@@ -50,6 +51,35 @@ enum class RecalcMode {
   kParallel,  ///< Wave-scheduled across the plugged-in executor.
 };
 
+/// A dry-run of the wave planner: what an executor WOULD do with a
+/// dirty set, without evaluating anything.  This is the inspectable
+/// unit behind the EXPLAIN protocol verb — it must mirror the real
+/// Execute decision tree exactly (same thresholds, same order), so a
+/// plan's waves/granularity always match the pass a mutation would run.
+struct RecalcPlan {
+  enum class Granularity {
+    kSerialInline,   ///< Evaluated on the calling thread, no waves.
+    kCellGranular,   ///< Per-cell nodes, Kahn waves.
+    kRangeGranular,  ///< Disjoint dirty ranges as nodes, R-tree edges.
+  };
+
+  Granularity granularity = Granularity::kSerialInline;
+  /// The threshold that made the decision, as a compact machine-greppable
+  /// token (e.g. "dirty_area(12)<min_parallel_cells(64)").  Never empty.
+  std::string decision;
+  int width = 1;                     ///< Wave-execution width (threads).
+  uint64_t dirty_ranges = 0;         ///< Disjoint dirty rectangles.
+  uint64_t dirty_area = 0;           ///< Total cells covered by them.
+  uint64_t dirty_formulas = 0;       ///< Formula cells among them.
+  uint64_t edges = 0;                ///< Dependency edges the plan expanded.
+  uint64_t cycle_cells = 0;          ///< Nodes on/downstream of cycles.
+  std::vector<uint64_t> wave_cells;  ///< Work units per topological wave.
+
+  uint64_t waves() const { return wave_cells.size(); }
+  uint64_t max_wave_cells() const;
+  std::string_view granularity_name() const;
+};
+
 /// The pluggable parallel-execution seam between the engine (taco_core,
 /// thread-free) and the wave scheduler (taco_sched, owns the threads).
 /// An executor must evaluate EVERY dirty formula cell of `dirty` into
@@ -75,6 +105,12 @@ class RecalcExecutor {
   /// the evaluator has already been invalidated for them.
   virtual Outcome Execute(const Sheet& sheet, Evaluator* evaluator,
                           std::span<const Range> dirty) = 0;
+
+  /// Plans (without executing) the pass Execute would run for `dirty`.
+  /// Read-only and side-effect-free.  The default implementation models
+  /// an executor-less engine: everything evaluates serially inline.
+  virtual RecalcPlan Plan(const Sheet& sheet,
+                          std::span<const Range> dirty) const;
 };
 
 /// One deferred cell mutation, for batched application. Constructed via
@@ -139,6 +175,25 @@ class RecalcEngine {
 
   /// Current value of a cell (cached; evaluates on demand).
   Value GetValue(const Cell& cell) { return evaluator_.EvaluateCell(cell); }
+
+  /// What a mutation of `target` would recalculate, without mutating:
+  /// the dependency-closure half of EXPLAIN.  Runs the exact dirty-set
+  /// recipe of RecalculateMerged (FindDependents per disjoint seed,
+  /// union disjointified) and then asks the active executor to Plan the
+  /// pass; an engine in serial mode (or without an executor) reports a
+  /// serial-inline plan.  Non-const only because graph queries update
+  /// the graph's query counters; no sheet/graph/evaluator/version state
+  /// changes.
+  struct ExplainInfo {
+    std::vector<Range> seeds;        ///< Disjointified seed rectangles.
+    std::vector<Range> dirty;        ///< The would-be dirty ranges.
+    uint64_t dirty_cells = 0;        ///< Area covered by `dirty`.
+    uint64_t find_dependents_ns = 0; ///< Closure query time (measured).
+    RecalcMode mode = RecalcMode::kSerial;
+    bool parallel_active = false;    ///< kParallel AND an executor plugged.
+    RecalcPlan plan;
+  };
+  ExplainInfo Explain(const Range& target);
 
   /// The version-publication hook at the recalc commit point: builds the
   /// immutable ValueVersion succeeding the last published one, covering

@@ -16,6 +16,7 @@
 
 #include "common/ascii.h"
 #include "common/clock.h"
+#include "obs/log.h"
 #include "service/metrics.h"
 
 namespace taco {
@@ -23,6 +24,16 @@ namespace {
 
 Status Errno(const std::string& what) {
   return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+const char* HttpStatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default:  return "Status";
+  }
 }
 
 void SetNonBlocking(int fd) {
@@ -244,8 +255,14 @@ void SocketServer::AcceptLoop() {
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 
+    obs::Logger* logger = service_->logger();
     if (open_.load() >= options_.max_clients) {
       counters.rejected.fetch_add(1);
+      if (logger != nullptr) {
+        logger->Log(obs::LogLevel::kWarn, "conn.reject",
+                    {{"open", static_cast<uint64_t>(open_.load())},
+                     {"max", static_cast<uint64_t>(options_.max_clients)}});
+      }
       WriteAll(fd,
                "ERR Unavailable: too many clients (max " +
                    std::to_string(options_.max_clients) + ")\n",
@@ -259,6 +276,16 @@ void SocketServer::AcceptLoop() {
 
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
+    conn->id = next_conn_id_.fetch_add(1);
+    if (logger != nullptr) {
+      // HTTP connections are per-scrape noise: keep them at debug so a
+      // default info log records clients, not every probe.
+      logger->Log(options_.http_handler ? obs::LogLevel::kDebug
+                                        : obs::LogLevel::kInfo,
+                  "conn.accept",
+                  {{"conn", conn->id},
+                   {"transport", options_.http_handler ? "http" : "line"}});
+    }
     Connection* raw = conn.get();
     {
       std::lock_guard<std::mutex> lock(conn_mu_);
@@ -311,38 +338,43 @@ void SocketServer::ServeHttp(Connection* conn) {
                                 ? std::string_view{}
                                 : line.substr(sp1 + 1, sp2 - sp1 - 1);
 
-  std::string status_line;
-  std::string body;
+  HttpReply reply;
   if (method != "GET") {
-    status_line = "HTTP/1.1 405 Method Not Allowed";
-    body = "only GET is served\n";
-  } else if (target == "/metrics" || target.substr(0, 9) == "/metrics?") {
-    auto start = SteadyNow();
-    body = options_.http_get_metrics();
-    status_line = "HTTP/1.1 200 OK";
-    // An HTTP scrape is a METRICS op by another transport; it lands in
-    // the same histogram row the protocol verb does.
-    service_->metrics().Record(ServiceOp::kMetrics, NsSince(start),
-                               /*ok=*/true);
+    reply.status = 405;
+    reply.body = "only GET is served\n";
   } else {
-    status_line = "HTTP/1.1 404 Not Found";
-    body = "try /metrics\n";
+    // The query string is scrape tooling's business, not the routing
+    // table's: /metrics?collect[]=... must reach the same handler arm.
+    std::string_view path = target.substr(0, target.find('?'));
+    auto start = SteadyNow();
+    reply = options_.http_handler(path);
+    if (path == "/metrics" && reply.status == 200) {
+      // An HTTP scrape is a METRICS op by another transport; it lands
+      // in the same histogram row the protocol verb does.
+      service_->metrics().Record(ServiceOp::kMetrics, NsSince(start),
+                                 /*ok=*/true);
+    }
   }
-  std::string response = status_line +
-                         "\r\nContent-Type: text/plain; version=0.0.4; "
-                         "charset=utf-8\r\nContent-Length: " +
-                         std::to_string(body.size()) +
-                         "\r\nConnection: close\r\n\r\n" + body;
+  std::string response = "HTTP/1.1 " + std::to_string(reply.status) + " " +
+                         HttpStatusText(reply.status) +
+                         "\r\nContent-Type: " + reply.content_type +
+                         "\r\nContent-Length: " +
+                         std::to_string(reply.body.size()) +
+                         "\r\nConnection: close\r\n\r\n" + reply.body;
   WriteAll(conn->fd, response, wake_read_);
 }
 
 void SocketServer::ServeConnection(Connection* conn) {
   TransportCounters& counters = service_->metrics().transport();
-  if (options_.http_get_metrics) {
+  if (options_.http_handler) {
     ServeHttp(conn);
     ::close(conn->fd);
     conn->fd = -1;
     ConnectionClosed();
+    if (obs::Logger* logger = service_->logger(); logger != nullptr) {
+      logger->Log(obs::LogLevel::kDebug, "conn.close",
+                  {{"conn", conn->id}, {"transport", "http"}});
+    }
     Reap(/*all=*/false);
     conn->done.store(true);
     return;
@@ -499,6 +531,10 @@ void SocketServer::ServeConnection(Connection* conn) {
   ::close(conn->fd);
   conn->fd = -1;
   ConnectionClosed();
+  if (obs::Logger* logger = service_->logger(); logger != nullptr) {
+    logger->Log(obs::LogLevel::kInfo, "conn.close",
+                {{"conn", conn->id}, {"transport", "line"}});
+  }
   // Reap peers that finished before us so a quiet daemon does not hold
   // dead threads until the next accept. Our own entry is skipped (done
   // is still false here — a thread cannot join itself), and the chain

@@ -53,6 +53,13 @@
 
 namespace taco {
 
+/// One response from the HTTP handler (see SocketServerOptions).
+struct HttpReply {
+  int status = 200;  ///< 200 / 404 / 503; anything else renders bare.
+  std::string content_type = "text/plain; version=0.0.4; charset=utf-8";
+  std::string body;
+};
+
 struct SocketServerOptions {
   /// IPv4 address to bind. The default serves loopback only; a daemon
   /// deliberately exposed to a network binds "0.0.0.0".
@@ -63,13 +70,16 @@ struct SocketServerOptions {
   size_t max_line_bytes = 64 * 1024;  ///< Per-line bound (see above).
 
   /// When set, this listener speaks minimal HTTP instead of the line
-  /// protocol: `GET /metrics` returns the callback's bytes as a 200
-  /// (text/plain; version=0.0.4 — the Prometheus exposition content
-  /// type), anything else is a 404/405, and every connection serves one
-  /// request then closes. taco_serve's --metrics-port uses this so a
-  /// stock Prometheus can scrape the daemon with zero new threading
-  /// machinery — the accept/drain/shutdown model is untouched.
-  std::function<std::string()> http_get_metrics;
+  /// protocol: a GET's path (query string stripped — Prometheus
+  /// appends scrape parameters) is routed to this handler, anything
+  /// non-GET is a 405, and every connection serves one request then
+  /// closes (`Connection: close` is always sent). taco_serve's
+  /// --metrics-port routes /metrics, /healthz, and /readyz through this
+  /// so a stock Prometheus (and an orchestrator's probes) can hit the
+  /// daemon with zero new threading machinery — the
+  /// accept/drain/shutdown model is untouched. A 200 on /metrics is
+  /// metered as a METRICS op, same histogram row as the protocol verb.
+  std::function<HttpReply(std::string_view path)> http_handler;
 };
 
 /// The network daemon in front of one WorkbookService. `service` must
@@ -103,13 +113,14 @@ class SocketServer {
  private:
   struct Connection {
     int fd = -1;
+    uint64_t id = 0;  ///< Server-unique, for conn.* log events.
     std::thread thread;
     std::atomic<bool> done{false};
   };
 
   void AcceptLoop();
   void ServeConnection(Connection* conn);
-  /// One-request HTTP mode (options_.http_get_metrics set): reads one
+  /// One-request HTTP mode (options_.http_handler set): reads one
   /// request head, answers, closes. Uses the same wake pipe / idle
   /// timeout / WriteAll machinery as the line protocol.
   void ServeHttp(Connection* conn);
@@ -140,6 +151,7 @@ class SocketServer {
   mutable std::mutex conn_mu_;
   std::list<std::unique_ptr<Connection>> connections_;
   std::atomic<int> open_{0};
+  std::atomic<uint64_t> next_conn_id_{1};
 };
 
 }  // namespace taco

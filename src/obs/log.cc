@@ -1,0 +1,352 @@
+#include "obs/log.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstring>
+
+#include "obs/rid.h"
+
+namespace taco::obs {
+
+namespace {
+
+/// Bounded in-place appender: formats into a caller-owned buffer and
+/// silently truncates on overflow (a cut log line beats a blocked
+/// request).  Leaves room for nothing — the caller sizes the buffer.
+class Appender {
+ public:
+  Appender(char* buf, size_t cap) : buf_(buf), cap_(cap) {}
+
+  void PutChar(char c) {
+    if (len_ < cap_) buf_[len_++] = c;
+  }
+  void PutRaw(std::string_view s) {
+    size_t n = s.size();
+    if (len_ + n > cap_) n = cap_ - len_;
+    std::memcpy(buf_ + len_, s.data(), n);
+    len_ += n;
+  }
+  void PutU64(uint64_t v) {
+    char tmp[20];
+    int n = std::snprintf(tmp, sizeof(tmp), "%" PRIu64, v);
+    PutRaw(std::string_view(tmp, static_cast<size_t>(n)));
+  }
+  void PutI64(int64_t v) {
+    char tmp[21];
+    int n = std::snprintf(tmp, sizeof(tmp), "%" PRId64, v);
+    PutRaw(std::string_view(tmp, static_cast<size_t>(n)));
+  }
+  void PutF64(double v) {
+    char tmp[32];
+    int n = std::snprintf(tmp, sizeof(tmp), "%.6g", v);
+    PutRaw(std::string_view(tmp, static_cast<size_t>(n)));
+  }
+  /// JSON string body: escapes quote, backslash, and control bytes.
+  void PutJsonEscaped(std::string_view s) {
+    for (char c : s) {
+      unsigned char u = static_cast<unsigned char>(c);
+      if (c == '"' || c == '\\') {
+        PutChar('\\');
+        PutChar(c);
+      } else if (c == '\n') {
+        PutRaw("\\n");
+      } else if (c == '\t') {
+        PutRaw("\\t");
+      } else if (c == '\r') {
+        PutRaw("\\r");
+      } else if (u < 0x20) {
+        char tmp[8];
+        std::snprintf(tmp, sizeof(tmp), "\\u%04x", u);
+        PutRaw(tmp);
+      } else {
+        PutChar(c);
+      }
+    }
+  }
+
+  size_t len() const { return len_; }
+
+ private:
+  char* buf_;
+  size_t cap_;
+  size_t len_ = 0;
+};
+
+bool TextNeedsQuoting(std::string_view s) {
+  if (s.empty()) return true;
+  for (char c : s) {
+    unsigned char u = static_cast<unsigned char>(c);
+    if (c == ' ' || c == '"' || c == '=' || u < 0x20) return true;
+  }
+  return false;
+}
+
+void PutTextValue(Appender* out, std::string_view s) {
+  if (!TextNeedsQuoting(s)) {
+    out->PutRaw(s);
+    return;
+  }
+  out->PutChar('"');
+  out->PutJsonEscaped(s);  // same escapes read fine in logfmt
+  out->PutChar('"');
+}
+
+uint64_t WallClockMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+std::string_view LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo:  return "info";
+    case LogLevel::kWarn:  return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "?";
+}
+
+bool ParseLogLevel(std::string_view text, LogLevel* out) {
+  if (text == "debug") { *out = LogLevel::kDebug; return true; }
+  if (text == "info")  { *out = LogLevel::kInfo;  return true; }
+  if (text == "warn")  { *out = LogLevel::kWarn;  return true; }
+  if (text == "error") { *out = LogLevel::kError; return true; }
+  return false;
+}
+
+std::string_view LogFormatName(LogFormat format) {
+  switch (format) {
+    case LogFormat::kJson: return "json";
+    case LogFormat::kText: return "text";
+  }
+  return "?";
+}
+
+bool ParseLogFormat(std::string_view text, LogFormat* out) {
+  if (text == "json") { *out = LogFormat::kJson; return true; }
+  if (text == "text" || text == "logfmt") {
+    *out = LogFormat::kText;
+    return true;
+  }
+  return false;
+}
+
+std::unique_ptr<Logger> Logger::Open(Options options) {
+  std::unique_ptr<Logger> logger(new Logger(std::move(options)));
+  if (!logger->OpenSink()) return nullptr;
+  logger->writer_ = std::thread([raw = logger.get()] { raw->WriterLoop(); });
+  return logger;
+}
+
+Logger::Logger(Options options)
+    : level_(static_cast<int>(options.level)),
+      format_(options.format),
+      path_(std::move(options.path)) {
+  capacity_ = RoundUpPow2(options.queue_slots < 2 ? 2 : options.queue_slots);
+  slot_bytes_ = options.max_event_bytes < 64 ? 64 : options.max_event_bytes;
+  slots_ = std::vector<Slot>(capacity_);
+  payloads_ = std::make_unique<char[]>(capacity_ * slot_bytes_);
+  for (size_t i = 0; i < capacity_; ++i) {
+    slots_[i].seq.store(i, std::memory_order_relaxed);
+  }
+}
+
+bool Logger::OpenSink() {
+  if (path_.empty()) {
+    out_ = stderr;
+    return true;
+  }
+  out_ = std::fopen(path_.c_str(), "a");
+  return out_ != nullptr;
+}
+
+Logger::~Logger() {
+  stop_.store(true, std::memory_order_release);
+  wake_cv_.notify_all();
+  if (writer_.joinable()) writer_.join();
+  if (out_ != nullptr && out_ != stderr) std::fclose(out_);
+}
+
+void Logger::Log(LogLevel level, std::string_view event,
+                 std::initializer_list<LogField> fields) {
+  if (!enabled(level)) return;
+
+  // Format the whole line on the caller's stack, then copy into a slot.
+  char local[1024];
+  size_t budget = slot_bytes_ < sizeof(local) ? slot_bytes_ : sizeof(local);
+  Appender out(local, budget - 1);  // reserve the trailing newline
+  uint64_t rid = CurrentRid();
+  uint64_t ts = WallClockMicros();
+
+  if (format_ == LogFormat::kJson) {
+    out.PutRaw("{\"ts_us\":");
+    out.PutU64(ts);
+    out.PutRaw(",\"level\":\"");
+    out.PutRaw(LogLevelName(level));
+    out.PutRaw("\",\"event\":\"");
+    out.PutJsonEscaped(event);
+    out.PutChar('"');
+    if (rid != 0) {
+      out.PutRaw(",\"rid\":");
+      out.PutU64(rid);
+    }
+    for (const LogField& f : fields) {
+      out.PutRaw(",\"");
+      out.PutJsonEscaped(f.key);
+      out.PutRaw("\":");
+      switch (f.type) {
+        case LogField::Type::kStr:
+          out.PutChar('"');
+          out.PutJsonEscaped(f.str);
+          out.PutChar('"');
+          break;
+        case LogField::Type::kU64: out.PutU64(f.u64); break;
+        case LogField::Type::kI64: out.PutI64(f.i64); break;
+        case LogField::Type::kF64: out.PutF64(f.f64); break;
+        case LogField::Type::kBool:
+          out.PutRaw(f.b ? "true" : "false");
+          break;
+      }
+    }
+    out.PutChar('}');
+  } else {
+    out.PutRaw("ts_us=");
+    out.PutU64(ts);
+    out.PutRaw(" level=");
+    out.PutRaw(LogLevelName(level));
+    out.PutRaw(" event=");
+    PutTextValue(&out, event);
+    if (rid != 0) {
+      out.PutRaw(" rid=");
+      out.PutU64(rid);
+    }
+    for (const LogField& f : fields) {
+      out.PutChar(' ');
+      out.PutRaw(f.key);
+      out.PutChar('=');
+      switch (f.type) {
+        case LogField::Type::kStr: PutTextValue(&out, f.str); break;
+        case LogField::Type::kU64: out.PutU64(f.u64); break;
+        case LogField::Type::kI64: out.PutI64(f.i64); break;
+        case LogField::Type::kF64: out.PutF64(f.f64); break;
+        case LogField::Type::kBool:
+          out.PutRaw(f.b ? "true" : "false");
+          break;
+      }
+    }
+  }
+
+  // Claim a slot (Vyukov MPMC enqueue, drop-on-full).
+  uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+  Slot* slot = nullptr;
+  for (;;) {
+    slot = &slots_[pos & (capacity_ - 1)];
+    uint64_t seq = slot->seq.load(std::memory_order_acquire);
+    intptr_t dif = static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+    if (dif == 0) {
+      if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                             std::memory_order_relaxed)) {
+        break;
+      }
+    } else if (dif < 0) {
+      // Full lap behind the consumer: ring is full.
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    } else {
+      pos = enqueue_pos_.load(std::memory_order_relaxed);
+    }
+  }
+
+  char* payload = payloads_.get() + (pos & (capacity_ - 1)) * slot_bytes_;
+  size_t len = out.len();
+  std::memcpy(payload, local, len);
+  payload[len] = '\n';
+  slot->len = static_cast<uint32_t>(len + 1);
+  slot->seq.store(pos + 1, std::memory_order_release);
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  // Only pay the notify syscall when the writer is parked; a busy
+  // writer re-polls the ring itself. The publish/sleep interleaving can
+  // still lose a wakeup (store buffer delays our seq publish past the
+  // idle check), which the writer's bounded wait_for absorbs: a missed
+  // notify delays a drain by at most one 20ms tick, never loses it.
+  if (writer_idle_.load(std::memory_order_seq_cst)) {
+    wake_cv_.notify_one();
+  }
+}
+
+bool Logger::HasReady() const {
+  const Slot& slot = slots_[dequeue_pos_ & (capacity_ - 1)];
+  return slot.seq.load(std::memory_order_acquire) == dequeue_pos_ + 1;
+}
+
+size_t Logger::DrainReady() {
+  // Honour a pending reopen before writing the next batch so events
+  // emitted after RequestReopen land in the fresh file.
+  if (reopen_.exchange(false, std::memory_order_acq_rel) &&
+      !path_.empty()) {
+    if (out_ != nullptr && out_ != stderr) std::fclose(out_);
+    out_ = std::fopen(path_.c_str(), "a");
+    if (out_ == nullptr) out_ = stderr;  // degraded, but events survive
+  }
+  size_t n = 0;
+  while (true) {
+    Slot& slot = slots_[dequeue_pos_ & (capacity_ - 1)];
+    if (slot.seq.load(std::memory_order_acquire) != dequeue_pos_ + 1) break;
+    const char* payload =
+        payloads_.get() + (dequeue_pos_ & (capacity_ - 1)) * slot_bytes_;
+    std::fwrite(payload, 1, slot.len, out_);
+    slot.seq.store(dequeue_pos_ + capacity_, std::memory_order_release);
+    ++dequeue_pos_;
+    ++n;
+  }
+  if (n > 0) std::fflush(out_);
+  written_.store(dequeue_pos_, std::memory_order_release);
+  return n;
+}
+
+void Logger::WriterLoop() {
+  for (;;) {
+    size_t wrote = DrainReady();
+    std::unique_lock<std::mutex> lock(mu_);
+    if (wrote > 0) flush_cv_.notify_all();
+    if (stop_.load(std::memory_order_acquire) && !HasReady() &&
+        !reopen_.load(std::memory_order_acquire)) {
+      flush_cv_.notify_all();
+      break;
+    }
+    writer_idle_.store(true, std::memory_order_seq_cst);
+    if (!HasReady()) {
+      wake_cv_.wait_for(lock, std::chrono::milliseconds(20));
+    }
+    writer_idle_.store(false, std::memory_order_relaxed);
+  }
+}
+
+void Logger::Flush() {
+  uint64_t target = enqueue_pos_.load(std::memory_order_acquire);
+  std::unique_lock<std::mutex> lock(mu_);
+  wake_cv_.notify_all();
+  flush_cv_.wait(lock, [&] {
+    if (reopen_.load(std::memory_order_acquire)) {
+      wake_cv_.notify_all();
+      return false;
+    }
+    if (written_.load(std::memory_order_acquire) < target) {
+      wake_cv_.notify_all();
+      return false;
+    }
+    return true;
+  });
+}
+
+}  // namespace taco::obs

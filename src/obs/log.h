@@ -1,0 +1,189 @@
+// Structured logging: leveled JSON-lines / logfmt events through a
+// bounded asynchronous sink.
+//
+// Design constraints (in order):
+//   1. The emit fast path never blocks and never allocates.  Events are
+//      formatted into a stack buffer and copied into a preallocated
+//      ring slot; when the ring is full the event is dropped and a
+//      relaxed counter incremented.  A logging burst can lose events —
+//      it can never stall a mutation.
+//   2. A single background writer thread drains the ring to the sink
+//      (a file or stderr), so fwrite/fflush syscalls happen off the
+//      request path.
+//   3. SIGHUP-driven reopen (logrotate): RequestReopen() sets a flag the
+//      writer honours between drains, so no event is lost across the
+//      swap — everything accepted before the reopen lands in the old
+//      file or the new one, never nowhere.
+//
+// The ring is a Vyukov-style bounded MPMC queue specialised to a single
+// consumer: producers claim a slot with a CAS on the enqueue cursor and
+// publish it by storing the slot's sequence number; the writer consumes
+// in order and recycles slots by bumping the sequence one full lap.
+#ifndef TACO_OBS_LOG_H_
+#define TACO_OBS_LOG_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace taco::obs {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+std::string_view LogLevelName(LogLevel level);
+bool ParseLogLevel(std::string_view text, LogLevel* out);
+
+enum class LogFormat : int { kJson = 0, kText = 1 };
+
+std::string_view LogFormatName(LogFormat format);
+bool ParseLogFormat(std::string_view text, LogFormat* out);
+
+/// One key/value pair of a structured event.  Construction is trivial
+/// (no allocation); the referenced strings must outlive the Log() call
+/// that uses them, which is all the emit path needs.
+struct LogField {
+  enum class Type { kStr, kU64, kI64, kF64, kBool };
+
+  LogField(std::string_view k, std::string_view v)
+      : key(k), type(Type::kStr), str(v) {}
+  LogField(std::string_view k, const char* v)
+      : key(k), type(Type::kStr), str(v == nullptr ? "" : v) {}
+  LogField(std::string_view k, const std::string& v)
+      : key(k), type(Type::kStr), str(v) {}
+  LogField(std::string_view k, bool v) : key(k), type(Type::kBool), b(v) {}
+  LogField(std::string_view k, double v) : key(k), type(Type::kF64), f64(v) {}
+  LogField(std::string_view k, int v)
+      : key(k), type(Type::kI64), i64(v) {}
+  LogField(std::string_view k, long v)
+      : key(k), type(Type::kI64), i64(v) {}
+  LogField(std::string_view k, long long v)
+      : key(k), type(Type::kI64), i64(v) {}
+  LogField(std::string_view k, unsigned v)
+      : key(k), type(Type::kU64), u64(v) {}
+  LogField(std::string_view k, unsigned long v)
+      : key(k), type(Type::kU64), u64(v) {}
+  LogField(std::string_view k, unsigned long long v)
+      : key(k), type(Type::kU64), u64(v) {}
+
+  std::string_view key;
+  Type type;
+  std::string_view str;
+  uint64_t u64 = 0;
+  int64_t i64 = 0;
+  double f64 = 0;
+  bool b = false;
+};
+
+class Logger {
+ public:
+  struct Options {
+    LogLevel level = LogLevel::kInfo;
+    LogFormat format = LogFormat::kJson;
+    /// Sink path; empty writes to stderr (and RequestReopen is a no-op).
+    std::string path;
+    /// Ring capacity in events; rounded up to a power of two.
+    size_t queue_slots = 1024;
+    /// Per-event payload budget; longer lines are truncated, not split.
+    size_t max_event_bytes = 512;
+  };
+
+  /// Opens the sink and starts the writer thread.  Returns nullptr if
+  /// a file path was given but could not be opened for append.
+  static std::unique_ptr<Logger> Open(Options options);
+  ~Logger();
+
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  /// True when `level` would be emitted — use to skip building fields
+  /// for disabled levels.
+  bool enabled(LogLevel level) const {
+    return static_cast<int>(level) >=
+           level_.load(std::memory_order_relaxed);
+  }
+  void set_level(LogLevel level) {
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+
+  /// Emits one event.  Non-blocking: formats into a stack buffer,
+  /// copies into a ring slot, returns.  Drops (and counts) when the
+  /// ring is full.  The current thread's rid (obs/rid.h) is attached
+  /// automatically when non-zero.
+  void Log(LogLevel level, std::string_view event,
+           std::initializer_list<LogField> fields);
+
+  /// Asks the writer to close and reopen the file sink (logrotate /
+  /// SIGHUP).  Async-signal-safe: just an atomic store.
+  void RequestReopen() { reopen_.store(true, std::memory_order_release); }
+
+  /// Blocks until every event accepted before this call has been
+  /// written to the sink and any pending reopen has been performed.
+  /// Test/shutdown helper — never called on the hot path.
+  void Flush();
+
+  /// Events accepted into the ring (== eventually written).
+  uint64_t events_logged() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+  /// Events dropped because the ring was full.
+  uint64_t events_dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  LogFormat format() const { return format_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> seq{0};
+    uint32_t len = 0;
+  };
+
+  explicit Logger(Options options);
+  bool OpenSink();
+  void WriterLoop();
+  /// Drains every ready slot; returns the number written.
+  size_t DrainReady();
+  bool HasReady() const;
+
+  std::atomic<int> level_;
+  LogFormat format_;
+  std::string path_;
+  size_t capacity_ = 0;      // power of two
+  size_t slot_bytes_ = 0;
+  std::vector<Slot> slots_;
+  std::unique_ptr<char[]> payloads_;  // capacity_ * slot_bytes_
+
+  alignas(64) std::atomic<uint64_t> enqueue_pos_{0};
+  alignas(64) uint64_t dequeue_pos_ = 0;  // writer thread only
+
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> written_{0};
+  std::atomic<bool> reopen_{false};
+  std::atomic<bool> stop_{false};
+  /// True only while the writer is (about to be) parked on wake_cv_.
+  /// Producers skip the notify syscall when the writer is already busy
+  /// draining — under load that is nearly always, and the writer's
+  /// bounded sleep re-checks the ring regardless, so a lost wakeup only
+  /// delays a drain by one timeout tick.
+  std::atomic<bool> writer_idle_{false};
+
+  std::FILE* out_ = nullptr;  // stderr when path_ empty
+  std::mutex mu_;
+  std::condition_variable wake_cv_;   // writer waits here
+  std::condition_variable flush_cv_;  // Flush() waits here
+  std::thread writer_;
+};
+
+}  // namespace taco::obs
+
+#endif  // TACO_OBS_LOG_H_

@@ -1,0 +1,100 @@
+#include "obs/process_stats.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#ifdef __linux__
+#include <dirent.h>
+#include <unistd.h>
+#endif
+
+namespace taco::obs {
+
+#ifdef __linux__
+namespace {
+
+bool ReadSmallFile(const char* path, std::string* out) {
+  std::FILE* f = std::fopen(path, "r");
+  if (f == nullptr) return false;
+  char buf[4096];
+  size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  buf[n] = '\0';
+  out->assign(buf, n);
+  return n > 0;
+}
+
+int64_t CountOpenFds() {
+  DIR* dir = opendir("/proc/self/fd");
+  if (dir == nullptr) return -1;
+  int64_t count = 0;
+  while (struct dirent* entry = readdir(dir)) {
+    if (entry->d_name[0] == '.') continue;
+    ++count;
+  }
+  closedir(dir);
+  // The scan itself holds one fd open; don't count it.
+  return count > 0 ? count - 1 : count;
+}
+
+}  // namespace
+
+ProcessStats SampleProcessStats() {
+  ProcessStats stats;
+
+  std::string statm;
+  if (ReadSmallFile("/proc/self/statm", &statm)) {
+    // statm: size resident shared ... (in pages).
+    unsigned long long size_pages = 0, resident_pages = 0;
+    if (std::sscanf(statm.c_str(), "%llu %llu", &size_pages,
+                    &resident_pages) == 2) {
+      stats.rss_bytes = static_cast<int64_t>(resident_pages) *
+                        static_cast<int64_t>(sysconf(_SC_PAGESIZE));
+    }
+  }
+
+  stats.open_fds = CountOpenFds();
+
+  std::string stat;
+  if (ReadSmallFile("/proc/self/stat", &stat)) {
+    // The comm field is parenthesised and may itself contain spaces or
+    // parens, so split after the LAST ')'.  Counting from the token
+    // after it: state=1 ... num_threads=18 ... starttime=20.
+    size_t close = stat.rfind(')');
+    if (close != std::string::npos) {
+      const char* p = stat.c_str() + close + 1;
+      long long threads = -1;
+      unsigned long long starttime_ticks = 0;
+      int field = 0;
+      while (*p != '\0' && field < 20) {
+        while (*p == ' ') ++p;
+        ++field;
+        if (field == 18) std::sscanf(p, "%lld", &threads);
+        if (field == 20) std::sscanf(p, "%llu", &starttime_ticks);
+        while (*p != '\0' && *p != ' ') ++p;
+      }
+      stats.threads = threads;
+
+      std::string uptime;
+      double system_uptime = 0.0;
+      if (starttime_ticks > 0 && ReadSmallFile("/proc/uptime", &uptime) &&
+          std::sscanf(uptime.c_str(), "%lf", &system_uptime) == 1) {
+        double start_seconds = static_cast<double>(starttime_ticks) /
+                               static_cast<double>(sysconf(_SC_CLK_TCK));
+        double up = system_uptime - start_seconds;
+        stats.uptime_seconds = up > 0.0 ? up : 0.0;
+      }
+    }
+  }
+
+  return stats;
+}
+
+#else  // !__linux__
+
+ProcessStats SampleProcessStats() { return ProcessStats{}; }
+
+#endif
+
+}  // namespace taco::obs

@@ -1,0 +1,26 @@
+// Process-level introspection gauges for the Prometheus exposition and
+// the health endpoints: resident set size, open file descriptors,
+// thread count, and uptime.  Linux-only readings from /proc; on other
+// platforms (or on read failure) gauges report -1 / 0 rather than
+// failing the scrape.
+#ifndef TACO_OBS_PROCESS_STATS_H_
+#define TACO_OBS_PROCESS_STATS_H_
+
+#include <cstdint>
+
+namespace taco::obs {
+
+struct ProcessStats {
+  int64_t rss_bytes = -1;
+  int64_t open_fds = -1;
+  int64_t threads = -1;
+  double uptime_seconds = 0.0;
+};
+
+/// Samples the current process.  Cheap (three small /proc reads plus a
+/// directory scan) but not free — call it per scrape, not per request.
+ProcessStats SampleProcessStats();
+
+}  // namespace taco::obs
+
+#endif  // TACO_OBS_PROCESS_STATS_H_

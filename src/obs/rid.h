@@ -1,0 +1,57 @@
+// Request correlation ids.
+//
+// A rid is a process-unique identifier minted once per protocol command
+// and threaded through everything that command touches: trace spans,
+// structured log events, slow-op stderr mirrors, and (optionally) the
+// ERR response the client sees.  Joining on rid is what turns a p99
+// spike in a histogram into "this command, on this session, took this
+// wave plan".
+//
+// The current rid travels in a thread_local so deep layers (the session
+// mutate path, the WAL observer) pick it up without parameter plumbing.
+// Commands that hop threads must re-establish the scope on the worker;
+// the protocol layer executes a command entirely on one thread, so in
+// practice a RidScope at the top of CommandProcessor::Execute covers
+// the whole request.
+#ifndef TACO_OBS_RID_H_
+#define TACO_OBS_RID_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace taco::obs {
+
+namespace internal {
+inline std::atomic<uint64_t> g_next_rid{1};
+inline thread_local uint64_t t_current_rid = 0;
+}  // namespace internal
+
+/// Mints a fresh process-unique rid.  Never returns 0 (0 means "no
+/// request context").
+inline uint64_t NextRid() {
+  return internal::g_next_rid.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// The rid of the request running on this thread, or 0 outside any
+/// request scope.
+inline uint64_t CurrentRid() { return internal::t_current_rid; }
+
+/// RAII request scope: installs `rid` as the thread's current rid and
+/// restores the previous value on destruction (scopes nest).
+class RidScope {
+ public:
+  explicit RidScope(uint64_t rid) : prev_(internal::t_current_rid) {
+    internal::t_current_rid = rid;
+  }
+  ~RidScope() { internal::t_current_rid = prev_; }
+
+  RidScope(const RidScope&) = delete;
+  RidScope& operator=(const RidScope&) = delete;
+
+ private:
+  uint64_t prev_;
+};
+
+}  // namespace taco::obs
+
+#endif  // TACO_OBS_RID_H_

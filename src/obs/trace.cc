@@ -14,11 +14,13 @@ std::string TraceSpan::ToLine() const {
   char buffer[384];
   std::snprintf(
       buffer, sizeof(buffer),
-      "span seq=%" PRIu64 " op=%s session=%s detail=%s ok=%d total_us=%" PRIu64
+      "span seq=%" PRIu64 " rid=%" PRIu64
+      " op=%s session=%s detail=%s ok=%d total_us=%" PRIu64
       " lock_us=%" PRIu64 " find_us=%" PRIu64 " eval_us=%" PRIu64
       " publish_us=%" PRIu64 " fsync_us=%" PRIu64 " respond_us=%" PRIu64
       " dirty=%" PRIu64 " waves=%" PRIu64,
-      seq, op.c_str(), session.c_str(), detail.empty() ? "-" : detail.c_str(),
+      seq, rid, op.c_str(), session.c_str(),
+      detail.empty() ? "-" : detail.c_str(),
       ok ? 1 : 0, ToUs(total_ns), ToUs(lock_wait_ns), ToUs(find_dependents_ns),
       ToUs(eval_ns), ToUs(publish_ns), ToUs(wal_fsync_ns), ToUs(respond_ns),
       dirty_cells, waves);
@@ -68,6 +70,12 @@ std::vector<TraceSpan> TraceRing::Newest(size_t n) const {
 uint64_t TraceRing::recorded() const {
   std::lock_guard<std::mutex> lock(mu_);
   return next_seq_ - 1;
+}
+
+uint64_t TraceRing::overwritten() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = next_seq_ - 1;
+  return total > capacity_ ? total - capacity_ : 0;
 }
 
 }  // namespace taco::obs

@@ -33,6 +33,7 @@ namespace taco::obs {
 /// the remainder: result formatting and the return path to the caller).
 struct TraceSpan {
   uint64_t seq = 0;          ///< Ring-assigned, monotonic per service.
+  uint64_t rid = 0;          ///< Request correlation id; 0 = none.
   std::string op;            ///< Protocol verb ("SET", "BATCH", ...).
   std::string session;       ///< Session name.
   std::string detail;        ///< Cell/range text, or edit count for BATCH.
@@ -77,6 +78,9 @@ class TraceRing {
   size_t capacity() const { return capacity_; }
   /// Spans ever recorded (not just those still held).
   uint64_t recorded() const;
+  /// Spans evicted by ring wrap-around — the ring's silent-loss
+  /// counter, surfaced in STATS and the Prometheus exposition.
+  uint64_t overwritten() const;
 
  private:
   const size_t capacity_;

@@ -1,6 +1,8 @@
 #include "sched/recalc_scheduler.h"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <unordered_set>
@@ -73,6 +75,30 @@ std::vector<std::vector<int>> BuildWaves(
     }
   }
   return waves;
+}
+
+/// Formats "lhs(value)cmp rhs(threshold)" decision tokens for plans.
+std::string Decision(const char* format, uint64_t a, uint64_t b) {
+  char buffer[128];
+  std::snprintf(buffer, sizeof(buffer), format, a, b);
+  return buffer;
+}
+
+/// Bounded formula count for plan reporting on the paths that never
+/// enumerate nodes (serial fast-outs); `max_area` keeps a dry run from
+/// outlasting the pass it describes.
+uint64_t CountFormulasBounded(const Sheet& sheet, std::span<const Range> dirty,
+                              uint64_t max_area) {
+  uint64_t formulas = 0;
+  uint64_t scanned = 0;
+  for (const Range& range : dirty) {
+    scanned += range.Area();
+    if (scanned > max_area) break;
+    for (const Cell& cell : EnumerateCells(range)) {
+      if (sheet.IsFormulaCell(cell)) ++formulas;
+    }
+  }
+  return formulas;
 }
 
 }  // namespace
@@ -319,6 +345,180 @@ RecalcExecutor::Outcome RecalcScheduler::Execute(const Sheet& sheet,
   // Mutually-referencing ranges (cross-range cycles), in serial order.
   for (int j : leftover) eval_serial_range(dirty[j]);
   return outcome;
+}
+
+RecalcPlan RecalcScheduler::Plan(const Sheet& sheet,
+                                 std::span<const Range> dirty) const {
+  // IMPORTANT: every branch below replays the corresponding branch of
+  // Execute — same thresholds, same order.  Changing one side without
+  // the other breaks the EXPLAIN-matches-execution guarantee that
+  // explain_test.cc pins down.
+  RecalcPlan plan;
+  plan.dirty_ranges = dirty.size();
+  for (const Range& range : dirty) plan.dirty_area += range.Area();
+
+  const int width =
+      pool_ == nullptr
+          ? 1
+          : std::max(1, std::min(options_.threads, pool_->num_threads()));
+  plan.width = width;
+
+  if (width <= 1) {
+    plan.decision = Decision("width(%" PRIu64 ")<=1 no_pool(%" PRIu64 ")",
+                             static_cast<uint64_t>(width),
+                             static_cast<uint64_t>(pool_ == nullptr ? 1 : 0));
+    plan.dirty_formulas =
+        CountFormulasBounded(sheet, dirty, options_.max_cells);
+    return plan;
+  }
+  if (plan.dirty_area < options_.min_parallel_cells) {
+    plan.decision =
+        Decision("dirty_area(%" PRIu64 ")<min_parallel_cells(%" PRIu64 ")",
+                 plan.dirty_area, options_.min_parallel_cells);
+    plan.dirty_formulas =
+        CountFormulasBounded(sheet, dirty, options_.max_cells);
+    return plan;
+  }
+
+  const bool cell_granular = plan.dirty_area <= options_.max_cells &&
+                             dirty.size() <= options_.max_ranges;
+  if (!cell_granular && dirty.size() > options_.max_ranges) {
+    plan.decision =
+        Decision("dirty_ranges(%" PRIu64 ")>max_ranges(%" PRIu64 ")",
+                 static_cast<uint64_t>(dirty.size()), options_.max_ranges);
+    plan.dirty_formulas =
+        CountFormulasBounded(sheet, dirty, options_.max_cells);
+    return plan;
+  }
+
+  if (cell_granular) {
+    std::vector<Cell> nodes;
+    std::vector<const Expr*> asts;
+    for (const Range& range : dirty) {
+      for (const Cell& cell : EnumerateCells(range)) {
+        const CellContent* content = sheet.Get(cell);
+        if (content != nullptr && content->IsFormula()) {
+          nodes.push_back(cell);
+          asts.push_back(content->formula().ast.get());
+        }
+      }
+    }
+    const int n = static_cast<int>(nodes.size());
+    plan.dirty_formulas = static_cast<uint64_t>(n);
+    if (static_cast<uint64_t>(n) < options_.min_parallel_cells) {
+      plan.decision =
+          Decision("dirty_formulas(%" PRIu64 ")<min_parallel_cells(%" PRIu64
+                   ")",
+                   static_cast<uint64_t>(n), options_.min_parallel_cells);
+      return plan;
+    }
+
+    std::map<int32_t, std::vector<std::pair<int32_t, int>>> columns;
+    for (int i = 0; i < n; ++i) {
+      columns[nodes[i].col].emplace_back(nodes[i].row, i);
+    }
+    for (auto& [col, rows] : columns) std::sort(rows.begin(), rows.end());
+
+    std::vector<std::vector<int>> adj(n);
+    std::vector<int> indeg(n, 0);
+    uint64_t edges = 0;
+    bool over_budget = false;
+    std::vector<A1Reference> refs;
+    for (int d = 0; d < n && !over_budget; ++d) {
+      refs.clear();
+      ExtractReferences(*asts[d], &refs);
+      for (const A1Reference& ref : refs) {
+        const Range& r = ref.range;
+        if (!r.IsValid()) continue;
+        for (auto it = columns.lower_bound(r.head.col);
+             it != columns.end() && it->first <= r.tail.col; ++it) {
+          const auto& rows = it->second;
+          auto lo = std::lower_bound(rows.begin(), rows.end(),
+                                     std::make_pair(r.head.row, -1));
+          for (auto row_it = lo;
+               row_it != rows.end() && row_it->first <= r.tail.row;
+               ++row_it) {
+            adj[row_it->second].push_back(d);
+            ++indeg[d];
+            if (++edges > options_.max_edges) {
+              over_budget = true;
+              break;
+            }
+          }
+          if (over_budget) break;
+        }
+        if (over_budget) break;
+      }
+    }
+    plan.edges = edges;
+
+    if (!over_budget) {
+      plan.granularity = RecalcPlan::Granularity::kCellGranular;
+      plan.decision = Decision("edges(%" PRIu64 ")<=max_edges(%" PRIu64 ")",
+                               edges, options_.max_edges);
+      std::vector<int> leftover;
+      std::vector<std::vector<int>> waves =
+          BuildWaves(adj, &indeg, &leftover);
+      plan.wave_cells.reserve(waves.size());
+      for (const std::vector<int>& wave : waves) {
+        plan.wave_cells.push_back(wave.size());
+      }
+      plan.cycle_cells = leftover.size();
+      return plan;
+    }
+    plan.decision = Decision("edges(%" PRIu64 ")>max_edges(%" PRIu64 ")",
+                             edges, options_.max_edges);
+  } else {
+    plan.decision = Decision("dirty_area(%" PRIu64 ")>max_cells(%" PRIu64 ")",
+                             plan.dirty_area, options_.max_cells);
+  }
+
+  // Range-granular: mirror Execute's R-tree edge discovery.
+  plan.granularity = RecalcPlan::Granularity::kRangeGranular;
+  const int m = static_cast<int>(dirty.size());
+  RTree index;
+  for (int j = 0; j < m; ++j) index.Insert(dirty[j], j);
+
+  std::vector<uint64_t> formulas(m, 0);
+  std::vector<std::vector<int>> adj(m);
+  std::vector<int> indeg(m, 0);
+  std::unordered_set<uint64_t> edge_seen;
+  std::vector<A1Reference> refs;
+  for (int j = 0; j < m; ++j) {
+    for (const Cell& cell : EnumerateCells(dirty[j])) {
+      const CellContent* content = sheet.Get(cell);
+      if (content == nullptr || !content->IsFormula()) continue;
+      ++formulas[j];
+      refs.clear();
+      ExtractReferences(*content->formula().ast, &refs);
+      for (const A1Reference& ref : refs) {
+        if (!ref.range.IsValid()) continue;
+        index.ForEachOverlap(ref.range, [&](const Range&, RTree::EntryId id) {
+          const int i = static_cast<int>(id);
+          if (i == j) return;
+          uint64_t key = (static_cast<uint64_t>(i) << 32) |
+                         static_cast<uint32_t>(j);
+          if (!edge_seen.insert(key).second) return;
+          adj[i].push_back(j);
+          ++indeg[j];
+        });
+      }
+    }
+  }
+  plan.dirty_formulas = 0;
+  for (int j = 0; j < m; ++j) plan.dirty_formulas += formulas[j];
+  plan.edges = edge_seen.size();
+
+  std::vector<int> leftover;
+  std::vector<std::vector<int>> waves = BuildWaves(adj, &indeg, &leftover);
+  plan.wave_cells.reserve(waves.size());
+  for (const std::vector<int>& wave : waves) {
+    uint64_t wave_cells = 0;
+    for (int j : wave) wave_cells += formulas[j];
+    plan.wave_cells.push_back(wave_cells);
+  }
+  for (int j : leftover) plan.cycle_cells += formulas[j];
+  return plan;
 }
 
 }  // namespace taco

@@ -106,6 +106,14 @@ class RecalcScheduler : public RecalcExecutor {
   Outcome Execute(const Sheet& sheet, Evaluator* evaluator,
                   std::span<const Range> dirty) override;
 
+  /// The EXPLAIN dry run: replays Execute's exact decision tree — same
+  /// thresholds, checked in the same order, including the cell-granular
+  /// edge expansion and its budget fallback — but evaluates nothing and
+  /// touches no evaluator.  Guaranteed to match a subsequent Execute on
+  /// the same sheet + dirty set wave-for-wave.
+  RecalcPlan Plan(const Sheet& sheet,
+                  std::span<const Range> dirty) const override;
+
   const SchedulerOptions& options() const { return options_; }
 
  private:

@@ -5,6 +5,8 @@
 
 #include "obs/exposition.h"
 #include "obs/histogram.h"
+#include "obs/log.h"
+#include "obs/process_stats.h"
 #include "service/metrics.h"
 #include "service/workbook_service.h"
 
@@ -164,6 +166,47 @@ std::string RenderServiceExposition(WorkbookService& service) {
            "counter");
   b.Sample("taco_trace_spans_total", {},
            static_cast<double>(metrics.trace().recorded()));
+  b.Family("taco_trace_spans_overwritten_total",
+           "Trace spans lost to ring overwrite (recorded - capacity).",
+           "counter");
+  b.Sample("taco_trace_spans_overwritten_total", {},
+           static_cast<double>(metrics.trace().overwritten()));
+
+  // Structured-log loss visibility: the sink is bounded and drop-on-full
+  // by design, so the drop counter IS the alert signal. Both series
+  // render as 0 when no logger is configured — the scrape layout never
+  // depends on flags.
+  const obs::Logger* logger = service.logger();
+  b.Family("taco_log_events_total",
+           "Structured log events accepted into the sink queue.",
+           "counter");
+  b.Sample("taco_log_events_total", {},
+           logger != nullptr
+               ? static_cast<double>(logger->events_logged())
+               : 0.0);
+  b.Family("taco_log_dropped_total",
+           "Structured log events dropped because the queue was full.",
+           "counter");
+  b.Sample("taco_log_dropped_total", {},
+           logger != nullptr
+               ? static_cast<double>(logger->events_dropped())
+               : 0.0);
+
+  // Process introspection (-1 on non-Linux / read failure).
+  obs::ProcessStats proc = obs::SampleProcessStats();
+  b.Family("taco_process_resident_memory_bytes",
+           "Resident set size of this process.", "gauge");
+  b.Sample("taco_process_resident_memory_bytes", {},
+           static_cast<double>(proc.rss_bytes));
+  b.Family("taco_process_open_fds",
+           "Open file descriptors held by this process.", "gauge");
+  b.Sample("taco_process_open_fds", {},
+           static_cast<double>(proc.open_fds));
+  b.Family("taco_process_threads", "Threads in this process.", "gauge");
+  b.Sample("taco_process_threads", {}, static_cast<double>(proc.threads));
+  b.Family("taco_process_uptime_seconds",
+           "Seconds since this process started.", "gauge");
+  b.Sample("taco_process_uptime_seconds", {}, proc.uptime_seconds);
 
   // Per-session gauges. SessionNames() is sorted, so the series order is
   // deterministic for a given session population.
@@ -188,6 +231,20 @@ std::string RenderServiceExposition(WorkbookService& service) {
   for (const auto& row : rows) {
     b.Sample("taco_session_formula_cells", {{"session", row.name}},
              static_cast<double>(row.stats.formula_cells));
+  }
+  b.Family("taco_session_graph_edges",
+           "Dependency edges in the session formula graph.", "gauge");
+  for (const auto& row : rows) {
+    b.Sample("taco_session_graph_edges", {{"session", row.name}},
+             static_cast<double>(row.stats.graph_edges));
+  }
+  b.Family("taco_session_version_chain_depth",
+           "Delta links behind the latest published version (1 = full "
+           "snapshot).",
+           "gauge");
+  for (const auto& row : rows) {
+    b.Sample("taco_session_version_chain_depth", {{"session", row.name}},
+             static_cast<double>(row.stats.version_chain_depth));
   }
   b.Family("taco_session_version", "Latest published MVCC version id.",
            "gauge");

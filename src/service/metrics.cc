@@ -24,6 +24,7 @@ std::string_view ServiceOpName(ServiceOp op) {
     case ServiceOp::kList:       return "LIST";
     case ServiceOp::kMetrics:    return "METRICS";
     case ServiceOp::kTrace:      return "TRACE";
+    case ServiceOp::kExplain:    return "EXPLAIN";
     case ServiceOp::kOpCount: break;
   }
   return "?";

@@ -43,6 +43,7 @@ enum class ServiceOp : uint8_t {
   kList,        ///< LIST admin verb.
   kMetrics,     ///< METRICS exposition verb (+ HTTP /metrics scrapes).
   kTrace,       ///< TRACE span-dump verb.
+  kExplain,     ///< EXPLAIN recalc-plan dry-run verb.
   kOpCount,     ///< Sentinel; not an operation.
 };
 

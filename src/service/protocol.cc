@@ -8,6 +8,7 @@
 #include "common/a1.h"
 #include "common/ascii.h"
 #include "common/clock.h"
+#include "obs/rid.h"
 #include "service/exposition.h"
 
 namespace taco {
@@ -169,15 +170,17 @@ bool StdioResponseWriter::Emit(std::string_view response) {
 }
 
 bool CommandProcessor::ResponseContinues(std::string_view first_line) {
-  // Four responses span multiple lines: the service-wide STATS report
+  // Five responses span multiple lines: the service-wide STATS report
   // ("OK service ..."), GETRANGE ("OK range ..."), the Prometheus
-  // exposition ("OK metrics"), and the span dump ("OK trace ..."); a
-  // session report is "OK session=..." and stays one line. Every
-  // multi-line form ends with the lone terminator line.
+  // exposition ("OK metrics"), the span dump ("OK trace ..."), and the
+  // recalc-plan dry run ("OK explain ..."); a session report is
+  // "OK session=..." and stays one line. Every multi-line form ends
+  // with the lone terminator line.
   return first_line.starts_with("OK service") ||
          first_line.starts_with("OK range") ||
          first_line.starts_with("OK metrics") ||
-         first_line.starts_with("OK trace");
+         first_line.starts_with("OK trace") ||
+         first_line.starts_with("OK explain");
 }
 
 std::string_view CommandProcessor::DispatchKey(std::string_view header_line) {
@@ -204,6 +207,25 @@ int CommandProcessor::ExtraBodyLines(std::string_view header_line) {
 }
 
 std::string CommandProcessor::Execute(std::string_view command_text) {
+  // Mint the request's correlation id before any work: everything this
+  // command touches — trace spans, log events, slow-op mirrors — joins
+  // on it. The scope covers metering too, so an admin verb's histogram
+  // sample and its log events describe the same window.
+  uint64_t rid = obs::NextRid();
+  obs::RidScope rid_scope(rid);
+  std::string response = ExecuteMetered(command_text);
+  // The optional client-visible half of the join: services started with
+  // rid-on-error append the id to ERR lines so a support ticket quoting
+  // the response pinpoints the span and log lines. OFF by default — the
+  // annotation is nondeterministic text, and transcript-diffing clients
+  // (the conformance suite) compare responses byte-for-byte.
+  if (service_->annotate_errors_with_rid() && response.starts_with("ERR")) {
+    response += " rid=" + std::to_string(rid);
+  }
+  return response;
+}
+
+std::string CommandProcessor::ExecuteMetered(std::string_view command_text) {
   // Admin verbs run entirely at this layer and would otherwise bypass
   // ServiceMetrics; meter them around the dispatch. Session-addressed
   // data ops and SAVE/CHECKPOINT/OPEN/LOAD/CLOSE record inside the
@@ -227,6 +249,8 @@ std::string CommandProcessor::Execute(std::string_view command_text) {
     admin_op = ServiceOp::kMetrics;
   } else if (EqualsIgnoreCase(cmd, "TRACE")) {
     admin_op = ServiceOp::kTrace;
+  } else if (EqualsIgnoreCase(cmd, "EXPLAIN")) {
+    admin_op = ServiceOp::kExplain;
   }
   if (admin_op == ServiceOp::kOpCount) return ExecuteInner(command_text);
   auto start = SteadyNow();
@@ -355,7 +379,23 @@ std::string CommandProcessor::ExecuteInner(std::string_view command_text) {
         static_cast<unsigned long long>(st.wal_bytes.load()),
         static_cast<unsigned long long>(st.recoveries.load()),
         static_cast<unsigned long long>(st.recovered_records.load()));
-    return buffer + std::string(conn) + storage +
+    // Silent-loss accounting: both sinks that can drop data under load
+    // (the bounded log ring, the trace ring's wrap-around) report here,
+    // so "no drops" is an observable fact rather than an assumption.
+    const obs::Logger* logger = service_->logger();
+    const obs::TraceRing& ring = service_->metrics().trace();
+    char observability[192];
+    std::snprintf(
+        observability, sizeof(observability),
+        "observability log_events=%llu log_dropped=%llu "
+        "trace_recorded=%llu trace_overwritten=%llu\n",
+        static_cast<unsigned long long>(
+            logger != nullptr ? logger->events_logged() : 0),
+        static_cast<unsigned long long>(
+            logger != nullptr ? logger->events_dropped() : 0),
+        static_cast<unsigned long long>(ring.recorded()),
+        static_cast<unsigned long long>(ring.overwritten()));
+    return buffer + std::string(conn) + storage + observability +
            service_->metrics().Report() + "END";
   }
   if (EqualsIgnoreCase(cmd, "RECALC")) {
@@ -408,6 +448,71 @@ std::string CommandProcessor::ExecuteInner(std::string_view command_text) {
     for (const obs::TraceSpan& span : spans) {
       out += "\n" + span.ToLine();
     }
+    out += "\n";
+    out += kResponseTerminator;
+    return out;
+  }
+  if (EqualsIgnoreCase(cmd, "EXPLAIN")) {
+    // The dry run: what a mutation of <cell-or-range> WOULD dirty and
+    // how the active recalc path would schedule it — closure size,
+    // per-wave cell counts, the serial-vs-parallel decision and the
+    // threshold that made it — committing nothing. The plan is produced
+    // by the same code paths a real mutation would take (FindDependents
+    // + the scheduler's decision tree), so it matches execution
+    // wave-for-wave.
+    std::string_view name = NextToken(&rest);
+    std::string_view range_text = NextToken(&rest);
+    if (name.empty() || range_text.empty()) {
+      return ErrUsage("EXPLAIN <session> <cell-or-range>");
+    }
+    auto ref = ParseA1(range_text);
+    if (!ref.ok()) return ErrLine(ref.status());
+    auto session = service_->Get(std::string(name));
+    if (!session.ok()) return ErrLine(session.status());
+    RecalcEngine::ExplainInfo info = (*session)->Explain(ref->range);
+    const RecalcPlan& plan = info.plan;
+
+    std::string out = "OK explain session=" + std::string(name) +
+                      " target=" + ref->range.ToString() +
+                      std::string(" mode=") +
+                      (info.parallel_active ? "parallel" : "serial") +
+                      " seeds=" + std::to_string(info.seeds.size()) +
+                      " dirty_ranges=" + std::to_string(info.dirty.size()) +
+                      " dirty_cells=" + std::to_string(info.dirty_cells) +
+                      " find_us=" +
+                      std::to_string(info.find_dependents_ns / 1000);
+    out += "\nPLAN granularity=" + std::string(plan.granularity_name()) +
+           " decision=" + plan.decision +
+           " width=" + std::to_string(plan.width) +
+           " formulas=" + std::to_string(plan.dirty_formulas) +
+           " edges=" + std::to_string(plan.edges) +
+           " waves=" + std::to_string(plan.waves()) +
+           " max_wave_cells=" + std::to_string(plan.max_wave_cells()) +
+           " cycle_cells=" + std::to_string(plan.cycle_cells);
+    for (size_t i = 0; i < plan.wave_cells.size(); ++i) {
+      out += "\nWAVE " + std::to_string(i + 1) +
+             " cells=" + std::to_string(plan.wave_cells[i]);
+    }
+    // Phase-time estimates from recent history: scale the per-dirty-cell
+    // eval cost and the mean fsync of the newest spans to this plan.
+    // Estimates, not promises — cache state and contention move them.
+    std::vector<obs::TraceSpan> recent =
+        service_->metrics().trace().Newest(32);
+    uint64_t eval_ns = 0, eval_cells = 0, fsync_ns = 0, basis = 0;
+    for (const obs::TraceSpan& span : recent) {
+      if (span.dirty_cells == 0) continue;
+      ++basis;
+      eval_ns += span.eval_ns;
+      eval_cells += span.dirty_cells;
+      fsync_ns += span.wal_fsync_ns;
+    }
+    uint64_t est_eval_us =
+        eval_cells > 0 ? eval_ns * plan.dirty_formulas / eval_cells / 1000
+                       : 0;
+    uint64_t est_fsync_us = basis > 0 ? fsync_ns / basis / 1000 : 0;
+    out += "\nEST basis_spans=" + std::to_string(basis) +
+           " est_eval_us=" + std::to_string(est_eval_us) +
+           " est_fsync_us=" + std::to_string(est_fsync_us);
     out += "\n";
     out += kResponseTerminator;
     return out;
@@ -542,7 +647,7 @@ std::string CommandProcessor::ExecuteInner(std::string_view command_text) {
 
   return "ERR InvalidArgument: unknown command '" + std::string(cmd) +
          "' (OPEN/LOAD/SAVE/CHECKPOINT/STORAGE/CLOSE/SET/FORMULA/GET/"
-         "GETRANGE/CLEAR/BATCH/RECALC/STATS/LIST/METRICS/TRACE)";
+         "GETRANGE/CLEAR/BATCH/RECALC/EXPLAIN/STATS/LIST/METRICS/TRACE)";
 }
 
 }  // namespace taco

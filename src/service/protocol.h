@@ -24,12 +24,21 @@
 //   BATCH <session> <n>               header; then n lines of
 //     SET <cell> <value> | FORMULA <cell> <src> | CLEAR <range>
 //   RECALC <session> [serial|parallel]  query / switch the recalc path
+//   EXPLAIN <session> <cell-or-range> -> OK explain ..., then the dry-run
+//                                        recalc plan (PLAN / WAVE / EST
+//                                        lines), then END — commits
+//                                        nothing
 //   STATS [session]                   service / session report
 //   LIST                              resident session names
 //   METRICS                           -> OK metrics, then the Prometheus
 //                                        text exposition, then END
 //   TRACE [n]                         -> OK trace ..., then the newest n
 //                                        (default all) span lines, END
+//
+// Every command is minted a process-unique correlation id (rid) for its
+// duration; trace spans and structured log events it produces carry it,
+// and services started with rid-on-error annotate ERR responses with a
+// trailing " rid=<n>" so a client-visible failure joins those records.
 //
 // The processor is stateless and thread-safe: a complete command (header
 // plus any BATCH body lines) goes in as one string, the response comes
@@ -122,6 +131,11 @@ class CommandProcessor {
   static constexpr std::string_view kResponseTerminator = "END";
 
  private:
+  /// Admin-verb metering around ExecuteInner; Execute wraps THIS with
+  /// the rid scope so the histogram sample and the correlation id cover
+  /// the same window.
+  std::string ExecuteMetered(std::string_view command_text);
+
   /// The dispatch body behind Execute (which wraps it with admin-verb
   /// metering — session-addressed data ops meter inside the session).
   std::string ExecuteInner(std::string_view command_text);

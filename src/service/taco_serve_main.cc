@@ -6,9 +6,18 @@
 //
 //   $ ./taco_serve [--threads N] [--recalc-threads N] [--backend NAME]
 //                  [--max-resident N] [--metrics-port P] [--slow-op-ms T]
+//                  [--log-file PATH] [--log-level L] [--log-format F]
 //                  [script]
 //   $ ./taco_serve --listen 7013 [--bind ADDR] [--max-clients N]
 //                  [--idle-timeout-ms M] [--metrics-port P]
+//                  [--drain-grace-ms M] [--rid-errors]
+//
+// --metrics-port also serves /healthz (process liveness) and /readyz
+// (traffic readiness: 503 while draining after a shutdown signal, for
+// --drain-grace-ms milliseconds before connections are torn down).
+// --log-file writes structured events (JSON lines by default; "text"
+// for logfmt) through a non-blocking bounded queue; SIGHUP reopens the
+// file for logrotate without losing events.
 //
 // Stdin mode responses are printed in request order, but execution is
 // dispatched onto the service's worker pool: commands for different
@@ -24,6 +33,8 @@
 #include <signal.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,9 +45,11 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "common/ascii.h"
 #include "net/socket_server.h"
+#include "obs/log.h"
 #include "service/exposition.h"
 #include "service/protocol.h"
 #include "service/workbook_service.h"
@@ -52,17 +65,30 @@ int ParseIntArg(const char* text, int fallback) {
 
 /// Self-pipe for signal-safe shutdown: the handler only writes a byte;
 /// main blocks reading the other end, then drains the server properly.
+/// 'S' asks for shutdown, 'H' (SIGHUP) asks for a log-file reopen.
 int g_signal_pipe[2] = {-1, -1};
 
+/// True from the shutdown signal until connections are torn down;
+/// /readyz answers 503 while set so load balancers stop routing here
+/// during the --drain-grace-ms window.
+std::atomic<bool> g_draining{false};
+
 extern "C" void HandleShutdownSignal(int /*signo*/) {
-  char byte = 1;
+  char byte = 'S';
   [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
 }
 
-/// Starts the HTTP /metrics listener when --metrics-port was given.
-/// Returns null (and logs) on failure — a daemon that can serve traffic
-/// but not scrapes should say so and keep serving, while the stdin mode
-/// treats a broken flag as fatal (the caller decides).
+extern "C" void HandleReopenSignal(int /*signo*/) {
+  char byte = 'H';
+  [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+/// Starts the HTTP listener when --metrics-port was given: /metrics
+/// (Prometheus exposition), /healthz (process liveness), /readyz
+/// (traffic readiness — 503 while draining). Returns null (and logs) on
+/// failure — a daemon that can serve traffic but not scrapes should say
+/// so and keep serving, while the stdin mode treats a broken flag as
+/// fatal (the caller decides).
 std::unique_ptr<SocketServer> StartMetricsServer(WorkbookService* service,
                                                  const std::string& bind,
                                                  uint16_t port) {
@@ -73,8 +99,27 @@ std::unique_ptr<SocketServer> StartMetricsServer(WorkbookService* service,
   // scraper from holding fds the protocol listener wants.
   opts.max_clients = 8;
   opts.idle_timeout_ms = 10000;
-  opts.http_get_metrics = [service] {
-    return RenderServiceExposition(*service);
+  opts.http_handler = [service](std::string_view path) -> HttpReply {
+    HttpReply reply;
+    if (path == "/metrics") {
+      reply.body = RenderServiceExposition(*service);
+    } else if (path == "/healthz") {
+      // Liveness: answering at all is the signal.
+      reply.content_type = "text/plain; charset=utf-8";
+      reply.body = "ok\n";
+    } else if (path == "/readyz") {
+      reply.content_type = "text/plain; charset=utf-8";
+      if (g_draining.load(std::memory_order_relaxed)) {
+        reply.status = 503;
+        reply.body = "draining\n";
+      } else {
+        reply.body = "ready\n";
+      }
+    } else {
+      reply.status = 404;
+      reply.body = "try /metrics, /healthz, or /readyz\n";
+    }
+    return reply;
   };
   auto server = std::make_unique<SocketServer>(service, opts);
   Status status = server->Start();
@@ -89,7 +134,8 @@ std::unique_ptr<SocketServer> StartMetricsServer(WorkbookService* service,
 }
 
 int RunListenMode(WorkbookService* service, const SocketServerOptions& opts,
-                  const std::string& metrics_bind, int metrics_port) {
+                  const std::string& metrics_bind, int metrics_port,
+                  obs::Logger* logger, int drain_grace_ms) {
   SocketServer server(service, opts);
   Status status = server.Start();
   if (!status.ok()) {
@@ -112,6 +158,10 @@ int RunListenMode(WorkbookService* service, const SocketServerOptions& opts,
   sigemptyset(&action.sa_mask);
   ::sigaction(SIGINT, &action, nullptr);
   ::sigaction(SIGTERM, &action, nullptr);
+  struct sigaction reopen {};
+  reopen.sa_handler = HandleReopenSignal;
+  sigemptyset(&reopen.sa_mask);
+  ::sigaction(SIGHUP, &reopen, nullptr);
 
   std::fprintf(stderr,
                "taco_serve listening on %s:%u (max_clients=%d "
@@ -119,18 +169,57 @@ int RunListenMode(WorkbookService* service, const SocketServerOptions& opts,
                opts.bind_address.c_str(), server.port(), opts.max_clients,
                opts.idle_timeout_ms, service->pool().num_threads(),
                service->recalc_threads());
-
-  char byte;
-  while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  if (logger != nullptr) {
+    logger->Log(obs::LogLevel::kInfo, "server.start",
+                {{"bind", opts.bind_address},
+                 {"port", static_cast<uint64_t>(server.port())},
+                 {"max_clients", static_cast<uint64_t>(opts.max_clients)}});
   }
+
+  for (;;) {
+    char byte;
+    ssize_t n = ::read(g_signal_pipe[0], &byte, 1);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // Pipe gone: treat as shutdown.
+    if (byte == 'H') {
+      // logrotate moved the file; swap to the new inode without losing
+      // queued events (the writer performs the reopen between drains).
+      if (logger != nullptr) {
+        logger->RequestReopen();
+        logger->Log(obs::LogLevel::kInfo, "log.reopen",
+                    {{"path", logger->path()}});
+      }
+      continue;
+    }
+    break;  // 'S': shutdown.
+  }
+
+  // Drain: flip /readyz to 503 first so orchestrators stop routing new
+  // work here, give them the grace window to notice, then tear down.
+  g_draining.store(true, std::memory_order_relaxed);
   std::fprintf(stderr, "shutdown signal: draining %d connection(s)\n",
                server.open_connections());
+  if (logger != nullptr) {
+    logger->Log(
+        obs::LogLevel::kInfo, "server.drain",
+        {{"connections", static_cast<uint64_t>(server.open_connections())},
+         {"grace_ms", static_cast<uint64_t>(drain_grace_ms)}});
+  }
+  if (drain_grace_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(drain_grace_ms));
+  }
   server.Shutdown();
   const TransportCounters& t = service->metrics().transport();
   std::fprintf(stderr,
                "taco_serve done (connections=%llu commands=%llu)\n",
                static_cast<unsigned long long>(t.accepted.load()),
                static_cast<unsigned long long>(t.commands.load()));
+  if (logger != nullptr) {
+    logger->Log(obs::LogLevel::kInfo, "server.stop",
+                {{"connections", t.accepted.load()},
+                 {"commands", t.commands.load()}});
+    logger->Flush();
+  }
   return 0;
 }
 
@@ -141,6 +230,9 @@ int main(int argc, char** argv) {
   SocketServerOptions socket_options;
   bool listen_mode = false;
   int metrics_port = 0;
+  int drain_grace_ms = 0;
+  obs::Logger::Options log_options;
+  std::string log_file;
   const char* script_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
@@ -238,19 +330,56 @@ int main(int argc, char** argv) {
                      "number); keeping %g\n",
                      text, options.slow_op_ms);
       }
+    } else if (std::strcmp(argv[i], "--log-file") == 0 && i + 1 < argc) {
+      log_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--log-level") == 0 && i + 1 < argc) {
+      const char* text = argv[++i];
+      if (!obs::ParseLogLevel(text, &log_options.level)) {
+        std::fprintf(stderr,
+                     "--log-level needs debug|info|warn|error, got '%s'\n",
+                     text);
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--log-format") == 0 && i + 1 < argc) {
+      const char* text = argv[++i];
+      if (!obs::ParseLogFormat(text, &log_options.format)) {
+        std::fprintf(stderr, "--log-format needs json|text, got '%s'\n",
+                     text);
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--rid-errors") == 0) {
+      options.annotate_errors_with_rid = true;
+    } else if (std::strcmp(argv[i], "--drain-grace-ms") == 0 &&
+               i + 1 < argc) {
+      drain_grace_ms = ParseIntArg(argv[++i], 0);
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::fprintf(
           stderr,
           "usage: taco_serve [--threads N] [--recalc-threads N] "
           "[--backend NAME] [--store text|binary] [--wal-dir DIR] "
           "[--max-resident N] [--metrics-port PORT] [--slow-op-ms T] "
-          "[script]\n"
+          "[--log-file PATH] [--log-level debug|info|warn|error] "
+          "[--log-format json|text] [--rid-errors] [script]\n"
           "       taco_serve --listen PORT [--bind ADDR] [--max-clients N] "
-          "[--idle-timeout-ms M] [...]\n");
+          "[--idle-timeout-ms M] [--drain-grace-ms M] [...]\n");
       return 0;
     } else {
       script_path = argv[i];
     }
+  }
+
+  // The logger outlives the service (sessions keep a raw pointer); its
+  // destructor flushes whatever the queue still holds.
+  std::unique_ptr<obs::Logger> logger;
+  if (!log_file.empty()) {
+    log_options.path = log_file;
+    logger = obs::Logger::Open(log_options);
+    if (logger == nullptr) {
+      std::fprintf(stderr, "cannot open --log-file '%s'\n",
+                   log_file.c_str());
+      return 1;
+    }
+    options.logger = logger.get();
   }
 
   WorkbookService service(options);
@@ -261,7 +390,8 @@ int main(int argc, char** argv) {
       return 1;
     }
     return RunListenMode(&service, socket_options,
-                         socket_options.bind_address, metrics_port);
+                         socket_options.bind_address, metrics_port,
+                         logger.get(), drain_grace_ms);
   }
 
   // In stdin mode the scrape listener rides along so interactive runs

@@ -77,6 +77,33 @@ std::string WorkbookService::WalPathFor(const std::string& name) const {
       .string();
 }
 
+WalOptions WorkbookService::WalOptionsFor(const std::string& name) const {
+  WalOptions wal = options_.wal;
+  if (obs::Logger* logger = options_.logger; logger != nullptr) {
+    // The observer fires on the appending (session) thread; Log is
+    // lock-free and never re-enters the store, so this is safe inside
+    // the WAL's own failure path.
+    wal.observer = [logger, name](WalEvent event, const std::string& path,
+                                  const std::string& detail) {
+      switch (event) {
+        case WalEvent::kRotate:
+          logger->Log(obs::LogLevel::kInfo, "wal.rotate",
+                      {{"session", name},
+                       {"path", path},
+                       {"snapshot", detail}});
+          break;
+        case WalEvent::kAppendFailure:
+          logger->Log(obs::LogLevel::kError, "wal.append_failed",
+                      {{"session", name},
+                       {"path", path},
+                       {"error", detail}});
+          break;
+      }
+    };
+  }
+  return wal;
+}
+
 std::optional<WorkbookService::ParkedEntry> WorkbookService::TakeParked(
     const std::string& name) {
   std::lock_guard<std::mutex> lock(parked_mu_);
@@ -98,12 +125,13 @@ Result<std::shared_ptr<WorkbookSession>> WorkbookService::MakeSession(
       name, std::move(sheet), std::move(*graph), &metrics_);
   session->set_backend_key(std::move(key));
   session->ConfigureStorage(storage_.get());
+  session->set_logger(options_.logger);
   if (wal_enabled()) {
     // Lazy arming: a fresh session creates its log file on its first
     // mutation, so this costs no I/O here (important for the in-lock
     // empty-session fast path). Recovered sessions AdoptWal afterwards,
     // replacing the armed path with the already-open log.
-    session->ArmWal(WalPathFor(name), options_.wal);
+    session->ArmWal(WalPathFor(name), WalOptionsFor(name));
   }
   if (recalc_scheduler_ != nullptr) {
     session->EnableParallelRecalc(recalc_scheduler_.get());
@@ -168,7 +196,7 @@ WorkbookService::LoadSessionFromStorage(const std::string& name,
     // than a silently wrong sheet. (Open only ever trims the torn
     // tail, so a later failure below leaves the log's data intact.)
     auto opened = WriteAheadLog::Open(
-        wal_path, options_.wal,
+        wal_path, WalOptionsFor(name),
         [&sheet](const EditBatch& batch) {
           for (const Edit& edit : batch) {
             TACO_RETURN_IF_ERROR(ApplyEditToSheet(&sheet, edit));
@@ -188,7 +216,7 @@ WorkbookService::LoadSessionFromStorage(const std::string& name,
     // neither destroy an existing log's acknowledged records nor leave
     // a stray log that would flip a later OPEN into recovery mode.
     auto created = WriteAheadLog::Create(
-        wal_path, options_.wal,
+        wal_path, WalOptionsFor(name),
         {snapshot_path, (*session)->backend_key()});
     if (!created.ok()) return created.status();
     wal = std::move(*created);
@@ -198,6 +226,19 @@ WorkbookService::LoadSessionFromStorage(const std::string& name,
   if (recovery.records > 0) {
     metrics_.storage().recoveries.fetch_add(1);
     metrics_.storage().recovered_records.fetch_add(recovery.records);
+  }
+  if (obs::Logger* logger = options_.logger; logger != nullptr) {
+    logger->Log(obs::LogLevel::kInfo, "session.load",
+                {{"session", name},
+                 {"path", snapshot_path},
+                 {"backend", (*session)->backend_key()},
+                 {"recovered_records", recovery.records}});
+    if (recovery.records > 0) {
+      logger->Log(obs::LogLevel::kInfo, "session.recover",
+                  {{"session", name},
+                   {"records", recovery.records},
+                   {"wal", wal_path}});
+    }
   }
   return session;
 }
@@ -253,6 +294,12 @@ Result<std::shared_ptr<WorkbookSession>> WorkbookService::OpenImpl(
             if (!session.ok()) return session;
             shard.sessions.emplace(name, *session);
             resident_count_.fetch_add(1);
+            if (obs::Logger* logger = options_.logger;
+                logger != nullptr) {
+              logger->Log(obs::LogLevel::kInfo, "session.open",
+                          {{"session", name},
+                           {"backend", (*session)->backend_key()}});
+            }
             return session;
           }
         }
@@ -426,6 +473,10 @@ Status WorkbookService::Close(const std::string& name) {
     std::error_code ec;
     std::filesystem::remove(WalPathFor(name), ec);
   }
+  if (obs::Logger* logger = options_.logger;
+      logger != nullptr && status.ok()) {
+    logger->Log(obs::LogLevel::kInfo, "session.close", {{"session", name}});
+  }
   metrics_.Record(ServiceOp::kClose, NsSince(start), status.ok());
   return status;
 }
@@ -542,6 +593,11 @@ void WorkbookService::MaybeEvict() {
                                  victim->backend_key()};
     }
     evictions_.fetch_add(1);
+    if (obs::Logger* logger = options_.logger; logger != nullptr) {
+      logger->Log(obs::LogLevel::kInfo, "session.evict",
+                  {{"session", victim->name()},
+                   {"path", victim->bound_path()}});
+    }
   }
 }
 

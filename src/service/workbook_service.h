@@ -82,6 +82,17 @@ struct WorkbookServiceOptions {
   /// --slow-op-ms). 0 disables. Fractional values work: thresholds
   /// below one millisecond are meaningful on the paper's workloads.
   double slow_op_ms = 0;
+
+  /// Structured event log for the whole service (taco_serve --log-file).
+  /// Non-owning; must outlive the service. Null disables event logging
+  /// entirely (sessions and the WAL observer check before formatting).
+  obs::Logger* logger = nullptr;
+
+  /// When set, every "ERR ..." protocol response carries a trailing
+  /// " rid=<n>" so a client-visible failure can be joined against the
+  /// trace span and log events minted under the same correlation id.
+  /// Off by default: the annotation is a wire-format change.
+  bool annotate_errors_with_rid = false;
 };
 
 /// Owns many independent workbook sessions and serves them concurrently.
@@ -124,6 +135,12 @@ class WorkbookService {
   ServiceMetrics& metrics() { return metrics_; }
   ThreadPool& pool() { return *pool_; }
   const WorkbookServiceOptions& options() const { return options_; }
+
+  /// The service-wide structured event log (null when disabled).
+  obs::Logger* logger() const { return options_.logger; }
+  bool annotate_errors_with_rid() const {
+    return options_.annotate_errors_with_rid;
+  }
 
   /// The storage engine every session persists through.
   StorageEngine& storage() { return *storage_; }
@@ -202,6 +219,11 @@ class WorkbookService {
 
   /// Looks up (and erases) the parked entry for `name`.
   std::optional<ParkedEntry> TakeParked(const std::string& name);
+
+  /// The per-session WAL options: the service-wide tuning plus (when a
+  /// logger is configured) an observer that turns rotations and append
+  /// failures into structured log events tagged with the session name.
+  WalOptions WalOptionsFor(const std::string& name) const;
 
   WorkbookServiceOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;

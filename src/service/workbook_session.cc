@@ -6,6 +6,7 @@
 #include "common/a1.h"
 #include "common/ascii.h"
 #include "common/clock.h"
+#include "obs/rid.h"
 #include "baselines/antifreeze.h"
 #include "baselines/calcgraph.h"
 #include "baselines/cellgraph.h"
@@ -191,6 +192,7 @@ Result<RecalcResult> WorkbookSession::Mutate(ServiceOp op,
     metrics_->Record(op, total_ns, result.ok(), outcome);
 
     obs::TraceSpan span;
+    span.rid = obs::CurrentRid();
     span.op = ServiceOpName(op);
     span.session = name_;
     span.detail = MutationDetail(op, edits);
@@ -211,6 +213,32 @@ Result<RecalcResult> WorkbookSession::Mutate(ServiceOp op,
     uint64_t accounted = span.lock_wait_ns + span.find_dependents_ns +
                          span.eval_ns + span.publish_ns + span.wal_fsync_ns;
     span.respond_ns = total_ns > accounted ? total_ns - accounted : 0;
+
+    if (logger_ != nullptr) {
+      // The slow-op log event joins the trace span (same rid) so an
+      // operator can pivot from either record to the other.
+      uint64_t threshold = metrics_->trace().slow_threshold_ns();
+      if (threshold > 0 && total_ns >= threshold) {
+        logger_->Log(obs::LogLevel::kWarn, "op.slow",
+                     {{"op", span.op},
+                      {"session", name_},
+                      {"detail", span.detail},
+                      {"ok", span.ok},
+                      {"total_us", total_ns / 1000},
+                      {"dirty", span.dirty_cells},
+                      {"waves", span.waves}});
+      } else if (logger_->enabled(obs::LogLevel::kDebug)) {
+        // Per-mutation debug event: the logging-overhead bench drives
+        // this path; production sinks run at info and never build it.
+        logger_->Log(obs::LogLevel::kDebug, "op.apply",
+                     {{"op", span.op},
+                      {"session", name_},
+                      {"detail", span.detail},
+                      {"ok", span.ok},
+                      {"total_us", total_ns / 1000},
+                      {"dirty", span.dirty_cells}});
+      }
+    }
     metrics_->trace().Record(std::move(span));
   }
   return result;
@@ -254,6 +282,11 @@ Result<RecalcResult> WorkbookSession::ApplyBatch(const EditBatch& batch,
     if (partial != nullptr) *partial = *inner;
     return r;
   });
+}
+
+RecalcEngine::ExplainInfo WorkbookSession::Explain(const Range& target) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return engine_.Explain(target);
 }
 
 void WorkbookSession::EnableParallelRecalc(RecalcExecutor* executor) {
@@ -456,6 +489,19 @@ Status WorkbookSession::Save(const std::string& path, ServiceOp op) {
   if (metrics_ != nullptr) {
     metrics_->Record(op, NsSince(start), status.ok());
   }
+  if (logger_ != nullptr) {
+    if (status.ok()) {
+      logger_->Log(obs::LogLevel::kInfo, "session.checkpoint",
+                   {{"session", name_},
+                    {"op", ServiceOpName(op)},
+                    {"path", bound_path()}});
+    } else {
+      logger_->Log(obs::LogLevel::kError, "session.checkpoint_failed",
+                   {{"session", name_},
+                    {"op", ServiceOpName(op)},
+                    {"error", status.message()}});
+    }
+  }
   return status;
 }
 
@@ -502,6 +548,7 @@ SessionStats WorkbookSession::Stats() const {
   stats.wal_failed = wal_failed_;
   auto version = published_.load(std::memory_order_acquire);
   stats.version = version != nullptr ? version->id() : 0;
+  stats.version_chain_depth = version != nullptr ? version->depth() : 0;
   stats.versions_published = versions_published_;
   stats.reads_versioned = reads_versioned;
   stats.reads_locked = reads_locked_.load(std::memory_order_relaxed);

@@ -28,6 +28,7 @@
 
 #include "eval/recalc.h"
 #include "graph/dependency_graph.h"
+#include "obs/log.h"
 #include "service/metrics.h"
 #include "sheet/sheet.h"
 #include "store/storage_engine.h"
@@ -60,6 +61,8 @@ struct SessionStats {
   bool wal_failed = false;      ///< Sticky: a WAL append failed; mutations
                                 ///  are refused until a CHECKPOINT.
   uint64_t version = 0;            ///< Latest published value version id.
+  uint64_t version_chain_depth = 0;  ///< Delta links behind the latest
+                                     ///  version (1 = full snapshot).
   uint64_t versions_published = 0; ///< Versions published over the lifetime.
   uint64_t reads_versioned = 0;    ///< Reads served lock-free.
   uint64_t reads_locked = 0;       ///< Reads served under the lock.
@@ -101,6 +104,12 @@ class WorkbookSession {
   /// apply (batches are not atomic; see RecalcEngine::ApplyBatch).
   Result<RecalcResult> ApplyBatch(const EditBatch& batch,
                                   RecalcResult* partial = nullptr);
+
+  /// The EXPLAIN dry run: what a mutation of `target` would dirty and
+  /// how the active recalc path would schedule it. Takes the session
+  /// lock (the graph must not move underneath the closure query) but
+  /// mutates nothing — no WAL append, no version publish, no recalc.
+  RecalcEngine::ExplainInfo Explain(const Range& target);
 
   /// The current value of one cell. Lock-free once a version has been
   /// published (every mutation publishes); the locked engine path serves
@@ -187,6 +196,12 @@ class WorkbookSession {
   const std::string& backend_key() const { return backend_key_; }
   void set_backend_key(std::string key) { backend_key_ = std::move(key); }
 
+  /// Attaches the service's structured logger (may be null). Like
+  /// `metrics`, the pointer is read without the session lock on the
+  /// mutation path, so it must be set before the session is published
+  /// and must outlive the session.
+  void set_logger(obs::Logger* logger) { logger_ = logger; }
+
  private:
   template <typename Fn>
   Result<RecalcResult> Mutate(ServiceOp op, std::span<const Edit> edits,
@@ -246,6 +261,7 @@ class WorkbookSession {
   uint64_t waves_ = 0;
   uint64_t max_wave_cells_ = 0;
   ServiceMetrics* metrics_;
+  obs::Logger* logger_ = nullptr;  ///< Shared; owned by the caller.
   std::string backend_key_;
   std::atomic<uint64_t> last_access_{0};
   std::atomic<uint64_t> op_epoch_{0};

@@ -440,6 +440,10 @@ Status WriteAheadLog::Append(std::span<const Edit> edits) {
           ::lseek(fd_, static_cast<off_t>(bytes_), SEEK_SET);
         }
       }
+      if (options_.observer) {
+        options_.observer(WalEvent::kAppendFailure, path_,
+                          std::strerror(err));
+      }
       return Status::IoError("wal append '" + path_ +
                              "': " + std::strerror(err));
     }
@@ -448,8 +452,13 @@ Status WriteAheadLog::Append(std::span<const Edit> edits) {
   if (options_.sync) {
     auto sync_start = SteadyNow();
     if (::fsync(fd_) != 0) {
+      int err = errno;
+      if (options_.observer) {
+        options_.observer(WalEvent::kAppendFailure, path_,
+                          std::strerror(err));
+      }
       return Status::IoError("wal fsync '" + path_ +
-                             "': " + std::strerror(errno));
+                             "': " + std::strerror(err));
     }
     last_sync_ns_ = NsSince(sync_start);
   }
@@ -466,6 +475,9 @@ Status WriteAheadLog::Rotate(const WalHeader& header) {
   fd_ = fresh->first;
   bytes_ = fresh->second;
   appended_records_ = 0;
+  if (options_.observer) {
+    options_.observer(WalEvent::kRotate, path_, header.snapshot_path);
+  }
   return Status::OK();
 }
 

@@ -44,6 +44,14 @@
 
 namespace taco {
 
+/// Notable WAL lifecycle moments, reported through WalOptions::observer
+/// so the owning layer can log them without the store depending on any
+/// logging machinery.
+enum class WalEvent {
+  kRotate,         ///< Checkpoint rotation swapped in a fresh log.
+  kAppendFailure,  ///< An append (write or fsync) failed; detail = error.
+};
+
 struct WalOptions {
   /// fsync after every append (the durability contract). Benchmarks may
   /// turn it off to measure the encode/write path alone.
@@ -51,6 +59,11 @@ struct WalOptions {
   /// Records larger than this are rejected at append and treated as
   /// corruption at replay (a frame this size cannot be genuine).
   uint32_t max_record_bytes = 64u << 20;
+  /// Optional event hook, invoked synchronously on the appending thread
+  /// with the log's path as context. Must not call back into the log.
+  std::function<void(WalEvent event, const std::string& path,
+                     const std::string& detail)>
+      observer;
 };
 
 /// The atomically-written metadata at the front of every log.

@@ -1,0 +1,288 @@
+// EXPLAIN dry-run planner (RecalcEngine::Explain / RecalcScheduler::Plan)
+// against what the real recalc then does.
+//
+// The planner's whole contract is "guaranteed to match a subsequent
+// Execute on the same sheet + dirty set wave-for-wave" — so every suite
+// here explains an edit first and then performs it, asserting the plan
+// predicted the pass the engine actually ran.
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "eval/recalc.h"
+#include "graph/nocomp_graph.h"
+#include "sched/recalc_scheduler.h"
+#include "sched/thread_pool.h"
+#include "sheet/sheet.h"
+#include "taco/taco_graph.h"
+
+namespace taco {
+namespace {
+
+std::unique_ptr<DependencyGraph> MakeGraph(bool taco) {
+  if (taco) return std::make_unique<TacoGraph>();
+  return std::make_unique<NoCompGraph>();
+}
+
+/// Sheet + graph + engine, optionally wired to a wave scheduler.
+struct Rig {
+  Rig(bool taco, RecalcExecutor* executor)
+      : graph(MakeGraph(taco)), engine(&sheet, graph.get()) {
+    if (executor != nullptr) {
+      engine.set_executor(executor);
+      engine.set_mode(RecalcMode::kParallel);
+    }
+  }
+  Sheet sheet;
+  std::unique_ptr<DependencyGraph> graph;
+  RecalcEngine engine;
+};
+
+/// No serial fast path, every wave dispatched — tiny workloads still
+/// exercise the planner's wave machinery.
+SchedulerOptions EagerOptions() {
+  SchedulerOptions options;
+  options.threads = 3;
+  options.min_parallel_cells = 1;
+  options.min_parallel_wave = 1;
+  return options;
+}
+
+class ExplainTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(ExplainTest, FanOutPlansOneWaveAndExecutionAgrees) {
+  ThreadPool pool(3);
+  RecalcScheduler scheduler(&pool, EagerOptions());
+  Rig rig(GetParam(), &scheduler);
+
+  constexpr int kRows = 200;
+  ASSERT_TRUE(rig.engine.SetNumber(Cell{1, 1}, 10.0).ok());
+  EditBatch setup;
+  for (int r = 1; r <= kRows; ++r) {
+    setup.push_back(Edit::SetFormula(Cell{2, r}, "$A$1*" + std::to_string(r)));
+  }
+  ASSERT_TRUE(rig.engine.ApplyBatch(setup).ok());
+
+  RecalcEngine::ExplainInfo info = rig.engine.Explain(Range(1, 1, 1, 1));
+  EXPECT_TRUE(info.parallel_active);
+  EXPECT_EQ(info.seeds.size(), 1u);
+  EXPECT_EQ(info.dirty_cells, static_cast<uint64_t>(kRows));
+  EXPECT_EQ(info.plan.granularity, RecalcPlan::Granularity::kCellGranular);
+  EXPECT_FALSE(info.plan.decision.empty());
+  EXPECT_EQ(info.plan.dirty_formulas, static_cast<uint64_t>(kRows));
+  EXPECT_EQ(info.plan.cycle_cells, 0u);
+  // Independent dependents: the whole dirty set is one wave.
+  ASSERT_EQ(info.plan.waves(), 1u);
+  EXPECT_EQ(info.plan.wave_cells[0], static_cast<uint64_t>(kRows));
+  EXPECT_EQ(info.plan.max_wave_cells(), static_cast<uint64_t>(kRows));
+
+  // Now DO the edit the plan described. Wave-for-wave agreement.
+  auto result = rig.engine.SetNumber(Cell{1, 1}, 3.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->waves, info.plan.waves());
+  EXPECT_EQ(result->max_wave_cells, info.plan.max_wave_cells());
+  EXPECT_EQ(result->dirty_cells, info.dirty_cells);
+  EXPECT_EQ(result->dirty.size(), info.dirty.size());
+  EXPECT_EQ(result->recalculated, info.plan.dirty_formulas);
+}
+
+TEST_P(ExplainTest, ChainPlansOneWavePerLinkAndExecutionAgrees) {
+  ThreadPool pool(3);
+  RecalcScheduler scheduler(&pool, EagerOptions());
+  Rig rig(GetParam(), &scheduler);
+
+  constexpr int kRows = 150;
+  ASSERT_TRUE(rig.engine.SetNumber(Cell{1, 1}, 1.0).ok());
+  EditBatch setup;
+  setup.push_back(Edit::SetFormula(Cell{2, 1}, "A1+1"));
+  for (int r = 2; r <= kRows; ++r) {
+    setup.push_back(
+        Edit::SetFormula(Cell{2, r}, "B" + std::to_string(r - 1) + "+1"));
+  }
+  ASSERT_TRUE(rig.engine.ApplyBatch(setup).ok());
+
+  RecalcEngine::ExplainInfo info = rig.engine.Explain(Range(1, 1, 1, 1));
+  EXPECT_EQ(info.plan.granularity, RecalcPlan::Granularity::kCellGranular);
+  // A pure chain: one single-cell wave per link.
+  ASSERT_EQ(info.plan.waves(), static_cast<uint64_t>(kRows));
+  for (uint64_t cells : info.plan.wave_cells) EXPECT_EQ(cells, 1u);
+  EXPECT_EQ(info.plan.max_wave_cells(), 1u);
+  EXPECT_EQ(info.plan.cycle_cells, 0u);
+
+  auto result = rig.engine.SetNumber(Cell{1, 1}, 5.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->waves, info.plan.waves());
+  EXPECT_EQ(result->max_wave_cells, info.plan.max_wave_cells());
+  EXPECT_EQ(result->recalculated, info.plan.dirty_formulas);
+  EXPECT_EQ(rig.engine.GetValue(Cell{2, kRows}), Value::Number(5.0 + kRows));
+}
+
+TEST_P(ExplainTest, CycleMembersNeverScheduleIntoWaves) {
+  ThreadPool pool(3);
+  RecalcScheduler scheduler(&pool, EagerOptions());
+  Rig rig(GetParam(), &scheduler);
+
+  // A1 <-> B1 cycle seeded off D1; no downstream, so the dirty set is
+  // exactly the two cycle members — Kahn never readies either.
+  ASSERT_TRUE(rig.engine.SetNumber(Cell{4, 1}, 1.0).ok());
+  EditBatch setup;
+  setup.push_back(Edit::SetFormula(Cell{1, 1}, "COUNT(B1)+D1*0"));
+  setup.push_back(Edit::SetFormula(Cell{2, 1}, "COUNT(A1)+D1*0"));
+  ASSERT_TRUE(rig.engine.ApplyBatch(setup).ok());
+
+  RecalcEngine::ExplainInfo info = rig.engine.Explain(Range(4, 1, 4, 1));
+  EXPECT_EQ(info.plan.granularity, RecalcPlan::Granularity::kCellGranular);
+  EXPECT_EQ(info.plan.cycle_cells, 2u);
+  EXPECT_EQ(info.plan.waves(), 0u);  // everything is a leftover
+  EXPECT_EQ(info.plan.dirty_formulas, 2u);
+
+  // Execution agrees: no waves dispatched, both cells evaluated in the
+  // serial leftover pass with the serial #CYCLE!-swallowing outcome.
+  auto result = rig.engine.SetNumber(Cell{4, 1}, 2.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->waves, 0u);
+  EXPECT_EQ(result->recalculated, 2u);
+}
+
+TEST_P(ExplainTest, CycleDownstreamCountsTowardCycleCells) {
+  ThreadPool pool(3);
+  RecalcScheduler scheduler(&pool, EagerOptions());
+  Rig rig(GetParam(), &scheduler);
+
+  ASSERT_TRUE(rig.engine.SetNumber(Cell{4, 1}, 1.0).ok());
+  EditBatch setup;
+  setup.push_back(Edit::SetFormula(Cell{1, 1}, "COUNT(B1)+D1*0"));  // A1
+  setup.push_back(Edit::SetFormula(Cell{2, 1}, "COUNT(A1)+D1*0"));  // B1
+  setup.push_back(Edit::SetFormula(Cell{3, 1}, "A1+B1"));  // downstream
+  setup.push_back(Edit::SetFormula(Cell{3, 2}, "D1*10"));  // acyclic bystander
+  ASSERT_TRUE(rig.engine.ApplyBatch(setup).ok());
+
+  RecalcEngine::ExplainInfo info = rig.engine.Explain(Range(4, 1, 4, 1));
+  // The two members plus the dependent that can never become ready.
+  EXPECT_EQ(info.plan.cycle_cells, 3u);
+  // The bystander still schedules as a normal one-cell wave.
+  ASSERT_EQ(info.plan.waves(), 1u);
+  EXPECT_EQ(info.plan.wave_cells[0], 1u);
+
+  auto result = rig.engine.SetNumber(Cell{4, 1}, 2.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->waves, info.plan.waves());
+  EXPECT_EQ(result->recalculated, 4u);
+  EXPECT_EQ(rig.engine.GetValue(Cell{3, 2}), Value::Number(20.0));
+}
+
+TEST_P(ExplainTest, TinyDirtySetsPlanSerialInlineWithNamedThreshold) {
+  ThreadPool pool(3);
+  SchedulerOptions options;
+  options.threads = 3;
+  options.min_parallel_cells = 1000;
+  RecalcScheduler scheduler(&pool, options);
+  Rig rig(GetParam(), &scheduler);
+
+  ASSERT_TRUE(rig.engine.SetNumber(Cell{1, 1}, 2.0).ok());
+  ASSERT_TRUE(rig.engine.SetFormula(Cell{2, 1}, "A1*3").ok());
+  ASSERT_TRUE(rig.engine.SetFormula(Cell{2, 2}, "B1+1").ok());
+
+  RecalcEngine::ExplainInfo info = rig.engine.Explain(Range(1, 1, 1, 1));
+  EXPECT_EQ(info.plan.granularity, RecalcPlan::Granularity::kSerialInline);
+  // The decision token names the threshold that short-circuited.
+  EXPECT_NE(info.plan.decision.find("min_parallel_cells"), std::string::npos)
+      << info.plan.decision;
+  EXPECT_EQ(info.plan.waves(), 0u);
+
+  auto result = rig.engine.SetNumber(Cell{1, 1}, 4.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->waves, 0u);
+}
+
+TEST_P(ExplainTest, EdgeBudgetFallbackPlansRangeGranular) {
+  ThreadPool pool(3);
+  SchedulerOptions options = EagerOptions();
+  options.max_edges = 4;  // per-cell expansion aborts immediately
+  RecalcScheduler scheduler(&pool, options);
+  Rig rig(GetParam(), &scheduler);
+
+  constexpr int kRows = 40;
+  EditBatch setup;
+  for (int r = 1; r <= kRows; ++r) {
+    setup.push_back(Edit::SetNumber(Cell{1, r}, r * 1.0));
+    setup.push_back(
+        Edit::SetFormula(Cell{2, r}, "SUM($A$1:A" + std::to_string(r) + ")"));
+    setup.push_back(
+        Edit::SetFormula(Cell{3, r}, "B" + std::to_string(r) + "*2"));
+  }
+  ASSERT_TRUE(rig.engine.ApplyBatch(setup).ok());
+
+  RecalcEngine::ExplainInfo info = rig.engine.Explain(Range(1, 1, 1, 1));
+  EXPECT_EQ(info.plan.granularity, RecalcPlan::Granularity::kRangeGranular);
+  EXPECT_FALSE(info.plan.decision.empty());
+  EXPECT_GE(info.plan.waves(), 1u);
+
+  auto result = rig.engine.SetNumber(Cell{1, 1}, 100.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->waves, info.plan.waves());
+  EXPECT_EQ(result->max_wave_cells, info.plan.max_wave_cells());
+}
+
+TEST_P(ExplainTest, ExplainIsSideEffectFreeAndRepeatable) {
+  ThreadPool pool(3);
+  RecalcScheduler scheduler(&pool, EagerOptions());
+  Rig rig(GetParam(), &scheduler);
+
+  ASSERT_TRUE(rig.engine.SetNumber(Cell{1, 1}, 10.0).ok());
+  for (int r = 1; r <= 20; ++r) {
+    ASSERT_TRUE(
+        rig.engine.SetFormula(Cell{2, r}, "$A$1+" + std::to_string(r)).ok());
+  }
+  Value before = rig.engine.GetValue(Cell{2, 5});
+  uint64_t version_before = rig.engine.latest_version() != nullptr
+                                ? rig.engine.latest_version()->id()
+                                : 0;
+
+  RecalcEngine::ExplainInfo first = rig.engine.Explain(Range(1, 1, 1, 1));
+  RecalcEngine::ExplainInfo second = rig.engine.Explain(Range(1, 1, 1, 1));
+
+  // Dry run: same answer twice, no value change, no version published.
+  EXPECT_EQ(first.dirty_cells, second.dirty_cells);
+  EXPECT_EQ(first.plan.wave_cells, second.plan.wave_cells);
+  EXPECT_EQ(first.plan.decision, second.plan.decision);
+  EXPECT_EQ(rig.engine.GetValue(Cell{2, 5}), before);
+  uint64_t version_after = rig.engine.latest_version() != nullptr
+                               ? rig.engine.latest_version()->id()
+                               : 0;
+  EXPECT_EQ(version_after, version_before);
+}
+
+TEST_P(ExplainTest, SerialEnginesReportSerialInlinePlans) {
+  // No executor at all.
+  Rig bare(GetParam(), nullptr);
+  ASSERT_TRUE(bare.engine.SetNumber(Cell{1, 1}, 1.0).ok());
+  ASSERT_TRUE(bare.engine.SetFormula(Cell{2, 1}, "A1*2").ok());
+  RecalcEngine::ExplainInfo info = bare.engine.Explain(Range(1, 1, 1, 1));
+  EXPECT_FALSE(info.parallel_active);
+  EXPECT_EQ(info.mode, RecalcMode::kSerial);
+  EXPECT_EQ(info.plan.granularity, RecalcPlan::Granularity::kSerialInline);
+  EXPECT_EQ(info.plan.decision, "no_executor");
+  EXPECT_EQ(info.plan.dirty_formulas, 1u);
+
+  // Executor plugged but mode switched back to serial: still inline.
+  ThreadPool pool(2);
+  RecalcScheduler scheduler(&pool, EagerOptions());
+  Rig rig(GetParam(), &scheduler);
+  rig.engine.set_mode(RecalcMode::kSerial);
+  ASSERT_TRUE(rig.engine.SetNumber(Cell{1, 1}, 1.0).ok());
+  ASSERT_TRUE(rig.engine.SetFormula(Cell{2, 1}, "A1*2").ok());
+  info = rig.engine.Explain(Range(1, 1, 1, 1));
+  EXPECT_FALSE(info.parallel_active);
+  EXPECT_EQ(info.plan.granularity, RecalcPlan::Granularity::kSerialInline);
+  EXPECT_EQ(info.plan.decision, "mode=serial");
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, ExplainTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Taco" : "NoComp";
+                         });
+
+}  // namespace
+}  // namespace taco

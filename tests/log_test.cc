@@ -1,0 +1,395 @@
+// Structured logging sink (src/obs/log.h): formats, levels, the
+// bounded drop-on-full queue, reopen-without-loss, and concurrency.
+//
+// The reopen and multi-producer suites are the SIGHUP/logrotate story:
+// every event ACCEPTED into the ring must eventually appear in exactly
+// one sink file, whatever renames happen underneath the writer.
+#include "obs/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/rid.h"
+
+namespace taco::obs {
+namespace {
+
+std::string TempLogPath(const std::string& name) {
+  std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(LogLevelTest, ParsesEveryNameAndRejectsJunk) {
+  LogLevel level = LogLevel::kError;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("info", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_FALSE(ParseLogLevel("", &level));
+  for (LogLevel l : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                     LogLevel::kError}) {
+    LogLevel round = LogLevel::kDebug;
+    ASSERT_TRUE(ParseLogLevel(std::string(LogLevelName(l)), &round));
+    EXPECT_EQ(round, l);
+  }
+}
+
+TEST(LogFormatTest, ParsesJsonTextAndLogfmtAlias) {
+  LogFormat format = LogFormat::kJson;
+  EXPECT_TRUE(ParseLogFormat("text", &format));
+  EXPECT_EQ(format, LogFormat::kText);
+  EXPECT_TRUE(ParseLogFormat("logfmt", &format));
+  EXPECT_EQ(format, LogFormat::kText);
+  EXPECT_TRUE(ParseLogFormat("json", &format));
+  EXPECT_EQ(format, LogFormat::kJson);
+  EXPECT_FALSE(ParseLogFormat("xml", &format));
+}
+
+TEST(LogTest, JsonLinesCarryTypedFieldsInOrder) {
+  std::string path = TempLogPath("log_json.log");
+  Logger::Options options;
+  options.path = path;
+  auto logger = Logger::Open(options);
+  ASSERT_NE(logger, nullptr);
+
+  logger->Log(LogLevel::kInfo, "unit.test",
+              {{"name", "alpha"},
+               {"count", 7u},
+               {"delta", -3},
+               {"ratio", 0.5},
+               {"ok", true},
+               {"stale", false}});
+  logger->Flush();
+
+  std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  const std::string& line = lines[0];
+  // Fixed prefix: timestamp, level, event — then fields in call order.
+  EXPECT_EQ(line.rfind("{\"ts_us\":", 0), 0u) << line;
+  EXPECT_NE(line.find("\"level\":\"info\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"event\":\"unit.test\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"name\":\"alpha\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"count\":7"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"delta\":-3"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"ratio\":0.5"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"ok\":true"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"stale\":false"), std::string::npos) << line;
+  EXPECT_EQ(line.back(), '}');
+  EXPECT_LT(line.find("\"name\""), line.find("\"count\""));
+}
+
+TEST(LogTest, JsonEscapesQuotesBackslashesAndControlBytes) {
+  std::string path = TempLogPath("log_escape.log");
+  Logger::Options options;
+  options.path = path;
+  auto logger = Logger::Open(options);
+  ASSERT_NE(logger, nullptr);
+
+  logger->Log(LogLevel::kInfo, "esc",
+              {{"text", std::string("a\"b\\c\nd\te\rf") + '\x01' + "g"}});
+  logger->Flush();
+
+  std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("a\\\"b\\\\c\\nd\\te\\rf\\u0001g"),
+            std::string::npos)
+      << lines[0];
+}
+
+TEST(LogTest, TextFormatIsLogfmtWithQuotingOnlyWhenNeeded) {
+  std::string path = TempLogPath("log_text.log");
+  Logger::Options options;
+  options.path = path;
+  options.format = LogFormat::kText;
+  auto logger = Logger::Open(options);
+  ASSERT_NE(logger, nullptr);
+
+  logger->Log(LogLevel::kWarn, "unit.test",
+              {{"plain", "bare"}, {"spaced", "two words"}, {"flag", true}});
+  logger->Flush();
+
+  std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  const std::string& line = lines[0];
+  EXPECT_EQ(line.rfind("ts_us=", 0), 0u) << line;
+  EXPECT_NE(line.find(" level=warn "), std::string::npos) << line;
+  EXPECT_NE(line.find(" event=unit.test "), std::string::npos) << line;
+  EXPECT_NE(line.find(" plain=bare "), std::string::npos) << line;
+  // Values with spaces get quoted; bare values do not.
+  EXPECT_NE(line.find(" spaced=\"two words\" "), std::string::npos) << line;
+  EXPECT_NE(line.find(" flag=true"), std::string::npos) << line;
+}
+
+TEST(LogTest, LevelGateSkipsDisabledEventsEntirely) {
+  std::string path = TempLogPath("log_levels.log");
+  Logger::Options options;
+  options.path = path;
+  options.level = LogLevel::kWarn;
+  auto logger = Logger::Open(options);
+  ASSERT_NE(logger, nullptr);
+
+  EXPECT_FALSE(logger->enabled(LogLevel::kDebug));
+  EXPECT_FALSE(logger->enabled(LogLevel::kInfo));
+  EXPECT_TRUE(logger->enabled(LogLevel::kWarn));
+  EXPECT_TRUE(logger->enabled(LogLevel::kError));
+
+  logger->Log(LogLevel::kDebug, "below", {});
+  logger->Log(LogLevel::kInfo, "below", {});
+  logger->Log(LogLevel::kWarn, "kept.warn", {});
+  logger->Log(LogLevel::kError, "kept.error", {});
+  logger->Flush();
+
+  // Gated events are not accepted OR dropped — they never existed.
+  EXPECT_EQ(logger->events_logged(), 2u);
+  EXPECT_EQ(logger->events_dropped(), 0u);
+  std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("kept.warn"), std::string::npos);
+  EXPECT_NE(lines[1].find("kept.error"), std::string::npos);
+
+  // The gate is dynamic: dropping to debug re-enables everything.
+  logger->set_level(LogLevel::kDebug);
+  EXPECT_TRUE(logger->enabled(LogLevel::kDebug));
+  logger->Log(LogLevel::kDebug, "now.kept", {});
+  logger->Flush();
+  EXPECT_EQ(logger->events_logged(), 3u);
+  EXPECT_EQ(ReadLines(path).size(), 3u);
+}
+
+TEST(LogTest, RidFromThreadScopeIsAttachedAutomatically) {
+  std::string path = TempLogPath("log_rid.log");
+  Logger::Options options;
+  options.path = path;
+  auto logger = Logger::Open(options);
+  ASSERT_NE(logger, nullptr);
+
+  logger->Log(LogLevel::kInfo, "outside", {});
+  {
+    RidScope scope(4242);
+    logger->Log(LogLevel::kInfo, "inside", {{"k", 1}});
+  }
+  logger->Log(LogLevel::kInfo, "after", {});
+  logger->Flush();
+
+  std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0].find("\"rid\""), std::string::npos) << lines[0];
+  EXPECT_NE(lines[1].find("\"rid\":4242"), std::string::npos) << lines[1];
+  // rid precedes the caller's fields, right after the event name.
+  EXPECT_LT(lines[1].find("\"rid\""), lines[1].find("\"k\""));
+  EXPECT_EQ(lines[2].find("\"rid\""), std::string::npos) << lines[2];
+}
+
+TEST(LogTest, OversizeEventsAreTruncatedNeverSplit) {
+  std::string path = TempLogPath("log_trunc.log");
+  Logger::Options options;
+  options.path = path;
+  options.max_event_bytes = 96;  // leaves room for the fixed prefix only
+  auto logger = Logger::Open(options);
+  ASSERT_NE(logger, nullptr);
+
+  logger->Log(LogLevel::kInfo, "trunc",
+              {{"blob", std::string(500, 'x')}, {"tail", "unreachable"}});
+  logger->Log(LogLevel::kInfo, "fits", {});
+  logger->Flush();
+
+  std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_LE(lines[0].size() + 1, 96u);  // +1 for the newline
+  EXPECT_NE(lines[0].find("xxx"), std::string::npos);
+  EXPECT_EQ(lines[0].find("unreachable"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"event\":\"fits\""), std::string::npos);
+}
+
+TEST(LogTest, StderrSinkNeedsNoFileAndToleratesReopen) {
+  Logger::Options options;  // empty path -> stderr
+  auto logger = Logger::Open(options);
+  ASSERT_NE(logger, nullptr);
+  EXPECT_EQ(logger->path(), "");
+  logger->Log(LogLevel::kError, "stderr.event", {{"n", 1}});
+  logger->RequestReopen();  // documented no-op for the stderr sink
+  logger->Flush();
+  EXPECT_EQ(logger->events_logged(), 1u);
+}
+
+TEST(LogTest, OpenFailsCleanlyOnUnwritablePath) {
+  Logger::Options options;
+  options.path = ::testing::TempDir() + "/no_such_dir_for_logs/x.log";
+  EXPECT_EQ(Logger::Open(options), nullptr);
+}
+
+TEST(LogTest, EveryAcceptedEventIsAccountedAndWritten) {
+  std::string path = TempLogPath("log_account.log");
+  Logger::Options options;
+  options.path = path;
+  options.queue_slots = 8;  // tiny ring: drops are expected, not fatal
+  auto logger = Logger::Open(options);
+  ASSERT_NE(logger, nullptr);
+
+  constexpr int kEvents = 5000;
+  for (int i = 0; i < kEvents; ++i) {
+    logger->Log(LogLevel::kInfo, "burst", {{"i", i}});
+  }
+  logger->Flush();
+
+  // The hot path's only contract: every emit is either accepted (and
+  // then written, exactly once) or counted as dropped — never lost,
+  // never blocked on.
+  EXPECT_EQ(logger->events_logged() + logger->events_dropped(),
+            static_cast<uint64_t>(kEvents));
+  EXPECT_EQ(ReadLines(path).size(), logger->events_logged());
+}
+
+TEST(LogTest, ReopenAfterRotationLosesNothing) {
+  std::string path = TempLogPath("log_rotate.log");
+  std::string rotated = TempLogPath("log_rotate.log.1");
+  Logger::Options options;
+  options.path = path;
+  options.queue_slots = 4096;  // larger than the event count: no drops
+  auto logger = Logger::Open(options);
+  ASSERT_NE(logger, nullptr);
+
+  constexpr int kBefore = 300;
+  constexpr int kAfter = 300;
+  for (int i = 0; i < kBefore; ++i) {
+    logger->Log(LogLevel::kInfo, "rot", {{"i", i}});
+  }
+
+  // Classic logrotate: rename the live file, then poke the process.
+  // The writer keeps appending to the renamed file until it honours the
+  // reopen, after which new events land in a fresh file at `path`.
+  ASSERT_EQ(std::rename(path.c_str(), rotated.c_str()), 0);
+  logger->RequestReopen();
+  for (int i = kBefore; i < kBefore + kAfter; ++i) {
+    logger->Log(LogLevel::kInfo, "rot", {{"i", i}});
+  }
+  logger->Flush();
+
+  ASSERT_EQ(logger->events_dropped(), 0u);
+  ASSERT_EQ(logger->events_logged(),
+            static_cast<uint64_t>(kBefore + kAfter));
+
+  // Every event appears exactly once, across the two files combined.
+  std::set<int> seen;
+  size_t total_lines = 0;
+  for (const std::string& file : {rotated, path}) {
+    for (const std::string& line : ReadLines(file)) {
+      ++total_lines;
+      size_t at = line.find("\"i\":");
+      ASSERT_NE(at, std::string::npos) << line;
+      int id = std::stoi(line.substr(at + 4));
+      EXPECT_TRUE(seen.insert(id).second) << "duplicate event " << id;
+    }
+  }
+  EXPECT_EQ(total_lines, static_cast<size_t>(kBefore + kAfter));
+  EXPECT_EQ(seen.size(), static_cast<size_t>(kBefore + kAfter));
+  ASSERT_FALSE(seen.empty());
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), kBefore + kAfter - 1);
+  // The reopen really did create a fresh file at the original path.
+  EXPECT_FALSE(ReadLines(path).empty());
+}
+
+TEST(LogTest, ConcurrentProducersNeverLoseOrDuplicate) {
+  std::string path = TempLogPath("log_mt.log");
+  Logger::Options options;
+  options.path = path;
+  options.queue_slots = 64;  // force contention AND wraparound
+  auto logger = Logger::Open(options);
+  ASSERT_NE(logger, nullptr);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 3000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      RidScope scope(static_cast<uint64_t>(t) + 1);
+      for (int i = 0; i < kPerThread; ++i) {
+        logger->Log(LogLevel::kInfo, "mt",
+                    {{"tid", t}, {"i", i}});
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  logger->Flush();
+
+  EXPECT_EQ(logger->events_logged() + logger->events_dropped(),
+            static_cast<uint64_t>(kThreads * kPerThread));
+  std::vector<std::string> lines = ReadLines(path);
+  EXPECT_EQ(lines.size(), logger->events_logged());
+  // No torn lines: each is a complete JSON object with both fields.
+  std::set<std::pair<int, int>> seen;
+  for (const std::string& line : lines) {
+    ASSERT_EQ(line.rfind("{\"ts_us\":", 0), 0u) << line;
+    ASSERT_EQ(line.back(), '}') << line;
+    size_t tid_at = line.find("\"tid\":");
+    size_t i_at = line.find("\"i\":");
+    ASSERT_NE(tid_at, std::string::npos) << line;
+    ASSERT_NE(i_at, std::string::npos) << line;
+    int tid = std::stoi(line.substr(tid_at + 6));
+    int i = std::stoi(line.substr(i_at + 4));
+    EXPECT_TRUE(seen.insert({tid, i}).second)
+        << "duplicate tid=" << tid << " i=" << i;
+    // The producer's rid must ride along: rid == tid + 1 by scope.
+    EXPECT_NE(line.find("\"rid\":" + std::to_string(tid + 1)),
+              std::string::npos)
+        << line;
+  }
+}
+
+TEST(LogTest, FlushWaitsForEverythingAcceptedBeforeIt) {
+  std::string path = TempLogPath("log_flush.log");
+  Logger::Options options;
+  options.path = path;
+  auto logger = Logger::Open(options);
+  ASSERT_NE(logger, nullptr);
+
+  for (int round = 0; round < 50; ++round) {
+    logger->Log(LogLevel::kInfo, "flush", {{"round", round}});
+    logger->Flush();
+    // Flush's contract: the event just accepted is on disk NOW.
+    EXPECT_EQ(ReadLines(path).size(), static_cast<size_t>(round + 1));
+  }
+}
+
+TEST(LogTest, DestructorDrainsPendingEvents) {
+  std::string path = TempLogPath("log_dtor.log");
+  uint64_t accepted = 0;
+  {
+    Logger::Options options;
+    options.path = path;
+    auto logger = Logger::Open(options);
+    ASSERT_NE(logger, nullptr);
+    for (int i = 0; i < 200; ++i) {
+      logger->Log(LogLevel::kInfo, "dtor", {{"i", i}});
+    }
+    accepted = logger->events_logged();
+    // No Flush: teardown itself must not lose accepted events.
+  }
+  EXPECT_EQ(ReadLines(path).size(), accepted);
+}
+
+}  // namespace
+}  // namespace taco::obs

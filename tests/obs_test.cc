@@ -194,6 +194,18 @@ TEST(TraceRingTest, WrapsKeepingTheNewestSpans) {
   EXPECT_EQ(two[1].seq, 9u);
 }
 
+TEST(TraceRingTest, CountsSpansLostToOverwrite) {
+  TraceRing ring(4);
+  EXPECT_EQ(ring.overwritten(), 0u);
+  for (int i = 0; i < 4; ++i) ring.Record(MakeSpan("SET", 1000));
+  EXPECT_EQ(ring.overwritten(), 0u);  // Exactly full: nothing lost yet.
+  ring.Record(MakeSpan("SET", 1000));
+  EXPECT_EQ(ring.overwritten(), 1u);
+  for (int i = 0; i < 10; ++i) ring.Record(MakeSpan("SET", 1000));
+  EXPECT_EQ(ring.overwritten(), 11u);
+  EXPECT_EQ(ring.recorded(), 15u);
+}
+
 TEST(TraceRingTest, SlowThresholdGatesNothingWhenUnset) {
   TraceRing ring(4);
   EXPECT_EQ(ring.slow_threshold_ns(), 0u);
@@ -210,6 +222,7 @@ TEST(TraceRingTest, SlowThresholdGatesNothingWhenUnset) {
 TEST(TraceRingTest, ToLineRendersEveryPhaseInMicroseconds) {
   TraceSpan span;
   span.seq = 7;
+  span.rid = 91;
   span.op = "SET";
   span.session = "book";
   span.detail = "B2";
@@ -224,9 +237,9 @@ TEST(TraceRingTest, ToLineRendersEveryPhaseInMicroseconds) {
   span.dirty_cells = 42;
   span.waves = 3;
   EXPECT_EQ(span.ToLine(),
-            "span seq=7 op=SET session=book detail=B2 ok=1 total_us=1234 "
-            "lock_us=10 find_us=200 eval_us=900 publish_us=50 fsync_us=60 "
-            "respond_us=14 dirty=42 waves=3");
+            "span seq=7 rid=91 op=SET session=book detail=B2 ok=1 "
+            "total_us=1234 lock_us=10 find_us=200 eval_us=900 publish_us=50 "
+            "fsync_us=60 respond_us=14 dirty=42 waves=3");
   span.detail.clear();
   EXPECT_NE(span.ToLine().find("detail=- "), std::string::npos);
 }

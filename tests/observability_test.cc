@@ -13,8 +13,10 @@
 
 #include <cctype>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <set>
 #include <string>
@@ -26,6 +28,7 @@
 #include "net/socket_client.h"
 #include "net/socket_server.h"
 #include "obs/exposition.h"
+#include "obs/log.h"
 #include "service/exposition.h"
 #include "service/protocol.h"
 #include "service/workbook_service.h"
@@ -365,6 +368,27 @@ TEST_F(ObservabilityTest, ExpositionSurvivesGrammarValidation) {
   EXPECT_GE(validator.Value("taco_op_errors_total", {{"op", "SAVE"}}), 1.0);
   // Per-session gauges carry the session label.
   EXPECT_GT(validator.Value("taco_session_cells", {{"session", "wb"}}), 0.0);
+  EXPECT_GT(validator.Value("taco_session_graph_edges", {{"session", "wb"}}),
+            0.0);
+  EXPECT_GE(validator.Value("taco_session_version_chain_depth",
+                            {{"session", "wb"}}),
+            1.0);
+  // Observability-loss counters render even with no logger configured
+  // (zeros), so dashboards never lose the series.
+  EXPECT_EQ(validator.Value("taco_log_events_total", {}), 0.0);
+  EXPECT_EQ(validator.Value("taco_log_dropped_total", {}), 0.0);
+  EXPECT_GE(validator.Value("taco_trace_spans_overwritten_total", {}), 0.0);
+  // Process introspection gauges (Linux: all real; elsewhere -1/0, but
+  // the series always exist).
+  EXPECT_TRUE(validator.Has("taco_process_resident_memory_bytes", {}));
+  EXPECT_TRUE(validator.Has("taco_process_open_fds", {}));
+  EXPECT_TRUE(validator.Has("taco_process_threads", {}));
+  EXPECT_TRUE(validator.Has("taco_process_uptime_seconds", {}));
+#ifdef __linux__
+  EXPECT_GT(validator.Value("taco_process_resident_memory_bytes", {}), 0.0);
+  EXPECT_GT(validator.Value("taco_process_open_fds", {}), 0.0);
+  EXPECT_GT(validator.Value("taco_process_threads", {}), 0.0);
+#endif
 }
 
 TEST_F(ObservabilityTest, ExpositionLayoutIsConstantAcrossLoad) {
@@ -426,14 +450,20 @@ TEST_F(ObservabilityTest, TraceVerbDumpsSpansNewestFirst) {
   // Newest first: the second SET leads, the first SET is last.
   size_t first_span = all.find("\nspan ");
   ASSERT_NE(first_span, std::string::npos);
-  EXPECT_NE(all.find("seq=3 op=SET", first_span), std::string::npos) << all;
+  std::string first_line =
+      all.substr(first_span + 1, all.find('\n', first_span + 1) - first_span - 1);
+  EXPECT_NE(first_line.find("seq=3"), std::string::npos) << first_line;
+  EXPECT_NE(first_line.find("op=SET"), std::string::npos) << first_line;
   EXPECT_NE(all.find("op=FORMULA"), std::string::npos);
-  // Every span carries the phase fields.
-  for (const char* field : {"total_us=", "lock_us=", "find_us=", "eval_us=",
-                            "publish_us=", "fsync_us=", "respond_us=",
-                            "dirty=", "waves="}) {
+  // Every span carries the correlation id and the phase fields.
+  for (const char* field : {"rid=", "total_us=", "lock_us=", "find_us=",
+                            "eval_us=", "publish_us=", "fsync_us=",
+                            "respond_us=", "dirty=", "waves="}) {
     EXPECT_NE(all.find(field), std::string::npos) << field;
   }
+  // Commands run through the processor, so every span's rid is real
+  // (nonzero) — the TRACE dump must not show rid=0 anywhere.
+  EXPECT_EQ(all.find("rid=0 "), std::string::npos) << all;
   // Detail names the edited cell.
   EXPECT_NE(all.find("detail=A1"), std::string::npos) << all;
 
@@ -457,14 +487,125 @@ TEST_F(ObservabilityTest, BatchSpanAggregatesItsEdits) {
 }
 
 // ---------------------------------------------------------------------
+// End-to-end request correlation: one failing, threshold-slow mutation
+// must leave a trace span, a structured log event, and an annotated ERR
+// response that all carry the SAME rid — that join is the whole point
+// of the correlation id.
+
+TEST(RequestCorrelationTest, SpanLogAndErrorResponseShareOneRid) {
+  std::string log_path =
+      testing::TempDir() + "/rid_correlation_events.log";
+  std::remove(log_path.c_str());
+  obs::Logger::Options log_options;
+  log_options.level = obs::LogLevel::kDebug;
+  log_options.path = log_path;
+  auto logger = obs::Logger::Open(log_options);
+  ASSERT_NE(logger, nullptr);
+
+  WorkbookServiceOptions options;
+  options.logger = logger.get();
+  options.annotate_errors_with_rid = true;
+  options.slow_op_ms = 0.000001;  // 1ns threshold: every mutation is slow.
+  WorkbookService service(options);
+  CommandProcessor processor(&service);
+
+  ASSERT_TRUE(processor.Execute("OPEN wb").starts_with("OK"));
+  // A failing mutation: the parse error surfaces inside the session,
+  // after the span started, so all three records exist for one rid.
+  std::string err = processor.Execute("FORMULA wb B1 SUM(");
+  ASSERT_TRUE(err.starts_with("ERR")) << err;
+  size_t rid_pos = err.rfind(" rid=");
+  ASSERT_NE(rid_pos, std::string::npos) << err;
+  uint64_t rid = std::stoull(err.substr(rid_pos + 5));
+  EXPECT_GT(rid, 0u);
+
+  // The span for that command carries the same rid, and records the
+  // failure (ok=0) rather than dropping the sample.
+  std::string trace = processor.Execute("TRACE 1");
+  size_t span_rid = trace.find("rid=");
+  ASSERT_NE(span_rid, std::string::npos) << trace;
+  EXPECT_EQ(std::stoull(trace.substr(span_rid + 4)), rid) << trace;
+  EXPECT_NE(trace.find("op=FORMULA"), std::string::npos) << trace;
+  EXPECT_NE(trace.find("ok=0"), std::string::npos) << trace;
+
+  // The op.slow log event — flushed to the sink — carries it too.
+  logger->Flush();
+  std::ifstream in(log_path);
+  ASSERT_TRUE(in.is_open());
+  std::string line, slow_line;
+  while (std::getline(in, line)) {
+    if (line.find("\"event\":\"op.slow\"") != std::string::npos &&
+        line.find("FORMULA") != std::string::npos) {
+      slow_line = line;
+    }
+  }
+  ASSERT_FALSE(slow_line.empty());
+  size_t log_rid = slow_line.find("\"rid\":");
+  ASSERT_NE(log_rid, std::string::npos) << slow_line;
+  EXPECT_EQ(std::stoull(slow_line.substr(log_rid + 6)), rid) << slow_line;
+  EXPECT_NE(slow_line.find("\"ok\":false"), std::string::npos) << slow_line;
+
+  // Correlation ids are per-command: a second command gets a fresh one.
+  std::string err2 = processor.Execute("FORMULA wb B1 SUM(");
+  size_t rid2_pos = err2.rfind(" rid=");
+  ASSERT_NE(rid2_pos, std::string::npos);
+  EXPECT_GT(std::stoull(err2.substr(rid2_pos + 5)), rid);
+
+  // Successful responses stay clean — the annotation is error-only.
+  EXPECT_EQ(processor.Execute("SET wb A1 1").find(" rid="),
+            std::string::npos);
+
+  // The loss counters surface on STATS and the exposition.
+  std::string stats = processor.Execute("STATS");
+  EXPECT_NE(stats.find("observability log_events="), std::string::npos)
+      << stats;
+  EXPECT_NE(stats.find("trace_overwritten="), std::string::npos);
+  PromValidator validator;
+  std::string text = RenderServiceExposition(service);
+  ASSERT_TRUE(validator.Validate(text)) << validator.error();
+  EXPECT_GT(validator.Value("taco_log_events_total", {}), 0.0);
+  EXPECT_GE(validator.Value("taco_log_dropped_total", {}), 0.0);
+}
+
+TEST(RequestCorrelationTest, ErrAnnotationIsOffByDefault) {
+  WorkbookService service;
+  CommandProcessor processor(&service);
+  std::string err = processor.Execute("GET nosuch A1");
+  ASSERT_TRUE(err.starts_with("ERR")) << err;
+  // The wire format must not change unless the operator opted in.
+  EXPECT_EQ(err.find(" rid="), std::string::npos) << err;
+}
+
+// ---------------------------------------------------------------------
 // HTTP /metrics listener mode.
 
 class MetricsHttpTest : public ::testing::Test {
  protected:
+  /// The same route table taco_serve installs: /metrics, /healthz, and
+  /// /readyz (503 while `draining_` — the drain-window contract an
+  /// orchestrator's readiness probe relies on).
   void StartHttp() {
     SocketServerOptions options;
-    options.http_get_metrics = [this] {
-      return RenderServiceExposition(service_);
+    options.http_handler = [this](std::string_view path) -> HttpReply {
+      HttpReply reply;
+      if (path == "/metrics") {
+        reply.body = RenderServiceExposition(service_);
+      } else if (path == "/healthz") {
+        reply.content_type = "text/plain; charset=utf-8";
+        reply.body = "ok\n";
+      } else if (path == "/readyz") {
+        reply.content_type = "text/plain; charset=utf-8";
+        if (draining_.load()) {
+          reply.status = 503;
+          reply.body = "draining\n";
+        } else {
+          reply.body = "ready\n";
+        }
+      } else {
+        reply.status = 404;
+        reply.body = "try /metrics, /healthz, or /readyz\n";
+      }
+      return reply;
     };
     server_ = std::make_unique<SocketServer>(&service_, options);
     ASSERT_TRUE(server_->Start().ok());
@@ -504,6 +645,7 @@ class MetricsHttpTest : public ::testing::Test {
 
   WorkbookService service_;
   std::unique_ptr<SocketServer> server_;
+  std::atomic<bool> draining_{false};
 };
 
 TEST_F(MetricsHttpTest, GetMetricsReturnsParseableExposition) {
@@ -549,14 +691,71 @@ TEST_F(MetricsHttpTest, NonMetricsTargetsGet404And405) {
             "HTTP/1.1 200 OK");
 }
 
+TEST_F(MetricsHttpTest, EveryResponseAnnouncesConnectionClose) {
+  StartHttp();
+  // Single-shot serving is a contract, not an accident: every status —
+  // success, 404, 405 — must tell the client the connection is done.
+  for (const char* head :
+       {"GET /metrics HTTP/1.1\r\n\r\n", "GET /nope HTTP/1.1\r\n\r\n",
+        "POST /metrics HTTP/1.1\r\n\r\n", "GET /healthz HTTP/1.1\r\n\r\n"}) {
+    HttpResponse response = Request(head);
+    EXPECT_EQ(response.headers["Connection"], "close") << head;
+    EXPECT_EQ(std::stoul(response.headers["Content-Length"]),
+              response.body.size())
+        << head;
+  }
+}
+
+TEST_F(MetricsHttpTest, HealthzAnswersWhileReadyzTracksDraining) {
+  StartHttp();
+  HttpResponse health = Request("GET /healthz HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(health.status_line, "HTTP/1.1 200 OK");
+  EXPECT_EQ(health.body, "ok\n");
+  HttpResponse ready = Request("GET /readyz HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(ready.status_line, "HTTP/1.1 200 OK");
+  EXPECT_EQ(ready.body, "ready\n");
+
+  // Drain flips readiness — and ONLY readiness: liveness and scrapes
+  // keep answering so the drain window itself stays observable.
+  draining_.store(true);
+  EXPECT_EQ(Request("GET /readyz HTTP/1.1\r\n\r\n").status_line,
+            "HTTP/1.1 503 Service Unavailable");
+  EXPECT_EQ(Request("GET /readyz HTTP/1.1\r\n\r\n").body, "draining\n");
+  EXPECT_EQ(Request("GET /healthz HTTP/1.1\r\n\r\n").status_line,
+            "HTTP/1.1 200 OK");
+  EXPECT_EQ(Request("GET /metrics HTTP/1.1\r\n\r\n").status_line,
+            "HTTP/1.1 200 OK");
+
+  draining_.store(false);
+  EXPECT_EQ(Request("GET /readyz HTTP/1.1\r\n\r\n").body, "ready\n");
+
+  // Probes with query strings route like their bare paths.
+  EXPECT_EQ(Request("GET /healthz?verbose=1 HTTP/1.1\r\n\r\n").status_line,
+            "HTTP/1.1 200 OK");
+}
+
 // ---------------------------------------------------------------------
 // Concurrency: scraping must never race the lock-free recorders. Run
 // under TSan in CI.
 
 TEST(ObservabilityConcurrencyTest, ScrapeWhileHammering) {
-  WorkbookService service;
+  // A (deliberately tiny) logger rides along so the lock-free emit path
+  // and its drop counter run under TSan against the scrapers.
+  std::string log_path = testing::TempDir() + "/hammer_events.log";
+  std::remove(log_path.c_str());
+  obs::Logger::Options log_options;
+  log_options.level = obs::LogLevel::kDebug;
+  log_options.path = log_path;
+  log_options.queue_slots = 64;
+  auto logger = obs::Logger::Open(log_options);
+  ASSERT_NE(logger, nullptr);
+
+  WorkbookServiceOptions service_options;
+  service_options.logger = logger.get();
+  WorkbookService service(service_options);
   CommandProcessor processor(&service);
   processor.Execute("OPEN wb");
+  processor.Execute("FORMULA wb B1 SUM(A1:A50)");
 
   std::atomic<bool> stop{false};
   std::vector<std::thread> threads;
@@ -598,6 +797,15 @@ TEST(ObservabilityConcurrencyTest, ScrapeWhileHammering) {
       local.Execute("STATS");
     }
   });
+  // An EXPLAIN thread: the dry-run planner reads the graph under the
+  // session lock while the mutators rewrite it.
+  threads.emplace_back([&] {
+    CommandProcessor local(&service);
+    while (!stop.load()) {
+      std::string response = local.Execute("EXPLAIN wb A1");
+      EXPECT_EQ(response.rfind("OK explain", 0), 0u) << response;
+    }
+  });
 
   std::this_thread::sleep_for(std::chrono::milliseconds(300));
   stop.store(true);
@@ -609,6 +817,14 @@ TEST(ObservabilityConcurrencyTest, ScrapeWhileHammering) {
   ASSERT_TRUE(validator.Validate(text)) << validator.error();
   EXPECT_GT(validator.Value("taco_ops_total", {{"op", "SET"}}), 0.0);
   EXPECT_GT(validator.Value("taco_ops_total", {{"op", "GET"}}), 0.0);
+  EXPECT_GT(validator.Value("taco_ops_total", {{"op", "EXPLAIN"}}), 0.0);
+  // The logger took traffic; accepted + dropped accounts for every
+  // emit attempt (the tiny queue makes drops likely, and that's fine —
+  // drops must be COUNTED, never blocking).
+  EXPECT_GT(logger->events_logged(), 0u);
+  EXPECT_EQ(validator.Value("taco_log_events_total", {}),
+            static_cast<double>(logger->events_logged()));
+  logger->Flush();
 }
 
 }  // namespace

@@ -1,7 +1,8 @@
 // Protocol conformance: the socket transport must be invisible.
 //
 // Table-driven transcripts covering every protocol verb (OPEN LOAD SAVE
-// CLOSE SET FORMULA GET CLEAR BATCH RECALC STATS LIST) plus malformed
+// CLOSE SET FORMULA GET GETRANGE CLEAR BATCH RECALC EXPLAIN STATS
+// METRICS TRACE LIST) plus malformed
 // traffic are replayed twice — through an in-process CommandProcessor
 // (the stdin path of taco_serve) and through a real TCP connection —
 // each against its own fresh service, and every response must come back
@@ -64,7 +65,8 @@ std::string Scrub(const std::string& response) {
   static const std::regex kNumber(
       "-?[0-9]+(\\.[0-9]+)?([eE][+-]?[0-9]+)?");
   bool scrub_all = response.starts_with("OK metrics") ||
-                   response.starts_with("OK trace");
+                   response.starts_with("OK trace") ||
+                   response.starts_with("OK explain");
   std::string out;
   size_t begin = 0;
   while (begin <= response.size()) {
@@ -332,6 +334,31 @@ TEST(ProtocolConformanceTest, ObservabilityVerbs) {
            "TRACE -2",  // Usage error.
            "TRACE six", // Usage error.
            "METRICS",   // The first METRICS/TRACE calls are now counted.
+       }});
+}
+
+TEST(ProtocolConformanceTest, ExplainVerb) {
+  // EXPLAIN is a read-only dry run, so its PLAN/WAVE/EST structure must
+  // be transport-independent like METRICS/TRACE: same lines in the same
+  // order, with only the measured numbers (find_us, estimates) scrubbed.
+  // The commands AFTER each EXPLAIN prove it committed nothing.
+  ExpectConformance(
+      {.name = "explain",
+       .commands = {
+           "OPEN wb",
+           "SET wb A1 10",
+           "FORMULA wb B1 A1*2",
+           "FORMULA wb B2 B1+1",
+           "FORMULA wb B3 SUM(B1:B2)",
+           "EXPLAIN wb A1",      // Chain: B1 -> B2 -> B3.
+           "GET wb B3",          // Unchanged by the dry run.
+           "EXPLAIN wb A1:B3",   // Range target.
+           "EXPLAIN wb Z99",     // No dependents: empty plan.
+           "STATS wb",           // Same session stats on both transports.
+           "EXPLAIN wb",         // Usage error.
+           "EXPLAIN nosuch A1",  // Bad session.
+           "EXPLAIN wb NOTACELL",
+           "GET wb B3",
        }});
 }
 
