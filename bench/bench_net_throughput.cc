@@ -19,6 +19,12 @@
 // mutation through the async sink — the worst-case emit-path stress,
 // reported but not gated (on a single-core host the writer thread
 // necessarily steals serving cycles).
+//
+// TACO_BENCH_NET_WAL_DIR=<dir> runs the durable variant: every mutating
+// command is WAL-logged and fsynced before its response. With
+// TACO_BENCH_NET_GROUP_COMMIT=1 the sessions share one committer thread
+// (`taco_serve --group-commit`) — the on/off pair shows what group
+// commit buys with the network in the loop.
 
 #include <cstdio>
 #include <cstdlib>
@@ -132,6 +138,13 @@ int main() {
 
   WorkbookServiceOptions service_options;
   service_options.logger = logger.get();
+  std::string wal_dir;
+  if (const char* dir = std::getenv("TACO_BENCH_NET_WAL_DIR");
+      dir != nullptr && dir[0] != '\0') {
+    wal_dir = dir;
+    service_options.wal_dir = wal_dir;
+    service_options.group_commit = EnvInt("TACO_BENCH_NET_GROUP_COMMIT", 0) != 0;
+  }
   WorkbookService service(service_options);
   SocketServer server(&service);
   Status status = server.Start();
@@ -193,6 +206,16 @@ int main() {
   std::vector<std::pair<std::string, std::string>> labels = {
       {"clients", std::to_string(clients)},
       {"commands_per_client", std::to_string(commands)}};
+  if (!wal_dir.empty()) {
+    labels.push_back({"wal", "on"});
+    labels.push_back(
+        {"group_commit", service_options.group_commit ? "on" : "off"});
+    const WalGroupCounters& g = service.metrics().wal_group();
+    std::printf("durable: wal_dir=%s group_commit=%s group_flushes=%llu\n",
+                wal_dir.c_str(),
+                service_options.group_commit ? "on" : "off",
+                static_cast<unsigned long long>(g.flushes.load()));
+  }
   ReportJsonMetric("bench_net_throughput",
                    {"commands_per_sec",
                     seconds > 0 ? double(total_commands) / seconds : 0.0,

@@ -1,11 +1,9 @@
 // Storage-engine benchmark: snapshot save/load latency and size for the
-// text vs binary backends over the bench corpora, plus WAL append
-// throughput (with and without fsync).
-//
-// The headline number is cold-load speed: the binary snapshot skips the
-// line/A1/number parsing entirely and loads formulas from precompiled
-// ASTs, so it must load at least ~2x faster than the text format (the
-// ISSUE 5 acceptance bar; docs/BENCHMARKS.md records the tables).
+// text vs binary backends over the bench corpora, WAL append throughput
+// (with and without fsync), and durable edit throughput through the full
+// service with N concurrent mutating sessions — group commit on vs off
+// (the ISSUE 9 tentpole: >=5x at the smoke profile, >10x on multicore
+// with a real disk; docs/BENCHMARKS.md records the tables).
 //
 // Profile-aware: TACO_BENCH_PROFILE=smoke|paper scales the corpus like
 // every other bench binary.
@@ -15,10 +13,12 @@
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "eval/recalc.h"
+#include "service/workbook_service.h"
 #include "sheet/textio.h"
 #include "store/storage_engine.h"
 #include "store/wal.h"
@@ -98,6 +98,137 @@ double MeasureWalAppends(bool sync, int records) {
   return elapsed > 0 ? records / (elapsed / 1000.0) : 0;
 }
 
+struct DurableNumbers {
+  double edits_per_sec = 0;
+  uint64_t group_flushes = 0;  ///< 0 when group commit is off.
+  double mean_group_size = 0;
+};
+
+/// Durable (fsync-before-ack) edit throughput through the service:
+/// `sessions` workbooks, each mutated by `threads_per_session` concurrent
+/// threads, every edit WAL-logged and synced before its ack. The on/off
+/// pair is the group-commit headline — same workload, same durability
+/// contract, O(files) vs O(edits) fsyncs per round.
+DurableNumbers MeasureDurableServiceThroughput(bool group_commit,
+                                               int sessions,
+                                               int threads_per_session,
+                                               int edits_per_thread,
+                                               bool wal = true) {
+  DurableNumbers numbers;
+  std::string wal_dir =
+      ScratchFile(group_commit ? "bench_storage_gc_wal" : "bench_storage_wal");
+  std::filesystem::remove_all(wal_dir);
+  {
+    WorkbookServiceOptions options;
+    if (wal) options.wal_dir = wal_dir;
+    options.group_commit = group_commit;
+    options.group_commit_max_delay_us =
+        uint32_t(EnvInt("TACO_BENCH_DURABLE_DELAY_US", 0));
+    WorkbookService service(options);
+    std::vector<std::shared_ptr<WorkbookSession>> handles;
+    for (int s = 0; s < sessions; ++s) {
+      auto session = service.Open("bench" + std::to_string(s));
+      if (!session.ok()) return numbers;
+      handles.push_back(*session);
+    }
+    TimerMs timer;
+    std::vector<std::thread> threads;
+    for (int s = 0; s < sessions; ++s) {
+      for (int t = 0; t < threads_per_session; ++t) {
+        threads.emplace_back([session = handles[s], t, edits_per_thread] {
+          // Plain numbers into a per-thread column: the measured cost is
+          // the durability path, not recalc.
+          for (int i = 0; i < edits_per_thread; ++i) {
+            if (!session->SetNumber(Cell{t + 1, i % 200 + 1}, i).ok()) {
+              return;
+            }
+          }
+        });
+      }
+    }
+    for (auto& thread : threads) thread.join();
+    double elapsed = timer.ElapsedMs();
+    uint64_t edits = uint64_t(sessions) * threads_per_session *
+                     uint64_t(edits_per_thread);
+    numbers.edits_per_sec = elapsed > 0 ? edits / (elapsed / 1000.0) : 0;
+    const WalGroupCounters& g = service.metrics().wal_group();
+    numbers.group_flushes = g.flushes.load();
+    numbers.mean_group_size =
+        numbers.group_flushes
+            ? double(g.appends.load()) / double(numbers.group_flushes)
+            : 0;
+  }
+  std::filesystem::remove_all(wal_dir);
+  return numbers;
+}
+
+void RunDurableThroughput() {
+  int sessions = 8;
+  int threads_per_session = 8;
+  int edits_per_thread = 50;
+  if (ActiveBenchProfile() == BenchProfile::kSmoke) {
+    // Enough concurrent writers per workbook for rounds to coalesce
+    // meaningfully, few enough edits to stay fast on CI hardware.
+    threads_per_session = 16;
+    edits_per_thread = 25;
+  } else if (ActiveBenchProfile() == BenchProfile::kPaper) {
+    sessions = 16;
+    threads_per_session = 12;
+    edits_per_thread = 100;
+  }
+  sessions = EnvInt("TACO_BENCH_DURABLE_SESSIONS", sessions);
+  threads_per_session =
+      EnvInt("TACO_BENCH_DURABLE_THREADS", threads_per_session);
+  edits_per_thread = EnvInt("TACO_BENCH_DURABLE_EDITS", edits_per_thread);
+
+  std::printf(
+      "\nDurable edits through the service (%d sessions x %d threads x %d "
+      "edits, fsync-before-ack):\n",
+      sessions, threads_per_session, edits_per_thread);
+  DurableNumbers off = MeasureDurableServiceThroughput(
+      false, sessions, threads_per_session, edits_per_thread);
+  DurableNumbers on = MeasureDurableServiceThroughput(
+      true, sessions, threads_per_session, edits_per_thread);
+  // The non-durable run bounds what ANY fsync scheme can reach on this
+  // host: it is the same service path with the WAL disabled entirely.
+  DurableNumbers ceiling = MeasureDurableServiceThroughput(
+      false, sessions, threads_per_session, edits_per_thread, /*wal=*/false);
+  std::printf("  no WAL (ceiling): %10.0f edits/s\n", ceiling.edits_per_sec);
+  std::printf("  group commit off: %10.0f edits/s\n", off.edits_per_sec);
+  std::printf(
+      "  group commit on : %10.0f edits/s  (%llu group flushes, mean "
+      "%.1f appends/flush)\n",
+      on.edits_per_sec,
+      static_cast<unsigned long long>(on.group_flushes),
+      on.mean_group_size);
+  double speedup =
+      off.edits_per_sec > 0 ? on.edits_per_sec / off.edits_per_sec : 0;
+  std::printf("  speedup: %.2fx (acceptance floor: 5x at smoke scale)\n",
+              speedup);
+  std::vector<std::pair<std::string, std::string>> labels = {
+      {"sessions", std::to_string(sessions)},
+      {"threads_per_session", std::to_string(threads_per_session)}};
+  auto with_mode = [&](const char* mode) {
+    auto copy = labels;
+    copy.push_back({"group_commit", mode});
+    return copy;
+  };
+  ReportJsonMetric("bench_storage",
+                   {"durable_edits_per_sec", off.edits_per_sec, "1/s",
+                    with_mode("off")});
+  ReportJsonMetric("bench_storage",
+                   {"durable_edits_per_sec", on.edits_per_sec, "1/s",
+                    with_mode("on")});
+  ReportJsonMetric("bench_storage",
+                   {"group_commit_speedup", speedup, "x", labels});
+  ReportJsonMetric("bench_storage",
+                   {"group_mean_appends_per_flush", on.mean_group_size, "",
+                    labels});
+  ReportJsonMetric("bench_storage",
+                   {"nondurable_edits_per_sec", ceiling.edits_per_sec, "1/s",
+                    labels});
+}
+
 void RunCorpus(const CorpusProfile& profile) {
   std::vector<CorpusSheet> sheets = LoadCorpus(profile);
   auto text = MakeStorageEngine("text").value();
@@ -157,8 +288,12 @@ int main() {
                                      {{"fsync", "on"}}});
   ReportJsonMetric("bench_storage", {"wal_appends_per_sec", nosync_rate,
                                      "1/s", {{"fsync", "off"}}});
+
+  RunDurableThroughput();
+
   std::printf(
       "\nShape check: binary loads >= 2x faster than text at every\n"
-      "profile; fsync dominates WAL append cost (the durability price).\n");
+      "profile; fsync dominates WAL append cost (the durability price);\n"
+      "group commit recovers most of it under concurrency.\n");
   return 0;
 }

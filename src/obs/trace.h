@@ -43,7 +43,9 @@ struct TraceSpan {
   uint64_t find_dependents_ns = 0;  ///< Graph query (dirty-set identify).
   uint64_t eval_ns = 0;             ///< Re-evaluation (serial or waves).
   uint64_t publish_ns = 0;          ///< MVCC version build + publish.
-  uint64_t wal_fsync_ns = 0;        ///< WAL append fsync (durability).
+  uint64_t wal_fsync_ns = 0;        ///< Durability wait: the inline WAL
+                                    ///  fsync, or — under group commit —
+                                    ///  the wait for the shared flush.
   uint64_t respond_ns = 0;          ///< Everything else (ack path).
   uint64_t dirty_cells = 0;
   uint64_t waves = 0;               ///< 0 = serial evaluation.

@@ -150,6 +150,48 @@ std::string RenderServiceExposition(WorkbookService& service) {
       "taco_storage_recovered_records_total", {},
       static_cast<double>(s.recovered_records.load(std::memory_order_relaxed)));
 
+  // Group-commit families. All zero (but present) without --group-commit,
+  // so dashboards never have to special-case the flag.
+  const WalGroupCounters& g = metrics.wal_group();
+  b.Family("taco_wal_group_flushes_total",
+           "Group-commit fsync rounds completed (one per file per round).",
+           "counter");
+  b.Sample("taco_wal_group_flushes_total", {},
+           static_cast<double>(g.flushes.load(std::memory_order_relaxed)));
+  b.Family("taco_wal_group_flush_failures_total",
+           "Group-commit rounds whose fsync failed.", "counter");
+  b.Sample(
+      "taco_wal_group_flush_failures_total", {},
+      static_cast<double>(g.flush_failures.load(std::memory_order_relaxed)));
+  b.Family("taco_wal_group_appends_total",
+           "WAL appends acknowledged through a group flush.", "counter");
+  b.Sample("taco_wal_group_appends_total", {},
+           static_cast<double>(g.appends.load(std::memory_order_relaxed)));
+  b.Family("taco_wal_group_flush_seconds",
+           "Latency of one group fsync round.", "histogram");
+  b.Histogram("taco_wal_group_flush_seconds", {},
+              metrics.GroupFlushHistogram());
+  // Appends-per-flush as a hand-rendered power-of-two histogram: the
+  // direct measure of coalescing (count≈sum means no batching; a fat
+  // le="8".."64" tail means sessions genuinely share fsyncs). Buckets are
+  // cumulative per the exposition format; _sum is total appends and
+  // _count total flushes, so sum/count is the mean group size.
+  b.Family("taco_wal_group_size", "WAL appends coalesced per group flush.",
+           "histogram");
+  uint64_t size_cumulative = 0;
+  for (size_t i = 0; i <= WalGroupCounters::kSizeBuckets; ++i) {
+    size_cumulative += g.size_buckets[i].load(std::memory_order_relaxed);
+    std::string le = i < WalGroupCounters::kSizeBuckets
+                         ? std::to_string(uint64_t{1} << i)
+                         : "+Inf";
+    b.Sample("taco_wal_group_size_bucket", {{"le", le}},
+             static_cast<double>(size_cumulative));
+  }
+  b.Sample("taco_wal_group_size_sum", {},
+           static_cast<double>(g.appends.load(std::memory_order_relaxed)));
+  b.Sample("taco_wal_group_size_count", {},
+           static_cast<double>(g.flushes.load(std::memory_order_relaxed)));
+
   b.Family("taco_sessions_resident", "Sessions resident in memory.", "gauge");
   b.Sample("taco_sessions_resident", {},
            static_cast<double>(service.resident_sessions()));

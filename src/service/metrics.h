@@ -94,6 +94,18 @@ struct StorageCounters {
   std::atomic<uint64_t> recovered_records{0};  ///< Records replayed.
 };
 
+/// Group-commit counters, bumped by the committer thread's flush
+/// observer. `size_buckets` is a power-of-two histogram of appends per
+/// flush (le 1,2,4,8,16,32,64,+Inf) — the direct measure of how much
+/// coalescing the workload is getting. All zero without --group-commit.
+struct WalGroupCounters {
+  static constexpr size_t kSizeBuckets = 7;  ///< le 1,2,4,...,64; +Inf extra.
+  std::atomic<uint64_t> flushes{0};          ///< Group fsync rounds.
+  std::atomic<uint64_t> flush_failures{0};   ///< Rounds whose fsync failed.
+  std::atomic<uint64_t> appends{0};          ///< Appends acked via groups.
+  std::atomic<uint64_t> size_buckets[kSizeBuckets + 1]{};
+};
+
 /// Thread-safe metrics sink shared by every session of a service.
 class ServiceMetrics {
  public:
@@ -130,6 +142,29 @@ class ServiceMetrics {
   StorageCounters& storage() { return storage_; }
   const StorageCounters& storage() const { return storage_; }
 
+  WalGroupCounters& wal_group() { return wal_group_; }
+  const WalGroupCounters& wal_group() const { return wal_group_; }
+
+  /// Records one group-commit flush round: `appends` records shared the
+  /// fsync that took `flush_ns`. Lock-free (committer-thread hot path).
+  void RecordGroupFlush(uint64_t appends, uint64_t flush_ns, bool ok) {
+    wal_group_.flushes.fetch_add(1, std::memory_order_relaxed);
+    if (!ok) wal_group_.flush_failures.fetch_add(1, std::memory_order_relaxed);
+    wal_group_.appends.fetch_add(appends, std::memory_order_relaxed);
+    size_t bucket = 0;
+    while (bucket < WalGroupCounters::kSizeBuckets &&
+           appends > (uint64_t{1} << bucket)) {
+      ++bucket;
+    }
+    wal_group_.size_buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+    wal_group_flush_.Record(flush_ns);
+  }
+
+  /// Merged flush-latency histogram snapshot (group fsync rounds).
+  obs::HistogramSnapshot GroupFlushHistogram() const {
+    return wal_group_flush_.Snapshot();
+  }
+
  private:
   /// Per-op recalc aggregates (mutating ops only); latency lives in the
   /// histograms, never here.
@@ -152,6 +187,8 @@ class ServiceMetrics {
   obs::TraceRing trace_;
   TransportCounters transport_;
   StorageCounters storage_;
+  WalGroupCounters wal_group_;
+  obs::LatencyHistogram wal_group_flush_;  ///< Per-round fsync latency.
 };
 
 }  // namespace taco

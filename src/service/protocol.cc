@@ -379,6 +379,17 @@ std::string CommandProcessor::ExecuteInner(std::string_view command_text) {
         static_cast<unsigned long long>(st.wal_bytes.load()),
         static_cast<unsigned long long>(st.recoveries.load()),
         static_cast<unsigned long long>(st.recovered_records.load()));
+    const WalGroupCounters& gc = service_->metrics().wal_group();
+    const unsigned long long gc_flushes = gc.flushes.load();
+    const unsigned long long gc_appends = gc.appends.load();
+    char wal_group[192];
+    std::snprintf(
+        wal_group, sizeof(wal_group),
+        "wal_group enabled=%d flushes=%llu appends=%llu failures=%llu "
+        "mean_size=%.2f\n",
+        service_->options().group_commit ? 1 : 0, gc_flushes, gc_appends,
+        static_cast<unsigned long long>(gc.flush_failures.load()),
+        gc_flushes ? static_cast<double>(gc_appends) / gc_flushes : 0.0);
     // Silent-loss accounting: both sinks that can drop data under load
     // (the bounded log ring, the trace ring's wrap-around) report here,
     // so "no drops" is an observable fact rather than an assumption.
@@ -395,7 +406,7 @@ std::string CommandProcessor::ExecuteInner(std::string_view command_text) {
             logger != nullptr ? logger->events_dropped() : 0),
         static_cast<unsigned long long>(ring.recorded()),
         static_cast<unsigned long long>(ring.overwritten()));
-    return buffer + std::string(conn) + storage + observability +
+    return buffer + std::string(conn) + storage + wal_group + observability +
            service_->metrics().Report() + "END";
   }
   if (EqualsIgnoreCase(cmd, "RECALC")) {

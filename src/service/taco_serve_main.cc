@@ -347,6 +347,23 @@ int main(int argc, char** argv) {
                      text);
         return 1;
       }
+    } else if (std::strcmp(argv[i], "--group-commit") == 0) {
+      options.group_commit = true;
+    } else if (std::strcmp(argv[i], "--group-commit-max-delay-us") == 0 &&
+               i + 1 < argc) {
+      // 0 is meaningful (natural batching only), so parse fully rather
+      // than letting a typo silently drop the coalescing window.
+      const char* text = argv[++i];
+      char* end = nullptr;
+      long value = std::strtol(text, &end, 10);
+      if (end != text && *end == '\0' && value >= 0 && value <= 1000000) {
+        options.group_commit_max_delay_us = static_cast<uint32_t>(value);
+      } else {
+        std::fprintf(stderr,
+                     "ignoring --group-commit-max-delay-us '%s' (needs an "
+                     "integer in [0, 1000000]); keeping %u\n",
+                     text, options.group_commit_max_delay_us);
+      }
     } else if (std::strcmp(argv[i], "--rid-errors") == 0) {
       options.annotate_errors_with_rid = true;
     } else if (std::strcmp(argv[i], "--drain-grace-ms") == 0 &&
@@ -357,6 +374,7 @@ int main(int argc, char** argv) {
           stderr,
           "usage: taco_serve [--threads N] [--recalc-threads N] "
           "[--backend NAME] [--store text|binary] [--wal-dir DIR] "
+          "[--group-commit] [--group-commit-max-delay-us U] "
           "[--max-resident N] [--metrics-port PORT] [--slow-op-ms T] "
           "[--log-file PATH] [--log-level debug|info|warn|error] "
           "[--log-format json|text] [--rid-errors] [script]\n"
@@ -418,11 +436,13 @@ int main(int argc, char** argv) {
 
   std::fprintf(stderr,
                "taco_serve ready (workers=%d recalc_workers=%d backend=%s "
-               "store=%s wal=%s max_resident=%zu)\n",
+               "store=%s wal=%s group_commit=%s max_resident=%zu)\n",
                service.pool().num_threads(), service.recalc_threads(),
                options.default_backend.c_str(),
                std::string(service.storage().name()).c_str(),
                options.wal_dir.empty() ? "(off)" : options.wal_dir.c_str(),
+               options.group_commit && !options.wal_dir.empty() ? "on"
+                                                                : "off",
                options.max_resident_sessions);
 
   // Responses print in request order: each command's future joins the

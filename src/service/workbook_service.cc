@@ -31,6 +31,26 @@ WorkbookService::WorkbookService(WorkbookServiceOptions options)
   if (wal_enabled()) {
     std::error_code ec;
     std::filesystem::create_directories(options_.wal_dir, ec);
+    if (options_.group_commit) {
+      GroupCommitOptions gc;
+      gc.max_delay_us = options_.group_commit_max_delay_us;
+      // Fires on the committer thread, once per file per flush round.
+      // RecordGroupFlush is lock-free and Log never re-enters the store,
+      // so the observer can't stall or deadlock the flush pipeline.
+      gc.observer = [this](const GroupFlushStats& f) {
+        metrics_.RecordGroupFlush(f.appends, f.flush_ns, f.ok);
+        if (obs::Logger* logger = options_.logger; logger != nullptr) {
+          logger->Log(f.ok ? obs::LogLevel::kDebug : obs::LogLevel::kError,
+                      "wal.group_flush",
+                      {{"path", f.path},
+                       {"appends", std::to_string(f.appends)},
+                       {"flush_us", std::to_string(f.flush_ns / 1000)},
+                       {"ok", f.ok ? "true" : "false"},
+                       {"error", f.error}});
+        }
+      };
+      group_committer_ = std::make_unique<GroupCommitter>(std::move(gc));
+    }
   }
   pool_ = std::make_unique<ThreadPool>(options_.worker_threads);
   if (options_.recalc_threads > 0) {
@@ -79,6 +99,7 @@ std::string WorkbookService::WalPathFor(const std::string& name) const {
 
 WalOptions WorkbookService::WalOptionsFor(const std::string& name) const {
   WalOptions wal = options_.wal;
+  wal.group_commit = group_committer_.get();
   if (obs::Logger* logger = options_.logger; logger != nullptr) {
     // The observer fires on the appending (session) thread; Log is
     // lock-free and never re-enters the store, so this is safe inside

@@ -73,6 +73,19 @@ struct WorkbookServiceOptions {
   /// WAL tuning (fsync discipline, record bounds).
   WalOptions wal;
 
+  /// Cross-session group commit (taco_serve --group-commit): a shared
+  /// committer thread coalesces WAL appends from all sessions into one
+  /// fsync per file per flush round. Sessions release their lock before
+  /// blocking on the flush, so concurrent writers of one workbook share
+  /// a single fsync instead of paying one each — same fsync-before-ack
+  /// crash consistency, >5x durable edit throughput under concurrency.
+  bool group_commit = false;
+
+  /// Extra committer coalescing window in microseconds (taco_serve
+  /// --group-commit-max-delay-us). 0 = natural batching only: appends
+  /// arriving while a round's fsyncs run join the next round.
+  uint32_t group_commit_max_delay_us = 0;
+
   /// Capacity of the per-service trace ring the TRACE verb reads from
   /// (most recent mutating commands, phase-by-phase).
   size_t trace_spans = 256;
@@ -226,6 +239,14 @@ class WorkbookService {
   WalOptions WalOptionsFor(const std::string& name) const;
 
   WorkbookServiceOptions options_;
+  /// The shared group-commit thread (null unless options_.group_commit
+  /// and WAL are both on). Declared before the shards so it is
+  /// destroyed AFTER them: session WALs drain their last tickets
+  /// through it from their destructors. Its metrics/log observer is
+  /// only reachable while a flush is pending, and every pending flush
+  /// has a waiter holding its session (and thus this service) in use,
+  /// so the later-destroyed members it touches are safe.
+  std::unique_ptr<GroupCommitter> group_committer_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<uint64_t> lru_clock_{0};
   std::atomic<uint64_t> evictions_{0};

@@ -96,7 +96,8 @@ WorkbookSession::WorkbookSession(std::string name, Sheet sheet,
   sheet_.set_name(name_);
 }
 
-Status WorkbookSession::LogToWal(std::span<const Edit> edits) {
+Status WorkbookSession::LogToWal(std::span<const Edit> edits,
+                                 GroupCommitTicket* ticket) {
   if (edits.empty()) return Status::OK();
   if (wal_ == nullptr) {
     if (wal_path_.empty()) return Status::OK();  // WAL disabled.
@@ -109,7 +110,7 @@ Status WorkbookSession::LogToWal(std::span<const Edit> edits) {
     wal_ = std::move(*wal);
   }
   uint64_t before = wal_->bytes();
-  TACO_RETURN_IF_ERROR(wal_->Append(edits));
+  TACO_RETURN_IF_ERROR(wal_->Append(edits, ticket));
   wal_live_records_ += 1;
   if (metrics_ != nullptr) {
     metrics_->storage().wal_records.fetch_add(1);
@@ -130,6 +131,11 @@ Result<RecalcResult> WorkbookSession::Mutate(ServiceOp op,
   uint64_t lock_wait_ns = 0;
   uint64_t publish_ns = 0;
   uint64_t wal_fsync_ns = 0;
+  // Group commit: the append happens under mu_, but the durability wait
+  // happens on this ticket AFTER mu_ is released, so other writers of
+  // this session can get their records into the same flush round.
+  GroupCommitTicket wal_ticket;
+  uint64_t wal_epoch = 0;
   // A failed batch may still have applied (and recalculated) the edits
   // before the failing one — batches are not atomic — and that work must
   // show up in the session counters and metrics, not vanish with the
@@ -165,8 +171,10 @@ Result<RecalcResult> WorkbookSession::Mutate(ServiceOp op,
       // batch that failed midway logs exactly its applied prefix, so
       // recovery replays what this session's state really contains.
       size_t applied = std::min<size_t>(outcome.edits_applied, edits.size());
-      Status logged = LogToWal(edits.subspan(0, applied));
-      if (wal_ != nullptr) wal_fsync_ns = wal_->last_sync_ns();
+      Status logged = LogToWal(edits.subspan(0, applied), &wal_ticket);
+      // Timing is harvested only from a SUCCESSFUL append: a failed or
+      // partial one must not attribute stale fsync time to this span.
+      if (logged.ok() && wal_ != nullptr) wal_fsync_ns = wal_->last_sync_ns();
       // Publish the post-commit version even when logging failed: the
       // in-memory state DID change, and readers must see committed
       // state, not the pre-edit version of a sheet that moved on.
@@ -181,9 +189,36 @@ Result<RecalcResult> WorkbookSession::Mutate(ServiceOp op,
         return Status(logged.code(),
                       "edit applied but not logged: " + logged.message());
       }
+      wal_epoch = checkpoint_epoch_;
     }
     return r;
   }();
+  if (wal_ticket.armed()) {
+    // The group-commit durability wait: mu_ is released, so concurrent
+    // writers append behind the committer while this edit waits its
+    // round. The ack below never outruns the flush — same contract as
+    // the inline fsync, shared across every waiter of the round.
+    auto wait_start = SteadyNow();
+    Status flushed = wal_ticket.Wait();
+    wal_fsync_ns = NsSince(wait_start);
+    if (!flushed.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (checkpoint_epoch_ == wal_epoch) {
+        // The flush failed and no checkpoint intervened: the applied
+        // edit exists only in memory. Latch, and turn an OK outcome
+        // into the same applied-but-not-logged error the inline path
+        // reports (a failed batch keeps its own error; the latch still
+        // guards the gap).
+        wal_failed_ = true;
+        if (result.ok()) {
+          result = Status(flushed.code(), "edit applied but not logged: " +
+                                              flushed.message());
+        }
+      }
+      // Epoch moved: a successful checkpoint folded the edit into its
+      // snapshot before the flush failed — the ack is backed by disk.
+    }
+  }
   if (metrics_ != nullptr) {
     const RecalcResult* outcome =
         result.ok() ? &result.value()
@@ -481,8 +516,11 @@ Status WorkbookSession::Save(const std::string& path, ServiceOp op) {
     dirty_ = false;
     // A full checkpoint re-establishes the recovery contract: the new
     // snapshot contains every in-memory edit (logged or not) and the
-    // rotated log extends it, so the data-loss latch can clear.
+    // rotated log extends it, so the data-loss latch can clear. The
+    // epoch bump tells racing group-flush waiters their edit is safe in
+    // this snapshot even if their flush comes back failed.
     wal_failed_ = false;
+    ++checkpoint_epoch_;
     if (metrics_ != nullptr) metrics_->storage().checkpoints.fetch_add(1);
     return Status::OK();
   }();

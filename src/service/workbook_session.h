@@ -230,8 +230,11 @@ class WorkbookSession {
   /// Appends the acknowledged prefix of `edits` to the WAL (opening an
   /// armed log on first use). Called under mu_. A failure here surfaces
   /// to the client: the edit is applied in memory but NOT durable, and
-  /// acknowledging it would break the recovery contract.
-  Status LogToWal(std::span<const Edit> edits);
+  /// acknowledging it would break the recovery contract. Under group
+  /// commit, `ticket` comes back armed and the durability wait happens
+  /// on it AFTER mu_ is released, so concurrent mutations of this
+  /// session can write their records while this one waits its flush.
+  Status LogToWal(std::span<const Edit> edits, GroupCommitTicket* ticket);
 
   const std::string name_;
   mutable std::mutex mu_;
@@ -252,6 +255,12 @@ class WorkbookSession {
   /// successful CHECKPOINT writes a snapshot that contains the unlogged
   /// edits and rotates the log.
   bool wal_failed_ = false;
+  /// Bumped by every successful checkpoint (under mu_). A group-flush
+  /// waiter re-checks it before latching wal_failed_: when a checkpoint
+  /// raced in between the append and the failed flush, the snapshot
+  /// already holds the edit — it IS durable, and latching (or erroring
+  /// the ack) would report a loss that didn't happen.
+  uint64_t checkpoint_epoch_ = 0;
   bool versioned_reads_ = true;
   uint64_t versions_published_ = 0;
   std::atomic<uint64_t> ops_{0};  ///< Mutations only; Stats() adds reads.

@@ -1,9 +1,12 @@
 #include "sheet/textio.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <cctype>
+#include <cerrno>
+#include <cstring>
 #include <charconv>
 #include <cstdlib>
 #include <filesystem>
@@ -134,29 +137,63 @@ Status SaveSheetFile(const Sheet& sheet, const std::string& path) {
   // Write-then-rename so a concurrent load (the workbook service reloads
   // parked sessions while others save) never observes a partial file. The
   // temp name is unique per writer so concurrent saves to one path can't
-  // interleave inside the same temp file; last rename wins.
+  // interleave inside the same temp file; last rename wins. fsync before
+  // the rename and sync the directory after it: this is the durability
+  // floor every caller gets — the session checkpoint counts on the save
+  // being on disk before the WAL rotates, and direct callers (examples,
+  // the differential oracle) deserve a crash-safe save too. The storage
+  // engines' WriteFileAtomic keeps the same contract.
   static std::atomic<uint64_t> save_counter{0};
   const std::string tmp_path = path + ".tmp." +
                                std::to_string(::getpid()) + "." +
                                std::to_string(save_counter.fetch_add(1));
-  std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::IoError("cannot open '" + tmp_path + "' for writing");
+  const std::string data = WriteSheetText(sheet);
+  int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open '" + tmp_path +
+                           "' for writing: " + std::strerror(errno));
   }
-  out << WriteSheetText(sheet);
-  out.close();
-  if (!out) {
-    std::error_code ec;
-    std::filesystem::remove(tmp_path, ec);
-    return Status::IoError("failed writing '" + tmp_path + "'");
+  size_t written = 0;
+  while (written < data.size()) {
+    ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int err = errno;
+      ::close(fd);
+      ::unlink(tmp_path.c_str());
+      return Status::IoError("failed writing '" + tmp_path +
+                             "': " + std::strerror(err));
+    }
+    written += static_cast<size_t>(n);
   }
-  std::error_code ec;
-  std::filesystem::rename(tmp_path, path, ec);
-  if (ec) {
-    std::filesystem::remove(tmp_path, ec);
+  if (::fsync(fd) != 0) {
+    int err = errno;
+    ::close(fd);
+    ::unlink(tmp_path.c_str());
+    return Status::IoError("fsync '" + tmp_path +
+                           "': " + std::strerror(err));
+  }
+  ::close(fd);
+  if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    int err = errno;
+    ::unlink(tmp_path.c_str());
     return Status::IoError("cannot rename '" + tmp_path + "' to '" + path +
-                           "'");
+                           "': " + std::strerror(err));
   }
+  std::string dir = std::filesystem::path(path).parent_path().string();
+  if (dir.empty()) dir = ".";
+  int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd < 0) {
+    return Status::IoError("open dir '" + dir +
+                           "': " + std::strerror(errno));
+  }
+  if (::fsync(dir_fd) != 0) {
+    int err = errno;
+    ::close(dir_fd);
+    return Status::IoError("fsync dir '" + dir +
+                           "': " + std::strerror(err));
+  }
+  ::close(dir_fd);
   return Status::OK();
 }
 

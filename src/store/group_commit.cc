@@ -1,0 +1,220 @@
+#include "store/group_commit.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace taco {
+
+/// One flush round for one file. Tickets hold a shared_ptr to the batch
+/// their append joined; the flusher (committer thread, or Drain's
+/// caller) resolves it exactly once. The batch carries its own mutex so
+/// a resolved Wait never touches the committer again — tickets stay
+/// valid even across the file's Drain.
+struct GroupCommitBatch {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Status status;
+  /// Tickets joined; guarded by the committer's mu_ until the batch is
+  /// detached for flushing, then owned by the flushing thread.
+  uint64_t appends = 0;
+};
+
+Status GroupCommitTicket::Wait() {
+  if (batch_ == nullptr) return Status::OK();
+  std::unique_lock<std::mutex> lock(batch_->mu);
+  batch_->cv.wait(lock, [&] { return batch_->done; });
+  return batch_->status;
+}
+
+GroupCommitter::GroupCommitter(GroupCommitOptions options)
+    : options_(std::move(options)) {
+  committer_ = std::thread([this] { Run(); });
+}
+
+GroupCommitter::~GroupCommitter() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  committer_.join();
+  // The run loop flushed everything pending before exiting, and the
+  // lifetime contract says no WAL is appending anymore; resolve any
+  // batch a misbehaving straggler managed to park so no ticket can
+  // hang on a destroyed committer.
+  for (auto& [key, st] : files_) {
+    for (auto* batch : {st.pending.get(), st.inflight.get()}) {
+      if (batch == nullptr) continue;
+      std::lock_guard<std::mutex> lock(batch->mu);
+      batch->done = true;
+      batch->status = Status::Internal("group committer destroyed");
+      batch->cv.notify_all();
+    }
+  }
+}
+
+GroupCommitTicket GroupCommitter::Enqueue(const void* file, int fd,
+                                          const std::string& path) {
+  GroupCommitTicket ticket;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    FileState& st = files_[file];
+    st.fd = fd;
+    st.path = path;
+    if (st.pending == nullptr) {
+      st.pending = std::make_shared<GroupCommitBatch>();
+    }
+    st.pending->appends += 1;
+    ticket.batch_ = st.pending;
+  }
+  work_cv_.notify_one();
+  return ticket;
+}
+
+Status GroupCommitter::Drain(const void* file) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (files_.find(file) == files_.end()) return Status::OK();
+  // An in-flight fsync is using the fd the caller is about to close;
+  // wait it out. Re-find each time: other files' Enqueues may rehash
+  // the map while the lock is released.
+  done_cv_.wait(lock, [&] {
+    auto it = files_.find(file);
+    return it == files_.end() || it->second.inflight == nullptr;
+  });
+  auto it = files_.find(file);
+  if (it == files_.end()) return Status::OK();
+  std::shared_ptr<GroupCommitBatch> batch = std::move(it->second.pending);
+  const int fd = it->second.fd;
+  const std::string path = std::move(it->second.path);
+  files_.erase(it);
+  lock.unlock();
+  if (batch == nullptr) return Status::OK();
+  // The committer no longer knows this file; flush its final batch here.
+  Status status = FlushFile(fd, path, batch->appends);
+  {
+    std::lock_guard<std::mutex> batch_lock(batch->mu);
+    batch->done = true;
+    batch->status = status;
+  }
+  batch->cv.notify_all();
+  return status;
+}
+
+bool GroupCommitter::AnyPendingLocked() const {
+  for (const auto& [key, st] : files_) {
+    if (st.pending != nullptr) return true;
+  }
+  return false;
+}
+
+Status GroupCommitter::FlushFile(int fd, const std::string& path,
+                                 uint64_t appends) {
+  GroupFlushStats stats;
+  stats.path = path;
+  stats.appends = appends;
+  auto start = SteadyNow();
+  Status status;
+  if (::fsync(fd) != 0) {
+    stats.error = std::strerror(errno);
+    stats.ok = false;
+    status = Status::IoError("wal group fsync '" + path +
+                             "': " + stats.error);
+  }
+  stats.flush_ns = NsSince(start);
+  if (options_.observer) options_.observer(stats);
+  return status;
+}
+
+void GroupCommitter::Run() {
+  struct RoundItem {
+    const void* key;
+    int fd;
+    std::string path;
+    std::shared_ptr<GroupCommitBatch> batch;
+  };
+  std::vector<RoundItem> round;
+  // Flushes one item and releases its waiters. Runs with no committer
+  // lock held, possibly on a round helper thread.
+  auto flush_item = [this](RoundItem& item) {
+    Status status = FlushFile(item.fd, item.path, item.batch->appends);
+    {
+      std::lock_guard<std::mutex> batch_lock(item.batch->mu);
+      item.batch->done = true;
+      item.batch->status = status;
+    }
+    item.batch->cv.notify_all();
+    {
+      // Release the fd for Drain. The map node is stable (only Drain
+      // erases it, and Drain waits for inflight to clear first).
+      std::lock_guard<std::mutex> relock(mu_);
+      auto it = files_.find(item.key);
+      if (it != files_.end() && it->second.inflight == item.batch) {
+        it->second.inflight.reset();
+      }
+    }
+    done_cv_.notify_all();
+    item.batch.reset();
+  };
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || AnyPendingLocked(); });
+    if (!AnyPendingLocked()) {
+      if (stop_) return;  // Spurious/raced wake with nothing to do.
+      continue;
+    }
+    if (options_.max_delay_us > 0 && !stop_) {
+      // Bounded nap to widen the round; stop_ cuts it short.
+      work_cv_.wait_for(lock, std::chrono::microseconds(options_.max_delay_us),
+                        [&] { return stop_; });
+    }
+    // Collect the round: every file's pending batch moves to inflight,
+    // so appends arriving during the fsyncs start the next round.
+    round.clear();
+    for (auto& [key, st] : files_) {
+      if (st.pending == nullptr) continue;
+      st.inflight = std::move(st.pending);
+      round.push_back({key, st.fd, st.path, st.inflight});
+    }
+    lock.unlock();
+    // Flush the round's files CONCURRENTLY where the hardware can
+    // overlap them: the round's latency should be ~one fsync, not
+    // O(files) — back-to-back fsyncs put every file's waiters behind
+    // every other file's journal commit. Helpers are spawned per round
+    // (rounds are fsync-paced, so the spawn cost is noise), bounded by
+    // the core count: on a single-core host concurrent fsyncs cannot
+    // overlap and the threads are pure scheduling overhead, so the
+    // round degrades gracefully to the sequential loop.
+    static const size_t kMaxRoundHelpers =
+        std::thread::hardware_concurrency() > 1
+            ? std::min<size_t>(std::thread::hardware_concurrency() - 1, 7)
+            : 0;
+    size_t helpers = std::min(round.size() - 1, kMaxRoundHelpers);
+    if (helpers == 0) {
+      for (RoundItem& item : round) flush_item(item);
+    } else {
+      std::atomic<size_t> next{0};
+      auto worker = [&] {
+        for (size_t i; (i = next.fetch_add(1)) < round.size();) {
+          flush_item(round[i]);
+        }
+      };
+      std::vector<std::thread> crew;
+      crew.reserve(helpers);
+      for (size_t i = 0; i < helpers; ++i) crew.emplace_back(worker);
+      worker();
+      for (std::thread& helper : crew) helper.join();
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace taco

@@ -1,0 +1,139 @@
+// Cross-session group commit for write-ahead logs.
+//
+// The per-session WAL fsyncs on every append, which caps a session's
+// durable edit rate at 1/fsync-latency and — with many sessions — puts
+// O(edits) journal commits on the device. A GroupCommitter replaces the
+// inline fsync with classic DB group commit: appenders write their
+// record (under their session lock), enqueue a flush ticket, release the
+// lock, and block on the ticket; a dedicated committer thread batches
+// every ticket pending at that moment and issues ONE fsync per distinct
+// WAL file per round, releasing all of that file's waiters with the
+// round's outcome. Acks still never outrun the bytes they promise —
+// the fsync-before-ack contract is unchanged — but N concurrent
+// appenders of a file share one fsync instead of paying one each, and
+// the committer's rounds amortize the device's journal commits across
+// files.
+//
+// Locking contract (deadlock freedom): Enqueue and Drain are called
+// with the owning session's mutex held; Wait must be called with it
+// RELEASED. The committer thread takes only its own mutex, never a
+// session's, so a session blocked in Wait cannot be waiting on anything
+// that waits on that session. Drain is how a file leaves the committer:
+// the WAL calls it (still under the session lock) before closing or
+// swapping its descriptor, so the committer never fsyncs a dead fd.
+
+#ifndef TACO_STORE_GROUP_COMMIT_H_
+#define TACO_STORE_GROUP_COMMIT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace taco {
+
+struct GroupCommitBatch;  // One flush round's shared state (internal).
+
+/// What one completed group flush covered, reported through
+/// GroupCommitOptions::observer (metrics, structured logging).
+struct GroupFlushStats {
+  std::string path;      ///< WAL file the fsync covered.
+  uint64_t appends = 0;  ///< Tickets (appended records) this flush acked.
+  uint64_t flush_ns = 0; ///< Duration of the fsync itself.
+  bool ok = true;
+  std::string error;     ///< strerror text when !ok.
+};
+
+struct GroupCommitOptions {
+  /// Extra coalescing window: after noticing pending work, the committer
+  /// sleeps this long before collecting the round, letting more
+  /// appenders join it. 0 relies on natural batching (appends that
+  /// arrive while the previous round's fsyncs run join the next round),
+  /// which is already effective whenever flushes are slower than
+  /// appends — the only regime where group commit matters.
+  uint32_t max_delay_us = 0;
+  /// Invoked on the committer thread after every per-file flush. Must
+  /// not call back into the committer.
+  std::function<void(const GroupFlushStats&)> observer;
+};
+
+/// The handle an appender blocks on: armed by GroupCommitter::Enqueue,
+/// resolved when the flush round covering the append completes. Cheap to
+/// copy; an unarmed (default) ticket Waits as an immediate OK.
+class GroupCommitTicket {
+ public:
+  GroupCommitTicket() = default;
+
+  bool armed() const { return batch_ != nullptr; }
+
+  /// Blocks until the covering flush completes and returns its outcome.
+  /// Call with no session lock held (see the header contract).
+  Status Wait();
+
+ private:
+  friend class GroupCommitter;
+  std::shared_ptr<GroupCommitBatch> batch_;
+};
+
+/// The shared committer: one per service, used by every session's WAL.
+/// All methods are thread-safe under the contract above.
+class GroupCommitter {
+ public:
+  explicit GroupCommitter(GroupCommitOptions options = {});
+
+  /// Flushes whatever is still pending, then stops the thread. Callers
+  /// keep every WAL registered here alive until after destruction (the
+  /// service owns the committer and destroys it after its sessions).
+  ~GroupCommitter();
+
+  GroupCommitter(const GroupCommitter&) = delete;
+  GroupCommitter& operator=(const GroupCommitter&) = delete;
+
+  /// Registers one just-written append of `file` (an opaque per-log key)
+  /// for the next flush round. `fd` must stay open until the round
+  /// completes — Drain before closing it. Called under the session lock.
+  GroupCommitTicket Enqueue(const void* file, int fd,
+                            const std::string& path);
+
+  /// Completes every pending ticket of `file` (flushing on the calling
+  /// thread if the committer has not picked them up) and forgets the
+  /// registration, so `fd` can be closed or swapped. Returns the final
+  /// flush's outcome. Called under the session lock; the lock guarantees
+  /// no concurrent Enqueue for the same file.
+  Status Drain(const void* file);
+
+ private:
+  struct FileState {
+    int fd = -1;
+    std::string path;
+    /// The accumulating batch new tickets join; null when nothing is
+    /// pending. The committer swaps it to `inflight` at round start.
+    std::shared_ptr<GroupCommitBatch> pending;
+    /// The batch whose fsync is running right now. Drain waits for it
+    /// to clear before the fd may be closed.
+    std::shared_ptr<GroupCommitBatch> inflight;
+  };
+
+  void Run();
+  bool AnyPendingLocked() const;
+  /// fsync + observer for one file's batch; no committer lock held.
+  Status FlushFile(int fd, const std::string& path, uint64_t appends);
+
+  GroupCommitOptions options_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< Wakes the committer.
+  std::condition_variable done_cv_;  ///< Wakes Wait / Drain.
+  bool stop_ = false;
+  std::unordered_map<const void*, FileState> files_;
+  std::thread committer_;
+};
+
+}  // namespace taco
+
+#endif  // TACO_STORE_GROUP_COMMIT_H_

@@ -590,14 +590,24 @@ Status WriteFileAtomic(const std::string& path, std::string_view data) {
     return Status::IoError("cannot rename '" + tmp_path + "' to '" + path +
                            "': " + std::strerror(err));
   }
-  // Best-effort directory sync so the rename itself is durable.
+  // Directory sync so the rename itself is durable. Propagated like the
+  // file fsync above: returning OK on a failed dir sync would promise a
+  // durability the disk never delivered (the renamed entry could vanish
+  // in a crash, resurfacing the old file).
   std::string dir = std::filesystem::path(path).parent_path().string();
   if (dir.empty()) dir = ".";
   int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (dir_fd >= 0) {
-    ::fsync(dir_fd);
-    ::close(dir_fd);
+  if (dir_fd < 0) {
+    return Status::IoError("open dir '" + dir +
+                           "': " + std::strerror(errno));
   }
+  if (::fsync(dir_fd) != 0) {
+    int err = errno;
+    ::close(dir_fd);
+    return Status::IoError("fsync dir '" + dir +
+                           "': " + std::strerror(err));
+  }
+  ::close(dir_fd);
   return Status::OK();
 }
 

@@ -268,13 +268,27 @@ Result<std::pair<int, uint64_t>> CreateFreshLog(const std::string& path,
     return Status::IoError("rename '" + tmp + "' to '" + path +
                            "': " + std::strerror(err));
   }
+  // The rename is only durable once the directory itself is synced; a
+  // failure here means a crash could resurface the OLD log (or none),
+  // so it must fail the create like the file fsync above — not weaken
+  // the crash guarantee silently. The rename already happened, so the
+  // file is left in place for a retry rather than unlinked.
   std::string dir = std::filesystem::path(path).parent_path().string();
   if (dir.empty()) dir = ".";
   int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (dir_fd >= 0) {
-    ::fsync(dir_fd);
-    ::close(dir_fd);
+  if (dir_fd < 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::IoError("open dir '" + dir + "': " + std::strerror(err));
   }
+  if (::fsync(dir_fd) != 0) {
+    int err = errno;
+    ::close(dir_fd);
+    ::close(fd);
+    return Status::IoError("fsync dir '" + dir +
+                           "': " + std::strerror(err));
+  }
+  ::close(dir_fd);
   return std::make_pair(fd, static_cast<uint64_t>(header.size()));
 }
 
@@ -299,6 +313,10 @@ WriteAheadLog::WriteAheadLog(std::string path, WalOptions options, int fd,
     : path_(std::move(path)), options_(options), fd_(fd), bytes_(bytes) {}
 
 WriteAheadLog::~WriteAheadLog() {
+  // Any ticket still pending must resolve before the fd dies (waiters
+  // hold the owning session alive, so in practice the queue is empty —
+  // this is the backstop that makes closing the fd always safe).
+  if (options_.group_commit != nullptr) options_.group_commit->Drain(this);
   if (fd_ >= 0) ::close(fd_);
 }
 
@@ -407,7 +425,8 @@ Result<WalHeader> WriteAheadLog::PeekHeader(const std::string& path) {
   return header;
 }
 
-Status WriteAheadLog::Append(std::span<const Edit> edits) {
+Status WriteAheadLog::Append(std::span<const Edit> edits,
+                             GroupCommitTicket* ticket) {
   last_sync_ns_ = 0;  // Never report a previous append's fsync.
   if (edits.empty()) return Status::OK();
   std::string payload;
@@ -450,17 +469,39 @@ Status WriteAheadLog::Append(std::span<const Edit> edits) {
     written += static_cast<size_t>(n);
   }
   if (options_.sync) {
-    auto sync_start = SteadyNow();
-    if (::fsync(fd_) != 0) {
-      int err = errno;
-      if (options_.observer) {
-        options_.observer(WalEvent::kAppendFailure, path_,
-                          std::strerror(err));
+    if (options_.group_commit != nullptr) {
+      // Deferred sync: the record is written; durability arrives with
+      // the group flush. Hand the ticket out when the caller can wait
+      // outside its own lock, otherwise wait here so Append keeps its
+      // synced-on-return contract for callers that don't opt in.
+      GroupCommitTicket t = options_.group_commit->Enqueue(this, fd_, path_);
+      if (ticket != nullptr) {
+        *ticket = t;
+      } else {
+        auto sync_start = SteadyNow();
+        Status flushed = t.Wait();
+        if (!flushed.ok()) {
+          if (options_.observer) {
+            options_.observer(WalEvent::kAppendFailure, path_,
+                              flushed.message());
+          }
+          return flushed;
+        }
+        last_sync_ns_ = NsSince(sync_start);
       }
-      return Status::IoError("wal fsync '" + path_ +
-                             "': " + std::strerror(err));
+    } else {
+      auto sync_start = SteadyNow();
+      if (::fsync(fd_) != 0) {
+        int err = errno;
+        if (options_.observer) {
+          options_.observer(WalEvent::kAppendFailure, path_,
+                            std::strerror(err));
+        }
+        return Status::IoError("wal fsync '" + path_ +
+                               "': " + std::strerror(err));
+      }
+      last_sync_ns_ = NsSince(sync_start);
     }
-    last_sync_ns_ = NsSince(sync_start);
   }
   bytes_ += record.size();
   ++appended_records_;
@@ -468,6 +509,11 @@ Status WriteAheadLog::Append(std::span<const Edit> edits) {
 }
 
 Status WriteAheadLog::Rotate(const WalHeader& header) {
+  // Resolve every outstanding group ticket against the OLD fd before it
+  // closes. A failed drain is not the rotation's failure: those waiters
+  // see the error themselves, and the snapshot this rotation serves has
+  // already captured their edits (Save writes it before rotating).
+  if (options_.group_commit != nullptr) options_.group_commit->Drain(this);
   auto fresh = CreateFreshLog(path_, header);
   if (!fresh.ok()) return fresh.status();
   // The old fd points at the unlinked inode; swap in the new one.

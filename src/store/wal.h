@@ -41,6 +41,7 @@
 #include "common/status.h"
 #include "eval/recalc.h"
 #include "sheet/sheet.h"
+#include "store/group_commit.h"
 
 namespace taco {
 
@@ -56,6 +57,11 @@ struct WalOptions {
   /// fsync after every append (the durability contract). Benchmarks may
   /// turn it off to measure the encode/write path alone.
   bool sync = true;
+  /// Deferred sync: when set (and sync is on), Append does not fsync
+  /// inline — it enqueues a flush ticket with this shared committer and
+  /// the durability wait happens on the ticket instead, letting many
+  /// appends share one fsync. Non-owning; must outlive the log.
+  GroupCommitter* group_commit = nullptr;
   /// Records larger than this are rejected at append and treated as
   /// corruption at replay (a frame this size cannot be genuine).
   uint32_t max_record_bytes = 64u << 20;
@@ -118,8 +124,14 @@ class WriteAheadLog {
   WriteAheadLog& operator=(const WriteAheadLog&) = delete;
 
   /// Appends one record holding `edits`, fsyncing before returning when
-  /// options.sync is set. Empty spans are a no-op.
-  Status Append(std::span<const Edit> edits);
+  /// options.sync is set. Empty spans are a no-op. Under group commit
+  /// (options.group_commit set), the record is written but not yet
+  /// durable on return: a non-null `ticket` receives the flush ticket
+  /// for the caller to Wait on AFTER releasing its own lock; with a
+  /// null `ticket` the append waits for the group flush inline, so the
+  /// fsync-before-return contract holds either way.
+  Status Append(std::span<const Edit> edits,
+                GroupCommitTicket* ticket = nullptr);
 
   /// Swaps the file for an empty log with `header` — the checkpoint
   /// rotation. Atomic: a crash leaves either the full old log or the
@@ -131,10 +143,12 @@ class WriteAheadLog {
   uint64_t bytes() const { return bytes_; }
   /// Records appended through THIS handle since open/rotate.
   uint64_t appended_records() const { return appended_records_; }
-  /// Duration of the fsync in the most recent Append (0 when sync is
-  /// off or nothing was appended yet). The durability wait is usually
-  /// the dominant term of a mutation's latency; trace spans report it
-  /// as its own phase so it is never mistaken for compute.
+  /// Duration of the durability wait in the most recent Append (0 when
+  /// sync is off, nothing was appended yet, or the append handed out a
+  /// group-commit ticket — then the caller measures its own ticket
+  /// wait). The durability wait is usually the dominant term of a
+  /// mutation's latency; trace spans report it as its own phase so it
+  /// is never mistaken for compute.
   uint64_t last_sync_ns() const { return last_sync_ns_; }
 
  private:

@@ -14,12 +14,14 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <memory>
 #include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -220,6 +222,172 @@ TEST_P(StorageRecoveryTest,
               << cell.ToString();
         }
       }
+    }
+  }
+}
+
+TEST_P(StorageRecoveryTest,
+       GroupCommitKillPointsRecoverEachSessionsAckedPrefix) {
+  // The same acknowledged-prefix contract, with --group-commit on and
+  // several sessions mutating CONCURRENTLY: acks now ride shared flush
+  // rounds, so this is the test that a group fsync never releases an ack
+  // before the bytes it promises are down. Each session has exactly one
+  // driver thread, so its recorded wal_end offsets are exact ack
+  // boundaries even though flushes interleave across sessions.
+  const std::string store = GetParam();
+  constexpr int kSessions = 3;
+  std::mt19937_64 rng(0x6C07 + (store == "binary" ? 1 : 0));
+  for (int trial = 0, n = FuzzTrials(6); trial < n; ++trial) {
+    ScratchDir dir("taco_gc_recovery_" + store);
+    struct PerSession {
+      std::string name;
+      std::string wal_file;
+      Sheet oracle;                 // State after every acknowledged op.
+      std::vector<AckedOp> acked;
+      uint64_t seed = 0;
+    };
+    std::vector<PerSession> sessions(kSessions);
+    for (int s = 0; s < kSessions; ++s) {
+      sessions[s].name = "book" + std::to_string(s);
+      sessions[s].seed = rng();
+    }
+
+    // Phase 1: concurrent writers through one group committer. A small
+    // coalescing window widens the rounds so acks genuinely share
+    // fsyncs (the unit suite asserts the batching itself).
+    {
+      WorkbookServiceOptions options =
+          StorageOptionsFor(store, dir.File("wal"));
+      options.group_commit = true;
+      options.group_commit_max_delay_us = 200;
+      WorkbookService service(options);
+      std::vector<std::thread> drivers;
+      for (PerSession& per : sessions) {
+        per.wal_file = service.WalPathFor(per.name);
+        drivers.emplace_back([&service, &per] {
+          std::mt19937_64 thread_rng(per.seed);
+          auto session = *service.Open(per.name);
+          int ops = 6 + int(thread_rng() % 10);
+          for (int i = 0; i < ops; ++i) {
+            AckedOp op;
+            int count = 1 + int(thread_rng() % 3);
+            for (int e = 0; e < count; ++e) {
+              op.edits.push_back(RandomEdit(thread_rng));
+            }
+            auto result = session->ApplyBatch(op.edits);
+            ASSERT_TRUE(result.ok()) << result.status().ToString();
+            for (const Edit& edit : op.edits) {
+              ASSERT_TRUE(ApplyEditToSheet(&per.oracle, edit).ok());
+            }
+            op.wal_end = session->Stats().wal_bytes;
+            per.acked.push_back(std::move(op));
+          }
+        });
+      }
+      for (auto& driver : drivers) driver.join();
+    }  // Crash: committer and sessions die together.
+
+    // Phase 2: kill every session's log independently — sometimes at an
+    // exact ack boundary (a kill between group rounds), sometimes at a
+    // random byte (a kill mid-round, tearing the tail record).
+    uint64_t header_bytes = WalHeaderBytes(dir, "");
+    for (PerSession& per : sessions) {
+      uint64_t full_size = std::filesystem::file_size(per.wal_file);
+      ASSERT_GE(full_size, header_bytes);
+      uint64_t cut;
+      if (rng() % 2 == 0 && !per.acked.empty()) {
+        cut = per.acked[rng() % per.acked.size()].wal_end;
+      } else {
+        cut = header_bytes + (full_size > header_bytes
+                                  ? rng() % (full_size - header_bytes + 1)
+                                  : 0);
+      }
+      std::filesystem::resize_file(per.wal_file, cut);
+
+      Sheet expected;
+      expected.set_name(per.name);
+      size_t surviving = 0;
+      for (const AckedOp& op : per.acked) {
+        if (op.wal_end <= cut) {
+          for (const Edit& edit : op.edits) {
+            ASSERT_TRUE(ApplyEditToSheet(&expected, edit).ok());
+          }
+          ++surviving;
+        }
+      }
+
+      WorkbookService service(StorageOptionsFor(store, dir.File("wal")));
+      auto recovered = service.Open(per.name);
+      ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+      EXPECT_EQ((*recovered)->Snapshot(), Canon(expected))
+          << store << " trial " << trial << " session " << per.name
+          << ": cut " << cut << " of " << full_size << " (" << surviving
+          << "/" << per.acked.size() << " ops survive)";
+      EXPECT_EQ((*recovered)->Stats().recovered_records, surviving);
+    }
+  }
+}
+
+TEST(StorageRecoveryMiscTest,
+     GroupCommitSurvivesConcurrentMutatorsReadersAndRotations) {
+  // Race surface for the committer (the TSan job runs this binary):
+  // several sessions' mutator threads enqueue flush tickets while
+  // readers hit the lock-free path and checkpoints rotate the logs out
+  // from under the committer (Drain mid-traffic). Every mutation must
+  // ack OK, and a reopen must recover the exact final state.
+  ScratchDir dir("taco_gc_hammer");
+  constexpr int kSessions = 2;
+  constexpr int kMutatorsPerSession = 2;
+  constexpr int kEditsPerMutator = 30;
+  {
+    WorkbookServiceOptions options =
+        StorageOptionsFor("text", dir.File("wal"));
+    options.group_commit = true;
+    WorkbookService service(options);
+    std::atomic<bool> done{false};
+    std::vector<std::thread> mutators;
+    std::vector<std::thread> readers;
+    for (int s = 0; s < kSessions; ++s) {
+      std::string name = "book" + std::to_string(s);
+      auto session = *service.Open(name);
+      for (int m = 0; m < kMutatorsPerSession; ++m) {
+        mutators.emplace_back([session, s, m, &dir] {
+          // Each mutator owns one cell; its last write is the final
+          // value, so the recovered state below is deterministic.
+          Cell cell{m + 1, 1};
+          for (int i = 1; i <= kEditsPerMutator; ++i) {
+            ASSERT_TRUE(session->SetNumber(cell, i).ok());
+            if (m == 0 && i % 10 == 0) {
+              // Rotation under load: Checkpoint drains the committer's
+              // registration for this file and swaps the fd.
+              ASSERT_TRUE(
+                  session
+                      ->Checkpoint(dir.File("book" + std::to_string(s) +
+                                            ".snap"))
+                      .ok());
+            }
+          }
+        });
+      }
+      readers.emplace_back([session, &done] {
+        while (!done.load(std::memory_order_relaxed)) {
+          (void)session->GetValue(Cell{1, 1});
+          (void)session->GetValue(Cell{2, 1});
+        }
+      });
+    }
+    for (auto& thread : mutators) thread.join();
+    done.store(true, std::memory_order_relaxed);
+    for (auto& thread : readers) thread.join();
+  }  // Crash.
+  WorkbookService reopened(StorageOptionsFor("text", dir.File("wal")));
+  for (int s = 0; s < kSessions; ++s) {
+    auto session = reopened.Open("book" + std::to_string(s));
+    ASSERT_TRUE(session.ok()) << session.status().ToString();
+    for (int m = 0; m < kMutatorsPerSession; ++m) {
+      EXPECT_EQ((*session)->GetValue(Cell{m + 1, 1}),
+                Value::Number(kEditsPerMutator))
+          << "session " << s << " mutator " << m;
     }
   }
 }
@@ -544,6 +712,16 @@ TEST(StorageRecoveryMiscTest, WalFailureLatchesUntilACheckpointSucceeds) {
   EXPECT_EQ(processor.Execute("GET book A1"), "VALUE A1 7");
   std::string stats = processor.Execute("STATS book");
   EXPECT_NE(stats.find(" wal_failed=1"), std::string::npos) << stats;
+  // Regression: the failed append must not report a durability wait —
+  // last_sync_ns is only harvested from a SUCCESSFUL append, so the
+  // span's wal_fsync phase stays zero (it used to leak the previous
+  // successful append's timing into the failed op's breakdown).
+  {
+    auto spans = service.metrics().trace().Newest(1);
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_FALSE(spans[0].ok);
+    EXPECT_EQ(spans[0].wal_fsync_ns, 0u);
+  }
 
   // The latch refuses everything mutating, single edits and batches.
   std::string refused = processor.Execute("SET book A2 8");
