@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <unordered_set>
+#include <utility>
 
 #include "common/clock.h"
 #include "common/range_set.h"
+#include "eval/cutoff.h"
 #include "formula/references.h"
 
 namespace taco {
@@ -75,13 +77,24 @@ bool CountDirtyFormulas(const Sheet& sheet, std::span<const Range> dirty,
   return true;
 }
 
+/// Budgets for the engine's own (serial-path) cutoff machinery. The
+/// prior-capture area bound mirrors SchedulerOptions::max_cells and the
+/// edge bound mirrors max_edges: past either, cutoff bookkeeping would
+/// dominate the pass it's trying to shrink, so the engine falls back to
+/// the eager full evaluation with zero cells skipped.
+constexpr uint64_t kCutoffMaxPriorArea = 1u << 20;
+constexpr uint64_t kCutoffMaxEdges = 4u << 20;
+
 }  // namespace
 
 RecalcPlan RecalcExecutor::Plan(const Sheet& sheet,
-                                std::span<const Range> dirty) const {
+                                std::span<const Range> dirty,
+                                std::span<const Range> /*seeds*/,
+                                bool cutoff) const {
   RecalcPlan plan;
   plan.granularity = RecalcPlan::Granularity::kSerialInline;
   plan.decision = "no_planner";
+  plan.cutoff = cutoff;
   plan.dirty_ranges = dirty.size();
   for (const Range& range : dirty) plan.dirty_area += range.Area();
   CountDirtyFormulas(sheet, dirty, 1u << 20, &plan.dirty_formulas);
@@ -113,30 +126,68 @@ RecalcResult RecalcEngine::RecalculateMerged(std::span<const Range> changed) {
   result.find_dependents_ns = NsSince(start);
   result.find_dependents_ms = double(result.find_dependents_ns) / 1e6;
 
-  for (const Range& seed : seeds) evaluator_.Invalidate(seed);
-  for (const Range& range : result.dirty) {
-    result.dirty_cells += range.Area();
-    evaluator_.Invalidate(range);
+  for (const Range& range : result.dirty) result.dirty_cells += range.Area();
+
+  // Cutoff needs the dirty cells' prior values, which invalidation is
+  // about to destroy — capture them first (bounded: past the area budget
+  // the pass runs eagerly with zero cells skipped).
+  CutoffContext ctx;
+  bool cutoff_ready = false;
+  if (cutoff_ && result.dirty_cells <= kCutoffMaxPriorArea) {
+    ctx.seeds = seeds;
+    CapturePriorValues(*sheet_, evaluator_, result.dirty, &ctx);
+    cutoff_ready = true;
   }
+
+  for (const Range& seed : seeds) evaluator_.Invalidate(seed);
+  for (const Range& range : result.dirty) evaluator_.Invalidate(range);
+
   auto eval_start = SteadyNow();
   if (mode_ == RecalcMode::kParallel && executor_ != nullptr) {
-    RecalcExecutor::Outcome outcome =
-        executor_->Execute(*sheet_, &evaluator_, result.dirty);
+    RecalcExecutor::Outcome outcome = executor_->Execute(
+        *sheet_, &evaluator_, result.dirty, cutoff_ready ? &ctx : nullptr);
     result.recalculated = outcome.recalculated;
+    result.cells_skipped_cutoff = outcome.cells_skipped_cutoff;
+    result.dirty_formulas = outcome.dirty_formulas;
     result.waves = outcome.waves;
     result.max_wave_cells = outcome.max_wave_cells;
     result.barrier_wait_ns = outcome.barrier_wait_ns;
   } else {
-    // Re-evaluate eagerly; the recursive evaluator resolves ordering and
-    // the shared cache makes each formula compute once. The dirty ranges
-    // are disjoint, so no formula is visited (or counted) twice.
-    for (const Range& range : result.dirty) {
-      for (const Cell& cell : EnumerateCells(range)) {
-        if (sheet_->IsFormulaCell(cell)) {
-          evaluator_.EvaluateCell(cell);
-          ++result.recalculated;
+    bool cut = false;
+    if (cutoff_ready) {
+      // Serial cutoff: evaluate the dirty subgraph wave-by-wave so a
+      // value-unchanged commit prunes the dependents reachable only
+      // through it (eval/cutoff.h). Wave order is equivalent to the
+      // eager order for acyclic cells, and the cycle leftover replays in
+      // the same node order, so results are identical either way.
+      // RecalcResult::waves stays 0: no parallel waves were dispatched.
+      std::vector<Cell> nodes;
+      std::vector<const Expr*> asts;
+      CollectDirtyFormulaCells(*sheet_, result.dirty, &nodes, &asts);
+      CellWavePlan plan = BuildCellWavePlan(std::move(nodes), std::move(asts),
+                                           ctx.seeds, kCutoffMaxEdges);
+      if (!plan.over_budget) {
+        CutoffOutcome outcome = SerialCutoffEvaluate(plan, &evaluator_, ctx);
+        result.recalculated = outcome.evaluated;
+        result.cells_skipped_cutoff = outcome.skipped;
+        result.dirty_formulas = outcome.dirty_formulas;
+        cut = true;
+      }
+    }
+    if (!cut) {
+      // Re-evaluate eagerly; the recursive evaluator resolves ordering
+      // and the shared cache makes each formula compute once. The dirty
+      // ranges are disjoint, so no formula is visited (or counted)
+      // twice.
+      for (const Range& range : result.dirty) {
+        for (const Cell& cell : EnumerateCells(range)) {
+          if (sheet_->IsFormulaCell(cell)) {
+            evaluator_.EvaluateCell(cell);
+            ++result.recalculated;
+          }
         }
       }
+      result.dirty_formulas = result.recalculated;
     }
   }
   result.eval_ns = NsSince(eval_start);
@@ -148,6 +199,7 @@ RecalcEngine::ExplainInfo RecalcEngine::Explain(const Range& target) {
   ExplainInfo info;
   info.mode = mode_;
   info.parallel_active = mode_ == RecalcMode::kParallel && executor_ != nullptr;
+  info.cutoff = cutoff_;
 
   // The exact dirty-set recipe of RecalculateMerged, minus invalidation.
   info.seeds = DisjointifyRanges({&target, 1});
@@ -162,11 +214,12 @@ RecalcEngine::ExplainInfo RecalcEngine::Explain(const Range& target) {
   for (const Range& range : info.dirty) info.dirty_cells += range.Area();
 
   if (info.parallel_active) {
-    info.plan = executor_->Plan(*sheet_, info.dirty);
+    info.plan = executor_->Plan(*sheet_, info.dirty, info.seeds, cutoff_);
   } else {
     info.plan.granularity = RecalcPlan::Granularity::kSerialInline;
     info.plan.decision =
         executor_ == nullptr ? "no_executor" : "mode=serial";
+    info.plan.cutoff = cutoff_;
     info.plan.dirty_ranges = info.dirty.size();
     info.plan.dirty_area = info.dirty_cells;
     CountDirtyFormulas(*sheet_, info.dirty, 1u << 20,

@@ -23,11 +23,20 @@
 
 namespace taco {
 
+struct CutoffContext;  // eval/cutoff.h
+
 /// Outcome of one update (or one batch of updates).
 struct RecalcResult {
   std::vector<Range> dirty;        ///< Ranges of formulas needing recalc.
   uint64_t dirty_cells = 0;        ///< Total dirty formula cells.
   uint64_t recalculated = 0;       ///< Formulas actually re-evaluated.
+  /// Dirty formulas pruned by value-change cutoff (prior value restored
+  /// instead of recomputed). Zero when cutoff is off or didn't apply.
+  /// `recalculated + cells_skipped_cutoff == dirty_formulas` always.
+  uint64_t cells_skipped_cutoff = 0;
+  /// Total dirty formula cells the pass was responsible for (evaluated
+  /// plus cutoff-skipped).
+  uint64_t dirty_formulas = 0;
   uint64_t recalc_passes = 0;      ///< Merged recalc passes (1 per batch).
   uint64_t edits_applied = 0;      ///< Sheet/graph mutations performed.
   double find_dependents_ms = 0;   ///< Time spent in FindDependents.
@@ -68,12 +77,20 @@ struct RecalcPlan {
   /// token (e.g. "dirty_area(12)<min_parallel_cells(64)").  Never empty.
   std::string decision;
   int width = 1;                     ///< Wave-execution width (threads).
+  /// The plan models a cutoff pass: the width/min_parallel_cells serial
+  /// short-circuits don't apply (cutoff always builds waves when the
+  /// granularity budgets allow), and `wave_cutoff_eligible` is filled.
+  bool cutoff = false;
   uint64_t dirty_ranges = 0;         ///< Disjoint dirty rectangles.
   uint64_t dirty_area = 0;           ///< Total cells covered by them.
   uint64_t dirty_formulas = 0;       ///< Formula cells among them.
   uint64_t edges = 0;                ///< Dependency edges the plan expanded.
   uint64_t cycle_cells = 0;          ///< Nodes on/downstream of cycles.
   std::vector<uint64_t> wave_cells;  ///< Work units per topological wave.
+  /// Per-wave upper bound on cutoff pruning (cutoff plans only): work
+  /// units with no direct seed input. Whether they actually skip depends
+  /// on runtime values, so execution's skip count is <= the sum of this.
+  std::vector<uint64_t> wave_cutoff_eligible;
 
   uint64_t waves() const { return wave_cells.size(); }
   uint64_t max_wave_cells() const;
@@ -92,6 +109,10 @@ class RecalcExecutor {
   /// What the executor did, for RecalcResult's wave metrics.
   struct Outcome {
     uint64_t recalculated = 0;    ///< Formula cells evaluated.
+    /// Formula cells pruned by value-change cutoff (prior restored).
+    uint64_t cells_skipped_cutoff = 0;
+    /// Total formula cells of the pass (recalculated + skipped).
+    uint64_t dirty_formulas = 0;
     uint64_t waves = 0;           ///< Topological waves executed.
     uint64_t max_wave_cells = 0;  ///< Largest wave, in formula cells.
     uint64_t barrier_wait_ns = 0; ///< Time the coordinator spent blocked
@@ -102,15 +123,22 @@ class RecalcExecutor {
   virtual ~RecalcExecutor() = default;
 
   /// Evaluates every dirty formula cell. `dirty` ranges are disjoint;
-  /// the evaluator has already been invalidated for them.
+  /// the evaluator has already been invalidated for them. When `cutoff`
+  /// is non-null the executor MAY prune dependents of value-unchanged
+  /// cells, restoring their captured prior values instead — the cache
+  /// must still end up cell-for-cell identical to a full pass.
   virtual Outcome Execute(const Sheet& sheet, Evaluator* evaluator,
-                          std::span<const Range> dirty) = 0;
+                          std::span<const Range> dirty,
+                          const CutoffContext* cutoff) = 0;
 
   /// Plans (without executing) the pass Execute would run for `dirty`.
-  /// Read-only and side-effect-free.  The default implementation models
-  /// an executor-less engine: everything evaluates serially inline.
-  virtual RecalcPlan Plan(const Sheet& sheet,
-                          std::span<const Range> dirty) const;
+  /// Read-only and side-effect-free.  `seeds` (the edited rectangles)
+  /// and `cutoff` describe the cutoff configuration the pass would run
+  /// with; they only affect the plan when cutoff is on.  The default
+  /// implementation models an executor-less engine: everything evaluates
+  /// serially inline.
+  virtual RecalcPlan Plan(const Sheet& sheet, std::span<const Range> dirty,
+                          std::span<const Range> seeds, bool cutoff) const;
 };
 
 /// One deferred cell mutation, for batched application. Constructed via
@@ -191,6 +219,7 @@ class RecalcEngine {
     uint64_t find_dependents_ns = 0; ///< Closure query time (measured).
     RecalcMode mode = RecalcMode::kSerial;
     bool parallel_active = false;    ///< kParallel AND an executor plugged.
+    bool cutoff = false;             ///< Value-change cutoff enabled.
     RecalcPlan plan;
   };
   ExplainInfo Explain(const Range& target);
@@ -220,6 +249,14 @@ class RecalcEngine {
   void set_mode(RecalcMode mode) { mode_ = mode; }
   RecalcMode mode() const { return mode_; }
 
+  /// Toggles value-change cutoff: recalc passes compare each committed
+  /// value against its prior and prune dependents reachable only
+  /// through unchanged cells (eval/cutoff.h documents why results stay
+  /// cell-for-cell identical). Applies to the serial path directly and
+  /// is forwarded to the executor on parallel passes. Off by default.
+  void set_cutoff(bool cutoff) { cutoff_ = cutoff; }
+  bool cutoff() const { return cutoff_; }
+
  private:
   /// Invalidates and re-evaluates everything depending on `changed`.
   RecalcResult Recalculate(const Range& changed);
@@ -237,6 +274,7 @@ class RecalcEngine {
   Evaluator evaluator_;
   RecalcExecutor* executor_ = nullptr;
   RecalcMode mode_ = RecalcMode::kSerial;
+  bool cutoff_ = false;
   std::shared_ptr<const ValueVersion> version_;  ///< Last published.
 };
 

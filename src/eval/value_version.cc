@@ -1,5 +1,6 @@
 #include "eval/value_version.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/range_set.h"
@@ -56,14 +57,68 @@ std::shared_ptr<const ValueVersion> ValueVersion::Delta(
 
   auto version = std::shared_ptr<ValueVersion>(new ValueVersion());
   version->id_ = id;
-  version->touched_ = std::move(disjoint);
-  for (const Range& range : version->touched_) {
+
+  // Value-unchanged cells are dropped from the delta entirely — no
+  // coverage, no entry — so Lookup falls through to the older node,
+  // which answers with the identical value. Cutoff recalc makes this the
+  // common case: an absorbed edit touches a wide dirty closure but
+  // changes a handful of cells, and the delta should cost what CHANGED,
+  // not what was scheduled. A changed cell that no longer exists (a
+  // CLEAR) must stay covered WITHOUT an entry, so it reads Blank here
+  // instead of leaking the older node's value.
+  struct Changed {
+    Cell cell;
+    Value value;
+    bool exists;
+  };
+  std::vector<Changed> changed;
+  for (const Range& range : disjoint) {
     for (const Cell& cell : EnumerateCells(range)) {
-      // Only existing cells get entries; a touched cell without one reads
-      // as Blank, which is exactly what a cleared or empty cell is. The
-      // evaluator was primed by the commit, so this is mostly cache hits.
-      if (sheet.Get(cell) != nullptr) {
-        version->values_.emplace(cell, evaluator->EvaluateCell(cell));
+      // The evaluator was primed by the commit, so this is mostly cache
+      // hits; the base lookup is a depth-bounded chain walk.
+      Value now = sheet.Get(cell) != nullptr ? evaluator->EvaluateCell(cell)
+                                             : Value::Blank();
+      if (now == base->Lookup(cell)) continue;
+      changed.push_back({cell, std::move(now), sheet.Get(cell) != nullptr});
+    }
+  }
+
+  // Coalesce the changed cells into vertical runs, column-major: the
+  // narrowed coverage Lookup gates on. Every delta probe pays O(#ranges)
+  // range compares, so past this cap the narrowed form costs readers
+  // more than it saves — keep the old wide coverage + full entries.
+  constexpr size_t kMaxNarrowedRanges = 256;
+  std::sort(changed.begin(), changed.end(),
+            [](const Changed& a, const Changed& b) {
+              return a.cell.col != b.cell.col ? a.cell.col < b.cell.col
+                                              : a.cell.row < b.cell.row;
+            });
+  std::vector<Range> narrowed;
+  for (const Changed& c : changed) {
+    if (!narrowed.empty() && narrowed.back().head.col == c.cell.col &&
+        narrowed.back().tail.row + 1 == c.cell.row) {
+      narrowed.back().tail.row = c.cell.row;
+    } else {
+      narrowed.push_back(Range(c.cell));
+    }
+  }
+
+  if (narrowed.size() <= kMaxNarrowedRanges) {
+    version->touched_ = std::move(narrowed);
+    version->values_.reserve(changed.size());
+    for (Changed& c : changed) {
+      if (c.exists) version->values_.emplace(c.cell, std::move(c.value));
+    }
+  } else {
+    // Wide fallback: cover everything the commit touched and carry an
+    // entry per existing cell (a touched cell without one reads Blank —
+    // exactly what a cleared or empty cell is).
+    version->touched_ = std::move(disjoint);
+    for (const Range& range : version->touched_) {
+      for (const Cell& cell : EnumerateCells(range)) {
+        if (sheet.Get(cell) != nullptr) {
+          version->values_.emplace(cell, evaluator->EvaluateCell(cell));
+        }
       }
     }
   }

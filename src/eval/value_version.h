@@ -57,8 +57,11 @@ class ValueVersion {
 
   /// Builds the successor of `base` after a commit that touched
   /// `touched` (seed rectangles plus dirty ranges; need not be
-  /// disjoint). Falls back to a full rebuild when the touched area
-  /// rivals the sheet itself or the chain would exceed kMaxDepth.
+  /// disjoint). Cells whose committed value equals the base version's
+  /// are dropped from the delta (the older chain already answers them),
+  /// so the node carries only what the commit CHANGED. Falls back to a
+  /// full rebuild when the touched area rivals the sheet itself or the
+  /// chain would exceed kMaxDepth.
   static std::shared_ptr<const ValueVersion> Delta(
       uint64_t id, std::shared_ptr<const ValueVersion> base,
       const Sheet& sheet, Evaluator* evaluator,

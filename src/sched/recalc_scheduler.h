@@ -63,6 +63,7 @@
 #include <cstdint>
 #include <span>
 
+#include "eval/cutoff.h"
 #include "eval/recalc.h"
 #include "sched/thread_pool.h"
 
@@ -103,20 +104,37 @@ class RecalcScheduler : public RecalcExecutor {
   /// `pool` may be null, which degrades every pass to serial inline.
   explicit RecalcScheduler(ThreadPool* pool, SchedulerOptions options = {});
 
+  /// `cutoff` non-null enables value-change cutoff for the pass (see
+  /// eval/cutoff.h for the contract): waves are pruned at nodes whose
+  /// dirty precedents all committed unchanged, in both granularities.
+  /// The width/min_parallel_cells serial short-circuits don't apply
+  /// under cutoff — small or width-1 passes still build waves and
+  /// evaluate them inline so pruning can happen. Results remain
+  /// cell-for-cell identical to an un-cut pass by construction.
   Outcome Execute(const Sheet& sheet, Evaluator* evaluator,
-                  std::span<const Range> dirty) override;
+                  std::span<const Range> dirty,
+                  const CutoffContext* cutoff) override;
 
   /// The EXPLAIN dry run: replays Execute's exact decision tree — same
   /// thresholds, checked in the same order, including the cell-granular
   /// edge expansion and its budget fallback — but evaluates nothing and
   /// touches no evaluator.  Guaranteed to match a subsequent Execute on
-  /// the same sheet + dirty set wave-for-wave.
-  RecalcPlan Plan(const Sheet& sheet,
-                  std::span<const Range> dirty) const override;
+  /// the same sheet + dirty set wave-for-wave. With `cutoff` it also
+  /// reports the per-wave upper bound of prunable cells (nodes with no
+  /// direct seed input) in `wave_cutoff_eligible`.
+  RecalcPlan Plan(const Sheet& sheet, std::span<const Range> dirty,
+                  std::span<const Range> seeds, bool cutoff) const override;
 
   const SchedulerOptions& options() const { return options_; }
 
  private:
+  /// The cell-granular cutoff wave loop: prune-prime first (workers read
+  /// the shared cache), then dispatch or inline the remaining nodes,
+  /// then the compare-and-mark commit.
+  Outcome ExecuteCellCutoff(const CellWavePlan& plan, const Sheet& sheet,
+                            Evaluator* evaluator, const CutoffContext& cutoff,
+                            int width);
+
   ThreadPool* pool_;
   SchedulerOptions options_;
 };

@@ -101,6 +101,31 @@ std::string RenderServiceExposition(WorkbookService& service) {
              stats[static_cast<size_t>(op)].eval_ms / 1e3);
   }
 
+  b.Family("taco_recalc_cells_skipped_total",
+           "Dirty formula cells pruned by value-change cutoff (prior value "
+           "restored instead of re-evaluated).",
+           "counter");
+  uint64_t skipped_all = 0;
+  uint64_t recalculated_all = 0;
+  for (ServiceOp op : kMutatingOps) {
+    const OpStats& os = stats[static_cast<size_t>(op)];
+    skipped_all += os.cells_skipped;
+    recalculated_all += os.recalculated;
+    b.Sample("taco_recalc_cells_skipped_total", {{"op", OpLabel(op)}},
+             static_cast<double>(os.cells_skipped));
+  }
+  // The headline cutoff win as a ready-made ratio: skipped / (skipped +
+  // evaluated) across all mutating ops. 0 when cutoff never pruned.
+  b.Family("taco_recalc_skipped_fraction",
+           "Fraction of dirty formula cells cutoff pruned instead of "
+           "re-evaluating, over the service lifetime.",
+           "gauge");
+  b.Sample("taco_recalc_skipped_fraction", {},
+           skipped_all + recalculated_all > 0
+               ? static_cast<double>(skipped_all) /
+                     static_cast<double>(skipped_all + recalculated_all)
+               : 0.0);
+
   const TransportCounters& t = metrics.transport();
   b.Family("taco_transport_connections_accepted_total",
            "Socket connections ever accepted.", "counter");

@@ -45,6 +45,7 @@ void ServiceMetrics::Record(ServiceOp op, uint64_t elapsed_ns, bool ok,
   s.find_dependents_ms += result->find_dependents_ms;
   s.eval_ms += result->eval_ms;
   s.waves += result->waves;
+  s.cells_skipped += result->cells_skipped_cutoff;
 }
 
 OpStats ServiceMetrics::Get(ServiceOp op) const {
@@ -68,6 +69,7 @@ OpStats ServiceMetrics::Get(ServiceOp op) const {
     s.find_dependents_ms = r.find_dependents_ms;
     s.eval_ms = r.eval_ms;
     s.waves = r.waves;
+    s.cells_skipped = r.cells_skipped;
   }
   return s;
 }
@@ -75,15 +77,16 @@ OpStats ServiceMetrics::Get(ServiceOp op) const {
 std::string ServiceMetrics::Report() const {
   std::string out =
       "op         count errors  mean_ms   p50_ms   p95_ms   p99_ms   max_ms "
-      "dirty_cells max_dirty recalced passes finddep_ms    eval_ms  waves\n";
-  char line[288];
+      "dirty_cells max_dirty recalced passes finddep_ms    eval_ms  waves "
+      "skipped\n";
+  char line[320];
   for (size_t i = 0; i < kOps; ++i) {
     OpStats s = Get(static_cast<ServiceOp>(i));
     if (s.count == 0) continue;
     std::snprintf(
         line, sizeof(line),
         "%-10s %5llu %6llu %8.3f %8.3f %8.3f %8.3f %8.3f %11llu %9llu "
-        "%8llu %6llu %10.3f %10.3f %6llu\n",
+        "%8llu %6llu %10.3f %10.3f %6llu %7llu\n",
         std::string(ServiceOpName(static_cast<ServiceOp>(i))).c_str(),
         static_cast<unsigned long long>(s.count),
         static_cast<unsigned long long>(s.errors), s.MeanMs(), s.p50_ms,
@@ -93,7 +96,8 @@ std::string ServiceMetrics::Report() const {
         static_cast<unsigned long long>(s.recalculated),
         static_cast<unsigned long long>(s.recalc_passes),
         s.find_dependents_ms, s.eval_ms,
-        static_cast<unsigned long long>(s.waves));
+        static_cast<unsigned long long>(s.waves),
+        static_cast<unsigned long long>(s.cells_skipped));
     out += line;
   }
   return out;

@@ -67,6 +67,7 @@ struct OpStats {
   double find_dependents_ms = 0;
   double eval_ms = 0;                 ///< Re-evaluation phase time.
   uint64_t waves = 0;                 ///< Scheduler waves executed.
+  uint64_t cells_skipped = 0;         ///< Cells pruned by cutoff recalc.
 
   double MeanMs() const { return count ? total_ms / double(count) : 0; }
 };
@@ -176,6 +177,7 @@ class ServiceMetrics {
     double find_dependents_ms = 0;
     double eval_ms = 0;
     uint64_t waves = 0;
+    uint64_t cells_skipped = 0;
   };
 
   static constexpr size_t kOps = static_cast<size_t>(ServiceOp::kOpCount);

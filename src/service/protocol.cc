@@ -133,6 +133,8 @@ std::string SessionStatsReport(const SessionStats& stats) {
          (stats.recalc_mode == RecalcMode::kParallel ? "parallel" : "serial");
   out += " waves=" + std::to_string(stats.waves);
   out += " max_wave_cells=" + std::to_string(stats.max_wave_cells);
+  out += std::string(" cutoff=") + (stats.cutoff ? "on" : "off");
+  out += " cells_skipped=" + std::to_string(stats.cells_skipped);
   out += " version=" + std::to_string(stats.version);
   out += " versions=" + std::to_string(stats.versions_published);
   out += " reads_versioned=" + std::to_string(stats.reads_versioned);
@@ -410,27 +412,42 @@ std::string CommandProcessor::ExecuteInner(std::string_view command_text) {
            service_->metrics().Report() + "END";
   }
   if (EqualsIgnoreCase(cmd, "RECALC")) {
+    constexpr const char* kRecalcUsage =
+        "RECALC <session> [serial|parallel] [cutoff on|off]";
     std::string_view name = NextToken(&rest);
-    std::string_view mode_text = NextToken(&rest);
-    if (name.empty()) return ErrUsage("RECALC <session> [serial|parallel]");
+    if (name.empty()) return ErrUsage(kRecalcUsage);
     auto session = service_->Get(std::string(name));
     if (!session.ok()) return ErrLine(session.status());
-    if (!mode_text.empty()) {
-      RecalcMode mode;
-      if (EqualsIgnoreCase(mode_text, "serial")) {
-        mode = RecalcMode::kSerial;
-      } else if (EqualsIgnoreCase(mode_text, "parallel")) {
-        mode = RecalcMode::kParallel;
-      } else {
-        return ErrUsage("RECALC <session> [serial|parallel]");
+    // Options parse left to right; the mode switch and the cutoff toggle
+    // compose in one command ("RECALC s parallel cutoff on").
+    for (std::string_view token = NextToken(&rest); !token.empty();
+         token = NextToken(&rest)) {
+      if (EqualsIgnoreCase(token, "serial") ||
+          EqualsIgnoreCase(token, "parallel")) {
+        Status status = (*session)->SetRecalcMode(
+            EqualsIgnoreCase(token, "serial") ? RecalcMode::kSerial
+                                              : RecalcMode::kParallel);
+        if (!status.ok()) return ErrLine(status);
+        continue;
       }
-      Status status = (*session)->SetRecalcMode(mode);
-      if (!status.ok()) return ErrLine(status);
+      if (EqualsIgnoreCase(token, "cutoff")) {
+        std::string_view state = NextToken(&rest);
+        if (EqualsIgnoreCase(state, "on")) {
+          (*session)->SetCutoff(true);
+        } else if (EqualsIgnoreCase(state, "off")) {
+          (*session)->SetCutoff(false);
+        } else {
+          return ErrUsage(kRecalcUsage);
+        }
+        continue;
+      }
+      return ErrUsage(kRecalcUsage);
     }
     bool parallel = (*session)->recalc_mode() == RecalcMode::kParallel;
     return "OK recalc " + std::string(name) +
            " mode=" + (parallel ? "parallel" : "serial") +
-           " threads=" + std::to_string(service_->recalc_threads());
+           " threads=" + std::to_string(service_->recalc_threads()) +
+           " cutoff=" + ((*session)->cutoff() ? "on" : "off");
   }
   if (EqualsIgnoreCase(cmd, "METRICS")) {
     // The same bytes taco_serve's HTTP /metrics listener serves: one
@@ -490,6 +507,7 @@ std::string CommandProcessor::ExecuteInner(std::string_view command_text) {
                       " seeds=" + std::to_string(info.seeds.size()) +
                       " dirty_ranges=" + std::to_string(info.dirty.size()) +
                       " dirty_cells=" + std::to_string(info.dirty_cells) +
+                      std::string(" cutoff=") + (info.cutoff ? "on" : "off") +
                       " find_us=" +
                       std::to_string(info.find_dependents_ns / 1000);
     out += "\nPLAN granularity=" + std::string(plan.granularity_name()) +
@@ -503,6 +521,13 @@ std::string CommandProcessor::ExecuteInner(std::string_view command_text) {
     for (size_t i = 0; i < plan.wave_cells.size(); ++i) {
       out += "\nWAVE " + std::to_string(i + 1) +
              " cells=" + std::to_string(plan.wave_cells[i]);
+      // cutoff_eligible is the planner's UPPER BOUND on prunable cells:
+      // those with no direct seed input. How many actually skip depends
+      // on runtime value comparisons a dry run cannot make.
+      if (plan.cutoff && i < plan.wave_cutoff_eligible.size()) {
+        out += " cutoff_eligible=" +
+               std::to_string(plan.wave_cutoff_eligible[i]);
+      }
     }
     // Phase-time estimates from recent history: scale the per-dirty-cell
     // eval cost and the mean fsync of the newest spans to this plan.

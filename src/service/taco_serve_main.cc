@@ -4,7 +4,8 @@
 // --listen <port> (src/net/socket_server.h): N concurrent clients share
 // the same sessions, metrics, and recalc pools the stdin loop uses.
 //
-//   $ ./taco_serve [--threads N] [--recalc-threads N] [--backend NAME]
+//   $ ./taco_serve [--threads N] [--recalc-threads N] [--cutoff]
+//                  [--backend NAME]
 //                  [--max-resident N] [--metrics-port P] [--slow-op-ms T]
 //                  [--log-file PATH] [--log-level L] [--log-format F]
 //                  [script]
@@ -347,6 +348,8 @@ int main(int argc, char** argv) {
                      text);
         return 1;
       }
+    } else if (std::strcmp(argv[i], "--cutoff") == 0) {
+      options.cutoff = true;
     } else if (std::strcmp(argv[i], "--group-commit") == 0) {
       options.group_commit = true;
     } else if (std::strcmp(argv[i], "--group-commit-max-delay-us") == 0 &&
@@ -372,7 +375,7 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::fprintf(
           stderr,
-          "usage: taco_serve [--threads N] [--recalc-threads N] "
+          "usage: taco_serve [--threads N] [--recalc-threads N] [--cutoff] "
           "[--backend NAME] [--store text|binary] [--wal-dir DIR] "
           "[--group-commit] [--group-commit-max-delay-us U] "
           "[--max-resident N] [--metrics-port PORT] [--slow-op-ms T] "
@@ -435,9 +438,11 @@ int main(int argc, char** argv) {
   }
 
   std::fprintf(stderr,
-               "taco_serve ready (workers=%d recalc_workers=%d backend=%s "
-               "store=%s wal=%s group_commit=%s max_resident=%zu)\n",
+               "taco_serve ready (workers=%d recalc_workers=%d cutoff=%s "
+               "backend=%s store=%s wal=%s group_commit=%s "
+               "max_resident=%zu)\n",
                service.pool().num_threads(), service.recalc_threads(),
+               options.cutoff ? "on" : "off",
                options.default_backend.c_str(),
                std::string(service.storage().name()).c_str(),
                options.wal_dir.empty() ? "(off)" : options.wal_dir.c_str(),

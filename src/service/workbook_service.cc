@@ -157,6 +157,7 @@ Result<std::shared_ptr<WorkbookSession>> WorkbookService::MakeSession(
   if (recalc_scheduler_ != nullptr) {
     session->EnableParallelRecalc(recalc_scheduler_.get());
   }
+  if (options_.cutoff) session->SetCutoff(true);
   Touch(*session);
   return session;
 }

@@ -55,6 +55,11 @@ struct WorkbookServiceOptions {
   /// overridden by `recalc_threads`.
   SchedulerOptions scheduler;
 
+  /// Start every session with value-change cutoff recalculation enabled
+  /// (taco_serve --cutoff; RECALC <s> cutoff on|off toggles per session).
+  /// Works with or without the wave scheduler.
+  bool cutoff = false;
+
   /// Persistence backend for every session: "text" (.tsheet, the
   /// compatibility format) or "binary" (compact CRC-checked snapshots).
   /// Unknown names fall back to text (taco_serve validates its flag

@@ -166,6 +166,7 @@ Result<RecalcResult> WorkbookSession::Mutate(ServiceOp op,
       dirty_cells_ += outcome.dirty_cells;
       waves_ += outcome.waves;
       max_wave_cells_ = std::max(max_wave_cells_, outcome.max_wave_cells);
+      cells_skipped_ += outcome.cells_skipped_cutoff;
       // Durability before acknowledgement: the prefix of `edits` that
       // actually applied is logged before the result leaves the lock. A
       // batch that failed midway logs exactly its applied prefix, so
@@ -346,6 +347,16 @@ Status WorkbookSession::SetRecalcMode(RecalcMode mode) {
 RecalcMode WorkbookSession::recalc_mode() const {
   std::lock_guard<std::mutex> lock(mu_);
   return engine_.mode();
+}
+
+void WorkbookSession::SetCutoff(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  engine_.set_cutoff(enabled);
+}
+
+bool WorkbookSession::cutoff() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return engine_.cutoff();
 }
 
 void WorkbookSession::PublishVersion(std::span<const Edit> applied,
@@ -578,6 +589,8 @@ SessionStats WorkbookSession::Stats() const {
   stats.recalc_mode = engine_.mode();
   stats.waves = waves_;
   stats.max_wave_cells = max_wave_cells_;
+  stats.cutoff = engine_.cutoff();
+  stats.cells_skipped = cells_skipped_;
   stats.storage = storage_ != nullptr ? std::string(storage_->name()) : "text";
   stats.wal_path = wal_path_;
   stats.wal_records = wal_live_records_;

@@ -53,6 +53,8 @@ struct SessionStats {
   RecalcMode recalc_mode = RecalcMode::kSerial;
   uint64_t waves = 0;           ///< Cumulative scheduler waves executed.
   uint64_t max_wave_cells = 0;  ///< Largest wave any recalc produced.
+  bool cutoff = false;          ///< Value-change cutoff enabled.
+  uint64_t cells_skipped = 0;   ///< Cumulative cells pruned by cutoff.
   std::string storage;          ///< Storage engine name ("text"/"binary").
   std::string wal_path;         ///< WAL file, empty when WAL is disabled.
   uint64_t wal_records = 0;     ///< Records live in the WAL right now.
@@ -138,6 +140,12 @@ class WorkbookSession {
   /// rather than silently staying serial.
   Status SetRecalcMode(RecalcMode mode);
   RecalcMode recalc_mode() const;
+
+  /// Toggles value-change cutoff recalculation (default off; see
+  /// eval/cutoff.h). Works in both serial and parallel modes and keeps
+  /// results cell-for-cell identical to full recalc.
+  void SetCutoff(bool enabled);
+  bool cutoff() const;
 
   /// Serializes the sheet in .tsheet format.
   std::string Snapshot() const;
@@ -269,6 +277,7 @@ class WorkbookSession {
   uint64_t dirty_cells_ = 0;
   uint64_t waves_ = 0;
   uint64_t max_wave_cells_ = 0;
+  uint64_t cells_skipped_ = 0;
   ServiceMetrics* metrics_;
   obs::Logger* logger_ = nullptr;  ///< Shared; owned by the caller.
   std::string backend_key_;

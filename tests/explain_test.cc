@@ -225,6 +225,107 @@ TEST_P(ExplainTest, EdgeBudgetFallbackPlansRangeGranular) {
   EXPECT_EQ(result->max_wave_cells, info.plan.max_wave_cells());
 }
 
+TEST_P(ExplainTest, CutoffPlansPerWaveEligibilityAndExecutionPrunes) {
+  ThreadPool pool(3);
+  RecalcScheduler scheduler(&pool, EagerOptions());
+  Rig rig(GetParam(), &scheduler);
+  rig.engine.set_cutoff(true);
+
+  // Absorbing chain: B1 collapses A1 to 0/1, B2..B6 each add one. An
+  // edit that doesn't flip the absorber changes nothing past wave 1.
+  constexpr int kLinks = 6;
+  ASSERT_TRUE(rig.engine.SetNumber(Cell{1, 1}, 10.0).ok());
+  EditBatch setup;
+  setup.push_back(Edit::SetFormula(Cell{2, 1}, "IF(A1>100,1,0)"));
+  for (int r = 2; r <= kLinks; ++r) {
+    setup.push_back(
+        Edit::SetFormula(Cell{2, r}, "B" + std::to_string(r - 1) + "+1"));
+  }
+  ASSERT_TRUE(rig.engine.ApplyBatch(setup).ok());
+  // Warm the chain root: a freshly set formula's own cell is evaluated
+  // lazily (only its dependents recalc), and a cell with no cached
+  // prior can never be ruled unchanged.
+  ASSERT_EQ(rig.engine.GetValue(Cell{2, 1}), Value::Number(0.0));
+  ASSERT_EQ(rig.engine.GetValue(Cell{2, kLinks}), Value::Number(kLinks - 1.0));
+
+  RecalcEngine::ExplainInfo info = rig.engine.Explain(Range(1, 1, 1, 1));
+  EXPECT_TRUE(info.cutoff);
+  EXPECT_TRUE(info.plan.cutoff);
+  EXPECT_EQ(info.plan.granularity, RecalcPlan::Granularity::kCellGranular);
+  ASSERT_EQ(info.plan.waves(), static_cast<uint64_t>(kLinks));
+  // One eligibility figure per wave. B1 takes the seed directly, so
+  // wave 1 can never prune; every later link is a pure chain cell.
+  ASSERT_EQ(info.plan.wave_cutoff_eligible.size(), info.plan.wave_cells.size());
+  EXPECT_EQ(info.plan.wave_cutoff_eligible[0], 0u);
+  uint64_t eligible = 0;
+  for (size_t i = 1; i < info.plan.wave_cutoff_eligible.size(); ++i) {
+    EXPECT_EQ(info.plan.wave_cutoff_eligible[i], info.plan.wave_cells[i]);
+    eligible += info.plan.wave_cutoff_eligible[i];
+  }
+
+  // Absorbed edit: B1 re-evaluates to the same 0, the rest prune. The
+  // planner's eligibility is exactly the realized skip count here.
+  auto result = rig.engine.SetNumber(Cell{1, 1}, 20.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->waves, info.plan.waves());
+  EXPECT_EQ(result->recalculated, 1u);
+  EXPECT_EQ(result->cells_skipped_cutoff, eligible);
+  EXPECT_EQ(result->recalculated + result->cells_skipped_cutoff,
+            result->dirty_formulas);
+  EXPECT_EQ(rig.engine.GetValue(Cell{2, kLinks}),
+            Value::Number(kLinks - 1.0));
+
+  // Flipping the absorber re-evaluates the whole chain: eligibility was
+  // only ever an upper bound.
+  result = rig.engine.SetNumber(Cell{1, 1}, 500.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->recalculated, static_cast<uint64_t>(kLinks));
+  EXPECT_EQ(result->cells_skipped_cutoff, 0u);
+  EXPECT_EQ(rig.engine.GetValue(Cell{2, kLinks}), Value::Number(kLinks * 1.0));
+
+  // Cutoff off again: the plan drops the flag and the eligibility rows.
+  rig.engine.set_cutoff(false);
+  info = rig.engine.Explain(Range(1, 1, 1, 1));
+  EXPECT_FALSE(info.cutoff);
+  EXPECT_FALSE(info.plan.cutoff);
+  EXPECT_TRUE(info.plan.wave_cutoff_eligible.empty());
+}
+
+TEST_P(ExplainTest, SerialEngineCutoffPlansInlineAndStillPrunes) {
+  // No executor: the engine's own wave-free cutoff path. The plan is
+  // serial-inline (no wave rows to fill) but still carries the flag.
+  Rig rig(GetParam(), nullptr);
+  rig.engine.set_cutoff(true);
+
+  constexpr int kLinks = 5;
+  ASSERT_TRUE(rig.engine.SetNumber(Cell{1, 1}, 10.0).ok());
+  EditBatch setup;
+  setup.push_back(Edit::SetFormula(Cell{2, 1}, "IF(A1>100,1,0)"));
+  for (int r = 2; r <= kLinks; ++r) {
+    setup.push_back(
+        Edit::SetFormula(Cell{2, r}, "B" + std::to_string(r - 1) + "+1"));
+  }
+  ASSERT_TRUE(rig.engine.ApplyBatch(setup).ok());
+
+  RecalcEngine::ExplainInfo info = rig.engine.Explain(Range(1, 1, 1, 1));
+  EXPECT_FALSE(info.parallel_active);
+  EXPECT_TRUE(info.cutoff);
+  EXPECT_TRUE(info.plan.cutoff);
+  EXPECT_EQ(info.plan.granularity, RecalcPlan::Granularity::kSerialInline);
+  EXPECT_TRUE(info.plan.wave_cutoff_eligible.empty());
+  EXPECT_EQ(info.plan.dirty_formulas, static_cast<uint64_t>(kLinks));
+
+  auto result = rig.engine.SetNumber(Cell{1, 1}, 20.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->waves, 0u);  // no parallel waves were dispatched
+  EXPECT_EQ(result->recalculated, 1u);
+  EXPECT_EQ(result->cells_skipped_cutoff, static_cast<uint64_t>(kLinks - 1));
+  EXPECT_EQ(result->recalculated + result->cells_skipped_cutoff,
+            result->dirty_formulas);
+  EXPECT_EQ(rig.engine.GetValue(Cell{2, kLinks}),
+            Value::Number(kLinks - 1.0));
+}
+
 TEST_P(ExplainTest, ExplainIsSideEffectFreeAndRepeatable) {
   ThreadPool pool(3);
   RecalcScheduler scheduler(&pool, EagerOptions());

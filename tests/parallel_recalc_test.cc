@@ -12,11 +12,16 @@
 
 #include <gtest/gtest.h>
 
+#include "baselines/antifreeze.h"
+#include "baselines/calcgraph.h"
+#include "baselines/cellgraph.h"
+#include "baselines/excellike.h"
 #include "eval/recalc.h"
 #include "graph/nocomp_graph.h"
 #include "sched/recalc_scheduler.h"
 #include "sched/thread_pool.h"
 #include "sheet/sheet.h"
+#include "taco/pattern.h"
 #include "taco/taco_graph.h"
 
 namespace taco {
@@ -344,6 +349,177 @@ INSTANTIATE_TEST_SUITE_P(Graphs, ParallelRecalcTest, ::testing::Bool(),
                          [](const ::testing::TestParamInfo<bool>& info) {
                            return info.param ? "Taco" : "NoComp";
                          });
+
+// ---------------------------------------------------------------------------
+// Cutoff-vs-full differential: the same randomized workloads, but the
+// twin engines differ in the value-change cutoff flag instead of the
+// executor. Cutoff's contract is BY-CONSTRUCTION equality — every cell
+// it prunes is provably unreachable from a changed value — so the rigs
+// must agree cell-for-cell (errors and #CYCLE! included) across every
+// DependencyGraph implementation, since each graph shapes dirty sets
+// (and thus wave plans and prune opportunities) differently. Also the
+// TSan workload for ExecuteCellCutoff's prime-then-dispatch ordering.
+// ---------------------------------------------------------------------------
+
+/// The ten graph configurations of the differential suite
+/// (tests/differential_test.cc kSpecs), reduced to name + factory.
+struct CutoffGraphSpec {
+  const char* name;
+  std::unique_ptr<DependencyGraph> (*make)();
+};
+
+const CutoffGraphSpec kCutoffSpecs[] = {
+    {"TacoFull",
+     +[]() -> std::unique_ptr<DependencyGraph> {
+       return std::make_unique<TacoGraph>(TacoOptions::Full());
+     }},
+    {"TacoInRow",
+     +[]() -> std::unique_ptr<DependencyGraph> {
+       return std::make_unique<TacoGraph>(TacoOptions::InRow());
+     }},
+    {"TacoNoHeuristics",
+     +[]() -> std::unique_ptr<DependencyGraph> {
+       return std::make_unique<TacoGraph>(TacoOptions::NoHeuristics());
+     }},
+    {"TacoExtendedPatterns",
+     +[]() -> std::unique_ptr<DependencyGraph> {
+       TacoOptions options;
+       options.patterns = ExtendedPatternSet();
+       return std::make_unique<TacoGraph>(options);
+     }},
+    {"NoComp",
+     +[]() -> std::unique_ptr<DependencyGraph> {
+       return std::make_unique<NoCompGraph>();
+     }},
+    {"CellGraph",
+     +[]() -> std::unique_ptr<DependencyGraph> {
+       return std::make_unique<CellGraph>();
+     }},
+    {"CalcGraph",
+     +[]() -> std::unique_ptr<DependencyGraph> {
+       return std::make_unique<CalcGraph>();
+     }},
+    {"CalcGraphTinyContainers",
+     +[]() -> std::unique_ptr<DependencyGraph> {
+       return std::make_unique<CalcGraph>(/*container_cols=*/2,
+                                          /*container_rows=*/4);
+     }},
+    {"ExcelLike",
+     +[]() -> std::unique_ptr<DependencyGraph> {
+       return std::make_unique<ExcelLikeGraph>();
+     }},
+    {"Antifreeze",
+     +[]() -> std::unique_ptr<DependencyGraph> {
+       return std::make_unique<AntifreezeGraph>();
+     }},
+};
+
+/// Sheet + graph + engine with an explicit cutoff flag.
+struct CutoffRig {
+  CutoffRig(const CutoffGraphSpec& spec, RecalcExecutor* executor, bool cutoff)
+      : graph(spec.make()), engine(&sheet, graph.get()) {
+    if (executor != nullptr) {
+      engine.set_executor(executor);
+      engine.set_mode(RecalcMode::kParallel);
+    }
+    engine.set_cutoff(cutoff);
+  }
+  Sheet sheet;
+  std::unique_ptr<DependencyGraph> graph;
+  RecalcEngine engine;
+};
+
+/// Identical random batches into a full rig and a cutoff rig; after
+/// every batch: cell-for-cell equality plus the cutoff accounting
+/// invariant `recalculated + cells_skipped_cutoff == dirty_formulas`.
+void RunCutoffDifferential(const CutoffGraphSpec& spec,
+                           const SchedulerOptions& options, bool parallel,
+                           uint32_t seed, int rounds) {
+  ThreadPool pool(options.threads);
+  RecalcScheduler scheduler(&pool, options);
+  RecalcExecutor* executor = parallel ? &scheduler : nullptr;
+  CutoffRig full(spec, executor, /*cutoff=*/false);
+  CutoffRig cut(spec, executor, /*cutoff=*/true);
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> batch_size(1, 8);
+
+  const Range region(1, 1, kCols, kRows);
+  uint64_t total_skipped = 0;
+  for (int round = 0; round < rounds; ++round) {
+    EditBatch batch;
+    int n = batch_size(rng);
+    for (int i = 0; i < n; ++i) batch.push_back(RandomEdit(&rng));
+
+    RecalcResult full_partial, cut_partial;
+    auto full_result = full.engine.ApplyBatch(batch, &full_partial);
+    auto cut_result = cut.engine.ApplyBatch(batch, &cut_partial);
+    ASSERT_EQ(full_result.ok(), cut_result.ok())
+        << spec.name << " round " << round << ": "
+        << full_result.status().ToString() << " vs "
+        << cut_result.status().ToString();
+    const RecalcResult& f = full_result.ok() ? *full_result : full_partial;
+    const RecalcResult& c = cut_result.ok() ? *cut_result : cut_partial;
+    EXPECT_EQ(f.recalc_passes, c.recalc_passes)
+        << spec.name << " round " << round;
+    EXPECT_EQ(f.dirty_cells, c.dirty_cells) << spec.name << " round " << round;
+    // The accounting invariant, on both rigs: a full pass simply has
+    // zero skips.
+    EXPECT_EQ(c.recalculated + c.cells_skipped_cutoff, c.dirty_formulas)
+        << spec.name << " round " << round;
+    EXPECT_EQ(f.cells_skipped_cutoff, 0u) << spec.name << " round " << round;
+    EXPECT_EQ(f.recalculated, f.dirty_formulas)
+        << spec.name << " round " << round;
+    total_skipped += c.cells_skipped_cutoff;
+
+    for (const Cell& cell : EnumerateCells(region)) {
+      Value expected = full.engine.GetValue(cell);
+      Value actual = cut.engine.GetValue(cell);
+      EXPECT_EQ(expected, actual)
+          << spec.name << " round " << round << " cell " << cell.ToString()
+          << ": full=" << expected.ToString()
+          << " cutoff=" << actual.ToString();
+    }
+    if (::testing::Test::HasFatalFailure() ||
+        ::testing::Test::HasNonfatalFailure()) {
+      return;
+    }
+  }
+  // The workload overwrites cells with fresh random values constantly;
+  // a run where cutoff never pruned anything would mean the suite isn't
+  // actually exercising the prune path.
+  EXPECT_GT(total_skipped, 0u) << spec.name;
+}
+
+class CutoffDifferentialTest
+    : public ::testing::TestWithParam<const CutoffGraphSpec*> {};
+
+TEST_P(CutoffDifferentialTest, CellGranularWavesMatchFullRecalc) {
+  SchedulerOptions options = EagerOptions();
+  options.threads = 2;  // Matches the TSan CI job's recalc width.
+  RunCutoffDifferential(*GetParam(), options, /*parallel=*/true, 11u, 30);
+}
+
+TEST_P(CutoffDifferentialTest, RangeGranularFallbackMatchesFullRecalc) {
+  SchedulerOptions options = EagerOptions();
+  options.threads = 2;
+  options.max_edges = 2;  // Everything lands in range-granular mode.
+  RunCutoffDifferential(*GetParam(), options, /*parallel=*/true, 47u, 25);
+}
+
+TEST_P(CutoffDifferentialTest, SerialEngineCutoffMatchesFullRecalc) {
+  SchedulerOptions options = EagerOptions();  // Unused: no executor.
+  RunCutoffDifferential(*GetParam(), options, /*parallel=*/false, 83u, 25);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Graphs, CutoffDifferentialTest,
+    ::testing::Values(&kCutoffSpecs[0], &kCutoffSpecs[1], &kCutoffSpecs[2],
+                      &kCutoffSpecs[3], &kCutoffSpecs[4], &kCutoffSpecs[5],
+                      &kCutoffSpecs[6], &kCutoffSpecs[7], &kCutoffSpecs[8],
+                      &kCutoffSpecs[9]),
+    [](const ::testing::TestParamInfo<const CutoffGraphSpec*>& info) {
+      return std::string(info.param->name);
+    });
 
 }  // namespace
 }  // namespace taco

@@ -11,7 +11,9 @@
 
 #include <gtest/gtest.h>
 
+#include "eval/recalc.h"
 #include "eval/value_version.h"
+#include "graph/nocomp_graph.h"
 #include "service/workbook_service.h"
 
 namespace taco {
@@ -210,6 +212,54 @@ TEST(ReadPathTest, DisablingVersionedReadsRestoresTheLockedPath) {
   ASSERT_TRUE(session->SetNumber(Cell{1, 1}, 7).ok());
   EXPECT_EQ(session->GetValue(Cell{1, 1}), Value::Number(7));
   EXPECT_GE(session->Stats().reads_versioned, 1u);
+}
+
+// Delta versions must carry only what a commit CHANGED, not what it
+// scheduled: value-unchanged cells of the dirty closure are dropped
+// entirely (no coverage, no entry), so the chain answers them from the
+// older node. This pins the payload size — the MVCC side of cutoff
+// recalc, where an absorbed edit dirties a wide closure but changes one
+// cell.
+TEST(ReadPathTest, DeltaVersionsCarryOnlyChangedCells) {
+  Sheet sheet;
+  NoCompGraph graph;
+  RecalcEngine engine(&sheet, &graph);
+  auto publish = [&](const Result<RecalcResult>& r, const Range& edited) {
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    std::vector<Range> touched = r->dirty;
+    touched.push_back(edited);
+    engine.PublishVersion(touched);
+  };
+
+  // A1 feeds an absorbing IF; B1 absorbs, C1 rides on B1.
+  publish(engine.SetNumber(Cell{1, 1}, 5), Range(Cell{1, 1}));
+  publish(engine.SetFormula(Cell{2, 1}, "IF(A1>10,1,0)"), Range(Cell{2, 1}));
+  publish(engine.SetFormula(Cell{3, 1}, "B1+1"), Range(Cell{3, 1}));
+
+  // An absorbed edit: A1 5 -> 6 keeps B1 at 0 and C1 at 1. The delta
+  // must carry exactly ONE entry (A1) even though the dirty closure
+  // covered B1 and C1 too.
+  publish(engine.SetNumber(Cell{1, 1}, 6), Range(Cell{1, 1}));
+  const ValueVersion& absorbed = *engine.latest_version();
+  EXPECT_EQ(absorbed.cell_entries(), 1u);
+  EXPECT_EQ(absorbed.Lookup(Cell{1, 1}), Value::Number(6));
+  EXPECT_EQ(absorbed.Lookup(Cell{2, 1}), Value::Number(0));  // Via chain.
+  EXPECT_EQ(absorbed.Lookup(Cell{3, 1}), Value::Number(1));
+
+  // A flipping edit changes all three cells: three entries.
+  publish(engine.SetNumber(Cell{1, 1}, 5000), Range(Cell{1, 1}));
+  const ValueVersion& flipped = *engine.latest_version();
+  EXPECT_EQ(flipped.cell_entries(), 3u);
+  EXPECT_EQ(flipped.Lookup(Cell{3, 1}), Value::Number(2));
+
+  // A cleared cell changed to blank: covered WITHOUT an entry, so it
+  // reads Blank instead of leaking the older node's value.
+  publish(engine.ClearRange(Range(Cell{1, 1})), Range(Cell{1, 1}));
+  const ValueVersion& cleared = *engine.latest_version();
+  EXPECT_EQ(cleared.cell_entries(), 2u);  // B1 and C1 flipped back.
+  EXPECT_EQ(cleared.Lookup(Cell{1, 1}), Value::Blank());
+  EXPECT_EQ(cleared.Lookup(Cell{2, 1}), Value::Number(0));
+  EXPECT_EQ(cleared.Lookup(Cell{3, 1}), Value::Number(1));
 }
 
 // A snapshot must come from ONE commit: with C1 = A1*10 maintained by

@@ -359,9 +359,11 @@ TEST(WorkbookServiceTest, ConcurrentOpensOfAParkedSessionLoadOnce) {
 TEST_F(ProtocolTest, RecalcCommandQueriesAndSwitchesTheMode) {
   // Without recalc threads, parallel mode is rejected but serial works.
   Run("OPEN book");
-  EXPECT_EQ(Run("RECALC book"), "OK recalc book mode=serial threads=0");
+  EXPECT_EQ(Run("RECALC book"),
+            "OK recalc book mode=serial threads=0 cutoff=off");
   EXPECT_TRUE(Run("RECALC book parallel").starts_with("ERR InvalidArgument"));
-  EXPECT_EQ(Run("RECALC book serial"), "OK recalc book mode=serial threads=0");
+  EXPECT_EQ(Run("RECALC book serial"),
+            "OK recalc book mode=serial threads=0 cutoff=off");
   EXPECT_TRUE(Run("RECALC").starts_with("ERR InvalidArgument: usage"));
   EXPECT_TRUE(Run("RECALC book sideways").starts_with("ERR InvalidArgument"));
 
@@ -372,17 +374,54 @@ TEST_F(ProtocolTest, RecalcCommandQueriesAndSwitchesTheMode) {
   CommandProcessor processor(&parallel_service);
   EXPECT_EQ(processor.Execute("OPEN wb"), "OK opened wb backend=TACO");
   EXPECT_EQ(processor.Execute("RECALC wb"),
-            "OK recalc wb mode=parallel threads=2");
+            "OK recalc wb mode=parallel threads=2 cutoff=off");
   EXPECT_EQ(processor.Execute("RECALC wb serial"),
-            "OK recalc wb mode=serial threads=2");
+            "OK recalc wb mode=serial threads=2 cutoff=off");
   EXPECT_EQ(processor.Execute("RECALC wb parallel"),
-            "OK recalc wb mode=parallel threads=2");
+            "OK recalc wb mode=parallel threads=2 cutoff=off");
   std::string stats = processor.Execute("STATS wb");
   EXPECT_NE(stats.find("recalc_mode=parallel"), std::string::npos) << stats;
   EXPECT_NE(stats.find("waves="), std::string::npos) << stats;
   std::string service_stats = processor.Execute("STATS");
   EXPECT_NE(service_stats.find("recalc_workers=2"), std::string::npos)
       << service_stats;
+}
+
+TEST_F(ProtocolTest, RecalcCutoffTogglePrunesAndReportsInStats) {
+  // The cutoff toggle composes with the mode switch, survives round
+  // trips, and actually prunes: an absorbing IF chain edited upstream
+  // re-evaluates only up to the absorber, and STATS counts the rest as
+  // cells_skipped.
+  Run("OPEN wb");
+  EXPECT_EQ(Run("RECALC wb cutoff on"),
+            "OK recalc wb mode=serial threads=0 cutoff=on");
+  EXPECT_EQ(Run("RECALC wb cutoff off"),
+            "OK recalc wb mode=serial threads=0 cutoff=off");
+  EXPECT_TRUE(Run("RECALC wb cutoff sideways")
+                  .starts_with("ERR InvalidArgument: usage"));
+  EXPECT_TRUE(Run("RECALC wb cutoff").starts_with("ERR InvalidArgument"));
+  EXPECT_EQ(Run("RECALC wb serial cutoff on"),
+            "OK recalc wb mode=serial threads=0 cutoff=on");
+
+  // A1 -> B1 = IF(A1>100,1,0) -> C1 = B1+1 -> D1 = C1+1. Priming pass
+  // first (cutoff needs cached priors), then an absorbed edit: A1=5 ->
+  // A1=6 keeps B1 at 0, so C1 and D1 prune.
+  Run("SET wb A1 5");
+  Run("FORMULA wb B1 IF(A1>100,1,0)");
+  Run("FORMULA wb C1 B1+1");
+  Run("FORMULA wb D1 C1+1");
+  Run("SET wb A1 6");
+  std::string stats = Run("STATS wb");
+  EXPECT_NE(stats.find("cutoff=on"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("cells_skipped=2"), std::string::npos) << stats;
+  EXPECT_EQ(Run("GET wb D1"), "VALUE D1 2");
+  EXPECT_EQ(Run("GET wb B1"), "VALUE B1 0");
+
+  // An edit that DOES flip the absorber re-evaluates everything below.
+  Run("SET wb A1 500");
+  EXPECT_EQ(Run("GET wb D1"), "VALUE D1 3");
+  std::string explain = Run("EXPLAIN wb A1");
+  EXPECT_NE(explain.find("cutoff=on"), std::string::npos) << explain;
 }
 
 TEST(WorkbookServiceTest, StorageCountersTrackWalAndCheckpoints) {
